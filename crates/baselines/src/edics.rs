@@ -1,0 +1,230 @@
+//! The Edics baseline (Section VII-B) — the authors' earlier multi-agent
+//! DRL crowdsensing algorithm (Liu et al., JSAC 2019).
+//!
+//! W independent agents, one per worker: each holds its own actor–critic
+//! over the shared spatial state, emits the decision for its own worker
+//! only, and trains on its own *dense* per-worker reward (Eqn 20 terms).
+//! There is no chief, no curiosity, and no cross-agent parameter sharing —
+//! the multi-agent non-stationarity this induces is exactly why the paper's
+//! centralized DRL-CEWS outperforms it.
+
+use crate::scheduler::Scheduler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vc_env::prelude::*;
+use vc_env::reward::dense_reward_worker;
+use vc_nn::optim::{Adam, Optimizer};
+use vc_nn::prelude::*;
+use vc_rl::prelude::*;
+
+/// Edics hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EdicsConfig {
+    pub ppo: PpoConfig,
+    pub seed: u64,
+}
+
+impl Default for EdicsConfig {
+    fn default() -> Self {
+        Self { ppo: PpoConfig::default(), seed: 99 }
+    }
+}
+
+struct Agent {
+    store: ParamStore,
+    net: ActorCritic,
+    opt: Adam,
+    buffer: RolloutBuffer,
+}
+
+/// The multi-agent baseline trainer/policy.
+pub struct Edics {
+    cfg: EdicsConfig,
+    agents: Vec<Agent>,
+    rng: StdRng,
+    episodes_trained: usize,
+}
+
+impl Edics {
+    /// Builds one agent per worker for the given scenario.
+    pub fn new(env_cfg: &EnvConfig, cfg: EdicsConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let agents = (0..env_cfg.num_workers)
+            .map(|_| {
+                let mut store = ParamStore::new();
+                let net =
+                    ActorCritic::new(&mut store, NetConfig::for_scenario(env_cfg.grid, 1), &mut rng);
+                Agent { store, net, opt: Adam::new(cfg.ppo.lr), buffer: RolloutBuffer::new() }
+            })
+            .collect();
+        Self { cfg, agents, rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(1)), episodes_trained: 0 }
+    }
+
+    /// Number of episodes trained so far.
+    pub fn episodes_trained(&self) -> usize {
+        self.episodes_trained
+    }
+
+    /// Samples (or argmaxes) every agent's action for the current state.
+    /// Returns per-agent `(action, move, charge, logp, value)`.
+    fn act(
+        &mut self,
+        env: &CrowdsensingEnv,
+        state: &[f32],
+        greedy: bool,
+    ) -> Vec<(WorkerAction, usize, usize, f32, f32)> {
+        use vc_rl::policy::{argmax, sample_categorical};
+        let cfg = env.config();
+        let shape = vc_env::state::state_shape(cfg);
+        let mut out = Vec::with_capacity(self.agents.len());
+        for agent in &self.agents {
+            let mut g = Graph::new();
+            let s = g.leaf(Tensor::from_vec(&[1, shape[0], shape[1], shape[2]], state.to_vec()));
+            let o = agent.net.forward(&mut g, &agent.store, s);
+            let mp = {
+                let sm = g.softmax(o.move_logits);
+                g.value(sm).data().to_vec()
+            };
+            let cp = {
+                let sc = g.softmax(o.charge_logits);
+                g.value(sc).data().to_vec()
+            };
+            let (mv, ch) = if greedy {
+                (argmax(&mp), argmax(&cp))
+            } else {
+                (sample_categorical(&mp, &mut self.rng), sample_categorical(&cp, &mut self.rng))
+            };
+            let logp = mp[mv].max(1e-12).ln() + cp[ch].max(1e-12).ln();
+            let value = g.value(o.value).item();
+            out.push((
+                WorkerAction { movement: Move::from_index(mv), charge: ch == 1 },
+                mv,
+                ch,
+                logp,
+                value,
+            ));
+        }
+        out
+    }
+
+    /// Runs one training episode: every agent rolls out on the shared
+    /// environment with its own dense reward, then updates its own network.
+    pub fn train_episode(&mut self, env: &mut CrowdsensingEnv) -> Metrics {
+        env.reset();
+        for a in &mut self.agents {
+            a.buffer.clear();
+        }
+        while !env.done() {
+            let state = vc_env::state::encode(env);
+            let decisions = self.act(env, &state, false);
+            let actions: Vec<WorkerAction> = decisions.iter().map(|d| d.0).collect();
+            let result = env.step(&actions);
+            for (wi, agent) in self.agents.iter_mut().enumerate() {
+                let (_, mv, ch, logp, value) = decisions[wi];
+                agent.buffer.push(Transition {
+                    state: state.clone(),
+                    moves: vec![mv],
+                    charges: vec![ch],
+                    move_mask: vec![true; vc_rl::net::MOVES_PER_WORKER],
+                    charge_mask: vec![true; vc_rl::net::CHARGE_CHOICES],
+                    logp,
+                    reward: dense_reward_worker(env.config(), &result.outcomes[wi]),
+                    value,
+                });
+            }
+        }
+        // Per-agent PPO updates with their own bootstrap values.
+        let final_state = vc_env::state::encode(env);
+        let shape = vc_env::state::state_shape(env.config());
+        let ppo = self.cfg.ppo;
+        for agent in &mut self.agents {
+            let v_last = {
+                let mut g = Graph::new();
+                let s = g.leaf(Tensor::from_vec(
+                    &[1, shape[0], shape[1], shape[2]],
+                    final_state.clone(),
+                ));
+                let o = agent.net.forward(&mut g, &agent.store, s);
+                g.value(o.value).item()
+            };
+            finish_rollout(&mut agent.buffer, &ppo, v_last);
+            for _ in 0..ppo.epochs {
+                for batch in agent.buffer.minibatch_indices(ppo.minibatch, &mut self.rng) {
+                    agent.store.zero_grads();
+                    compute_ppo_grads(&agent.net, &mut agent.store, &agent.buffer, &batch, &ppo);
+                    agent.store.clip_grad_norm(ppo.max_grad_norm);
+                    agent.opt.step(&mut agent.store);
+                }
+            }
+        }
+        self.episodes_trained += 1;
+        env.metrics()
+    }
+}
+
+impl Scheduler for Edics {
+    fn decide(&mut self, env: &CrowdsensingEnv, _rng: &mut StdRng) -> Vec<WorkerAction> {
+        let state = vc_env::state::encode(env);
+        self.act(env, &state, true).into_iter().map(|d| d.0).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "edics"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> EdicsConfig {
+        EdicsConfig {
+            ppo: PpoConfig { epochs: 1, minibatch: 32, ..PpoConfig::default() },
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn one_agent_per_worker() {
+        let mut env_cfg = EnvConfig::tiny();
+        env_cfg.num_workers = 3;
+        let e = Edics::new(&env_cfg, quick_cfg());
+        assert_eq!(e.agents.len(), 3);
+        // Agents are independent: distinct parameter stores.
+        assert!(e.agents[0].store.num_scalars() > 0);
+    }
+
+    #[test]
+    fn train_episode_runs_and_counts() {
+        let mut cfg = EnvConfig::tiny();
+        cfg.horizon = 10;
+        let mut env = CrowdsensingEnv::new(cfg.clone());
+        let mut e = Edics::new(&cfg, quick_cfg());
+        let m = e.train_episode(&mut env);
+        assert_eq!(e.episodes_trained(), 1);
+        assert!((0.0..=1.0).contains(&m.data_collection_ratio));
+    }
+
+    #[test]
+    fn training_changes_parameters() {
+        let mut cfg = EnvConfig::tiny();
+        cfg.horizon = 10;
+        let mut env = CrowdsensingEnv::new(cfg.clone());
+        let mut e = Edics::new(&cfg, quick_cfg());
+        let before = e.agents[0].store.flat_values();
+        e.train_episode(&mut env);
+        let after = e.agents[0].store.flat_values();
+        assert_ne!(before, after, "agent parameters did not move");
+    }
+
+    #[test]
+    fn scheduler_decide_is_deterministic() {
+        let cfg = EnvConfig::tiny();
+        let env = CrowdsensingEnv::new(cfg.clone());
+        let mut e = Edics::new(&cfg, quick_cfg());
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = e.decide(&env, &mut rng);
+        let b = e.decide(&env, &mut rng);
+        assert_eq!(a, b);
+    }
+}

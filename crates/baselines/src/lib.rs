@@ -1,0 +1,28 @@
+//! # vc-baselines — comparison schedulers for the DRL-CEWS evaluation
+//!
+//! The baselines and state-of-the-art comparators of Section VII-B:
+//!
+//! * [`greedy::GreedyScheduler`] — one-step lookahead, no charging plan;
+//! * [`dnc::DncScheduler`] — D&C (Lian et al., ICDE 2017): prediction-based
+//!   two-step lookahead with station seeking;
+//! * [`edics::Edics`] — the authors' earlier multi-agent DRL algorithm
+//!   (one independent dense-reward PPO agent per worker);
+//! * [`scheduler::RandomScheduler`] — the uniform-random floor.
+//!
+//! The remaining comparator, **DPPO** (Heess et al.), shares its entire
+//! machinery with DRL-CEWS minus curiosity and sparse rewards; it is
+//! provided by the `drl-cews` crate as a trainer preset
+//! (`TrainerConfig::dppo`) so the two share one audited implementation.
+
+pub mod dnc;
+pub mod edics;
+pub mod greedy;
+pub mod scheduler;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::dnc::DncScheduler;
+    pub use crate::edics::{Edics, EdicsConfig};
+    pub use crate::greedy::GreedyScheduler;
+    pub use crate::scheduler::{run_episode, RandomScheduler, Scheduler};
+}

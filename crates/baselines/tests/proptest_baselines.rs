@@ -1,0 +1,116 @@
+//! Property-based tests for the engineered schedulers: decisions must always
+//! be executable, and the decision rules must respect their stated
+//! invariants on arbitrary scenarios.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vc_baselines::prelude::*;
+use vc_env::prelude::*;
+
+fn env_config() -> impl Strategy<Value = EnvConfig> {
+    (1usize..4, 0usize..30, 0usize..3, any::<u64>()).prop_map(|(w, p, st, seed)| {
+        let mut cfg = EnvConfig::tiny();
+        cfg.num_workers = w;
+        cfg.num_pois = p;
+        cfg.num_stations = st;
+        cfg.horizon = 20;
+        cfg.seed = seed;
+        cfg
+    })
+}
+
+/// Steps a scheduler through a whole episode, asserting executability:
+/// a decided *move* must be valid per the environment mask (charging is
+/// allowed to be speculative — the env treats an out-of-range charge as a
+/// wasted slot, not an error).
+fn assert_executable(scheduler: &mut dyn Scheduler, cfg: &EnvConfig, seed: u64) {
+    let mut env = CrowdsensingEnv::new(cfg.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    while !env.done() {
+        let actions = scheduler.decide(&env, &mut rng);
+        assert_eq!(actions.len(), cfg.num_workers);
+        for (wi, a) in actions.iter().enumerate() {
+            if !a.charge {
+                assert!(
+                    env.valid_moves(wi)[a.movement.index()],
+                    "{} chose an invalid move {:?} for worker {wi}",
+                    scheduler.name(),
+                    a.movement
+                );
+            }
+        }
+        env.step(&actions);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn greedy_decisions_are_always_executable(cfg in env_config(), seed in any::<u64>()) {
+        assert_executable(&mut GreedyScheduler, &cfg, seed);
+    }
+
+    #[test]
+    fn dnc_decisions_are_always_executable(cfg in env_config(), seed in any::<u64>()) {
+        assert_executable(&mut DncScheduler::default(), &cfg, seed);
+    }
+
+    #[test]
+    fn random_decisions_are_always_executable(cfg in env_config(), seed in any::<u64>()) {
+        assert_executable(&mut RandomScheduler, &cfg, seed);
+    }
+
+    #[test]
+    fn greedy_never_moves_away_from_strictly_better_cells(seed in any::<u64>()) {
+        // If some reachable position yields strictly positive collection,
+        // greedy must pick a positive-gain move (never a zero-gain one).
+        let mut cfg = EnvConfig::tiny();
+        cfg.num_pois = 12;
+        cfg.seed = seed;
+        let env = CrowdsensingEnv::new(cfg.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let actions = GreedyScheduler.decide(&env, &mut rng);
+        for (wi, a) in actions.iter().enumerate() {
+            if a.charge {
+                continue;
+            }
+            let best_gain = Move::ALL
+                .iter()
+                .filter_map(|&m| env.peek_move(wi, m))
+                .map(|p| env.potential_collection(&p))
+                .fold(0.0f32, f32::max);
+            if best_gain > 1e-6 {
+                let chosen = env.peek_move(wi, a.movement).unwrap();
+                prop_assert!(
+                    env.potential_collection(&chosen) > 1e-6,
+                    "worker {wi}: best gain {best_gain} available but greedy chose a barren move"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn low_battery_dnc_approaches_stations(seed in any::<u64>()) {
+        let mut cfg = EnvConfig::tiny();
+        cfg.num_pois = 0;
+        cfg.num_stations = 1;
+        cfg.seed = seed;
+        let mut env = CrowdsensingEnv::new(cfg);
+        env.set_worker_energy(0, 5.0);
+        let before = env.workers()[0]
+            .pos
+            .dist(&env.stations()[0].pos);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let actions = DncScheduler::default().decide(&env, &mut rng);
+        if actions[0].charge {
+            // Already in range — fine.
+            prop_assert!(env.can_charge(0));
+        } else {
+            let target = env.peek_move(0, actions[0].movement).unwrap();
+            let after = target.dist(&env.stations()[0].pos);
+            prop_assert!(after <= before + 1e-5, "moved away from the only station");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Component micro-benchmarks: the building blocks whose cost dominates
+//! every experiment (environment stepping, state encoding, network forward,
+//! PPO gradient computation, curiosity reward, gradient-buffer reduction).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vc_bench::bench_env;
+use vc_curiosity::prelude::*;
+use vc_env::prelude::*;
+use vc_nn::prelude::*;
+use vc_rl::prelude::*;
+
+fn bench_env_step(c: &mut Criterion) {
+    let cfg = bench_env();
+    c.bench_function("env/step_2_workers", |b| {
+        b.iter_batched(
+            || CrowdsensingEnv::new(cfg.clone()),
+            |mut env| {
+                let actions = vec![WorkerAction::go(Move::East); env.workers().len()];
+                black_box(env.step(&actions));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_state_encode(c: &mut Criterion) {
+    let env = CrowdsensingEnv::new(bench_env());
+    c.bench_function("env/state_encode_16x16", |b| {
+        b.iter(|| black_box(vc_env::state::encode(&env)))
+    });
+}
+
+fn bench_net_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let net = ActorCritic::new(&mut store, NetConfig::for_scenario(16, 2), &mut rng);
+    for batch in [1usize, 32] {
+        let t = Tensor::zeros(&[batch, 3, 16, 16]);
+        c.bench_function(&format!("net/forward_b{batch}"), |b| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let s = g.leaf(t.clone());
+                black_box(net.forward(&mut g, &store, s).value);
+            })
+        });
+    }
+}
+
+fn bench_ppo_minibatch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut store = ParamStore::new();
+    let net = ActorCritic::new(&mut store, NetConfig::for_scenario(16, 2), &mut rng);
+    let ppo = PpoConfig::default();
+    let mut buffer = RolloutBuffer::new();
+    for i in 0..64 {
+        buffer.push(Transition {
+            state: vec![0.1; 3 * 16 * 16],
+            moves: vec![i % 9, (i + 3) % 9],
+            charges: vec![0, 1],
+            move_mask: vec![true; 18],
+            charge_mask: vec![true; 4],
+            logp: -4.0,
+            reward: (i % 5) as f32 * 0.1,
+            value: 0.0,
+        });
+    }
+    finish_rollout(&mut buffer, &ppo, 0.0);
+    let idx: Vec<usize> = (0..32).collect();
+    c.bench_function("ppo/minibatch32_grads", |b| {
+        b.iter(|| {
+            store.zero_grads();
+            black_box(compute_ppo_grads(&net, &mut store, &buffer, &idx, &ppo));
+        })
+    });
+}
+
+fn bench_curiosity_reward(c: &mut Criterion) {
+    let cfg = SpatialCuriosityConfig::paper_default(16, 16.0, 16.0, 2);
+    let mut cur = SpatialCuriosity::new(cfg);
+    let positions = [Point::new(3.0, 4.0), Point::new(10.0, 12.0)];
+    let next = [Point::new(4.0, 4.0), Point::new(10.0, 11.0)];
+    let moves = [3usize, 5];
+    c.bench_function("curiosity/spatial_intrinsic_reward", |b| {
+        b.iter(|| {
+            let r = cur.intrinsic_reward(&TransitionView {
+                state: &[],
+                next_state: &[],
+                positions: &positions,
+                next_positions: &next,
+                moves: &moves,
+            });
+            cur.clear_buffer();
+            black_box(r)
+        })
+    });
+}
+
+fn bench_gradient_buffer(c: &mut Criterion) {
+    let grads = vec![0.5f32; 100_000];
+    c.bench_function("chief/gradient_buffer_accumulate_100k", |b| {
+        b.iter_batched(
+            GradientBuffer::new,
+            |buf| {
+                buf.accumulate(&grads);
+                buf.accumulate(&grads);
+                black_box(buf.take())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets = bench_env_step,
+        bench_state_encode,
+        bench_net_forward,
+        bench_ppo_minibatch,
+        bench_curiosity_reward,
+        bench_gradient_buffer
+);
+criterion_main!(components);

@@ -1,0 +1,52 @@
+//! Fig. 2(c) as a benchmark: the cost of one policy-driven trajectory
+//! episode with full per-slot position recording, plus the ASCII rendering
+//! used by `vc-experiments fig2c`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drl_cews::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vc_bench::bench_env;
+use vc_env::prelude::*;
+use vc_rl::prelude::*;
+
+fn bench_fig2c(c: &mut Criterion) {
+    let env_cfg = bench_env();
+    let mut cfg = TrainerConfig::drl_cews(env_cfg.clone());
+    cfg.num_employees = 1;
+    cfg.ppo.epochs = 1;
+    cfg.ppo.minibatch = 16;
+    let trainer = Trainer::new(cfg);
+    let opts = PolicyOptions { mode: SampleMode::Stochastic, mask_invalid: true };
+
+    c.bench_function("fig2c/trajectory_episode", |b| {
+        b.iter(|| {
+            let mut env = CrowdsensingEnv::new(env_cfg.clone());
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut traj = Trajectory::new(env_cfg.num_workers);
+            traj.record(env.workers().iter().map(|w| w.pos));
+            while !env.done() {
+                let a = sample_action(trainer.net(), trainer.store(), &env, opts, &mut rng);
+                env.step(&a.actions);
+                traj.record(env.workers().iter().map(|w| w.pos));
+            }
+            black_box(traj.path_length(0))
+        })
+    });
+
+    c.bench_function("fig2c/ascii_render", |b| {
+        let mut traj = Trajectory::new(1);
+        for i in 0..40 {
+            traj.record([Point::new((i % 16) as f32 + 0.5, (i / 4) as f32 % 16.0 + 0.5)].into_iter());
+        }
+        b.iter(|| black_box(traj.ascii(&env_cfg, 0).len()))
+    });
+}
+
+criterion_group!(
+    name = fig2c_bench;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2c
+);
+criterion_main!(fig2c_bench);

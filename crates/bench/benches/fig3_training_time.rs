@@ -1,0 +1,24 @@
+//! Fig. 3 as a benchmark: training time per episode vs the number of
+//! employees at fixed batch size. The paper's observation — wall-clock grows
+//! steeply with M under the synchronous chief (45.5% longer at 16 vs 8
+//! employees on their box) — is reproduced here as the relative growth of
+//! the per-episode benchmark times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vc_bench::bench_trainer;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/episode_time_vs_employees");
+    group.sample_size(10);
+    for &employees in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(employees), &employees, |b, &m| {
+            let mut trainer = bench_trainer(m, 32);
+            b.iter(|| black_box(trainer.train_episode()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig3, bench_fig3);
+criterion_main!(fig3);

@@ -1,0 +1,60 @@
+//! Fig. 4 as a benchmark: per-episode training cost of each curiosity
+//! variant — the four spatial combinations plus RND. Complements
+//! `vc-experiments fig4`, which regenerates the learning curves; together
+//! they reproduce both axes of the paper's feature-selection argument
+//! (effectiveness *and* cost, e.g. independent structures paying a
+//! per-worker parameter multiple).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drl_cews::prelude::*;
+use drl_cews::trainer::CuriosityChoice;
+use std::hint::black_box;
+use vc_bench::bench_env;
+use vc_curiosity::prelude::{FeatureKind, StructureKind};
+
+fn variant_trainer(choice: CuriosityChoice) -> Trainer {
+    let mut cfg = TrainerConfig::drl_cews(bench_env());
+    cfg.num_employees = 1;
+    cfg.ppo.epochs = 1;
+    cfg.ppo.minibatch = 32;
+    cfg.curiosity = choice;
+    Trainer::new(cfg)
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/train_episode_per_variant");
+    group.sample_size(10);
+    let variants = [
+        CuriosityChoice::Spatial {
+            feature: FeatureKind::Embedding,
+            structure: StructureKind::Shared,
+            eta: 0.3,
+        },
+        CuriosityChoice::Spatial {
+            feature: FeatureKind::Direct,
+            structure: StructureKind::Shared,
+            eta: 0.3,
+        },
+        CuriosityChoice::Spatial {
+            feature: FeatureKind::Embedding,
+            structure: StructureKind::Independent,
+            eta: 0.3,
+        },
+        CuriosityChoice::Spatial {
+            feature: FeatureKind::Direct,
+            structure: StructureKind::Independent,
+            eta: 0.3,
+        },
+        CuriosityChoice::Rnd { eta: 0.3 },
+    ];
+    for choice in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(choice.label()), &choice, |b, &ch| {
+            let mut trainer = variant_trainer(ch);
+            b.iter(|| black_box(trainer.train_episode()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig4, bench_fig4);
+criterion_main!(fig4);

@@ -1,0 +1,41 @@
+//! Fig. 5 as a benchmark: per-episode training cost of the four reward
+//! mechanisms (dense/sparse × with/without curiosity). Complements
+//! `vc-experiments fig5`, which regenerates the corresponding learning
+//! curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drl_cews::prelude::*;
+use std::hint::black_box;
+use vc_bench::bench_env;
+use vc_env::reward::RewardMode;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/train_episode_per_mechanism");
+    group.sample_size(10);
+    let mechanisms = [
+        ("sparse+curiosity", RewardMode::Sparse, CuriosityChoice::paper_spatial()),
+        ("sparse-only", RewardMode::Sparse, CuriosityChoice::None),
+        ("dense+curiosity", RewardMode::Dense, CuriosityChoice::paper_spatial()),
+        ("dense-only", RewardMode::Dense, CuriosityChoice::None),
+    ];
+    for (label, reward, curiosity) in mechanisms {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(reward, curiosity),
+            |b, &(r, cur)| {
+                let mut cfg = TrainerConfig::drl_cews(bench_env());
+                cfg.num_employees = 1;
+                cfg.ppo.epochs = 1;
+                cfg.ppo.minibatch = 32;
+                cfg.reward_mode = r;
+                cfg.curiosity = cur;
+                let mut trainer = Trainer::new(cfg);
+                b.iter(|| black_box(trainer.train_episode()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(fig5, bench_fig5);
+criterion_main!(fig5);

@@ -1,0 +1,69 @@
+//! Figs. 6–8 as a benchmark: the per-episode cost of every compared
+//! algorithm on the shared scenario — the compute dimension of the five-way
+//! comparison whose quality dimension `vc-experiments fig678` regenerates.
+//! Also sweeps the worker axis for the planners, reproducing the cost side
+//! of Fig. x(b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vc_baselines::prelude::*;
+use vc_bench::{bench_dppo, bench_env, bench_trainer};
+use vc_env::prelude::*;
+
+fn planner_episode(scheduler: &mut dyn Scheduler, env: &mut CrowdsensingEnv, rng: &mut StdRng) {
+    env.reset();
+    while !env.done() {
+        let actions = scheduler.decide(env, rng);
+        env.step(&actions);
+    }
+}
+
+fn bench_trained_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig678/train_episode");
+    group.sample_size(10);
+    group.bench_function("drl-cews", |b| {
+        let mut t = bench_trainer(1, 32);
+        b.iter(|| black_box(t.train_episode()));
+    });
+    group.bench_function("dppo", |b| {
+        let mut t = bench_dppo(1, 32);
+        b.iter(|| black_box(t.train_episode()));
+    });
+    group.bench_function("edics", |b| {
+        let env_cfg = bench_env();
+        let mut edics = Edics::new(
+            &env_cfg,
+            EdicsConfig {
+                ppo: vc_rl::ppo::PpoConfig { epochs: 1, minibatch: 32, ..Default::default() },
+                seed: 1,
+            },
+        );
+        let mut env = CrowdsensingEnv::new(env_cfg);
+        b.iter(|| black_box(edics.train_episode(&mut env)));
+    });
+    group.finish();
+}
+
+fn bench_planners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig678/planner_episode");
+    group.sample_size(10);
+    for &workers in &[1usize, 2, 5] {
+        let mut cfg = bench_env();
+        cfg.num_workers = workers;
+        let mut env = CrowdsensingEnv::new(cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        group.bench_with_input(BenchmarkId::new("greedy", workers), &workers, |b, _| {
+            b.iter(|| planner_episode(&mut GreedyScheduler, &mut env, &mut rng))
+        });
+        let mut env2 = env.clone();
+        group.bench_with_input(BenchmarkId::new("d&c", workers), &workers, |b, _| {
+            b.iter(|| planner_episode(&mut DncScheduler::default(), &mut env2, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig678, bench_trained_methods, bench_planners);
+criterion_main!(fig678);

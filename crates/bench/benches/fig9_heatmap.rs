@@ -1,0 +1,25 @@
+//! Fig. 9 as a benchmark: the cost of one heat-map snapshot (an evaluation
+//! rollout depositing the spatial curiosity value at every visited cell),
+//! which is the unit of work behind `vc-experiments fig9`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drl_cews::experiments::{fig9, Scale};
+use drl_cews::prelude::*;
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let (_, cfg) = fig9::configs(&scale).into_iter().next().unwrap();
+    let env_cfg = cfg.env.clone();
+    let trainer = Trainer::new(cfg);
+    c.bench_function("fig9/heatmap_snapshot", |b| {
+        b.iter(|| black_box(fig9::snapshot(&trainer, &env_cfg, 0, 1).heatmap.total()))
+    });
+}
+
+criterion_group!(
+    name = fig9_bench;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig9
+);
+criterion_main!(fig9_bench);

@@ -1,0 +1,52 @@
+//! # vc-bench — shared fixtures for the DRL-CEWS benchmark suite
+//!
+//! Every table and figure of the paper has a corresponding Criterion bench
+//! target (see `benches/`); this library provides the scenario and trainer
+//! fixtures they share. Benchmarks run at a reduced but structurally
+//! faithful scale: one training episode of the real chief–employee loop is
+//! the unit of work, so relative costs across configurations reproduce the
+//! paper's wall-clock comparisons (Fig. 3) even though absolute numbers
+//! differ from the authors' GPU testbed.
+
+use drl_cews::prelude::*;
+use vc_env::prelude::*;
+
+/// The benchmark scenario: the paper map at a laptop-scale horizon.
+pub fn bench_env() -> EnvConfig {
+    let mut cfg = EnvConfig::paper_default();
+    cfg.horizon = 40;
+    cfg.num_pois = 80;
+    cfg
+}
+
+/// A DRL-CEWS trainer configured for benchmarking, with `employees` threads
+/// and the given PPO minibatch size.
+pub fn bench_trainer(employees: usize, minibatch: usize) -> Trainer {
+    let mut cfg = TrainerConfig::drl_cews(bench_env());
+    cfg.num_employees = employees;
+    cfg.ppo.epochs = 1;
+    cfg.ppo.minibatch = minibatch;
+    Trainer::new(cfg)
+}
+
+/// A DPPO trainer at benchmark scale.
+pub fn bench_dppo(employees: usize, minibatch: usize) -> Trainer {
+    let mut cfg = TrainerConfig::dppo(bench_env());
+    cfg.num_employees = employees;
+    cfg.ppo.epochs = 1;
+    cfg.ppo.minibatch = minibatch;
+    Trainer::new(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_construct() {
+        assert!(bench_env().validate().is_ok());
+        let mut t = bench_trainer(1, 16);
+        let s = t.train_episode();
+        assert!(s.kappa.is_finite());
+    }
+}

@@ -1,0 +1,135 @@
+//! Command-line harness regenerating every table and figure of the paper.
+//!
+//! ```text
+//! vc-experiments <experiment> [--scale smoke|quick|full] [--out DIR]
+//!
+//! experiments:
+//!   table2    Table II  (#employees x batch size)
+//!   fig2c     Fig. 2(c) (trajectories)
+//!   fig3      Fig. 3    (training time vs #employees)
+//!   fig4      Fig. 4    (curiosity feature selection)
+//!   fig5      Fig. 5    (dense/sparse reward x curiosity)
+//!   fig678    Figs. 6-8 (all four sweeps, all five algorithms)
+//!   sweep:<axis>  one sweep only (axis: pois|workers|budget|stations)
+//!   fig9      Fig. 9    (curiosity heat maps)
+//!   ablations masking / identity-mark / eta ablations (DESIGN.md)
+//!   all       everything above
+//! ```
+
+use drl_cews::experiments::{ablations, fig2c, fig3, fig4, fig5, fig9, sweeps, table2, Scale};
+use drl_cews::report::Table;
+use std::path::PathBuf;
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or_else(usage)?;
+    let mut scale = Scale::quick();
+    let mut out = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let name = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::from_name(&name)
+                    .ok_or_else(|| format!("unknown scale '{name}' (smoke|quick|full)"))?;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(args.next().ok_or("--out needs a directory")?));
+            }
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(Args { experiment, scale, out })
+}
+
+fn usage() -> String {
+    "usage: vc-experiments <table2|fig2c|fig3|fig4|fig5|fig678|sweep:<axis>|fig9|ablations|all> \
+     [--scale smoke|quick|full] [--out DIR]"
+        .to_string()
+}
+
+fn emit(table: &Table, out: &Option<PathBuf>, slug: &str) {
+    table.print();
+    if let Some(dir) = out {
+        let path = dir.join(format!("{slug}.json"));
+        match table.write_json(&path) {
+            Ok(()) => println!("(wrote {})", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn run_experiment(name: &str, scale: &Scale, out: &Option<PathBuf>) -> Result<(), String> {
+    match name {
+        "table2" => emit(&table2::run(scale), out, "table2"),
+        "fig3" => emit(&fig3::run(scale), out, "fig3"),
+        "fig4" => emit(&fig4::run(scale), out, "fig4"),
+        "fig5" => emit(&fig5::run(scale), out, "fig5"),
+        "fig2c" => {
+            let (table, run) = fig2c::run(scale);
+            emit(&table, out, "fig2c");
+            for w in 0..run.env_cfg.num_workers {
+                println!("worker {w} trajectory:");
+                println!("{}\n", run.trajectory.ascii(&run.env_cfg, w));
+            }
+        }
+        "fig9" => {
+            let (table, snaps) = fig9::run(scale);
+            emit(&table, out, "fig9");
+            for (label, snap) in &snaps {
+                println!("{label} @ episode {} (curiosity heat map):", snap.episode);
+                println!("{}\n", snap.heatmap.ascii());
+            }
+        }
+        "ablations" => {
+            for (i, t) in ablations::run(scale).iter().enumerate() {
+                emit(t, out, &format!("ablation_{i}"));
+            }
+        }
+        "fig678" => {
+            for axis in sweeps::Axis::ALL {
+                emit(&sweeps::run(scale, axis), out, &format!("fig678_{}", axis.label()));
+            }
+        }
+        other => {
+            if let Some(axis_name) = other.strip_prefix("sweep:") {
+                let axis = sweeps::Axis::from_name(axis_name)
+                    .ok_or_else(|| format!("unknown sweep axis '{axis_name}'"))?;
+                emit(&sweeps::run(scale, axis), out, &format!("fig678_{axis_name}"));
+            } else {
+                return Err(format!("unknown experiment '{other}'\n{}", usage()));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let list: Vec<String> = if args.experiment == "all" {
+        ["table2", "fig2c", "fig3", "fig4", "fig5", "fig678", "fig9", "ablations"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        vec![args.experiment.clone()]
+    };
+    for name in list {
+        println!("### {name} (scale: {} episodes) ###\n", args.scale.train_episodes);
+        if let Err(e) = run_experiment(&name, &args.scale, &args.out) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Train a DRL-CEWS (or variant) policy from the command line and compare
+//! it against the engineered baselines.
+//!
+//! ```text
+//! vc-train [--config ENV_JSON] [--episodes N] [--employees M] [--epochs K] [--minibatch B]
+//!          [--lr F] [--ent F] [--eta F] [--reward sparse|dense]
+//!          [--curiosity spatial|rnd|icm|none] [--mask] [--pois P]
+//!          [--workers W] [--horizon T] [--seed S] [--log-every N]
+//!          [--probe] [--save-ckpt PATH] [--load-ckpt PATH] [--save-csv PATH]
+//!          [--record PATH]
+//! ```
+
+use drl_cews::prelude::*;
+use vc_baselines::prelude::*;
+use vc_env::prelude::*;
+
+fn parse_f32(v: Option<String>, flag: &str) -> f32 {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| panic!("{flag} needs a number"))
+}
+
+fn parse_usize(v: Option<String>, flag: &str) -> usize {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| panic!("{flag} needs an integer"))
+}
+
+fn main() {
+    let mut env = EnvConfig::paper_default();
+    env.num_pois = 100;
+    env.horizon = 200;
+    let mut cfg = TrainerConfig::drl_cews(env);
+    cfg.num_employees = 2;
+    cfg.ppo.epochs = 2;
+    cfg.ppo.minibatch = 64;
+    let mut episodes = 300usize;
+    let mut log_every = 10usize;
+    let mut probe = false;
+    let mut save_ckpt: Option<String> = None;
+    let mut load_ckpt: Option<String> = None;
+    let mut save_csv: Option<String> = None;
+    let mut record: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--config" => {
+                // Load a full EnvConfig from JSON (as produced by serde /
+                // MapBuilder::config); later flags may still override fields.
+                let path = args.next().expect("--config needs a path");
+                let json = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                cfg.env = serde_json::from_str(&json)
+                    .unwrap_or_else(|e| panic!("invalid EnvConfig JSON in {path}: {e}"));
+            }
+            "--episodes" => episodes = parse_usize(args.next(), "--episodes"),
+            "--employees" => cfg.num_employees = parse_usize(args.next(), "--employees"),
+            "--epochs" => cfg.ppo.epochs = parse_usize(args.next(), "--epochs"),
+            "--minibatch" => cfg.ppo.minibatch = parse_usize(args.next(), "--minibatch"),
+            "--lr" => cfg.ppo.lr = parse_f32(args.next(), "--lr"),
+            "--gamma" => cfg.ppo.gamma = parse_f32(args.next(), "--gamma"),
+            "--ent" => cfg.ppo.ent_coef = parse_f32(args.next(), "--ent"),
+            "--eta" => {
+                let eta = parse_f32(args.next(), "--eta");
+                cfg.curiosity = match cfg.curiosity {
+                    CuriosityChoice::Spatial { feature, structure, .. } => {
+                        CuriosityChoice::Spatial { feature, structure, eta }
+                    }
+                    CuriosityChoice::Rnd { .. } => CuriosityChoice::Rnd { eta },
+                    CuriosityChoice::Icm { .. } => CuriosityChoice::Icm { eta },
+                    CuriosityChoice::Count { .. } => CuriosityChoice::Count { eta },
+                    CuriosityChoice::None => CuriosityChoice::None,
+                };
+            }
+            "--reward" => {
+                cfg.reward_mode = match args.next().as_deref() {
+                    Some("sparse") => vc_env::reward::RewardMode::Sparse,
+                    Some("dense") => vc_env::reward::RewardMode::Dense,
+                    other => panic!("--reward sparse|dense, got {other:?}"),
+                };
+            }
+            "--curiosity" => {
+                cfg.curiosity = match args.next().as_deref() {
+                    Some("spatial") => CuriosityChoice::paper_spatial(),
+                    Some("rnd") => CuriosityChoice::Rnd { eta: 0.3 },
+                    Some("icm") => CuriosityChoice::Icm { eta: 0.3 },
+                    Some("count") => CuriosityChoice::Count { eta: 0.3 },
+                    Some("none") => CuriosityChoice::None,
+                    other => panic!("--curiosity spatial|rnd|icm|count|none, got {other:?}"),
+                };
+            }
+            "--mask" => cfg.mask_invalid = true,
+            "--clip-value" => cfg.ppo.clip_value = true,
+            "--pois" => cfg.env.num_pois = parse_usize(args.next(), "--pois"),
+            "--workers" => cfg.env.num_workers = parse_usize(args.next(), "--workers"),
+            "--horizon" => cfg.env.horizon = parse_usize(args.next(), "--horizon"),
+            "--seed" => cfg.seed = parse_usize(args.next(), "--seed") as u64,
+            "--log-every" => log_every = parse_usize(args.next(), "--log-every"),
+            "--probe" => probe = true,
+            "--save-ckpt" => save_ckpt = Some(args.next().expect("--save-ckpt needs a path")),
+            "--load-ckpt" => load_ckpt = Some(args.next().expect("--load-ckpt needs a path")),
+            "--save-csv" => save_csv = Some(args.next().expect("--save-csv needs a path")),
+            "--record" => record = Some(args.next().expect("--record needs a path")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    println!(
+        "training: {} reward, curiosity={}, M={}, K={}, batch={}, lr={}, ent={}, mask={}, \
+         env: W={} P={} T={}",
+        match cfg.reward_mode {
+            vc_env::reward::RewardMode::Sparse => "sparse",
+            vc_env::reward::RewardMode::Dense => "dense",
+        },
+        cfg.curiosity.label(),
+        cfg.num_employees,
+        cfg.ppo.epochs,
+        cfg.ppo.minibatch,
+        cfg.ppo.lr,
+        cfg.ppo.ent_coef,
+        cfg.mask_invalid,
+        cfg.env.num_workers,
+        cfg.env.num_pois,
+        cfg.env.horizon,
+    );
+    let env = cfg.env.clone();
+    let mut trainer = Trainer::new(cfg);
+    if let Some(path) = load_ckpt {
+        let data = std::fs::read(&path).expect("read checkpoint");
+        trainer.restore(&data).expect("restore checkpoint");
+        println!("restored policy from {path} (pass --episodes 0 to evaluate only)");
+    }
+    let start = std::time::Instant::now();
+    for ep in 0..episodes {
+        let s = trainer.train_episode();
+        if ep % log_every == 0 || ep + 1 == episodes {
+            let probe_err = if probe {
+                trainer.curiosity().as_spatial().map(|sp| {
+                    let mut total = 0.0f32;
+                    let mut n = 0;
+                    for i in 0..8 {
+                        for mv in [1usize, 3, 5, 7] {
+                            let x = 1.0 + i as f32 * 1.8;
+                            let from = vc_env::geometry::Point::new(x, x);
+                            let (dx, dy) = vc_env::action::Move::from_index(mv).displacement(1.0);
+                            let to = from.offset(dx, dy);
+                            total += sp.prediction_error(0, &from, mv, &to);
+                            n += 1;
+                        }
+                    }
+                    total / n as f32
+                })
+            } else {
+                None
+            };
+            println!(
+                "episode {ep:>4}: kappa={:.3} xi={:.3} rho={:.3} r_ext={:+.2} r_int={:.2} coll={}{}",
+                s.kappa, s.xi, s.rho, s.ext_reward, s.int_reward, s.collisions,
+                probe_err.map(|e| format!(" probe_err={e:.3}")).unwrap_or_default()
+            );
+        }
+    }
+    println!("trained {episodes} episodes in {:.1}s", start.elapsed().as_secs_f32());
+
+    if let Some(path) = save_ckpt {
+        std::fs::write(&path, trainer.checkpoint()).expect("write checkpoint");
+        println!("checkpoint -> {path}");
+    }
+    if let Some(path) = save_csv {
+        drl_cews::training_log::write_csv(trainer.history(), std::path::Path::new(&path))
+            .expect("write training CSV");
+        println!("training curve -> {path}");
+    }
+    if let Some(path) = record {
+        // Record one evaluation episode with the trained policy.
+        use rand::SeedableRng;
+        use vc_rl::prelude::*;
+        let mut rec_env = vc_env::env::CrowdsensingEnv::new(env.clone());
+        let mut recorder = vc_env::recording::Recorder::new(&rec_env);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let opts = PolicyOptions {
+            mode: SampleMode::Stochastic,
+            mask_invalid: trainer.config().mask_invalid,
+        };
+        while !rec_env.done() {
+            let a = sample_action(trainer.net(), trainer.store(), &rec_env, opts, &mut rng);
+            recorder.log(&a.actions);
+            rec_env.step(&a.actions);
+        }
+        let recording = recorder.finish(&rec_env);
+        std::fs::write(&path, recording.to_json()).expect("write recording");
+        println!("evaluation recording -> {path} (replay with vc_replay)");
+    }
+
+    let mut policy = PolicyScheduler::from_trainer(&trainer, "trained");
+    for (name, m) in [
+        ("trained", evaluate(&mut policy, &env, 4, 1)),
+        ("d&c", evaluate(&mut DncScheduler::default(), &env, 4, 1)),
+        ("greedy", evaluate(&mut GreedyScheduler, &env, 4, 1)),
+        ("random", evaluate(&mut RandomScheduler, &env, 4, 1)),
+    ] {
+        println!(
+            "  {name:>8}: kappa={:.3} xi={:.3} rho={:.3}",
+            m.data_collection_ratio, m.remaining_data_ratio, m.energy_efficiency
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Evaluation of trained policies (the testing process of Section VI-D):
+//! only the policy network π drives the workers; the environment supplies
+//! states and metrics.
+
+use crate::trainer::Trainer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vc_baselines::scheduler::Scheduler;
+use vc_env::prelude::*;
+use vc_nn::prelude::*;
+use vc_rl::prelude::*;
+
+/// A trained actor–critic wrapped as a [`Scheduler`], so learned policies
+/// and engineered baselines run through the same evaluation harness.
+pub struct PolicyScheduler {
+    net: ActorCritic,
+    store: ParamStore,
+    opts: PolicyOptions,
+    rng: StdRng,
+    name: &'static str,
+}
+
+impl PolicyScheduler {
+    /// Wraps a network + parameters. Evaluation uses stochastic sampling by
+    /// default (matching the paper's testing process, which keeps the policy
+    /// distributional); `mask_invalid` should match the training setting.
+    pub fn new(
+        net: ActorCritic,
+        store: ParamStore,
+        greedy: bool,
+        mask_invalid: bool,
+        name: &'static str,
+    ) -> Self {
+        Self {
+            net,
+            store,
+            opts: PolicyOptions {
+                mode: if greedy { SampleMode::Greedy } else { SampleMode::Stochastic },
+                mask_invalid,
+            },
+            rng: StdRng::seed_from_u64(0xE7A1),
+            name,
+        }
+    }
+
+    /// Snapshot of a trainer's current global policy, evaluated under the
+    /// same action-validity masking it was trained with.
+    pub fn from_trainer(trainer: &Trainer, name: &'static str) -> Self {
+        Self::new(
+            trainer.net().clone(),
+            trainer.store().clone(),
+            false,
+            trainer.config().mask_invalid,
+            name,
+        )
+    }
+}
+
+impl Scheduler for PolicyScheduler {
+    fn decide(&mut self, env: &CrowdsensingEnv, _rng: &mut StdRng) -> Vec<WorkerAction> {
+        sample_action(&self.net, &self.store, env, self.opts, &mut self.rng).actions
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Runs `episodes` evaluation episodes on the configured scenario and
+/// returns the mean metrics. Episodes share the scenario (the paper
+/// evaluates on the designed map it trained on) and differ only through the
+/// schedulers' own stochasticity, seeded by `seed`.
+pub fn evaluate(
+    scheduler: &mut dyn Scheduler,
+    env_cfg: &EnvConfig,
+    episodes: usize,
+    seed: u64,
+) -> Metrics {
+    assert!(episodes > 0, "need at least one evaluation episode");
+    let mut env = CrowdsensingEnv::new(env_cfg.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = Metrics::default();
+    for _ep in 0..episodes {
+        env.reset();
+        let m = vc_baselines::scheduler::run_episode(scheduler, &mut env, &mut rng);
+        acc.data_collection_ratio += m.data_collection_ratio;
+        acc.remaining_data_ratio += m.remaining_data_ratio;
+        acc.energy_efficiency += m.energy_efficiency;
+        acc.fairness_index += m.fairness_index;
+    }
+    let n = episodes as f32;
+    Metrics {
+        data_collection_ratio: acc.data_collection_ratio / n,
+        remaining_data_ratio: acc.remaining_data_ratio / n,
+        energy_efficiency: acc.energy_efficiency / n,
+        fairness_index: acc.fairness_index / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{CuriosityChoice, TrainerConfig};
+    use vc_baselines::prelude::*;
+
+    #[test]
+    fn policy_scheduler_runs_episodes() {
+        let mut env_cfg = EnvConfig::tiny();
+        env_cfg.horizon = 10;
+        let mut cfg = TrainerConfig::drl_cews(env_cfg.clone()).quick();
+        cfg.curiosity = CuriosityChoice::None;
+        let t = crate::trainer::Trainer::new(cfg);
+        let mut sched = PolicyScheduler::from_trainer(&t, "drl-cews");
+        let m = evaluate(&mut sched, &env_cfg, 2, 0);
+        assert!((0.0..=1.0).contains(&m.data_collection_ratio));
+        assert_eq!(sched.name(), "drl-cews");
+    }
+
+    #[test]
+    fn evaluate_averages_over_scenarios() {
+        let mut env_cfg = EnvConfig::tiny();
+        env_cfg.horizon = 20;
+        env_cfg.num_pois = 40;
+        let single = evaluate(&mut GreedyScheduler, &env_cfg, 1, 3);
+        let multi = evaluate(&mut GreedyScheduler, &env_cfg, 4, 3);
+        // Different scenario draws, so the averages should differ a bit.
+        assert!((single.data_collection_ratio - multi.data_collection_ratio).abs() > 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_episodes_panics() {
+        evaluate(&mut RandomScheduler, &EnvConfig::tiny(), 0, 0);
+    }
+}

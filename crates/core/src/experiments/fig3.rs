@@ -1,0 +1,77 @@
+//! Fig. 3: training time as a function of the number of employees.
+//!
+//! The paper's takeaway: wall-clock per episode grows with M (the
+//! synchronous chief waits for every employee each round), and at batch 250
+//! going from 8 to 16 employees costs ~45% more time for ~1.7% more ρ. We
+//! reproduce the *relative* time curve; on a 1-core container the growth is
+//! roughly linear in M since employees cannot physically run in parallel.
+
+use super::Scale;
+use crate::report::{f2, Table};
+use crate::trainer::{Trainer, TrainerConfig};
+use std::time::Instant;
+
+/// Measured training time for one employee count.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    pub employees: usize,
+    pub seconds_per_episode: f32,
+}
+
+/// Times a few training episodes for one employee count.
+pub fn time_employees(scale: &Scale, employees: usize, episodes: usize) -> Timing {
+    let env = scale.base_env();
+    let mut cfg = scale.tune(TrainerConfig::drl_cews(env));
+    cfg.num_employees = employees;
+    let mut trainer = Trainer::new(cfg);
+    // One warm-up episode excluded from the measurement.
+    trainer.train_episode();
+    let start = Instant::now();
+    trainer.train(episodes);
+    Timing {
+        employees,
+        seconds_per_episode: start.elapsed().as_secs_f32() / episodes.max(1) as f32,
+    }
+}
+
+/// Regenerates Fig. 3 (per-episode training time vs M) at the given scale.
+pub fn run(scale: &Scale) -> Table {
+    let employees = scale.pick(&super::table2::EMPLOYEES);
+    let episodes = (scale.train_episodes / 10).max(2);
+    let mut table = Table::new(
+        "Fig. 3: training time vs number of employees (batch fixed)",
+        &["employees", "sec/episode", "relative"],
+    );
+    let timings: Vec<Timing> =
+        employees.iter().map(|&e| time_employees(scale, e, episodes)).collect();
+    let base = timings[0].seconds_per_episode.max(1e-9);
+    for t in &timings {
+        table.push_row(vec![
+            t.employees.to_string(),
+            format!("{:.3}", t.seconds_per_episode),
+            f2(t.seconds_per_episode / base),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_positive_and_grows_with_employees() {
+        let scale = Scale::smoke();
+        let t1 = time_employees(&scale, 1, 2);
+        let t4 = time_employees(&scale, 4, 2);
+        assert!(t1.seconds_per_episode > 0.0);
+        // On a single core, 4 synchronous employees must cost more wall
+        // clock than 1 (each does a full rollout + gradient pass).
+        assert!(
+            t4.seconds_per_episode > t1.seconds_per_episode,
+            "4 employees ({}) not slower than 1 ({})",
+            t4.seconds_per_episode,
+            t1.seconds_per_episode
+        );
+    }
+}

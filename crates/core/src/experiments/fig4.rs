@@ -1,0 +1,95 @@
+//! Fig. 4: feature selection for the curiosity model.
+//!
+//! Five intrinsic-reward variants train on the W = 2, P = 200 scenario:
+//! {shared, independent} × {embedding, direct} spatial curiosity plus RND.
+//! The paper's findings: embedding ≻ direct features, shared ≻ independent
+//! structure, and RND is inefficient in this multi-worker system. We emit
+//! the κ/ξ/ρ training curves (sampled at checkpoints) per variant.
+
+use super::Scale;
+use crate::report::{f3, Table};
+use crate::trainer::{CuriosityChoice, Trainer, TrainerConfig};
+use vc_curiosity::prelude::{FeatureKind, StructureKind};
+use vc_rl::chief::EpisodeStats;
+
+/// The compared variants: the paper's five (four spatial combinations plus
+/// RND), extended with a parameter-free count-based reference that bounds
+/// how much of the spatial model's effect is pure visitation novelty.
+pub fn variants() -> Vec<(String, CuriosityChoice)> {
+    let mut v = Vec::new();
+    for structure in [StructureKind::Shared, StructureKind::Independent] {
+        for feature in [FeatureKind::Embedding, FeatureKind::Direct] {
+            let c = CuriosityChoice::Spatial { feature, structure, eta: 0.3 };
+            v.push((c.label(), c));
+        }
+    }
+    v.push(("rnd".into(), CuriosityChoice::Rnd { eta: 0.3 }));
+    v.push(("count".into(), CuriosityChoice::Count { eta: 0.3 }));
+    v
+}
+
+/// Training-curve checkpoints for one variant: `(episode, mean stats)`.
+pub fn train_variant(
+    scale: &Scale,
+    choice: CuriosityChoice,
+    checkpoints: usize,
+) -> Vec<(usize, EpisodeStats)> {
+    let mut env = scale.base_env();
+    env.num_pois = 200; // the paper's Fig. 4 setting (P = 200, W = 2)
+    env.num_workers = 2;
+    let mut cfg = scale.tune(TrainerConfig::drl_cews(env));
+    cfg.curiosity = choice;
+    let mut trainer = Trainer::new(cfg);
+    let per = (scale.train_episodes / checkpoints.max(1)).max(1);
+    let mut out = Vec::new();
+    for c in 1..=checkpoints {
+        let stats = trainer.train(per);
+        // Average the last few episodes of the window to de-noise.
+        let tail = &stats[stats.len().saturating_sub(3)..];
+        out.push((c * per, EpisodeStats::mean(tail)));
+    }
+    out
+}
+
+/// Regenerates Fig. 4 at the given scale.
+pub fn run(scale: &Scale) -> Table {
+    let mut table = Table::new(
+        "Fig. 4: curiosity feature selection (training curves, W=2 P=200)",
+        &["variant", "episode", "kappa", "xi", "rho", "r_int"],
+    );
+    for (label, choice) in variants() {
+        for (ep, s) in train_variant(scale, choice, 3) {
+            table.push_row(vec![
+                label.clone(),
+                ep.to_string(),
+                f3(s.kappa),
+                f3(s.xi),
+                f3(s.rho),
+                format!("{:.2}", s.int_reward),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_are_paper_five_plus_count_reference() {
+        let v = variants();
+        assert_eq!(v.len(), 6);
+        assert_eq!(v[0].0, "shared-embedding");
+        assert_eq!(v[4].0, "rnd");
+        assert_eq!(v[5].0, "count");
+    }
+
+    #[test]
+    fn smoke_variant_curve_has_checkpoints() {
+        let curve = train_variant(&Scale::smoke(), CuriosityChoice::paper_spatial(), 2);
+        assert_eq!(curve.len(), 2);
+        assert!(curve[0].0 < curve[1].0);
+        assert!(curve[0].1.int_reward > 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Figs. 6–8: κ, ξ and ρ for all five algorithms across the four scenario
+//! sweeps — number of PoIs (a), number of workers (b), energy budget (c)
+//! and number of charging stations (d).
+//!
+//! One run of a sweep point trains the two trainer-based methods
+//! (DRL-CEWS, DPPO) and Edics on the scenario, then evaluates all five
+//! algorithms on identical held-out scenario seeds. Figs. 6, 7 and 8 are
+//! the κ, ξ and ρ columns of the same measurement.
+
+use super::Scale;
+use crate::eval::{evaluate, PolicyScheduler};
+use crate::report::{f3, Table};
+use crate::trainer::{Trainer, TrainerConfig};
+use vc_baselines::prelude::*;
+use vc_env::prelude::*;
+
+/// The four sweep axes of Figs. 6–8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Axis {
+    /// Fig. x(a): P ∈ {100..500}, W = 2.
+    Pois,
+    /// Fig. x(b): W ∈ {1..25}, P = 300.
+    Workers,
+    /// Fig. x(c): initial energy budget b₀.
+    Budget,
+    /// Fig. x(d): number of charging stations ∈ {2..10}.
+    Stations,
+}
+
+impl Axis {
+    /// All axes in paper order.
+    pub const ALL: [Axis; 4] = [Axis::Pois, Axis::Workers, Axis::Budget, Axis::Stations];
+
+    /// The full value axis from the paper.
+    pub fn values(self) -> Vec<usize> {
+        match self {
+            Axis::Pois => vec![100, 200, 300, 400, 500],
+            Axis::Workers => vec![1, 2, 5, 10, 25],
+            Axis::Budget => vec![20, 40, 60, 80, 100],
+            Axis::Stations => vec![2, 4, 6, 8, 10],
+        }
+    }
+
+    /// Applies one sweep value to a base environment.
+    pub fn apply(self, env: &mut EnvConfig, value: usize) {
+        match self {
+            Axis::Pois => {
+                env.num_pois = value;
+                env.num_workers = 2;
+            }
+            Axis::Workers => {
+                env.num_workers = value;
+                env.num_pois = 300;
+            }
+            Axis::Budget => {
+                env.initial_energy = value as f32;
+            }
+            Axis::Stations => {
+                env.num_stations = value;
+            }
+        }
+    }
+
+    /// Axis label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Axis::Pois => "pois",
+            Axis::Workers => "workers",
+            Axis::Budget => "budget",
+            Axis::Stations => "stations",
+        }
+    }
+
+    /// Parses an axis name.
+    pub fn from_name(name: &str) -> Option<Axis> {
+        Axis::ALL.iter().copied().find(|a| a.label() == name)
+    }
+}
+
+/// One algorithm's metrics at one sweep value.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    pub algo: &'static str,
+    pub value: usize,
+    pub metrics: Metrics,
+}
+
+/// Runs all five algorithms on one scenario, training where needed.
+pub fn run_point(scale: &Scale, env: &EnvConfig, value: usize) -> Vec<PointResult> {
+    let mut results = Vec::with_capacity(5);
+
+    // DRL-CEWS.
+    let mut cews = Trainer::new(scale.tune(TrainerConfig::drl_cews(env.clone())));
+    cews.train(scale.train_episodes);
+    let mut cews_policy = PolicyScheduler::from_trainer(&cews, "drl-cews");
+    results.push(PointResult {
+        algo: "drl-cews",
+        value,
+        metrics: evaluate(&mut cews_policy, env, scale.eval_episodes, 7),
+    });
+    drop(cews);
+
+    // DPPO.
+    let mut dppo_cfg = scale.tune(TrainerConfig::dppo(env.clone()));
+    // Keep the paper's batch-250 only at full scale; otherwise follow scale.
+    dppo_cfg.ppo.minibatch = scale.minibatch;
+    let mut dppo = Trainer::new(dppo_cfg);
+    dppo.train(scale.train_episodes);
+    let mut dppo_policy = PolicyScheduler::from_trainer(&dppo, "dppo");
+    results.push(PointResult {
+        algo: "dppo",
+        value,
+        metrics: evaluate(&mut dppo_policy, env, scale.eval_episodes, 7),
+    });
+    drop(dppo);
+
+    // Edics (multi-agent, trains on its own environment clone).
+    let mut edics = Edics::new(
+        env,
+        EdicsConfig {
+            ppo: vc_rl::ppo::PpoConfig {
+                epochs: scale.epochs,
+                minibatch: scale.minibatch,
+                ..Default::default()
+            },
+            seed: 9,
+        },
+    );
+    // Edics trains W independent agents, so its per-episode cost scales
+    // with W²; hold its wall-clock budget roughly constant across the
+    // worker sweep by dividing the episode budget by W.
+    let edics_episodes = (scale.train_episodes / env.num_workers.max(1)).max(30);
+    let mut edics_env = CrowdsensingEnv::new(env.clone());
+    for _ in 0..edics_episodes {
+        edics.train_episode(&mut edics_env);
+    }
+    results.push(PointResult {
+        algo: "edics",
+        value,
+        metrics: evaluate(&mut edics, env, scale.eval_episodes, 7),
+    });
+
+    // D&C and Greedy need no training.
+    results.push(PointResult {
+        algo: "d&c",
+        value,
+        metrics: evaluate(&mut DncScheduler::default(), env, scale.eval_episodes, 7),
+    });
+    results.push(PointResult {
+        algo: "greedy",
+        value,
+        metrics: evaluate(&mut GreedyScheduler, env, scale.eval_episodes, 7),
+    });
+    results
+}
+
+/// Regenerates one sweep (one panel each of Figs. 6, 7 and 8).
+pub fn run(scale: &Scale, axis: Axis) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Figs. 6-8 ({}): kappa (Fig.6) / xi (Fig.7) / rho (Fig.8) vs {}",
+            axis.label(),
+            axis.label()
+        ),
+        &[axis.label(), "algo", "kappa", "xi", "rho"],
+    );
+    for value in scale.pick(&axis.values()) {
+        let mut env = scale.base_env();
+        axis.apply(&mut env, value);
+        for r in run_point(scale, &env, value) {
+            table.push_row(vec![
+                value.to_string(),
+                r.algo.to_string(),
+                f3(r.metrics.data_collection_ratio),
+                f3(r.metrics.remaining_data_ratio),
+                f3(r.metrics.energy_efficiency),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axes_roundtrip_names() {
+        for a in Axis::ALL {
+            assert_eq!(Axis::from_name(a.label()), Some(a));
+        }
+        assert_eq!(Axis::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn axis_values_match_paper_ranges() {
+        assert_eq!(Axis::Pois.values(), vec![100, 200, 300, 400, 500]);
+        assert_eq!(Axis::Workers.values().last(), Some(&25));
+        assert_eq!(Axis::Stations.values(), vec![2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn apply_modifies_env() {
+        let mut env = EnvConfig::paper_default();
+        Axis::Budget.apply(&mut env, 20);
+        assert_eq!(env.initial_energy, 20.0);
+        Axis::Workers.apply(&mut env, 5);
+        assert_eq!(env.num_workers, 5);
+        assert_eq!(env.num_pois, 300);
+        assert!(env.validate().is_ok());
+    }
+
+    #[test]
+    fn smoke_point_covers_all_five_algorithms() {
+        let scale = Scale::smoke();
+        let mut env = scale.base_env();
+        Axis::Pois.apply(&mut env, 30);
+        env.num_pois = 30;
+        let rs = run_point(&scale, &env, 30);
+        let names: Vec<&str> = rs.iter().map(|r| r.algo).collect();
+        assert_eq!(names, vec!["drl-cews", "dppo", "edics", "d&c", "greedy"]);
+        for r in rs {
+            assert!((0.0..=1.0).contains(&r.metrics.data_collection_ratio));
+        }
+    }
+}

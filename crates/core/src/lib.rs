@@ -1,0 +1,45 @@
+//! # drl-cews — Curiosity-Driven Energy-Efficient Worker Scheduling
+//!
+//! The primary contribution of the ICDE 2020 paper, assembled from the
+//! workspace substrates:
+//!
+//! * [`trainer::Trainer`] — the chief–employee training loop combining PPO
+//!   ([`vc_rl`]), the spatial curiosity model ([`vc_curiosity`]) and the
+//!   sparse extrinsic reward ([`vc_env::reward`]); the DPPO comparator is
+//!   the same trainer with [`trainer::TrainerConfig::dppo`].
+//! * [`eval`] — the testing process of Section VI-D plus a [`vc_baselines`]
+//!   `Scheduler` adapter so learned and engineered policies share one
+//!   evaluation harness.
+//! * [`experiments`] — one module per table/figure of Section VII, each
+//!   regenerating the corresponding rows; driven by the `vc-experiments`
+//!   binary.
+//!
+//! ```
+//! use drl_cews::prelude::*;
+//! use vc_env::prelude::*;
+//!
+//! // Train DRL-CEWS briefly on a small scenario and evaluate the policy.
+//! let mut env = EnvConfig::tiny();
+//! env.horizon = 10;
+//! let mut cfg = TrainerConfig::drl_cews(env.clone()).quick();
+//! cfg.num_employees = 1;
+//! let mut trainer = Trainer::new(cfg);
+//! let stats = trainer.train(2);
+//! assert_eq!(stats.len(), 2);
+//!
+//! let mut policy = PolicyScheduler::from_trainer(&trainer, "drl-cews");
+//! let metrics = evaluate(&mut policy, &env, 1, 0);
+//! assert!(metrics.data_collection_ratio >= 0.0);
+//! ```
+
+pub mod eval;
+pub mod experiments;
+pub mod report;
+pub mod trainer;
+pub mod training_log;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::eval::{evaluate, PolicyScheduler};
+    pub use crate::trainer::{CuriosityChoice, Trainer, TrainerConfig};
+}

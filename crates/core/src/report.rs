@@ -1,0 +1,129 @@
+//! Experiment-result reporting: aligned terminal tables plus JSON dumps so
+//! the regenerated numbers can be diffed against EXPERIMENTS.md.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// A rectangular results table with a caption.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    pub caption: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with headers.
+    pub fn new(caption: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            caption: caption.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.caption));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = writeln!(lock, "{}", self.render());
+    }
+
+    /// Writes the table as JSON next to the terminal output.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string_pretty(self).expect("table serializes");
+        std::fs::write(path, json)
+    }
+}
+
+/// Formats an `f32` with 3 decimals (the paper's table precision).
+pub fn f3(x: f32) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats an `f32` with 2 decimals.
+pub fn f2(x: f32) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["algo", "kappa"]);
+        t.push_row(vec!["greedy".into(), "0.123".into()]);
+        t.push_row(vec!["drl-cews".into(), "0.9".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        let lines: Vec<&str> = r.lines().collect();
+        // caption + header + separator + 2 rows.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_row_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push_row(vec!["1".into()]);
+        let dir = std::env::temp_dir().join("vc_report_test");
+        let path = dir.join("t.json");
+        t.write_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"caption\": \"demo\""));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f2(1.0), "1.00");
+    }
+}

@@ -1,0 +1,556 @@
+//! The DRL-CEWS training loop (Algorithms 1–2).
+//!
+//! A [`Trainer`] owns the *global* PPO and curiosity parameter stores and
+//! their Adam optimizers (the chief), and drives M employee threads, each
+//! holding a local model copy and a local environment. One
+//! [`Trainer::train_episode`] runs:
+//!
+//! 1. broadcast global parameters;
+//! 2. every employee rolls out one episode (exploration, Alg. 1 lines 4–15),
+//!    adding the intrinsic curiosity reward to the extrinsic reward;
+//! 3. K synchronized update rounds (exploitation, lines 17–23): employees
+//!    compute minibatch gradients; the chief sums them through the gradient
+//!    buffers, averages over M, clips, steps Adam, and re-broadcasts.
+//!
+//! The same trainer realizes both **DRL-CEWS** (sparse reward + spatial
+//! curiosity) and the **DPPO** comparator (dense reward, no curiosity) via
+//! [`TrainerConfig`] presets, so the comparison in Figs. 5–8 shares one
+//! implementation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use vc_curiosity::prelude::*;
+use vc_env::prelude::*;
+use vc_nn::optim::{Adam, LrSchedule, Optimizer};
+use vc_nn::prelude::*;
+use vc_rl::prelude::*;
+
+/// Which intrinsic-reward model the trainer attaches.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CuriosityChoice {
+    /// No intrinsic reward.
+    None,
+    /// The paper's spatial curiosity model.
+    Spatial { feature: FeatureKind, structure: StructureKind, eta: f32 },
+    /// Random network distillation on the full state.
+    Rnd { eta: f32 },
+    /// Pathak-style ICM on the full state.
+    Icm { eta: f32 },
+    /// Count-based novelty bonus (parameter-free reference).
+    Count { eta: f32 },
+}
+
+impl CuriosityChoice {
+    /// The paper's final choice: shared structure + embedding feature,
+    /// η = 0.3.
+    pub fn paper_spatial() -> Self {
+        CuriosityChoice::Spatial {
+            feature: FeatureKind::Embedding,
+            structure: StructureKind::Shared,
+            eta: 0.3,
+        }
+    }
+
+    /// Instantiates the model for a scenario.
+    pub fn build(self, env_cfg: &EnvConfig, seed: u64) -> Box<dyn Curiosity> {
+        match self {
+            CuriosityChoice::None => Box::new(NoCuriosity::new()),
+            CuriosityChoice::Spatial { feature, structure, eta } => {
+                let mut cfg = vc_curiosity::spatial::SpatialCuriosityConfig::paper_default(
+                    env_cfg.grid,
+                    env_cfg.size_x,
+                    env_cfg.size_y,
+                    env_cfg.num_workers,
+                );
+                cfg.feature = feature;
+                cfg.structure = structure;
+                cfg.eta = eta;
+                cfg.seed = seed;
+                Box::new(SpatialCuriosity::new(cfg))
+            }
+            CuriosityChoice::Rnd { eta } => {
+                let mut cfg = RndConfig::for_state(vc_env::state::state_len(env_cfg));
+                cfg.eta = eta;
+                cfg.seed = seed;
+                Box::new(Rnd::new(cfg))
+            }
+            CuriosityChoice::Icm { eta } => {
+                let mut cfg = IcmConfig::for_state(
+                    vc_env::state::state_len(env_cfg),
+                    env_cfg.num_workers,
+                );
+                cfg.eta = eta;
+                cfg.seed = seed;
+                Box::new(Icm::new(cfg))
+            }
+            CuriosityChoice::Count { eta } => {
+                let mut cfg = CountCuriosityConfig::for_space(
+                    env_cfg.grid,
+                    env_cfg.size_x,
+                    env_cfg.size_y,
+                );
+                cfg.eta = eta;
+                Box::new(CountCuriosity::new(cfg))
+            }
+        }
+    }
+
+    /// Short label for experiment reports.
+    pub fn label(&self) -> String {
+        match self {
+            CuriosityChoice::None => "none".into(),
+            CuriosityChoice::Spatial { feature, structure, .. } => {
+                let f = match feature {
+                    FeatureKind::Embedding => "embedding",
+                    FeatureKind::Direct => "direct",
+                };
+                let s = match structure {
+                    StructureKind::Shared => "shared",
+                    StructureKind::Independent => "independent",
+                };
+                format!("{s}-{f}")
+            }
+            CuriosityChoice::Rnd { .. } => "rnd".into(),
+            CuriosityChoice::Icm { .. } => "icm".into(),
+            CuriosityChoice::Count { .. } => "count".into(),
+        }
+    }
+}
+
+/// Full trainer configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    pub env: EnvConfig,
+    pub ppo: PpoConfig,
+    pub reward_mode: RewardMode,
+    pub curiosity: CuriosityChoice,
+    /// Number of employee threads M (8 in the paper's final setting).
+    pub num_employees: usize,
+    /// Learning rate for the curiosity forward model.
+    pub curiosity_lr: f32,
+    /// Policy learning-rate schedule, evaluated against
+    /// [`Self::schedule_horizon`] episodes.
+    pub lr_schedule: LrSchedule,
+    /// Episode count over which `lr_schedule` anneals (progress saturates
+    /// at 1 beyond it). Ignored for the constant schedule.
+    pub schedule_horizon: usize,
+    /// Mask invalid moves/charges at sampling time. Defaults to `true`: on
+    /// this CPU-scale substrate, burning episodes on learning wall avoidance
+    /// from the collision penalty alone is wasted budget. Set `false` for
+    /// the paper-faithful penalty-only ablation.
+    pub mask_invalid: bool,
+    pub seed: u64,
+}
+
+impl TrainerConfig {
+    /// The full DRL-CEWS method: sparse reward + shared-embedding spatial
+    /// curiosity, 8 employees, batch 250.
+    pub fn drl_cews(env: EnvConfig) -> Self {
+        Self {
+            env,
+            ppo: PpoConfig::default(),
+            reward_mode: RewardMode::Sparse,
+            curiosity: CuriosityChoice::paper_spatial(),
+            num_employees: 8,
+            curiosity_lr: 3e-3,
+            lr_schedule: LrSchedule::Constant,
+            schedule_horizon: 2500,
+            mask_invalid: true,
+            seed: 1,
+        }
+    }
+
+    /// The DPPO comparator (Heess et al.): dense reward (Eqn 20), no
+    /// curiosity, per-batch advantage normalization, 8 employees, batch 250.
+    pub fn dppo(env: EnvConfig) -> Self {
+        Self {
+            env,
+            ppo: PpoConfig { normalize_adv: true, minibatch: 250, ..PpoConfig::default() },
+            reward_mode: RewardMode::Dense,
+            curiosity: CuriosityChoice::None,
+            num_employees: 8,
+            curiosity_lr: 1e-3,
+            lr_schedule: LrSchedule::Constant,
+            schedule_horizon: 2500,
+            mask_invalid: true,
+            seed: 1,
+        }
+    }
+
+    /// Scales the configuration down for fast CI / unit-test runs.
+    pub fn quick(mut self) -> Self {
+        self.num_employees = 2;
+        self.ppo.epochs = 1;
+        self.ppo.minibatch = 32;
+        self
+    }
+}
+
+/// One employee thread's state: local env, local models, local buffer.
+struct CewsEmployee {
+    env: CrowdsensingEnv,
+    store: ParamStore,
+    net: ActorCritic,
+    curiosity: Box<dyn Curiosity>,
+    buffer: RolloutBuffer,
+    ppo: PpoConfig,
+    reward_mode: RewardMode,
+    opts: PolicyOptions,
+    rng: StdRng,
+    episode: usize,
+    base_seed: u64,
+}
+
+impl CewsEmployee {
+    fn shaped_state(&self) -> Vec<f32> {
+        vc_env::state::encode(&self.env)
+    }
+}
+
+impl Employee for CewsEmployee {
+    fn load_params(&mut self, ppo: &[f32], curiosity: &[f32]) {
+        self.store.load_flat_values(ppo);
+        if !curiosity.is_empty() {
+            self.curiosity.params_mut().load_flat_values(curiosity);
+        }
+    }
+
+    fn rollout(&mut self) -> EpisodeStats {
+        // All employees train on the *same* designed scenario (the paper
+        // trains and evaluates on one map, Fig. 2b); experience diversity
+        // comes from each employee's independent stochastic policy draws.
+        let _ = self.base_seed;
+        self.env.reset();
+        self.buffer.clear();
+        self.curiosity.clear_buffer();
+
+        let mut ext_total = 0.0f32;
+        let mut int_total = 0.0f32;
+        while !self.env.done() {
+            let state = self.shaped_state();
+            let sampled = sample_action(&self.net, &self.store, &self.env, self.opts, &mut self.rng);
+            let positions: Vec<Point> = self.env.workers().iter().map(|w| w.pos).collect();
+            let result = self.env.step(&sampled.actions);
+            let next_positions: Vec<Point> = self.env.workers().iter().map(|w| w.pos).collect();
+            let next_state = self.shaped_state();
+
+            let r_ext = extrinsic_reward(self.reward_mode, self.env.config(), &result.outcomes);
+            let r_int = self.curiosity.intrinsic_reward(&TransitionView {
+                state: &state,
+                next_state: &next_state,
+                positions: &positions,
+                next_positions: &next_positions,
+                moves: &sampled.moves,
+            });
+            ext_total += r_ext;
+            int_total += r_int;
+
+            self.buffer.push(Transition {
+                state,
+                moves: sampled.moves,
+                charges: sampled.charges,
+                move_mask: sampled.move_mask,
+                charge_mask: sampled.charge_mask,
+                logp: sampled.logp,
+                reward: r_ext + r_int,
+                value: sampled.value,
+            });
+        }
+        let v_last = state_value(&self.net, &self.store, &self.env);
+        finish_rollout(&mut self.buffer, &self.ppo, v_last);
+        self.episode += 1;
+
+        let m = self.env.metrics();
+        EpisodeStats {
+            kappa: m.data_collection_ratio,
+            xi: m.remaining_data_ratio,
+            rho: m.energy_efficiency,
+            ext_reward: ext_total,
+            int_reward: int_total,
+            collisions: self.env.workers().iter().map(|w| w.collisions).sum(),
+        }
+    }
+
+    fn compute_grads(&mut self) -> GradPair {
+        self.store.zero_grads();
+        let batches = self.buffer.minibatch_indices(self.ppo.minibatch, &mut self.rng);
+        let mut stats = PpoStats::default();
+        if let Some(batch) = batches.first() {
+            stats = compute_ppo_grads(&self.net, &mut self.store, &self.buffer, batch, &self.ppo);
+        }
+        let ppo = self.store.flat_grads();
+        self.curiosity.params_mut().zero_grads();
+        self.curiosity.compute_grads(self.ppo.minibatch, &mut self.rng);
+        let cur = if self.curiosity.params().is_empty() {
+            Vec::new()
+        } else {
+            self.curiosity.params().flat_grads()
+        };
+        GradPair { ppo, curiosity: cur, stats }
+    }
+}
+
+/// The chief: global stores, optimizers, and the employee executor.
+pub struct Trainer {
+    cfg: TrainerConfig,
+    store: ParamStore,
+    net: ActorCritic,
+    curiosity_store_len: usize,
+    curiosity: Box<dyn Curiosity>,
+    ppo_opt: Adam,
+    curiosity_opt: Adam,
+    executor: ChiefExecutor,
+    episodes: usize,
+    history: Vec<EpisodeStats>,
+    last_ppo_stats: PpoStats,
+}
+
+impl Trainer {
+    /// Builds the global models and spawns the employee threads.
+    pub fn new(cfg: TrainerConfig) -> Self {
+        cfg.env.validate().expect("invalid env config");
+        assert!(cfg.num_employees >= 1, "need at least one employee");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let net_cfg = NetConfig::for_scenario(cfg.env.grid, cfg.env.num_workers);
+        let net = ActorCritic::new(&mut store, net_cfg, &mut rng);
+        let curiosity = cfg.curiosity.build(&cfg.env, cfg.seed.wrapping_add(77));
+
+        let employees: Vec<CewsEmployee> = (0..cfg.num_employees)
+            .map(|id| {
+                // Same init seed ⇒ identical parameter layout; values are
+                // overwritten by the first broadcast anyway.
+                let mut erng = StdRng::seed_from_u64(cfg.seed);
+                let mut estore = ParamStore::new();
+                let enet = ActorCritic::new(&mut estore, net_cfg, &mut erng);
+                CewsEmployee {
+                    env: CrowdsensingEnv::new(cfg.env.clone()),
+                    store: estore,
+                    net: enet,
+                    curiosity: cfg.curiosity.build(&cfg.env, cfg.seed.wrapping_add(77)),
+                    buffer: RolloutBuffer::new(),
+                    ppo: cfg.ppo,
+                    reward_mode: cfg.reward_mode,
+                    opts: PolicyOptions {
+                        mode: SampleMode::Stochastic,
+                        mask_invalid: cfg.mask_invalid,
+                    },
+                    rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(1000 + id as u64)),
+                    episode: 0,
+                    base_seed: cfg.env.seed,
+                }
+            })
+            .collect();
+        let executor = ChiefExecutor::spawn(employees);
+
+        let ppo_opt = Adam::new(cfg.ppo.lr);
+        let curiosity_opt = Adam::new(cfg.curiosity_lr);
+        let curiosity_store_len = curiosity.params().num_scalars();
+        Self {
+            cfg,
+            store,
+            net,
+            curiosity_store_len,
+            curiosity,
+            ppo_opt,
+            curiosity_opt,
+            executor,
+            episodes: 0,
+            history: Vec::new(),
+            last_ppo_stats: PpoStats::default(),
+        }
+    }
+
+    /// The trainer configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.cfg
+    }
+
+    /// Episodes trained so far.
+    pub fn episodes_trained(&self) -> usize {
+        self.episodes
+    }
+
+    /// Per-episode stats history (mean over employees).
+    pub fn history(&self) -> &[EpisodeStats] {
+        &self.history
+    }
+
+    /// The global policy network.
+    pub fn net(&self) -> &ActorCritic {
+        &self.net
+    }
+
+    /// The global parameter store.
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// The chief-side curiosity model (for Fig. 9 heat maps).
+    pub fn curiosity(&self) -> &dyn Curiosity {
+        self.curiosity.as_ref()
+    }
+
+    /// Diagnostics from the most recent update round (mean over employees):
+    /// policy entropy, value loss, and the KL proxy.
+    pub fn last_ppo_stats(&self) -> PpoStats {
+        self.last_ppo_stats
+    }
+
+    fn broadcast(&self) {
+        let cur = if self.curiosity_store_len == 0 {
+            Vec::new()
+        } else {
+            self.curiosity.params().flat_values()
+        };
+        self.executor.broadcast_params(self.store.flat_values(), cur);
+    }
+
+    /// One full episode of the chief–employee loop; returns the mean
+    /// employee stats.
+    pub fn train_episode(&mut self) -> EpisodeStats {
+        // Anneal the policy learning rate against the schedule horizon.
+        let progress = self.episodes as f32 / self.cfg.schedule_horizon.max(1) as f32;
+        self.ppo_opt.set_learning_rate(self.cfg.lr_schedule.at(self.cfg.ppo.lr, progress));
+        self.broadcast();
+        let stats = self.executor.rollout_all();
+        let m = self.executor.num_employees() as f32;
+        for _k in 0..self.cfg.ppo.epochs {
+            let (gp, gc, round_stats) = self.executor.gather_grads();
+            self.last_ppo_stats = round_stats;
+            // Average over employees so the step size is independent of M.
+            self.store.zero_grads();
+            let scaled: Vec<f32> = gp.iter().map(|g| g / m).collect();
+            self.store.add_flat_grads(&scaled);
+            self.store.clip_grad_norm(self.cfg.ppo.max_grad_norm);
+            self.ppo_opt.step(&mut self.store);
+
+            if !gc.is_empty() {
+                let cstore = self.curiosity.params_mut();
+                cstore.zero_grads();
+                let cscaled: Vec<f32> = gc.iter().map(|g| g / m).collect();
+                cstore.add_flat_grads(&cscaled);
+                cstore.clip_grad_norm(self.cfg.ppo.max_grad_norm);
+                self.curiosity_opt.step(cstore);
+            }
+            self.broadcast();
+        }
+        self.episodes += 1;
+        let mean = EpisodeStats::mean(&stats);
+        self.history.push(mean);
+        mean
+    }
+
+    /// Trains for `episodes` episodes, returning per-episode mean stats.
+    pub fn train(&mut self, episodes: usize) -> Vec<EpisodeStats> {
+        (0..episodes).map(|_| self.train_episode()).collect()
+    }
+
+    /// Serializes the global policy parameters (Section VI-D's periodic
+    /// checkpoint).
+    pub fn checkpoint(&self) -> bytes::Bytes {
+        vc_nn::serialize::save_checkpoint(&self.store)
+    }
+
+    /// Restores global policy parameters from a checkpoint.
+    pub fn restore(&mut self, data: &[u8]) -> Result<(), vc_nn::serialize::CheckpointError> {
+        let restored = vc_nn::serialize::load_checkpoint(data)?;
+        self.store.copy_values_from(&restored);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trainer(curiosity: CuriosityChoice, reward: RewardMode, employees: usize) -> Trainer {
+        let mut env = EnvConfig::tiny();
+        env.horizon = 12;
+        let mut cfg = TrainerConfig::drl_cews(env).quick();
+        cfg.curiosity = curiosity;
+        cfg.reward_mode = reward;
+        cfg.num_employees = employees;
+        Trainer::new(cfg)
+    }
+
+    #[test]
+    fn presets_match_paper_settings() {
+        let cews = TrainerConfig::drl_cews(EnvConfig::paper_default());
+        assert_eq!(cews.reward_mode, RewardMode::Sparse);
+        assert_eq!(cews.num_employees, 8);
+        assert_eq!(cews.curiosity, CuriosityChoice::paper_spatial());
+        let dppo = TrainerConfig::dppo(EnvConfig::paper_default());
+        assert_eq!(dppo.reward_mode, RewardMode::Dense);
+        assert_eq!(dppo.curiosity, CuriosityChoice::None);
+        assert_eq!(dppo.ppo.minibatch, 250);
+        assert!(dppo.ppo.normalize_adv);
+    }
+
+    #[test]
+    fn train_episode_produces_stats_and_moves_params() {
+        let mut t = tiny_trainer(CuriosityChoice::paper_spatial(), RewardMode::Sparse, 2);
+        let before = t.store().flat_values();
+        let stats = t.train_episode();
+        assert_eq!(t.episodes_trained(), 1);
+        assert!(stats.int_reward > 0.0, "spatial curiosity must pay out early");
+        assert!((0.0..=1.0).contains(&stats.kappa));
+        assert_ne!(t.store().flat_values(), before, "global params did not move");
+        assert_eq!(t.history().len(), 1);
+    }
+
+    #[test]
+    fn curiosity_params_are_trained_too() {
+        let mut t = tiny_trainer(CuriosityChoice::paper_spatial(), RewardMode::Sparse, 2);
+        let before = t.curiosity.params().flat_values();
+        t.train_episode();
+        assert_ne!(t.curiosity.params().flat_values(), before, "curiosity params frozen");
+    }
+
+    #[test]
+    fn dense_no_curiosity_variant_runs() {
+        let mut t = tiny_trainer(CuriosityChoice::None, RewardMode::Dense, 2);
+        let stats = t.train_episode();
+        assert_eq!(stats.int_reward, 0.0);
+    }
+
+    #[test]
+    fn single_employee_works() {
+        let mut t = tiny_trainer(CuriosityChoice::None, RewardMode::Sparse, 1);
+        t.train(2);
+        assert_eq!(t.episodes_trained(), 2);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_policy() {
+        let mut t = tiny_trainer(CuriosityChoice::None, RewardMode::Dense, 2);
+        t.train_episode();
+        let ckpt = t.checkpoint();
+        let saved = t.store().flat_values();
+        t.train_episode(); // diverge
+        assert_ne!(t.store().flat_values(), saved);
+        t.restore(&ckpt).unwrap();
+        assert_eq!(t.store().flat_values(), saved);
+    }
+
+    #[test]
+    fn rnd_and_icm_variants_run() {
+        for choice in [
+            CuriosityChoice::Rnd { eta: 0.3 },
+            CuriosityChoice::Icm { eta: 0.3 },
+            CuriosityChoice::Count { eta: 0.3 },
+        ] {
+            let mut t = tiny_trainer(choice, RewardMode::Sparse, 1);
+            let stats = t.train_episode();
+            assert!(stats.int_reward > 0.0, "{} produced no intrinsic reward", choice.label());
+        }
+    }
+
+    #[test]
+    fn curiosity_labels() {
+        assert_eq!(CuriosityChoice::paper_spatial().label(), "shared-embedding");
+        assert_eq!(CuriosityChoice::None.label(), "none");
+        assert_eq!(CuriosityChoice::Rnd { eta: 0.1 }.label(), "rnd");
+    }
+}

@@ -1,0 +1,113 @@
+//! CSV export of training histories, so training curves (Figs. 4–5 style)
+//! can be plotted from any run.
+
+use std::io::Write;
+use std::path::Path;
+use vc_rl::chief::EpisodeStats;
+
+/// CSV header matching [`write_csv`]'s columns.
+pub const CSV_HEADER: &str = "episode,kappa,xi,rho,ext_reward,int_reward,collisions";
+
+/// Renders a history as CSV text (header + one row per episode).
+pub fn to_csv(history: &[EpisodeStats]) -> String {
+    let mut out = String::with_capacity(32 * (history.len() + 1));
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for (ep, s) in history.iter().enumerate() {
+        out.push_str(&format!(
+            "{ep},{:.6},{:.6},{:.6},{:.6},{:.6},{}\n",
+            s.kappa, s.xi, s.rho, s.ext_reward, s.int_reward, s.collisions
+        ));
+    }
+    out
+}
+
+/// Writes a history to a CSV file, creating parent directories.
+pub fn write_csv(history: &[EpisodeStats], path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_csv(history).as_bytes())
+}
+
+/// Parses a CSV produced by [`to_csv`] back into stats (for tooling that
+/// post-processes runs).
+pub fn parse_csv(text: &str) -> Result<Vec<EpisodeStats>, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty CSV")?;
+    if header.trim() != CSV_HEADER {
+        return Err(format!("unexpected header: {header}"));
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != 7 {
+            return Err(format!("row {i}: expected 7 cells, got {}", cells.len()));
+        }
+        let f = |j: usize| -> Result<f32, String> {
+            cells[j].parse().map_err(|e| format!("row {i} col {j}: {e}"))
+        };
+        out.push(EpisodeStats {
+            kappa: f(1)?,
+            xi: f(2)?,
+            rho: f(3)?,
+            ext_reward: f(4)?,
+            int_reward: f(5)?,
+            collisions: cells[6].parse().map_err(|e| format!("row {i} col 6: {e}"))?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<EpisodeStats> {
+        vec![
+            EpisodeStats { kappa: 0.1, xi: 0.9, rho: 0.05, ext_reward: 1.5, int_reward: 20.0, collisions: 3 },
+            EpisodeStats { kappa: 0.4, xi: 0.6, rho: 0.2, ext_reward: 4.0, int_reward: 10.0, collisions: 0 },
+        ]
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let h = sample();
+        let text = to_csv(&h);
+        assert!(text.starts_with(CSV_HEADER));
+        assert_eq!(text.lines().count(), 3);
+        let parsed = parse_csv(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!((parsed[0].kappa - 0.1).abs() < 1e-6);
+        assert_eq!(parsed[1].collisions, 0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_csv("").is_err());
+        assert!(parse_csv("wrong,header\n1,2").is_err());
+        let bad = format!("{CSV_HEADER}\n1,2,3\n");
+        assert!(parse_csv(&bad).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("vc_training_log_test");
+        let path = dir.join("run.csv");
+        write_csv(&sample(), &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(parse_csv(&text).unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn empty_history_is_header_only() {
+        let text = to_csv(&[]);
+        assert_eq!(text.trim(), CSV_HEADER);
+        assert!(parse_csv(&text).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Position feature representations for the spatial curiosity model
+//! (Section VII-D, "Feature Selection").
+//!
+//! Following Burda et al.'s observation that *static randomly initialized*
+//! features are stable curiosity targets, both representations here are
+//! frozen:
+//!
+//! * **direct** — the position scaled into `(0, 1)²` (2 dimensions);
+//! * **embedding** — the position's grid cell looked up in a static random
+//!   embedding table (8 dimensions in the paper). Two physically close
+//!   cells can be far apart in embedding space, which the paper credits for
+//!   the larger, more informative intrinsic rewards.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use vc_env::geometry::Point;
+use vc_nn::layers::Embedding;
+use vc_nn::param::ParamStore;
+
+/// Which position representation a curiosity model uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// Raw normalized coordinates (2-D).
+    Direct,
+    /// Static random embedding of the grid cell (8-D in the paper).
+    Embedding,
+}
+
+/// Paper embedding width.
+pub const EMBEDDING_DIM: usize = 8;
+
+/// A frozen position-feature extractor.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum PositionFeature {
+    Direct { size_x: f32, size_y: f32 },
+    Embedding { grid: usize, size_x: f32, size_y: f32, table: Embedding },
+}
+
+impl PositionFeature {
+    /// Builds an extractor; embedding tables are registered frozen in
+    /// `store` (they receive no gradients).
+    pub fn new(
+        kind: FeatureKind,
+        grid: usize,
+        size_x: f32,
+        size_y: f32,
+        store: &mut ParamStore,
+        name: &str,
+        seed: u64,
+    ) -> Self {
+        match kind {
+            FeatureKind::Direct => PositionFeature::Direct { size_x, size_y },
+            FeatureKind::Embedding => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let table =
+                    Embedding::new(store, name, grid * grid, EMBEDDING_DIM, false, &mut rng);
+                PositionFeature::Embedding { grid, size_x, size_y, table }
+            }
+        }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        match self {
+            PositionFeature::Direct { .. } => 2,
+            PositionFeature::Embedding { .. } => EMBEDDING_DIM,
+        }
+    }
+
+    /// Extracts the feature `φ(l)` of a position.
+    pub fn extract(&self, store: &ParamStore, p: &Point) -> Vec<f32> {
+        match self {
+            PositionFeature::Direct { size_x, size_y } => {
+                vec![(p.x / size_x).clamp(0.0, 1.0), (p.y / size_y).clamp(0.0, 1.0)]
+            }
+            PositionFeature::Embedding { grid, size_x, size_y, table } => {
+                let cx = ((p.x / size_x * *grid as f32) as usize).min(grid - 1);
+                let cy = ((p.y / size_y * *grid as f32) as usize).min(grid - 1);
+                table.lookup(store, cy * grid + cx)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_feature_scales_into_unit_square() {
+        let mut store = ParamStore::new();
+        let f = PositionFeature::new(FeatureKind::Direct, 16, 16.0, 16.0, &mut store, "f", 0);
+        assert_eq!(f.dim(), 2);
+        let v = f.extract(&store, &Point::new(8.0, 4.0));
+        assert_eq!(v, vec![0.5, 0.25]);
+        // Out-of-range positions clamp rather than explode.
+        let v = f.extract(&store, &Point::new(-1.0, 99.0));
+        assert_eq!(v, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn embedding_feature_has_paper_dim_and_is_frozen() {
+        let mut store = ParamStore::new();
+        let f = PositionFeature::new(FeatureKind::Embedding, 16, 16.0, 16.0, &mut store, "emb", 1);
+        assert_eq!(f.dim(), EMBEDDING_DIM);
+        assert_eq!(store.len(), 1);
+        let id = store.ids().next().unwrap();
+        assert!(store.is_frozen(id), "embedding table must be static");
+    }
+
+    #[test]
+    fn embedding_same_cell_same_feature() {
+        let mut store = ParamStore::new();
+        let f = PositionFeature::new(FeatureKind::Embedding, 16, 16.0, 16.0, &mut store, "emb", 2);
+        let a = f.extract(&store, &Point::new(3.1, 5.2));
+        let b = f.extract(&store, &Point::new(3.9, 5.8));
+        assert_eq!(a, b, "same cell must map to the same embedding");
+        let c = f.extract(&store, &Point::new(4.1, 5.2));
+        assert_ne!(a, c, "neighboring cell should differ");
+    }
+
+    #[test]
+    fn embedding_can_separate_physically_close_cells() {
+        // The paper's argument: adjacent cells can be far apart in embedding
+        // space. Verify the embedding distance of neighbors is not tiny
+        // compared to the distance of remote cells (statistically, random
+        // embeddings make all pairs comparably distant).
+        let mut store = ParamStore::new();
+        let f = PositionFeature::new(FeatureKind::Embedding, 16, 16.0, 16.0, &mut store, "emb", 3);
+        let d = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        };
+        let base = f.extract(&store, &Point::new(1.5, 1.5));
+        let near = f.extract(&store, &Point::new(2.5, 1.5));
+        let far = f.extract(&store, &Point::new(14.5, 14.5));
+        let dn = d(&base, &near);
+        let df = d(&base, &far);
+        assert!(dn > 0.3 * df, "near-cell distance {dn} collapsed vs far {df}");
+    }
+
+    #[test]
+    fn embedding_deterministic_per_seed() {
+        let mut s1 = ParamStore::new();
+        let f1 = PositionFeature::new(FeatureKind::Embedding, 8, 8.0, 8.0, &mut s1, "e", 42);
+        let mut s2 = ParamStore::new();
+        let f2 = PositionFeature::new(FeatureKind::Embedding, 8, 8.0, 8.0, &mut s2, "e", 42);
+        let p = Point::new(3.0, 3.0);
+        assert_eq!(f1.extract(&s1, &p), f2.extract(&s2, &p));
+    }
+}

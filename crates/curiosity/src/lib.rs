@@ -1,0 +1,29 @@
+//! # vc-curiosity — intrinsic-reward models for DRL-CEWS
+//!
+//! The paper's **spatial curiosity model** (Section V-C, Algorithm 3) in all
+//! four variants studied in Section VII-D — {shared, independent} structure ×
+//! {embedding, direct} position features — plus the **RND** comparator of
+//! Fig. 4 and the original **ICM** of Pathak et al. for reference.
+//!
+//! All models implement the [`traits::Curiosity`] interface: they return the
+//! per-transition intrinsic reward `r_t^{int}` (recording the sample), and on
+//! demand accumulate forward-model gradients into their own parameter store,
+//! which the chief thread sums through the *curiosity gradient buffer*
+//! (Fig. 1) and steps with Adam.
+
+pub mod count;
+pub mod features;
+pub mod icm;
+pub mod rnd;
+pub mod spatial;
+pub mod traits;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::count::{CountCuriosity, CountCuriosityConfig};
+    pub use crate::features::{FeatureKind, PositionFeature, EMBEDDING_DIM};
+    pub use crate::icm::{Icm, IcmConfig};
+    pub use crate::rnd::{Rnd, RndConfig};
+    pub use crate::spatial::{SpatialCuriosity, SpatialCuriosityConfig, StructureKind};
+    pub use crate::traits::{Curiosity, NoCuriosity, TransitionView};
+}

@@ -1,0 +1,103 @@
+//! The common interface every intrinsic-reward model implements, so the
+//! DRL-CEWS trainer can swap spatial curiosity, RND, ICM, or nothing.
+
+use rand::rngs::StdRng;
+use vc_env::geometry::Point;
+use vc_nn::param::ParamStore;
+
+/// Everything an intrinsic-reward model may look at for one transition.
+pub struct TransitionView<'a> {
+    /// Encoded state `s_t` (flat `[C·G·G]`).
+    pub state: &'a [f32],
+    /// Encoded next state `s_{t+1}`.
+    pub next_state: &'a [f32],
+    /// Worker positions `l_t`.
+    pub positions: &'a [Point],
+    /// Worker positions `l_{t+1}`.
+    pub next_positions: &'a [Point],
+    /// Per-worker route-planning indices `v_t`.
+    pub moves: &'a [usize],
+}
+
+/// An intrinsic-reward ("curiosity") model.
+pub trait Curiosity: Send {
+    /// Computes the intrinsic reward `r_t^{int}` for a transition and
+    /// records it for later training.
+    fn intrinsic_reward(&mut self, t: &TransitionView<'_>) -> f32;
+
+    /// Samples a minibatch from the recorded transitions and accumulates
+    /// training gradients into [`Self::params_mut`]. No-op while the episode
+    /// buffer is empty.
+    fn compute_grads(&mut self, minibatch: usize, rng: &mut StdRng);
+
+    /// Clears the per-episode transition buffer.
+    fn clear_buffer(&mut self);
+
+    /// The model's parameter store (for the chief's flat exchange).
+    fn params(&self) -> &ParamStore;
+
+    /// Mutable access to the parameter store.
+    fn params_mut(&mut self) -> &mut ParamStore;
+
+    /// Short identifier used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Downcast hook for spatial-curiosity visualizations (Fig. 9): models
+    /// that can report a per-location prediction error override this.
+    fn as_spatial(&self) -> Option<&crate::spatial::SpatialCuriosity> {
+        None
+    }
+}
+
+/// The "no curiosity" null object: zero intrinsic reward, no parameters.
+#[derive(Debug, Default)]
+pub struct NoCuriosity {
+    store: ParamStore,
+}
+
+impl NoCuriosity {
+    /// A fresh null model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Curiosity for NoCuriosity {
+    fn intrinsic_reward(&mut self, _t: &TransitionView<'_>) -> f32 {
+        0.0
+    }
+    fn compute_grads(&mut self, _minibatch: usize, _rng: &mut StdRng) {}
+    fn clear_buffer(&mut self) {}
+    fn params(&self) -> &ParamStore {
+        &self.store
+    }
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_curiosity_is_inert() {
+        let mut c = NoCuriosity::new();
+        let view = TransitionView {
+            state: &[0.0],
+            next_state: &[0.0],
+            positions: &[Point::new(0.0, 0.0)],
+            next_positions: &[Point::new(1.0, 0.0)],
+            moves: &[3],
+        };
+        assert_eq!(c.intrinsic_reward(&view), 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        c.compute_grads(32, &mut rng);
+        assert!(c.params().is_empty());
+        assert_eq!(c.name(), "none");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the intrinsic-reward models.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vc_curiosity::prelude::*;
+use vc_env::geometry::Point;
+
+fn spatial_cfg(workers: usize) -> vc_curiosity::spatial::SpatialCuriosityConfig {
+    vc_curiosity::spatial::SpatialCuriosityConfig {
+        feature: FeatureKind::Embedding,
+        structure: StructureKind::Shared,
+        eta: 0.3,
+        grid: 8,
+        size_x: 8.0,
+        size_y: 8.0,
+        num_workers: workers,
+        seed: 5,
+    }
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (0.0f32..8.0, 0.0f32..8.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn spatial_rewards_are_nonnegative_and_finite(
+        pos in proptest::collection::vec(point(), 1..4),
+        moves in proptest::collection::vec(0usize..9, 4),
+    ) {
+        let w = pos.len();
+        let mut c = SpatialCuriosity::new(spatial_cfg(w));
+        let next: Vec<Point> = pos.iter().map(|p| Point::new((p.x + 1.0).min(8.0), p.y)).collect();
+        let mv = &moves[..w];
+        let r = c.intrinsic_reward(&TransitionView {
+            state: &[],
+            next_state: &[],
+            positions: &pos,
+            next_positions: &next,
+            moves: mv,
+        });
+        prop_assert!(r >= 0.0, "negative intrinsic reward {r}");
+        prop_assert!(r.is_finite());
+    }
+
+    #[test]
+    fn spatial_error_is_deterministic(p in point(), mv in 0usize..9) {
+        let c = SpatialCuriosity::new(spatial_cfg(1));
+        let next = Point::new(p.x, (p.y + 1.0).min(8.0));
+        let a = c.prediction_error(0, &p, mv, &next);
+        let b = c.prediction_error(0, &p, mv, &next);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn training_never_increases_error_on_the_trained_pair(
+        p in point(), mv in 0usize..9, iters in 5usize..40,
+    ) {
+        use vc_nn::optim::{Adam, Optimizer};
+        let mut c = SpatialCuriosity::new(spatial_cfg(1));
+        let next = Point::new((p.x + 0.7).min(8.0), p.y);
+        let before = c.prediction_error(0, &p, mv, &next);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut opt = Adam::new(5e-3);
+        let pos = [p];
+        let nx = [next];
+        let mvs = [mv];
+        for _ in 0..iters {
+            c.intrinsic_reward(&TransitionView {
+                state: &[],
+                next_state: &[],
+                positions: &pos,
+                next_positions: &nx,
+                moves: &mvs,
+            });
+            c.params_mut().zero_grads();
+            c.compute_grads(16, &mut rng);
+            opt.step(c.params_mut());
+            c.clear_buffer();
+        }
+        let after = c.prediction_error(0, &p, mv, &next);
+        prop_assert!(after <= before + 1e-4, "error rose {before} -> {after}");
+    }
+
+    #[test]
+    fn rnd_rewards_nonnegative(state in proptest::collection::vec(-2.0f32..2.0, 12)) {
+        let mut r = Rnd::new(RndConfig::for_state(12));
+        let view = TransitionView {
+            state: &[],
+            next_state: &state,
+            positions: &[],
+            next_positions: &[],
+            moves: &[],
+        };
+        let reward = r.intrinsic_reward(&view);
+        prop_assert!(reward >= 0.0 && reward.is_finite());
+    }
+
+    #[test]
+    fn icm_rewards_nonnegative(
+        s in proptest::collection::vec(-1.0f32..1.0, 10),
+        sn in proptest::collection::vec(-1.0f32..1.0, 10),
+        mv in 0usize..9,
+    ) {
+        let mut icm = Icm::new(IcmConfig::for_state(10, 1));
+        let moves = [mv];
+        let view = TransitionView {
+            state: &s,
+            next_state: &sn,
+            positions: &[],
+            next_positions: &[],
+            moves: &moves,
+        };
+        let reward = icm.intrinsic_reward(&view);
+        prop_assert!(reward >= 0.0 && reward.is_finite());
+    }
+}

@@ -1,0 +1,150 @@
+//! Worker actions: route planning `v` and energy charging `u` (Eqn 9).
+//!
+//! Route planning is discretized into 9 moves — stay plus the 8 compass
+//! directions, each of length `max_step` — which keeps `‖v‖₂` within the
+//! paper's per-slot travel bound while covering the plane.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of discrete route-planning choices.
+pub const NUM_MOVES: usize = 9;
+
+/// A route-planning decision `v_t^w`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Move {
+    Stay,
+    North,
+    NorthEast,
+    East,
+    SouthEast,
+    South,
+    SouthWest,
+    West,
+    NorthWest,
+}
+
+impl Move {
+    /// All moves in index order.
+    pub const ALL: [Move; NUM_MOVES] = [
+        Move::Stay,
+        Move::North,
+        Move::NorthEast,
+        Move::East,
+        Move::SouthEast,
+        Move::South,
+        Move::SouthWest,
+        Move::West,
+        Move::NorthWest,
+    ];
+
+    /// The move with a given index; panics if out of range.
+    pub fn from_index(i: usize) -> Move {
+        Move::ALL[i]
+    }
+
+    /// This move's index in `ALL`.
+    pub fn index(self) -> usize {
+        Move::ALL.iter().position(|&m| m == self).unwrap()
+    }
+
+    /// Unit direction vector (dx, dy); `Stay` is (0, 0). North is +y.
+    pub fn direction(self) -> (f32, f32) {
+        const D: f32 = std::f32::consts::FRAC_1_SQRT_2;
+        match self {
+            Move::Stay => (0.0, 0.0),
+            Move::North => (0.0, 1.0),
+            Move::NorthEast => (D, D),
+            Move::East => (1.0, 0.0),
+            Move::SouthEast => (D, -D),
+            Move::South => (0.0, -1.0),
+            Move::SouthWest => (-D, -D),
+            Move::West => (-1.0, 0.0),
+            Move::NorthWest => (-D, D),
+        }
+    }
+
+    /// Displacement for a given step length.
+    pub fn displacement(self, step: f32) -> (f32, f32) {
+        let (dx, dy) = self.direction();
+        (dx * step, dy * step)
+    }
+}
+
+/// One worker's joint decision for a slot: `(u_t^w, v_t^w)`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkerAction {
+    /// Route planning decision.
+    pub movement: Move,
+    /// Energy-charging decision `u_t^w`: request charging this slot. A
+    /// charging worker stays in place regardless of `movement`.
+    pub charge: bool,
+}
+
+impl WorkerAction {
+    /// A movement-only action.
+    pub fn go(movement: Move) -> Self {
+        Self { movement, charge: false }
+    }
+
+    /// A charging action.
+    pub fn charge() -> Self {
+        Self { movement: Move::Stay, charge: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..NUM_MOVES {
+            assert_eq!(Move::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn directions_are_unit_or_zero() {
+        for m in Move::ALL {
+            let (dx, dy) = m.direction();
+            let n = (dx * dx + dy * dy).sqrt();
+            if m == Move::Stay {
+                assert_eq!(n, 0.0);
+            } else {
+                assert!((n - 1.0).abs() < 1e-6, "{m:?} has norm {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn displacement_respects_step_bound() {
+        for m in Move::ALL {
+            let (dx, dy) = m.displacement(0.75);
+            assert!((dx * dx + dy * dy).sqrt() <= 0.75 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn opposite_moves_cancel() {
+        let pairs = [
+            (Move::North, Move::South),
+            (Move::East, Move::West),
+            (Move::NorthEast, Move::SouthWest),
+            (Move::SouthEast, Move::NorthWest),
+        ];
+        for (a, b) in pairs {
+            let (ax, ay) = a.direction();
+            let (bx, by) = b.direction();
+            assert!((ax + bx).abs() < 1e-6 && (ay + by).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn action_constructors() {
+        let a = WorkerAction::go(Move::East);
+        assert!(!a.charge);
+        assert_eq!(a.movement, Move::East);
+        let c = WorkerAction::charge();
+        assert!(c.charge);
+    }
+}

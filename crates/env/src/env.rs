@@ -1,0 +1,590 @@
+//! The discrete-time crowdsensing environment.
+//!
+//! Each call to [`CrowdsensingEnv::step`] advances one time slot: every
+//! worker either charges (if validly requested), moves (if the path is
+//! legal), or stalls, then collects data from PoIs within its sensing range
+//! (Eqn 1) and pays the energy bill of Eqn (3). The environment reports a
+//! per-worker [`WorkerOutcome`] from which both the paper's sparse reward
+//! (Eqns 18–19) and the dense baseline reward (Eqn 20) are computed.
+
+use crate::action::{Move, WorkerAction, NUM_MOVES};
+use crate::config::EnvConfig;
+use crate::entities::{ChargingStation, Poi, Worker};
+use crate::geometry::Point;
+use crate::metrics::{self, Metrics};
+use serde::{Deserialize, Serialize};
+
+/// What happened to one worker during a slot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkerOutcome {
+    /// Data collected this slot, `q_t^w`.
+    pub collected: f32,
+    /// Energy consumed this slot, `e_t^w`.
+    pub consumed: f32,
+    /// Energy charged this slot, `σ_t^w`.
+    pub charged: f32,
+    /// Distance actually traveled.
+    pub traveled: f32,
+    /// The worker hit an obstacle or the boundary.
+    pub collided: bool,
+    /// The worker spent the slot charging.
+    pub charging: bool,
+    /// Sparse-reward pulse `Υ¹` fired (collection ratio crossed another ε₁).
+    pub data_pulse: bool,
+    /// Sparse-reward pulse `Υ²` fired (charged ≥ ε₂·b₀ this slot).
+    pub charge_pulse: bool,
+}
+
+/// Result of one environment step.
+#[derive(Clone, Debug)]
+pub struct StepResult {
+    /// Per-worker outcomes, indexed like the action slice.
+    pub outcomes: Vec<WorkerOutcome>,
+    /// Time slot index after the step (1-based).
+    pub t: usize,
+    /// True once the horizon `T` is reached.
+    pub done: bool,
+}
+
+/// The simulator.
+#[derive(Clone, Debug)]
+pub struct CrowdsensingEnv {
+    cfg: EnvConfig,
+    workers: Vec<Worker>,
+    pois: Vec<Poi>,
+    stations: Vec<ChargingStation>,
+    /// Pristine copy of the scenario, restored by [`Self::reset`]. Hand-
+    /// placed scenarios (see `builder`) live only here, not in the seed.
+    template: (Vec<Worker>, Vec<Poi>, Vec<ChargingStation>),
+    t: usize,
+    initial_total_data: f32,
+    /// Per-worker collection ratio at the last Υ¹ pulse.
+    sparse_level: Vec<f32>,
+}
+
+impl CrowdsensingEnv {
+    /// Builds and resets an environment from a config (validated).
+    pub fn new(cfg: EnvConfig) -> Self {
+        cfg.validate().expect("invalid EnvConfig");
+        let scenario = crate::scenario::build(&cfg);
+        Self::from_parts(cfg, scenario.workers, scenario.pois, scenario.stations)
+    }
+
+    /// Builds an environment from explicit entities (the `builder` path).
+    /// The entities become the reset template.
+    pub fn from_parts(
+        cfg: EnvConfig,
+        workers: Vec<Worker>,
+        pois: Vec<Poi>,
+        stations: Vec<ChargingStation>,
+    ) -> Self {
+        cfg.validate().expect("invalid EnvConfig");
+        let initial_total_data = pois.iter().map(|p| p.initial_data).sum();
+        let w = workers.len();
+        Self {
+            cfg,
+            template: (workers.clone(), pois.clone(), stations.clone()),
+            workers,
+            pois,
+            stations,
+            t: 0,
+            initial_total_data,
+            sparse_level: vec![0.0; w],
+        }
+    }
+
+    /// Restores the pristine scenario (same map, full batteries, full data)
+    /// and rewinds time.
+    pub fn reset(&mut self) {
+        let (workers, pois, stations) = self.template.clone();
+        self.initial_total_data = pois.iter().map(|p| p.initial_data).sum();
+        self.sparse_level = vec![0.0; workers.len()];
+        self.workers = workers;
+        self.pois = pois;
+        self.stations = stations;
+        self.t = 0;
+    }
+
+    /// Re-generates a fresh random scenario from a new seed (fresh worker
+    /// spawns / PoI draw while keeping all other parameters) and makes it
+    /// the new reset template.
+    pub fn reset_with_seed(&mut self, seed: u64) {
+        self.cfg.seed = seed;
+        let scenario = crate::scenario::build(&self.cfg);
+        self.template = (scenario.workers, scenario.pois, scenario.stations);
+        self.reset();
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    /// The static configuration.
+    pub fn config(&self) -> &EnvConfig {
+        &self.cfg
+    }
+
+    /// Current worker states.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Current PoI states.
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// Charging stations.
+    pub fn stations(&self) -> &[ChargingStation] {
+        &self.stations
+    }
+
+    /// Current time slot (0 before the first step).
+    pub fn time(&self) -> usize {
+        self.t
+    }
+
+    /// True once the horizon is reached.
+    pub fn done(&self) -> bool {
+        self.t >= self.cfg.horizon
+    }
+
+    /// Total initial data `Σ_p δ₀^p`.
+    pub fn initial_total_data(&self) -> f32 {
+        self.initial_total_data
+    }
+
+    /// Current paper metrics (κ, ξ, ρ).
+    pub fn metrics(&self) -> Metrics {
+        metrics::compute(&self.workers, &self.pois)
+    }
+
+    // ---- scenario surgery ----------------------------------------------------
+
+    /// Moves a worker to an arbitrary position (test/ablation helper; does
+    /// not validate obstacles or spend energy).
+    pub fn teleport_worker(&mut self, worker: usize, pos: Point) {
+        self.workers[worker].pos = pos;
+    }
+
+    /// Overwrites a worker's remaining energy (test/ablation helper).
+    pub fn set_worker_energy(&mut self, worker: usize, energy: f32) {
+        let w = &mut self.workers[worker];
+        w.energy = energy.clamp(0.0, w.capacity);
+    }
+
+    // ---- queries for planners ----------------------------------------------
+
+    /// Whether the segment `from -> to` is a legal move (inside the space and
+    /// not through any obstacle).
+    pub fn path_clear(&self, from: &Point, to: &Point) -> bool {
+        if to.x < 0.0 || to.x > self.cfg.size_x || to.y < 0.0 || to.y > self.cfg.size_y {
+            return false;
+        }
+        !self.cfg.obstacles.iter().any(|r| r.intersects_segment(from, to))
+    }
+
+    /// The position a worker would reach with `mv`, or `None` if the move is
+    /// illegal (collision / boundary) or the worker cannot pay the travel
+    /// energy.
+    pub fn peek_move(&self, worker: usize, mv: Move) -> Option<Point> {
+        let w = &self.workers[worker];
+        if w.exhausted() {
+            return if mv == Move::Stay { Some(w.pos) } else { None };
+        }
+        let (dx, dy) = mv.displacement(self.cfg.max_step);
+        let target = w.pos.offset(dx, dy);
+        if !self.path_clear(&w.pos, &target) {
+            return None;
+        }
+        let travel_cost = self.cfg.beta * w.pos.dist(&target);
+        if travel_cost > w.energy {
+            return None;
+        }
+        Some(target)
+    }
+
+    /// Per-move legality mask for a worker (`Stay` is always legal).
+    pub fn valid_moves(&self, worker: usize) -> [bool; NUM_MOVES] {
+        let mut mask = [false; NUM_MOVES];
+        for (i, m) in Move::ALL.iter().enumerate() {
+            mask[i] = self.peek_move(worker, *m).is_some();
+        }
+        mask[Move::Stay.index()] = true;
+        mask
+    }
+
+    /// Whether a worker is currently within range of any charging station.
+    pub fn can_charge(&self, worker: usize) -> bool {
+        let p = &self.workers[worker].pos;
+        self.stations.iter().any(|s| s.in_range(p))
+    }
+
+    /// The data a worker standing at `pos` would collect this slot
+    /// (Σ min(λδ₀, δ_t) over in-range PoIs) — the lookahead quantity used by
+    /// the Greedy and D&C planners.
+    pub fn potential_collection(&self, pos: &Point) -> f32 {
+        let g = self.cfg.sensing_range;
+        self.pois
+            .iter()
+            .filter(|p| p.pos.dist(pos) <= g)
+            .map(|p| (self.cfg.collect_rate * p.initial_data).min(p.data))
+            .sum()
+    }
+
+    // ---- dynamics -----------------------------------------------------------
+
+    /// Advances one time slot. `actions` must have one entry per worker.
+    pub fn step(&mut self, actions: &[WorkerAction]) -> StepResult {
+        assert_eq!(actions.len(), self.workers.len(), "one action per worker required");
+        assert!(!self.done(), "episode already finished; call reset()");
+
+        let mut outcomes = vec![WorkerOutcome::default(); self.workers.len()];
+        // Stations serve one worker per slot (the paper's charging
+        // competition); earlier-indexed workers win ties.
+        let mut station_busy = vec![false; self.stations.len()];
+
+        for (wi, action) in actions.iter().enumerate() {
+            let out = &mut outcomes[wi];
+            // Snapshot the worker so planning queries can borrow `self`.
+            let (start, energy, capacity, exhausted) = {
+                let w = &self.workers[wi];
+                (w.pos, w.energy, w.capacity, w.exhausted())
+            };
+
+            if action.charge {
+                out.charging = true;
+                let slot = self
+                    .stations
+                    .iter()
+                    .enumerate()
+                    .find(|(si, s)| !station_busy[*si] && s.in_range(&start));
+                if let Some((si, _)) = slot {
+                    station_busy[si] = true;
+                    let sigma = self.cfg.charge_rate.min(capacity - energy).max(0.0);
+                    let worker = &mut self.workers[wi];
+                    worker.energy += sigma;
+                    worker.total_charged += sigma;
+                    out.charged = sigma;
+                    out.charge_pulse = sigma / capacity >= self.cfg.epsilon2;
+                }
+                // An out-of-range (or crowded-out) charge request wastes the
+                // slot but costs nothing.
+                continue;
+            }
+
+            if exhausted {
+                continue; // b_t = 0 ⇒ the worker stops movement.
+            }
+
+            // Route planning.
+            let (dx, dy) = action.movement.displacement(self.cfg.max_step);
+            let target = start.offset(dx, dy);
+            let legal = action.movement == Move::Stay
+                || (self.path_clear(&start, &target)
+                    && self.cfg.beta * start.dist(&target) <= energy);
+
+            let end = if legal {
+                target
+            } else {
+                self.workers[wi].collisions += 1;
+                out.collided = true;
+                start
+            };
+            let traveled = start.dist(&end);
+            out.traveled = traveled;
+
+            // Data collection from PoIs within the sensing range of the new
+            // position (workers are processed in index order, so earlier
+            // workers drain shared PoIs first — the paper's competition).
+            let mut q = 0.0;
+            let g = self.cfg.sensing_range;
+            let lambda = self.cfg.collect_rate;
+            for poi in &mut self.pois {
+                if poi.pos.dist(&end) <= g {
+                    q += poi.collect(lambda);
+                }
+            }
+
+            // Energy accounting (Eqn 3), floored at an empty battery.
+            let e = self.cfg.beta * traveled + self.cfg.alpha * q;
+            let consumed = e.min(energy);
+            let worker = &mut self.workers[wi];
+            worker.pos = end;
+            worker.energy -= consumed;
+            worker.total_collected += q;
+            worker.total_consumed += consumed;
+            out.collected = q;
+            out.consumed = consumed;
+
+            // Sparse-reward Υ¹ bookkeeping: pulse each time the per-worker
+            // collection ratio climbs another ε₁ above the last pulse level.
+            if self.initial_total_data > 0.0 {
+                let ratio = worker.total_collected / self.initial_total_data;
+                if ratio - self.sparse_level[wi] >= self.cfg.epsilon1 {
+                    self.sparse_level[wi] = ratio;
+                    out.data_pulse = true;
+                }
+            }
+        }
+
+        self.t += 1;
+        StepResult { outcomes, t: self.t, done: self.done() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EnvConfig;
+    use crate::geometry::Rect;
+
+    fn env_with(cfg: EnvConfig) -> CrowdsensingEnv {
+        CrowdsensingEnv::new(cfg)
+    }
+
+    fn stay_all(env: &CrowdsensingEnv) -> Vec<WorkerAction> {
+        vec![WorkerAction::go(Move::Stay); env.workers().len()]
+    }
+
+    #[test]
+    fn horizon_terminates_episode() {
+        let mut env = env_with(EnvConfig::tiny());
+        let mut steps = 0;
+        while !env.done() {
+            env.step(&stay_all(&env));
+            steps += 1;
+        }
+        assert_eq!(steps, env.config().horizon);
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn stepping_after_done_panics() {
+        let mut env = env_with(EnvConfig::tiny());
+        for _ in 0..env.config().horizon {
+            env.step(&stay_all(&env));
+        }
+        env.step(&stay_all(&env));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut env = env_with(EnvConfig::tiny());
+        let initial_pois = env.pois().to_vec();
+        for _ in 0..5 {
+            env.step(&[WorkerAction::go(Move::East)]);
+        }
+        env.reset();
+        assert_eq!(env.time(), 0);
+        assert_eq!(env.pois(), &initial_pois[..]);
+        assert_eq!(env.workers()[0].total_collected, 0.0);
+    }
+
+    #[test]
+    fn movement_consumes_travel_energy() {
+        let mut cfg = EnvConfig::tiny();
+        cfg.num_pois = 0;
+        let mut env = env_with(cfg);
+        let e0 = env.workers()[0].energy;
+        let p0 = env.workers()[0].pos;
+        let mv = Move::ALL
+            .iter()
+            .copied()
+            .find(|&m| m != Move::Stay && env.peek_move(0, m).is_some())
+            .expect("some move must be legal");
+        let r = env.step(&[WorkerAction::go(mv)]);
+        assert!((r.outcomes[0].traveled - env.config().max_step).abs() < 1e-5);
+        let expected = env.config().beta * env.config().max_step;
+        assert!((e0 - env.workers()[0].energy - expected).abs() < 1e-5);
+        assert!(env.workers()[0].pos.dist(&p0) > 0.0);
+    }
+
+    #[test]
+    fn boundary_collision_stalls_and_penalizes() {
+        let mut env = env_with(EnvConfig::tiny());
+        // March west until the wall rejects the move.
+        let mut collided = false;
+        for _ in 0..env.config().horizon {
+            let r = env.step(&[WorkerAction::go(Move::West)]);
+            if r.outcomes[0].collided {
+                collided = true;
+                assert_eq!(r.outcomes[0].traveled, 0.0);
+                break;
+            }
+        }
+        assert!(collided, "never reached the boundary");
+        assert!(env.workers()[0].collisions >= 1);
+        assert!(env.workers()[0].pos.x >= 0.0);
+    }
+
+    #[test]
+    fn obstacle_blocks_movement() {
+        let mut cfg = EnvConfig::tiny();
+        // Wall directly covering most of the map's middle.
+        cfg.obstacles = vec![Rect::new(3.9, 0.0, 4.1, 8.0)];
+        cfg.num_pois = 0;
+        cfg.seed = 7;
+        let mut env = env_with(cfg);
+        // Plant the worker just west of the wall.
+        env.workers[0].pos = Point::new(3.5, 4.0);
+        let r = env.step(&[WorkerAction::go(Move::East)]);
+        assert!(r.outcomes[0].collided);
+        assert_eq!(env.workers()[0].pos, Point::new(3.5, 4.0));
+    }
+
+    #[test]
+    fn collection_obeys_rate_cap() {
+        let mut cfg = EnvConfig::tiny();
+        cfg.num_pois = 1;
+        let mut env = env_with(cfg);
+        // Teleport the worker onto the PoI and stay: collection is capped at
+        // λ·δ₀ per slot.
+        let poi_pos = env.pois()[0].pos;
+        let delta0 = env.pois()[0].initial_data;
+        env.workers[0].pos = poi_pos;
+        let r = env.step(&stay_all(&env));
+        let expected = env.config().collect_rate * delta0;
+        assert!((r.outcomes[0].collected - expected).abs() < 1e-6);
+        // Five slots drain it completely (λ = 0.2).
+        for _ in 0..5 {
+            env.step(&stay_all(&env));
+        }
+        assert!(env.pois()[0].data < 1e-6);
+        assert_eq!(env.metrics().data_collection_ratio, env.workers()[0].total_collected / delta0);
+    }
+
+    #[test]
+    fn collection_costs_alpha_energy() {
+        let mut cfg = EnvConfig::tiny();
+        cfg.num_pois = 1;
+        let mut env = env_with(cfg);
+        env.workers[0].pos = env.pois()[0].pos;
+        let e0 = env.workers()[0].energy;
+        let r = env.step(&stay_all(&env));
+        let expected = env.config().alpha * r.outcomes[0].collected; // no travel
+        assert!((e0 - env.workers()[0].energy - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn charging_requires_station_range() {
+        let mut cfg = EnvConfig::tiny();
+        cfg.num_pois = 0;
+        let mut env = env_with(cfg.clone());
+        let station = env.stations()[0].pos;
+        // Out of range: no energy gained.
+        env.workers[0].pos = Point::new(
+            (station.x + 3.0).min(cfg.size_x),
+            (station.y + 3.0).min(cfg.size_y),
+        );
+        env.workers[0].energy = 10.0;
+        let r = env.step(&[WorkerAction::charge()]);
+        assert_eq!(r.outcomes[0].charged, 0.0);
+        // In range: gains charge_rate (capped by capacity headroom).
+        env.workers[0].pos = station;
+        let r = env.step(&[WorkerAction::charge()]);
+        let expected = env.config().charge_rate.min(env.workers()[0].capacity - 10.0);
+        assert!((r.outcomes[0].charged - expected).abs() < 1e-5);
+        assert!(r.outcomes[0].charge_pulse); // 20/40 ≥ ε₂ = 0.4
+    }
+
+    #[test]
+    fn charge_capped_at_capacity() {
+        let mut cfg = EnvConfig::tiny();
+        cfg.num_pois = 0;
+        let mut env = env_with(cfg);
+        env.workers[0].pos = env.stations()[0].pos;
+        // Nearly full battery: tiny top-up, and no ε₂ pulse.
+        env.workers[0].energy = env.workers()[0].capacity - 1.0;
+        let r = env.step(&[WorkerAction::charge()]);
+        assert!((r.outcomes[0].charged - 1.0).abs() < 1e-5);
+        assert!(!r.outcomes[0].charge_pulse);
+        assert_eq!(env.workers()[0].energy, env.workers()[0].capacity);
+    }
+
+    #[test]
+    fn station_serves_one_worker_per_slot() {
+        let mut cfg = EnvConfig::tiny();
+        cfg.num_workers = 2;
+        cfg.num_pois = 0;
+        let mut env = env_with(cfg);
+        let station = env.stations()[0].pos;
+        env.workers[0].pos = station;
+        env.workers[1].pos = station;
+        env.workers[0].energy = 5.0;
+        env.workers[1].energy = 5.0;
+        let r = env.step(&[WorkerAction::charge(), WorkerAction::charge()]);
+        assert!(r.outcomes[0].charged > 0.0, "first worker wins the station");
+        assert_eq!(r.outcomes[1].charged, 0.0, "second worker is crowded out");
+    }
+
+    #[test]
+    fn exhausted_worker_cannot_move() {
+        let mut cfg = EnvConfig::tiny();
+        cfg.num_pois = 0;
+        let mut env = env_with(cfg);
+        env.workers[0].energy = 0.0;
+        let p0 = env.workers()[0].pos;
+        let r = env.step(&[WorkerAction::go(Move::East)]);
+        assert_eq!(env.workers()[0].pos, p0);
+        assert_eq!(r.outcomes[0].traveled, 0.0);
+        assert!(!r.outcomes[0].collided, "exhaustion is a stall, not a collision");
+    }
+
+    #[test]
+    fn data_pulse_fires_on_epsilon1_crossings() {
+        let mut cfg = EnvConfig::tiny();
+        cfg.num_pois = 1;
+        cfg.epsilon1 = 0.05;
+        let mut env = env_with(cfg);
+        env.workers[0].pos = env.pois()[0].pos;
+        // Each slot collects λ = 20% of the single PoI's data, which is 20%
+        // of total data: every collecting slot crosses ε₁ = 5%.
+        let r = env.step(&stay_all(&env));
+        assert!(r.outcomes[0].data_pulse);
+    }
+
+    #[test]
+    fn valid_moves_mask_is_consistent_with_peek() {
+        let env = env_with(EnvConfig::paper_default());
+        for wi in 0..env.workers().len() {
+            let mask = env.valid_moves(wi);
+            for (i, m) in Move::ALL.iter().enumerate() {
+                if *m == Move::Stay {
+                    assert!(mask[i]);
+                } else {
+                    assert_eq!(mask[i], env.peek_move(wi, *m).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn potential_collection_matches_actual() {
+        let mut cfg = EnvConfig::tiny();
+        cfg.num_pois = 10;
+        let mut env = env_with(cfg);
+        let pos = env.pois()[0].pos;
+        env.workers[0].pos = pos;
+        let predicted = env.potential_collection(&pos);
+        let r = env.step(&stay_all(&env));
+        assert!((predicted - r.outcomes[0].collected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn energy_never_negative_data_never_grows() {
+        let mut env = env_with(EnvConfig::paper_default());
+        let moves = [Move::East, Move::North, Move::SouthWest, Move::Stay, Move::West];
+        let mut prev_remaining: f32 = env.pois().iter().map(|p| p.data).sum();
+        for k in 0..env.config().horizon {
+            let acts: Vec<WorkerAction> =
+                (0..env.workers().len()).map(|w| WorkerAction::go(moves[(k + w) % moves.len()])).collect();
+            env.step(&acts);
+            for w in env.workers() {
+                assert!(w.energy >= 0.0, "negative energy");
+                assert!(w.energy <= w.capacity + 1e-4);
+            }
+            let remaining: f32 = env.pois().iter().map(|p| p.data).sum();
+            assert!(remaining <= prev_remaining + 1e-4, "data regrew");
+            prev_remaining = remaining;
+        }
+    }
+}

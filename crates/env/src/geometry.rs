@@ -1,0 +1,190 @@
+//! Planar geometry for the crowdsensing space: points, rectangles
+//! (obstacles), and the segment tests that decide movement legality.
+
+use serde::{Deserialize, Serialize};
+
+/// A position in the continuous 2-D crowdsensing space.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f32,
+    pub y: f32,
+}
+
+impl Point {
+    /// Constructs a point.
+    pub fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point (the paper's `d(i, j)`).
+    pub fn dist(&self, other: &Point) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Vector addition.
+    pub fn offset(&self, dx: f32, dy: f32) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+/// An axis-aligned rectangular obstacle `[x0, x1] × [y0, y1]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    pub x0: f32,
+    pub y0: f32,
+    pub x1: f32,
+    pub y1: f32,
+}
+
+impl Rect {
+    /// Constructs a rectangle, normalizing corner order.
+    pub fn new(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        Self { x0: x0.min(x1), y0: y0.min(y1), x1: x0.max(x1), y1: y0.max(y1) }
+    }
+
+    /// True if `p` lies strictly inside the rectangle (boundary touching is
+    /// allowed, so workers can skirt walls).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x > self.x0 && p.x < self.x1 && p.y > self.y0 && p.y < self.y1
+    }
+
+    /// Rectangle width.
+    pub fn width(&self) -> f32 {
+        self.x1 - self.x0
+    }
+
+    /// Rectangle height.
+    pub fn height(&self) -> f32 {
+        self.y1 - self.y0
+    }
+
+    /// True if this rectangle overlaps the axis-aligned box
+    /// `[x0, x1] × [y0, y1]` with positive area.
+    pub fn overlaps_box(&self, x0: f32, y0: f32, x1: f32, y1: f32) -> bool {
+        self.x0 < x1 && self.x1 > x0 && self.y0 < y1 && self.y1 > y0
+    }
+
+    /// True if the open segment `a -> b` passes through the rectangle's
+    /// interior. Uses the slab (Liang–Barsky) clipping test.
+    pub fn intersects_segment(&self, a: &Point, b: &Point) -> bool {
+        if self.contains(a) || self.contains(b) {
+            return true;
+        }
+        let (dx, dy) = (b.x - a.x, b.y - a.y);
+        let mut t0 = 0.0f32;
+        let mut t1 = 1.0f32;
+        // Clip against each slab; reject as soon as the interval empties.
+        for (p, q) in [
+            (-dx, a.x - self.x0),
+            (dx, self.x1 - a.x),
+            (-dy, a.y - self.y0),
+            (dy, self.y1 - a.y),
+        ] {
+            if p == 0.0 {
+                if q < 0.0 {
+                    return false; // parallel and outside
+                }
+            } else {
+                let r = q / p;
+                if p < 0.0 {
+                    t0 = t0.max(r);
+                } else {
+                    t1 = t1.min(r);
+                }
+                if t0 > t1 {
+                    return false;
+                }
+            }
+        }
+        // The clipped interval is non-empty; require actual interior overlap
+        // (not a mere boundary graze) by checking the midpoint.
+        let tm = 0.5 * (t0 + t1);
+        let mid = Point::new(a.x + tm * dx, a.y + tm * dy);
+        self.contains(&mid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(b.dist(&a), 5.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn rect_normalizes_corners() {
+        let r = Rect::new(5.0, 6.0, 1.0, 2.0);
+        assert_eq!(r.x0, 1.0);
+        assert_eq!(r.y1, 6.0);
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 4.0);
+    }
+
+    #[test]
+    fn contains_is_strict_interior() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert!(r.contains(&Point::new(1.0, 1.0)));
+        assert!(!r.contains(&Point::new(0.0, 1.0))); // boundary
+        assert!(!r.contains(&Point::new(3.0, 1.0)));
+    }
+
+    #[test]
+    fn overlaps_box_positive_area_only() {
+        let r = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert!(r.overlaps_box(1.5, 1.5, 3.0, 3.0));
+        assert!(r.overlaps_box(0.0, 0.0, 1.1, 1.1));
+        // Touching edges only: no positive-area overlap.
+        assert!(!r.overlaps_box(2.0, 1.0, 3.0, 2.0));
+        assert!(!r.overlaps_box(0.0, 0.0, 1.0, 1.0));
+        // Thin wall half-covering a unit cell overlaps it.
+        let wall = Rect::new(11.0, 0.0, 11.5, 5.0);
+        assert!(wall.overlaps_box(11.0, 2.0, 12.0, 3.0));
+    }
+
+    #[test]
+    fn segment_through_rect_intersects() {
+        let r = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert!(r.intersects_segment(&Point::new(0.0, 1.5), &Point::new(3.0, 1.5)));
+        assert!(r.intersects_segment(&Point::new(1.5, 0.0), &Point::new(1.5, 3.0)));
+        // Diagonal crossing.
+        assert!(r.intersects_segment(&Point::new(0.5, 0.5), &Point::new(2.5, 2.5)));
+    }
+
+    #[test]
+    fn segment_missing_rect_does_not_intersect() {
+        let r = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert!(!r.intersects_segment(&Point::new(0.0, 0.0), &Point::new(3.0, 0.5)));
+        assert!(!r.intersects_segment(&Point::new(0.0, 2.5), &Point::new(3.0, 2.5)));
+        assert!(!r.intersects_segment(&Point::new(0.5, 0.0), &Point::new(0.5, 3.0)));
+    }
+
+    #[test]
+    fn segment_grazing_boundary_is_free() {
+        // Sliding exactly along a wall is legal movement.
+        let r = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert!(!r.intersects_segment(&Point::new(0.0, 1.0), &Point::new(3.0, 1.0)));
+        assert!(!r.intersects_segment(&Point::new(2.0, 0.0), &Point::new(2.0, 3.0)));
+    }
+
+    #[test]
+    fn endpoint_inside_intersects() {
+        let r = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert!(r.intersects_segment(&Point::new(1.5, 1.5), &Point::new(5.0, 5.0)));
+        assert!(r.intersects_segment(&Point::new(5.0, 5.0), &Point::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn degenerate_segment_outside_is_free() {
+        let r = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let p = Point::new(0.5, 0.5);
+        assert!(!r.intersects_segment(&p, &p));
+    }
+}

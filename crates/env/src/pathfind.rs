@@ -1,0 +1,160 @@
+//! Obstacle-aware grid distances.
+//!
+//! A [`DistanceField`] is a BFS flood fill over the state grid with obstacle
+//! cells blocked — the shortest-path structure of the map that straight-line
+//! Euclidean distance ignores. Used for map analysis (e.g. verifying the
+//! hard-exploration corner room is reachable only through its passage) and
+//! available to planners that want true travel distances to stations.
+
+use crate::config::EnvConfig;
+use crate::geometry::Point;
+use crate::state::cell_of;
+use std::collections::VecDeque;
+
+/// Per-cell hop counts from a source, `None` where unreachable or blocked.
+#[derive(Clone, Debug)]
+pub struct DistanceField {
+    grid: usize,
+    dist: Vec<Option<u32>>,
+}
+
+impl DistanceField {
+    /// Flood-fills from the cell containing `source`. Cells whose centers
+    /// fall inside an obstacle are blocked; movement is 8-connected
+    /// (matching the worker move set).
+    pub fn from(cfg: &EnvConfig, source: &Point) -> Self {
+        let g = cfg.grid;
+        let blocked: Vec<bool> = (0..g * g)
+            .map(|i| {
+                let (cx, cy) = (i % g, i / g);
+                let (x0, y0) = (cx as f32 * cfg.cell_x(), cy as f32 * cfg.cell_y());
+                let (x1, y1) = (x0 + cfg.cell_x(), y0 + cfg.cell_y());
+                cfg.obstacles.iter().any(|r| r.overlaps_box(x0, y0, x1, y1))
+            })
+            .collect();
+
+        let mut dist = vec![None; g * g];
+        let (sx, sy) = cell_of(cfg, source);
+        let start = sy * g + sx;
+        let mut queue = VecDeque::new();
+        if !blocked[start] {
+            dist[start] = Some(0);
+            queue.push_back(start);
+        }
+        while let Some(i) = queue.pop_front() {
+            let d = dist[i].unwrap();
+            let (cx, cy) = (i % g, i / g);
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let nx = cx as i32 + dx;
+                    let ny = cy as i32 + dy;
+                    if nx < 0 || ny < 0 || nx >= g as i32 || ny >= g as i32 {
+                        continue;
+                    }
+                    let ni = ny as usize * g + nx as usize;
+                    if blocked[ni] || dist[ni].is_some() {
+                        continue;
+                    }
+                    dist[ni] = Some(d + 1);
+                    queue.push_back(ni);
+                }
+            }
+        }
+        Self { grid: g, dist }
+    }
+
+    /// Hop distance to the cell containing `to`, or `None` if unreachable.
+    pub fn distance_to(&self, cfg: &EnvConfig, to: &Point) -> Option<u32> {
+        let (cx, cy) = cell_of(cfg, to);
+        self.dist[cy * self.grid + cx]
+    }
+
+    /// Number of cells reachable from the source (including it).
+    pub fn reachable_cells(&self) -> usize {
+        self.dist.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// The maximum hop distance over reachable cells (the map's eccentricity
+    /// from this source).
+    pub fn eccentricity(&self) -> u32 {
+        self.dist.iter().flatten().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EnvConfig;
+    use crate::geometry::Rect;
+
+    #[test]
+    fn open_map_reaches_everything() {
+        let cfg = EnvConfig::tiny(); // no obstacles
+        let f = DistanceField::from(&cfg, &Point::new(0.5, 0.5));
+        assert_eq!(f.reachable_cells(), cfg.grid * cfg.grid);
+        // Opposite corner of an 8x8 grid is 7 diagonal hops away.
+        assert_eq!(f.distance_to(&cfg, &Point::new(7.5, 7.5)), Some(7));
+        assert_eq!(f.eccentricity(), 7);
+    }
+
+    #[test]
+    fn wall_forces_detour() {
+        let mut cfg = EnvConfig::tiny();
+        // Vertical wall splitting the map, gap only at the top row.
+        cfg.obstacles = vec![Rect::new(3.6, 0.0, 4.4, 7.0)];
+        let f = DistanceField::from(&cfg, &Point::new(1.5, 1.5));
+        let direct = f.distance_to(&cfg, &Point::new(6.5, 1.5)).expect("reachable via gap");
+        // Straight line would be 5 hops; the detour over the top is longer.
+        assert!(direct > 5, "wall ignored: distance {direct}");
+    }
+
+    #[test]
+    fn sealed_region_is_unreachable() {
+        let mut cfg = EnvConfig::tiny();
+        // Fully sealed box around the corner.
+        cfg.obstacles = vec![
+            Rect::new(5.0, 0.0, 5.8, 3.0),
+            Rect::new(5.0, 2.2, 8.0, 3.0),
+        ];
+        let f = DistanceField::from(&cfg, &Point::new(1.0, 6.0));
+        assert_eq!(f.distance_to(&cfg, &Point::new(7.5, 0.5)), None);
+        assert!(f.reachable_cells() < cfg.grid * cfg.grid);
+    }
+
+    #[test]
+    fn paper_corner_room_is_reachable_only_via_the_passage() {
+        // The Fig. 2(b) map: the bottom-right room must be reachable (the
+        // curiosity experiments depend on it) but only by a detour through
+        // the x in [14, 15] gap — much longer than the straight line.
+        let cfg = EnvConfig::paper_default();
+        let outside = Point::new(9.0, 2.5); // west of the room's west wall
+        let inside = Point::new(13.5, 2.5); // inside the room
+        let f = DistanceField::from(&cfg, &outside);
+        let hops = f.distance_to(&cfg, &inside).expect("corner room must be reachable");
+        // Straight-line distance is ~5 cells; the passage detour (up, over
+        // the wall, through the gap, back down) is far longer.
+        assert!(hops >= 8, "expected a passage detour, got {hops} hops");
+        // And the whole map is connected: every unblocked cell (by the same
+        // positive-area overlap rule the flood fill uses) is reachable.
+        let free_cells = (0..cfg.grid * cfg.grid)
+            .filter(|i| {
+                let (cx, cy) = (i % cfg.grid, i / cfg.grid);
+                let (x0, y0) = (cx as f32, cy as f32);
+                !cfg.obstacles.iter().any(|r| r.overlaps_box(x0, y0, x0 + 1.0, y0 + 1.0))
+            })
+            .count();
+        assert_eq!(f.reachable_cells(), free_cells, "paper map has an unreachable pocket");
+    }
+
+    #[test]
+    fn source_inside_obstacle_reaches_nothing() {
+        let mut cfg = EnvConfig::tiny();
+        cfg.obstacles = vec![Rect::new(3.0, 3.0, 5.0, 5.0)];
+        let f = DistanceField::from(&cfg, &Point::new(4.0, 4.0));
+        assert_eq!(f.reachable_cells(), 0);
+        assert_eq!(f.eccentricity(), 0);
+    }
+}

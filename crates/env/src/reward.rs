@@ -1,0 +1,136 @@
+//! Extrinsic reward mechanisms.
+//!
+//! * [`sparse_reward`] — the paper's sparse mechanism (Eqns 18–19):
+//!   `r^{w,ext} = Υ¹ + Υ² − τ`, averaged over workers. `Υ¹` fires when the
+//!   worker's collection ratio climbs another `ε₁`; `Υ²` fires when the slot's
+//!   charged energy reaches `ε₂·b₀`; `τ` is the collision penalty.
+//! * [`dense_reward`] — the dense function (Eqn 20) used to train the DPPO
+//!   and Edics baselines: `(1/W)·Σ (q/e + σ/b₀ − τ)`.
+
+use crate::config::EnvConfig;
+use crate::env::WorkerOutcome;
+
+/// Guard below which `q/e` is treated as zero (idle slot).
+const MIN_ENERGY: f32 = 1e-6;
+
+/// Per-worker sparse extrinsic reward (Eqn 18).
+pub fn sparse_reward_worker(cfg: &EnvConfig, out: &WorkerOutcome) -> f32 {
+    let y1 = if out.data_pulse { 1.0 } else { 0.0 };
+    let y2 = if out.charge_pulse { 1.0 } else { 0.0 };
+    let tau = if out.collided { cfg.collision_penalty } else { 0.0 };
+    y1 + y2 - tau
+}
+
+/// Team sparse extrinsic reward (Eqn 19): worker average.
+pub fn sparse_reward(cfg: &EnvConfig, outcomes: &[WorkerOutcome]) -> f32 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().map(|o| sparse_reward_worker(cfg, o)).sum::<f32>() / outcomes.len() as f32
+}
+
+/// Per-worker dense reward term of Eqn (20).
+pub fn dense_reward_worker(cfg: &EnvConfig, out: &WorkerOutcome) -> f32 {
+    let collection = if out.consumed > MIN_ENERGY { out.collected / out.consumed } else { 0.0 };
+    let charge = out.charged / cfg.initial_energy;
+    let tau = if out.collided { cfg.collision_penalty } else { 0.0 };
+    collection + charge - tau
+}
+
+/// Team dense reward (Eqn 20): worker average.
+pub fn dense_reward(cfg: &EnvConfig, outcomes: &[WorkerOutcome]) -> f32 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().map(|o| dense_reward_worker(cfg, o)).sum::<f32>() / outcomes.len() as f32
+}
+
+/// Which extrinsic mechanism a trainer uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RewardMode {
+    /// Paper Eqns (18–19) — DRL-CEWS.
+    Sparse,
+    /// Paper Eqn (20) — DPPO / Edics baselines.
+    Dense,
+}
+
+/// Dispatches on [`RewardMode`].
+pub fn extrinsic_reward(mode: RewardMode, cfg: &EnvConfig, outcomes: &[WorkerOutcome]) -> f32 {
+    match mode {
+        RewardMode::Sparse => sparse_reward(cfg, outcomes),
+        RewardMode::Dense => dense_reward(cfg, outcomes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EnvConfig;
+
+    fn cfg() -> EnvConfig {
+        EnvConfig::paper_default()
+    }
+
+    fn outcome() -> WorkerOutcome {
+        WorkerOutcome::default()
+    }
+
+    #[test]
+    fn sparse_pulses_add_up() {
+        let c = cfg();
+        let mut o = outcome();
+        assert_eq!(sparse_reward_worker(&c, &o), 0.0);
+        o.data_pulse = true;
+        assert_eq!(sparse_reward_worker(&c, &o), 1.0);
+        o.charge_pulse = true;
+        assert_eq!(sparse_reward_worker(&c, &o), 2.0);
+        o.collided = true;
+        assert_eq!(sparse_reward_worker(&c, &o), 2.0 - c.collision_penalty);
+    }
+
+    #[test]
+    fn sparse_team_reward_is_mean() {
+        let c = cfg();
+        let mut a = outcome();
+        a.data_pulse = true; // 1.0
+        let b = outcome(); // 0.0
+        assert_eq!(sparse_reward(&c, &[a, b]), 0.5);
+        assert_eq!(sparse_reward(&c, &[]), 0.0);
+    }
+
+    #[test]
+    fn dense_reward_components() {
+        let c = cfg();
+        let mut o = outcome();
+        o.collected = 0.4;
+        o.consumed = 0.5;
+        o.charged = 8.0; // /40 = 0.2
+        let r = dense_reward_worker(&c, &o);
+        assert!((r - (0.8 + 0.2)).abs() < 1e-6);
+        o.collided = true;
+        assert!((dense_reward_worker(&c, &o) - (1.0 - c.collision_penalty)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dense_reward_guards_zero_energy() {
+        let c = cfg();
+        let mut o = outcome();
+        o.collected = 0.3;
+        o.consumed = 0.0; // impossible combination, but must not produce inf
+        let r = dense_reward_worker(&c, &o);
+        assert!(r.is_finite());
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn mode_dispatch() {
+        let c = cfg();
+        let mut o = outcome();
+        o.data_pulse = true;
+        o.collected = 0.2;
+        o.consumed = 0.4;
+        let outs = [o];
+        assert_eq!(extrinsic_reward(RewardMode::Sparse, &c, &outs), 1.0);
+        assert!((extrinsic_reward(RewardMode::Dense, &c, &outs) - 0.5).abs() < 1e-6);
+    }
+}

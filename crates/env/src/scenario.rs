@@ -1,0 +1,257 @@
+//! Scenario generation: scattering PoIs, charging stations and worker
+//! spawns over the space, deterministically from the config seed.
+//!
+//! PoIs follow the paper's "mixture of Gaussian distributions and a random
+//! distribution", with one cluster deliberately seeded inside the
+//! hard-exploration corner room so that coverage fairness requires entering
+//! it.
+
+use crate::config::{EnvConfig, PoiDistribution};
+use crate::entities::{ChargingStation, Poi, Worker};
+use crate::geometry::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fully instantiated scenario ready to run.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    pub workers: Vec<Worker>,
+    pub pois: Vec<Poi>,
+    pub stations: Vec<ChargingStation>,
+}
+
+/// Standard normal via Box–Muller.
+fn randn(rng: &mut StdRng) -> f32 {
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+fn inside_obstacle(cfg: &EnvConfig, p: &Point) -> bool {
+    cfg.obstacles.iter().any(|r| r.contains(p))
+}
+
+/// Rejection-samples a point in free space (uniform over the whole space).
+fn sample_free(cfg: &EnvConfig, rng: &mut StdRng) -> Point {
+    for _ in 0..10_000 {
+        let p = Point::new(rng.gen::<f32>() * cfg.size_x, rng.gen::<f32>() * cfg.size_y);
+        if !inside_obstacle(cfg, &p) {
+            return p;
+        }
+    }
+    panic!("free space appears empty — obstacles cover the whole map");
+}
+
+/// Clamps a point into the space and rejects obstacle interiors by retrying
+/// around the cluster center.
+fn sample_near(cfg: &EnvConfig, center: Point, std: f32, rng: &mut StdRng) -> Point {
+    for _ in 0..1_000 {
+        let p = Point::new(
+            (center.x + randn(rng) * std).clamp(0.05, cfg.size_x - 0.05),
+            (center.y + randn(rng) * std).clamp(0.05, cfg.size_y - 0.05),
+        );
+        if !inside_obstacle(cfg, &p) {
+            return p;
+        }
+    }
+    sample_free(cfg, rng)
+}
+
+/// Generates the PoI set per the configured distribution.
+pub fn generate_pois(cfg: &EnvConfig, rng: &mut StdRng) -> Vec<Poi> {
+    let mut pois = Vec::with_capacity(cfg.num_pois);
+    match cfg.poi_distribution {
+        PoiDistribution::Uniform => {
+            for _ in 0..cfg.num_pois {
+                let pos = sample_free(cfg, rng);
+                pois.push(Poi::new(pos, 0.05 + 0.95 * rng.gen::<f32>()));
+            }
+        }
+        PoiDistribution::ClusteredUneven => {
+            // Cluster centers: a few random ones plus, when the corner room
+            // exists (paper map), one inside it.
+            let mut centers: Vec<(Point, f32, f32)> = Vec::new(); // (center, std, weight)
+            let k = 4;
+            for _ in 0..k {
+                centers.push((sample_free(cfg, rng), 0.09 * cfg.size_x, 1.0));
+            }
+            if !cfg.obstacles.is_empty() {
+                // Heuristic corner-room center matching `paper_obstacles`:
+                // bottom-right region.
+                let corner = Point::new(cfg.size_x * 0.85, cfg.size_y * 0.15);
+                if !inside_obstacle(cfg, &corner) {
+                    centers.push((corner, 0.06 * cfg.size_x, 0.8));
+                }
+            }
+            let total_w: f32 = centers.iter().map(|c| c.2).sum();
+            // 25% uniform background, 75% split over clusters by weight.
+            let n_uniform = cfg.num_pois / 4;
+            for _ in 0..n_uniform {
+                let pos = sample_free(cfg, rng);
+                pois.push(Poi::new(pos, 0.05 + 0.95 * rng.gen::<f32>()));
+            }
+            for i in 0..(cfg.num_pois - n_uniform) {
+                // Deterministic proportional assignment to clusters.
+                let mut pick = (i as f32 + 0.5) / (cfg.num_pois - n_uniform) as f32 * total_w;
+                let mut chosen = centers.len() - 1;
+                for (ci, c) in centers.iter().enumerate() {
+                    if pick < c.2 {
+                        chosen = ci;
+                        break;
+                    }
+                    pick -= c.2;
+                }
+                let (center, std, _) = centers[chosen];
+                let pos = sample_near(cfg, center, std, rng);
+                pois.push(Poi::new(pos, 0.05 + 0.95 * rng.gen::<f32>()));
+            }
+        }
+    }
+    pois
+}
+
+/// Places charging stations spread over free space: a deterministic grid of
+/// candidate anchors, each nudged to the nearest free point.
+pub fn generate_stations(cfg: &EnvConfig, rng: &mut StdRng) -> Vec<ChargingStation> {
+    let mut stations = Vec::with_capacity(cfg.num_stations);
+    // Anchor layout: positions on a coarse lattice chosen to spread coverage.
+    let anchors = [
+        (0.25, 0.25),
+        (0.75, 0.75),
+        (0.25, 0.75),
+        (0.75, 0.25),
+        (0.5, 0.5),
+        (0.5, 0.1),
+        (0.1, 0.5),
+        (0.9, 0.5),
+        (0.5, 0.9),
+        (0.1, 0.1),
+    ];
+    for i in 0..cfg.num_stations {
+        let pos = if i < anchors.len() {
+            let (ax, ay) = anchors[i];
+            let cand = Point::new(ax * cfg.size_x, ay * cfg.size_y);
+            if inside_obstacle(cfg, &cand) {
+                sample_free(cfg, rng)
+            } else {
+                cand
+            }
+        } else {
+            sample_free(cfg, rng)
+        };
+        stations.push(ChargingStation::new(pos, cfg.charge_range));
+    }
+    stations
+}
+
+/// Spawns workers at random free positions.
+pub fn generate_workers(cfg: &EnvConfig, rng: &mut StdRng) -> Vec<Worker> {
+    (0..cfg.num_workers)
+        .map(|_| Worker::new(sample_free(cfg, rng), cfg.initial_energy))
+        .collect()
+}
+
+/// Builds the full scenario from the config seed.
+pub fn build(cfg: &EnvConfig) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let pois = generate_pois(cfg, &mut rng);
+    let stations = generate_stations(cfg, &mut rng);
+    let workers = generate_workers(cfg, &mut rng);
+    Scenario { workers, pois, stations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EnvConfig;
+
+    #[test]
+    fn build_is_deterministic() {
+        let cfg = EnvConfig::paper_default();
+        let a = build(&cfg);
+        let b = build(&cfg);
+        assert_eq!(a.pois, b.pois);
+        assert_eq!(a.workers, b.workers);
+        assert_eq!(a.stations, b.stations);
+    }
+
+    #[test]
+    fn different_seed_different_scenario() {
+        let cfg = EnvConfig::paper_default();
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 999;
+        assert_ne!(build(&cfg).pois, build(&cfg2).pois);
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = EnvConfig::paper_default();
+        let s = build(&cfg);
+        assert_eq!(s.pois.len(), cfg.num_pois);
+        assert_eq!(s.workers.len(), cfg.num_workers);
+        assert_eq!(s.stations.len(), cfg.num_stations);
+    }
+
+    #[test]
+    fn nothing_spawns_inside_obstacles() {
+        let cfg = EnvConfig::paper_default();
+        let s = build(&cfg);
+        for p in &s.pois {
+            assert!(!cfg.obstacles.iter().any(|r| r.contains(&p.pos)), "PoI inside obstacle");
+        }
+        for w in &s.workers {
+            assert!(!cfg.obstacles.iter().any(|r| r.contains(&w.pos)), "worker inside obstacle");
+        }
+        for st in &s.stations {
+            assert!(!cfg.obstacles.iter().any(|r| r.contains(&st.pos)), "station inside obstacle");
+        }
+    }
+
+    #[test]
+    fn everything_inside_space() {
+        let cfg = EnvConfig::paper_default();
+        let s = build(&cfg);
+        for p in &s.pois {
+            assert!(p.pos.x >= 0.0 && p.pos.x <= cfg.size_x);
+            assert!(p.pos.y >= 0.0 && p.pos.y <= cfg.size_y);
+        }
+    }
+
+    #[test]
+    fn clustered_distribution_is_uneven() {
+        // Compare occupancy variance across a coarse grid: clustered must be
+        // substantially more concentrated than uniform.
+        let occupancy_var = |dist: PoiDistribution| {
+            let mut cfg = EnvConfig::paper_default();
+            cfg.poi_distribution = dist;
+            cfg.num_pois = 400;
+            let s = build(&cfg);
+            let g = 8usize;
+            let mut counts = vec![0f32; g * g];
+            for p in &s.pois {
+                let cx = ((p.pos.x / cfg.size_x * g as f32) as usize).min(g - 1);
+                let cy = ((p.pos.y / cfg.size_y * g as f32) as usize).min(g - 1);
+                counts[cy * g + cx] += 1.0;
+            }
+            let mean = 400.0 / (g * g) as f32;
+            counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f32>() / (g * g) as f32
+        };
+        assert!(
+            occupancy_var(PoiDistribution::ClusteredUneven) > 2.0 * occupancy_var(PoiDistribution::Uniform)
+        );
+    }
+
+    #[test]
+    fn corner_room_receives_pois() {
+        // The hard-exploration subarea (x>11.5, y<4.5 in the paper map) must
+        // contain data, otherwise the curiosity experiments are vacuous.
+        let cfg = EnvConfig::paper_default();
+        let s = build(&cfg);
+        let in_room = s
+            .pois
+            .iter()
+            .filter(|p| p.pos.x > 11.5 && p.pos.y < 4.5)
+            .count();
+        assert!(in_room >= 10, "only {in_room} PoIs in the corner room");
+    }
+}

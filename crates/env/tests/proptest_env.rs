@@ -1,0 +1,162 @@
+//! Property-based tests for the crowdsensing simulator's physical and
+//! metric invariants under arbitrary action sequences.
+
+use proptest::prelude::*;
+use vc_env::prelude::*;
+
+/// Strategy: a small random environment config.
+fn env_config() -> impl Strategy<Value = EnvConfig> {
+    (1usize..4, 5usize..40, 0usize..3, 5usize..25, any::<u64>()).prop_map(
+        |(workers, pois, stations, horizon, seed)| {
+            let mut cfg = EnvConfig::tiny();
+            cfg.num_workers = workers;
+            cfg.num_pois = pois;
+            cfg.num_stations = stations;
+            cfg.horizon = horizon;
+            cfg.seed = seed;
+            cfg
+        },
+    )
+}
+
+/// Strategy: an action for one worker.
+fn action() -> impl Strategy<Value = WorkerAction> {
+    (0usize..NUM_MOVES, any::<bool>()).prop_map(|(mv, charge)| WorkerAction {
+        movement: Move::from_index(mv),
+        charge,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn physics_invariants_hold_under_arbitrary_actions(
+        cfg in env_config(),
+        seq in proptest::collection::vec(proptest::collection::vec(action(), 4), 30),
+    ) {
+        let mut env = CrowdsensingEnv::new(cfg.clone());
+        let mut prev_data: f32 = env.pois().iter().map(|p| p.data).sum();
+        for step_actions in seq {
+            if env.done() {
+                break;
+            }
+            let actions: Vec<WorkerAction> =
+                (0..cfg.num_workers).map(|w| step_actions[w % step_actions.len()]).collect();
+            let result = env.step(&actions);
+
+            // Energy stays within [0, capacity].
+            for w in env.workers() {
+                prop_assert!(w.energy >= -1e-4, "negative energy {}", w.energy);
+                prop_assert!(w.energy <= w.capacity + 1e-4, "overfull battery");
+            }
+            // Workers stay inside the space and outside obstacles.
+            for w in env.workers() {
+                prop_assert!(w.pos.x >= 0.0 && w.pos.x <= cfg.size_x);
+                prop_assert!(w.pos.y >= 0.0 && w.pos.y <= cfg.size_y);
+                prop_assert!(!cfg.obstacles.iter().any(|r| r.contains(&w.pos)));
+            }
+            // PoI data never grows.
+            let data: f32 = env.pois().iter().map(|p| p.data).sum();
+            prop_assert!(data <= prev_data + 1e-4, "data regrew {prev_data} -> {data}");
+            prev_data = data;
+
+            // Per-step outcomes are consistent.
+            for out in &result.outcomes {
+                prop_assert!(out.collected >= 0.0);
+                prop_assert!(out.consumed >= 0.0);
+                prop_assert!(out.charged >= 0.0);
+                prop_assert!(out.traveled >= 0.0);
+                prop_assert!(out.traveled <= cfg.max_step + 1e-5);
+                if out.charging {
+                    prop_assert!(out.collected == 0.0, "charging slot collected data");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_stay_bounded(cfg in env_config(), moves in proptest::collection::vec(0usize..NUM_MOVES, 25)) {
+        let mut env = CrowdsensingEnv::new(cfg.clone());
+        for &mv in &moves {
+            if env.done() {
+                break;
+            }
+            let actions = vec![WorkerAction::go(Move::from_index(mv)); cfg.num_workers];
+            env.step(&actions);
+            let m = env.metrics();
+            prop_assert!((0.0..=1.0).contains(&m.data_collection_ratio));
+            prop_assert!((0.0..=1.0).contains(&m.remaining_data_ratio));
+            prop_assert!((0.0..=1.0).contains(&m.fairness_index));
+            prop_assert!(m.energy_efficiency >= 0.0 && m.energy_efficiency.is_finite());
+        }
+    }
+
+    #[test]
+    fn collection_conservation(cfg in env_config(), moves in proptest::collection::vec(0usize..NUM_MOVES, 25)) {
+        // Total collected by workers equals total removed from PoIs.
+        let mut env = CrowdsensingEnv::new(cfg.clone());
+        let initial: f32 = env.pois().iter().map(|p| p.data).sum();
+        for &mv in &moves {
+            if env.done() {
+                break;
+            }
+            env.step(&vec![WorkerAction::go(Move::from_index(mv)); cfg.num_workers]);
+        }
+        let remaining: f32 = env.pois().iter().map(|p| p.data).sum();
+        let collected: f32 = env.workers().iter().map(|w| w.total_collected).sum();
+        prop_assert!(
+            (initial - remaining - collected).abs() < 1e-2,
+            "conservation violated: initial {initial}, remaining {remaining}, collected {collected}"
+        );
+    }
+
+    #[test]
+    fn rewards_are_finite(cfg in env_config(), mv in 0usize..NUM_MOVES) {
+        let mut env = CrowdsensingEnv::new(cfg.clone());
+        let r = env.step(&vec![WorkerAction::go(Move::from_index(mv)); cfg.num_workers]);
+        let sparse = sparse_reward(&cfg, &r.outcomes);
+        let dense = dense_reward(&cfg, &r.outcomes);
+        prop_assert!(sparse.is_finite());
+        prop_assert!(dense.is_finite());
+    }
+
+    #[test]
+    fn jain_index_bounds(values in proptest::collection::vec(0.01f32..10.0, 1..20)) {
+        let j = jain_index(values.iter().copied());
+        let n = values.len() as f32;
+        prop_assert!(j >= 1.0 / n - 1e-5, "jain {j} below 1/n");
+        prop_assert!(j <= 1.0 + 1e-5, "jain {j} above 1");
+    }
+
+    #[test]
+    fn state_encoding_has_fixed_shape(cfg in env_config(), mv in 0usize..NUM_MOVES) {
+        let mut env = CrowdsensingEnv::new(cfg.clone());
+        let expect = vc_env::state::state_len(&cfg);
+        prop_assert_eq!(vc_env::state::encode(&env).len(), expect);
+        env.step(&vec![WorkerAction::go(Move::from_index(mv)); cfg.num_workers]);
+        let s = vc_env::state::encode(&env);
+        prop_assert_eq!(s.len(), expect);
+        prop_assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn scenario_generation_is_pure(cfg in env_config()) {
+        let a = CrowdsensingEnv::new(cfg.clone());
+        let b = CrowdsensingEnv::new(cfg);
+        prop_assert_eq!(a.pois(), b.pois());
+        prop_assert_eq!(a.workers(), b.workers());
+    }
+
+    #[test]
+    fn segment_intersection_is_symmetric(
+        x0 in 0.0f32..8.0, y0 in 0.0f32..8.0,
+        x1 in 0.0f32..8.0, y1 in 0.0f32..8.0,
+        rx in 1.0f32..5.0, ry in 1.0f32..5.0,
+    ) {
+        let r = Rect::new(rx, ry, rx + 1.5, ry + 1.5);
+        let a = Point::new(x0, y0);
+        let b = Point::new(x1, y1);
+        prop_assert_eq!(r.intersects_segment(&a, &b), r.intersects_segment(&b, &a));
+    }
+}

@@ -1,0 +1,101 @@
+//! Weight initializers.
+//!
+//! All initializers take an explicit RNG so that every network in the
+//! workspace is reproducible from a seed.
+
+use crate::tensor::Tensor;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Standard normal sample via Box-Muller (avoids a rand_distr dependency).
+fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+    // u1 in (0, 1] so that ln(u1) is finite.
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Tensor with i.i.d. N(0, std^2) entries.
+pub fn randn(shape: &[usize], std: f32, rng: &mut impl Rng) -> Tensor {
+    let numel: usize = shape.iter().product();
+    let data = (0..numel).map(|_| sample_standard_normal(rng) * std).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Tensor with i.i.d. U(lo, hi) entries.
+pub fn uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(lo <= hi, "uniform bounds inverted: {lo} > {hi}");
+    let dist = Uniform::new_inclusive(lo, hi);
+    let numel: usize = shape.iter().product();
+    let data = (0..numel).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Kaiming/He-normal initialization for layers followed by ReLU:
+/// std = sqrt(2 / fan_in).
+pub fn kaiming_normal(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    randn(shape, (2.0 / fan_in as f32).sqrt(), rng)
+}
+
+/// Xavier/Glorot-uniform initialization:
+/// U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -a, a, rng)
+}
+
+/// Orthogonal-ish initialization used for policy output heads: small-scale
+/// normal, which keeps initial action distributions near uniform.
+pub fn policy_head(shape: &[usize], rng: &mut impl Rng) -> Tensor {
+    randn(shape, 0.01, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = randn(&[10_000], 1.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = uniform(&[1000], -0.5, 0.25, &mut rng);
+        assert!(t.min() >= -0.5);
+        assert!(t.max() <= 0.25);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = randn(&[32], 1.0, &mut StdRng::seed_from_u64(42));
+        let b = randn(&[32], 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kaiming_scale_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let wide = kaiming_normal(&[4096], 2048, &mut rng);
+        let narrow = kaiming_normal(&[4096], 8, &mut rng);
+        assert!(wide.l2_norm() < narrow.l2_norm());
+    }
+
+    #[test]
+    fn xavier_bound_is_finite_and_tight() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = xavier_uniform(&[512], 16, 16, &mut rng);
+        let a = (6.0f32 / 32.0).sqrt();
+        assert!(t.max() <= a && t.min() >= -a);
+    }
+}

@@ -1,0 +1,17 @@
+//! Neural-network layers built on the autograd [`crate::graph::Graph`].
+//!
+//! A layer registers its parameters in a [`crate::param::ParamStore`] at
+//! construction time and holds only [`crate::param::ParamId`]s; `forward`
+//! re-binds those parameters into whichever graph the caller is building.
+
+mod conv2d;
+mod embedding;
+mod layer_norm;
+mod linear;
+mod mlp;
+
+pub use conv2d::Conv2dLayer;
+pub use embedding::Embedding;
+pub use layer_norm::LayerNormLayer;
+pub use linear::Linear;
+pub use mlp::{Activation, Mlp};

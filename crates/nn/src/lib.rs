@@ -1,0 +1,60 @@
+//! # vc-nn — from-scratch tensors, autograd and layers for DRL-CEWS
+//!
+//! The DRL-CEWS reproduction needs a small but complete deep-learning stack:
+//! the paper trains a CNN state encoder, PPO policy/value heads, and a
+//! curiosity forward model with Adam — none of which can come from an
+//! external ML framework in this workspace. This crate provides that stack:
+//!
+//! * [`tensor::Tensor`] — dense row-major `f32` storage;
+//! * [`graph::Graph`] — a tape-based reverse-mode autograd with the op
+//!   vocabulary PPO and curiosity losses need (matmul, conv2d, layer norm,
+//!   softmax/log-softmax, clip/min for the PPO surrogate, …);
+//! * [`param::ParamStore`] — parameter + gradient storage with the flat
+//!   buffer views used by the chief–employee gradient exchange;
+//! * [`layers`] — Linear, Conv2d, LayerNorm, Embedding, Mlp;
+//! * [`optim`] — SGD and Adam;
+//! * [`serialize`] — binary checkpoints.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use vc_nn::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let net = Mlp::new(&mut store, "net", &[2, 16, 1], Activation::Tanh, &mut rng);
+//! let mut opt = Adam::new(1e-2);
+//!
+//! for _ in 0..10 {
+//!     store.zero_grads();
+//!     let mut g = Graph::new();
+//!     let x = g.leaf(Tensor::from_vec(&[4, 2], vec![0.; 8]));
+//!     let y = net.forward(&mut g, &store, x);
+//!     let sq = g.square(y);
+//!     let loss = g.mean_all(sq);
+//!     g.backward(loss, &mut store);
+//!     opt.step(&mut store);
+//! }
+//! ```
+
+pub mod graph;
+pub mod init;
+pub mod layers;
+pub mod op;
+pub mod ops;
+pub mod optim;
+pub mod param;
+pub mod serialize;
+pub mod tensor;
+
+/// Convenience re-exports of the types nearly every consumer needs.
+pub mod prelude {
+    pub use crate::graph::{Graph, NodeId};
+    pub use crate::layers::{Activation, Conv2dLayer, Embedding, LayerNormLayer, Linear, Mlp};
+    pub use crate::ops::conv::ConvCfg;
+    pub use crate::optim::{Adam, LrSchedule, Optimizer, Sgd};
+    pub use crate::param::{ParamId, ParamStore};
+    pub use crate::serialize::{load_checkpoint, save_checkpoint};
+    pub use crate::tensor::Tensor;
+}

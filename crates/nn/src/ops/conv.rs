@@ -1,0 +1,363 @@
+//! 2-D convolution via im2col, with an exact backward pass.
+//!
+//! Layout conventions:
+//! * input `x`: `[B, C_in, H, W]`
+//! * weight `w`: `[C_out, C_in, KH, KW]`
+//! * bias `b`: `[C_out]`
+//! * output: `[B, C_out, HO, WO]`
+//!
+//! The forward pass lowers each batch item to a column matrix
+//! `[C_in*KH*KW, HO*WO]` and multiplies by the weight viewed as
+//! `[C_out, C_in*KH*KW]`. The column matrices for the whole batch are saved
+//! in the graph node so the backward pass is two matmuls plus a `col2im`
+//! scatter.
+
+use crate::tensor::Tensor;
+
+/// Static configuration of a convolution (shapes, stride, padding).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvCfg {
+    pub in_channels: usize,
+    pub out_channels: usize,
+    pub kernel: usize,
+    pub stride: usize,
+    pub padding: usize,
+}
+
+impl ConvCfg {
+    /// Output spatial size for an input spatial size, or `None` if the
+    /// kernel does not fit.
+    pub fn out_size(&self, input: usize) -> Option<usize> {
+        let padded = input + 2 * self.padding;
+        if padded < self.kernel {
+            return None;
+        }
+        Some((padded - self.kernel) / self.stride + 1)
+    }
+}
+
+/// Lowers one batch item `[C, H, W]` (slice of length C*H*W) into a column
+/// matrix `[C*K*K, HO*WO]` written into `cols`.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's natural signature
+pub fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    cfg: &ConvCfg,
+    ho: usize,
+    wo: usize,
+    cols: &mut [f32],
+) {
+    let k = cfg.kernel;
+    let n_spatial = ho * wo;
+    debug_assert_eq!(cols.len(), c * k * k * n_spatial);
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let base = row * n_spatial;
+                for oy in 0..ho {
+                    let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                    for ox in 0..wo {
+                        let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                        let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            x[(ch * h + iy as usize) * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        cols[base + oy * wo + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Inverse of [`im2col`]: scatter-adds a column-matrix gradient back onto the
+/// input gradient of one batch item.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's natural signature
+pub fn col2im(
+    gcols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    cfg: &ConvCfg,
+    ho: usize,
+    wo: usize,
+    gx: &mut [f32],
+) {
+    let k = cfg.kernel;
+    let n_spatial = ho * wo;
+    debug_assert_eq!(gcols.len(), c * k * k * n_spatial);
+    debug_assert_eq!(gx.len(), c * h * w);
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let base = row * n_spatial;
+                for oy in 0..ho {
+                    let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..wo {
+                        let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        gx[(ch * h + iy as usize) * w + ix as usize] += gcols[base + oy * wo + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Result of a convolution forward pass: output plus the saved column
+/// matrices needed by the backward pass.
+pub struct ConvForward {
+    pub output: Tensor,
+    /// `[B, C_in*K*K, HO*WO]` flattened.
+    pub cols: Tensor,
+}
+
+/// Forward convolution. Panics on shape mismatches.
+pub fn conv2d_forward(x: &Tensor, w: &Tensor, b: &Tensor, cfg: &ConvCfg) -> ConvForward {
+    assert_eq!(x.ndim(), 4, "conv input must be [B,C,H,W]");
+    let (bsz, c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    assert_eq!(c, cfg.in_channels, "input channels mismatch");
+    assert_eq!(
+        w.shape(),
+        &[cfg.out_channels, cfg.in_channels, cfg.kernel, cfg.kernel],
+        "weight shape mismatch"
+    );
+    assert_eq!(b.shape(), &[cfg.out_channels], "bias shape mismatch");
+    let ho = cfg.out_size(h).expect("kernel larger than padded input height");
+    let wo = cfg.out_size(wd).expect("kernel larger than padded input width");
+    let patch = c * cfg.kernel * cfg.kernel;
+    let n_spatial = ho * wo;
+
+    let w_mat = w.reshape(&[cfg.out_channels, patch]);
+    let mut cols_all = vec![0.0f32; bsz * patch * n_spatial];
+    let mut out = vec![0.0f32; bsz * cfg.out_channels * n_spatial];
+    for bi in 0..bsz {
+        let x_item = &x.data()[bi * c * h * wd..(bi + 1) * c * h * wd];
+        let cols = &mut cols_all[bi * patch * n_spatial..(bi + 1) * patch * n_spatial];
+        im2col(x_item, c, h, wd, cfg, ho, wo, cols);
+        let cols_t = Tensor::from_vec(&[patch, n_spatial], cols.to_vec());
+        let y = w_mat.matmul(&cols_t); // [C_out, HO*WO]
+        let dst = &mut out[bi * cfg.out_channels * n_spatial..(bi + 1) * cfg.out_channels * n_spatial];
+        for co in 0..cfg.out_channels {
+            let bias = b.data()[co];
+            for (d, &s) in dst[co * n_spatial..(co + 1) * n_spatial]
+                .iter_mut()
+                .zip(&y.data()[co * n_spatial..(co + 1) * n_spatial])
+            {
+                *d = s + bias;
+            }
+        }
+    }
+    ConvForward {
+        output: Tensor::from_vec(&[bsz, cfg.out_channels, ho, wo], out),
+        cols: Tensor::from_vec(&[bsz, patch, n_spatial], cols_all),
+    }
+}
+
+/// Gradients of a convolution with respect to input, weight and bias.
+pub struct ConvGrads {
+    pub gx: Tensor,
+    pub gw: Tensor,
+    pub gb: Tensor,
+}
+
+/// Backward convolution given the upstream gradient `gout` (`[B,C_out,HO,WO]`),
+/// the saved column matrices, the weight, and the original input shape.
+pub fn conv2d_backward(
+    gout: &Tensor,
+    cols: &Tensor,
+    w: &Tensor,
+    x_shape: &[usize],
+    cfg: &ConvCfg,
+) -> ConvGrads {
+    let (bsz, c, h, wd) = (x_shape[0], x_shape[1], x_shape[2], x_shape[3]);
+    let ho = gout.shape()[2];
+    let wo = gout.shape()[3];
+    let patch = c * cfg.kernel * cfg.kernel;
+    let n_spatial = ho * wo;
+    let w_mat = w.reshape(&[cfg.out_channels, patch]);
+    let w_mat_t = w_mat.transpose();
+
+    let mut gx = Tensor::zeros(x_shape);
+    let mut gw_mat = Tensor::zeros(&[cfg.out_channels, patch]);
+    let mut gb = Tensor::zeros(&[cfg.out_channels]);
+
+    for bi in 0..bsz {
+        let go = Tensor::from_vec(
+            &[cfg.out_channels, n_spatial],
+            gout.data()[bi * cfg.out_channels * n_spatial..(bi + 1) * cfg.out_channels * n_spatial]
+                .to_vec(),
+        );
+        let cols_t = Tensor::from_vec(
+            &[patch, n_spatial],
+            cols.data()[bi * patch * n_spatial..(bi + 1) * patch * n_spatial].to_vec(),
+        );
+        // dW += gout_b · cols_bᵀ
+        gw_mat.add_assign(&go.matmul(&cols_t.transpose()));
+        // db += Σ_spatial gout_b
+        for co in 0..cfg.out_channels {
+            gb.data_mut()[co] += go.data()[co * n_spatial..(co + 1) * n_spatial].iter().sum::<f32>();
+        }
+        // dcols = Wᵀ · gout_b, scattered back to the input.
+        let gcols = w_mat_t.matmul(&go);
+        let gx_item = &mut gx.data_mut()[bi * c * h * wd..(bi + 1) * c * h * wd];
+        col2im(gcols.data(), c, h, wd, cfg, ho, wo, gx_item);
+    }
+    ConvGrads {
+        gx,
+        gw: gw_mat.reshape(&[cfg.out_channels, cfg.in_channels, cfg.kernel, cfg.kernel]),
+        gb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(cin: usize, cout: usize, k: usize, s: usize, p: usize) -> ConvCfg {
+        ConvCfg { in_channels: cin, out_channels: cout, kernel: k, stride: s, padding: p }
+    }
+
+    #[test]
+    fn out_size_matches_formula() {
+        let c = cfg(1, 1, 3, 1, 1);
+        assert_eq!(c.out_size(8), Some(8));
+        let c2 = cfg(1, 1, 3, 2, 0);
+        assert_eq!(c2.out_size(7), Some(3));
+        let c3 = cfg(1, 1, 5, 1, 0);
+        assert_eq!(c3.out_size(3), None);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // A 1x1 kernel with weight 1 and bias 0 is the identity map.
+        let c = cfg(1, 1, 1, 1, 0);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let b = Tensor::zeros(&[1]);
+        let f = conv2d_forward(&x, &w, &b, &c);
+        assert_eq!(f.output.data(), x.data());
+    }
+
+    #[test]
+    fn averaging_kernel_known_value() {
+        // 2x2 kernel of 0.25 over a 2x2 input with stride 2 = mean of input.
+        let c = cfg(1, 1, 2, 2, 0);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let w = Tensor::full(&[1, 1, 2, 2], 0.25);
+        let b = Tensor::zeros(&[1]);
+        let f = conv2d_forward(&x, &w, &b, &c);
+        assert_eq!(f.output.shape(), &[1, 1, 1, 1]);
+        assert!((f.output.item() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let c = cfg(1, 2, 1, 1, 0);
+        let x = Tensor::from_vec(&[1, 1, 1, 2], vec![1., 2.]);
+        let w = Tensor::from_vec(&[2, 1, 1, 1], vec![1., 0.]);
+        let b = Tensor::from_vec(&[2], vec![10., 20.]);
+        let f = conv2d_forward(&x, &w, &b, &c);
+        assert_eq!(f.output.data(), &[11., 12., 20., 20.]);
+    }
+
+    #[test]
+    fn padding_zero_extends() {
+        let c = cfg(1, 1, 3, 1, 1);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let b = Tensor::zeros(&[1]);
+        let f = conv2d_forward(&x, &w, &b, &c);
+        // Each output sees the 4 ones minus those cut off by the border.
+        assert_eq!(f.output.shape(), &[1, 1, 2, 2]);
+        assert_eq!(f.output.data(), &[4., 4., 4., 4.]);
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y: the transpose
+        // relationship that makes the backward pass exact.
+        let c = cfg(2, 1, 3, 2, 1);
+        let (ch, h, w) = (2usize, 5usize, 4usize);
+        let ho = c.out_size(h).unwrap();
+        let wo = c.out_size(w).unwrap();
+        let patch = ch * 9;
+        let x: Vec<f32> = (0..ch * h * w).map(|i| (i as f32 * 0.7).sin()).collect();
+        let y: Vec<f32> = (0..patch * ho * wo).map(|i| (i as f32 * 1.3).cos()).collect();
+
+        let mut cols = vec![0.0; patch * ho * wo];
+        im2col(&x, ch, h, w, &c, ho, wo, &mut cols);
+        let lhs: f32 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
+
+        let mut gx = vec![0.0; ch * h * w];
+        col2im(&y, ch, h, w, &c, ho, wo, &mut gx);
+        let rhs: f32 = x.iter().zip(&gx).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs {lhs} rhs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let c = cfg(2, 3, 3, 1, 1);
+        let xs = [1usize, 2, 4, 4];
+        let mut seed = 0u32;
+        let mut next = || {
+            seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+            (seed >> 9) as f32 / (1u32 << 23) as f32 - 0.5
+        };
+        let x = Tensor::from_vec(&xs, (0..32).map(|_| next()).collect());
+        let w = Tensor::from_vec(&[3, 2, 3, 3], (0..54).map(|_| next()).collect());
+        let b = Tensor::from_vec(&[3], (0..3).map(|_| next()).collect());
+
+        // Loss = sum of outputs, so gout = ones.
+        let f = conv2d_forward(&x, &w, &b, &c);
+        let gout = Tensor::ones(f.output.shape());
+        let grads = conv2d_backward(&gout, &f.cols, &w, x.shape(), &c);
+
+        let eps = 1e-2f32;
+        // Check a sample of weight coordinates.
+        for &i in &[0usize, 7, 20, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let fp = conv2d_forward(&x, &wp, &b, &c).output.sum();
+            let fm = conv2d_forward(&x, &wm, &b, &c).output.sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - grads.gw.data()[i]).abs() < 2e-2,
+                "gw[{i}] numeric {num} analytic {}",
+                grads.gw.data()[i]
+            );
+        }
+        // Check a sample of input coordinates.
+        for &i in &[0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = conv2d_forward(&xp, &w, &b, &c).output.sum();
+            let fm = conv2d_forward(&xm, &w, &b, &c).output.sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - grads.gx.data()[i]).abs() < 2e-2,
+                "gx[{i}] numeric {num} analytic {}",
+                grads.gx.data()[i]
+            );
+        }
+        // Bias gradient is exactly the number of output positions per channel.
+        let n_spatial = (f.output.shape()[2] * f.output.shape()[3]) as f32;
+        for co in 0..3 {
+            assert!((grads.gb.data()[co] - n_spatial).abs() < 1e-3);
+        }
+    }
+}

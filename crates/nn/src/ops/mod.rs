@@ -1,0 +1,7 @@
+//! Forward/backward kernels for the heavier operations, kept as pure
+//! functions so they can be unit-tested and benchmarked independently of the
+//! autograd graph.
+
+pub mod conv;
+pub mod norm;
+pub mod softmax;

@@ -1,0 +1,179 @@
+//! Layer normalization over the trailing feature dimension.
+//!
+//! The input is viewed as `[rows, features]`: each row is normalized to zero
+//! mean and unit variance, then scaled by `gamma` and shifted by `beta`
+//! (both `[features]`). The DRL-CEWS CNN applies this after every conv layer
+//! (on the flattened `[B, C*H*W]` view) to stabilize PPO updates.
+
+use crate::tensor::Tensor;
+
+/// Saved statistics from a layer-norm forward pass, needed for backward.
+#[derive(Clone, Debug)]
+pub struct LayerNormCtx {
+    pub mean: Vec<f32>,
+    /// Reciprocal standard deviation per row.
+    pub rstd: Vec<f32>,
+}
+
+/// Forward layer norm: returns output and the per-row statistics.
+pub fn layer_norm_forward(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tensor, LayerNormCtx) {
+    assert_eq!(x.ndim(), 2, "layer_norm input must be [rows, features]");
+    let (rows, feat) = (x.shape()[0], x.shape()[1]);
+    assert_eq!(gamma.shape(), &[feat], "gamma shape mismatch");
+    assert_eq!(beta.shape(), &[feat], "beta shape mismatch");
+    let mut out = vec![0.0f32; rows * feat];
+    let mut mean = vec![0.0f32; rows];
+    let mut rstd = vec![0.0f32; rows];
+    for r in 0..rows {
+        let row = &x.data()[r * feat..(r + 1) * feat];
+        let mu = row.iter().sum::<f32>() / feat as f32;
+        let var = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / feat as f32;
+        let rs = 1.0 / (var + eps).sqrt();
+        mean[r] = mu;
+        rstd[r] = rs;
+        for ((d, &v), (&g, &b)) in out[r * feat..(r + 1) * feat]
+            .iter_mut()
+            .zip(row)
+            .zip(gamma.data().iter().zip(beta.data()))
+        {
+            *d = (v - mu) * rs * g + b;
+        }
+    }
+    (Tensor::from_vec(&[rows, feat], out), LayerNormCtx { mean, rstd })
+}
+
+/// Gradients of layer norm w.r.t. input, gamma and beta.
+pub struct LayerNormGrads {
+    pub gx: Tensor,
+    pub ggamma: Tensor,
+    pub gbeta: Tensor,
+}
+
+/// Backward layer norm given the upstream gradient and saved statistics.
+pub fn layer_norm_backward(
+    gout: &Tensor,
+    x: &Tensor,
+    gamma: &Tensor,
+    ctx: &LayerNormCtx,
+) -> LayerNormGrads {
+    let (rows, feat) = (x.shape()[0], x.shape()[1]);
+    let n = feat as f32;
+    let mut gx = vec![0.0f32; rows * feat];
+    let mut ggamma = vec![0.0f32; feat];
+    let mut gbeta = vec![0.0f32; feat];
+    for r in 0..rows {
+        let xr = &x.data()[r * feat..(r + 1) * feat];
+        let gr = &gout.data()[r * feat..(r + 1) * feat];
+        let (mu, rs) = (ctx.mean[r], ctx.rstd[r]);
+        // xhat and the two row reductions the input gradient needs.
+        let mut sum_gy = 0.0f32;
+        let mut sum_gy_xhat = 0.0f32;
+        for j in 0..feat {
+            let xhat = (xr[j] - mu) * rs;
+            let gy = gr[j] * gamma.data()[j];
+            sum_gy += gy;
+            sum_gy_xhat += gy * xhat;
+            ggamma[j] += gr[j] * xhat;
+            gbeta[j] += gr[j];
+        }
+        for j in 0..feat {
+            let xhat = (xr[j] - mu) * rs;
+            let gy = gr[j] * gamma.data()[j];
+            gx[r * feat + j] = rs * (gy - sum_gy / n - xhat * sum_gy_xhat / n);
+        }
+    }
+    LayerNormGrads {
+        gx: Tensor::from_vec(&[rows, feat], gx),
+        ggamma: Tensor::from_vec(&[feat], ggamma),
+        gbeta: Tensor::from_vec(&[feat], gbeta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_normalizes_rows() {
+        let x = Tensor::from_vec(&[2, 4], vec![1., 2., 3., 4., -2., 0., 2., 8.]);
+        let gamma = Tensor::ones(&[4]);
+        let beta = Tensor::zeros(&[4]);
+        let (y, _) = layer_norm_forward(&x, &gamma, &beta, 1e-5);
+        for r in 0..2 {
+            let row: Vec<f32> = (0..4).map(|c| y.at2(r, c)).collect();
+            let mu: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / 4.0;
+            assert!(mu.abs() < 1e-5, "row {r} mean {mu}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_apply_affine() {
+        let x = Tensor::from_vec(&[1, 2], vec![0., 2.]);
+        let gamma = Tensor::from_vec(&[2], vec![3., 3.]);
+        let beta = Tensor::from_vec(&[2], vec![10., 10.]);
+        let (y, _) = layer_norm_forward(&x, &gamma, &beta, 1e-8);
+        // Normalized row is [-1, 1], so output is [7, 13].
+        assert!((y.data()[0] - 7.0).abs() < 1e-3);
+        assert!((y.data()[1] - 13.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn constant_row_stays_finite() {
+        let x = Tensor::full(&[1, 8], 5.0);
+        let (y, _) = layer_norm_forward(&x, &Tensor::ones(&[8]), &Tensor::zeros(&[8]), 1e-5);
+        assert!(!y.has_non_finite());
+        assert!(y.data().iter().all(|v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let feat = 6usize;
+        let x = Tensor::from_vec(&[2, feat], (0..12).map(|i| (i as f32 * 0.6).sin()).collect());
+        let gamma = Tensor::from_vec(&[feat], (0..feat).map(|i| 1.0 + 0.1 * i as f32).collect());
+        let beta = Tensor::from_vec(&[feat], (0..feat).map(|i| 0.05 * i as f32).collect());
+        let eps = 1e-5;
+        let wts: Vec<f32> = (0..12).map(|i| 0.2 + 0.13 * i as f32).collect();
+        let loss = |x: &Tensor, g: &Tensor, b: &Tensor| -> f32 {
+            let (y, _) = layer_norm_forward(x, g, b, eps);
+            y.data().iter().zip(&wts).map(|(a, w)| a * w).sum()
+        };
+
+        let (y, ctx) = layer_norm_forward(&x, &gamma, &beta, eps);
+        let gout = Tensor::from_vec(y.shape(), wts.clone());
+        let grads = layer_norm_backward(&gout, &x, &gamma, &ctx);
+
+        let h = 1e-3f32;
+        for i in 0..12 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let num = (loss(&xp, &gamma, &beta) - loss(&xm, &gamma, &beta)) / (2.0 * h);
+            assert!(
+                (num - grads.gx.data()[i]).abs() < 2e-2,
+                "gx[{i}] numeric {num} analytic {}",
+                grads.gx.data()[i]
+            );
+        }
+        for i in 0..feat {
+            let mut gp = gamma.clone();
+            gp.data_mut()[i] += h;
+            let mut gm = gamma.clone();
+            gm.data_mut()[i] -= h;
+            let num = (loss(&x, &gp, &beta) - loss(&x, &gm, &beta)) / (2.0 * h);
+            assert!(
+                (num - grads.ggamma.data()[i]).abs() < 2e-2,
+                "ggamma[{i}] numeric {num} analytic {}",
+                grads.ggamma.data()[i]
+            );
+            let mut bp = beta.clone();
+            bp.data_mut()[i] += h;
+            let mut bm = beta.clone();
+            bm.data_mut()[i] -= h;
+            let numb = (loss(&x, &gamma, &bp) - loss(&x, &gamma, &bm)) / (2.0 * h);
+            assert!((numb - grads.gbeta.data()[i]).abs() < 2e-2);
+        }
+    }
+}

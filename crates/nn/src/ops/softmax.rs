@@ -1,0 +1,159 @@
+//! Row-wise softmax / log-softmax with exact backward passes.
+//!
+//! All functions operate on rank-2 tensors `[rows, cols]`, treating each row
+//! as an independent distribution — the layout used for per-worker action
+//! heads after the `[B, W*A] -> [B*W, A]` reshape.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable row-wise softmax.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    assert_eq!(x.ndim(), 2, "softmax_rows requires rank 2");
+    let (rows, cols) = (x.shape()[0], x.shape()[1]);
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &x.data()[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let dst = &mut out[r * cols..(r + 1) * cols];
+        let mut z = 0.0f32;
+        for (d, &v) in dst.iter_mut().zip(row) {
+            let e = (v - m).exp();
+            *d = e;
+            z += e;
+        }
+        for d in dst.iter_mut() {
+            *d /= z;
+        }
+    }
+    Tensor::from_vec(&[rows, cols], out)
+}
+
+/// Numerically stable row-wise log-softmax.
+pub fn log_softmax_rows(x: &Tensor) -> Tensor {
+    assert_eq!(x.ndim(), 2, "log_softmax_rows requires rank 2");
+    let (rows, cols) = (x.shape()[0], x.shape()[1]);
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &x.data()[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+        for (d, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+            *d = v - lse;
+        }
+    }
+    Tensor::from_vec(&[rows, cols], out)
+}
+
+/// Backward of [`softmax_rows`]: given y = softmax(x) and upstream gradient
+/// g, returns dL/dx = y ⊙ (g − ⟨g, y⟩_row).
+pub fn softmax_backward(y: &Tensor, gout: &Tensor) -> Tensor {
+    assert_eq!(y.shape(), gout.shape());
+    let (rows, cols) = (y.shape()[0], y.shape()[1]);
+    let mut gin = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let yr = &y.data()[r * cols..(r + 1) * cols];
+        let gr = &gout.data()[r * cols..(r + 1) * cols];
+        let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+        for ((d, &yv), &gv) in gin[r * cols..(r + 1) * cols].iter_mut().zip(yr).zip(gr) {
+            *d = yv * (gv - dot);
+        }
+    }
+    Tensor::from_vec(&[rows, cols], gin)
+}
+
+/// Backward of [`log_softmax_rows`]: given y = log_softmax(x) and upstream
+/// gradient g, returns dL/dx = g − softmax(x) · Σ_row g.
+pub fn log_softmax_backward(y: &Tensor, gout: &Tensor) -> Tensor {
+    assert_eq!(y.shape(), gout.shape());
+    let (rows, cols) = (y.shape()[0], y.shape()[1]);
+    let mut gin = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let yr = &y.data()[r * cols..(r + 1) * cols];
+        let gr = &gout.data()[r * cols..(r + 1) * cols];
+        let gsum: f32 = gr.iter().sum();
+        for ((d, &yv), &gv) in gin[r * cols..(r + 1) * cols].iter_mut().zip(yr).zip(gr) {
+            *d = gv - yv.exp() * gsum;
+        }
+    }
+    Tensor::from_vec(&[rows, cols], gin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(&[2, 3], vec![1., 2., 3., -1., 0., 1.]);
+        let y = softmax_rows(&x);
+        for r in 0..2 {
+            let s: f32 = (0..3).map(|c| y.at2(r, c)).sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(&[1, 3], vec![1., 2., 3.]);
+        let xs = x.map(|v| v + 100.0);
+        let a = softmax_rows(&x);
+        let b = softmax_rows(&xs);
+        for i in 0..3 {
+            assert!((a.data()[i] - b.data()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_large_negative_mask() {
+        // Masked logits use -1e9; softmax must assign them ~0 without NaN.
+        let x = Tensor::from_vec(&[1, 3], vec![0.5, -1e9, 0.5]);
+        let y = softmax_rows(&x);
+        assert!(!y.has_non_finite());
+        assert!(y.data()[1] < 1e-6);
+        assert!((y.data()[0] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = Tensor::from_vec(&[2, 4], vec![0.3, -0.7, 1.2, 0.0, 2.0, 2.0, 2.0, 2.0]);
+        let ls = log_softmax_rows(&x);
+        let s = softmax_rows(&x);
+        for i in 0..8 {
+            assert!((ls.data()[i] - s.data()[i].ln()).abs() < 1e-5);
+        }
+    }
+
+    fn finite_diff_check(cols: usize, f: impl Fn(&Tensor) -> Tensor, bwd: impl Fn(&Tensor, &Tensor) -> Tensor) {
+        let x = Tensor::from_vec(&[1, cols], (0..cols).map(|i| (i as f32 * 0.9).sin()).collect());
+        // Loss = Σ w_i · f(x)_i with arbitrary weights.
+        let wts: Vec<f32> = (0..cols).map(|i| 0.5 + 0.3 * i as f32).collect();
+        let y = f(&x);
+        let gout = Tensor::from_vec(&[1, cols], wts.clone());
+        let gin = bwd(&y, &gout);
+        let eps = 1e-3f32;
+        for i in 0..cols {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lp: f32 = f(&xp).data().iter().zip(&wts).map(|(a, b)| a * b).sum();
+            let lm: f32 = f(&xm).data().iter().zip(&wts).map(|(a, b)| a * b).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gin.data()[i]).abs() < 1e-2,
+                "coord {i}: numeric {num} analytic {}",
+                gin.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        finite_diff_check(5, softmax_rows, softmax_backward);
+    }
+
+    #[test]
+    fn log_softmax_backward_matches_finite_difference() {
+        finite_diff_check(5, log_softmax_rows, log_softmax_backward);
+    }
+}

@@ -1,0 +1,97 @@
+//! Learning-rate schedules.
+//!
+//! PPO training benefits from annealing the step size as the policy
+//! converges; the chief applies one of these schedules to its Adam
+//! optimizers between episodes.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule over training progress `t ∈ [0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum LrSchedule {
+    /// Constant at the base rate.
+    #[default]
+    Constant,
+    /// Linear decay from the base rate to `final_fraction·base` at t = 1.
+    Linear { final_fraction: f32 },
+    /// Cosine decay from the base rate to `final_fraction·base` at t = 1.
+    Cosine { final_fraction: f32 },
+    /// Step decay: multiply by `factor` after each boundary fraction.
+    Step { factor: f32, boundaries: [f32; 2] },
+}
+
+impl LrSchedule {
+    /// The learning rate at progress `t ∈ [0, 1]` for a base rate.
+    pub fn at(&self, base: f32, t: f32) -> f32 {
+        let t = t.clamp(0.0, 1.0);
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::Linear { final_fraction } => {
+                base * (1.0 - t * (1.0 - final_fraction))
+            }
+            LrSchedule::Cosine { final_fraction } => {
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                base * (final_fraction + (1.0 - final_fraction) * cos)
+            }
+            LrSchedule::Step { factor, boundaries } => {
+                let mut lr = base;
+                for &b in &boundaries {
+                    if t >= b {
+                        lr *= factor;
+                    }
+                }
+                lr
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_moves() {
+        let s = LrSchedule::Constant;
+        for t in [0.0, 0.3, 1.0, 5.0] {
+            assert_eq!(s.at(3e-4, t), 3e-4);
+        }
+    }
+
+    #[test]
+    fn linear_hits_endpoints() {
+        let s = LrSchedule::Linear { final_fraction: 0.1 };
+        assert!((s.at(1.0, 0.0) - 1.0).abs() < 1e-6);
+        assert!((s.at(1.0, 1.0) - 0.1).abs() < 1e-6);
+        assert!((s.at(1.0, 0.5) - 0.55).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing() {
+        let s = LrSchedule::Cosine { final_fraction: 0.0 };
+        let mut prev = f32::INFINITY;
+        for i in 0..=10 {
+            let lr = s.at(1.0, i as f32 / 10.0);
+            assert!(lr <= prev + 1e-6);
+            prev = lr;
+        }
+        assert!(prev.abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_applies_at_boundaries() {
+        let s = LrSchedule::Step { factor: 0.5, boundaries: [0.5, 0.8] };
+        assert_eq!(s.at(1.0, 0.4), 1.0);
+        assert_eq!(s.at(1.0, 0.6), 0.5);
+        assert_eq!(s.at(1.0, 0.9), 0.25);
+    }
+
+    #[test]
+    fn progress_is_clamped() {
+        let s = LrSchedule::Linear { final_fraction: 0.0 };
+        assert_eq!(s.at(1.0, -1.0), 1.0);
+        assert_eq!(s.at(1.0, 2.0), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Stochastic gradient descent with optional momentum.
+
+use super::Optimizer;
+use crate::param::ParamStore;
+use crate::tensor::Tensor;
+
+/// `v ← μ·v + g; θ ← θ − lr·v` (μ = 0 gives plain SGD).
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum μ.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        if self.momentum == 0.0 {
+            let lr = self.lr;
+            store.for_each_trainable(|v, g| v.add_scaled(g, -lr));
+            return;
+        }
+        // Lazily size the velocity buffers on first use.
+        if self.velocity.is_empty() {
+            for id in store.ids().collect::<Vec<_>>() {
+                self.velocity.push(Tensor::zeros(store.value(id).shape()));
+            }
+        }
+        let (lr, mu) = (self.lr, self.momentum);
+        let ids: Vec<_> = store.ids().collect();
+        for (i, &id) in ids.iter().enumerate() {
+            if store.is_frozen(id) {
+                continue;
+            }
+            let vel = &mut self.velocity[i];
+            vel.scale_inplace(mu);
+            vel.add_assign(store.grad(id));
+            let vel = vel.clone();
+            store.value_mut(id).add_scaled(&vel, -lr);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_minimizes_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(&[1], vec![5.0]));
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            store.zero_grads();
+            // d/dw (w-2)^2 = 2(w-2)
+            let grad = Tensor::from_vec(&[1], vec![2.0 * (store.value(w).data()[0] - 2.0)]);
+            store.accumulate_grad(w, &grad);
+            opt.step(&mut store);
+        }
+        assert!((store.value(w).data()[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates_along_consistent_gradient() {
+        let run = |mu: f32| {
+            let mut store = ParamStore::new();
+            let w = store.add("w", Tensor::from_vec(&[1], vec![0.0]));
+            let mut opt = Sgd::with_momentum(0.01, mu);
+            for _ in 0..20 {
+                store.zero_grads();
+                store.accumulate_grad(w, &Tensor::from_vec(&[1], vec![1.0]));
+                opt.step(&mut store);
+            }
+            store.value(w).data()[0]
+        };
+        assert!(run(0.9) < run(0.0), "momentum should travel further");
+    }
+
+    #[test]
+    fn lr_setter_roundtrips() {
+        let mut opt = Sgd::new(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.02);
+        assert_eq!(opt.learning_rate(), 0.02);
+    }
+}

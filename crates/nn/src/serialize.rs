@@ -1,0 +1,202 @@
+//! Binary checkpointing of a [`ParamStore`].
+//!
+//! The paper's training process "periodically saves DNN parameters for
+//! testing" (Sec VI-D); this module is that mechanism. The format is a
+//! simple self-describing little-endian layout:
+//!
+//! ```text
+//! magic "VCNN" | u32 version | u32 param-count |
+//!   per param: u32 name-len | name bytes | u8 frozen |
+//!              u32 ndim | u32 dims... | f32 data...
+//! ```
+
+use crate::param::ParamStore;
+use crate::tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"VCNN";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint decoding.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The buffer does not start with the expected magic bytes.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadName,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "checkpoint magic mismatch"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadName => write!(f, "checkpoint contains non-UTF-8 name"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serializes every parameter (values only; gradients are transient).
+pub fn save_checkpoint(store: &ParamStore) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + store.num_scalars() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(store.len() as u32);
+    for id in store.ids() {
+        let name = store.name(id).as_bytes();
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name);
+        buf.put_u8(store.is_frozen(id) as u8);
+        let value = store.value(id);
+        buf.put_u32_le(value.ndim() as u32);
+        for &d in value.shape() {
+            buf.put_u32_le(d as u32);
+        }
+        for &x in value.data() {
+            buf.put_f32_le(x);
+        }
+    }
+    buf.freeze()
+}
+
+/// Reconstructs a [`ParamStore`] from [`save_checkpoint`] output. Parameter
+/// ids are assigned in the original registration order, so layers built
+/// against the original store remain valid against the restored one.
+pub fn load_checkpoint(mut buf: &[u8]) -> Result<ParamStore, CheckpointError> {
+    if buf.remaining() < 12 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        if buf.remaining() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len + 1 + 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes).map_err(|_| CheckpointError::BadName)?;
+        let frozen = buf.get_u8() != 0;
+        let ndim = buf.get_u32_le() as usize;
+        if buf.remaining() < ndim * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(buf.get_u32_le() as usize);
+        }
+        let numel: usize = shape.iter().product();
+        if buf.remaining() < numel * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(buf.get_f32_le());
+        }
+        let tensor = Tensor::from_vec(&shape, data);
+        if frozen {
+            store.add_frozen(name, tensor);
+        } else {
+            store.add(name, tensor);
+        }
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_store() -> ParamStore {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut s = ParamStore::new();
+        s.add("layer.w", init::randn(&[4, 3], 1.0, &mut rng));
+        s.add("layer.b", Tensor::zeros(&[3]));
+        s.add_frozen("emb.table", init::randn(&[10, 8], 1.0, &mut rng));
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let store = sample_store();
+        let bytes = save_checkpoint(&store);
+        let restored = load_checkpoint(&bytes).unwrap();
+        assert_eq!(restored.len(), store.len());
+        for (a, b) in store.ids().zip(restored.ids()) {
+            assert_eq!(store.name(a), restored.name(b));
+            assert_eq!(store.is_frozen(a), restored.is_frozen(b));
+            assert_eq!(store.value(a), restored.value(b));
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = save_checkpoint(&sample_store()).to_vec();
+        bytes[0] = b'X';
+        assert_eq!(load_checkpoint(&bytes).unwrap_err(), CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = save_checkpoint(&sample_store());
+        for cut in [0, 5, 13, bytes.len() / 2, bytes.len() - 1] {
+            assert_eq!(
+                load_checkpoint(&bytes[..cut]).unwrap_err(),
+                CheckpointError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = save_checkpoint(&sample_store()).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(load_checkpoint(&bytes).unwrap_err(), CheckpointError::BadVersion(_)));
+    }
+
+    #[test]
+    fn wire_format_is_stable() {
+        // Golden prefix: magic + version + count. Changing the format must
+        // bump VERSION, not silently alter these bytes.
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::from_vec(&[1], vec![1.0]));
+        let bytes = save_checkpoint(&s);
+        assert_eq!(&bytes[..4], b"VCNN");
+        assert_eq!(&bytes[4..8], &1u32.to_le_bytes());
+        assert_eq!(&bytes[8..12], &1u32.to_le_bytes());
+        // name-len(1) + "w" + frozen(0) + ndim(1) + dim(1) + f32(1.0)
+        assert_eq!(bytes[12..16], 1u32.to_le_bytes());
+        assert_eq!(bytes[16], b'w');
+        assert_eq!(bytes[17], 0);
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let store = ParamStore::new();
+        let restored = load_checkpoint(&save_checkpoint(&store)).unwrap();
+        assert!(restored.is_empty());
+    }
+}

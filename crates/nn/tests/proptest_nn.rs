@@ -1,0 +1,158 @@
+//! Property-based tests for the tensor algebra, autograd and serialization
+//! invariants of `vc-nn`.
+
+use proptest::prelude::*;
+use vc_nn::ops::softmax::{log_softmax_rows, softmax_rows};
+use vc_nn::prelude::*;
+
+/// Strategy: a rank-2 tensor with bounded entries.
+fn tensor2(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(&[rows, cols], data))
+}
+
+fn close(a: f32, b: f32, tol: f32) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_right_distributive(a in tensor2(3, 4), b in tensor2(4, 2), c in tensor2(4, 2)) {
+        let bc = b.zip(&c, |x, y| x + y);
+        let lhs = a.matmul(&bc);
+        let rhs = a.matmul(&b).zip(&a.matmul(&c), |x, y| x + y);
+        for i in 0..lhs.numel() {
+            prop_assert!(close(lhs.data()[i], rhs.data()[i], 1e-4));
+        }
+    }
+
+    #[test]
+    fn matmul_scalar_commutes(a in tensor2(2, 3), b in tensor2(3, 3), k in -2.0f32..2.0) {
+        let lhs = a.map(|x| k * x).matmul(&b);
+        let rhs = a.matmul(&b).map(|x| k * x);
+        for i in 0..lhs.numel() {
+            prop_assert!(close(lhs.data()[i], rhs.data()[i], 1e-4));
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(a in tensor2(3, 2), b in tensor2(2, 4)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert_eq!(lhs.shape(), rhs.shape());
+        for i in 0..lhs.numel() {
+            prop_assert!(close(lhs.data()[i], rhs.data()[i], 1e-4));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(x in tensor2(4, 6)) {
+        let y = softmax_rows(&x);
+        for r in 0..4 {
+            let row: Vec<f32> = (0..6).map(|c| y.at2(r, c)).collect();
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax(x in tensor2(3, 5)) {
+        let ls = log_softmax_rows(&x);
+        let s = softmax_rows(&x);
+        for i in 0..x.numel() {
+            prop_assert!(close(ls.data()[i], s.data()[i].max(1e-20).ln(), 1e-3));
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_under_row_shift(x in tensor2(2, 4), shift in -5.0f32..5.0) {
+        let y1 = softmax_rows(&x);
+        let y2 = softmax_rows(&x.map(|v| v + shift));
+        for i in 0..x.numel() {
+            prop_assert!(close(y1.data()[i], y2.data()[i], 1e-4));
+        }
+    }
+
+    #[test]
+    fn autograd_product_rule(x in tensor2(1, 5), y in tensor2(1, 5)) {
+        // d/dx sum(x ⊙ y) = y.
+        let mut g = Graph::new();
+        let xn = g.leaf(x.clone());
+        let yn = g.leaf(y.clone());
+        let m = g.mul(xn, yn);
+        let loss = g.sum_all(m);
+        let grad = g.grad_of(loss, xn).unwrap();
+        for i in 0..5 {
+            prop_assert!(close(grad.data()[i], y.data()[i], 1e-5));
+        }
+    }
+
+    #[test]
+    fn autograd_chain_rule_scale(x in tensor2(1, 4), k in -3.0f32..3.0) {
+        // d/dx sum((k·x)²) = 2k²x.
+        let mut g = Graph::new();
+        let xn = g.leaf(x.clone());
+        let s = g.scale(xn, k);
+        let sq = g.square(s);
+        let loss = g.sum_all(sq);
+        let grad = g.grad_of(loss, xn).unwrap();
+        for i in 0..4 {
+            prop_assert!(close(grad.data()[i], 2.0 * k * k * x.data()[i], 1e-3));
+        }
+    }
+
+    #[test]
+    fn grad_clip_bounds_norm(data in proptest::collection::vec(-10.0f32..10.0, 16),
+                             max_norm in 0.1f32..5.0) {
+        let mut store = ParamStore::new();
+        let id = store.add("p", Tensor::zeros(&[16]));
+        store.accumulate_grad(id, &Tensor::from_vec(&[16], data));
+        store.clip_grad_norm(max_norm);
+        prop_assert!(store.grad_global_norm() <= max_norm + 1e-4);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip(data in proptest::collection::vec(-5.0f32..5.0, 12)) {
+        let mut store = ParamStore::new();
+        store.add("a", Tensor::from_vec(&[3, 4], data.clone()));
+        store.add_frozen("b", Tensor::from_vec(&[12], data));
+        let restored = load_checkpoint(&save_checkpoint(&store)).unwrap();
+        prop_assert_eq!(restored.flat_values(), store.flat_values());
+    }
+
+    #[test]
+    fn flat_grads_linear_in_accumulation(data in proptest::collection::vec(-1.0f32..1.0, 8)) {
+        let mut store = ParamStore::new();
+        let id = store.add("p", Tensor::zeros(&[8]));
+        let g = Tensor::from_vec(&[8], data);
+        store.accumulate_grad(id, &g);
+        let once = store.flat_grads();
+        store.accumulate_grad(id, &g);
+        let twice = store.flat_grads();
+        for i in 0..8 {
+            prop_assert!(close(twice[i], 2.0 * once[i], 1e-5));
+        }
+    }
+
+    #[test]
+    fn adam_moves_against_gradient(start in -3.0f32..3.0) {
+        use vc_nn::optim::{Adam, Optimizer};
+        // One Adam step on f(w) = w²/2 (grad = w) must move toward 0 unless
+        // already there.
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::from_vec(&[1], vec![start]));
+        let mut opt = Adam::new(0.01);
+        store.accumulate_grad(id, &Tensor::from_vec(&[1], vec![start]));
+        opt.step(&mut store);
+        let after = store.value(id).data()[0];
+        // Adam's bias-corrected first step is ≈ lr regardless of gradient
+        // size, so tiny starts can overshoot zero; only assert when the
+        // distance to the optimum exceeds the step size.
+        if start.abs() > 0.05 {
+            prop_assert!(after.abs() < start.abs());
+        }
+    }
+}

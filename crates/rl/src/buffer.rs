@@ -1,0 +1,189 @@
+//! The replay buffer `D` of Algorithm 1 (line 1): per-episode experience
+//! storage, cleared at the start of each episode and minibatch-sampled during
+//! the exploitation phase.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One stored transition `[s_t, u_t, v_t, r_t]` plus the quantities PPO
+/// needs at update time.
+#[derive(Clone, Debug)]
+pub struct Transition {
+    /// Encoded state, flat `[C·G·G]`.
+    pub state: Vec<f32>,
+    /// Per-worker move indices.
+    pub moves: Vec<usize>,
+    /// Per-worker charge decisions (0/1).
+    pub charges: Vec<usize>,
+    /// Per-worker move-validity mask flattened to `[W * NUM_MOVES]`
+    /// (all-true when the policy samples unmasked).
+    pub move_mask: Vec<bool>,
+    /// Per-worker charge-validity mask flattened to `[W * 2]`.
+    pub charge_mask: Vec<bool>,
+    /// Joint log-probability of the whole action under the behavior policy.
+    pub logp: f32,
+    /// Total reward `r_t = r^int + r^ext`.
+    pub reward: f32,
+    /// Value estimate `V(s_t)` at collection time.
+    pub value: f32,
+}
+
+/// Episode buffer with post-hoc return/advantage columns.
+#[derive(Clone, Debug, Default)]
+pub struct RolloutBuffer {
+    transitions: Vec<Transition>,
+    returns: Vec<f32>,
+    advantages: Vec<f32>,
+}
+
+impl RolloutBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties the buffer (Algorithm 1, line 3).
+    pub fn clear(&mut self) {
+        self.transitions.clear();
+        self.returns.clear();
+        self.advantages.clear();
+    }
+
+    /// Appends a transition.
+    pub fn push(&mut self, t: Transition) {
+        self.transitions.push(t);
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True if no transitions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// The stored transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// The reward column.
+    pub fn rewards(&self) -> Vec<f32> {
+        self.transitions.iter().map(|t| t.reward).collect()
+    }
+
+    /// The value column.
+    pub fn values(&self) -> Vec<f32> {
+        self.transitions.iter().map(|t| t.value).collect()
+    }
+
+    /// Installs the return and advantage columns (must match `len()`).
+    pub fn set_targets(&mut self, returns: Vec<f32>, advantages: Vec<f32>) {
+        assert_eq!(returns.len(), self.len(), "returns length mismatch");
+        assert_eq!(advantages.len(), self.len(), "advantages length mismatch");
+        self.returns = returns;
+        self.advantages = advantages;
+    }
+
+    /// Return target for transition `i`.
+    pub fn ret(&self, i: usize) -> f32 {
+        self.returns[i]
+    }
+
+    /// Advantage for transition `i`.
+    pub fn adv(&self, i: usize) -> f32 {
+        self.advantages[i]
+    }
+
+    /// True once [`Self::set_targets`] has been called for this episode.
+    pub fn has_targets(&self) -> bool {
+        self.returns.len() == self.len() && !self.is_empty()
+    }
+
+    /// Samples a shuffled minibatch of transition indices (without
+    /// replacement; the final batch of an epoch may be short).
+    pub fn minibatch_indices(&self, batch: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx.chunks(batch.max(1)).map(<[usize]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tr(reward: f32) -> Transition {
+        Transition {
+            state: vec![0.0; 4],
+            moves: vec![0],
+            charges: vec![0],
+            move_mask: vec![true; 9],
+            charge_mask: vec![true; 2],
+            logp: -1.0,
+            reward,
+            value: 0.5,
+        }
+    }
+
+    #[test]
+    fn push_len_clear() {
+        let mut b = RolloutBuffer::new();
+        assert!(b.is_empty());
+        b.push(tr(1.0));
+        b.push(tr(2.0));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.rewards(), vec![1.0, 2.0]);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn targets_roundtrip() {
+        let mut b = RolloutBuffer::new();
+        b.push(tr(1.0));
+        b.push(tr(0.0));
+        assert!(!b.has_targets());
+        b.set_targets(vec![3.0, 1.0], vec![0.5, -0.5]);
+        assert!(b.has_targets());
+        assert_eq!(b.ret(0), 3.0);
+        assert_eq!(b.adv(1), -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_targets_panic() {
+        let mut b = RolloutBuffer::new();
+        b.push(tr(1.0));
+        b.set_targets(vec![1.0, 2.0], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn minibatches_cover_everything_once() {
+        let mut b = RolloutBuffer::new();
+        for i in 0..10 {
+            b.push(tr(i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = b.minibatch_indices(4, &mut rng);
+        assert_eq!(batches.len(), 3); // 4 + 4 + 2
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn minibatch_shuffling_differs_across_seeds() {
+        let mut b = RolloutBuffer::new();
+        for i in 0..32 {
+            b.push(tr(i as f32));
+        }
+        let a = b.minibatch_indices(8, &mut StdRng::seed_from_u64(1));
+        let c = b.minibatch_indices(8, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, c);
+    }
+}

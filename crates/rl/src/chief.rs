@@ -1,0 +1,374 @@
+//! The chief–employee distributed computational architecture (Section V-A,
+//! Algorithms 1–2).
+//!
+//! One **chief** owns the global PPO and curiosity parameter stores and the
+//! only optimizers. M **employee** threads each hold a local model copy and
+//! a local environment. Training is *synchronous*: per update round `k`,
+//! every employee computes gradients from its own experience and pushes them
+//! into the global [`GradientBuffer`]s; the chief waits for all M
+//! contributions, sums them, applies one Adam step per model, clears the
+//! buffers, and broadcasts fresh parameters. (The paper explicitly prefers
+//! this synchronous scheme over asynchronous V-trace-style correction.)
+//!
+//! The employee behavior is abstracted behind the [`Employee`] trait so the
+//! same chief drives DRL-CEWS (PPO + curiosity), DPPO (PPO only) and Edics
+//! (per-worker agents).
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Flat gradient vectors for the two global models. An empty curiosity
+/// vector means the employee trains no curiosity model.
+#[derive(Clone, Debug, Default)]
+pub struct GradPair {
+    pub ppo: Vec<f32>,
+    pub curiosity: Vec<f32>,
+    /// Diagnostics from the minibatch that produced `ppo` (entropy, value
+    /// loss, KL proxy), aggregated by the chief for training telemetry.
+    pub stats: crate::ppo::PpoStats,
+}
+
+/// Per-episode summary an employee reports after its rollout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeStats {
+    /// Data collection ratio κ at episode end.
+    pub kappa: f32,
+    /// Remaining data ratio ξ at episode end.
+    pub xi: f32,
+    /// Energy efficiency ρ at episode end.
+    pub rho: f32,
+    /// Summed extrinsic reward over the episode.
+    pub ext_reward: f32,
+    /// Summed intrinsic (curiosity) reward over the episode.
+    pub int_reward: f32,
+    /// Total obstacle collisions across workers.
+    pub collisions: u32,
+}
+
+impl EpisodeStats {
+    /// Element-wise mean of a set of stats (chief-side aggregation).
+    pub fn mean(stats: &[EpisodeStats]) -> EpisodeStats {
+        if stats.is_empty() {
+            return EpisodeStats::default();
+        }
+        let n = stats.len() as f32;
+        EpisodeStats {
+            kappa: stats.iter().map(|s| s.kappa).sum::<f32>() / n,
+            xi: stats.iter().map(|s| s.xi).sum::<f32>() / n,
+            rho: stats.iter().map(|s| s.rho).sum::<f32>() / n,
+            ext_reward: stats.iter().map(|s| s.ext_reward).sum::<f32>() / n,
+            int_reward: stats.iter().map(|s| s.int_reward).sum::<f32>() / n,
+            collisions: (stats.iter().map(|s| s.collisions).sum::<u32>() as f32 / n) as u32,
+        }
+    }
+}
+
+/// An employee thread's workload: one local model + environment.
+pub trait Employee: Send + 'static {
+    /// Copies fresh global parameters into the local models (Algorithm 1,
+    /// line 22). `curiosity` is empty when no curiosity model exists.
+    fn load_params(&mut self, ppo: &[f32], curiosity: &[f32]);
+
+    /// Interacts with the local environment for one episode, storing
+    /// experience (Algorithm 1, lines 4–15).
+    fn rollout(&mut self) -> EpisodeStats;
+
+    /// One update round: sample a minibatch, compute gradients w.r.t. the
+    /// local models, and return them flat (Algorithm 1, lines 18–20).
+    fn compute_grads(&mut self) -> GradPair;
+}
+
+/// A thread-safe flat-gradient accumulator — the "PPO gradient buffer" /
+/// "curiosity gradient buffer" of Fig. 1.
+#[derive(Debug, Default)]
+pub struct GradientBuffer {
+    inner: Mutex<GradientBufferInner>,
+}
+
+#[derive(Debug, Default)]
+struct GradientBufferInner {
+    sum: Vec<f32>,
+    contributions: usize,
+}
+
+impl GradientBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one employee's flat gradient.
+    pub fn accumulate(&self, grads: &[f32]) {
+        let mut inner = self.inner.lock();
+        if inner.sum.is_empty() {
+            inner.sum = grads.to_vec();
+        } else {
+            assert_eq!(inner.sum.len(), grads.len(), "gradient length mismatch");
+            for (s, &g) in inner.sum.iter_mut().zip(grads) {
+                *s += g;
+            }
+        }
+        inner.contributions += 1;
+    }
+
+    /// Number of gradients accumulated since the last [`Self::take`].
+    pub fn contributions(&self) -> usize {
+        self.inner.lock().contributions
+    }
+
+    /// Drains the buffer, returning the summed gradient (empty if nothing
+    /// was accumulated).
+    pub fn take(&self) -> Vec<f32> {
+        let mut inner = self.inner.lock();
+        inner.contributions = 0;
+        std::mem::take(&mut inner.sum)
+    }
+}
+
+enum Cmd {
+    LoadParams(Arc<(Vec<f32>, Vec<f32>)>),
+    Rollout,
+    ComputeGrads,
+    Stop,
+}
+
+enum Reply {
+    RolloutDone(EpisodeStats),
+    GradsDone(crate::ppo::PpoStats),
+}
+
+struct EmployeeHandle {
+    cmd_tx: Sender<Cmd>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// Drives M employee threads through synchronized rollout / update rounds.
+///
+/// The chief does not know what model the employees run; it only moves flat
+/// parameter and gradient vectors. The caller owns the global stores and
+/// optimizers and provides the summed-gradient application as a closure.
+pub struct ChiefExecutor {
+    employees: Vec<EmployeeHandle>,
+    reply_rx: Receiver<(usize, Reply)>,
+    ppo_buffer: Arc<GradientBuffer>,
+    curiosity_buffer: Arc<GradientBuffer>,
+}
+
+impl ChiefExecutor {
+    /// Spawns one thread per employee.
+    pub fn spawn<E: Employee>(employees: Vec<E>) -> Self {
+        assert!(!employees.is_empty(), "need at least one employee");
+        let ppo_buffer = Arc::new(GradientBuffer::new());
+        let curiosity_buffer = Arc::new(GradientBuffer::new());
+        let (reply_tx, reply_rx) = bounded::<(usize, Reply)>(employees.len() * 2);
+
+        let handles = employees
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut emp)| {
+                let (cmd_tx, cmd_rx) = bounded::<Cmd>(2);
+                let reply_tx = reply_tx.clone();
+                let ppo_buf = Arc::clone(&ppo_buffer);
+                let cur_buf = Arc::clone(&curiosity_buffer);
+                let join = std::thread::Builder::new()
+                    .name(format!("employee-{i}"))
+                    .spawn(move || {
+                        while let Ok(cmd) = cmd_rx.recv() {
+                            match cmd {
+                                Cmd::LoadParams(p) => emp.load_params(&p.0, &p.1),
+                                Cmd::Rollout => {
+                                    let stats = emp.rollout();
+                                    let _ = reply_tx.send((i, Reply::RolloutDone(stats)));
+                                }
+                                Cmd::ComputeGrads => {
+                                    let grads = emp.compute_grads();
+                                    ppo_buf.accumulate(&grads.ppo);
+                                    if !grads.curiosity.is_empty() {
+                                        cur_buf.accumulate(&grads.curiosity);
+                                    }
+                                    let _ = reply_tx.send((i, Reply::GradsDone(grads.stats)));
+                                }
+                                Cmd::Stop => break,
+                            }
+                        }
+                    })
+                    .expect("failed to spawn employee thread");
+                EmployeeHandle { cmd_tx, join: Some(join) }
+            })
+            .collect();
+
+        Self { employees: handles, reply_rx, ppo_buffer, curiosity_buffer }
+    }
+
+    /// Number of employees.
+    pub fn num_employees(&self) -> usize {
+        self.employees.len()
+    }
+
+    /// Broadcasts fresh global parameters to every employee (fire-and-forget;
+    /// the next synchronized phase orders it before use).
+    pub fn broadcast_params(&self, ppo: Vec<f32>, curiosity: Vec<f32>) {
+        let shared = Arc::new((ppo, curiosity));
+        for e in &self.employees {
+            e.cmd_tx.send(Cmd::LoadParams(Arc::clone(&shared))).expect("employee died");
+        }
+    }
+
+    /// Runs one episode rollout on every employee in parallel and returns
+    /// their stats (indexed by employee).
+    pub fn rollout_all(&self) -> Vec<EpisodeStats> {
+        for e in &self.employees {
+            e.cmd_tx.send(Cmd::Rollout).expect("employee died");
+        }
+        let mut stats = vec![EpisodeStats::default(); self.employees.len()];
+        for _ in 0..self.employees.len() {
+            let (i, reply) = self.reply_rx.recv().expect("employee channel closed");
+            match reply {
+                Reply::RolloutDone(s) => stats[i] = s,
+                Reply::GradsDone(_) => unreachable!("unexpected grads reply during rollout"),
+            }
+        }
+        stats
+    }
+
+    /// Runs one gradient round on every employee and returns the summed
+    /// gradients `(ppo, curiosity)` plus the mean minibatch diagnostics once
+    /// all M have contributed (Algorithm 2, lines 3–5).
+    pub fn gather_grads(&self) -> (Vec<f32>, Vec<f32>, crate::ppo::PpoStats) {
+        for e in &self.employees {
+            e.cmd_tx.send(Cmd::ComputeGrads).expect("employee died");
+        }
+        let m = self.employees.len() as f32;
+        let mut stats = crate::ppo::PpoStats::default();
+        for _ in 0..self.employees.len() {
+            let (_, reply) = self.reply_rx.recv().expect("employee channel closed");
+            match reply {
+                Reply::GradsDone(s) => {
+                    stats.policy_objective += s.policy_objective / m;
+                    stats.value_loss += s.value_loss / m;
+                    stats.entropy += s.entropy / m;
+                    stats.approx_kl += s.approx_kl / m;
+                }
+                Reply::RolloutDone(_) => unreachable!("unexpected rollout reply during update"),
+            }
+        }
+        debug_assert_eq!(self.ppo_buffer.contributions(), self.employees.len());
+        (self.ppo_buffer.take(), self.curiosity_buffer.take(), stats)
+    }
+}
+
+impl Drop for ChiefExecutor {
+    fn drop(&mut self) {
+        for e in &self.employees {
+            let _ = e.cmd_tx.send(Cmd::Stop);
+        }
+        for e in &mut self.employees {
+            if let Some(j) = e.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake employee whose "gradient" is its current parameter vector plus
+    /// a constant, which makes the chief-side summation checkable exactly.
+    struct FakeEmployee {
+        id: f32,
+        params: Vec<f32>,
+        rollouts: usize,
+    }
+
+    impl Employee for FakeEmployee {
+        fn load_params(&mut self, ppo: &[f32], _curiosity: &[f32]) {
+            self.params = ppo.to_vec();
+        }
+        fn rollout(&mut self) -> EpisodeStats {
+            self.rollouts += 1;
+            EpisodeStats { kappa: self.id, ..Default::default() }
+        }
+        fn compute_grads(&mut self) -> GradPair {
+            GradPair {
+                ppo: self.params.iter().map(|p| p + self.id).collect(),
+                curiosity: vec![self.id],
+                stats: crate::ppo::PpoStats { entropy: self.id, ..Default::default() },
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_buffer_sums_and_drains() {
+        let buf = GradientBuffer::new();
+        buf.accumulate(&[1.0, 2.0]);
+        buf.accumulate(&[0.5, -1.0]);
+        assert_eq!(buf.contributions(), 2);
+        assert_eq!(buf.take(), vec![1.5, 1.0]);
+        assert_eq!(buf.contributions(), 0);
+        assert!(buf.take().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn gradient_buffer_rejects_mismatched_lengths() {
+        let buf = GradientBuffer::new();
+        buf.accumulate(&[1.0, 2.0]);
+        buf.accumulate(&[1.0]);
+    }
+
+    #[test]
+    fn chief_synchronizes_rollouts_and_grads() {
+        let employees: Vec<FakeEmployee> =
+            (0..4).map(|i| FakeEmployee { id: i as f32, params: vec![], rollouts: 0 }).collect();
+        let chief = ChiefExecutor::spawn(employees);
+        assert_eq!(chief.num_employees(), 4);
+
+        chief.broadcast_params(vec![10.0, 20.0], vec![]);
+        let stats = chief.rollout_all();
+        // Stats arrive indexed by employee regardless of completion order.
+        for (i, s) in stats.iter().enumerate() {
+            assert_eq!(s.kappa, i as f32);
+        }
+
+        let (ppo, cur, stats) = chief.gather_grads();
+        // Σ_i (params + i) = 4·[10,20] + [Σi, Σi] = [46, 86].
+        assert_eq!(ppo, vec![46.0, 86.0]);
+        // Mean of ids 0..4 = 1.5.
+        assert!((stats.entropy - 1.5).abs() < 1e-6);
+        // Curiosity buffer collected the ids.
+        let mut cur_sum = cur;
+        assert_eq!(cur_sum.len(), 1);
+        assert_eq!(cur_sum.pop().unwrap(), 6.0);
+    }
+
+    #[test]
+    fn repeated_rounds_reuse_buffers() {
+        let employees: Vec<FakeEmployee> =
+            (0..2).map(|i| FakeEmployee { id: i as f32 + 1.0, params: vec![], rollouts: 0 }).collect();
+        let chief = ChiefExecutor::spawn(employees);
+        chief.broadcast_params(vec![0.0], vec![]);
+        for round in 1..=3 {
+            let (ppo, _, _) = chief.gather_grads();
+            assert_eq!(ppo, vec![3.0], "round {round}");
+        }
+    }
+
+    #[test]
+    fn stats_mean_aggregates() {
+        let stats = vec![
+            EpisodeStats { kappa: 0.2, xi: 0.8, rho: 0.1, ext_reward: 1.0, int_reward: 0.5, collisions: 2 },
+            EpisodeStats { kappa: 0.4, xi: 0.6, rho: 0.3, ext_reward: 3.0, int_reward: 1.5, collisions: 4 },
+        ];
+        let m = EpisodeStats::mean(&stats);
+        assert!((m.kappa - 0.3).abs() < 1e-6);
+        assert!((m.xi - 0.7).abs() < 1e-6);
+        assert!((m.ext_reward - 2.0).abs() < 1e-6);
+        assert_eq!(m.collisions, 3);
+        assert_eq!(EpisodeStats::mean(&[]), EpisodeStats::default());
+    }
+}

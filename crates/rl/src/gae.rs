@@ -1,0 +1,115 @@
+//! Return and advantage estimation.
+//!
+//! The paper's value target is the discounted return-to-go with a bootstrap,
+//! `G_t = r_t + γr_{t+1} + … + γ^{T−t}·V(s_T)` (Eqn 11). Advantages use
+//! generalized advantage estimation (GAE-λ), the standard companion of the
+//! clipped PPO objective; λ = 1 recovers `G_t − V(s_t)`.
+
+/// Discounted returns-to-go with terminal bootstrap `v_last = V(s_T)`.
+pub fn discounted_returns(rewards: &[f32], gamma: f32, v_last: f32) -> Vec<f32> {
+    let mut out = vec![0.0f32; rewards.len()];
+    let mut acc = v_last;
+    for (i, &r) in rewards.iter().enumerate().rev() {
+        acc = r + gamma * acc;
+        out[i] = acc;
+    }
+    out
+}
+
+/// GAE-λ advantages. `values` holds `V(s_0..s_{T−1})`; `v_last` bootstraps
+/// the final transition.
+pub fn gae_advantages(rewards: &[f32], values: &[f32], gamma: f32, lambda: f32, v_last: f32) -> Vec<f32> {
+    assert_eq!(rewards.len(), values.len(), "one value per reward required");
+    let t_len = rewards.len();
+    let mut adv = vec![0.0f32; t_len];
+    let mut acc = 0.0f32;
+    for i in (0..t_len).rev() {
+        let next_v = if i + 1 < t_len { values[i + 1] } else { v_last };
+        let delta = rewards[i] + gamma * next_v - values[i];
+        acc = delta + gamma * lambda * acc;
+        adv[i] = acc;
+    }
+    adv
+}
+
+/// Normalizes advantages to zero mean / unit variance in place (the
+/// "per-batch normalization of advantages" adopted from the DPPO paper).
+pub fn normalize_advantages(adv: &mut [f32]) {
+    if adv.len() < 2 {
+        return;
+    }
+    let n = adv.len() as f32;
+    let mean = adv.iter().sum::<f32>() / n;
+    let var = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / n;
+    let std = var.sqrt().max(1e-6);
+    for a in adv.iter_mut() {
+        *a = (*a - mean) / std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_known_values() {
+        // r = [1, 1, 1], γ = 0.5, bootstrap 0: G = [1.75, 1.5, 1].
+        let g = discounted_returns(&[1.0, 1.0, 1.0], 0.5, 0.0);
+        assert_eq!(g, vec![1.75, 1.5, 1.0]);
+    }
+
+    #[test]
+    fn bootstrap_propagates() {
+        let g = discounted_returns(&[0.0, 0.0], 0.9, 10.0);
+        assert!((g[1] - 9.0).abs() < 1e-6);
+        assert!((g[0] - 8.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gae_lambda_one_is_return_minus_value() {
+        let rewards = [0.3, -0.1, 0.7, 0.2];
+        let values = [0.5, 0.2, -0.3, 0.4];
+        let v_last = 0.25;
+        let gamma = 0.93;
+        let adv = gae_advantages(&rewards, &values, gamma, 1.0, v_last);
+        let rets = discounted_returns(&rewards, gamma, v_last);
+        for i in 0..rewards.len() {
+            assert!((adv[i] - (rets[i] - values[i])).abs() < 1e-5, "index {i}");
+        }
+    }
+
+    #[test]
+    fn gae_lambda_zero_is_td_error() {
+        let rewards = [1.0, 2.0];
+        let values = [0.5, 1.5];
+        let adv = gae_advantages(&rewards, &values, 0.9, 0.0, 3.0);
+        assert!((adv[0] - (1.0 + 0.9 * 1.5 - 0.5)).abs() < 1e-6);
+        assert!((adv[1] - (2.0 + 0.9 * 3.0 - 1.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_produces_zero_mean_unit_std() {
+        let mut adv = vec![1.0, 2.0, 3.0, 4.0, 10.0];
+        normalize_advantages(&mut adv);
+        let mean: f32 = adv.iter().sum::<f32>() / adv.len() as f32;
+        let var: f32 = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / adv.len() as f32;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normalize_handles_degenerate_input() {
+        let mut single = vec![5.0];
+        normalize_advantages(&mut single);
+        assert_eq!(single, vec![5.0]);
+        let mut constant = vec![2.0, 2.0, 2.0];
+        normalize_advantages(&mut constant);
+        assert!(constant.iter().all(|a| a.abs() < 1e-3));
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        assert!(discounted_returns(&[], 0.9, 1.0).is_empty());
+        assert!(gae_advantages(&[], &[], 0.9, 0.95, 0.0).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # vc-rl — PPO and the chief–employee training architecture
+//!
+//! The reinforcement-learning machinery of the DRL-CEWS reproduction:
+//!
+//! * [`net::ActorCritic`] — the paper's CNN encoder (3 conv + layer norm +
+//!   FC) with per-worker route-planning and charging heads plus a value head;
+//! * [`policy`] — joint-action sampling with optional validity masking;
+//! * [`buffer::RolloutBuffer`] — the per-episode replay buffer `D`;
+//! * [`gae`] — discounted returns (Eqn 11) and GAE-λ advantages;
+//! * [`ppo`] — the clipped-surrogate gradient computation (Eqns 8/12);
+//! * [`chief`] — the synchronous chief–employee executor with global PPO and
+//!   curiosity gradient buffers (Fig. 1, Algorithms 1–2).
+//!
+//! Employees *compute* gradients; only the chief *applies* them — this crate
+//! keeps that separation explicit: [`ppo::compute_ppo_grads`] accumulates
+//! into a local store, [`vc_nn::param::ParamStore::flat_grads`] ships them,
+//! and the chief's Adam steps the global store.
+
+pub mod buffer;
+pub mod chief;
+pub mod gae;
+pub mod net;
+pub mod policy;
+pub mod ppo;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::buffer::{RolloutBuffer, Transition};
+    pub use crate::chief::{ChiefExecutor, Employee, EpisodeStats, GradPair, GradientBuffer};
+    pub use crate::gae::{discounted_returns, gae_advantages, normalize_advantages};
+    pub use crate::net::{ActorCritic, NetConfig, NetOutputs, CHARGE_CHOICES, MOVES_PER_WORKER};
+    pub use crate::policy::{sample_action, state_value, PolicyOptions, SampleMode, SampledAction};
+    pub use crate::ppo::{compute_ppo_grads, finish_rollout, PpoConfig, PpoStats};
+}

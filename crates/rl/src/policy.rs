@@ -1,0 +1,245 @@
+//! Action sampling from the actor–critic (Algorithm 1, lines 5–6).
+//!
+//! The server feeds the encoded state through the CNN, obtains per-worker
+//! move and charge distributions, and samples a joint action. Invalid-action
+//! masking is optional: the paper trains with a collision penalty rather
+//! than a hard mask (Eqn 18's `τ`), but masking is exposed for ablations and
+//! for safe deployment at test time.
+
+use crate::net::{ActorCritic, CHARGE_CHOICES, MOVES_PER_WORKER};
+use rand::Rng;
+use vc_env::prelude::*;
+use vc_nn::prelude::*;
+
+/// Logit value used to disable a masked action.
+const MASK_LOGIT: f32 = -1e9;
+
+/// A sampled joint action plus the quantities stored in the rollout buffer.
+#[derive(Clone, Debug)]
+pub struct SampledAction {
+    /// Ready-to-step environment actions.
+    pub actions: Vec<WorkerAction>,
+    /// Per-worker move indices (into [`Move::ALL`]).
+    pub moves: Vec<usize>,
+    /// Per-worker charge decisions (0 = don't, 1 = charge).
+    pub charges: Vec<usize>,
+    /// The move-validity mask applied at sampling time, flattened to
+    /// `[W * NUM_MOVES]` (all-true if unmasked). PPO updates must re-apply
+    /// it so new and old log-probabilities describe the same distribution.
+    pub move_mask: Vec<bool>,
+    /// The charge-validity mask applied at sampling time, `[W * 2]`.
+    pub charge_mask: Vec<bool>,
+    /// Joint log-probability under the behavior policy.
+    pub logp: f32,
+    /// Value estimate `V(s)`.
+    pub value: f32,
+}
+
+/// Samples an index from a probability row.
+pub fn sample_categorical(probs: &[f32], rng: &mut impl Rng) -> usize {
+    let total: f32 = probs.iter().sum();
+    let mut u = rng.gen::<f32>() * total.max(1e-12);
+    for (i, &p) in probs.iter().enumerate() {
+        u -= p;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+/// Index of the maximum element.
+pub fn argmax(values: &[f32]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// How actions are drawn from the policy distributions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampleMode {
+    /// Sample from the categorical distributions (training).
+    Stochastic,
+    /// Take the mode of each distribution (evaluation).
+    Greedy,
+}
+
+/// Policy-evaluation options.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyOptions {
+    pub mode: SampleMode,
+    /// Mask moves that would collide and charge requests out of station
+    /// range before sampling.
+    pub mask_invalid: bool,
+}
+
+impl Default for PolicyOptions {
+    fn default() -> Self {
+        Self { mode: SampleMode::Stochastic, mask_invalid: false }
+    }
+}
+
+/// Encodes the environment state, runs the network and samples a joint
+/// action for every worker.
+pub fn sample_action(
+    net: &ActorCritic,
+    store: &ParamStore,
+    env: &CrowdsensingEnv,
+    opts: PolicyOptions,
+    rng: &mut impl Rng,
+) -> SampledAction {
+    let cfg = env.config();
+    let w_count = cfg.num_workers;
+    assert_eq!(net.config().num_workers, w_count, "network sized for a different worker count");
+
+    let state = vc_env::state::encode(env);
+    let shape = vc_env::state::state_shape(cfg);
+    let mut g = Graph::new();
+    let s = g.leaf(Tensor::from_vec(&[1, shape[0], shape[1], shape[2]], state));
+    let out = net.forward(&mut g, store, s);
+
+    let mut move_logits = g.value(out.move_logits).clone();
+    let mut charge_logits = g.value(out.charge_logits).clone();
+    let value = g.value(out.value).item();
+
+    let mut move_mask = vec![true; w_count * MOVES_PER_WORKER];
+    let mut charge_mask = vec![true; w_count * CHARGE_CHOICES];
+    if opts.mask_invalid {
+        for wi in 0..w_count {
+            let mask = env.valid_moves(wi);
+            for (mi, ok) in mask.iter().enumerate() {
+                if !ok {
+                    *move_logits.at2_mut(wi, mi) = MASK_LOGIT;
+                    move_mask[wi * MOVES_PER_WORKER + mi] = false;
+                }
+            }
+            if !env.can_charge(wi) {
+                *charge_logits.at2_mut(wi, 1) = MASK_LOGIT;
+                charge_mask[wi * CHARGE_CHOICES + 1] = false;
+            }
+        }
+    }
+
+    let move_probs = vc_nn::ops::softmax::softmax_rows(&move_logits);
+    let charge_probs = vc_nn::ops::softmax::softmax_rows(&charge_logits);
+
+    let mut actions = Vec::with_capacity(w_count);
+    let mut moves = Vec::with_capacity(w_count);
+    let mut charges = Vec::with_capacity(w_count);
+    let mut logp = 0.0f32;
+    for wi in 0..w_count {
+        let mp = &move_probs.data()[wi * MOVES_PER_WORKER..(wi + 1) * MOVES_PER_WORKER];
+        let cp = &charge_probs.data()[wi * CHARGE_CHOICES..(wi + 1) * CHARGE_CHOICES];
+        let (mv, ch) = match opts.mode {
+            SampleMode::Stochastic => (sample_categorical(mp, rng), sample_categorical(cp, rng)),
+            SampleMode::Greedy => (argmax(mp), argmax(cp)),
+        };
+        logp += mp[mv].max(1e-12).ln() + cp[ch].max(1e-12).ln();
+        moves.push(mv);
+        charges.push(ch);
+        actions.push(WorkerAction { movement: Move::from_index(mv), charge: ch == 1 });
+    }
+
+    SampledAction { actions, moves, charges, move_mask, charge_mask, logp, value }
+}
+
+/// Runs the network once and returns the state value only (the bootstrap
+/// `V(s_T)` of Eqn 11).
+pub fn state_value(net: &ActorCritic, store: &ParamStore, env: &CrowdsensingEnv) -> f32 {
+    let cfg = env.config();
+    let state = vc_env::state::encode(env);
+    let shape = vc_env::state::state_shape(cfg);
+    let mut g = Graph::new();
+    let s = g.leaf(Tensor::from_vec(&[1, shape[0], shape[1], shape[2]], state));
+    let out = net.forward(&mut g, store, s);
+    g.value(out.value).item()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ParamStore, ActorCritic, CrowdsensingEnv, StdRng) {
+        let env = CrowdsensingEnv::new(EnvConfig::tiny());
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let net = ActorCritic::new(
+            &mut store,
+            NetConfig::for_scenario(env.config().grid, env.config().num_workers),
+            &mut rng,
+        );
+        (store, net, env, rng)
+    }
+
+    #[test]
+    fn sample_categorical_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let probs = [0.0, 1.0, 0.0];
+        for _ in 0..20 {
+            assert_eq!(sample_categorical(&probs, &mut rng), 1);
+        }
+        // Roughly proportional draws from a skewed distribution.
+        let probs = [0.8, 0.2];
+        let hits = (0..2000).filter(|_| sample_categorical(&probs, &mut rng) == 0).count();
+        assert!((1400..1800).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn argmax_basics() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.3]), 1);
+        assert_eq!(argmax(&[1.0]), 0);
+    }
+
+    #[test]
+    fn sampled_actions_are_well_formed() {
+        let (store, net, env, mut rng) = setup();
+        let a = sample_action(&net, &store, &env, PolicyOptions::default(), &mut rng);
+        assert_eq!(a.actions.len(), env.config().num_workers);
+        assert!(a.logp <= 0.0, "log-prob must be non-positive");
+        assert!(a.logp.is_finite());
+        for (wi, act) in a.actions.iter().enumerate() {
+            assert_eq!(act.movement.index(), a.moves[wi]);
+            assert_eq!(act.charge, a.charges[wi] == 1);
+        }
+    }
+
+    #[test]
+    fn greedy_mode_is_deterministic() {
+        let (store, net, env, mut rng) = setup();
+        let opts = PolicyOptions { mode: SampleMode::Greedy, mask_invalid: false };
+        let a = sample_action(&net, &store, &env, opts, &mut rng);
+        let b = sample_action(&net, &store, &env, opts, &mut rng);
+        assert_eq!(a.moves, b.moves);
+        assert_eq!(a.charges, b.charges);
+    }
+
+    #[test]
+    fn masking_prevents_invalid_choices() {
+        let (store, net, mut env, mut rng) = setup();
+        // Park the worker in a corner: several moves become illegal.
+        env.teleport_worker(0, Point::new(0.0, 0.0));
+        let opts = PolicyOptions { mode: SampleMode::Stochastic, mask_invalid: true };
+        for _ in 0..50 {
+            let a = sample_action(&net, &store, &env, opts, &mut rng);
+            let mask = env.valid_moves(0);
+            assert!(mask[a.moves[0]], "sampled a masked move {:?}", a.moves[0]);
+            if !env.can_charge(0) {
+                assert_eq!(a.charges[0], 0, "sampled charge while out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn state_value_matches_sampled_value() {
+        let (store, net, env, mut rng) = setup();
+        let v = state_value(&net, &store, &env);
+        let a = sample_action(&net, &store, &env, PolicyOptions::default(), &mut rng);
+        assert!((v - a.value).abs() < 1e-6);
+    }
+}

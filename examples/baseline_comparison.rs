@@ -1,0 +1,68 @@
+//! Head-to-head comparison of all five schedulers on one scenario — the
+//! single-point version of Figs. 6–8.
+//!
+//! Run with: `cargo run --release --example baseline_comparison [episodes]`
+
+use drl_cews::prelude::*;
+use vc_baselines::prelude::*;
+use vc_env::prelude::*;
+
+fn main() {
+    let mut env = EnvConfig::paper_default();
+    env.num_pois = 100;
+    env.horizon = 200;
+    let episodes: usize =
+        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
+
+    println!("== scheduler shoot-out: W={} P={} T={} ==", env.num_workers, env.num_pois, env.horizon);
+
+    // DRL-CEWS: sparse reward + spatial curiosity.
+    println!("training DRL-CEWS ({episodes} episodes)...");
+    let mut cews_cfg = TrainerConfig::drl_cews(env.clone());
+    cews_cfg.num_employees = 2;
+    cews_cfg.ppo.epochs = 4;
+    cews_cfg.ppo.minibatch = 128;
+    let mut cews = Trainer::new(cews_cfg);
+    cews.train(episodes);
+    let mut cews_policy = PolicyScheduler::from_trainer(&cews, "drl-cews");
+
+    // DPPO: dense reward, no curiosity — same trainer machinery.
+    println!("training DPPO ({episodes} episodes)...");
+    let mut dppo_cfg = TrainerConfig::dppo(env.clone());
+    dppo_cfg.num_employees = 2;
+    dppo_cfg.ppo.epochs = 4;
+    dppo_cfg.ppo.minibatch = 128;
+    let mut dppo = Trainer::new(dppo_cfg);
+    dppo.train(episodes);
+    let mut dppo_policy = PolicyScheduler::from_trainer(&dppo, "dppo");
+
+    // Edics: one independent dense-reward agent per worker.
+    println!("training Edics ({} episodes)...", episodes / 2);
+    let mut edics = Edics::new(&env, EdicsConfig::default());
+    let mut edics_env = CrowdsensingEnv::new(env.clone());
+    for _ in 0..episodes / 2 {
+        edics.train_episode(&mut edics_env);
+    }
+
+    println!("\nevaluating on 4 held-out scenarios:\n");
+    println!("{:>10}  {:>7}  {:>7}  {:>7}", "algorithm", "kappa", "xi", "rho");
+    let mut dnc = DncScheduler::default();
+    let mut greedy = GreedyScheduler;
+    let mut random = RandomScheduler;
+    let schedulers: Vec<&mut dyn Scheduler> = vec![
+        &mut cews_policy,
+        &mut dppo_policy,
+        &mut edics,
+        &mut dnc,
+        &mut greedy,
+        &mut random,
+    ];
+    for s in schedulers {
+        let name = s.name();
+        let m = evaluate(s, &env, 4, 11);
+        println!(
+            "{:>10}  {:>7.3}  {:>7.3}  {:>7.3}",
+            name, m.data_collection_ratio, m.remaining_data_ratio, m.energy_efficiency
+        );
+    }
+}

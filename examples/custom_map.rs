@@ -1,0 +1,67 @@
+//! Designing a custom scenario with `MapBuilder` and auditing an episode
+//! with `EpisodeSummary`.
+//!
+//! A warehouse operator wants drones to stream inventory data from two
+//! shelving aisles separated by a wall, with a single charging dock. The
+//! map is hand-placed (no random generation), the D&C planner flies it, and
+//! the episode summary reports utilization and charging behavior.
+//!
+//! Run with: `cargo run --release --example custom_map`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vc_baselines::prelude::*;
+use vc_env::prelude::*;
+
+fn main() {
+    // 12×12 warehouse: a central wall with a gap, one aisle of sensors on
+    // each side, a dock in the south-west corner.
+    let mut env = MapBuilder::new(12.0, 12.0, 12)
+        .horizon(150)
+        .energy(35.0)
+        .obstacle(5.5, 3.0, 6.5, 12.0) // central wall, gap at y < 3
+        .poi_line(2.0, 2.0, 2.0, 10.0, 8, 0.8) // west aisle
+        .poi_line(10.0, 2.0, 10.0, 10.0, 8, 0.8) // east aisle
+        .station(1.0, 1.0)
+        .worker(4.0, 1.5)
+        .worker(8.0, 1.5)
+        .build();
+
+    println!("== warehouse inventory sweep ==");
+    println!(
+        "{} sensors across two aisles, wall gap at the south, dock at (1,1)\n",
+        env.pois().len()
+    );
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut scheduler = DncScheduler::default();
+    let mut summary = EpisodeSummary::new(env.workers().len());
+    let mut trajectory = Trajectory::new(env.workers().len());
+    trajectory.record(env.workers().iter().map(|w| w.pos));
+    while !env.done() {
+        let actions = scheduler.decide(&env, &mut rng);
+        let result = env.step(&actions);
+        summary.record(&result);
+        trajectory.record(env.workers().iter().map(|w| w.pos));
+    }
+
+    let m = env.metrics();
+    println!(
+        "metrics: kappa={:.3} xi={:.3} rho={:.3}",
+        m.data_collection_ratio, m.remaining_data_ratio, m.energy_efficiency
+    );
+    println!("episode: {}\n", summary.digest());
+    for (wi, w) in summary.workers.iter().enumerate() {
+        println!(
+            "drone {wi}: collected {:.2} over {:.1} distance ({:.2} data/energy), \
+             {} charging slots, {} collisions",
+            w.collected,
+            w.traveled,
+            w.efficiency(),
+            w.charge_slots,
+            w.collisions
+        );
+    }
+    println!("\ndrone 0 path (S start, E end, # wall, * path):");
+    println!("{}", trajectory.ascii(env.config(), 0));
+}

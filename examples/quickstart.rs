@@ -1,0 +1,51 @@
+//! Quickstart: train DRL-CEWS briefly on a small scenario and evaluate it
+//! against the Greedy baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use drl_cews::prelude::*;
+use vc_baselines::prelude::*;
+use vc_env::prelude::*;
+
+fn main() {
+    // The calibrated small scenario: long enough for the sparse-reward
+    // pulses to be informative, small enough to finish in about a minute.
+    let mut env = EnvConfig::paper_default();
+    env.num_pois = 100;
+    env.horizon = 200;
+    env.num_workers = 2;
+
+    let mut cfg = TrainerConfig::drl_cews(env.clone());
+    cfg.num_employees = 2;
+    cfg.ppo.epochs = 6;
+    cfg.ppo.minibatch = 128;
+
+    println!("training DRL-CEWS (2 employees, spatial curiosity, sparse reward)...");
+    let mut trainer = Trainer::new(cfg);
+    let episodes = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(150usize);
+    for ep in 0..episodes {
+        let s = trainer.train_episode();
+        if ep % 5 == 0 || ep + 1 == episodes {
+            println!(
+                "episode {ep:>3}: kappa={:.3} xi={:.3} rho={:.3} r_ext={:+.2} r_int={:.2} collisions={}",
+                s.kappa, s.xi, s.rho, s.ext_reward, s.int_reward, s.collisions
+            );
+        }
+    }
+
+    println!("\nevaluating against baselines (4 fresh scenarios each):");
+    let mut policy = PolicyScheduler::from_trainer(&trainer, "drl-cews");
+    for (name, m) in [
+        ("drl-cews", evaluate(&mut policy, &env, 4, 1)),
+        ("greedy", evaluate(&mut GreedyScheduler, &env, 4, 1)),
+        ("random", evaluate(&mut RandomScheduler, &env, 4, 1)),
+    ] {
+        println!(
+            "  {name:>8}: kappa={:.3} xi={:.3} rho={:.3}",
+            m.data_collection_ratio, m.remaining_data_ratio, m.energy_efficiency
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Integration: checkpoints round-trip across independent trainer instances
+//! and preserve policy behavior exactly.
+
+use drl_cews::prelude::*;
+use vc_env::prelude::*;
+
+fn env() -> EnvConfig {
+    let mut cfg = EnvConfig::tiny();
+    cfg.horizon = 12;
+    cfg
+}
+
+fn cfg() -> TrainerConfig {
+    let mut c = TrainerConfig::drl_cews(env()).quick();
+    c.num_employees = 1;
+    c.curiosity = CuriosityChoice::None;
+    c
+}
+
+#[test]
+fn checkpoint_transfers_between_trainers() {
+    let mut a = Trainer::new(cfg());
+    a.train(3);
+    let ckpt = a.checkpoint();
+
+    let mut b = Trainer::new(cfg());
+    assert_ne!(b.store().flat_values(), a.store().flat_values());
+    b.restore(&ckpt).unwrap();
+    assert_eq!(b.store().flat_values(), a.store().flat_values());
+}
+
+#[test]
+fn restored_policy_behaves_identically() {
+    let mut a = Trainer::new(cfg());
+    a.train(2);
+    let ckpt = a.checkpoint();
+    let mut b = Trainer::new(cfg());
+    b.restore(&ckpt).unwrap();
+
+    let e = env();
+    let mut pa = PolicyScheduler::from_trainer(&a, "a");
+    let mut pb = PolicyScheduler::from_trainer(&b, "b");
+    let ma = evaluate(&mut pa, &e, 2, 3);
+    let mb = evaluate(&mut pb, &e, 2, 3);
+    assert_eq!(ma, mb, "same weights + same seeds must act identically");
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected_not_applied() {
+    let mut t = Trainer::new(cfg());
+    let before = t.store().flat_values();
+    let mut ckpt = t.checkpoint().to_vec();
+    ckpt[0] ^= 0xFF;
+    assert!(t.restore(&ckpt).is_err());
+    assert_eq!(t.store().flat_values(), before, "failed restore must not corrupt params");
+}
+
+#[test]
+fn checkpoint_is_stable_across_serialization_cycles() {
+    let t = Trainer::new(cfg());
+    let c1 = t.checkpoint();
+    let restored = vc_nn::serialize::load_checkpoint(&c1).unwrap();
+    let c2 = vc_nn::serialize::save_checkpoint(&restored);
+    assert_eq!(c1, c2, "save∘load must be the identity on checkpoints");
+}

@@ -1,0 +1,69 @@
+//! Smoke tests: every experiment harness regenerates its table end-to-end
+//! at the smallest scale.
+
+use drl_cews::experiments::{fig2c, fig3, fig4, fig5, fig9, sweeps, table2, Scale};
+
+#[test]
+fn table2_smoke() {
+    let t = table2::run(&Scale::smoke());
+    assert_eq!(t.headers, vec!["batch", "employees", "kappa", "xi", "rho"]);
+    assert!(!t.rows.is_empty());
+    // Every metric cell parses as a float in range.
+    for row in &t.rows {
+        for cell in &row[2..] {
+            let v: f32 = cell.parse().expect("numeric cell");
+            assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn fig3_smoke() {
+    let t = fig3::run(&Scale::smoke());
+    assert_eq!(t.headers[0], "employees");
+    // Relative column starts at 1.00 for the first entry.
+    assert_eq!(t.rows[0][2], "1.00");
+}
+
+#[test]
+fn fig4_smoke() {
+    let t = fig4::run(&Scale::smoke());
+    // 5 paper variants + the count-based reference, × 3 checkpoints.
+    assert_eq!(t.rows.len(), 18);
+    let variants: std::collections::HashSet<&String> = t.rows.iter().map(|r| &r[0]).collect();
+    assert_eq!(variants.len(), 6);
+}
+
+#[test]
+fn fig5_smoke() {
+    let t = fig5::run(&Scale::smoke());
+    assert_eq!(t.rows.len(), 12); // 4 mechanisms × 3 checkpoints
+}
+
+#[test]
+fn sweep_smoke_single_axis() {
+    let t = sweeps::run(&Scale::smoke(), sweeps::Axis::Stations);
+    // 2 sweep points × 5 algorithms at smoke scale.
+    assert_eq!(t.rows.len(), 10);
+    let algos: std::collections::HashSet<&String> = t.rows.iter().map(|r| &r[1]).collect();
+    assert_eq!(algos.len(), 5);
+}
+
+#[test]
+fn fig9_smoke() {
+    let (t, snaps) = fig9::run(&Scale::smoke());
+    // 2 methods × (initial + 4 checkpoints).
+    assert_eq!(t.rows.len(), 10);
+    assert_eq!(snaps.len(), 10);
+    for (_, s) in &snaps {
+        assert!(s.heatmap.visited_cells() > 0, "policy never moved");
+    }
+}
+
+#[test]
+fn fig2c_smoke() {
+    let (t, run) = fig2c::run(&Scale::smoke());
+    assert_eq!(t.rows.len(), 2); // two drones
+    let art = run.trajectory.ascii(&run.env_cfg, 0);
+    assert_eq!(art.lines().count(), run.env_cfg.grid);
+}

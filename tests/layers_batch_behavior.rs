@@ -1,0 +1,126 @@
+//! Batch-consistency properties of the NN layers: running a batch through a
+//! layer must equal running its rows independently — the invariant that
+//! makes minibatched PPO updates equivalent to per-sample ones.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vc_nn::prelude::*;
+
+fn rows_of(t: &Tensor) -> Vec<Vec<f32>> {
+    let (r, c) = (t.shape()[0], t.shape()[1]);
+    (0..r).map(|i| t.data()[i * c..(i + 1) * c].to_vec()).collect()
+}
+
+#[test]
+fn linear_is_batch_consistent() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut store = ParamStore::new();
+    let layer = Linear::new(&mut store, "l", 4, 3, &mut rng);
+    let batch = Tensor::from_vec(&[3, 4], (0..12).map(|i| (i as f32 * 0.37).sin()).collect());
+
+    let mut g = Graph::new();
+    let x = g.leaf(batch.clone());
+    let yn = layer.forward(&mut g, &store, x);
+    let y = g.value(yn).clone();
+
+    for (i, row) in rows_of(&batch).into_iter().enumerate() {
+        let mut g1 = Graph::new();
+        let x1 = g1.leaf(Tensor::from_vec(&[1, 4], row));
+        let y1n = layer.forward(&mut g1, &store, x1);
+        let y1 = g1.value(y1n).clone();
+        for c in 0..3 {
+            assert!(
+                (y.at2(i, c) - y1.at2(0, c)).abs() < 1e-5,
+                "row {i} col {c}: batch {} vs single {}",
+                y.at2(i, c),
+                y1.at2(0, c)
+            );
+        }
+    }
+}
+
+#[test]
+fn mlp_is_batch_consistent() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut store = ParamStore::new();
+    let mlp = Mlp::new(&mut store, "m", &[3, 8, 2], Activation::Relu, &mut rng);
+    let batch = Tensor::from_vec(&[4, 3], (0..12).map(|i| (i as f32 * 0.71).cos()).collect());
+
+    let mut g = Graph::new();
+    let x = g.leaf(batch.clone());
+    let yn = mlp.forward(&mut g, &store, x);
+    let y = g.value(yn).clone();
+
+    for (i, row) in rows_of(&batch).into_iter().enumerate() {
+        let mut g1 = Graph::new();
+        let x1 = g1.leaf(Tensor::from_vec(&[1, 3], row));
+        let y1n = mlp.forward(&mut g1, &store, x1);
+        let y1 = g1.value(y1n).clone();
+        for c in 0..2 {
+            assert!((y.at2(i, c) - y1.at2(0, c)).abs() < 1e-5);
+        }
+    }
+}
+
+#[test]
+fn conv_is_batch_consistent() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let cfg = ConvCfg { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 };
+    let layer = Conv2dLayer::new(&mut store, "c", cfg, &mut rng);
+    let item = 2 * 4 * 4;
+    let batch = Tensor::from_vec(&[2, 2, 4, 4], (0..2 * item).map(|i| (i as f32 * 0.19).sin()).collect());
+
+    let mut g = Graph::new();
+    let x = g.leaf(batch.clone());
+    let yn = layer.forward(&mut g, &store, x);
+    let y = g.value(yn).clone();
+    let out_item = 3 * 4 * 4;
+
+    for bi in 0..2 {
+        let single = Tensor::from_vec(&[1, 2, 4, 4], batch.data()[bi * item..(bi + 1) * item].to_vec());
+        let mut g1 = Graph::new();
+        let x1 = g1.leaf(single);
+        let y1n = layer.forward(&mut g1, &store, x1);
+        let y1 = g1.value(y1n).clone();
+        for j in 0..out_item {
+            assert!(
+                (y.data()[bi * out_item + j] - y1.data()[j]).abs() < 1e-5,
+                "batch item {bi} coord {j}"
+            );
+        }
+    }
+}
+
+#[test]
+fn actor_critic_is_batch_consistent() {
+    use vc_rl::prelude::*;
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut store = ParamStore::new();
+    let net = ActorCritic::new(&mut store, NetConfig::for_scenario(8, 2), &mut rng);
+    let item = 3 * 8 * 8;
+    let batch = Tensor::from_vec(&[2, 3, 8, 8], (0..2 * item).map(|i| (i as f32 * 0.11).sin()).collect());
+
+    let mut g = Graph::new();
+    let x = g.leaf(batch.clone());
+    let out = net.forward(&mut g, &store, x);
+    let values = g.value(out.value).clone();
+    let moves = g.value(out.move_logits).clone(); // [2*2, 9]
+
+    for bi in 0..2 {
+        let single = Tensor::from_vec(&[1, 3, 8, 8], batch.data()[bi * item..(bi + 1) * item].to_vec());
+        let mut g1 = Graph::new();
+        let x1 = g1.leaf(single);
+        let o1 = net.forward(&mut g1, &store, x1);
+        assert!((values.data()[bi] - g1.value(o1.value).item()).abs() < 1e-4);
+        let m1 = g1.value(o1.move_logits); // [2, 9]
+        for w in 0..2 {
+            for a in 0..9 {
+                assert!(
+                    (moves.at2(bi * 2 + w, a) - m1.at2(w, a)).abs() < 1e-4,
+                    "batch item {bi} worker {w} action {a}"
+                );
+            }
+        }
+    }
+}

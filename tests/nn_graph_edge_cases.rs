@@ -1,0 +1,136 @@
+//! Edge-case coverage for the autograd graph that the in-crate unit tests
+//! don't reach: broadcast gradients, mixed-parent graphs, and shape guards.
+
+use vc_nn::prelude::*;
+
+#[test]
+fn add_row_broadcast_bias_grad_sums_over_rows() {
+    let mut store = ParamStore::new();
+    let b = store.add("b", Tensor::from_vec(&[3], vec![0.1, 0.2, 0.3]));
+    let mut g = Graph::new();
+    let x = g.leaf(Tensor::zeros(&[4, 3]));
+    let bn = g.param(&store, b);
+    let y = g.add_row_broadcast(x, bn);
+    let loss = g.sum_all(y);
+    g.backward(loss, &mut store);
+    // Each bias coordinate is added to 4 rows, so its gradient is 4.
+    assert_eq!(store.grad(b).data(), &[4.0, 4.0, 4.0]);
+}
+
+#[test]
+fn mean_rows_known_values() {
+    let mut g = Graph::new();
+    let x = g.leaf(Tensor::from_vec(&[2, 3], vec![1., 2., 3., 10., 20., 30.]));
+    let m = g.mean_rows(x);
+    assert_eq!(g.value(m).data(), &[2.0, 20.0]);
+}
+
+#[test]
+fn graph_len_counts_nodes() {
+    let mut g = Graph::new();
+    assert!(g.is_empty());
+    let a = g.leaf(Tensor::ones(&[2]));
+    let b = g.leaf(Tensor::ones(&[2]));
+    let _ = g.add(a, b);
+    assert_eq!(g.len(), 3);
+}
+
+#[test]
+fn leaf_without_params_gets_no_store_grads() {
+    let mut store = ParamStore::new();
+    let p = store.add("p", Tensor::ones(&[2]));
+    let mut g = Graph::new();
+    let a = g.leaf(Tensor::from_vec(&[2], vec![1.0, 2.0]));
+    let sq = g.square(a);
+    let loss = g.sum_all(sq);
+    g.backward(loss, &mut store);
+    assert_eq!(store.grad(p).data(), &[0.0, 0.0], "unrelated param must stay clean");
+}
+
+#[test]
+fn grad_of_returns_none_when_disconnected() {
+    let mut g = Graph::new();
+    let a = g.leaf(Tensor::ones(&[1]));
+    let b = g.leaf(Tensor::ones(&[1]));
+    let loss = g.sum_all(a);
+    assert!(g.grad_of(loss, b).is_none());
+    assert!(g.grad_of(loss, a).is_some());
+}
+
+#[test]
+fn two_backwards_accumulate_param_grads() {
+    // The employee pattern: several minibatch graphs backward into the same
+    // store between zero_grads calls.
+    let mut store = ParamStore::new();
+    let w = store.add("w", Tensor::from_vec(&[1], vec![2.0]));
+    for _ in 0..2 {
+        let mut g = Graph::new();
+        let wn = g.param(&store, w);
+        let sq = g.square(wn);
+        let loss = g.sum_all(sq);
+        g.backward(loss, &mut store);
+    }
+    // d(w²)/dw = 4 per pass, two passes accumulate to 8.
+    assert!((store.grad(w).data()[0] - 8.0).abs() < 1e-5);
+}
+
+#[test]
+#[should_panic(expected = "zip shape mismatch")]
+fn mismatched_elementwise_shapes_panic() {
+    let mut g = Graph::new();
+    let a = g.leaf(Tensor::ones(&[2]));
+    let b = g.leaf(Tensor::ones(&[3]));
+    g.add(a, b);
+}
+
+#[test]
+#[should_panic(expected = "matmul inner dims")]
+fn mismatched_matmul_panics() {
+    let mut g = Graph::new();
+    let a = g.leaf(Tensor::ones(&[2, 3]));
+    let b = g.leaf(Tensor::ones(&[4, 2]));
+    g.matmul(a, b);
+}
+
+#[test]
+#[should_panic(expected = "pick index")]
+fn pick_column_out_of_range_panics() {
+    let mut g = Graph::new();
+    let a = g.leaf(Tensor::ones(&[2, 3]));
+    g.pick_column(a, vec![0, 3]);
+}
+
+#[test]
+fn op_names_are_stable() {
+    use vc_nn::op::Op;
+    assert_eq!(Op::Leaf.name(), "leaf");
+    assert_eq!(Op::MatMul.name(), "matmul");
+    assert_eq!(Op::LogSoftmax.name(), "log_softmax");
+    assert_eq!(Op::Clamp { lo: 0.0, hi: 1.0 }.name(), "clamp");
+}
+
+#[test]
+fn sigmoid_saturates_sanely() {
+    let mut g = Graph::new();
+    let x = g.leaf(Tensor::from_vec(&[3], vec![-50.0, 0.0, 50.0]));
+    let s = g.sigmoid(x);
+    let v = g.value(s).data().to_vec();
+    assert!(v[0] < 1e-6);
+    assert!((v[1] - 0.5).abs() < 1e-6);
+    assert!(v[2] > 1.0 - 1e-6);
+    assert!(!g.value(s).has_non_finite());
+}
+
+#[test]
+fn exp_ln_roundtrip_grads_are_identity_like() {
+    // d/dx sum(ln(exp(x))) = 1.
+    let mut g = Graph::new();
+    let x = g.leaf(Tensor::from_vec(&[1, 4], vec![0.5, -0.25, 1.0, 0.0]));
+    let e = g.exp(x);
+    let l = g.ln(e, 1e-12);
+    let loss = g.sum_all(l);
+    let grad = g.grad_of(loss, x).unwrap();
+    for &gv in grad.data() {
+        assert!((gv - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,66 @@
+//! Cross-crate integration: record a *policy-driven* episode, serialize it,
+//! replay it, and verify the replay reproduces the exact trajectory.
+
+use drl_cews::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vc_env::prelude::*;
+use vc_rl::prelude::*;
+
+#[test]
+fn policy_episode_records_and_replays_exactly() {
+    let mut env_cfg = EnvConfig::tiny();
+    env_cfg.horizon = 15;
+    let mut cfg = TrainerConfig::drl_cews(env_cfg.clone()).quick();
+    cfg.num_employees = 1;
+    let mut trainer = Trainer::new(cfg);
+    trainer.train(2);
+
+    // Drive + record.
+    let mut env = CrowdsensingEnv::new(env_cfg.clone());
+    let mut recorder = Recorder::new(&env);
+    let mut rng = StdRng::seed_from_u64(11);
+    let opts = PolicyOptions { mode: SampleMode::Stochastic, mask_invalid: true };
+    let mut live_positions = Vec::new();
+    while !env.done() {
+        let a = sample_action(trainer.net(), trainer.store(), &env, opts, &mut rng);
+        recorder.log(&a.actions);
+        env.step(&a.actions);
+        live_positions.push(env.workers()[0].pos);
+    }
+    let recording = recorder.finish(&env);
+
+    // Serialize / deserialize.
+    let json = recording.to_json();
+    let restored = Recording::from_json(&json).unwrap();
+    assert_eq!(restored, recording);
+
+    // Replay and compare the trajectory step by step.
+    let mut replay_positions = Vec::new();
+    let replayed_env = restored.replay(|e, _| replay_positions.push(e.workers()[0].pos));
+    assert_eq!(replay_positions, live_positions, "replay diverged from the live episode");
+    assert_eq!(replayed_env.metrics(), env.metrics());
+}
+
+#[test]
+fn summary_of_replay_matches_live_summary() {
+    let mut env_cfg = EnvConfig::tiny();
+    env_cfg.horizon = 10;
+    let mut env = CrowdsensingEnv::new(env_cfg.clone());
+    let mut recorder = Recorder::new(&env);
+    let mut live = EpisodeSummary::new(1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut sched = vc_baselines::greedy::GreedyScheduler;
+    use vc_baselines::scheduler::Scheduler;
+    while !env.done() {
+        let actions = sched.decide(&env, &mut rng);
+        recorder.log(&actions);
+        let r = env.step(&actions);
+        live.record(&r);
+    }
+    let recording = recorder.finish(&env);
+
+    let mut replayed = EpisodeSummary::new(1);
+    recording.replay(|_, r| replayed.record(r));
+    assert_eq!(replayed, live);
+}

@@ -1,0 +1,178 @@
+//! End-to-end integration: the full DRL-CEWS stack (env → net → curiosity →
+//! chief-employee trainer → evaluation) wired together.
+
+use drl_cews::prelude::*;
+use vc_env::prelude::*;
+
+fn tiny_env() -> EnvConfig {
+    let mut cfg = EnvConfig::tiny();
+    cfg.horizon = 15;
+    cfg.num_pois = 25;
+    cfg
+}
+
+#[test]
+fn full_stack_trains_and_evaluates() {
+    let env = tiny_env();
+    let mut cfg = TrainerConfig::drl_cews(env.clone()).quick();
+    cfg.num_employees = 2;
+    let mut trainer = Trainer::new(cfg);
+    let stats = trainer.train(3);
+    assert_eq!(stats.len(), 3);
+    for s in &stats {
+        assert!(s.kappa.is_finite() && (0.0..=1.0).contains(&s.kappa));
+        assert!(s.int_reward >= 0.0);
+    }
+    let mut policy = PolicyScheduler::from_trainer(&trainer, "drl-cews");
+    let m = evaluate(&mut policy, &env, 2, 0);
+    assert!((0.0..=1.0).contains(&m.data_collection_ratio));
+}
+
+#[test]
+fn employee_count_changes_wall_clock_not_correctness() {
+    let env = tiny_env();
+    for m in [1usize, 3] {
+        let mut cfg = TrainerConfig::dppo(env.clone()).quick();
+        cfg.num_employees = m;
+        let mut trainer = Trainer::new(cfg);
+        let s = trainer.train_episode();
+        assert!(s.kappa.is_finite(), "M={m} produced NaN kappa");
+        assert!(!trainer.store().flat_values().iter().any(|v| !v.is_finite()));
+    }
+}
+
+#[test]
+fn sparse_reward_counts_pulses_not_quantities() {
+    // A DRL-CEWS trainer on an env where nothing can be collected must see
+    // zero positive extrinsic reward (only collision penalties).
+    let mut env = tiny_env();
+    env.num_pois = 0;
+    let mut cfg = TrainerConfig::drl_cews(env).quick();
+    cfg.curiosity = CuriosityChoice::None;
+    let mut trainer = Trainer::new(cfg);
+    let s = trainer.train_episode();
+    assert!(s.ext_reward <= 0.0, "reward {} on an empty map", s.ext_reward);
+    assert_eq!(s.kappa, 0.0);
+}
+
+#[test]
+fn training_reduces_intrinsic_reward_over_time() {
+    // The curiosity forward model trains alongside the policy, so the mean
+    // intrinsic payout per episode must shrink (Fig. 9's fading brightness).
+    let env = tiny_env();
+    let mut cfg = TrainerConfig::drl_cews(env).quick();
+    cfg.num_employees = 1;
+    let mut trainer = Trainer::new(cfg);
+    let stats = trainer.train(40);
+    let early: f32 = stats[..8].iter().map(|s| s.int_reward).sum::<f32>() / 8.0;
+    let late: f32 = stats[32..].iter().map(|s| s.int_reward).sum::<f32>() / 8.0;
+    assert!(
+        late < early,
+        "intrinsic reward did not fade: early {early:.3} late {late:.3}"
+    );
+}
+
+#[test]
+fn trainer_rejects_invalid_env() {
+    let mut env = tiny_env();
+    env.num_workers = 0;
+    let cfg = TrainerConfig::drl_cews(env);
+    let result = std::panic::catch_unwind(|| Trainer::new(cfg));
+    assert!(result.is_err());
+}
+
+#[test]
+fn chief_aggregates_update_diagnostics() {
+    let env = tiny_env();
+    let mut cfg = TrainerConfig::dppo(env).quick();
+    cfg.num_employees = 2;
+    let mut trainer = Trainer::new(cfg);
+    trainer.train_episode();
+    let stats = trainer.last_ppo_stats();
+    assert!(stats.entropy > 0.0, "fresh policy entropy must be positive");
+    assert!(stats.value_loss.is_finite());
+    assert!(stats.approx_kl >= -1e-4, "KL proxy should be ~non-negative");
+}
+
+#[test]
+fn on_policy_update_starts_at_unit_ratio() {
+    // Regression test for the masking bug: immediately after sampling, the
+    // recomputed log-probabilities must match the stored behavior
+    // log-probabilities exactly (ratio 1, KL ~ 0) — including when validity
+    // masks shaped the sampling distribution.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vc_nn::prelude::*;
+    use vc_rl::prelude::*;
+
+    let env_cfg = tiny_env();
+    let mut env = CrowdsensingEnv::new(env_cfg.clone());
+    // Corner the worker so several moves are masked.
+    env.teleport_worker(0, Point::new(0.0, 0.0));
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let net = ActorCritic::new(
+        &mut store,
+        NetConfig::for_scenario(env_cfg.grid, env_cfg.num_workers),
+        &mut rng,
+    );
+    let opts = PolicyOptions { mode: SampleMode::Stochastic, mask_invalid: true };
+
+    let mut buffer = RolloutBuffer::new();
+    for _ in 0..6 {
+        let state = vc_env::state::encode(&env);
+        let s = sample_action(&net, &store, &env, opts, &mut rng);
+        env.step(&s.actions);
+        buffer.push(Transition {
+            state,
+            moves: s.moves,
+            charges: s.charges,
+            move_mask: s.move_mask,
+            charge_mask: s.charge_mask,
+            logp: s.logp,
+            reward: 0.0,
+            value: s.value,
+        });
+    }
+    let ppo = PpoConfig::default();
+    finish_rollout(&mut buffer, &ppo, 0.0);
+    let idx: Vec<usize> = (0..buffer.len()).collect();
+    let stats = compute_ppo_grads(&net, &mut store, &buffer, &idx, &ppo);
+    assert!(
+        stats.approx_kl.abs() < 1e-3,
+        "on-policy KL should be ~0, got {} (mask mismatch between sampling and update?)",
+        stats.approx_kl
+    );
+}
+
+#[test]
+fn lr_schedule_anneals_policy_learning_rate() {
+    use vc_nn::optim::LrSchedule;
+    let env = tiny_env();
+    let mut cfg = TrainerConfig::dppo(env).quick();
+    cfg.num_employees = 1;
+    cfg.lr_schedule = LrSchedule::Linear { final_fraction: 0.0 };
+    cfg.schedule_horizon = 4;
+    let mut trainer = Trainer::new(cfg.clone());
+    // Parameter movement per episode must shrink as the LR anneals to 0.
+    let mut deltas = Vec::new();
+    for _ in 0..5 {
+        let before = trainer.store().flat_values();
+        trainer.train_episode();
+        let after = trainer.store().flat_values();
+        let delta: f32 = before
+            .iter()
+            .zip(&after)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        deltas.push(delta);
+    }
+    // Episode 5 runs at progress >= 1 -> lr 0 -> parameters frozen.
+    assert!(
+        deltas[4] < 1e-6,
+        "annealed-to-zero schedule still moved params by {}",
+        deltas[4]
+    );
+    assert!(deltas[0] > deltas[4], "no annealing effect visible");
+}
