@@ -74,9 +74,8 @@ impl DncScheduler {
     /// straight-line by default, obstacle-aware hops with
     /// [`Self::with_pathfinding`].
     fn move_toward_station(&self, env: &CrowdsensingEnv, wi: usize) -> Move {
-        let fields: Option<Vec<vc_env::pathfind::DistanceField>> = self
-            .pathfind_stations
-            .then(|| {
+        let fields: Option<Vec<vc_env::pathfind::DistanceField>> =
+            self.pathfind_stations.then(|| {
                 env.stations()
                     .iter()
                     .map(|s| vc_env::pathfind::DistanceField::from(env.config(), &s.pos))
@@ -92,11 +91,9 @@ impl DncScheduler {
                     .filter_map(|f| f.distance_to(env.config(), &target))
                     .map(|h| h as f32)
                     .fold(f32::INFINITY, f32::min),
-                None => env
-                    .stations()
-                    .iter()
-                    .map(|s| s.pos.dist(&target))
-                    .fold(f32::INFINITY, f32::min),
+                None => {
+                    env.stations().iter().map(|s| s.pos.dist(&target)).fold(f32::INFINITY, f32::min)
+                }
             };
             if d < best_d {
                 best_d = d;
@@ -141,6 +138,7 @@ impl Scheduler for DncScheduler {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::greedy::GreedyScheduler;
@@ -150,12 +148,14 @@ mod tests {
     #[test]
     fn lookahead_prefers_richer_two_step_path() {
         // One PoI two steps east; nothing one step away. Greedy sees zero
-        // everywhere and stays; D&C's lookahead walks east.
-        let mut cfg = EnvConfig::tiny();
-        cfg.num_pois = 1;
-        let mut env = CrowdsensingEnv::new(cfg);
+        // everywhere and stays; D&C's lookahead walks east. Placed
+        // explicitly so the scenario does not depend on the PRNG draw.
+        let mut env = vc_env::builder::MapBuilder::new(8.0, 8.0, 16)
+            .worker(2.0, 4.0)
+            .poi(4.0, 4.0, 10.0)
+            .build();
         let poi = env.pois()[0].pos;
-        let start = Point::new((poi.x - 2.0).clamp(0.0, 8.0), poi.y);
+        let start = env.workers()[0].pos;
         env.teleport_worker(0, start);
         let mut rng = StdRng::seed_from_u64(0);
 
@@ -173,10 +173,8 @@ mod tests {
         cfg.num_pois = 0;
         let mut env = CrowdsensingEnv::new(cfg);
         let st = env.stations()[0].pos;
-        let far = Point::new(
-            if st.x < 4.0 { 7.5 } else { 0.5 },
-            if st.y < 4.0 { 7.5 } else { 0.5 },
-        );
+        let far =
+            Point::new(if st.x < 4.0 { 7.5 } else { 0.5 }, if st.y < 4.0 { 7.5 } else { 0.5 });
         env.teleport_worker(0, far);
         env.set_worker_energy(0, 8.0);
         let mut rng = StdRng::seed_from_u64(0);

@@ -20,7 +20,9 @@ use vc_rl::prelude::*;
 /// Edics hyperparameters.
 #[derive(Clone, Copy, Debug)]
 pub struct EdicsConfig {
+    /// PPO hyperparameters for the Edics learner.
     pub ppo: PpoConfig,
+    /// Seed for network init and sampling.
     pub seed: u64,
 }
 
@@ -52,12 +54,20 @@ impl Edics {
         let agents = (0..env_cfg.num_workers)
             .map(|_| {
                 let mut store = ParamStore::new();
-                let net =
-                    ActorCritic::new(&mut store, NetConfig::for_scenario(env_cfg.grid, 1), &mut rng);
+                let net = ActorCritic::new(
+                    &mut store,
+                    NetConfig::for_scenario(env_cfg.grid, 1),
+                    &mut rng,
+                );
                 Agent { store, net, opt: Adam::new(cfg.ppo.lr), buffer: RolloutBuffer::new() }
             })
             .collect();
-        Self { cfg, agents, rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(1)), episodes_trained: 0 }
+        Self {
+            cfg,
+            agents,
+            rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(1)),
+            episodes_trained: 0,
+        }
     }
 
     /// Number of episodes trained so far.
@@ -174,14 +184,12 @@ impl Scheduler for Edics {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
     fn quick_cfg() -> EdicsConfig {
-        EdicsConfig {
-            ppo: PpoConfig { epochs: 1, minibatch: 32, ..PpoConfig::default() },
-            seed: 3,
-        }
+        EdicsConfig { ppo: PpoConfig { epochs: 1, minibatch: 32, ..PpoConfig::default() }, seed: 3 }
     }
 
     #[test]

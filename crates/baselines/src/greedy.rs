@@ -63,9 +63,10 @@ impl Scheduler for GreedyScheduler {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
-    
+
     use rand::SeedableRng;
 
     #[test]
@@ -118,10 +119,8 @@ mod tests {
         // Far from the single station, low battery: Greedy has no station-
         // seeking behavior, so it just stays (no data anywhere).
         let st = env.stations()[0].pos;
-        let far = Point::new(
-            if st.x < 4.0 { 7.5 } else { 0.5 },
-            if st.y < 4.0 { 7.5 } else { 0.5 },
-        );
+        let far =
+            Point::new(if st.x < 4.0 { 7.5 } else { 0.5 }, if st.y < 4.0 { 7.5 } else { 0.5 });
         env.teleport_worker(0, far);
         env.set_worker_energy(0, 5.0);
         let mut rng = StdRng::seed_from_u64(0);

@@ -40,8 +40,7 @@ impl Scheduler for RandomScheduler {
                     return WorkerAction::charge();
                 }
                 let mask = env.valid_moves(wi);
-                let valid: Vec<usize> =
-                    (0..NUM_MOVES).filter(|&i| mask[i]).collect();
+                let valid: Vec<usize> = (0..NUM_MOVES).filter(|&i| mask[i]).collect();
                 let mv = valid[rng.gen_range(0..valid.len())];
                 WorkerAction::go(Move::from_index(mv))
             })
@@ -54,6 +53,7 @@ impl Scheduler for RandomScheduler {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

@@ -2,6 +2,8 @@
 //! every experiment (environment stepping, state encoding, network forward,
 //! PPO gradient computation, curiosity reward, gradient-buffer reduction).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,14 +24,14 @@ fn bench_env_step(c: &mut Criterion) {
                 black_box(env.step(&actions));
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
 fn bench_state_encode(c: &mut Criterion) {
     let env = CrowdsensingEnv::new(bench_env());
     c.bench_function("env/state_encode_16x16", |b| {
-        b.iter(|| black_box(vc_env::state::encode(&env)))
+        b.iter(|| black_box(vc_env::state::encode(&env)));
     });
 }
 
@@ -44,7 +46,7 @@ fn bench_net_forward(c: &mut Criterion) {
                 let mut g = Graph::new();
                 let s = g.leaf(t.clone());
                 black_box(net.forward(&mut g, &store, s).value);
-            })
+            });
         });
     }
 }
@@ -73,7 +75,7 @@ fn bench_ppo_minibatch(c: &mut Criterion) {
         b.iter(|| {
             store.zero_grads();
             black_box(compute_ppo_grads(&net, &mut store, &buffer, &idx, &ppo));
-        })
+        });
     });
 }
 
@@ -94,7 +96,7 @@ fn bench_curiosity_reward(c: &mut Criterion) {
             });
             cur.clear_buffer();
             black_box(r)
-        })
+        });
     });
 }
 
@@ -104,12 +106,12 @@ fn bench_gradient_buffer(c: &mut Criterion) {
         b.iter_batched(
             GradientBuffer::new,
             |buf| {
-                buf.accumulate(&grads);
-                buf.accumulate(&grads);
+                buf.accumulate(&grads).unwrap();
+                buf.accumulate(&grads).unwrap();
                 black_box(buf.take())
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 

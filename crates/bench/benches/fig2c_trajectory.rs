@@ -2,6 +2,8 @@
 //! episode with full per-slot position recording, plus the ASCII rendering
 //! used by `vc-experiments fig2c`.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use drl_cews::prelude::*;
 use rand::rngs::StdRng;
@@ -17,7 +19,7 @@ fn bench_fig2c(c: &mut Criterion) {
     cfg.num_employees = 1;
     cfg.ppo.epochs = 1;
     cfg.ppo.minibatch = 16;
-    let trainer = Trainer::new(cfg);
+    let trainer = Trainer::new(cfg).unwrap();
     let opts = PolicyOptions { mode: SampleMode::Stochastic, mask_invalid: true };
 
     c.bench_function("fig2c/trajectory_episode", |b| {
@@ -32,15 +34,17 @@ fn bench_fig2c(c: &mut Criterion) {
                 traj.record(env.workers().iter().map(|w| w.pos));
             }
             black_box(traj.path_length(0))
-        })
+        });
     });
 
     c.bench_function("fig2c/ascii_render", |b| {
         let mut traj = Trajectory::new(1);
         for i in 0..40 {
-            traj.record([Point::new((i % 16) as f32 + 0.5, (i / 4) as f32 % 16.0 + 0.5)].into_iter());
+            traj.record(
+                [Point::new((i % 16) as f32 + 0.5, (i / 4) as f32 % 16.0 + 0.5)].into_iter(),
+            );
         }
-        b.iter(|| black_box(traj.ascii(&env_cfg, 0).len()))
+        b.iter(|| black_box(traj.ascii(&env_cfg, 0).len()));
     });
 }
 

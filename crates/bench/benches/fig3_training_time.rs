@@ -4,6 +4,8 @@
 //! employees on their box) — is reproduced here as the relative growth of
 //! the per-episode benchmark times.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vc_bench::bench_trainer;
@@ -14,7 +16,7 @@ fn bench_fig3(c: &mut Criterion) {
     for &employees in &[1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(employees), &employees, |b, &m| {
             let mut trainer = bench_trainer(m, 32);
-            b.iter(|| black_box(trainer.train_episode()));
+            b.iter(|| black_box(trainer.train_episode().unwrap()));
         });
     }
     group.finish();

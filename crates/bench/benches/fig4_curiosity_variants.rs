@@ -5,6 +5,8 @@
 //! (effectiveness *and* cost, e.g. independent structures paying a
 //! per-worker parameter multiple).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drl_cews::prelude::*;
 use drl_cews::trainer::CuriosityChoice;
@@ -18,7 +20,7 @@ fn variant_trainer(choice: CuriosityChoice) -> Trainer {
     cfg.ppo.epochs = 1;
     cfg.ppo.minibatch = 32;
     cfg.curiosity = choice;
-    Trainer::new(cfg)
+    Trainer::new(cfg).unwrap()
 }
 
 fn bench_fig4(c: &mut Criterion) {
@@ -50,7 +52,7 @@ fn bench_fig4(c: &mut Criterion) {
     for choice in variants {
         group.bench_with_input(BenchmarkId::from_parameter(choice.label()), &choice, |b, &ch| {
             let mut trainer = variant_trainer(ch);
-            b.iter(|| black_box(trainer.train_episode()));
+            b.iter(|| black_box(trainer.train_episode().unwrap()));
         });
     }
     group.finish();

@@ -3,6 +3,8 @@
 //! `vc-experiments fig5`, which regenerates the corresponding learning
 //! curves.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drl_cews::prelude::*;
 use std::hint::black_box;
@@ -29,8 +31,8 @@ fn bench_fig5(c: &mut Criterion) {
                 cfg.ppo.minibatch = 32;
                 cfg.reward_mode = r;
                 cfg.curiosity = cur;
-                let mut trainer = Trainer::new(cfg);
-                b.iter(|| black_box(trainer.train_episode()));
+                let mut trainer = Trainer::new(cfg).unwrap();
+                b.iter(|| black_box(trainer.train_episode().unwrap()));
             },
         );
     }

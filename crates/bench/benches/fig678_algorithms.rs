@@ -4,6 +4,8 @@
 //! Also sweeps the worker axis for the planners, reproducing the cost side
 //! of Fig. x(b).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,11 +27,11 @@ fn bench_trained_methods(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("drl-cews", |b| {
         let mut t = bench_trainer(1, 32);
-        b.iter(|| black_box(t.train_episode()));
+        b.iter(|| black_box(t.train_episode().unwrap()));
     });
     group.bench_function("dppo", |b| {
         let mut t = bench_dppo(1, 32);
-        b.iter(|| black_box(t.train_episode()));
+        b.iter(|| black_box(t.train_episode().unwrap()));
     });
     group.bench_function("edics", |b| {
         let env_cfg = bench_env();
@@ -55,11 +57,11 @@ fn bench_planners(c: &mut Criterion) {
         let mut env = CrowdsensingEnv::new(cfg);
         let mut rng = StdRng::seed_from_u64(3);
         group.bench_with_input(BenchmarkId::new("greedy", workers), &workers, |b, _| {
-            b.iter(|| planner_episode(&mut GreedyScheduler, &mut env, &mut rng))
+            b.iter(|| planner_episode(&mut GreedyScheduler, &mut env, &mut rng));
         });
         let mut env2 = env.clone();
         group.bench_with_input(BenchmarkId::new("d&c", workers), &workers, |b, _| {
-            b.iter(|| planner_episode(&mut DncScheduler::default(), &mut env2, &mut rng))
+            b.iter(|| planner_episode(&mut DncScheduler::default(), &mut env2, &mut rng));
         });
     }
     group.finish();

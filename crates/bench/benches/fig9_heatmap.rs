@@ -2,6 +2,8 @@
 //! rollout depositing the spatial curiosity value at every visited cell),
 //! which is the unit of work behind `vc-experiments fig9`.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use drl_cews::experiments::{fig9, Scale};
 use drl_cews::prelude::*;
@@ -11,9 +13,9 @@ fn bench_fig9(c: &mut Criterion) {
     let scale = Scale::smoke();
     let (_, cfg) = fig9::configs(&scale).into_iter().next().unwrap();
     let env_cfg = cfg.env.clone();
-    let trainer = Trainer::new(cfg);
+    let trainer = Trainer::new(cfg).unwrap();
     c.bench_function("fig9/heatmap_snapshot", |b| {
-        b.iter(|| black_box(fig9::snapshot(&trainer, &env_cfg, 0, 1).heatmap.total()))
+        b.iter(|| black_box(fig9::snapshot(&trainer, &env_cfg, 0, 1).heatmap.total()));
     });
 }
 

@@ -21,24 +21,34 @@ pub fn bench_env() -> EnvConfig {
 
 /// A DRL-CEWS trainer configured for benchmarking, with `employees` threads
 /// and the given PPO minibatch size.
+///
+/// # Panics
+///
+/// Panics if the fixture configuration cannot start a trainer — a broken
+/// fixture should abort the benchmark run loudly.
 pub fn bench_trainer(employees: usize, minibatch: usize) -> Trainer {
     let mut cfg = TrainerConfig::drl_cews(bench_env());
     cfg.num_employees = employees;
     cfg.ppo.epochs = 1;
     cfg.ppo.minibatch = minibatch;
-    Trainer::new(cfg)
+    Trainer::new(cfg).unwrap_or_else(|e| panic!("bench fixture failed to start: {e}"))
 }
 
 /// A DPPO trainer at benchmark scale.
+///
+/// # Panics
+///
+/// Panics if the fixture configuration cannot start a trainer.
 pub fn bench_dppo(employees: usize, minibatch: usize) -> Trainer {
     let mut cfg = TrainerConfig::dppo(bench_env());
     cfg.num_employees = employees;
     cfg.ppo.epochs = 1;
     cfg.ppo.minibatch = minibatch;
-    Trainer::new(cfg)
+    Trainer::new(cfg).unwrap_or_else(|e| panic!("bench fixture failed to start: {e}"))
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -46,7 +56,7 @@ mod tests {
     fn fixtures_construct() {
         assert!(bench_env().validate().is_ok());
         let mut t = bench_trainer(1, 16);
-        let s = t.train_episode();
+        let s = t.train_episode().unwrap();
         assert!(s.kappa.is_finite());
     }
 }

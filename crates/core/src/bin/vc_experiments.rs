@@ -65,13 +65,14 @@ fn emit(table: &Table, out: &Option<PathBuf>, slug: &str) {
 }
 
 fn run_experiment(name: &str, scale: &Scale, out: &Option<PathBuf>) -> Result<(), String> {
+    let train_err = |e: drl_cews::trainer::TrainerError| format!("{name} failed: {e}");
     match name {
-        "table2" => emit(&table2::run(scale), out, "table2"),
-        "fig3" => emit(&fig3::run(scale), out, "fig3"),
-        "fig4" => emit(&fig4::run(scale), out, "fig4"),
-        "fig5" => emit(&fig5::run(scale), out, "fig5"),
+        "table2" => emit(&table2::run(scale).map_err(train_err)?, out, "table2"),
+        "fig3" => emit(&fig3::run(scale).map_err(train_err)?, out, "fig3"),
+        "fig4" => emit(&fig4::run(scale).map_err(train_err)?, out, "fig4"),
+        "fig5" => emit(&fig5::run(scale).map_err(train_err)?, out, "fig5"),
         "fig2c" => {
-            let (table, run) = fig2c::run(scale);
+            let (table, run) = fig2c::run(scale).map_err(train_err)?;
             emit(&table, out, "fig2c");
             for w in 0..run.env_cfg.num_workers {
                 println!("worker {w} trajectory:");
@@ -79,7 +80,7 @@ fn run_experiment(name: &str, scale: &Scale, out: &Option<PathBuf>) -> Result<()
             }
         }
         "fig9" => {
-            let (table, snaps) = fig9::run(scale);
+            let (table, snaps) = fig9::run(scale).map_err(train_err)?;
             emit(&table, out, "fig9");
             for (label, snap) in &snaps {
                 println!("{label} @ episode {} (curiosity heat map):", snap.episode);
@@ -87,20 +88,22 @@ fn run_experiment(name: &str, scale: &Scale, out: &Option<PathBuf>) -> Result<()
             }
         }
         "ablations" => {
-            for (i, t) in ablations::run(scale).iter().enumerate() {
+            for (i, t) in ablations::run(scale).map_err(train_err)?.iter().enumerate() {
                 emit(t, out, &format!("ablation_{i}"));
             }
         }
         "fig678" => {
             for axis in sweeps::Axis::ALL {
-                emit(&sweeps::run(scale, axis), out, &format!("fig678_{}", axis.label()));
+                let t = sweeps::run(scale, axis).map_err(train_err)?;
+                emit(&t, out, &format!("fig678_{}", axis.label()));
             }
         }
         other => {
             if let Some(axis_name) = other.strip_prefix("sweep:") {
                 let axis = sweeps::Axis::from_name(axis_name)
                     .ok_or_else(|| format!("unknown sweep axis '{axis_name}'"))?;
-                emit(&sweeps::run(scale, axis), out, &format!("fig678_{axis_name}"));
+                let t = sweeps::run(scale, axis).map_err(train_err)?;
+                emit(&t, out, &format!("fig678_{axis_name}"));
             } else {
                 return Err(format!("unknown experiment '{other}'\n{}", usage()));
             }

@@ -14,12 +14,22 @@ use drl_cews::prelude::*;
 use vc_baselines::prelude::*;
 use vc_env::prelude::*;
 
+/// Prints a CLI-level error and exits with status 2.
+fn fail(msg: &str) -> ! {
+    eprintln!("vc-train: {msg}");
+    std::process::exit(2);
+}
+
 fn parse_f32(v: Option<String>, flag: &str) -> f32 {
-    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| panic!("{flag} needs a number"))
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| fail(&format!("{flag} needs a number")))
 }
 
 fn parse_usize(v: Option<String>, flag: &str) -> usize {
-    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| panic!("{flag} needs an integer"))
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| fail(&format!("{flag} needs an integer")))
+}
+
+fn need(v: Option<String>, what: &str) -> String {
+    v.unwrap_or_else(|| fail(&format!("{what} needs a path")))
 }
 
 fn main() {
@@ -44,11 +54,11 @@ fn main() {
             "--config" => {
                 // Load a full EnvConfig from JSON (as produced by serde /
                 // MapBuilder::config); later flags may still override fields.
-                let path = args.next().expect("--config needs a path");
+                let path = need(args.next(), "--config");
                 let json = std::fs::read_to_string(&path)
-                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                    .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
                 cfg.env = serde_json::from_str(&json)
-                    .unwrap_or_else(|e| panic!("invalid EnvConfig JSON in {path}: {e}"));
+                    .unwrap_or_else(|e| fail(&format!("invalid EnvConfig JSON in {path}: {e}")));
             }
             "--episodes" => episodes = parse_usize(args.next(), "--episodes"),
             "--employees" => cfg.num_employees = parse_usize(args.next(), "--employees"),
@@ -73,7 +83,7 @@ fn main() {
                 cfg.reward_mode = match args.next().as_deref() {
                     Some("sparse") => vc_env::reward::RewardMode::Sparse,
                     Some("dense") => vc_env::reward::RewardMode::Dense,
-                    other => panic!("--reward sparse|dense, got {other:?}"),
+                    other => fail(&format!("--reward sparse|dense, got {other:?}")),
                 };
             }
             "--curiosity" => {
@@ -83,7 +93,9 @@ fn main() {
                     Some("icm") => CuriosityChoice::Icm { eta: 0.3 },
                     Some("count") => CuriosityChoice::Count { eta: 0.3 },
                     Some("none") => CuriosityChoice::None,
-                    other => panic!("--curiosity spatial|rnd|icm|count|none, got {other:?}"),
+                    other => {
+                        fail(&format!("--curiosity spatial|rnd|icm|count|none, got {other:?}"))
+                    }
                 };
             }
             "--mask" => cfg.mask_invalid = true,
@@ -94,11 +106,11 @@ fn main() {
             "--seed" => cfg.seed = parse_usize(args.next(), "--seed") as u64,
             "--log-every" => log_every = parse_usize(args.next(), "--log-every"),
             "--probe" => probe = true,
-            "--save-ckpt" => save_ckpt = Some(args.next().expect("--save-ckpt needs a path")),
-            "--load-ckpt" => load_ckpt = Some(args.next().expect("--load-ckpt needs a path")),
-            "--save-csv" => save_csv = Some(args.next().expect("--save-csv needs a path")),
-            "--record" => record = Some(args.next().expect("--record needs a path")),
-            other => panic!("unknown flag {other}"),
+            "--save-ckpt" => save_ckpt = Some(need(args.next(), "--save-ckpt")),
+            "--load-ckpt" => load_ckpt = Some(need(args.next(), "--load-ckpt")),
+            "--save-csv" => save_csv = Some(need(args.next(), "--save-csv")),
+            "--record" => record = Some(need(args.next(), "--record")),
+            other => fail(&format!("unknown flag {other}")),
         }
     }
 
@@ -121,15 +133,21 @@ fn main() {
         cfg.env.horizon,
     );
     let env = cfg.env.clone();
-    let mut trainer = Trainer::new(cfg);
+    let mut trainer =
+        Trainer::new(cfg).unwrap_or_else(|e| fail(&format!("cannot start trainer: {e}")));
     if let Some(path) = load_ckpt {
-        let data = std::fs::read(&path).expect("read checkpoint");
-        trainer.restore(&data).expect("restore checkpoint");
+        let data = std::fs::read(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read checkpoint {path}: {e}")));
+        trainer
+            .restore(&data)
+            .unwrap_or_else(|e| fail(&format!("cannot restore checkpoint {path}: {e:?}")));
         println!("restored policy from {path} (pass --episodes 0 to evaluate only)");
     }
     let start = std::time::Instant::now();
     for ep in 0..episodes {
-        let s = trainer.train_episode();
+        let s = trainer
+            .train_episode()
+            .unwrap_or_else(|e| fail(&format!("training failed at episode {ep}: {e}")));
         if ep % log_every == 0 || ep + 1 == episodes {
             let probe_err = if probe {
                 trainer.curiosity().as_spatial().map(|sp| {
@@ -160,12 +178,13 @@ fn main() {
     println!("trained {episodes} episodes in {:.1}s", start.elapsed().as_secs_f32());
 
     if let Some(path) = save_ckpt {
-        std::fs::write(&path, trainer.checkpoint()).expect("write checkpoint");
+        std::fs::write(&path, trainer.checkpoint())
+            .unwrap_or_else(|e| fail(&format!("cannot write checkpoint {path}: {e}")));
         println!("checkpoint -> {path}");
     }
     if let Some(path) = save_csv {
         drl_cews::training_log::write_csv(trainer.history(), std::path::Path::new(&path))
-            .expect("write training CSV");
+            .unwrap_or_else(|e| fail(&format!("cannot write training CSV {path}: {e}")));
         println!("training curve -> {path}");
     }
     if let Some(path) = record {
@@ -185,7 +204,11 @@ fn main() {
             rec_env.step(&a.actions);
         }
         let recording = recorder.finish(&rec_env);
-        std::fs::write(&path, recording.to_json()).expect("write recording");
+        let json = recording
+            .to_json()
+            .unwrap_or_else(|e| fail(&format!("cannot serialize recording: {e}")));
+        std::fs::write(&path, json)
+            .unwrap_or_else(|e| fail(&format!("cannot write recording {path}: {e}")));
         println!("evaluation recording -> {path} (replay with vc_replay)");
     }
 

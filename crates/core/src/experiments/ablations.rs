@@ -15,22 +15,22 @@
 use super::Scale;
 use crate::eval::{evaluate, PolicyScheduler};
 use crate::report::{f3, Table};
-use crate::trainer::{CuriosityChoice, Trainer, TrainerConfig};
+use crate::trainer::{CuriosityChoice, Trainer, TrainerConfig, TrainerError};
 use vc_curiosity::prelude::{FeatureKind, StructureKind};
 
 /// Trains one configuration and evaluates it on its own scenario.
-fn run_one(scale: &Scale, cfg: TrainerConfig) -> (f32, f32, f32) {
+fn run_one(scale: &Scale, cfg: TrainerConfig) -> Result<(f32, f32, f32), TrainerError> {
     let env = cfg.env.clone();
-    let mut trainer = Trainer::new(cfg);
-    trainer.train(scale.train_episodes);
+    let mut trainer = Trainer::new(cfg)?;
+    trainer.train(scale.train_episodes)?;
     let mut policy = PolicyScheduler::from_trainer(&trainer, "ablation");
     let m = evaluate(&mut policy, &env, scale.eval_episodes, 13);
-    (m.data_collection_ratio, m.remaining_data_ratio, m.energy_efficiency)
+    Ok((m.data_collection_ratio, m.remaining_data_ratio, m.energy_efficiency))
 }
 
 /// Masking ablation: masked sampling (our default) vs the paper-faithful
 /// collision-penalty-only scheme.
-pub fn run_masking(scale: &Scale) -> Table {
+pub fn run_masking(scale: &Scale) -> Result<Table, TrainerError> {
     let mut table = Table::new(
         "Ablation: action-validity masking vs collision-penalty only",
         &["variant", "kappa", "xi", "rho"],
@@ -38,31 +38,32 @@ pub fn run_masking(scale: &Scale) -> Table {
     for (label, mask) in [("masked (default)", true), ("penalty-only (paper)", false)] {
         let mut cfg = scale.tune(TrainerConfig::drl_cews(scale.base_env()));
         cfg.mask_invalid = mask;
-        let (k, x, r) = run_one(scale, cfg);
+        let (k, x, r) = run_one(scale, cfg)?;
         table.push_row(vec![label.to_string(), f3(k), f3(x), f3(r)]);
     }
-    table
+    Ok(table)
 }
 
 /// Worker-identity-mark ablation (only meaningful for W ≥ 2).
-pub fn run_identity_marks(scale: &Scale) -> Table {
+pub fn run_identity_marks(scale: &Scale) -> Result<Table, TrainerError> {
     let mut table = Table::new(
         "Ablation: worker-identity marks in state channel 1",
         &["variant", "kappa", "xi", "rho"],
     );
-    for (label, paper_channel) in [("identity marks (default)", false), ("paper energy-only", true)] {
+    for (label, paper_channel) in [("identity marks (default)", false), ("paper energy-only", true)]
+    {
         let mut env = scale.base_env();
         env.num_workers = 2;
         env.paper_worker_channel = paper_channel;
         let cfg = scale.tune(TrainerConfig::drl_cews(env));
-        let (k, x, r) = run_one(scale, cfg);
+        let (k, x, r) = run_one(scale, cfg)?;
         table.push_row(vec![label.to_string(), f3(k), f3(x), f3(r)]);
     }
-    table
+    Ok(table)
 }
 
 /// Intrinsic-reward scale sweep.
-pub fn run_eta(scale: &Scale) -> Table {
+pub fn run_eta(scale: &Scale) -> Result<Table, TrainerError> {
     let mut table = Table::new(
         "Ablation: curiosity scale eta (paper uses 0.3)",
         &["eta", "kappa", "xi", "rho"],
@@ -78,30 +79,31 @@ pub fn run_eta(scale: &Scale) -> Table {
                 eta,
             }
         };
-        let (k, x, r) = run_one(scale, cfg);
+        let (k, x, r) = run_one(scale, cfg)?;
         table.push_row(vec![format!("{eta:.1}"), f3(k), f3(x), f3(r)]);
     }
-    table
+    Ok(table)
 }
 
 /// All ablations.
-pub fn run(scale: &Scale) -> Vec<Table> {
-    vec![run_masking(scale), run_identity_marks(scale), run_eta(scale)]
+pub fn run(scale: &Scale) -> Result<Vec<Table>, TrainerError> {
+    Ok(vec![run_masking(scale)?, run_identity_marks(scale)?, run_eta(scale)?])
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
     #[test]
     fn masking_ablation_smoke() {
-        let t = run_masking(&Scale::smoke());
+        let t = run_masking(&Scale::smoke()).unwrap();
         assert_eq!(t.rows.len(), 2);
     }
 
     #[test]
     fn eta_ablation_covers_zero_and_paper_value() {
-        let t = run_eta(&Scale::smoke());
+        let t = run_eta(&Scale::smoke()).unwrap();
         assert_eq!(t.rows.len(), 4);
         assert_eq!(t.rows[0][0], "0.0");
         assert_eq!(t.rows[2][0], "0.3");

@@ -6,7 +6,7 @@
 
 use super::Scale;
 use crate::report::{f2, Table};
-use crate::trainer::{Trainer, TrainerConfig};
+use crate::trainer::{Trainer, TrainerConfig, TrainerError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vc_env::prelude::*;
@@ -14,18 +14,25 @@ use vc_rl::prelude::*;
 
 /// A recorded evaluation episode.
 pub struct TrajectoryRun {
+    /// Per-slot worker positions and actions.
     pub trajectory: Trajectory,
+    /// Final episode metrics.
     pub metrics: Metrics,
+    /// Environment configuration the episode ran on.
     pub env_cfg: EnvConfig,
 }
 
 /// Trains and records one trajectory episode.
-pub fn record(scale: &Scale) -> TrajectoryRun {
+///
+/// # Errors
+///
+/// Propagates trainer construction/training failures.
+pub fn record(scale: &Scale) -> Result<TrajectoryRun, TrainerError> {
     let mut env_cfg = scale.base_env();
     env_cfg.num_workers = 2;
     env_cfg.num_stations = 4;
-    let mut trainer = Trainer::new(scale.tune(TrainerConfig::drl_cews(env_cfg.clone())));
-    trainer.train(scale.train_episodes);
+    let mut trainer = Trainer::new(scale.tune(TrainerConfig::drl_cews(env_cfg.clone())))?;
+    trainer.train(scale.train_episodes)?;
 
     let mut env = CrowdsensingEnv::new(env_cfg.clone());
     env.reset_with_seed(env_cfg.seed.wrapping_add(31));
@@ -38,13 +45,13 @@ pub fn record(scale: &Scale) -> TrajectoryRun {
         env.step(&sampled.actions);
         trajectory.record(env.workers().iter().map(|w| w.pos));
     }
-    TrajectoryRun { trajectory, metrics: env.metrics(), env_cfg }
+    Ok(TrajectoryRun { trajectory, metrics: env.metrics(), env_cfg })
 }
 
 /// Regenerates Fig. 2(c): returns the summary table; the binary also prints
 /// the ASCII maps from the returned run.
-pub fn run(scale: &Scale) -> (Table, TrajectoryRun) {
-    let r = record(scale);
+pub fn run(scale: &Scale) -> Result<(Table, TrajectoryRun), TrainerError> {
+    let r = record(scale)?;
     let mut table = Table::new(
         "Fig. 2(c): trajectories for 2 drones, 4 charging stations",
         &["worker", "path length", "kappa(final)"],
@@ -56,16 +63,17 @@ pub fn run(scale: &Scale) -> (Table, TrajectoryRun) {
             f2(r.metrics.data_collection_ratio),
         ]);
     }
-    (table, r)
+    Ok((table, r))
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
     #[test]
     fn smoke_trajectory_records_every_slot() {
-        let r = record(&Scale::smoke());
+        let r = record(&Scale::smoke()).unwrap();
         // horizon steps + the initial position.
         assert_eq!(r.trajectory.len(), r.env_cfg.horizon + 1);
         assert!(r.trajectory.path_length(0) >= 0.0);

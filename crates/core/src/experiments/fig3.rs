@@ -8,34 +8,44 @@
 
 use super::Scale;
 use crate::report::{f2, Table};
-use crate::trainer::{Trainer, TrainerConfig};
+use crate::trainer::{Trainer, TrainerConfig, TrainerError};
 use std::time::Instant;
 
 /// Measured training time for one employee count.
 #[derive(Clone, Copy, Debug)]
 pub struct Timing {
+    /// Employee-thread count M.
     pub employees: usize,
+    /// Mean wall-clock seconds per training episode.
     pub seconds_per_episode: f32,
 }
 
 /// Times a few training episodes for one employee count.
-pub fn time_employees(scale: &Scale, employees: usize, episodes: usize) -> Timing {
+///
+/// # Errors
+///
+/// Propagates trainer construction/training failures.
+pub fn time_employees(
+    scale: &Scale,
+    employees: usize,
+    episodes: usize,
+) -> Result<Timing, TrainerError> {
     let env = scale.base_env();
     let mut cfg = scale.tune(TrainerConfig::drl_cews(env));
     cfg.num_employees = employees;
-    let mut trainer = Trainer::new(cfg);
+    let mut trainer = Trainer::new(cfg)?;
     // One warm-up episode excluded from the measurement.
-    trainer.train_episode();
+    trainer.train_episode()?;
     let start = Instant::now();
-    trainer.train(episodes);
-    Timing {
+    trainer.train(episodes)?;
+    Ok(Timing {
         employees,
         seconds_per_episode: start.elapsed().as_secs_f32() / episodes.max(1) as f32,
-    }
+    })
 }
 
 /// Regenerates Fig. 3 (per-episode training time vs M) at the given scale.
-pub fn run(scale: &Scale) -> Table {
+pub fn run(scale: &Scale) -> Result<Table, TrainerError> {
     let employees = scale.pick(&super::table2::EMPLOYEES);
     let episodes = (scale.train_episodes / 10).max(2);
     let mut table = Table::new(
@@ -43,7 +53,7 @@ pub fn run(scale: &Scale) -> Table {
         &["employees", "sec/episode", "relative"],
     );
     let timings: Vec<Timing> =
-        employees.iter().map(|&e| time_employees(scale, e, episodes)).collect();
+        employees.iter().map(|&e| time_employees(scale, e, episodes)).collect::<Result<_, _>>()?;
     let base = timings[0].seconds_per_episode.max(1e-9);
     for t in &timings {
         table.push_row(vec![
@@ -52,18 +62,19 @@ pub fn run(scale: &Scale) -> Table {
             f2(t.seconds_per_episode / base),
         ]);
     }
-    table
+    Ok(table)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
     #[test]
     fn timing_is_positive_and_grows_with_employees() {
         let scale = Scale::smoke();
-        let t1 = time_employees(&scale, 1, 2);
-        let t4 = time_employees(&scale, 4, 2);
+        let t1 = time_employees(&scale, 1, 2).unwrap();
+        let t4 = time_employees(&scale, 4, 2).unwrap();
         assert!(t1.seconds_per_episode > 0.0);
         // On a single core, 4 synchronous employees must cost more wall
         // clock than 1 (each does a full rollout + gradient pass).

@@ -8,7 +8,7 @@
 
 use super::Scale;
 use crate::report::{f3, Table};
-use crate::trainer::{CuriosityChoice, Trainer, TrainerConfig};
+use crate::trainer::{CuriosityChoice, Trainer, TrainerConfig, TrainerError};
 use vc_curiosity::prelude::{FeatureKind, StructureKind};
 use vc_rl::chief::EpisodeStats;
 
@@ -29,36 +29,40 @@ pub fn variants() -> Vec<(String, CuriosityChoice)> {
 }
 
 /// Training-curve checkpoints for one variant: `(episode, mean stats)`.
+///
+/// # Errors
+///
+/// Propagates trainer construction/training failures.
 pub fn train_variant(
     scale: &Scale,
     choice: CuriosityChoice,
     checkpoints: usize,
-) -> Vec<(usize, EpisodeStats)> {
+) -> Result<Vec<(usize, EpisodeStats)>, TrainerError> {
     let mut env = scale.base_env();
     env.num_pois = 200; // the paper's Fig. 4 setting (P = 200, W = 2)
     env.num_workers = 2;
     let mut cfg = scale.tune(TrainerConfig::drl_cews(env));
     cfg.curiosity = choice;
-    let mut trainer = Trainer::new(cfg);
+    let mut trainer = Trainer::new(cfg)?;
     let per = (scale.train_episodes / checkpoints.max(1)).max(1);
     let mut out = Vec::new();
     for c in 1..=checkpoints {
-        let stats = trainer.train(per);
+        let stats = trainer.train(per)?;
         // Average the last few episodes of the window to de-noise.
         let tail = &stats[stats.len().saturating_sub(3)..];
         out.push((c * per, EpisodeStats::mean(tail)));
     }
-    out
+    Ok(out)
 }
 
 /// Regenerates Fig. 4 at the given scale.
-pub fn run(scale: &Scale) -> Table {
+pub fn run(scale: &Scale) -> Result<Table, TrainerError> {
     let mut table = Table::new(
         "Fig. 4: curiosity feature selection (training curves, W=2 P=200)",
         &["variant", "episode", "kappa", "xi", "rho", "r_int"],
     );
     for (label, choice) in variants() {
-        for (ep, s) in train_variant(scale, choice, 3) {
+        for (ep, s) in train_variant(scale, choice, 3)? {
             table.push_row(vec![
                 label.clone(),
                 ep.to_string(),
@@ -69,10 +73,11 @@ pub fn run(scale: &Scale) -> Table {
             ]);
         }
     }
-    table
+    Ok(table)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -87,7 +92,7 @@ mod tests {
 
     #[test]
     fn smoke_variant_curve_has_checkpoints() {
-        let curve = train_variant(&Scale::smoke(), CuriosityChoice::paper_spatial(), 2);
+        let curve = train_variant(&Scale::smoke(), CuriosityChoice::paper_spatial(), 2).unwrap();
         assert_eq!(curve.len(), 2);
         assert!(curve[0].0 < curve[1].0);
         assert!(curve[0].1.int_reward > 0.0);

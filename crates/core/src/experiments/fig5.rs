@@ -8,7 +8,7 @@
 
 use super::Scale;
 use crate::report::{f3, Table};
-use crate::trainer::{CuriosityChoice, Trainer, TrainerConfig};
+use crate::trainer::{CuriosityChoice, Trainer, TrainerConfig, TrainerError};
 use vc_env::reward::RewardMode;
 use vc_rl::chief::EpisodeStats;
 
@@ -23,37 +23,41 @@ pub fn mechanisms() -> Vec<(&'static str, RewardMode, CuriosityChoice)> {
 }
 
 /// Trains one mechanism, returning checkpointed training-curve stats.
+///
+/// # Errors
+///
+/// Propagates trainer construction/training failures.
 pub fn train_mechanism(
     scale: &Scale,
     reward: RewardMode,
     curiosity: CuriosityChoice,
     checkpoints: usize,
-) -> Vec<(usize, EpisodeStats)> {
+) -> Result<Vec<(usize, EpisodeStats)>, TrainerError> {
     let mut env = scale.base_env();
     env.num_workers = 2;
     env.num_pois = 300; // the paper's Fig. 5 setting
     let mut cfg = scale.tune(TrainerConfig::drl_cews(env));
     cfg.reward_mode = reward;
     cfg.curiosity = curiosity;
-    let mut trainer = Trainer::new(cfg);
+    let mut trainer = Trainer::new(cfg)?;
     let per = (scale.train_episodes / checkpoints.max(1)).max(1);
     let mut out = Vec::new();
     for c in 1..=checkpoints {
-        let stats = trainer.train(per);
+        let stats = trainer.train(per)?;
         let tail = &stats[stats.len().saturating_sub(3)..];
         out.push((c * per, EpisodeStats::mean(tail)));
     }
-    out
+    Ok(out)
 }
 
 /// Regenerates Fig. 5 at the given scale.
-pub fn run(scale: &Scale) -> Table {
+pub fn run(scale: &Scale) -> Result<Table, TrainerError> {
     let mut table = Table::new(
         "Fig. 5: reward mechanism x curiosity (training curves, W=2 P=300)",
         &["mechanism", "episode", "kappa", "xi", "rho"],
     );
     for (label, reward, curiosity) in mechanisms() {
-        for (ep, s) in train_mechanism(scale, reward, curiosity, 3) {
+        for (ep, s) in train_mechanism(scale, reward, curiosity, 3)? {
             table.push_row(vec![
                 label.to_string(),
                 ep.to_string(),
@@ -63,10 +67,11 @@ pub fn run(scale: &Scale) -> Table {
             ]);
         }
     }
-    table
+    Ok(table)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -81,7 +86,7 @@ mod tests {
     #[test]
     fn smoke_mechanism_runs() {
         let curve =
-            train_mechanism(&Scale::smoke(), RewardMode::Sparse, CuriosityChoice::None, 2);
+            train_mechanism(&Scale::smoke(), RewardMode::Sparse, CuriosityChoice::None, 2).unwrap();
         assert_eq!(curve.len(), 2);
         assert_eq!(curve[0].1.int_reward, 0.0);
     }

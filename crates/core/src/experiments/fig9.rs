@@ -14,7 +14,7 @@
 
 use super::Scale;
 use crate::report::{f2, Table};
-use crate::trainer::{CuriosityChoice, Trainer, TrainerConfig};
+use crate::trainer::{CuriosityChoice, Trainer, TrainerConfig, TrainerError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vc_env::prelude::*;
@@ -22,17 +22,22 @@ use vc_rl::prelude::*;
 
 /// One heat-map snapshot.
 pub struct Snapshot {
+    /// Training episode the snapshot was taken at.
     pub episode: usize,
+    /// Curiosity prediction-error heat map over the space.
     pub heatmap: HeatMap,
 }
 
 /// Rolls the trainer's current policy for one episode, depositing curiosity
 /// prediction errors at visited locations.
+/// # Panics
+///
+/// Panics if the trainer was not built with a spatial curiosity model; both
+/// [`configs`] entries attach one (the DPPO row passively, with η = 0).
 pub fn snapshot(trainer: &Trainer, env_cfg: &EnvConfig, episode: usize, seed: u64) -> Snapshot {
-    let spatial = trainer
-        .curiosity()
-        .as_spatial()
-        .expect("fig9 requires a spatial curiosity model");
+    let Some(spatial) = trainer.curiosity().as_spatial() else {
+        panic!("fig9 requires a spatial curiosity model");
+    };
     let mut env = CrowdsensingEnv::new(env_cfg.clone());
     env.reset_with_seed(seed);
     let mut heatmap = HeatMap::new(env_cfg.grid);
@@ -52,22 +57,26 @@ pub fn snapshot(trainer: &Trainer, env_cfg: &EnvConfig, episode: usize, seed: u6
 }
 
 /// Trains one method and collects heat maps at evenly spaced checkpoints.
+///
+/// # Errors
+///
+/// Propagates trainer construction/training failures.
 pub fn heatmaps_over_training(
     scale: &Scale,
     label: &str,
     cfg: TrainerConfig,
     checkpoints: usize,
-) -> Vec<(String, Snapshot)> {
+) -> Result<Vec<(String, Snapshot)>, TrainerError> {
     let env_cfg = cfg.env.clone();
-    let mut trainer = Trainer::new(cfg);
+    let mut trainer = Trainer::new(cfg)?;
     let per = (scale.train_episodes / checkpoints.max(1)).max(1);
     let mut out = Vec::new();
     out.push((label.to_string(), snapshot(&trainer, &env_cfg, 0, 555)));
     for c in 1..=checkpoints {
-        trainer.train(per);
+        trainer.train(per)?;
         out.push((label.to_string(), snapshot(&trainer, &env_cfg, c * per, 555)));
     }
-    out
+    Ok(out)
 }
 
 /// The two compared configurations (shared env: W = 1, P = 300).
@@ -89,30 +98,26 @@ pub fn configs(scale: &Scale) -> Vec<(&'static str, TrainerConfig)> {
 
 /// Regenerates Fig. 9: prints the heat maps and returns the summary table
 /// (total curiosity and visited area per checkpoint).
-pub fn run(scale: &Scale) -> (Table, Vec<(String, Snapshot)>) {
+pub fn run(scale: &Scale) -> Result<(Table, Vec<(String, Snapshot)>), TrainerError> {
     let mut table = Table::new(
         "Fig. 9: curiosity value at visited locations over training (W=1, P=300)",
         &["method", "episode", "mean curiosity", "visited cells"],
     );
     let mut all = Vec::new();
     for (label, cfg) in configs(scale) {
-        let snaps = heatmaps_over_training(scale, label, cfg, 4);
+        let snaps = heatmaps_over_training(scale, label, cfg, 4)?;
         for (l, s) in snaps {
             let visited = s.heatmap.visited_cells();
             let mean = if visited > 0 { s.heatmap.total() / visited as f32 } else { 0.0 };
-            table.push_row(vec![
-                l.clone(),
-                s.episode.to_string(),
-                f2(mean),
-                visited.to_string(),
-            ]);
+            table.push_row(vec![l.clone(), s.episode.to_string(), f2(mean), visited.to_string()]);
             all.push((l, s));
         }
     }
-    (table, all)
+    Ok((table, all))
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -121,7 +126,7 @@ mod tests {
         let scale = Scale::smoke();
         let (_, cfg) = configs(&scale).into_iter().next().unwrap();
         let env_cfg = cfg.env.clone();
-        let trainer = Trainer::new(cfg);
+        let trainer = Trainer::new(cfg).unwrap();
         let s = snapshot(&trainer, &env_cfg, 0, 1);
         assert!(s.heatmap.visited_cells() > 0);
         assert!(s.heatmap.total() > 0.0, "fresh model must register curiosity");

@@ -118,13 +118,12 @@ impl Scale {
         if n >= axis.len() {
             return axis.to_vec();
         }
-        (0..n)
-            .map(|i| axis[i * (axis.len() - 1) / (n - 1)])
-            .collect()
+        (0..n).map(|i| axis[i * (axis.len() - 1) / (n - 1)]).collect()
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

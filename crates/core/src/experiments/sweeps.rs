@@ -10,7 +10,7 @@
 use super::Scale;
 use crate::eval::{evaluate, PolicyScheduler};
 use crate::report::{f3, Table};
-use crate::trainer::{Trainer, TrainerConfig};
+use crate::trainer::{Trainer, TrainerConfig, TrainerError};
 use vc_baselines::prelude::*;
 use vc_env::prelude::*;
 
@@ -80,18 +80,29 @@ impl Axis {
 /// One algorithm's metrics at one sweep value.
 #[derive(Clone, Debug)]
 pub struct PointResult {
+    /// Algorithm name.
     pub algo: &'static str,
+    /// Sweep-axis value (worker/PoI/obstacle/station count).
     pub value: usize,
+    /// Mean evaluation metrics at this point.
     pub metrics: Metrics,
 }
 
 /// Runs all five algorithms on one scenario, training where needed.
-pub fn run_point(scale: &Scale, env: &EnvConfig, value: usize) -> Vec<PointResult> {
+///
+/// # Errors
+///
+/// Propagates trainer construction/training failures.
+pub fn run_point(
+    scale: &Scale,
+    env: &EnvConfig,
+    value: usize,
+) -> Result<Vec<PointResult>, TrainerError> {
     let mut results = Vec::with_capacity(5);
 
     // DRL-CEWS.
-    let mut cews = Trainer::new(scale.tune(TrainerConfig::drl_cews(env.clone())));
-    cews.train(scale.train_episodes);
+    let mut cews = Trainer::new(scale.tune(TrainerConfig::drl_cews(env.clone())))?;
+    cews.train(scale.train_episodes)?;
     let mut cews_policy = PolicyScheduler::from_trainer(&cews, "drl-cews");
     results.push(PointResult {
         algo: "drl-cews",
@@ -104,8 +115,8 @@ pub fn run_point(scale: &Scale, env: &EnvConfig, value: usize) -> Vec<PointResul
     let mut dppo_cfg = scale.tune(TrainerConfig::dppo(env.clone()));
     // Keep the paper's batch-250 only at full scale; otherwise follow scale.
     dppo_cfg.ppo.minibatch = scale.minibatch;
-    let mut dppo = Trainer::new(dppo_cfg);
-    dppo.train(scale.train_episodes);
+    let mut dppo = Trainer::new(dppo_cfg)?;
+    dppo.train(scale.train_episodes)?;
     let mut dppo_policy = PolicyScheduler::from_trainer(&dppo, "dppo");
     results.push(PointResult {
         algo: "dppo",
@@ -151,11 +162,15 @@ pub fn run_point(scale: &Scale, env: &EnvConfig, value: usize) -> Vec<PointResul
         value,
         metrics: evaluate(&mut GreedyScheduler, env, scale.eval_episodes, 7),
     });
-    results
+    Ok(results)
 }
 
 /// Regenerates one sweep (one panel each of Figs. 6, 7 and 8).
-pub fn run(scale: &Scale, axis: Axis) -> Table {
+///
+/// # Errors
+///
+/// Propagates trainer construction/training failures.
+pub fn run(scale: &Scale, axis: Axis) -> Result<Table, TrainerError> {
     let mut table = Table::new(
         format!(
             "Figs. 6-8 ({}): kappa (Fig.6) / xi (Fig.7) / rho (Fig.8) vs {}",
@@ -167,7 +182,7 @@ pub fn run(scale: &Scale, axis: Axis) -> Table {
     for value in scale.pick(&axis.values()) {
         let mut env = scale.base_env();
         axis.apply(&mut env, value);
-        for r in run_point(scale, &env, value) {
+        for r in run_point(scale, &env, value)? {
             table.push_row(vec![
                 value.to_string(),
                 r.algo.to_string(),
@@ -177,10 +192,11 @@ pub fn run(scale: &Scale, axis: Axis) -> Table {
             ]);
         }
     }
-    table
+    Ok(table)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -216,7 +232,7 @@ mod tests {
         let mut env = scale.base_env();
         Axis::Pois.apply(&mut env, 30);
         env.num_pois = 30;
-        let rs = run_point(&scale, &env, 30);
+        let rs = run_point(&scale, &env, 30).unwrap();
         let names: Vec<&str> = rs.iter().map(|r| r.algo).collect();
         assert_eq!(names, vec!["drl-cews", "dppo", "edics", "d&c", "greedy"]);
         for r in rs {

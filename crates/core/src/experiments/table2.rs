@@ -8,43 +8,57 @@
 use super::Scale;
 use crate::eval::{evaluate, PolicyScheduler};
 use crate::report::{f3, Table};
-use crate::trainer::{Trainer, TrainerConfig};
+use crate::trainer::{Trainer, TrainerConfig, TrainerError};
 
 /// Full sweep axes from the paper.
 pub const EMPLOYEES: [usize; 5] = [1, 2, 4, 8, 16];
+/// Batch sizes swept in Table 2.
 pub const BATCHES: [usize; 4] = [50, 125, 250, 500];
 
 /// One measured cell.
 #[derive(Clone, Copy, Debug)]
 pub struct Cell {
+    /// Employee-thread count M.
     pub employees: usize,
+    /// PPO batch size.
     pub batch: usize,
+    /// Data collection ratio κ.
     pub kappa: f32,
+    /// Remaining data ratio ξ.
     pub xi: f32,
+    /// Energy efficiency ρ.
     pub rho: f32,
 }
 
 /// Trains one (employees, batch) configuration and evaluates it.
-pub fn run_cell(scale: &Scale, employees: usize, batch: usize) -> Cell {
+///
+/// # Errors
+///
+/// Propagates trainer construction/training failures.
+pub fn run_cell(scale: &Scale, employees: usize, batch: usize) -> Result<Cell, TrainerError> {
     let env = scale.base_env();
     let mut cfg = scale.tune(TrainerConfig::drl_cews(env.clone()));
     cfg.num_employees = employees;
     cfg.ppo.minibatch = batch;
-    let mut trainer = Trainer::new(cfg);
-    trainer.train(scale.train_episodes);
+    let mut trainer = Trainer::new(cfg)?;
+    trainer.train(scale.train_episodes)?;
     let mut policy = PolicyScheduler::from_trainer(&trainer, "drl-cews");
     let m = evaluate(&mut policy, &env, scale.eval_episodes, 42);
-    Cell {
+    Ok(Cell {
         employees,
         batch,
         kappa: m.data_collection_ratio,
         xi: m.remaining_data_ratio,
         rho: m.energy_efficiency,
-    }
+    })
 }
 
 /// Regenerates Table II at the given scale.
-pub fn run(scale: &Scale) -> Table {
+///
+/// # Errors
+///
+/// Propagates trainer construction/training failures.
+pub fn run(scale: &Scale) -> Result<Table, TrainerError> {
     let employees = scale.pick(&EMPLOYEES);
     let batches = scale.pick(&BATCHES);
     let mut table = Table::new(
@@ -53,7 +67,7 @@ pub fn run(scale: &Scale) -> Table {
     );
     for &b in &batches {
         for &e in &employees {
-            let cell = run_cell(scale, e, b);
+            let cell = run_cell(scale, e, b)?;
             table.push_row(vec![
                 b.to_string(),
                 e.to_string(),
@@ -63,16 +77,17 @@ pub fn run(scale: &Scale) -> Table {
             ]);
         }
     }
-    table
+    Ok(table)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
     #[test]
     fn smoke_cell_produces_bounded_metrics() {
-        let c = run_cell(&Scale::smoke(), 1, 16);
+        let c = run_cell(&Scale::smoke(), 1, 16).unwrap();
         assert!((0.0..=1.0).contains(&c.kappa));
         assert!((0.0..=1.0).contains(&c.xi));
         assert!(c.rho >= 0.0);
@@ -80,7 +95,7 @@ mod tests {
 
     #[test]
     fn smoke_table_has_expected_shape() {
-        let t = run(&Scale::smoke());
+        let t = run(&Scale::smoke()).unwrap();
         // 2 batches × 2 employee counts at smoke scale.
         assert_eq!(t.rows.len(), 4);
         assert_eq!(t.headers.len(), 5);

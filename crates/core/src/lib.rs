@@ -23,8 +23,8 @@
 //! env.horizon = 10;
 //! let mut cfg = TrainerConfig::drl_cews(env.clone()).quick();
 //! cfg.num_employees = 1;
-//! let mut trainer = Trainer::new(cfg);
-//! let stats = trainer.train(2);
+//! let mut trainer = Trainer::new(cfg).unwrap();
+//! let stats = trainer.train(2).unwrap();
 //! assert_eq!(stats.len(), 2);
 //!
 //! let mut policy = PolicyScheduler::from_trainer(&trainer, "drl-cews");
@@ -41,5 +41,5 @@ pub mod training_log;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::eval::{evaluate, PolicyScheduler};
-    pub use crate::trainer::{CuriosityChoice, Trainer, TrainerConfig};
+    pub use crate::trainer::{CuriosityChoice, Trainer, TrainerConfig, TrainerError};
 }

@@ -8,8 +8,11 @@ use std::path::Path;
 /// A rectangular results table with a caption.
 #[derive(Clone, Debug, Serialize)]
 pub struct Table {
+    /// Title printed above the table and stored in the JSON dump.
     pub caption: String,
+    /// Column headers.
     pub headers: Vec<String>,
+    /// Row-major cells; every row matches the header width.
     pub rows: Vec<Vec<String>>,
 }
 
@@ -70,7 +73,8 @@ impl Table {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let json = serde_json::to_string_pretty(self).expect("table serializes");
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         std::fs::write(path, json)
     }
 }
@@ -86,6 +90,7 @@ pub fn f2(x: f32) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

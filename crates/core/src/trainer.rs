@@ -20,11 +20,52 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use vc_curiosity::prelude::*;
 use vc_env::prelude::*;
 use vc_nn::optim::{Adam, LrSchedule, Optimizer};
 use vc_nn::prelude::*;
 use vc_rl::prelude::*;
+
+/// Errors from building or driving a [`Trainer`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrainerError {
+    /// The environment configuration failed validation.
+    Env(EnvError),
+    /// The chief–employee executor failed (employee death, closed channel,
+    /// malformed gradients).
+    Chief(ChiefError),
+}
+
+impl fmt::Display for TrainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainerError::Env(e) => write!(f, "invalid trainer environment: {e}"),
+            TrainerError::Chief(e) => write!(f, "chief executor failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainerError::Env(e) => Some(e),
+            TrainerError::Chief(e) => Some(e),
+        }
+    }
+}
+
+impl From<EnvError> for TrainerError {
+    fn from(e: EnvError) -> Self {
+        TrainerError::Env(e)
+    }
+}
+
+impl From<ChiefError> for TrainerError {
+    fn from(e: ChiefError) -> Self {
+        TrainerError::Chief(e)
+    }
+}
 
 /// Which intrinsic-reward model the trainer attaches.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -32,13 +73,29 @@ pub enum CuriosityChoice {
     /// No intrinsic reward.
     None,
     /// The paper's spatial curiosity model.
-    Spatial { feature: FeatureKind, structure: StructureKind, eta: f32 },
+    Spatial {
+        /// Position-feature extractor variant.
+        feature: FeatureKind,
+        /// Predictor structure (joint or per-worker).
+        structure: StructureKind,
+        /// Intrinsic-reward scale η.
+        eta: f32,
+    },
     /// Random network distillation on the full state.
-    Rnd { eta: f32 },
+    Rnd {
+        /// Intrinsic-reward scale η.
+        eta: f32,
+    },
     /// Pathak-style ICM on the full state.
-    Icm { eta: f32 },
+    Icm {
+        /// Intrinsic-reward scale η.
+        eta: f32,
+    },
     /// Count-based novelty bonus (parameter-free reference).
-    Count { eta: f32 },
+    Count {
+        /// Intrinsic-reward scale η.
+        eta: f32,
+    },
 }
 
 impl CuriosityChoice {
@@ -76,20 +133,15 @@ impl CuriosityChoice {
                 Box::new(Rnd::new(cfg))
             }
             CuriosityChoice::Icm { eta } => {
-                let mut cfg = IcmConfig::for_state(
-                    vc_env::state::state_len(env_cfg),
-                    env_cfg.num_workers,
-                );
+                let mut cfg =
+                    IcmConfig::for_state(vc_env::state::state_len(env_cfg), env_cfg.num_workers);
                 cfg.eta = eta;
                 cfg.seed = seed;
                 Box::new(Icm::new(cfg))
             }
             CuriosityChoice::Count { eta } => {
-                let mut cfg = CountCuriosityConfig::for_space(
-                    env_cfg.grid,
-                    env_cfg.size_x,
-                    env_cfg.size_y,
-                );
+                let mut cfg =
+                    CountCuriosityConfig::for_space(env_cfg.grid, env_cfg.size_x, env_cfg.size_y);
                 cfg.eta = eta;
                 Box::new(CountCuriosity::new(cfg))
             }
@@ -121,9 +173,13 @@ impl CuriosityChoice {
 /// Full trainer configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TrainerConfig {
+    /// Crowdsensing environment configuration.
     pub env: EnvConfig,
+    /// PPO hyperparameters shared by every employee.
     pub ppo: PpoConfig,
+    /// Extrinsic-reward shaping (sparse or dense).
     pub reward_mode: RewardMode,
+    /// Intrinsic-reward model attached to the trainer.
     pub curiosity: CuriosityChoice,
     /// Number of employee threads M (8 in the paper's final setting).
     pub num_employees: usize,
@@ -140,6 +196,7 @@ pub struct TrainerConfig {
     /// from the collision penalty alone is wasted budget. Set `false` for
     /// the paper-faithful penalty-only ablation.
     pub mask_invalid: bool,
+    /// Master seed for network init, employees and sampling.
     pub seed: u64,
 }
 
@@ -229,7 +286,8 @@ impl Employee for CewsEmployee {
         let mut int_total = 0.0f32;
         while !self.env.done() {
             let state = self.shaped_state();
-            let sampled = sample_action(&self.net, &self.store, &self.env, self.opts, &mut self.rng);
+            let sampled =
+                sample_action(&self.net, &self.store, &self.env, self.opts, &mut self.rng);
             let positions: Vec<Point> = self.env.workers().iter().map(|w| w.pos).collect();
             let result = self.env.step(&sampled.actions);
             let next_positions: Vec<Point> = self.env.workers().iter().map(|w| w.pos).collect();
@@ -308,9 +366,14 @@ pub struct Trainer {
 
 impl Trainer {
     /// Builds the global models and spawns the employee threads.
-    pub fn new(cfg: TrainerConfig) -> Self {
-        cfg.env.validate().expect("invalid env config");
-        assert!(cfg.num_employees >= 1, "need at least one employee");
+    ///
+    /// # Errors
+    ///
+    /// [`TrainerError::Env`] on an invalid environment config,
+    /// [`TrainerError::Chief`] when no employees are requested or a thread
+    /// fails to spawn.
+    pub fn new(cfg: TrainerConfig) -> Result<Self, TrainerError> {
+        cfg.env.validate()?;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
         let net_cfg = NetConfig::for_scenario(cfg.env.grid, cfg.env.num_workers);
@@ -342,12 +405,12 @@ impl Trainer {
                 }
             })
             .collect();
-        let executor = ChiefExecutor::spawn(employees);
+        let executor = ChiefExecutor::spawn(employees)?;
 
         let ppo_opt = Adam::new(cfg.ppo.lr);
         let curiosity_opt = Adam::new(cfg.curiosity_lr);
         let curiosity_store_len = curiosity.params().num_scalars();
-        Self {
+        Ok(Self {
             cfg,
             store,
             net,
@@ -359,7 +422,7 @@ impl Trainer {
             episodes: 0,
             history: Vec::new(),
             last_ppo_stats: PpoStats::default(),
-        }
+        })
     }
 
     /// The trainer configuration.
@@ -398,26 +461,31 @@ impl Trainer {
         self.last_ppo_stats
     }
 
-    fn broadcast(&self) {
+    fn broadcast(&self) -> Result<(), ChiefError> {
         let cur = if self.curiosity_store_len == 0 {
             Vec::new()
         } else {
             self.curiosity.params().flat_values()
         };
-        self.executor.broadcast_params(self.store.flat_values(), cur);
+        self.executor.broadcast_params(self.store.flat_values(), cur)
     }
 
     /// One full episode of the chief–employee loop; returns the mean
     /// employee stats.
-    pub fn train_episode(&mut self) -> EpisodeStats {
+    ///
+    /// # Errors
+    ///
+    /// [`TrainerError::Chief`] when an employee thread dies mid-episode or
+    /// pushes malformed gradients.
+    pub fn train_episode(&mut self) -> Result<EpisodeStats, TrainerError> {
         // Anneal the policy learning rate against the schedule horizon.
         let progress = self.episodes as f32 / self.cfg.schedule_horizon.max(1) as f32;
         self.ppo_opt.set_learning_rate(self.cfg.lr_schedule.at(self.cfg.ppo.lr, progress));
-        self.broadcast();
-        let stats = self.executor.rollout_all();
+        self.broadcast()?;
+        let stats = self.executor.rollout_all()?;
         let m = self.executor.num_employees() as f32;
         for _k in 0..self.cfg.ppo.epochs {
-            let (gp, gc, round_stats) = self.executor.gather_grads();
+            let (gp, gc, round_stats) = self.executor.gather_grads()?;
             self.last_ppo_stats = round_stats;
             // Average over employees so the step size is independent of M.
             self.store.zero_grads();
@@ -434,16 +502,20 @@ impl Trainer {
                 cstore.clip_grad_norm(self.cfg.ppo.max_grad_norm);
                 self.curiosity_opt.step(cstore);
             }
-            self.broadcast();
+            self.broadcast()?;
         }
         self.episodes += 1;
         let mean = EpisodeStats::mean(&stats);
         self.history.push(mean);
-        mean
+        Ok(mean)
     }
 
     /// Trains for `episodes` episodes, returning per-episode mean stats.
-    pub fn train(&mut self, episodes: usize) -> Vec<EpisodeStats> {
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing episode — see [`Self::train_episode`].
+    pub fn train(&mut self, episodes: usize) -> Result<Vec<EpisodeStats>, TrainerError> {
         (0..episodes).map(|_| self.train_episode()).collect()
     }
 
@@ -462,6 +534,7 @@ impl Trainer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -472,7 +545,29 @@ mod tests {
         cfg.curiosity = curiosity;
         cfg.reward_mode = reward;
         cfg.num_employees = employees;
-        Trainer::new(cfg)
+        Trainer::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_invalid_configs_with_typed_errors() {
+        let mut env = EnvConfig::tiny();
+        env.grid = 0;
+        let err = match Trainer::new(TrainerConfig::drl_cews(env)) {
+            Err(e) => e,
+            Ok(_) => panic!("zero-grid config must be rejected"),
+        };
+        assert!(matches!(err, TrainerError::Env(EnvError::InvalidConfig(_))), "{err}");
+
+        let mut cfg = TrainerConfig::drl_cews(EnvConfig::tiny()).quick();
+        cfg.num_employees = 0;
+        let err = match Trainer::new(cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("zero-employee config must be rejected"),
+        };
+        assert_eq!(err, TrainerError::Chief(ChiefError::NoEmployees));
+        // The chain is inspectable through std::error::Error::source.
+        let src = std::error::Error::source(&err).map(ToString::to_string);
+        assert_eq!(src.as_deref(), Some("need at least one employee"));
     }
 
     #[test]
@@ -492,7 +587,7 @@ mod tests {
     fn train_episode_produces_stats_and_moves_params() {
         let mut t = tiny_trainer(CuriosityChoice::paper_spatial(), RewardMode::Sparse, 2);
         let before = t.store().flat_values();
-        let stats = t.train_episode();
+        let stats = t.train_episode().unwrap();
         assert_eq!(t.episodes_trained(), 1);
         assert!(stats.int_reward > 0.0, "spatial curiosity must pay out early");
         assert!((0.0..=1.0).contains(&stats.kappa));
@@ -504,31 +599,31 @@ mod tests {
     fn curiosity_params_are_trained_too() {
         let mut t = tiny_trainer(CuriosityChoice::paper_spatial(), RewardMode::Sparse, 2);
         let before = t.curiosity.params().flat_values();
-        t.train_episode();
+        t.train_episode().unwrap();
         assert_ne!(t.curiosity.params().flat_values(), before, "curiosity params frozen");
     }
 
     #[test]
     fn dense_no_curiosity_variant_runs() {
         let mut t = tiny_trainer(CuriosityChoice::None, RewardMode::Dense, 2);
-        let stats = t.train_episode();
+        let stats = t.train_episode().unwrap();
         assert_eq!(stats.int_reward, 0.0);
     }
 
     #[test]
     fn single_employee_works() {
         let mut t = tiny_trainer(CuriosityChoice::None, RewardMode::Sparse, 1);
-        t.train(2);
+        t.train(2).unwrap();
         assert_eq!(t.episodes_trained(), 2);
     }
 
     #[test]
     fn checkpoint_roundtrip_restores_policy() {
         let mut t = tiny_trainer(CuriosityChoice::None, RewardMode::Dense, 2);
-        t.train_episode();
+        t.train_episode().unwrap();
         let ckpt = t.checkpoint();
         let saved = t.store().flat_values();
-        t.train_episode(); // diverge
+        t.train_episode().unwrap(); // diverge
         assert_ne!(t.store().flat_values(), saved);
         t.restore(&ckpt).unwrap();
         assert_eq!(t.store().flat_values(), saved);
@@ -542,7 +637,7 @@ mod tests {
             CuriosityChoice::Count { eta: 0.3 },
         ] {
             let mut t = tiny_trainer(choice, RewardMode::Sparse, 1);
-            let stats = t.train_episode();
+            let stats = t.train_episode().unwrap();
             assert!(stats.int_reward > 0.0, "{} produced no intrinsic reward", choice.label());
         }
     }

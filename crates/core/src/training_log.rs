@@ -64,13 +64,28 @@ pub fn parse_csv(text: &str) -> Result<Vec<EpisodeStats>, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
     fn sample() -> Vec<EpisodeStats> {
         vec![
-            EpisodeStats { kappa: 0.1, xi: 0.9, rho: 0.05, ext_reward: 1.5, int_reward: 20.0, collisions: 3 },
-            EpisodeStats { kappa: 0.4, xi: 0.6, rho: 0.2, ext_reward: 4.0, int_reward: 10.0, collisions: 0 },
+            EpisodeStats {
+                kappa: 0.1,
+                xi: 0.9,
+                rho: 0.05,
+                ext_reward: 1.5,
+                int_reward: 20.0,
+                collisions: 3,
+            },
+            EpisodeStats {
+                kappa: 0.4,
+                xi: 0.6,
+                rho: 0.2,
+                ext_reward: 4.0,
+                int_reward: 10.0,
+                collisions: 0,
+            },
         ]
     }
 

@@ -21,7 +21,9 @@ pub struct CountCuriosityConfig {
     pub eta: f32,
     /// Grid resolution for position discretization.
     pub grid: usize,
+    /// Space width (for normalizing x).
     pub size_x: f32,
+    /// Space height (for normalizing y).
     pub size_y: f32,
 }
 
@@ -102,6 +104,7 @@ impl Curiosity for CountCuriosity {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -110,13 +113,7 @@ mod tests {
     }
 
     fn view<'a>(pos: &'a [Point], moves: &'a [usize]) -> TransitionView<'a> {
-        TransitionView {
-            state: &[],
-            next_state: &[],
-            positions: pos,
-            next_positions: pos,
-            moves,
-        }
+        TransitionView { state: &[], next_state: &[], positions: pos, next_positions: pos, moves }
     }
 
     #[test]

@@ -33,8 +33,24 @@ pub const EMBEDDING_DIM: usize = 8;
 /// A frozen position-feature extractor.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum PositionFeature {
-    Direct { size_x: f32, size_y: f32 },
-    Embedding { grid: usize, size_x: f32, size_y: f32, table: Embedding },
+    /// Normalized raw coordinates `(x/size_x, y/size_y)`.
+    Direct {
+        /// Space width.
+        size_x: f32,
+        /// Space height.
+        size_y: f32,
+    },
+    /// Learned-table lookup of the discretized cell.
+    Embedding {
+        /// Grid resolution for cell discretization.
+        grid: usize,
+        /// Space width.
+        size_x: f32,
+        /// Space height.
+        size_y: f32,
+        /// Frozen embedding table, one row per cell.
+        table: Embedding,
+    },
 }
 
 impl PositionFeature {
@@ -84,6 +100,7 @@ impl PositionFeature {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -31,6 +31,7 @@ pub struct IcmConfig {
     pub eta: f32,
     /// Weight of the inverse loss relative to the forward loss.
     pub inverse_weight: f32,
+    /// Seed for network initialization.
     pub seed: u64,
 }
 
@@ -206,6 +207,7 @@ impl Curiosity for Icm {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use vc_nn::optim::{Adam, Optimizer};

@@ -26,6 +26,7 @@ pub struct RndConfig {
     pub hidden: usize,
     /// Intrinsic-reward scale η.
     pub eta: f32,
+    /// Seed for target/predictor initialization.
     pub seed: u64,
 }
 
@@ -84,12 +85,7 @@ impl Rnd {
         let t = self.target.forward(&mut g, &self.store, x);
         let p = self.predictor.forward(&mut g, &self.store, x);
         let dim_n = self.cfg.embed_dim as f32;
-        g.value(p)
-            .data()
-            .iter()
-            .zip(g.value(t).data())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f32>()
+        g.value(p).data().iter().zip(g.value(t).data()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
             / dim_n
     }
 }
@@ -141,18 +137,13 @@ impl Curiosity for Rnd {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use vc_nn::optim::{Adam, Optimizer};
 
     fn view(next_state: &[f32]) -> TransitionView<'_> {
-        TransitionView {
-            state: &[],
-            next_state,
-            positions: &[],
-            next_positions: &[],
-            moves: &[],
-        }
+        TransitionView { state: &[], next_state, positions: &[], next_positions: &[], moves: &[] }
     }
 
     #[test]

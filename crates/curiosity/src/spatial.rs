@@ -43,15 +43,18 @@ pub enum StructureKind {
 /// Configuration of a spatial curiosity model.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SpatialCuriosityConfig {
+    /// Position-feature extractor variant.
     pub feature: FeatureKind,
+    /// Predictor structure (joint or per-worker).
     pub structure: StructureKind,
     /// Intrinsic-reward scale η (0.3 in the paper).
     pub eta: f32,
     /// Grid resolution used for position discretization and the embedding
     /// feature.
     pub grid: usize,
-    /// Space extents (for coordinate normalization).
+    /// Space width (for coordinate normalization).
     pub size_x: f32,
+    /// Space height (for coordinate normalization).
     pub size_y: f32,
     /// Number of workers.
     pub num_workers: usize,
@@ -177,7 +180,8 @@ impl Curiosity for SpatialCuriosity {
         let w = t.positions.len();
         let mut total = 0.0;
         for wi in 0..w {
-            total += self.prediction_error(wi, &t.positions[wi], t.moves[wi], &t.next_positions[wi]);
+            total +=
+                self.prediction_error(wi, &t.positions[wi], t.moves[wi], &t.next_positions[wi]);
             let mi = self.model_index(wi);
             let next_feat = self.features[mi].extract(&self.store, &t.next_positions[wi]);
             self.buffer.push(Sample {
@@ -253,11 +257,16 @@ impl Curiosity for SpatialCuriosity {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use vc_nn::optim::{Adam, Optimizer};
 
-    fn cfg(structure: StructureKind, feature: FeatureKind, workers: usize) -> SpatialCuriosityConfig {
+    fn cfg(
+        structure: StructureKind,
+        feature: FeatureKind,
+        workers: usize,
+    ) -> SpatialCuriosityConfig {
         SpatialCuriosityConfig {
             feature,
             structure,
@@ -357,7 +366,8 @@ mod tests {
 
     #[test]
     fn independent_models_learn_separately() {
-        let mut c = SpatialCuriosity::new(cfg(StructureKind::Independent, FeatureKind::Embedding, 2));
+        let mut c =
+            SpatialCuriosity::new(cfg(StructureKind::Independent, FeatureKind::Embedding, 2));
         // Train only worker 0's moving transition; worker 1 stays put.
         let pos = [Point::new(1.5, 1.5), Point::new(5.5, 5.5)];
         let next = [Point::new(2.5, 1.5), Point::new(5.5, 5.5)];
@@ -373,7 +383,8 @@ mod tests {
         }
         // Worker 0's trained transition faded relative to a fresh model.
         let w0 = c.prediction_error(0, &pos[0], 3, &next[0]);
-        let fresh = SpatialCuriosity::new(cfg(StructureKind::Independent, FeatureKind::Embedding, 2));
+        let fresh =
+            SpatialCuriosity::new(cfg(StructureKind::Independent, FeatureKind::Embedding, 2));
         let w0_fresh = fresh.prediction_error(0, &pos[0], 3, &next[0]);
         assert!(w0 < w0_fresh, "worker 0 model did not learn");
         // Worker 1's model never saw worker 0's transition: its error there

@@ -1,10 +1,17 @@
-//! Property-based tests for the intrinsic-reward models.
+//! Randomized property tests for the intrinsic-reward models.
+//!
+//! The original proptest harness is unavailable offline, so each property
+//! runs over a fixed number of seeded random cases instead — same
+//! assertions, deterministic inputs.
 
-use proptest::prelude::*;
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use vc_curiosity::prelude::*;
 use vc_env::geometry::Point;
+
+const CASES: usize = 48;
 
 fn spatial_cfg(workers: usize) -> vc_curiosity::spatial::SpatialCuriosityConfig {
     vc_curiosity::spatial::SpatialCuriosityConfig {
@@ -19,47 +26,53 @@ fn spatial_cfg(workers: usize) -> vc_curiosity::spatial::SpatialCuriosityConfig 
     }
 }
 
-fn point() -> impl Strategy<Value = Point> {
-    (0.0f32..8.0, 0.0f32..8.0).prop_map(|(x, y)| Point::new(x, y))
+fn point(rng: &mut StdRng) -> Point {
+    Point::new(rng.gen_range(0.0f32..8.0), rng.gen_range(0.0f32..8.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn spatial_rewards_are_nonnegative_and_finite(
-        pos in proptest::collection::vec(point(), 1..4),
-        moves in proptest::collection::vec(0usize..9, 4),
-    ) {
-        let w = pos.len();
+#[test]
+fn spatial_rewards_are_nonnegative_and_finite() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..CASES {
+        let w = rng.gen_range(1usize..4);
+        let pos: Vec<Point> = (0..w).map(|_| point(&mut rng)).collect();
+        let moves: Vec<usize> = (0..w).map(|_| rng.gen_range(0usize..9)).collect();
         let mut c = SpatialCuriosity::new(spatial_cfg(w));
         let next: Vec<Point> = pos.iter().map(|p| Point::new((p.x + 1.0).min(8.0), p.y)).collect();
-        let mv = &moves[..w];
         let r = c.intrinsic_reward(&TransitionView {
             state: &[],
             next_state: &[],
             positions: &pos,
             next_positions: &next,
-            moves: mv,
+            moves: &moves,
         });
-        prop_assert!(r >= 0.0, "negative intrinsic reward {r}");
-        prop_assert!(r.is_finite());
+        assert!(r >= 0.0, "negative intrinsic reward {r}");
+        assert!(r.is_finite());
     }
+}
 
-    #[test]
-    fn spatial_error_is_deterministic(p in point(), mv in 0usize..9) {
+#[test]
+fn spatial_error_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..CASES {
+        let p = point(&mut rng);
+        let mv = rng.gen_range(0usize..9);
         let c = SpatialCuriosity::new(spatial_cfg(1));
         let next = Point::new(p.x, (p.y + 1.0).min(8.0));
         let a = c.prediction_error(0, &p, mv, &next);
         let b = c.prediction_error(0, &p, mv, &next);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn training_never_increases_error_on_the_trained_pair(
-        p in point(), mv in 0usize..9, iters in 5usize..40,
-    ) {
-        use vc_nn::optim::{Adam, Optimizer};
+#[test]
+fn training_never_increases_error_on_the_trained_pair() {
+    use vc_nn::optim::{Adam, Optimizer};
+    let mut case_rng = StdRng::seed_from_u64(13);
+    for _ in 0..8 {
+        let p = point(&mut case_rng);
+        let mv = case_rng.gen_range(0usize..9);
+        let iters = case_rng.gen_range(5usize..40);
         let mut c = SpatialCuriosity::new(spatial_cfg(1));
         let next = Point::new((p.x + 0.7).min(8.0), p.y);
         let before = c.prediction_error(0, &p, mv, &next);
@@ -82,11 +95,15 @@ proptest! {
             c.clear_buffer();
         }
         let after = c.prediction_error(0, &p, mv, &next);
-        prop_assert!(after <= before + 1e-4, "error rose {before} -> {after}");
+        assert!(after <= before + 1e-4, "error rose {before} -> {after}");
     }
+}
 
-    #[test]
-    fn rnd_rewards_nonnegative(state in proptest::collection::vec(-2.0f32..2.0, 12)) {
+#[test]
+fn rnd_rewards_nonnegative() {
+    let mut rng = StdRng::seed_from_u64(14);
+    for _ in 0..CASES {
+        let state: Vec<f32> = (0..12).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
         let mut r = Rnd::new(RndConfig::for_state(12));
         let view = TransitionView {
             state: &[],
@@ -96,15 +113,17 @@ proptest! {
             moves: &[],
         };
         let reward = r.intrinsic_reward(&view);
-        prop_assert!(reward >= 0.0 && reward.is_finite());
+        assert!(reward >= 0.0 && reward.is_finite());
     }
+}
 
-    #[test]
-    fn icm_rewards_nonnegative(
-        s in proptest::collection::vec(-1.0f32..1.0, 10),
-        sn in proptest::collection::vec(-1.0f32..1.0, 10),
-        mv in 0usize..9,
-    ) {
+#[test]
+fn icm_rewards_nonnegative() {
+    let mut rng = StdRng::seed_from_u64(15);
+    for _ in 0..CASES {
+        let s: Vec<f32> = (0..10).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let sn: Vec<f32> = (0..10).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mv = rng.gen_range(0usize..9);
         let mut icm = Icm::new(IcmConfig::for_state(10, 1));
         let moves = [mv];
         let view = TransitionView {
@@ -115,6 +134,6 @@ proptest! {
             moves: &moves,
         };
         let reward = icm.intrinsic_reward(&view);
-        prop_assert!(reward >= 0.0 && reward.is_finite());
+        assert!(reward >= 0.0 && reward.is_finite());
     }
 }

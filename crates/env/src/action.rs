@@ -12,14 +12,23 @@ pub const NUM_MOVES: usize = 9;
 /// A route-planning decision `v_t^w`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Move {
+    /// Remain in place.
     Stay,
+    /// One step north (+y).
     North,
+    /// One step north-east.
     NorthEast,
+    /// One step east (+x).
     East,
+    /// One step south-east.
     SouthEast,
+    /// One step south (−y).
     South,
+    /// One step south-west.
     SouthWest,
+    /// One step west (−x).
     West,
+    /// One step north-west.
     NorthWest,
 }
 
@@ -42,9 +51,20 @@ impl Move {
         Move::ALL[i]
     }
 
-    /// This move's index in `ALL`.
+    /// This move's index in `ALL` (the `index_roundtrip` test pins the
+    /// mapping to the array order).
     pub fn index(self) -> usize {
-        Move::ALL.iter().position(|&m| m == self).unwrap()
+        match self {
+            Move::Stay => 0,
+            Move::North => 1,
+            Move::NorthEast => 2,
+            Move::East => 3,
+            Move::SouthEast => 4,
+            Move::South => 5,
+            Move::SouthWest => 6,
+            Move::West => 7,
+            Move::NorthWest => 8,
+        }
     }
 
     /// Unit direction vector (dx, dy); `Stay` is (0, 0). North is +y.
@@ -93,6 +113,7 @@ impl WorkerAction {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

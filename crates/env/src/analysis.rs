@@ -13,8 +13,11 @@ use serde::{Deserialize, Serialize};
 /// κ/ξ/ρ sampled once per time slot.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricSeries {
+    /// Data collection ratio κ per slot.
     pub kappa: Vec<f32>,
+    /// Remaining data ratio ξ per slot.
     pub xi: Vec<f32>,
+    /// Energy efficiency ρ per slot.
     pub rho: Vec<f32>,
 }
 
@@ -73,13 +76,17 @@ impl MetricSeries {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("slot,kappa,xi,rho\n");
         for i in 0..self.len() {
-            out.push_str(&format!("{i},{:.6},{:.6},{:.6}\n", self.kappa[i], self.xi[i], self.rho[i]));
+            out.push_str(&format!(
+                "{i},{:.6},{:.6},{:.6}\n",
+                self.kappa[i], self.xi[i], self.rho[i]
+            ));
         }
         out
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::action::{Move, WorkerAction};

@@ -8,6 +8,7 @@
 use crate::config::EnvConfig;
 use crate::entities::{ChargingStation, Poi, Worker};
 use crate::env::CrowdsensingEnv;
+use crate::error::EnvError;
 use crate::geometry::{Point, Rect};
 
 /// Builder for hand-placed scenarios.
@@ -95,36 +96,55 @@ impl MapBuilder {
         cfg
     }
 
-    /// Builds the environment with the hand-placed entities. Panics if no
-    /// worker spawn was added or an entity sits inside an obstacle.
+    /// Builds the environment with the hand-placed entities.
+    ///
+    /// # Panics
+    ///
+    /// If no worker spawn was added or an entity sits inside an obstacle;
+    /// use [`Self::try_build`] to handle the error.
     pub fn build(self) -> CrowdsensingEnv {
-        assert!(!self.spawns.is_empty(), "place at least one worker");
-        let cfg = self.config();
-        cfg.validate().expect("invalid map");
-        for (p, _) in &self.pois {
-            assert!(
-                !cfg.obstacles.iter().any(|r| r.contains(p)),
-                "PoI at {p:?} is inside an obstacle"
-            );
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::build`].
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::NoWorkerSpawn`] without a spawn point,
+    /// [`EnvError::InvalidConfig`] when the synthesized config is
+    /// inconsistent, and [`EnvError::EntityInObstacle`] when a PoI, spawn or
+    /// station lands inside an obstacle rectangle.
+    pub fn try_build(self) -> Result<CrowdsensingEnv, EnvError> {
+        if self.spawns.is_empty() {
+            return Err(EnvError::NoWorkerSpawn);
         }
-        for p in self.spawns.iter().chain(&self.stations) {
-            assert!(
-                !cfg.obstacles.iter().any(|r| r.contains(p)),
-                "entity at {p:?} is inside an obstacle"
-            );
+        let cfg = self.config();
+        cfg.validate()?;
+        for (p, _) in &self.pois {
+            if cfg.obstacles.iter().any(|r| r.contains(p)) {
+                return Err(EnvError::EntityInObstacle { kind: "PoI", x: p.x, y: p.y });
+            }
+        }
+        for (kind, p) in self
+            .spawns
+            .iter()
+            .map(|p| ("worker", p))
+            .chain(self.stations.iter().map(|p| ("station", p)))
+        {
+            if cfg.obstacles.iter().any(|r| r.contains(p)) {
+                return Err(EnvError::EntityInObstacle { kind, x: p.x, y: p.y });
+            }
         }
         let workers = self.spawns.iter().map(|p| Worker::new(*p, cfg.initial_energy)).collect();
         let pois = self.pois.iter().map(|(p, d)| Poi::new(*p, *d)).collect();
-        let stations = self
-            .stations
-            .iter()
-            .map(|p| ChargingStation::new(*p, cfg.charge_range))
-            .collect();
-        CrowdsensingEnv::from_parts(cfg, workers, pois, stations)
+        let stations =
+            self.stations.iter().map(|p| ChargingStation::new(*p, cfg.charge_range)).collect();
+        CrowdsensingEnv::try_from_parts(cfg, workers, pois, stations)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::action::{Move, WorkerAction};
@@ -148,10 +168,7 @@ mod tests {
 
     #[test]
     fn built_env_steps_normally() {
-        let mut env = MapBuilder::new(8.0, 8.0, 8)
-            .poi(4.0, 4.5, 1.0)
-            .worker(4.0, 4.0)
-            .build();
+        let mut env = MapBuilder::new(8.0, 8.0, 8).poi(4.0, 4.5, 1.0).worker(4.0, 4.0).build();
         let r = env.step(&[WorkerAction::go(Move::Stay)]);
         // The PoI is within sensing range 0.8 of the spawn.
         assert!(r.outcomes[0].collected > 0.0);
@@ -183,11 +200,21 @@ mod tests {
     }
 
     #[test]
+    fn try_build_reports_typed_errors() {
+        let err = MapBuilder::new(8.0, 8.0, 8).poi(1.0, 1.0, 0.5).try_build().unwrap_err();
+        assert_eq!(err, EnvError::NoWorkerSpawn);
+        let err = MapBuilder::new(8.0, 8.0, 8)
+            .obstacle(3.0, 3.0, 5.0, 5.0)
+            .station(4.0, 4.0)
+            .worker(1.0, 1.0)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, EnvError::EntityInObstacle { kind: "station", x: 4.0, y: 4.0 });
+    }
+
+    #[test]
     fn reset_regenerates_hand_placed_scenario() {
-        let mut env = MapBuilder::new(8.0, 8.0, 8)
-            .poi(4.0, 4.5, 1.0)
-            .worker(4.0, 4.0)
-            .build();
+        let mut env = MapBuilder::new(8.0, 8.0, 8).poi(4.0, 4.5, 1.0).worker(4.0, 4.0).build();
         let initial = env.pois().to_vec();
         env.step(&[WorkerAction::go(Move::Stay)]);
         assert_ne!(env.pois(), &initial[..]);

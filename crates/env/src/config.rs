@@ -115,9 +115,9 @@ impl EnvConfig {
             Rect::new(2.5, 3.0, 4.0, 5.0),
             // Corner room walls: a 5×5 enclosure at the bottom-right whose
             // only entrance is a 1-unit gap on its top wall.
-            Rect::new(11.0, 0.0, 11.5, 5.0),  // west wall
-            Rect::new(11.5, 4.5, 14.0, 5.0),  // north wall, gap at x∈[14,15]
-            Rect::new(15.0, 4.5, 16.0, 5.0),  // north wall after the gap
+            Rect::new(11.0, 0.0, 11.5, 5.0), // west wall
+            Rect::new(11.5, 4.5, 14.0, 5.0), // north wall, gap at x∈[14,15]
+            Rect::new(15.0, 4.5, 16.0, 5.0), // north wall after the gap
         ]
     }
 
@@ -146,33 +146,37 @@ impl EnvConfig {
         self.size_y / self.grid as f32
     }
 
-    /// Validates internal consistency, returning a description of the first
-    /// problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates internal consistency, returning
+    /// [`EnvError::InvalidConfig`](crate::error::EnvError::InvalidConfig)
+    /// describing the first problem found.
+    pub fn validate(&self) -> Result<(), crate::error::EnvError> {
+        let invalid = |why: &str| Err(crate::error::EnvError::InvalidConfig(why.into()));
         if self.size_x <= 0.0 || self.size_y <= 0.0 {
-            return Err("space dimensions must be positive".into());
+            return invalid("space dimensions must be positive");
         }
         if self.grid == 0 {
-            return Err("grid resolution must be positive".into());
+            return invalid("grid resolution must be positive");
         }
         if self.num_workers == 0 {
-            return Err("need at least one worker".into());
+            return invalid("need at least one worker");
         }
         if self.horizon == 0 {
-            return Err("horizon must be positive".into());
+            return invalid("horizon must be positive");
         }
         if self.initial_energy <= 0.0 {
-            return Err("initial energy must be positive".into());
+            return invalid("initial energy must be positive");
         }
         if !(0.0..=1.0).contains(&self.collect_rate) || self.collect_rate == 0.0 {
-            return Err("collect rate must be in (0, 1]".into());
+            return invalid("collect rate must be in (0, 1]");
         }
         if self.max_step <= 0.0 {
-            return Err("max step must be positive".into());
+            return invalid("max step must be positive");
         }
         for (i, r) in self.obstacles.iter().enumerate() {
             if r.x1 > self.size_x || r.y1 > self.size_y || r.x0 < 0.0 || r.y0 < 0.0 {
-                return Err(format!("obstacle {i} extends outside the space"));
+                return Err(crate::error::EnvError::InvalidConfig(format!(
+                    "obstacle {i} extends outside the space"
+                )));
             }
         }
         Ok(())
@@ -180,6 +184,7 @@ impl EnvConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

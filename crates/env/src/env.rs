@@ -64,24 +64,58 @@ pub struct CrowdsensingEnv {
 
 impl CrowdsensingEnv {
     /// Builds and resets an environment from a config (validated).
+    ///
+    /// # Panics
+    ///
+    /// On an invalid config; use [`Self::try_new`] to handle the error.
     pub fn new(cfg: EnvConfig) -> Self {
-        cfg.validate().expect("invalid EnvConfig");
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::EnvError::InvalidConfig`] when the config fails
+    /// [`EnvConfig::validate`].
+    pub fn try_new(cfg: EnvConfig) -> Result<Self, crate::error::EnvError> {
+        cfg.validate()?;
         let scenario = crate::scenario::build(&cfg);
-        Self::from_parts(cfg, scenario.workers, scenario.pois, scenario.stations)
+        Self::try_from_parts(cfg, scenario.workers, scenario.pois, scenario.stations)
     }
 
     /// Builds an environment from explicit entities (the `builder` path).
     /// The entities become the reset template.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid config; use [`Self::try_from_parts`] to handle the
+    /// error.
     pub fn from_parts(
         cfg: EnvConfig,
         workers: Vec<Worker>,
         pois: Vec<Poi>,
         stations: Vec<ChargingStation>,
     ) -> Self {
-        cfg.validate().expect("invalid EnvConfig");
+        Self::try_from_parts(cfg, workers, pois, stations).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::from_parts`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::EnvError::InvalidConfig`] when the config fails
+    /// [`EnvConfig::validate`].
+    pub fn try_from_parts(
+        cfg: EnvConfig,
+        workers: Vec<Worker>,
+        pois: Vec<Poi>,
+        stations: Vec<ChargingStation>,
+    ) -> Result<Self, crate::error::EnvError> {
+        cfg.validate()?;
         let initial_total_data = pois.iter().map(|p| p.initial_data).sum();
         let w = workers.len();
-        Self {
+        Ok(Self {
             cfg,
             template: (workers.clone(), pois.clone(), stations.clone()),
             workers,
@@ -90,7 +124,7 @@ impl CrowdsensingEnv {
             t: 0,
             initial_total_data,
             sparse_level: vec![0.0; w],
-        }
+        })
     }
 
     /// Restores the pristine scenario (same map, full batteries, full data)
@@ -332,6 +366,7 @@ impl CrowdsensingEnv {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::config::EnvConfig;
@@ -471,10 +506,8 @@ mod tests {
         let mut env = env_with(cfg.clone());
         let station = env.stations()[0].pos;
         // Out of range: no energy gained.
-        env.workers[0].pos = Point::new(
-            (station.x + 3.0).min(cfg.size_x),
-            (station.y + 3.0).min(cfg.size_y),
-        );
+        env.workers[0].pos =
+            Point::new((station.x + 3.0).min(cfg.size_x), (station.y + 3.0).min(cfg.size_y));
         env.workers[0].energy = 10.0;
         let r = env.step(&[WorkerAction::charge()]);
         assert_eq!(r.outcomes[0].charged, 0.0);
@@ -575,8 +608,9 @@ mod tests {
         let moves = [Move::East, Move::North, Move::SouthWest, Move::Stay, Move::West];
         let mut prev_remaining: f32 = env.pois().iter().map(|p| p.data).sum();
         for k in 0..env.config().horizon {
-            let acts: Vec<WorkerAction> =
-                (0..env.workers().len()).map(|w| WorkerAction::go(moves[(k + w) % moves.len()])).collect();
+            let acts: Vec<WorkerAction> = (0..env.workers().len())
+                .map(|w| WorkerAction::go(moves[(k + w) % moves.len()]))
+                .collect();
             env.step(&acts);
             for w in env.workers() {
                 assert!(w.energy >= 0.0, "negative energy");

@@ -1,0 +1,67 @@
+//! Typed errors for scenario construction and replay.
+//!
+//! Library code in this crate never unwraps on user input: configuration
+//! problems, impossible hand-built maps and replay divergence all surface as
+//! [`EnvError`] values. The panicking convenience constructors
+//! ([`crate::env::CrowdsensingEnv::new`], [`crate::builder::MapBuilder::build`])
+//! are thin wrappers over the fallible `try_*` variants.
+
+use std::fmt;
+
+/// Everything that can go wrong building or replaying a scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EnvError {
+    /// The configuration failed [`crate::config::EnvConfig::validate`]; the
+    /// string describes the first inconsistency found.
+    InvalidConfig(String),
+    /// A hand-built map has no worker spawn point.
+    NoWorkerSpawn,
+    /// A hand-placed entity sits inside an obstacle rectangle.
+    EntityInObstacle {
+        /// What was placed there (`"PoI"`, `"worker"`, `"station"`).
+        kind: &'static str,
+        /// Entity x coordinate.
+        x: f32,
+        /// Entity y coordinate.
+        y: f32,
+    },
+    /// Replaying a recording produced final metrics different from the ones
+    /// captured at record time — a determinism breach.
+    ReplayDivergence,
+    /// A recording failed to serialize.
+    Serialize(String),
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::InvalidConfig(why) => write!(f, "invalid EnvConfig: {why}"),
+            EnvError::NoWorkerSpawn => write!(f, "place at least one worker"),
+            EnvError::EntityInObstacle { kind, x, y } => {
+                write!(f, "{kind} at ({x}, {y}) is inside an obstacle")
+            }
+            EnvError::ReplayDivergence => {
+                write!(f, "replay diverged from the recording — determinism breach")
+            }
+            EnvError::Serialize(why) => write!(f, "recording failed to serialize: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        let e = EnvError::InvalidConfig("grid resolution must be positive".into());
+        assert!(e.to_string().contains("grid resolution"));
+        let e = EnvError::EntityInObstacle { kind: "PoI", x: 1.5, y: 2.0 };
+        assert!(e.to_string().contains("PoI at (1.5, 2)"));
+        let boxed: Box<dyn std::error::Error> = Box::new(EnvError::NoWorkerSpawn);
+        assert!(boxed.to_string().contains("worker"));
+    }
+}

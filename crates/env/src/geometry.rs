@@ -6,7 +6,9 @@ use serde::{Deserialize, Serialize};
 /// A position in the continuous 2-D crowdsensing space.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Point {
+    /// Horizontal coordinate.
     pub x: f32,
+    /// Vertical coordinate.
     pub y: f32,
 }
 
@@ -32,9 +34,13 @@ impl Point {
 /// An axis-aligned rectangular obstacle `[x0, x1] × [y0, y1]`.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Rect {
+    /// Left edge.
     pub x0: f32,
+    /// Bottom edge.
     pub y0: f32,
+    /// Right edge.
     pub x1: f32,
+    /// Top edge.
     pub y1: f32,
 }
 
@@ -76,12 +82,9 @@ impl Rect {
         let mut t0 = 0.0f32;
         let mut t1 = 1.0f32;
         // Clip against each slab; reject as soon as the interval empties.
-        for (p, q) in [
-            (-dx, a.x - self.x0),
-            (dx, self.x1 - a.x),
-            (-dy, a.y - self.y0),
-            (dy, self.y1 - a.y),
-        ] {
+        for (p, q) in
+            [(-dx, a.x - self.x0), (dx, self.x1 - a.x), (-dy, a.y - self.y0), (dy, self.y1 - a.y)]
+        {
             if p == 0.0 {
                 if q < 0.0 {
                     return false; // parallel and outside
@@ -107,6 +110,7 @@ impl Rect {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

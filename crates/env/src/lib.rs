@@ -30,6 +30,7 @@ pub mod builder;
 pub mod config;
 pub mod entities;
 pub mod env;
+pub mod error;
 pub mod geometry;
 pub mod metrics;
 pub mod pathfind;
@@ -48,6 +49,7 @@ pub mod prelude {
     pub use crate::config::{EnvConfig, PoiDistribution};
     pub use crate::entities::{ChargingStation, Poi, Worker};
     pub use crate::env::{CrowdsensingEnv, StepResult, WorkerOutcome};
+    pub use crate::error::EnvError;
     pub use crate::geometry::{Point, Rect};
     pub use crate::metrics::{jain_index, Metrics};
     pub use crate::pathfind::DistanceField;

@@ -63,7 +63,9 @@ pub fn compute(workers: &[Worker], pois: &[Poi]) -> Metrics {
     } else {
         workers
             .iter()
-            .map(|w| if w.total_consumed > 0.0 { w.total_collected / w.total_consumed } else { 0.0 })
+            .map(
+                |w| if w.total_consumed > 0.0 { w.total_collected / w.total_consumed } else { 0.0 },
+            )
             .sum::<f32>()
             / workers.len() as f32
     };
@@ -77,6 +79,7 @@ pub fn compute(workers: &[Worker], pois: &[Poi]) -> Metrics {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::geometry::Point;

@@ -39,10 +39,11 @@ impl DistanceField {
         let mut queue = VecDeque::new();
         if !blocked[start] {
             dist[start] = Some(0);
-            queue.push_back(start);
+            // Queue entries carry their distance, so the fill never has to
+            // re-read (and unwrap) the per-cell option.
+            queue.push_back((start, 0u32));
         }
-        while let Some(i) = queue.pop_front() {
-            let d = dist[i].unwrap();
+        while let Some((i, d)) = queue.pop_front() {
             let (cx, cy) = (i % g, i / g);
             for dy in -1i32..=1 {
                 for dx in -1i32..=1 {
@@ -59,7 +60,7 @@ impl DistanceField {
                         continue;
                     }
                     dist[ni] = Some(d + 1);
-                    queue.push_back(ni);
+                    queue.push_back((ni, d + 1));
                 }
             }
         }
@@ -85,6 +86,7 @@ impl DistanceField {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::config::EnvConfig;
@@ -115,10 +117,7 @@ mod tests {
     fn sealed_region_is_unreachable() {
         let mut cfg = EnvConfig::tiny();
         // Fully sealed box around the corner.
-        cfg.obstacles = vec![
-            Rect::new(5.0, 0.0, 5.8, 3.0),
-            Rect::new(5.0, 2.2, 8.0, 3.0),
-        ];
+        cfg.obstacles = vec![Rect::new(5.0, 0.0, 5.8, 3.0), Rect::new(5.0, 2.2, 8.0, 3.0)];
         let f = DistanceField::from(&cfg, &Point::new(1.0, 6.0));
         assert_eq!(f.distance_to(&cfg, &Point::new(7.5, 0.5)), None);
         assert!(f.reachable_cells() < cfg.grid * cfg.grid);

@@ -10,6 +10,7 @@ use crate::action::WorkerAction;
 use crate::config::EnvConfig;
 use crate::entities::{ChargingStation, Poi, Worker};
 use crate::env::{CrowdsensingEnv, StepResult};
+use crate::error::EnvError;
 use crate::metrics::Metrics;
 use serde::{Deserialize, Serialize};
 
@@ -20,10 +21,13 @@ use serde::{Deserialize, Serialize};
 /// exactly like seeded ones.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Recording {
+    /// The scenario configuration at record time.
     pub config: EnvConfig,
-    /// The scenario at slot 0.
+    /// The workers at slot 0.
     pub workers: Vec<Worker>,
+    /// The PoIs at slot 0.
     pub pois: Vec<Poi>,
+    /// The charging stations at slot 0.
     pub stations: Vec<ChargingStation>,
     /// `actions[t]` is the joint action taken at slot `t`.
     pub actions: Vec<Vec<WorkerAction>>,
@@ -43,8 +47,13 @@ impl Recording {
     }
 
     /// Serializes to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("recording serializes")
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::Serialize`] when the JSON encoder refuses the recording
+    /// (it never does for recordings produced by [`Recorder`]).
+    pub fn to_json(&self) -> Result<String, EnvError> {
+        serde_json::to_string(self).map_err(|e| EnvError::Serialize(e.to_string()))
     }
 
     /// Deserializes from JSON.
@@ -53,25 +62,41 @@ impl Recording {
     }
 
     /// Replays the episode on a fresh environment, calling `observe` after
-    /// every step, and returns the final environment. Panics if the replayed
-    /// final metrics diverge from the recorded ones (a determinism breach).
-    pub fn replay(&self, mut observe: impl FnMut(&CrowdsensingEnv, &StepResult)) -> CrowdsensingEnv {
-        let mut env = CrowdsensingEnv::from_parts(
+    /// every step, and returns the final environment.
+    ///
+    /// # Panics
+    ///
+    /// If the replayed final metrics diverge from the recorded ones (a
+    /// determinism breach); use [`Self::try_replay`] to handle the error.
+    pub fn replay(&self, observe: impl FnMut(&CrowdsensingEnv, &StepResult)) -> CrowdsensingEnv {
+        self.try_replay(observe).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::replay`].
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidConfig`] when the recorded config no longer
+    /// validates, [`EnvError::ReplayDivergence`] when the replayed final
+    /// metrics differ from the recorded ones.
+    pub fn try_replay(
+        &self,
+        mut observe: impl FnMut(&CrowdsensingEnv, &StepResult),
+    ) -> Result<CrowdsensingEnv, EnvError> {
+        let mut env = CrowdsensingEnv::try_from_parts(
             self.config.clone(),
             self.workers.clone(),
             self.pois.clone(),
             self.stations.clone(),
-        );
+        )?;
         for actions in &self.actions {
             let result = env.step(actions);
             observe(&env, &result);
         }
-        let replayed = env.metrics();
-        assert_eq!(
-            replayed, self.final_metrics,
-            "replay diverged from the recording — determinism breach"
-        );
-        env
+        if env.metrics() != self.final_metrics {
+            return Err(EnvError::ReplayDivergence);
+        }
+        Ok(env)
     }
 }
 
@@ -124,6 +149,7 @@ impl Recorder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::action::Move;
@@ -153,14 +179,22 @@ mod tests {
     #[test]
     fn json_roundtrip_preserves_recording() {
         let rec = drive(EnvConfig::tiny(), &[Move::South, Move::West]);
-        let back = Recording::from_json(&rec.to_json()).unwrap();
+        let back = Recording::from_json(&rec.to_json().unwrap()).unwrap();
         assert_eq!(back, rec);
         back.replay(|_, _| {});
     }
 
     #[test]
-    #[should_panic(expected = "determinism breach")]
     fn tampered_recording_is_detected() {
+        let mut rec = drive(EnvConfig::tiny(), &[Move::East, Move::East]);
+        rec.final_metrics.data_collection_ratio += 0.5;
+        let err = rec.try_replay(|_, _| {}).unwrap_err();
+        assert_eq!(err, crate::error::EnvError::ReplayDivergence);
+    }
+
+    #[test]
+    #[should_panic(expected = "determinism breach")]
+    fn tampered_recording_panics_via_replay() {
         let mut rec = drive(EnvConfig::tiny(), &[Move::East, Move::East]);
         rec.final_metrics.data_collection_ratio += 0.5;
         rec.replay(|_, _| {});

@@ -63,6 +63,7 @@ pub fn extrinsic_reward(mode: RewardMode, cfg: &EnvConfig, outcomes: &[WorkerOut
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::config::EnvConfig;

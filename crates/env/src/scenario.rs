@@ -15,8 +15,11 @@ use rand::{Rng, SeedableRng};
 /// A fully instantiated scenario ready to run.
 #[derive(Clone, Debug)]
 pub struct Scenario {
+    /// Vehicular workers with initial positions and batteries.
     pub workers: Vec<Worker>,
+    /// Points of interest carrying collectable data.
     pub pois: Vec<Poi>,
+    /// Charging stations.
     pub stations: Vec<ChargingStation>,
 }
 
@@ -146,9 +149,7 @@ pub fn generate_stations(cfg: &EnvConfig, rng: &mut StdRng) -> Vec<ChargingStati
 
 /// Spawns workers at random free positions.
 pub fn generate_workers(cfg: &EnvConfig, rng: &mut StdRng) -> Vec<Worker> {
-    (0..cfg.num_workers)
-        .map(|_| Worker::new(sample_free(cfg, rng), cfg.initial_energy))
-        .collect()
+    (0..cfg.num_workers).map(|_| Worker::new(sample_free(cfg, rng), cfg.initial_energy)).collect()
 }
 
 /// Builds the full scenario from the config seed.
@@ -161,6 +162,7 @@ pub fn build(cfg: &EnvConfig) -> Scenario {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::config::EnvConfig;
@@ -237,7 +239,8 @@ mod tests {
             counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f32>() / (g * g) as f32
         };
         assert!(
-            occupancy_var(PoiDistribution::ClusteredUneven) > 2.0 * occupancy_var(PoiDistribution::Uniform)
+            occupancy_var(PoiDistribution::ClusteredUneven)
+                > 2.0 * occupancy_var(PoiDistribution::Uniform)
         );
     }
 
@@ -247,11 +250,7 @@ mod tests {
         // contain data, otherwise the curiosity experiments are vacuous.
         let cfg = EnvConfig::paper_default();
         let s = build(&cfg);
-        let in_room = s
-            .pois
-            .iter()
-            .filter(|p| p.pos.x > 11.5 && p.pos.y < 4.5)
-            .count();
+        let in_room = s.pois.iter().filter(|p| p.pos.x > 11.5 && p.pos.y < 4.5).count();
         assert!(in_room >= 10, "only {in_room} PoIs in the corner room");
     }
 }

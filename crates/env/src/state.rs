@@ -97,6 +97,7 @@ pub fn state_len(cfg: &EnvConfig) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::action::{Move, WorkerAction};

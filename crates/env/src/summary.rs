@@ -120,6 +120,7 @@ impl EpisodeSummary {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::action::{Move, WorkerAction};

@@ -49,7 +49,10 @@ impl Trajectory {
         for r in &cfg.obstacles {
             for cy in 0..cfg.grid {
                 for cx in 0..cfg.grid {
-                    let c = Point::new((cx as f32 + 0.5) * cfg.cell_x(), (cy as f32 + 0.5) * cfg.cell_y());
+                    let c = Point::new(
+                        (cx as f32 + 0.5) * cfg.cell_x(),
+                        (cy as f32 + 0.5) * cfg.cell_y(),
+                    );
                     if r.contains(&c) {
                         grid[cy][cx] = '#';
                     }
@@ -60,7 +63,8 @@ impl Trajectory {
             let (cx, cy) = cell_of(cfg, p);
             grid[cy][cx] = '*';
         }
-        if let (Some(first), Some(last)) = (self.points[worker].first(), self.points[worker].last()) {
+        if let (Some(first), Some(last)) = (self.points[worker].first(), self.points[worker].last())
+        {
             let (cx, cy) = cell_of(cfg, first);
             grid[cy][cx] = 'S';
             let (cx, cy) = cell_of(cfg, last);
@@ -146,6 +150,7 @@ impl HeatMap {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::config::EnvConfig;

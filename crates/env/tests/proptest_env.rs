@@ -1,40 +1,44 @@
-//! Property-based tests for the crowdsensing simulator's physical and
+//! Randomized property tests for the crowdsensing simulator's physical and
 //! metric invariants under arbitrary action sequences.
+//!
+//! The original proptest harness is unavailable offline, so each property
+//! runs over a fixed number of seeded random cases instead — same
+//! assertions, deterministic inputs.
 
-use proptest::prelude::*;
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use vc_env::prelude::*;
 
-/// Strategy: a small random environment config.
-fn env_config() -> impl Strategy<Value = EnvConfig> {
-    (1usize..4, 5usize..40, 0usize..3, 5usize..25, any::<u64>()).prop_map(
-        |(workers, pois, stations, horizon, seed)| {
-            let mut cfg = EnvConfig::tiny();
-            cfg.num_workers = workers;
-            cfg.num_pois = pois;
-            cfg.num_stations = stations;
-            cfg.horizon = horizon;
-            cfg.seed = seed;
-            cfg
-        },
-    )
+const CASES: usize = 48;
+
+/// A small random environment config.
+fn env_config(rng: &mut StdRng) -> EnvConfig {
+    let mut cfg = EnvConfig::tiny();
+    cfg.num_workers = rng.gen_range(1usize..4);
+    cfg.num_pois = rng.gen_range(5usize..40);
+    cfg.num_stations = rng.gen_range(0usize..3);
+    cfg.horizon = rng.gen_range(5usize..25);
+    cfg.seed = rng.gen::<u64>();
+    cfg
 }
 
-/// Strategy: an action for one worker.
-fn action() -> impl Strategy<Value = WorkerAction> {
-    (0usize..NUM_MOVES, any::<bool>()).prop_map(|(mv, charge)| WorkerAction {
-        movement: Move::from_index(mv),
-        charge,
-    })
+/// A random action for one worker.
+fn action(rng: &mut StdRng) -> WorkerAction {
+    WorkerAction {
+        movement: Move::from_index(rng.gen_range(0usize..NUM_MOVES)),
+        charge: rng.gen::<bool>(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn physics_invariants_hold_under_arbitrary_actions(
-        cfg in env_config(),
-        seq in proptest::collection::vec(proptest::collection::vec(action(), 4), 30),
-    ) {
+#[test]
+fn physics_invariants_hold_under_arbitrary_actions() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for _ in 0..CASES {
+        let cfg = env_config(&mut rng);
+        let seq: Vec<Vec<WorkerAction>> =
+            (0..30).map(|_| (0..4).map(|_| action(&mut rng)).collect()).collect();
         let mut env = CrowdsensingEnv::new(cfg.clone());
         let mut prev_data: f32 = env.pois().iter().map(|p| p.data).sum();
         for step_actions in seq {
@@ -47,36 +51,41 @@ proptest! {
 
             // Energy stays within [0, capacity].
             for w in env.workers() {
-                prop_assert!(w.energy >= -1e-4, "negative energy {}", w.energy);
-                prop_assert!(w.energy <= w.capacity + 1e-4, "overfull battery");
+                assert!(w.energy >= -1e-4, "negative energy {}", w.energy);
+                assert!(w.energy <= w.capacity + 1e-4, "overfull battery");
             }
             // Workers stay inside the space and outside obstacles.
             for w in env.workers() {
-                prop_assert!(w.pos.x >= 0.0 && w.pos.x <= cfg.size_x);
-                prop_assert!(w.pos.y >= 0.0 && w.pos.y <= cfg.size_y);
-                prop_assert!(!cfg.obstacles.iter().any(|r| r.contains(&w.pos)));
+                assert!(w.pos.x >= 0.0 && w.pos.x <= cfg.size_x);
+                assert!(w.pos.y >= 0.0 && w.pos.y <= cfg.size_y);
+                assert!(!cfg.obstacles.iter().any(|r| r.contains(&w.pos)));
             }
             // PoI data never grows.
             let data: f32 = env.pois().iter().map(|p| p.data).sum();
-            prop_assert!(data <= prev_data + 1e-4, "data regrew {prev_data} -> {data}");
+            assert!(data <= prev_data + 1e-4, "data regrew {prev_data} -> {data}");
             prev_data = data;
 
             // Per-step outcomes are consistent.
             for out in &result.outcomes {
-                prop_assert!(out.collected >= 0.0);
-                prop_assert!(out.consumed >= 0.0);
-                prop_assert!(out.charged >= 0.0);
-                prop_assert!(out.traveled >= 0.0);
-                prop_assert!(out.traveled <= cfg.max_step + 1e-5);
+                assert!(out.collected >= 0.0);
+                assert!(out.consumed >= 0.0);
+                assert!(out.charged >= 0.0);
+                assert!(out.traveled >= 0.0);
+                assert!(out.traveled <= cfg.max_step + 1e-5);
                 if out.charging {
-                    prop_assert!(out.collected == 0.0, "charging slot collected data");
+                    assert!(out.collected == 0.0, "charging slot collected data");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn metrics_stay_bounded(cfg in env_config(), moves in proptest::collection::vec(0usize..NUM_MOVES, 25)) {
+#[test]
+fn metrics_stay_bounded() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..CASES {
+        let cfg = env_config(&mut rng);
+        let moves: Vec<usize> = (0..25).map(|_| rng.gen_range(0usize..NUM_MOVES)).collect();
         let mut env = CrowdsensingEnv::new(cfg.clone());
         for &mv in &moves {
             if env.done() {
@@ -85,16 +94,21 @@ proptest! {
             let actions = vec![WorkerAction::go(Move::from_index(mv)); cfg.num_workers];
             env.step(&actions);
             let m = env.metrics();
-            prop_assert!((0.0..=1.0).contains(&m.data_collection_ratio));
-            prop_assert!((0.0..=1.0).contains(&m.remaining_data_ratio));
-            prop_assert!((0.0..=1.0).contains(&m.fairness_index));
-            prop_assert!(m.energy_efficiency >= 0.0 && m.energy_efficiency.is_finite());
+            assert!((0.0..=1.0).contains(&m.data_collection_ratio));
+            assert!((0.0..=1.0).contains(&m.remaining_data_ratio));
+            assert!((0.0..=1.0).contains(&m.fairness_index));
+            assert!(m.energy_efficiency >= 0.0 && m.energy_efficiency.is_finite());
         }
     }
+}
 
-    #[test]
-    fn collection_conservation(cfg in env_config(), moves in proptest::collection::vec(0usize..NUM_MOVES, 25)) {
-        // Total collected by workers equals total removed from PoIs.
+#[test]
+fn collection_conservation() {
+    // Total collected by workers equals total removed from PoIs.
+    let mut rng = StdRng::seed_from_u64(43);
+    for _ in 0..CASES {
+        let cfg = env_config(&mut rng);
+        let moves: Vec<usize> = (0..25).map(|_| rng.gen_range(0usize..NUM_MOVES)).collect();
         let mut env = CrowdsensingEnv::new(cfg.clone());
         let initial: f32 = env.pois().iter().map(|p| p.data).sum();
         for &mv in &moves {
@@ -105,58 +119,79 @@ proptest! {
         }
         let remaining: f32 = env.pois().iter().map(|p| p.data).sum();
         let collected: f32 = env.workers().iter().map(|w| w.total_collected).sum();
-        prop_assert!(
+        assert!(
             (initial - remaining - collected).abs() < 1e-2,
             "conservation violated: initial {initial}, remaining {remaining}, collected {collected}"
         );
     }
+}
 
-    #[test]
-    fn rewards_are_finite(cfg in env_config(), mv in 0usize..NUM_MOVES) {
+#[test]
+fn rewards_are_finite() {
+    let mut rng = StdRng::seed_from_u64(44);
+    for _ in 0..CASES {
+        let cfg = env_config(&mut rng);
+        let mv = rng.gen_range(0usize..NUM_MOVES);
         let mut env = CrowdsensingEnv::new(cfg.clone());
         let r = env.step(&vec![WorkerAction::go(Move::from_index(mv)); cfg.num_workers]);
         let sparse = sparse_reward(&cfg, &r.outcomes);
         let dense = dense_reward(&cfg, &r.outcomes);
-        prop_assert!(sparse.is_finite());
-        prop_assert!(dense.is_finite());
+        assert!(sparse.is_finite());
+        assert!(dense.is_finite());
     }
+}
 
-    #[test]
-    fn jain_index_bounds(values in proptest::collection::vec(0.01f32..10.0, 1..20)) {
+#[test]
+fn jain_index_bounds() {
+    let mut rng = StdRng::seed_from_u64(45);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..20);
+        let values: Vec<f32> = (0..n).map(|_| rng.gen_range(0.01f32..10.0)).collect();
         let j = jain_index(values.iter().copied());
         let n = values.len() as f32;
-        prop_assert!(j >= 1.0 / n - 1e-5, "jain {j} below 1/n");
-        prop_assert!(j <= 1.0 + 1e-5, "jain {j} above 1");
+        assert!(j >= 1.0 / n - 1e-5, "jain {j} below 1/n");
+        assert!(j <= 1.0 + 1e-5, "jain {j} above 1");
     }
+}
 
-    #[test]
-    fn state_encoding_has_fixed_shape(cfg in env_config(), mv in 0usize..NUM_MOVES) {
+#[test]
+fn state_encoding_has_fixed_shape() {
+    let mut rng = StdRng::seed_from_u64(46);
+    for _ in 0..CASES {
+        let cfg = env_config(&mut rng);
+        let mv = rng.gen_range(0usize..NUM_MOVES);
         let mut env = CrowdsensingEnv::new(cfg.clone());
         let expect = vc_env::state::state_len(&cfg);
-        prop_assert_eq!(vc_env::state::encode(&env).len(), expect);
+        assert_eq!(vc_env::state::encode(&env).len(), expect);
         env.step(&vec![WorkerAction::go(Move::from_index(mv)); cfg.num_workers]);
         let s = vc_env::state::encode(&env);
-        prop_assert_eq!(s.len(), expect);
-        prop_assert!(s.iter().all(|v| v.is_finite()));
+        assert_eq!(s.len(), expect);
+        assert!(s.iter().all(|v| v.is_finite()));
     }
+}
 
-    #[test]
-    fn scenario_generation_is_pure(cfg in env_config()) {
+#[test]
+fn scenario_generation_is_pure() {
+    let mut rng = StdRng::seed_from_u64(47);
+    for _ in 0..CASES {
+        let cfg = env_config(&mut rng);
         let a = CrowdsensingEnv::new(cfg.clone());
         let b = CrowdsensingEnv::new(cfg);
-        prop_assert_eq!(a.pois(), b.pois());
-        prop_assert_eq!(a.workers(), b.workers());
+        assert_eq!(a.pois(), b.pois());
+        assert_eq!(a.workers(), b.workers());
     }
+}
 
-    #[test]
-    fn segment_intersection_is_symmetric(
-        x0 in 0.0f32..8.0, y0 in 0.0f32..8.0,
-        x1 in 0.0f32..8.0, y1 in 0.0f32..8.0,
-        rx in 1.0f32..5.0, ry in 1.0f32..5.0,
-    ) {
+#[test]
+fn segment_intersection_is_symmetric() {
+    let mut rng = StdRng::seed_from_u64(48);
+    for _ in 0..CASES {
+        let (x0, y0) = (rng.gen_range(0.0f32..8.0), rng.gen_range(0.0f32..8.0));
+        let (x1, y1) = (rng.gen_range(0.0f32..8.0), rng.gen_range(0.0f32..8.0));
+        let (rx, ry) = (rng.gen_range(1.0f32..5.0), rng.gen_range(1.0f32..5.0));
         let r = Rect::new(rx, ry, rx + 1.5, ry + 1.5);
         let a = Point::new(x0, y0);
         let b = Point::new(x1, y1);
-        prop_assert_eq!(r.intersects_segment(&a, &b), r.intersects_segment(&b, &a));
+        assert_eq!(r.intersects_segment(&a, &b), r.intersects_segment(&b, &a));
     }
 }

@@ -1,0 +1,73 @@
+//! Typed errors for tensor and graph invariants.
+//!
+//! [`NnError`] is what the [`crate::check`] invariant checker reports when a
+//! tensor crossing a graph boundary is malformed, and what shape-dependent
+//! configuration (e.g. a convolution that does not fit its input) surfaces
+//! instead of an anonymous panic message.
+
+use std::fmt;
+
+/// Invariant violations detected on tensors and graph configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NnError {
+    /// A tensor holds NaN or ±Inf where only finite values are allowed.
+    NonFinite {
+        /// Where the tensor was observed (e.g. `"graph leaf"`).
+        context: &'static str,
+        /// Flat index of the first offending element.
+        index: usize,
+    },
+    /// A tensor's element count disagrees with its shape.
+    ShapeDataMismatch {
+        /// Where the tensor was observed.
+        context: &'static str,
+        /// The claimed shape.
+        shape: Vec<usize>,
+        /// The actual number of stored elements.
+        data_len: usize,
+    },
+    /// A convolution kernel does not fit its (padded) input extent.
+    KernelTooLarge {
+        /// Input spatial extent.
+        input: usize,
+        /// Kernel extent.
+        kernel: usize,
+        /// Padding per side.
+        padding: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::NonFinite { context, index } => {
+                write!(f, "non-finite value (NaN/Inf) at flat index {index} in {context}")
+            }
+            NnError::ShapeDataMismatch { context, shape, data_len } => {
+                write!(f, "shape {shape:?} disagrees with {data_len} stored elements in {context}")
+            }
+            NnError::KernelTooLarge { input, kernel, padding } => {
+                write!(f, "conv kernel {kernel} larger than input {input} with padding {padding}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_violation() {
+        let e = NnError::NonFinite { context: "graph leaf", index: 3 };
+        assert!(e.to_string().contains("graph leaf"));
+        let e = NnError::KernelTooLarge { input: 2, kernel: 5, padding: 0 };
+        assert!(e.to_string().contains("kernel 5"));
+        let boxed: Box<dyn std::error::Error> =
+            Box::new(NnError::ShapeDataMismatch { context: "x", shape: vec![2, 2], data_len: 3 });
+        assert!(boxed.to_string().contains("[2, 2]"));
+    }
+}

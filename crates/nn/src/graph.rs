@@ -62,7 +62,14 @@ impl Graph {
         self.nodes[id.0].value.shape()
     }
 
-    fn push(&mut self, value: Tensor, parents: Vec<NodeId>, op: Op, param: Option<ParamId>, needs_grad: bool) -> NodeId {
+    fn push(
+        &mut self,
+        value: Tensor,
+        parents: Vec<NodeId>,
+        op: Op,
+        param: Option<ParamId>,
+        needs_grad: bool,
+    ) -> NodeId {
         self.nodes.push(Node { value, parents, op, needs_grad, param });
         NodeId(self.nodes.len() - 1)
     }
@@ -74,15 +81,24 @@ impl Graph {
     // ---- graph inputs -----------------------------------------------------
 
     /// A constant input: no gradient flows into it.
+    ///
+    /// In debug / `strict-checks` builds the value is boundary-checked
+    /// (shape consistency, no NaN/Inf) — see [`crate::check`].
     pub fn leaf(&mut self, value: Tensor) -> NodeId {
+        crate::check::assert_valid(&value, "graph leaf");
         self.push(value, vec![], Op::Leaf, None, false)
     }
 
     /// A parameter input: copies the current value from the store; backward
     /// accumulates into the store's gradient slot (unless frozen).
+    ///
+    /// In debug / `strict-checks` builds the parameter value is
+    /// boundary-checked (shape consistency, no NaN/Inf).
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
         let needs = !store.is_frozen(id);
-        self.push(store.value(id).clone(), vec![], Op::Leaf, Some(id), needs)
+        let value = store.value(id).clone();
+        crate::check::assert_valid(&value, "graph param");
+        self.push(value, vec![], Op::Leaf, Some(id), needs)
     }
 
     // ---- elementwise ops --------------------------------------------------
@@ -267,7 +283,8 @@ impl Graph {
         let (rows, ca, cb) = (av.shape()[0], av.shape()[1], bv.shape()[1]);
         let mut out = vec![0.0f32; rows * (ca + cb)];
         for r in 0..rows {
-            out[r * (ca + cb)..r * (ca + cb) + ca].copy_from_slice(&av.data()[r * ca..(r + 1) * ca]);
+            out[r * (ca + cb)..r * (ca + cb) + ca]
+                .copy_from_slice(&av.data()[r * ca..(r + 1) * ca]);
             out[r * (ca + cb) + ca..(r + 1) * (ca + cb)]
                 .copy_from_slice(&bv.data()[r * cb..(r + 1) * cb]);
         }
@@ -344,10 +361,15 @@ impl Graph {
     /// Runs reverse-mode backprop from `loss` (which must be a single-element
     /// tensor), accumulating parameter gradients into `store`. Returns the
     /// loss value.
+    ///
+    /// In debug / `strict-checks` builds every parameter gradient leaving
+    /// the tape is boundary-checked: a NaN/Inf gradient aborts here, at the
+    /// graph boundary, instead of silently corrupting the optimizer state.
     pub fn backward(&self, loss: NodeId, store: &mut ParamStore) -> f32 {
         let grads = self.compute_grads(loss);
         for (node, grad) in self.nodes.iter().zip(&grads) {
             if let (Some(pid), Some(g)) = (node.param, grad.as_ref()) {
+                crate::check::assert_valid(g, "parameter gradient");
                 store.accumulate_grad(pid, g);
             }
         }
@@ -385,8 +407,9 @@ impl Graph {
             let node = &self.nodes[i];
             // When not tracking all grads we can skip subtrees with no
             // trainable parameters.
-            let relevant =
-                |p: NodeId| track_all || self.nodes[p.0].needs_grad || self.nodes[p.0].param.is_some();
+            let relevant = |p: NodeId| {
+                track_all || self.nodes[p.0].needs_grad || self.nodes[p.0].param.is_some()
+            };
             let send = |grads: &mut Vec<Option<Tensor>>, p: NodeId, g: Tensor| {
                 if !relevant(p) {
                     return;
@@ -445,7 +468,11 @@ impl Graph {
                 }
                 Op::Relu => {
                     let x = self.value(node.parents[0]);
-                    send(&mut grads, node.parents[0], gout.zip(x, |g, v| if v > 0.0 { g } else { 0.0 }));
+                    send(
+                        &mut grads,
+                        node.parents[0],
+                        gout.zip(x, |g, v| if v > 0.0 { g } else { 0.0 }),
+                    );
                 }
                 Op::Tanh => {
                     let y = &node.value;
@@ -601,6 +628,7 @@ impl Graph {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::param::ParamStore;
@@ -853,7 +881,10 @@ mod tests {
         // finite differences through the whole tape.
         let cfg = ConvCfg { in_channels: 1, out_channels: 2, kernel: 3, stride: 1, padding: 1 };
         let x0 = Tensor::from_vec(&[1, 1, 3, 3], (0..9).map(|i| (i as f32 * 0.45).sin()).collect());
-        let w = Tensor::from_vec(&[2, 1, 3, 3], (0..18).map(|i| (i as f32 * 0.21).cos() * 0.3).collect());
+        let w = Tensor::from_vec(
+            &[2, 1, 3, 3],
+            (0..18).map(|i| (i as f32 * 0.21).cos() * 0.3).collect(),
+        );
         let b = Tensor::from_vec(&[2], vec![0.1, -0.1]);
         let gamma = Tensor::ones(&[18]);
         let beta = Tensor::zeros(&[18]);
@@ -873,5 +904,33 @@ mod tests {
             &x0,
             2e-2,
         );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn nan_leaf_is_rejected_at_the_graph_boundary() {
+        let res = std::panic::catch_unwind(|| {
+            let mut g = Graph::new();
+            g.leaf(Tensor::from_vec(&[2], vec![1.0, f32::NAN]));
+        });
+        assert!(res.is_err(), "a NaN entering the tape must abort at the boundary");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn nonfinite_parameter_gradient_is_rejected_by_backward() {
+        // x is finite but huge; d/dx sum(x²) = 2x overflows to +Inf, so the
+        // gradient leaving the tape is non-finite and must abort in
+        // backward() rather than corrupt the optimizer state.
+        let res = std::panic::catch_unwind(|| {
+            let mut store = ParamStore::new();
+            let id = store.add("w", Tensor::from_vec(&[1], vec![3.0e38]));
+            let mut g = Graph::new();
+            let x = g.param(&store, id);
+            let sq = g.square(x);
+            let loss = g.sum_all(sq);
+            g.backward(loss, &mut store);
+        });
+        assert!(res.is_err(), "an overflowing gradient must abort at the boundary");
     }
 }

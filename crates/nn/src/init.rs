@@ -40,7 +40,12 @@ pub fn kaiming_normal(shape: &[usize], fan_in: usize, rng: &mut impl Rng) -> Ten
 
 /// Xavier/Glorot-uniform initialization:
 /// U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
-pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+pub fn xavier_uniform(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
     assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
     let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
     uniform(shape, -a, a, rng)
@@ -53,6 +58,7 @@ pub fn policy_head(shape: &[usize], rng: &mut impl Rng) -> Tensor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

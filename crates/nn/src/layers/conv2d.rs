@@ -9,48 +9,14 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A 2-D convolution layer `[B, C_in, H, W] -> [B, C_out, HO, WO]`.
+///
+/// `ConvCfg` derives its own serde impls (field-for-field map encoding), so
+/// the layer serializes as a plain three-field map.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Conv2dLayer {
     w: ParamId,
     b: ParamId,
-    #[serde(with = "conv_cfg_serde")]
     cfg: ConvCfg,
-}
-
-mod conv_cfg_serde {
-    use super::ConvCfg;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    #[derive(Serialize, Deserialize)]
-    struct Repr {
-        in_channels: usize,
-        out_channels: usize,
-        kernel: usize,
-        stride: usize,
-        padding: usize,
-    }
-
-    pub fn serialize<S: Serializer>(cfg: &ConvCfg, s: S) -> Result<S::Ok, S::Error> {
-        Repr {
-            in_channels: cfg.in_channels,
-            out_channels: cfg.out_channels,
-            kernel: cfg.kernel,
-            stride: cfg.stride,
-            padding: cfg.padding,
-        }
-        .serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<ConvCfg, D::Error> {
-        let r = Repr::deserialize(d)?;
-        Ok(ConvCfg {
-            in_channels: r.in_channels,
-            out_channels: r.out_channels,
-            kernel: r.kernel,
-            stride: r.stride,
-            padding: r.padding,
-        })
-    }
 }
 
 impl Conv2dLayer {
@@ -59,7 +25,11 @@ impl Conv2dLayer {
         let fan_in = cfg.in_channels * cfg.kernel * cfg.kernel;
         let w = store.add(
             format!("{name}.w"),
-            init::kaiming_normal(&[cfg.out_channels, cfg.in_channels, cfg.kernel, cfg.kernel], fan_in, rng),
+            init::kaiming_normal(
+                &[cfg.out_channels, cfg.in_channels, cfg.kernel, cfg.kernel],
+                fan_in,
+                rng,
+            ),
         );
         let b = store.add(format!("{name}.b"), Tensor::zeros(&[cfg.out_channels]));
         Self { w, b, cfg }
@@ -84,6 +54,7 @@ impl Conv2dLayer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

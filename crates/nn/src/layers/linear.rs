@@ -24,7 +24,8 @@ impl Linear {
         out_dim: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let w = store.add(format!("{name}.w"), init::kaiming_normal(&[in_dim, out_dim], in_dim, rng));
+        let w =
+            store.add(format!("{name}.w"), init::kaiming_normal(&[in_dim, out_dim], in_dim, rng));
         let b = store.add(format!("{name}.b"), crate::tensor::Tensor::zeros(&[out_dim]));
         Self { w, b, in_dim, out_dim }
     }
@@ -75,6 +76,7 @@ impl Linear {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::tensor::Tensor;

@@ -10,8 +10,11 @@ use serde::{Deserialize, Serialize};
 /// Hidden-layer activation function.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Activation {
+    /// Rectified linear unit, `max(0, x)`.
     Relu,
+    /// Hyperbolic tangent.
     Tanh,
+    /// Logistic sigmoid.
     Sigmoid,
     /// No activation (pure affine stack).
     Identity,
@@ -74,7 +77,10 @@ impl Mlp {
 
     /// Output width.
     pub fn out_dim(&self) -> usize {
-        self.layers.last().unwrap().out_dim()
+        match self.layers.last() {
+            Some(l) => l.out_dim(),
+            None => unreachable!("Mlp::new requires at least two dims, so layers is non-empty"),
+        }
     }
 
     /// The constituent dense layers.
@@ -84,6 +90,7 @@ impl Mlp {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::tensor::Tensor;

@@ -38,18 +38,32 @@
 //! }
 //! ```
 
+/// Debug-build invariant checks over tensors and gradients.
+pub mod check;
+/// The [`NnError`](error::NnError) type.
+pub mod error;
+/// The autograd tape.
 pub mod graph;
+/// Weight-initialization schemes.
 pub mod init;
+/// Composite layers (MLP, CNN encoder, embeddings).
 pub mod layers;
+/// The operation set recorded on the tape.
 pub mod op;
+/// Forward/backward kernels for the heavier operations.
 pub mod ops;
+/// Optimizers and learning-rate schedules.
 pub mod optim;
+/// Named parameter storage with gradient accumulation.
 pub mod param;
+/// Checkpoint save/load.
 pub mod serialize;
+/// The dense row-major tensor.
 pub mod tensor;
 
 /// Convenience re-exports of the types nearly every consumer needs.
 pub mod prelude {
+    pub use crate::error::NnError;
     pub use crate::graph::{Graph, NodeId};
     pub use crate::layers::{Activation, Conv2dLayer, Embedding, LayerNormLayer, Linear, Mlp};
     pub use crate::ops::conv::ConvCfg;

@@ -41,11 +41,19 @@ pub enum Op {
     Exp,
     /// Elementwise ln(max(x, eps)); the clamp keeps log-of-probability
     /// pipelines finite.
-    Ln { eps: f32 },
+    Ln {
+        /// Floor applied before the logarithm.
+        eps: f32,
+    },
     /// Elementwise x².
     Square,
     /// Elementwise clamp to `[lo, hi]`; gradient passes only strictly inside.
-    Clamp { lo: f32, hi: f32 },
+    Clamp {
+        /// Lower bound.
+        lo: f32,
+        /// Upper bound.
+        hi: f32,
+    },
     /// Elementwise min(a, b); gradient follows the selected side.
     MinElem,
     /// Elementwise max(a, b); gradient follows the selected side.
@@ -58,22 +66,38 @@ pub enum Op {
     MeanRows,
     /// Shape reinterpretation (same buffer length).
     Reshape,
-    /// Column-wise concatenation of two rank-2 tensors; `left_cols` is the
-    /// width of the first parent.
-    ConcatCols { left_cols: usize },
+    /// Column-wise concatenation of two rank-2 tensors.
+    ConcatCols {
+        /// Width of the first (left) parent.
+        left_cols: usize,
+    },
     /// Row-wise softmax of a rank-2 tensor.
     Softmax,
     /// Row-wise log-softmax of a rank-2 tensor.
     LogSoftmax,
     /// `out[r, 0] = x[r, indices[r]]` — the per-row action pick used for
     /// log π(a|s).
-    PickColumn { indices: Vec<usize> },
+    PickColumn {
+        /// Column picked per row.
+        indices: Vec<usize>,
+    },
     /// Row gather from a table `[vocab, dim]`: `out[r, :] = table[indices[r], :]`.
-    GatherRows { indices: Vec<usize> },
+    GatherRows {
+        /// Table row picked per output row.
+        indices: Vec<usize>,
+    },
     /// 2-D convolution; saves the im2col matrices for backward.
-    Conv2d { cfg: ConvCfg, cols: Tensor },
+    Conv2d {
+        /// Shape/stride/padding of the convolution.
+        cfg: ConvCfg,
+        /// Saved im2col matrices for the backward pass.
+        cols: Tensor,
+    },
     /// Layer norm over the trailing dimension; saves per-row statistics.
-    LayerNorm { ctx: LayerNormCtx },
+    LayerNorm {
+        /// Saved per-row statistics for the backward pass.
+        ctx: LayerNormCtx,
+    },
 }
 
 impl Op {

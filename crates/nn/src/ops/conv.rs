@@ -13,14 +13,20 @@
 //! scatter.
 
 use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
 
 /// Static configuration of a convolution (shapes, stride, padding).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConvCfg {
+    /// Input channels `C_in`.
     pub in_channels: usize,
+    /// Output channels `C_out`.
     pub out_channels: usize,
+    /// Square kernel side length `K`.
     pub kernel: usize,
+    /// Stride along both spatial axes.
     pub stride: usize,
+    /// Zero padding on every border.
     pub padding: usize,
 }
 
@@ -117,6 +123,7 @@ pub fn col2im(
 /// Result of a convolution forward pass: output plus the saved column
 /// matrices needed by the backward pass.
 pub struct ConvForward {
+    /// Convolution output, `[B, C_out, HO, WO]`.
     pub output: Tensor,
     /// `[B, C_in*K*K, HO*WO]` flattened.
     pub cols: Tensor,
@@ -133,8 +140,20 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, b: &Tensor, cfg: &ConvCfg) -> Conv
         "weight shape mismatch"
     );
     assert_eq!(b.shape(), &[cfg.out_channels], "bias shape mismatch");
-    let ho = cfg.out_size(h).expect("kernel larger than padded input height");
-    let wo = cfg.out_size(wd).expect("kernel larger than padded input width");
+    let out_size_or_panic = |input: usize| {
+        cfg.out_size(input).unwrap_or_else(|| {
+            panic!(
+                "{}",
+                crate::error::NnError::KernelTooLarge {
+                    input,
+                    kernel: cfg.kernel,
+                    padding: cfg.padding,
+                }
+            )
+        })
+    };
+    let ho = out_size_or_panic(h);
+    let wo = out_size_or_panic(wd);
     let patch = c * cfg.kernel * cfg.kernel;
     let n_spatial = ho * wo;
 
@@ -147,7 +166,8 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, b: &Tensor, cfg: &ConvCfg) -> Conv
         im2col(x_item, c, h, wd, cfg, ho, wo, cols);
         let cols_t = Tensor::from_vec(&[patch, n_spatial], cols.to_vec());
         let y = w_mat.matmul(&cols_t); // [C_out, HO*WO]
-        let dst = &mut out[bi * cfg.out_channels * n_spatial..(bi + 1) * cfg.out_channels * n_spatial];
+        let dst =
+            &mut out[bi * cfg.out_channels * n_spatial..(bi + 1) * cfg.out_channels * n_spatial];
         for co in 0..cfg.out_channels {
             let bias = b.data()[co];
             for (d, &s) in dst[co * n_spatial..(co + 1) * n_spatial]
@@ -166,8 +186,11 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, b: &Tensor, cfg: &ConvCfg) -> Conv
 
 /// Gradients of a convolution with respect to input, weight and bias.
 pub struct ConvGrads {
+    /// Gradient w.r.t. the input.
     pub gx: Tensor,
+    /// Gradient w.r.t. the weight.
     pub gw: Tensor,
+    /// Gradient w.r.t. the bias.
     pub gb: Tensor,
 }
 
@@ -206,7 +229,8 @@ pub fn conv2d_backward(
         gw_mat.add_assign(&go.matmul(&cols_t.transpose()));
         // db += Σ_spatial gout_b
         for co in 0..cfg.out_channels {
-            gb.data_mut()[co] += go.data()[co * n_spatial..(co + 1) * n_spatial].iter().sum::<f32>();
+            gb.data_mut()[co] +=
+                go.data()[co * n_spatial..(co + 1) * n_spatial].iter().sum::<f32>();
         }
         // dcols = Wᵀ · gout_b, scattered back to the input.
         let gcols = w_mat_t.matmul(&go);
@@ -221,6 +245,7 @@ pub fn conv2d_backward(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

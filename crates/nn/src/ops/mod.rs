@@ -2,6 +2,9 @@
 //! functions so they can be unit-tested and benchmarked independently of the
 //! autograd graph.
 
+/// 2-D convolution via im2col.
 pub mod conv;
+/// Layer normalization.
 pub mod norm;
+/// Row-wise softmax and log-softmax.
 pub mod softmax;

@@ -10,13 +10,19 @@ use crate::tensor::Tensor;
 /// Saved statistics from a layer-norm forward pass, needed for backward.
 #[derive(Clone, Debug)]
 pub struct LayerNormCtx {
+    /// Mean per row.
     pub mean: Vec<f32>,
     /// Reciprocal standard deviation per row.
     pub rstd: Vec<f32>,
 }
 
 /// Forward layer norm: returns output and the per-row statistics.
-pub fn layer_norm_forward(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> (Tensor, LayerNormCtx) {
+pub fn layer_norm_forward(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> (Tensor, LayerNormCtx) {
     assert_eq!(x.ndim(), 2, "layer_norm input must be [rows, features]");
     let (rows, feat) = (x.shape()[0], x.shape()[1]);
     assert_eq!(gamma.shape(), &[feat], "gamma shape mismatch");
@@ -44,8 +50,11 @@ pub fn layer_norm_forward(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -
 
 /// Gradients of layer norm w.r.t. input, gamma and beta.
 pub struct LayerNormGrads {
+    /// Gradient w.r.t. the input.
     pub gx: Tensor,
+    /// Gradient w.r.t. gamma (scale).
     pub ggamma: Tensor,
+    /// Gradient w.r.t. beta (shift).
     pub gbeta: Tensor,
 }
 
@@ -90,6 +99,7 @@ pub fn layer_norm_backward(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -79,6 +79,7 @@ pub fn log_softmax_backward(y: &Tensor, gout: &Tensor) -> Tensor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -123,7 +124,11 @@ mod tests {
         }
     }
 
-    fn finite_diff_check(cols: usize, f: impl Fn(&Tensor) -> Tensor, bwd: impl Fn(&Tensor, &Tensor) -> Tensor) {
+    fn finite_diff_check(
+        cols: usize,
+        f: impl Fn(&Tensor) -> Tensor,
+        bwd: impl Fn(&Tensor, &Tensor) -> Tensor,
+    ) {
         let x = Tensor::from_vec(&[1, cols], (0..cols).map(|i| (i as f32 * 0.9).sin()).collect());
         // Loss = Σ w_i · f(x)_i with arbitrary weights.
         let wts: Vec<f32> = (0..cols).map(|i| 0.5 + 0.3 * i as f32).collect();

@@ -7,18 +7,28 @@
 use serde::{Deserialize, Serialize};
 
 /// A learning-rate schedule over training progress `t ∈ [0, 1]`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize, Default)]
 pub enum LrSchedule {
     /// Constant at the base rate.
     #[default]
     Constant,
     /// Linear decay from the base rate to `final_fraction·base` at t = 1.
-    Linear { final_fraction: f32 },
+    Linear {
+        /// Fraction of the base rate remaining at the end of training.
+        final_fraction: f32,
+    },
     /// Cosine decay from the base rate to `final_fraction·base` at t = 1.
-    Cosine { final_fraction: f32 },
+    Cosine {
+        /// Fraction of the base rate remaining at the end of training.
+        final_fraction: f32,
+    },
     /// Step decay: multiply by `factor` after each boundary fraction.
-    Step { factor: f32, boundaries: [f32; 2] },
+    Step {
+        /// Multiplier applied at each boundary.
+        factor: f32,
+        /// Progress fractions at which the rate drops.
+        boundaries: [f32; 2],
+    },
 }
 
 impl LrSchedule {
@@ -27,9 +37,7 @@ impl LrSchedule {
         let t = t.clamp(0.0, 1.0);
         match *self {
             LrSchedule::Constant => base,
-            LrSchedule::Linear { final_fraction } => {
-                base * (1.0 - t * (1.0 - final_fraction))
-            }
+            LrSchedule::Linear { final_fraction } => base * (1.0 - t * (1.0 - final_fraction)),
             LrSchedule::Cosine { final_fraction } => {
                 let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
                 base * (final_fraction + (1.0 - final_fraction) * cos)
@@ -47,8 +55,8 @@ impl LrSchedule {
     }
 }
 
-
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -61,6 +61,7 @@ impl Optimizer for Sgd {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -123,6 +123,7 @@ pub fn load_checkpoint(mut buf: &[u8]) -> Result<ParamStore, CheckpointError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::init;

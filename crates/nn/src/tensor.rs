@@ -245,13 +245,20 @@ impl fmt::Debug for Tensor {
         if self.numel() <= 16 {
             write!(f, ", data={:?}", self.data)?;
         } else {
-            write!(f, ", data=[{:.4}, {:.4}, ...; n={}]", self.data[0], self.data[1], self.numel())?;
+            write!(
+                f,
+                ", data=[{:.4}, {:.4}, ...; n={}]",
+                self.data[0],
+                self.data[1],
+                self.numel()
+            )?;
         }
         write!(f, ")")
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -13,18 +13,95 @@
 //! The employee behavior is abstracted behind the [`Employee`] trait so the
 //! same chief drives DRL-CEWS (PPO + curiosity), DPPO (PPO only) and Edics
 //! (per-worker agents).
+//!
+//! All executor entry points are fallible: employee-thread death, closed
+//! channels and malformed gradient contributions surface as [`ChiefError`]
+//! instead of panicking inside library code (see DESIGN.md, "Error handling
+//! & static analysis policy").
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Errors surfaced by the chief–employee executor and its gradient buffers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChiefError {
+    /// `ChiefExecutor::spawn` was called with an empty employee set.
+    NoEmployees,
+    /// The OS refused to spawn an employee thread.
+    Spawn(String),
+    /// An employee's command channel is closed — its thread died (panicked
+    /// or exited early).
+    EmployeeDied {
+        /// Index of the dead employee.
+        employee: usize,
+    },
+    /// The shared reply channel closed: every employee thread is gone.
+    ChannelClosed,
+    /// A gradient contribution's length didn't match the accumulated sum.
+    GradientLengthMismatch {
+        /// Length of the running sum already in the buffer.
+        expected: usize,
+        /// Length of the offending contribution.
+        got: usize,
+    },
+    /// A gather round completed with the wrong number of contributions in a
+    /// buffer — some employee double-pushed or skipped its push.
+    ContributionMismatch {
+        /// Contributions the round should have produced (= employee count).
+        expected: usize,
+        /// Contributions actually present in the buffer.
+        got: usize,
+        /// Which buffer disagreed (`"ppo"` or `"curiosity"`).
+        buffer: &'static str,
+    },
+    /// An employee answered a phase with the wrong reply kind — the
+    /// synchronous command/reply protocol was violated.
+    UnexpectedReply {
+        /// Index of the employee that sent the reply.
+        employee: usize,
+        /// The phase the chief was running (`"rollout"` or `"update"`).
+        during: &'static str,
+    },
+}
+
+impl fmt::Display for ChiefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChiefError::NoEmployees => write!(f, "need at least one employee"),
+            ChiefError::Spawn(err) => write!(f, "failed to spawn employee thread: {err}"),
+            ChiefError::EmployeeDied { employee } => {
+                write!(f, "employee {employee} died (command channel closed)")
+            }
+            ChiefError::ChannelClosed => write!(f, "reply channel closed: all employees are gone"),
+            ChiefError::GradientLengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "gradient length mismatch: buffer holds {expected}, contribution has {got}"
+                )
+            }
+            ChiefError::ContributionMismatch { expected, got, buffer } => {
+                write!(f, "{buffer} buffer finished a round with {got} contributions, expected {expected}")
+            }
+            ChiefError::UnexpectedReply { employee, during } => {
+                write!(f, "employee {employee} sent the wrong reply kind during {during}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChiefError {}
 
 /// Flat gradient vectors for the two global models. An empty curiosity
 /// vector means the employee trains no curiosity model.
 #[derive(Clone, Debug, Default)]
 pub struct GradPair {
+    /// Flat gradient of the global PPO (actor-critic) parameters.
     pub ppo: Vec<f32>,
+    /// Flat gradient of the global curiosity parameters (may be empty).
     pub curiosity: Vec<f32>,
     /// Diagnostics from the minibatch that produced `ppo` (entropy, value
     /// loss, KL proxy), aggregated by the chief for training telemetry.
@@ -50,6 +127,10 @@ pub struct EpisodeStats {
 
 impl EpisodeStats {
     /// Element-wise mean of a set of stats (chief-side aggregation).
+    ///
+    /// The integer `collisions` field rounds half-up rather than truncating,
+    /// so a mean of 4.33 reports 4 and a mean of 3.5 reports 4 — truncation
+    /// systematically under-reported collision counts.
     pub fn mean(stats: &[EpisodeStats]) -> EpisodeStats {
         if stats.is_empty() {
             return EpisodeStats::default();
@@ -61,7 +142,7 @@ impl EpisodeStats {
             rho: stats.iter().map(|s| s.rho).sum::<f32>() / n,
             ext_reward: stats.iter().map(|s| s.ext_reward).sum::<f32>() / n,
             int_reward: stats.iter().map(|s| s.int_reward).sum::<f32>() / n,
-            collisions: (stats.iter().map(|s| s.collisions).sum::<u32>() as f32 / n) as u32,
+            collisions: (stats.iter().map(|s| s.collisions).sum::<u32>() as f32 / n).round() as u32,
         }
     }
 }
@@ -101,17 +182,27 @@ impl GradientBuffer {
     }
 
     /// Adds one employee's flat gradient.
-    pub fn accumulate(&self, grads: &[f32]) {
+    ///
+    /// The first contribution after a [`Self::take`] fixes the expected
+    /// length; later contributions of a different length are rejected with
+    /// [`ChiefError::GradientLengthMismatch`] and leave the buffer unchanged.
+    pub fn accumulate(&self, grads: &[f32]) -> Result<(), ChiefError> {
         let mut inner = self.inner.lock();
         if inner.sum.is_empty() {
             inner.sum = grads.to_vec();
         } else {
-            assert_eq!(inner.sum.len(), grads.len(), "gradient length mismatch");
+            if inner.sum.len() != grads.len() {
+                return Err(ChiefError::GradientLengthMismatch {
+                    expected: inner.sum.len(),
+                    got: grads.len(),
+                });
+            }
             for (s, &g) in inner.sum.iter_mut().zip(grads) {
                 *s += g;
             }
         }
         inner.contributions += 1;
+        Ok(())
     }
 
     /// Number of gradients accumulated since the last [`Self::take`].
@@ -137,7 +228,9 @@ enum Cmd {
 
 enum Reply {
     RolloutDone(EpisodeStats),
-    GradsDone(crate::ppo::PpoStats),
+    /// Gradients were pushed into the global buffers; `Err` carries an
+    /// accumulate failure detected on the employee side.
+    GradsDone(Result<crate::ppo::PpoStats, ChiefError>),
 }
 
 struct EmployeeHandle {
@@ -157,50 +250,68 @@ pub struct ChiefExecutor {
     curiosity_buffer: Arc<GradientBuffer>,
 }
 
+/// Pushes one employee's gradients into the global buffers, stopping at the
+/// first failure. Runs on the employee thread; each `accumulate` call takes
+/// and releases the buffer lock before the reply is sent, so no lock is held
+/// across a channel send.
+fn push_grads(
+    grads: &GradPair,
+    ppo_buf: &GradientBuffer,
+    cur_buf: &GradientBuffer,
+) -> Result<(), ChiefError> {
+    ppo_buf.accumulate(&grads.ppo)?;
+    if !grads.curiosity.is_empty() {
+        cur_buf.accumulate(&grads.curiosity)?;
+    }
+    Ok(())
+}
+
 impl ChiefExecutor {
     /// Spawns one thread per employee.
-    pub fn spawn<E: Employee>(employees: Vec<E>) -> Self {
-        assert!(!employees.is_empty(), "need at least one employee");
+    ///
+    /// # Errors
+    ///
+    /// [`ChiefError::NoEmployees`] for an empty set, [`ChiefError::Spawn`]
+    /// when the OS refuses a thread.
+    pub fn spawn<E: Employee>(employees: Vec<E>) -> Result<Self, ChiefError> {
+        if employees.is_empty() {
+            return Err(ChiefError::NoEmployees);
+        }
         let ppo_buffer = Arc::new(GradientBuffer::new());
         let curiosity_buffer = Arc::new(GradientBuffer::new());
         let (reply_tx, reply_rx) = bounded::<(usize, Reply)>(employees.len() * 2);
 
-        let handles = employees
-            .into_iter()
-            .enumerate()
-            .map(|(i, mut emp)| {
-                let (cmd_tx, cmd_rx) = bounded::<Cmd>(2);
-                let reply_tx = reply_tx.clone();
-                let ppo_buf = Arc::clone(&ppo_buffer);
-                let cur_buf = Arc::clone(&curiosity_buffer);
-                let join = std::thread::Builder::new()
-                    .name(format!("employee-{i}"))
-                    .spawn(move || {
-                        while let Ok(cmd) = cmd_rx.recv() {
-                            match cmd {
-                                Cmd::LoadParams(p) => emp.load_params(&p.0, &p.1),
-                                Cmd::Rollout => {
-                                    let stats = emp.rollout();
-                                    let _ = reply_tx.send((i, Reply::RolloutDone(stats)));
-                                }
-                                Cmd::ComputeGrads => {
-                                    let grads = emp.compute_grads();
-                                    ppo_buf.accumulate(&grads.ppo);
-                                    if !grads.curiosity.is_empty() {
-                                        cur_buf.accumulate(&grads.curiosity);
-                                    }
-                                    let _ = reply_tx.send((i, Reply::GradsDone(grads.stats)));
-                                }
-                                Cmd::Stop => break,
+        let mut handles = Vec::with_capacity(employees.len());
+        for (i, mut emp) in employees.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = bounded::<Cmd>(2);
+            let reply_tx = reply_tx.clone();
+            let ppo_buf = Arc::clone(&ppo_buffer);
+            let cur_buf = Arc::clone(&curiosity_buffer);
+            let join = std::thread::Builder::new()
+                .name(format!("employee-{i}"))
+                .spawn(move || {
+                    while let Ok(cmd) = cmd_rx.recv() {
+                        match cmd {
+                            Cmd::LoadParams(p) => emp.load_params(&p.0, &p.1),
+                            Cmd::Rollout => {
+                                let stats = emp.rollout();
+                                let _ = reply_tx.send((i, Reply::RolloutDone(stats)));
                             }
+                            Cmd::ComputeGrads => {
+                                let grads = emp.compute_grads();
+                                let pushed = push_grads(&grads, &ppo_buf, &cur_buf);
+                                let reply = pushed.map(|()| grads.stats);
+                                let _ = reply_tx.send((i, Reply::GradsDone(reply)));
+                            }
+                            Cmd::Stop => break,
                         }
-                    })
-                    .expect("failed to spawn employee thread");
-                EmployeeHandle { cmd_tx, join: Some(join) }
-            })
-            .collect();
+                    }
+                })
+                .map_err(|e| ChiefError::Spawn(e.to_string()))?;
+            handles.push(EmployeeHandle { cmd_tx, join: Some(join) });
+        }
 
-        Self { employees: handles, reply_rx, ppo_buffer, curiosity_buffer }
+        Ok(Self { employees: handles, reply_rx, ppo_buffer, curiosity_buffer })
     }
 
     /// Number of employees.
@@ -210,53 +321,112 @@ impl ChiefExecutor {
 
     /// Broadcasts fresh global parameters to every employee (fire-and-forget;
     /// the next synchronized phase orders it before use).
-    pub fn broadcast_params(&self, ppo: Vec<f32>, curiosity: Vec<f32>) {
+    ///
+    /// # Errors
+    ///
+    /// [`ChiefError::EmployeeDied`] if any employee's command channel is
+    /// closed.
+    pub fn broadcast_params(&self, ppo: Vec<f32>, curiosity: Vec<f32>) -> Result<(), ChiefError> {
         let shared = Arc::new((ppo, curiosity));
-        for e in &self.employees {
-            e.cmd_tx.send(Cmd::LoadParams(Arc::clone(&shared))).expect("employee died");
+        for (i, e) in self.employees.iter().enumerate() {
+            e.cmd_tx
+                .send(Cmd::LoadParams(Arc::clone(&shared)))
+                .map_err(|_| ChiefError::EmployeeDied { employee: i })?;
         }
+        Ok(())
     }
 
     /// Runs one episode rollout on every employee in parallel and returns
     /// their stats (indexed by employee).
-    pub fn rollout_all(&self) -> Vec<EpisodeStats> {
-        for e in &self.employees {
-            e.cmd_tx.send(Cmd::Rollout).expect("employee died");
+    ///
+    /// # Errors
+    ///
+    /// [`ChiefError::EmployeeDied`] / [`ChiefError::ChannelClosed`] when a
+    /// thread is gone, [`ChiefError::UnexpectedReply`] on a protocol
+    /// violation.
+    pub fn rollout_all(&self) -> Result<Vec<EpisodeStats>, ChiefError> {
+        for (i, e) in self.employees.iter().enumerate() {
+            e.cmd_tx.send(Cmd::Rollout).map_err(|_| ChiefError::EmployeeDied { employee: i })?;
         }
         let mut stats = vec![EpisodeStats::default(); self.employees.len()];
         for _ in 0..self.employees.len() {
-            let (i, reply) = self.reply_rx.recv().expect("employee channel closed");
+            let (i, reply) = self.reply_rx.recv().map_err(|_| ChiefError::ChannelClosed)?;
             match reply {
                 Reply::RolloutDone(s) => stats[i] = s,
-                Reply::GradsDone(_) => unreachable!("unexpected grads reply during rollout"),
+                Reply::GradsDone(_) => {
+                    return Err(ChiefError::UnexpectedReply { employee: i, during: "rollout" });
+                }
             }
         }
-        stats
+        Ok(stats)
     }
 
     /// Runs one gradient round on every employee and returns the summed
     /// gradients `(ppo, curiosity)` plus the mean minibatch diagnostics once
     /// all M have contributed (Algorithm 2, lines 3–5).
-    pub fn gather_grads(&self) -> (Vec<f32>, Vec<f32>, crate::ppo::PpoStats) {
-        for e in &self.employees {
-            e.cmd_tx.send(Cmd::ComputeGrads).expect("employee died");
+    ///
+    /// # Errors
+    ///
+    /// Besides the liveness errors of [`Self::rollout_all`], this propagates
+    /// employee-side [`ChiefError::GradientLengthMismatch`] failures and
+    /// checks the PPO buffer's contribution count against the employee count
+    /// ([`ChiefError::ContributionMismatch`]) before draining. Either way the
+    /// buffers are drained, so a failed round never poisons the next one.
+    pub fn gather_grads(&self) -> Result<(Vec<f32>, Vec<f32>, crate::ppo::PpoStats), ChiefError> {
+        for (i, e) in self.employees.iter().enumerate() {
+            e.cmd_tx
+                .send(Cmd::ComputeGrads)
+                .map_err(|_| ChiefError::EmployeeDied { employee: i })?;
         }
         let m = self.employees.len() as f32;
         let mut stats = crate::ppo::PpoStats::default();
+        let mut first_err = None;
         for _ in 0..self.employees.len() {
-            let (_, reply) = self.reply_rx.recv().expect("employee channel closed");
+            let (i, reply) = match self.reply_rx.recv() {
+                Ok(r) => r,
+                Err(_) => {
+                    self.drain_buffers();
+                    return Err(ChiefError::ChannelClosed);
+                }
+            };
             match reply {
-                Reply::GradsDone(s) => {
+                Reply::GradsDone(Ok(s)) => {
                     stats.policy_objective += s.policy_objective / m;
                     stats.value_loss += s.value_loss / m;
                     stats.entropy += s.entropy / m;
                     stats.approx_kl += s.approx_kl / m;
                 }
-                Reply::RolloutDone(_) => unreachable!("unexpected rollout reply during update"),
+                Reply::GradsDone(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Reply::RolloutDone(_) => {
+                    first_err.get_or_insert(ChiefError::UnexpectedReply {
+                        employee: i,
+                        during: "update",
+                    });
+                }
             }
         }
-        debug_assert_eq!(self.ppo_buffer.contributions(), self.employees.len());
-        (self.ppo_buffer.take(), self.curiosity_buffer.take(), stats)
+        if let Some(e) = first_err {
+            self.drain_buffers();
+            return Err(e);
+        }
+        // Runtime invariant (was a debug_assert): exactly one PPO
+        // contribution per employee this round.
+        let got = self.ppo_buffer.contributions();
+        if got != self.employees.len() {
+            let expected = self.employees.len();
+            self.drain_buffers();
+            return Err(ChiefError::ContributionMismatch { expected, got, buffer: "ppo" });
+        }
+        Ok((self.ppo_buffer.take(), self.curiosity_buffer.take(), stats))
+    }
+
+    /// Clears both gradient buffers after a failed round so stale partial
+    /// sums can't leak into the next round.
+    fn drain_buffers(&self) {
+        let _ = self.ppo_buffer.take();
+        let _ = self.curiosity_buffer.take();
     }
 }
 
@@ -274,6 +444,7 @@ impl Drop for ChiefExecutor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -305,8 +476,8 @@ mod tests {
     #[test]
     fn gradient_buffer_sums_and_drains() {
         let buf = GradientBuffer::new();
-        buf.accumulate(&[1.0, 2.0]);
-        buf.accumulate(&[0.5, -1.0]);
+        buf.accumulate(&[1.0, 2.0]).unwrap();
+        buf.accumulate(&[0.5, -1.0]).unwrap();
         assert_eq!(buf.contributions(), 2);
         assert_eq!(buf.take(), vec![1.5, 1.0]);
         assert_eq!(buf.contributions(), 0);
@@ -314,28 +485,59 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
     fn gradient_buffer_rejects_mismatched_lengths() {
         let buf = GradientBuffer::new();
-        buf.accumulate(&[1.0, 2.0]);
-        buf.accumulate(&[1.0]);
+        buf.accumulate(&[1.0, 2.0]).unwrap();
+        let err = buf.accumulate(&[1.0]).unwrap_err();
+        assert_eq!(err, ChiefError::GradientLengthMismatch { expected: 2, got: 1 });
+        // The failed contribution must not count or corrupt the sum.
+        assert_eq!(buf.contributions(), 1);
+        assert_eq!(buf.take(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn spawn_rejects_empty_employee_set() {
+        let err = match ChiefExecutor::spawn(Vec::<FakeEmployee>::new()) {
+            Err(e) => e,
+            Ok(_) => panic!("empty employee set must be rejected"),
+        };
+        assert_eq!(err, ChiefError::NoEmployees);
+    }
+
+    #[test]
+    fn chief_errors_render_useful_messages() {
+        let cases: Vec<(ChiefError, &str)> = vec![
+            (ChiefError::EmployeeDied { employee: 3 }, "employee 3 died"),
+            (ChiefError::GradientLengthMismatch { expected: 4, got: 2 }, "length mismatch"),
+            (
+                ChiefError::ContributionMismatch { expected: 8, got: 7, buffer: "ppo" },
+                "7 contributions, expected 8",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+            // The Error impl exists and has no source.
+            let dyn_err: &dyn std::error::Error = &err;
+            assert!(dyn_err.source().is_none());
+        }
     }
 
     #[test]
     fn chief_synchronizes_rollouts_and_grads() {
         let employees: Vec<FakeEmployee> =
             (0..4).map(|i| FakeEmployee { id: i as f32, params: vec![], rollouts: 0 }).collect();
-        let chief = ChiefExecutor::spawn(employees);
+        let chief = ChiefExecutor::spawn(employees).unwrap();
         assert_eq!(chief.num_employees(), 4);
 
-        chief.broadcast_params(vec![10.0, 20.0], vec![]);
-        let stats = chief.rollout_all();
+        chief.broadcast_params(vec![10.0, 20.0], vec![]).unwrap();
+        let stats = chief.rollout_all().unwrap();
         // Stats arrive indexed by employee regardless of completion order.
         for (i, s) in stats.iter().enumerate() {
             assert_eq!(s.kappa, i as f32);
         }
 
-        let (ppo, cur, stats) = chief.gather_grads();
+        let (ppo, cur, stats) = chief.gather_grads().unwrap();
         // Σ_i (params + i) = 4·[10,20] + [Σi, Σi] = [46, 86].
         assert_eq!(ppo, vec![46.0, 86.0]);
         // Mean of ids 0..4 = 1.5.
@@ -348,21 +550,96 @@ mod tests {
 
     #[test]
     fn repeated_rounds_reuse_buffers() {
-        let employees: Vec<FakeEmployee> =
-            (0..2).map(|i| FakeEmployee { id: i as f32 + 1.0, params: vec![], rollouts: 0 }).collect();
-        let chief = ChiefExecutor::spawn(employees);
-        chief.broadcast_params(vec![0.0], vec![]);
+        let employees: Vec<FakeEmployee> = (0..2)
+            .map(|i| FakeEmployee { id: i as f32 + 1.0, params: vec![], rollouts: 0 })
+            .collect();
+        let chief = ChiefExecutor::spawn(employees).unwrap();
+        chief.broadcast_params(vec![0.0], vec![]).unwrap();
         for round in 1..=3 {
-            let (ppo, _, _) = chief.gather_grads();
+            let (ppo, _, _) = chief.gather_grads().unwrap();
             assert_eq!(ppo, vec![3.0], "round {round}");
+        }
+    }
+
+    /// An employee whose gradient length depends on its id, so only one of a
+    /// pair can win the buffer and the other must trip the length check.
+    struct MisshapenEmployee {
+        len: usize,
+    }
+
+    impl Employee for MisshapenEmployee {
+        fn load_params(&mut self, _ppo: &[f32], _curiosity: &[f32]) {}
+        fn rollout(&mut self) -> EpisodeStats {
+            EpisodeStats::default()
+        }
+        fn compute_grads(&mut self) -> GradPair {
+            GradPair { ppo: vec![1.0; self.len], curiosity: vec![], ..Default::default() }
+        }
+    }
+
+    #[test]
+    fn gather_surfaces_employee_side_length_mismatch() {
+        let chief =
+            ChiefExecutor::spawn(vec![MisshapenEmployee { len: 3 }, MisshapenEmployee { len: 5 }])
+                .unwrap();
+        let err = chief.gather_grads().unwrap_err();
+        assert!(
+            matches!(err, ChiefError::GradientLengthMismatch { .. }),
+            "unexpected error: {err}"
+        );
+        // The failed round drained the buffers; a well-shaped follow-up
+        // round on a fresh chief must still work (buffers are per-chief).
+        assert_eq!(chief.ppo_buffer.contributions(), 0);
+    }
+
+    #[test]
+    fn stress_sixteen_employees_fifty_rounds_sum_exactly() {
+        // The paper's largest Table-2 setting (M = 16) hammered for 50
+        // sync rounds: every round must terminate (no deadlock between the
+        // barrier and the gradient buffers) and produce the exact sum
+        // Σ_i (params + i) with all 16 contributions accounted for.
+        const M: usize = 16;
+        const ROUNDS: usize = 50;
+        let employees: Vec<FakeEmployee> =
+            (0..M).map(|i| FakeEmployee { id: i as f32, params: vec![], rollouts: 0 }).collect();
+        let chief = ChiefExecutor::spawn(employees).unwrap();
+        let id_sum: f32 = (0..M).map(|i| i as f32).sum(); // 120
+        for round in 0..ROUNDS {
+            // Fresh params each round so a stale broadcast shows up as a
+            // wrong sum, not just a repeat of the previous round.
+            let p = round as f32;
+            chief.broadcast_params(vec![p, -p], vec![]).unwrap();
+            let stats = chief.rollout_all().unwrap();
+            assert_eq!(stats.len(), M, "round {round}");
+            let (ppo, cur, _) = chief.gather_grads().unwrap();
+            assert_eq!(ppo, vec![M as f32 * p + id_sum, -(M as f32) * p + id_sum], "round {round}");
+            // Curiosity gradients collect every id exactly once.
+            assert_eq!(cur, vec![id_sum], "round {round}");
+            // Buffers fully drained between rounds.
+            assert_eq!(chief.ppo_buffer.contributions(), 0);
+            assert_eq!(chief.curiosity_buffer.contributions(), 0);
         }
     }
 
     #[test]
     fn stats_mean_aggregates() {
         let stats = vec![
-            EpisodeStats { kappa: 0.2, xi: 0.8, rho: 0.1, ext_reward: 1.0, int_reward: 0.5, collisions: 2 },
-            EpisodeStats { kappa: 0.4, xi: 0.6, rho: 0.3, ext_reward: 3.0, int_reward: 1.5, collisions: 4 },
+            EpisodeStats {
+                kappa: 0.2,
+                xi: 0.8,
+                rho: 0.1,
+                ext_reward: 1.0,
+                int_reward: 0.5,
+                collisions: 2,
+            },
+            EpisodeStats {
+                kappa: 0.4,
+                xi: 0.6,
+                rho: 0.3,
+                ext_reward: 3.0,
+                int_reward: 1.5,
+                collisions: 4,
+            },
         ];
         let m = EpisodeStats::mean(&stats);
         assert!((m.kappa - 0.3).abs() < 1e-6);
@@ -370,5 +647,21 @@ mod tests {
         assert!((m.ext_reward - 2.0).abs() < 1e-6);
         assert_eq!(m.collisions, 3);
         assert_eq!(EpisodeStats::mean(&[]), EpisodeStats::default());
+    }
+
+    #[test]
+    fn stats_mean_rounds_collisions_half_up() {
+        // Mean of {2, 4, 5} = 3.67 → must report 4, not truncate to 3.
+        let stats: Vec<EpisodeStats> = [2u32, 4, 5]
+            .iter()
+            .map(|&c| EpisodeStats { collisions: c, ..Default::default() })
+            .collect();
+        assert_eq!(EpisodeStats::mean(&stats).collisions, 4);
+        // Exact half rounds up: mean of {1, 2} = 1.5 → 2.
+        let stats: Vec<EpisodeStats> = [1u32, 2]
+            .iter()
+            .map(|&c| EpisodeStats { collisions: c, ..Default::default() })
+            .collect();
+        assert_eq!(EpisodeStats::mean(&stats).collisions, 2);
     }
 }

@@ -18,7 +18,13 @@ pub fn discounted_returns(rewards: &[f32], gamma: f32, v_last: f32) -> Vec<f32> 
 
 /// GAE-λ advantages. `values` holds `V(s_0..s_{T−1})`; `v_last` bootstraps
 /// the final transition.
-pub fn gae_advantages(rewards: &[f32], values: &[f32], gamma: f32, lambda: f32, v_last: f32) -> Vec<f32> {
+pub fn gae_advantages(
+    rewards: &[f32],
+    values: &[f32],
+    gamma: f32,
+    lambda: f32,
+    v_last: f32,
+) -> Vec<f32> {
     assert_eq!(rewards.len(), values.len(), "one value per reward required");
     let t_len = rewards.len();
     let mut adv = vec![0.0f32; t_len];
@@ -48,6 +54,7 @@ pub fn normalize_advantages(adv: &mut [f32]) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -16,17 +16,25 @@
 //! into a local store, [`vc_nn::param::ParamStore::flat_grads`] ships them,
 //! and the chief's Adam steps the global store.
 
+/// The rollout buffer of transitions.
 pub mod buffer;
+/// The chief/employee distributed-PPO executor.
 pub mod chief;
+/// Return and advantage estimators.
 pub mod gae;
+/// The shared actor–critic network.
 pub mod net;
+/// Action sampling from policy heads.
 pub mod policy;
+/// The clipped-surrogate PPO update.
 pub mod ppo;
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::buffer::{RolloutBuffer, Transition};
-    pub use crate::chief::{ChiefExecutor, Employee, EpisodeStats, GradPair, GradientBuffer};
+    pub use crate::chief::{
+        ChiefError, ChiefExecutor, Employee, EpisodeStats, GradPair, GradientBuffer,
+    };
     pub use crate::gae::{discounted_returns, gae_advantages, normalize_advantages};
     pub use crate::net::{ActorCritic, NetConfig, NetOutputs, CHARGE_CHOICES, MOVES_PER_WORKER};
     pub use crate::policy::{sample_action, state_value, PolicyOptions, SampleMode, SampledAction};

@@ -76,12 +76,24 @@ impl ActorCritic {
     /// Builds the network, registering parameters in `store`.
     pub fn new(store: &mut ParamStore, cfg: NetConfig, rng: &mut impl Rng) -> Self {
         assert!(cfg.grid >= 4, "grid too small for the 3-conv encoder");
-        let c1 = ConvCfg { in_channels: cfg.in_channels, out_channels: 8, kernel: 3, stride: 2, padding: 1 };
-        let d1 = c1.out_size(cfg.grid).expect("conv1 shrinks grid below kernel");
+        // `grid >= 4` guarantees every stage keeps the kernel inside its
+        // padded input, so out_size cannot return None here.
+        let stage = |c: &ConvCfg, input: usize, name: &str| {
+            c.out_size(input)
+                .unwrap_or_else(|| panic!("{name} shrinks grid below kernel (input {input})"))
+        };
+        let c1 = ConvCfg {
+            in_channels: cfg.in_channels,
+            out_channels: 8,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let d1 = stage(&c1, cfg.grid, "conv1");
         let c2 = ConvCfg { in_channels: 8, out_channels: 16, kernel: 3, stride: 2, padding: 1 };
-        let d2 = c2.out_size(d1).expect("conv2 shrinks grid below kernel");
+        let d2 = stage(&c2, d1, "conv2");
         let c3 = ConvCfg { in_channels: 16, out_channels: 16, kernel: 3, stride: 1, padding: 1 };
-        let d3 = c3.out_size(d2).expect("conv3 shrinks grid below kernel");
+        let d3 = stage(&c3, d2, "conv3");
 
         let conv1 = Conv2dLayer::new(store, "ac.conv1", c1, rng);
         let ln1 = LayerNormLayer::new(store, "ac.ln1", 8 * d1 * d1);
@@ -90,10 +102,20 @@ impl ActorCritic {
         let conv3 = Conv2dLayer::new(store, "ac.conv3", c3, rng);
         let ln3 = LayerNormLayer::new(store, "ac.ln3", 16 * d3 * d3);
         let fc = Linear::new(store, "ac.fc", 16 * d3 * d3, cfg.feature_dim, rng);
-        let move_head =
-            Linear::new_head(store, "ac.move", cfg.feature_dim, cfg.num_workers * MOVES_PER_WORKER, rng);
-        let charge_head =
-            Linear::new_head(store, "ac.charge", cfg.feature_dim, cfg.num_workers * CHARGE_CHOICES, rng);
+        let move_head = Linear::new_head(
+            store,
+            "ac.move",
+            cfg.feature_dim,
+            cfg.num_workers * MOVES_PER_WORKER,
+            rng,
+        );
+        let charge_head = Linear::new_head(
+            store,
+            "ac.charge",
+            cfg.feature_dim,
+            cfg.num_workers * CHARGE_CHOICES,
+            rng,
+        );
         let value_head = Linear::new_head(store, "ac.value", cfg.feature_dim, 1, rng);
 
         Self {
@@ -155,6 +177,7 @@ impl ActorCritic {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -70,6 +70,7 @@ pub enum SampleMode {
 /// Policy-evaluation options.
 #[derive(Clone, Copy, Debug)]
 pub struct PolicyOptions {
+    /// How actions are drawn from the policy distributions.
     pub mode: SampleMode,
     /// Mask moves that would collide and charge requests out of station
     /// range before sampling.
@@ -159,6 +160,7 @@ pub fn state_value(net: &ActorCritic, store: &ParamStore, env: &CrowdsensingEnv)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::net::NetConfig;

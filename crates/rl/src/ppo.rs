@@ -125,10 +125,7 @@ pub fn compute_ppo_grads(
 
     let net_cfg = *net.config();
     let mut g = Graph::new();
-    let s = g.leaf(Tensor::from_vec(
-        &[b, net_cfg.in_channels, net_cfg.grid, net_cfg.grid],
-        states,
-    ));
+    let s = g.leaf(Tensor::from_vec(&[b, net_cfg.in_channels, net_cfg.grid, net_cfg.grid], states));
     let out = net.forward(&mut g, store, s);
 
     // Re-apply the sampling-time validity masks so the new log-probabilities
@@ -223,6 +220,7 @@ pub fn compute_ppo_grads(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::buffer::Transition;

@@ -1,67 +1,96 @@
-//! Property-based tests for the return/advantage estimators, the rollout
-//! buffer, and categorical sampling.
+//! Randomized property tests for the return/advantage estimators, the
+//! rollout buffer, and categorical sampling.
+//!
+//! The original proptest harness is unavailable offline, so each property
+//! runs over a fixed number of seeded random cases instead — same
+//! assertions, deterministic inputs.
 
-use proptest::prelude::*;
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use vc_rl::buffer::{RolloutBuffer, Transition};
 use vc_rl::gae::{discounted_returns, gae_advantages, normalize_advantages};
 use vc_rl::policy::{argmax, sample_categorical};
 
-fn rewards() -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(-2.0f32..2.0, 1..40)
+const CASES: usize = 96;
+
+fn rewards(rng: &mut StdRng) -> Vec<f32> {
+    let n = rng.gen_range(1usize..40);
+    (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn returns_satisfy_bellman_recurrence(r in rewards(), gamma in 0.5f32..0.999, v_last in -3.0f32..3.0) {
+#[test]
+fn returns_satisfy_bellman_recurrence() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for _ in 0..CASES {
+        let r = rewards(&mut rng);
+        let gamma = rng.gen_range(0.5f32..0.999);
+        let v_last = rng.gen_range(-3.0f32..3.0);
         let g = discounted_returns(&r, gamma, v_last);
         for t in 0..r.len() {
             let next = if t + 1 < r.len() { g[t + 1] } else { v_last };
-            prop_assert!((g[t] - (r[t] + gamma * next)).abs() < 1e-3, "t={t}");
+            assert!((g[t] - (r[t] + gamma * next)).abs() < 1e-3, "t={t}");
         }
     }
+}
 
-    #[test]
-    fn gae_lambda1_telescopes_to_return_minus_value(
-        r in rewards(), gamma in 0.5f32..0.999, v_last in -3.0f32..3.0,
-    ) {
+#[test]
+fn gae_lambda1_telescopes_to_return_minus_value() {
+    let mut rng = StdRng::seed_from_u64(32);
+    for _ in 0..CASES {
+        let r = rewards(&mut rng);
+        let gamma = rng.gen_range(0.5f32..0.999);
+        let v_last = rng.gen_range(-3.0f32..3.0);
         let values: Vec<f32> = r.iter().map(|x| x * 0.3 - 0.1).collect();
         let adv = gae_advantages(&r, &values, gamma, 1.0, v_last);
         let rets = discounted_returns(&r, gamma, v_last);
         for t in 0..r.len() {
-            prop_assert!((adv[t] - (rets[t] - values[t])).abs() < 1e-2, "t={t}");
+            assert!((adv[t] - (rets[t] - values[t])).abs() < 1e-2, "t={t}");
         }
     }
+}
 
-    #[test]
-    fn gae_lambda0_is_one_step_td(r in rewards(), gamma in 0.5f32..0.999) {
+#[test]
+fn gae_lambda0_is_one_step_td() {
+    let mut rng = StdRng::seed_from_u64(33);
+    for _ in 0..CASES {
+        let r = rewards(&mut rng);
+        let gamma = rng.gen_range(0.5f32..0.999);
         let values: Vec<f32> = r.iter().map(|x| x * 0.5).collect();
         let v_last = 0.7;
         let adv = gae_advantages(&r, &values, gamma, 0.0, v_last);
         for t in 0..r.len() {
             let next_v = if t + 1 < r.len() { values[t + 1] } else { v_last };
             let td = r[t] + gamma * next_v - values[t];
-            prop_assert!((adv[t] - td).abs() < 1e-4);
+            assert!((adv[t] - td).abs() < 1e-4);
         }
     }
+}
 
-    #[test]
-    fn normalized_advantages_have_unit_stats(r in proptest::collection::vec(-5.0f32..5.0, 3..50)) {
-        let mut adv = r;
+#[test]
+fn normalized_advantages_have_unit_stats() {
+    let mut rng = StdRng::seed_from_u64(34);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3usize..50);
+        let mut adv: Vec<f32> = (0..n).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
         normalize_advantages(&mut adv);
         let n = adv.len() as f32;
         let mean: f32 = adv.iter().sum::<f32>() / n;
         let var: f32 = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / n;
-        prop_assert!(mean.abs() < 1e-3);
+        assert!(mean.abs() < 1e-3);
         // Constant inputs normalize to ~0 variance; otherwise unit variance.
-        prop_assert!(var < 1.1);
+        assert!(var < 1.1);
     }
+}
 
-    #[test]
-    fn minibatches_partition_the_buffer(n in 1usize..60, batch in 1usize..20, seed in any::<u64>()) {
+#[test]
+fn minibatches_partition_the_buffer() {
+    let mut case_rng = StdRng::seed_from_u64(35);
+    for _ in 0..CASES {
+        let n = case_rng.gen_range(1usize..60);
+        let batch = case_rng.gen_range(1usize..20);
+        let seed = case_rng.gen::<u64>();
         let mut buf = RolloutBuffer::new();
         for i in 0..n {
             buf.push(Transition {
@@ -79,45 +108,63 @@ proptest! {
         let batches = buf.minibatch_indices(batch, &mut rng);
         let mut all: Vec<usize> = batches.iter().flatten().copied().collect();
         all.sort_unstable();
-        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
         for b in &batches[..batches.len().saturating_sub(1)] {
-            prop_assert_eq!(b.len(), batch.max(1));
+            assert_eq!(b.len(), batch.max(1));
         }
     }
+}
 
-    #[test]
-    fn categorical_sampling_never_picks_zero_mass(seed in any::<u64>(), hot in 0usize..5) {
+#[test]
+fn categorical_sampling_never_picks_zero_mass() {
+    let mut case_rng = StdRng::seed_from_u64(36);
+    for _ in 0..CASES {
+        let seed = case_rng.gen::<u64>();
+        let hot = case_rng.gen_range(0usize..5);
         let mut probs = vec![0.0f32; 5];
         probs[hot] = 1.0;
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..20 {
-            prop_assert_eq!(sample_categorical(&probs, &mut rng), hot);
+            assert_eq!(sample_categorical(&probs, &mut rng), hot);
         }
     }
+}
 
-    #[test]
-    fn categorical_sampling_in_range(probs in proptest::collection::vec(0.0f32..1.0, 1..10), seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn categorical_sampling_in_range() {
+    let mut case_rng = StdRng::seed_from_u64(37);
+    for _ in 0..CASES {
+        let n = case_rng.gen_range(1usize..10);
+        let probs: Vec<f32> = (0..n).map(|_| case_rng.gen_range(0.0f32..1.0)).collect();
+        let mut rng = StdRng::seed_from_u64(case_rng.gen::<u64>());
         let i = sample_categorical(&probs, &mut rng);
-        prop_assert!(i < probs.len());
+        assert!(i < probs.len());
     }
+}
 
-    #[test]
-    fn argmax_returns_a_maximum(values in proptest::collection::vec(-10.0f32..10.0, 1..12)) {
+#[test]
+fn argmax_returns_a_maximum() {
+    let mut rng = StdRng::seed_from_u64(38);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..12);
+        let values: Vec<f32> = (0..n).map(|_| rng.gen_range(-10.0f32..10.0)).collect();
         let i = argmax(&values);
         let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        prop_assert!((values[i] - max).abs() < 1e-6);
+        assert!((values[i] - max).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn empirical_sampling_frequency_tracks_probabilities(seed in any::<u64>()) {
+#[test]
+fn empirical_sampling_frequency_tracks_probabilities() {
+    let mut case_rng = StdRng::seed_from_u64(39);
+    for _ in 0..8 {
         let probs = [0.6f32, 0.3, 0.1];
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(case_rng.gen::<u64>());
         let mut counts = [0usize; 3];
         for _ in 0..3000 {
             counts[sample_categorical(&probs, &mut rng)] += 1;
         }
-        prop_assert!((counts[0] as f32 / 3000.0 - 0.6).abs() < 0.06);
-        prop_assert!((counts[2] as f32 / 3000.0 - 0.1).abs() < 0.04);
+        assert!((counts[0] as f32 / 3000.0 - 0.6).abs() < 0.06);
+        assert!((counts[2] as f32 / 3000.0 - 0.1).abs() < 0.04);
     }
 }

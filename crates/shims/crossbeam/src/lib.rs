@@ -1,0 +1,108 @@
+//! Offline stand-in for `crossbeam` (see `DESIGN.md`, "Offline dependency
+//! shims"). Only the MPMC-ish channel subset the chief–employee executor
+//! uses is provided: [`channel::bounded`] with cloneable senders and a
+//! single-consumer receiver, mapped onto `std::sync::mpsc::sync_channel`.
+
+/// Multi-producer channels with a bounded capacity.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half of a bounded channel; cheap to clone.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued; errs if the receiver has
+        /// been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; errs once every sender is dropped
+        /// and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive: `None` if no message is ready.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner.try_recv().ok()
+        }
+
+        /// Receives with a timeout: `None` on timeout or disconnect.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<T> {
+            self.inner.recv_timeout(timeout).ok()
+        }
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
+    mod tests {
+        use super::bounded;
+
+        #[test]
+        fn roundtrip_through_clone_senders() {
+            let (tx, rx) = bounded::<u32>(4);
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(1).ok());
+            std::thread::spawn(move || tx.send(2).ok());
+            let mut got =
+                vec![rx.recv().expect("first message"), rx.recv().expect("second message")];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        }
+
+        #[test]
+        fn recv_errs_after_senders_drop() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! shim.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; the item is parsed directly from `proc_macro` token trees.
+//! Supported shapes — the full set this workspace derives on:
+//!
+//! * structs with named fields (serde map encoding);
+//! * tuple structs (newtype-transparent for arity 1, array otherwise);
+//! * unit structs;
+//! * enums with unit, named-field and tuple variants (externally tagged).
+//!
+//! Generics and serde field attributes are *not* supported; the macro
+//! panics with a clear message so the compile error points at the item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize` (shim edition).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().unwrap_or_else(|e| {
+        panic!("serde shim derive produced invalid Serialize impl for {}: {e}", item.name)
+    })
+}
+
+/// Derives `serde::Deserialize` (shim edition).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().unwrap_or_else(|e| {
+        panic!("serde shim derive produced invalid Deserialize impl for {}: {e}", item.name)
+    })
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let item_kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    let kind = match item_kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde shim derive: unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive supports structs and enums, got `{other}`"),
+    };
+    Input { name, kind }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            // `#[...]` — skip the pound and the bracket group.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(in ...)`.
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Consumes tokens of one type, stopping at a comma outside angle brackets.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        fields.push(expect_ident(&toks, &mut i));
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field, found {other:?}"),
+        }
+        skip_type(&toks, &mut i);
+        // Trailing comma between fields.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&toks, &mut i);
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&toks, &mut i);
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec::Vec::from([{}]))", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Seq(::std::vec::Vec::from([{}]))", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{enum_name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantKind::Named(fields) => {
+            let bindings = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {bindings} }} => ::serde::Value::Map(::std::vec::Vec::from([\
+                 (::std::string::String::from(\"{vname}\"), \
+                  ::serde::Value::Map(::std::vec::Vec::from([{}])))])),",
+                entries.join(", ")
+            )
+        }
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{vname}(x0) => ::serde::Value::Map(::std::vec::Vec::from([\
+             (::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(x0))])),"
+        ),
+        VariantKind::Tuple(n) => {
+            let bindings: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+            let items: Vec<String> =
+                bindings.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Map(::std::vec::Vec::from([\
+                 (::std::string::String::from(\"{vname}\"), \
+                  ::serde::Value::Seq(::std::vec::Vec::from([{}])))])),",
+                bindings.join(", "),
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(v, \"{name}\", \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "if v.as_map().is_none() {{ \
+                     return ::std::result::Result::Err(::serde::Error::expected(\"object for struct {name}\", v)); \
+                 }} \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = v.as_seq().ok_or_else(|| ::serde::Error::expected(\"array for {name}\", v))?; \
+                 if items.len() != {n} {{ \
+                     return ::std::result::Result::Err(::serde::Error::expected(\"{n}-element array for {name}\", v)); \
+                 }} \
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| match &v.kind {
+            VariantKind::Unit => None,
+            VariantKind::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::field(payload, \"{name}::{vn}\", \"{f}\")?)?",
+                            vn = v.name
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                    inits.join(", "),
+                    vn = v.name
+                ))
+            }
+            VariantKind::Tuple(1) => Some(format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),",
+                vn = v.name
+            )),
+            VariantKind::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                Some(format!(
+                    "\"{vn}\" => {{ \
+                         let items = payload.as_seq().ok_or_else(|| ::serde::Error::expected(\"array for {name}::{vn}\", payload))?; \
+                         if items.len() != {n} {{ \
+                             return ::std::result::Result::Err(::serde::Error::expected(\"{n}-element array for {name}::{vn}\", payload)); \
+                         }} \
+                         ::std::result::Result::Ok({name}::{vn}({})) \
+                     }},",
+                    inits.join(", "),
+                    vn = v.name
+                ))
+            }
+        })
+        .collect();
+
+    format!(
+        "if let ::serde::Value::Str(s) = v {{ \
+             return match s.as_str() {{ \
+                 {} \
+                 other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                     \"unknown variant `{{other}}` of {name}\"))), \
+             }}; \
+         }} \
+         if let ::std::option::Option::Some(m) = v.as_map() {{ \
+             if m.len() == 1 {{ \
+                 let (tag, payload) = (&m[0].0, &m[0].1); \
+                 let _ = payload; \
+                 return match tag.as_str() {{ \
+                     {} \
+                     other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                         \"unknown variant `{{other}}` of {name}\"))), \
+                 }}; \
+             }} \
+         }} \
+         ::std::result::Result::Err(::serde::Error::expected(\"externally tagged {name}\", v))",
+        unit_arms.join(" "),
+        data_arms.join(" ")
+    )
+}

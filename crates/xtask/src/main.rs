@@ -1,0 +1,548 @@
+//! Workspace static-analysis driver.
+//!
+//! `cargo xtask check` runs, in order:
+//!
+//! 1. `cargo fmt --all --check` — formatting drift fails the run.
+//! 2. `cargo clippy --workspace --all-targets` with `-D warnings`, on top of
+//!    the workspace lint wall (`[workspace.lints]` in the root manifest).
+//! 3. `cargo build --workspace --all-targets` — everything must compile.
+//! 4. Custom source lints that rustc/clippy cannot express (see below).
+//!
+//! The custom lints, run standalone via `cargo xtask lint`:
+//!
+//! * `no-unwrap` — no `.unwrap()` / `.expect(` outside `#[cfg(test)]` in the
+//!   library sources of `vc-nn`, `vc-env` and `vc-rl` (the crates whose
+//!   panics would tear down employee threads).
+//! * `lock-across-send` — no `parking_lot`/std `Mutex` guard bound by `let`
+//!   still live when a channel `.send(` runs; holding a lock across a
+//!   blocking send is the chief/employee deadlock shape.
+//! * `pub-docs` — every `pub` item in `vc-nn` and `vc-rl` carries a doc
+//!   comment (stricter than `missing_docs`: it also fires inside modules
+//!   that allow the rustc lint).
+//!
+//! Grandfathered findings live in `xtask-allow.txt` at the repo root, one
+//! per line as `<lint> <path>` or `<lint> <path>:<line>`; `#` starts a
+//! comment.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let task = std::env::args().nth(1).unwrap_or_else(|| "help".to_owned());
+    let root = repo_root();
+    let ok = match task.as_str() {
+        "check" => {
+            run_cargo(&root, &["fmt", "--all", "--check"])
+                && run_cargo(
+                    &root,
+                    &["clippy", "--workspace", "--all-targets", "--", "-D", "warnings"],
+                )
+                && run_cargo(&root, &["build", "--workspace", "--all-targets"])
+                && run_source_lints(&root)
+        }
+        "fmt" => run_cargo(&root, &["fmt", "--all", "--check"]),
+        "clippy" => {
+            run_cargo(&root, &["clippy", "--workspace", "--all-targets", "--", "-D", "warnings"])
+        }
+        "build" => run_cargo(&root, &["build", "--workspace", "--all-targets"]),
+        "lint" => run_source_lints(&root),
+        _ => {
+            eprintln!(
+                "usage: cargo xtask <task>\n\n\
+                 tasks:\n  \
+                 check   fmt + clippy + build + custom source lints\n  \
+                 fmt     cargo fmt --all --check\n  \
+                 clippy  cargo clippy --workspace --all-targets -D warnings\n  \
+                 build   cargo build --workspace --all-targets\n  \
+                 lint    custom source lints only"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Repo root, two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(Path::parent).map(Path::to_path_buf).unwrap_or(manifest)
+}
+
+/// Runs one cargo subprocess, echoing the command line; true on success.
+fn run_cargo(root: &Path, args: &[&str]) -> bool {
+    eprintln!("xtask: cargo {}", args.join(" "));
+    let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned()))
+        .args(args)
+        .current_dir(root)
+        .status();
+    match status {
+        Ok(s) if s.success() => true,
+        Ok(s) => {
+            eprintln!("xtask: cargo {} failed with {s}", args.join(" "));
+            false
+        }
+        Err(e) => {
+            eprintln!("xtask: could not spawn cargo: {e}");
+            false
+        }
+    }
+}
+
+/// One custom-lint violation.
+struct Finding {
+    lint: &'static str,
+    path: PathBuf,
+    line: usize,
+    msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path.display(), self.line, self.lint, self.msg)
+    }
+}
+
+/// Runs every custom lint over the workspace sources; true when clean.
+fn run_source_lints(root: &Path) -> bool {
+    eprintln!("xtask: custom source lints");
+    let allow = load_allowlist(root);
+    let mut findings = Vec::new();
+
+    // no-unwrap: library sources of the crates whose panics kill employees.
+    for dir in ["crates/nn/src", "crates/env/src", "crates/rl/src"] {
+        for file in rust_files(&root.join(dir)) {
+            lint_file(&file, root, &mut findings, true, false);
+        }
+    }
+    // lock-across-send runs over every first-party crate (the shims
+    // implement the locking primitives themselves and are exempt);
+    // pub-docs only where the policy demands it: vc-nn and vc-rl.
+    for dir in [
+        "crates/nn/src",
+        "crates/env/src",
+        "crates/rl/src",
+        "crates/core/src",
+        "crates/curiosity/src",
+        "crates/baselines/src",
+        "crates/bench/src",
+    ] {
+        let want_docs = dir == "crates/nn/src" || dir == "crates/rl/src";
+        for file in rust_files(&root.join(dir)) {
+            lint_file(&file, root, &mut findings, false, want_docs);
+        }
+    }
+
+    let mut failed = 0usize;
+    for f in &findings {
+        if allowed(&allow, f) {
+            continue;
+        }
+        eprintln!("{f}");
+        failed += 1;
+    }
+    if failed == 0 {
+        eprintln!("xtask: source lints clean ({} allow-listed entries)", allow.len());
+        true
+    } else {
+        eprintln!("xtask: {failed} source-lint finding(s); see xtask-allow.txt to grandfather");
+        false
+    }
+}
+
+/// Allowlist entries: `(lint, path, optional line)`.
+type Allow = Vec<(String, String, Option<usize>)>;
+
+/// Parses `xtask-allow.txt` (missing file = empty allowlist).
+fn load_allowlist(root: &Path) -> Allow {
+    let Ok(text) = fs::read_to_string(root.join("xtask-allow.txt")) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(lint), Some(loc)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        match loc.rsplit_once(':') {
+            Some((path, ln)) if ln.chars().all(|c| c.is_ascii_digit()) => {
+                out.push((lint.to_owned(), path.to_owned(), ln.parse().ok()));
+            }
+            _ => out.push((lint.to_owned(), loc.to_owned(), None)),
+        }
+    }
+    out
+}
+
+/// Whether a finding is grandfathered by the allowlist.
+fn allowed(allow: &Allow, f: &Finding) -> bool {
+    let path = f.path.to_string_lossy();
+    allow.iter().any(|(lint, p, line)| {
+        lint == f.lint && path == p.as_str() && line.is_none_or(|l| l == f.line)
+    })
+}
+
+/// All `.rs` files under `dir`, recursively, in stable order.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else { continue };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// A live `let`-bound lock guard.
+struct LockGuard {
+    name: String,
+    depth: usize,
+    line: usize,
+}
+
+/// Scans one file for the custom lints, appending findings.
+///
+/// `check_unwrap` / `check_docs` select the per-crate lints; the
+/// lock-across-send lint always runs.
+fn lint_file(
+    file: &Path,
+    root: &Path,
+    findings: &mut Vec<Finding>,
+    check_unwrap: bool,
+    check_docs: bool,
+) {
+    let Ok(text) = fs::read_to_string(file) else { return };
+    let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
+    let raw: Vec<&str> = text.lines().collect();
+
+    // Strip comments and string contents so token scans can't false-match.
+    let mut stripped = Vec::with_capacity(raw.len());
+    let mut in_block_comment = false;
+    for line in &raw {
+        let (s, still) = strip_line(line, in_block_comment);
+        in_block_comment = still;
+        stripped.push(s);
+    }
+
+    let mut depth = 0usize;
+    let mut cfg_test_pending = false;
+    let mut test_depth: Option<usize> = None;
+    let mut guards: Vec<LockGuard> = Vec::new();
+
+    for (i, s) in stripped.iter().enumerate() {
+        let lineno = i + 1;
+        let in_test = test_depth.is_some();
+        let trimmed = s.trim();
+
+        if trimmed.contains("#[cfg(test)]") {
+            cfg_test_pending = true;
+        }
+
+        if !in_test {
+            if check_unwrap && (s.contains(".unwrap()") || s.contains(".expect(")) {
+                findings.push(Finding {
+                    lint: "no-unwrap",
+                    path: rel.clone(),
+                    line: lineno,
+                    msg: "unwrap()/expect() outside #[cfg(test)]; return a typed error instead"
+                        .to_owned(),
+                });
+            }
+            if check_docs {
+                if let Some(item) = pub_item(trimmed) {
+                    if !has_doc(&stripped, &raw, i) {
+                        findings.push(Finding {
+                            lint: "pub-docs",
+                            path: rel.clone(),
+                            line: lineno,
+                            msg: format!("public {item} without a doc comment"),
+                        });
+                    }
+                }
+            }
+            // Track `let guard = ... .lock()` bindings (temporaries that are
+            // not `let`-bound drop at the end of the statement and are fine).
+            if s.contains(".lock()") {
+                if let Some(name) = let_binding(trimmed) {
+                    guards.push(LockGuard { name, depth, line: lineno });
+                }
+            }
+            if s.contains(".send(") {
+                if let Some(g) = guards.last() {
+                    findings.push(Finding {
+                        lint: "lock-across-send",
+                        path: rel.clone(),
+                        line: lineno,
+                        msg: format!(
+                            "channel send while lock guard `{}` (line {}) is held",
+                            g.name, g.line
+                        ),
+                    });
+                }
+            }
+            for dropped in explicit_drops(s) {
+                guards.retain(|g| g.name != dropped);
+            }
+        }
+
+        for c in s.chars() {
+            match c {
+                '{' => {
+                    if cfg_test_pending && test_depth.is_none() {
+                        test_depth = Some(depth);
+                        cfg_test_pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if test_depth == Some(depth) {
+                        test_depth = None;
+                    }
+                    guards.retain(|g| g.depth < depth);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Strips `//` comments, `/* */` comments and string-literal contents from
+/// one line; returns the stripped line and whether a block comment continues.
+fn strip_line(line: &str, mut in_block: bool) -> (String, bool) {
+    let mut out = String::with_capacity(line.len());
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    let mut in_str = false;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if in_block {
+            if c == '*' && next == Some('/') {
+                in_block = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if in_str {
+            if c == '\\' {
+                i += 2;
+            } else {
+                if c == '"' {
+                    in_str = false;
+                    out.push('"');
+                }
+                i += 1;
+            }
+            continue;
+        }
+        match c {
+            '/' if next == Some('/') => break,
+            '/' if next == Some('*') => {
+                in_block = true;
+                i += 2;
+            }
+            '"' => {
+                in_str = true;
+                out.push('"');
+                i += 1;
+            }
+            // Char literals like '"' or '{' would confuse the scanner.
+            '\'' if next == Some('\\') && chars.get(i + 3) == Some(&'\'') => i += 4,
+            '\'' if chars.get(i + 2) == Some(&'\'') => i += 3,
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, in_block)
+}
+
+/// The item keyword when a stripped, trimmed line declares a `pub` item that
+/// the documentation policy covers.
+fn pub_item(trimmed: &str) -> Option<&'static str> {
+    let rest = trimmed.strip_prefix("pub ")?;
+    for kw in ["fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union"] {
+        if rest.strip_prefix(kw).is_some_and(|r| r.starts_with([' ', '<', '('])) {
+            return Some(kw);
+        }
+    }
+    // `unsafe_code` is denied workspace-wide, but `pub async fn` could occur.
+    if rest.strip_prefix("async fn ").is_some() {
+        return Some("fn");
+    }
+    None
+}
+
+/// Whether the item starting at stripped line `i` has an attached doc
+/// comment (`///` or `#[doc`), looking back over attributes.
+fn has_doc(stripped: &[String], raw: &[&str], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = raw[j].trim();
+        if t.starts_with("///") || t.starts_with("#[doc") {
+            return true;
+        }
+        // Attribute lines (possibly the tail of a wrapped #[derive(...)])
+        // sit between docs and the item; skip them.
+        let st = stripped[j].trim();
+        if st.starts_with("#[") || st.ends_with(")]") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// The bound name when a stripped, trimmed line is a `let` statement.
+fn let_binding(trimmed: &str) -> Option<String> {
+    let rest = trimmed.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    (!name.is_empty() && !name.starts_with('_')).then_some(name)
+}
+
+/// Names explicitly dropped on this line via `drop(name)`.
+fn explicit_drops(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = s;
+    while let Some(pos) = rest.find("drop(") {
+        let tail = &rest[pos + 5..];
+        let name: String = tail.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        if !name.is_empty() {
+            out.push(name);
+        }
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
+    use super::*;
+
+    #[test]
+    fn strip_removes_comments_and_strings() {
+        let (s, cont) = strip_line(r#"let x = "a.unwrap()"; // .expect(boom)"#, false);
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("expect"));
+        assert!(!cont);
+        let (_, cont) = strip_line("foo /* start", false);
+        assert!(cont);
+        let (s, cont) = strip_line("end */ bar", true);
+        assert_eq!(s.trim(), "bar");
+        assert!(!cont);
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let (s, _) = strip_line(r#"if c == '"' { x.unwrap() }"#, false);
+        assert!(s.contains("unwrap"));
+    }
+
+    #[test]
+    fn pub_item_detection() {
+        assert_eq!(pub_item("pub fn foo() {"), Some("fn"));
+        assert_eq!(pub_item("pub struct Bar {"), Some("struct"));
+        assert_eq!(pub_item("pub async fn baz() {"), Some("fn"));
+        assert_eq!(pub_item("pub use foo::bar;"), None);
+        assert_eq!(pub_item("pub(crate) fn hidden() {"), None);
+        assert_eq!(pub_item("publish()"), None);
+    }
+
+    #[test]
+    fn let_binding_extraction() {
+        assert_eq!(let_binding("let mut inner = self.inner.lock();"), Some("inner".to_owned()));
+        assert_eq!(let_binding("let g = m.lock();"), Some("g".to_owned()));
+        assert_eq!(let_binding("self.inner.lock().contributions"), None);
+        assert_eq!(let_binding("let _ = m.lock();"), None);
+    }
+
+    #[test]
+    fn lock_across_send_fires_and_clears() {
+        let dir = std::env::temp_dir().join("xtask-lint-test");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("case.rs");
+        fs::write(
+            &file,
+            "fn bad(m: &Mutex<u32>, tx: &Sender<u32>) {\n\
+             \x20   let g = m.lock();\n\
+             \x20   tx.send(*g);\n\
+             }\n\
+             fn good(m: &Mutex<u32>, tx: &Sender<u32>) {\n\
+             \x20   let g = m.lock();\n\
+             \x20   let v = *g;\n\
+             \x20   drop(g);\n\
+             \x20   tx.send(v);\n\
+             }\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        lint_file(&file, &dir, &mut findings, false, false);
+        let locks: Vec<_> = findings.iter().filter(|f| f.lint == "lock-across-send").collect();
+        assert_eq!(locks.len(), 1, "exactly the bad fn must fire");
+        assert_eq!(locks[0].line, 3);
+    }
+
+    #[test]
+    fn unwrap_lint_skips_test_modules() {
+        let dir = std::env::temp_dir().join("xtask-lint-test2");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("case.rs");
+        fs::write(
+            &file,
+            "fn prod() { x.unwrap(); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   fn t() { y.unwrap(); }\n\
+             }\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        lint_file(&file, &dir, &mut findings, true, false);
+        let unwraps: Vec<_> = findings.iter().filter(|f| f.lint == "no-unwrap").collect();
+        assert_eq!(unwraps.len(), 1);
+        assert_eq!(unwraps[0].line, 1);
+    }
+
+    #[test]
+    fn allowlist_matching() {
+        let allow = vec![
+            ("no-unwrap".to_owned(), "crates/x/src/lib.rs".to_owned(), None),
+            ("pub-docs".to_owned(), "crates/y/src/lib.rs".to_owned(), Some(7)),
+        ];
+        let f = |lint: &'static str, path: &str, line| Finding {
+            lint,
+            path: PathBuf::from(path),
+            line,
+            msg: String::new(),
+        };
+        assert!(allowed(&allow, &f("no-unwrap", "crates/x/src/lib.rs", 3)));
+        assert!(allowed(&allow, &f("pub-docs", "crates/y/src/lib.rs", 7)));
+        assert!(!allowed(&allow, &f("pub-docs", "crates/y/src/lib.rs", 8)));
+        assert!(!allowed(&allow, &f("lock-across-send", "crates/x/src/lib.rs", 3)));
+    }
+}

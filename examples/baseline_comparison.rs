@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release --example baseline_comparison [episodes]`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drl_cews::prelude::*;
 use vc_baselines::prelude::*;
 use vc_env::prelude::*;
@@ -11,10 +13,12 @@ fn main() {
     let mut env = EnvConfig::paper_default();
     env.num_pois = 100;
     env.horizon = 200;
-    let episodes: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
+    let episodes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
 
-    println!("== scheduler shoot-out: W={} P={} T={} ==", env.num_workers, env.num_pois, env.horizon);
+    println!(
+        "== scheduler shoot-out: W={} P={} T={} ==",
+        env.num_workers, env.num_pois, env.horizon
+    );
 
     // DRL-CEWS: sparse reward + spatial curiosity.
     println!("training DRL-CEWS ({episodes} episodes)...");
@@ -22,8 +26,8 @@ fn main() {
     cews_cfg.num_employees = 2;
     cews_cfg.ppo.epochs = 4;
     cews_cfg.ppo.minibatch = 128;
-    let mut cews = Trainer::new(cews_cfg);
-    cews.train(episodes);
+    let mut cews = Trainer::new(cews_cfg).unwrap();
+    cews.train(episodes).unwrap();
     let mut cews_policy = PolicyScheduler::from_trainer(&cews, "drl-cews");
 
     // DPPO: dense reward, no curiosity — same trainer machinery.
@@ -32,8 +36,8 @@ fn main() {
     dppo_cfg.num_employees = 2;
     dppo_cfg.ppo.epochs = 4;
     dppo_cfg.ppo.minibatch = 128;
-    let mut dppo = Trainer::new(dppo_cfg);
-    dppo.train(episodes);
+    let mut dppo = Trainer::new(dppo_cfg).unwrap();
+    dppo.train(episodes).unwrap();
     let mut dppo_policy = PolicyScheduler::from_trainer(&dppo, "dppo");
 
     // Edics: one independent dense-reward agent per worker.
@@ -49,14 +53,8 @@ fn main() {
     let mut dnc = DncScheduler::default();
     let mut greedy = GreedyScheduler;
     let mut random = RandomScheduler;
-    let schedulers: Vec<&mut dyn Scheduler> = vec![
-        &mut cews_policy,
-        &mut dppo_policy,
-        &mut edics,
-        &mut dnc,
-        &mut greedy,
-        &mut random,
-    ];
+    let schedulers: Vec<&mut dyn Scheduler> =
+        vec![&mut cews_policy, &mut dppo_policy, &mut edics, &mut dnc, &mut greedy, &mut random];
     for s in schedulers {
         let name = s.name();
         let m = evaluate(s, &env, 4, 11);

@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release --example custom_map`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vc_baselines::prelude::*;

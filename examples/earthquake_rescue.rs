@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release --example earthquake_rescue [episodes]`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drl_cews::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,17 +29,16 @@ fn main() {
     cfg.ppo.epochs = 4;
     cfg.ppo.minibatch = 128;
 
-    let episodes: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(150);
+    let episodes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(150);
 
     println!("== drone-assisted post-earthquake rescue ==");
     println!(
         "map {}x{}, {} sensors, {} charging stations, horizon {} slots",
         env_cfg.size_x, env_cfg.size_y, env_cfg.num_pois, env_cfg.num_stations, env_cfg.horizon
     );
-    let mut trainer = Trainer::new(cfg);
+    let mut trainer = Trainer::new(cfg).unwrap();
     for ep in 0..episodes {
-        let s = trainer.train_episode();
+        let s = trainer.train_episode().unwrap();
         if ep % 25 == 0 || ep + 1 == episodes {
             println!(
                 "episode {ep:>4}: kappa={:.3} xi={:.3} rho={:.3} curiosity={:.1}",

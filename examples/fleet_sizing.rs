@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release --example fleet_sizing`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drl_cews::prelude::*;
 use vc_baselines::prelude::*;
 use vc_env::prelude::*;

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drl_cews::prelude::*;
 use vc_baselines::prelude::*;
 use vc_env::prelude::*;
@@ -21,13 +23,10 @@ fn main() {
     cfg.ppo.minibatch = 128;
 
     println!("training DRL-CEWS (2 employees, spatial curiosity, sparse reward)...");
-    let mut trainer = Trainer::new(cfg);
-    let episodes = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(150usize);
+    let mut trainer = Trainer::new(cfg).unwrap();
+    let episodes = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(150usize);
     for ep in 0..episodes {
-        let s = trainer.train_episode();
+        let s = trainer.train_episode().unwrap();
         if ep % 5 == 0 || ep + 1 == episodes {
             println!(
                 "episode {ep:>3}: kappa={:.3} xi={:.3} rho={:.3} r_ext={:+.2} r_int={:.2} collisions={}",

@@ -1,6 +1,8 @@
 //! Integration: checkpoints round-trip across independent trainer instances
 //! and preserve policy behavior exactly.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drl_cews::prelude::*;
 use vc_env::prelude::*;
 
@@ -19,11 +21,11 @@ fn cfg() -> TrainerConfig {
 
 #[test]
 fn checkpoint_transfers_between_trainers() {
-    let mut a = Trainer::new(cfg());
-    a.train(3);
+    let mut a = Trainer::new(cfg()).unwrap();
+    a.train(3).unwrap();
     let ckpt = a.checkpoint();
 
-    let mut b = Trainer::new(cfg());
+    let mut b = Trainer::new(cfg()).unwrap();
     assert_ne!(b.store().flat_values(), a.store().flat_values());
     b.restore(&ckpt).unwrap();
     assert_eq!(b.store().flat_values(), a.store().flat_values());
@@ -31,10 +33,10 @@ fn checkpoint_transfers_between_trainers() {
 
 #[test]
 fn restored_policy_behaves_identically() {
-    let mut a = Trainer::new(cfg());
-    a.train(2);
+    let mut a = Trainer::new(cfg()).unwrap();
+    a.train(2).unwrap();
     let ckpt = a.checkpoint();
-    let mut b = Trainer::new(cfg());
+    let mut b = Trainer::new(cfg()).unwrap();
     b.restore(&ckpt).unwrap();
 
     let e = env();
@@ -47,7 +49,7 @@ fn restored_policy_behaves_identically() {
 
 #[test]
 fn corrupt_checkpoint_is_rejected_not_applied() {
-    let mut t = Trainer::new(cfg());
+    let mut t = Trainer::new(cfg()).unwrap();
     let before = t.store().flat_values();
     let mut ckpt = t.checkpoint().to_vec();
     ckpt[0] ^= 0xFF;
@@ -57,7 +59,7 @@ fn corrupt_checkpoint_is_rejected_not_applied() {
 
 #[test]
 fn checkpoint_is_stable_across_serialization_cycles() {
-    let t = Trainer::new(cfg());
+    let t = Trainer::new(cfg()).unwrap();
     let c1 = t.checkpoint();
     let restored = vc_nn::serialize::load_checkpoint(&c1).unwrap();
     let c2 = vc_nn::serialize::save_checkpoint(&restored);

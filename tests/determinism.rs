@@ -1,6 +1,8 @@
 //! Determinism guarantees: identical seeds must give bit-identical models,
 //! the foundation of every recorded experiment in EXPERIMENTS.md.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drl_cews::prelude::*;
 use vc_env::prelude::*;
 
@@ -14,11 +16,11 @@ fn cfg() -> TrainerConfig {
 
 #[test]
 fn single_employee_training_is_bit_deterministic() {
-    let mut a = Trainer::new(cfg());
-    let mut b = Trainer::new(cfg());
+    let mut a = Trainer::new(cfg()).unwrap();
+    let mut b = Trainer::new(cfg()).unwrap();
     for _ in 0..3 {
-        a.train_episode();
-        b.train_episode();
+        a.train_episode().unwrap();
+        b.train_episode().unwrap();
     }
     assert_eq!(
         a.store().flat_values(),
@@ -30,10 +32,10 @@ fn single_employee_training_is_bit_deterministic() {
 
 #[test]
 fn different_seeds_diverge() {
-    let a = Trainer::new(cfg());
+    let a = Trainer::new(cfg()).unwrap();
     let mut c2 = cfg();
     c2.seed = 999;
-    let b = Trainer::new(c2);
+    let b = Trainer::new(c2).unwrap();
     assert_ne!(a.store().flat_values(), b.store().flat_values());
 }
 

@@ -1,11 +1,13 @@
 //! Smoke tests: every experiment harness regenerates its table end-to-end
 //! at the smallest scale.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drl_cews::experiments::{fig2c, fig3, fig4, fig5, fig9, sweeps, table2, Scale};
 
 #[test]
 fn table2_smoke() {
-    let t = table2::run(&Scale::smoke());
+    let t = table2::run(&Scale::smoke()).unwrap();
     assert_eq!(t.headers, vec!["batch", "employees", "kappa", "xi", "rho"]);
     assert!(!t.rows.is_empty());
     // Every metric cell parses as a float in range.
@@ -19,7 +21,7 @@ fn table2_smoke() {
 
 #[test]
 fn fig3_smoke() {
-    let t = fig3::run(&Scale::smoke());
+    let t = fig3::run(&Scale::smoke()).unwrap();
     assert_eq!(t.headers[0], "employees");
     // Relative column starts at 1.00 for the first entry.
     assert_eq!(t.rows[0][2], "1.00");
@@ -27,7 +29,7 @@ fn fig3_smoke() {
 
 #[test]
 fn fig4_smoke() {
-    let t = fig4::run(&Scale::smoke());
+    let t = fig4::run(&Scale::smoke()).unwrap();
     // 5 paper variants + the count-based reference, × 3 checkpoints.
     assert_eq!(t.rows.len(), 18);
     let variants: std::collections::HashSet<&String> = t.rows.iter().map(|r| &r[0]).collect();
@@ -36,13 +38,13 @@ fn fig4_smoke() {
 
 #[test]
 fn fig5_smoke() {
-    let t = fig5::run(&Scale::smoke());
+    let t = fig5::run(&Scale::smoke()).unwrap();
     assert_eq!(t.rows.len(), 12); // 4 mechanisms × 3 checkpoints
 }
 
 #[test]
 fn sweep_smoke_single_axis() {
-    let t = sweeps::run(&Scale::smoke(), sweeps::Axis::Stations);
+    let t = sweeps::run(&Scale::smoke(), sweeps::Axis::Stations).unwrap();
     // 2 sweep points × 5 algorithms at smoke scale.
     assert_eq!(t.rows.len(), 10);
     let algos: std::collections::HashSet<&String> = t.rows.iter().map(|r| &r[1]).collect();
@@ -51,7 +53,7 @@ fn sweep_smoke_single_axis() {
 
 #[test]
 fn fig9_smoke() {
-    let (t, snaps) = fig9::run(&Scale::smoke());
+    let (t, snaps) = fig9::run(&Scale::smoke()).unwrap();
     // 2 methods × (initial + 4 checkpoints).
     assert_eq!(t.rows.len(), 10);
     assert_eq!(snaps.len(), 10);
@@ -62,7 +64,7 @@ fn fig9_smoke() {
 
 #[test]
 fn fig2c_smoke() {
-    let (t, run) = fig2c::run(&Scale::smoke());
+    let (t, run) = fig2c::run(&Scale::smoke()).unwrap();
     assert_eq!(t.rows.len(), 2); // two drones
     let art = run.trajectory.ascii(&run.env_cfg, 0);
     assert_eq!(art.lines().count(), run.env_cfg.grid);

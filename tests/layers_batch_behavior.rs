@@ -2,6 +2,8 @@
 //! layer must equal running its rows independently — the invariant that
 //! makes minibatched PPO updates equivalent to per-sample ones.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vc_nn::prelude::*;
@@ -69,7 +71,8 @@ fn conv_is_batch_consistent() {
     let cfg = ConvCfg { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 };
     let layer = Conv2dLayer::new(&mut store, "c", cfg, &mut rng);
     let item = 2 * 4 * 4;
-    let batch = Tensor::from_vec(&[2, 2, 4, 4], (0..2 * item).map(|i| (i as f32 * 0.19).sin()).collect());
+    let batch =
+        Tensor::from_vec(&[2, 2, 4, 4], (0..2 * item).map(|i| (i as f32 * 0.19).sin()).collect());
 
     let mut g = Graph::new();
     let x = g.leaf(batch.clone());
@@ -78,7 +81,8 @@ fn conv_is_batch_consistent() {
     let out_item = 3 * 4 * 4;
 
     for bi in 0..2 {
-        let single = Tensor::from_vec(&[1, 2, 4, 4], batch.data()[bi * item..(bi + 1) * item].to_vec());
+        let single =
+            Tensor::from_vec(&[1, 2, 4, 4], batch.data()[bi * item..(bi + 1) * item].to_vec());
         let mut g1 = Graph::new();
         let x1 = g1.leaf(single);
         let y1n = layer.forward(&mut g1, &store, x1);
@@ -99,7 +103,8 @@ fn actor_critic_is_batch_consistent() {
     let mut store = ParamStore::new();
     let net = ActorCritic::new(&mut store, NetConfig::for_scenario(8, 2), &mut rng);
     let item = 3 * 8 * 8;
-    let batch = Tensor::from_vec(&[2, 3, 8, 8], (0..2 * item).map(|i| (i as f32 * 0.11).sin()).collect());
+    let batch =
+        Tensor::from_vec(&[2, 3, 8, 8], (0..2 * item).map(|i| (i as f32 * 0.11).sin()).collect());
 
     let mut g = Graph::new();
     let x = g.leaf(batch.clone());
@@ -108,7 +113,8 @@ fn actor_critic_is_batch_consistent() {
     let moves = g.value(out.move_logits).clone(); // [2*2, 9]
 
     for bi in 0..2 {
-        let single = Tensor::from_vec(&[1, 3, 8, 8], batch.data()[bi * item..(bi + 1) * item].to_vec());
+        let single =
+            Tensor::from_vec(&[1, 3, 8, 8], batch.data()[bi * item..(bi + 1) * item].to_vec());
         let mut g1 = Graph::new();
         let x1 = g1.leaf(single);
         let o1 = net.forward(&mut g1, &store, x1);

@@ -1,6 +1,8 @@
 //! Cross-crate integration: the metric time series tracks a trained policy's
 //! mission progress and distinguishes earlier collectors via AUC.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drl_cews::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -55,8 +57,8 @@ fn trained_policy_series_is_well_formed() {
     cfg.horizon = 15;
     let mut tcfg = TrainerConfig::drl_cews(cfg.clone()).quick();
     tcfg.num_employees = 1;
-    let mut trainer = Trainer::new(tcfg);
-    trainer.train(2);
+    let mut trainer = Trainer::new(tcfg).unwrap();
+    trainer.train(2).unwrap();
     let mut policy = PolicyScheduler::from_trainer(&trainer, "p");
     let series = run_series(&mut policy, &cfg, 3);
     assert_eq!(series.len(), 15);

@@ -1,6 +1,8 @@
 //! Edge-case coverage for the autograd graph that the in-crate unit tests
 //! don't reach: broadcast gradients, mixed-parent graphs, and shape guards.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use vc_nn::prelude::*;
 
 #[test]

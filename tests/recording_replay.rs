@@ -1,6 +1,8 @@
 //! Cross-crate integration: record a *policy-driven* episode, serialize it,
 //! replay it, and verify the replay reproduces the exact trajectory.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drl_cews::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,8 +15,8 @@ fn policy_episode_records_and_replays_exactly() {
     env_cfg.horizon = 15;
     let mut cfg = TrainerConfig::drl_cews(env_cfg.clone()).quick();
     cfg.num_employees = 1;
-    let mut trainer = Trainer::new(cfg);
-    trainer.train(2);
+    let mut trainer = Trainer::new(cfg).unwrap();
+    trainer.train(2).unwrap();
 
     // Drive + record.
     let mut env = CrowdsensingEnv::new(env_cfg.clone());
@@ -31,7 +33,7 @@ fn policy_episode_records_and_replays_exactly() {
     let recording = recorder.finish(&env);
 
     // Serialize / deserialize.
-    let json = recording.to_json();
+    let json = recording.to_json().unwrap();
     let restored = Recording::from_json(&json).unwrap();
     assert_eq!(restored, recording);
 

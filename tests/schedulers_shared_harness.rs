@@ -1,6 +1,8 @@
 //! Cross-crate integration: every scheduler — learned or engineered — runs
 //! through the same evaluation harness on the same scenarios.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drl_cews::prelude::*;
 use vc_baselines::prelude::*;
 use vc_env::prelude::*;
@@ -17,14 +19,14 @@ fn all_five_algorithms_run_on_the_paper_map() {
     let env = arena();
     let mut cfg = TrainerConfig::drl_cews(env.clone()).quick();
     cfg.num_employees = 1;
-    let mut trainer = Trainer::new(cfg);
-    trainer.train(2);
+    let mut trainer = Trainer::new(cfg).unwrap();
+    trainer.train(2).unwrap();
     let mut cews = PolicyScheduler::from_trainer(&trainer, "drl-cews");
 
     let mut dppo_cfg = TrainerConfig::dppo(env.clone()).quick();
     dppo_cfg.num_employees = 1;
-    let mut dppo_trainer = Trainer::new(dppo_cfg);
-    dppo_trainer.train(2);
+    let mut dppo_trainer = Trainer::new(dppo_cfg).unwrap();
+    dppo_trainer.train(2).unwrap();
     let mut dppo = PolicyScheduler::from_trainer(&dppo_trainer, "dppo");
 
     let mut edics = Edics::new(&env, EdicsConfig::default());

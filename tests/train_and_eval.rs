@@ -1,6 +1,8 @@
 //! End-to-end integration: the full DRL-CEWS stack (env → net → curiosity →
 //! chief-employee trainer → evaluation) wired together.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drl_cews::prelude::*;
 use vc_env::prelude::*;
 
@@ -16,8 +18,8 @@ fn full_stack_trains_and_evaluates() {
     let env = tiny_env();
     let mut cfg = TrainerConfig::drl_cews(env.clone()).quick();
     cfg.num_employees = 2;
-    let mut trainer = Trainer::new(cfg);
-    let stats = trainer.train(3);
+    let mut trainer = Trainer::new(cfg).unwrap();
+    let stats = trainer.train(3).unwrap();
     assert_eq!(stats.len(), 3);
     for s in &stats {
         assert!(s.kappa.is_finite() && (0.0..=1.0).contains(&s.kappa));
@@ -34,8 +36,8 @@ fn employee_count_changes_wall_clock_not_correctness() {
     for m in [1usize, 3] {
         let mut cfg = TrainerConfig::dppo(env.clone()).quick();
         cfg.num_employees = m;
-        let mut trainer = Trainer::new(cfg);
-        let s = trainer.train_episode();
+        let mut trainer = Trainer::new(cfg).unwrap();
+        let s = trainer.train_episode().unwrap();
         assert!(s.kappa.is_finite(), "M={m} produced NaN kappa");
         assert!(!trainer.store().flat_values().iter().any(|v| !v.is_finite()));
     }
@@ -49,8 +51,8 @@ fn sparse_reward_counts_pulses_not_quantities() {
     env.num_pois = 0;
     let mut cfg = TrainerConfig::drl_cews(env).quick();
     cfg.curiosity = CuriosityChoice::None;
-    let mut trainer = Trainer::new(cfg);
-    let s = trainer.train_episode();
+    let mut trainer = Trainer::new(cfg).unwrap();
+    let s = trainer.train_episode().unwrap();
     assert!(s.ext_reward <= 0.0, "reward {} on an empty map", s.ext_reward);
     assert_eq!(s.kappa, 0.0);
 }
@@ -62,14 +64,11 @@ fn training_reduces_intrinsic_reward_over_time() {
     let env = tiny_env();
     let mut cfg = TrainerConfig::drl_cews(env).quick();
     cfg.num_employees = 1;
-    let mut trainer = Trainer::new(cfg);
-    let stats = trainer.train(40);
+    let mut trainer = Trainer::new(cfg).unwrap();
+    let stats = trainer.train(40).unwrap();
     let early: f32 = stats[..8].iter().map(|s| s.int_reward).sum::<f32>() / 8.0;
     let late: f32 = stats[32..].iter().map(|s| s.int_reward).sum::<f32>() / 8.0;
-    assert!(
-        late < early,
-        "intrinsic reward did not fade: early {early:.3} late {late:.3}"
-    );
+    assert!(late < early, "intrinsic reward did not fade: early {early:.3} late {late:.3}");
 }
 
 #[test]
@@ -77,8 +76,13 @@ fn trainer_rejects_invalid_env() {
     let mut env = tiny_env();
     env.num_workers = 0;
     let cfg = TrainerConfig::drl_cews(env);
-    let result = std::panic::catch_unwind(|| Trainer::new(cfg));
-    assert!(result.is_err());
+    match Trainer::new(cfg) {
+        Err(err @ TrainerError::Env(_)) => {
+            assert!(err.to_string().contains("worker"), "unhelpful message: {err}");
+        }
+        Err(other) => panic!("want a typed env error, got {other}"),
+        Ok(_) => panic!("zero-worker config must be rejected"),
+    }
 }
 
 #[test]
@@ -86,8 +90,8 @@ fn chief_aggregates_update_diagnostics() {
     let env = tiny_env();
     let mut cfg = TrainerConfig::dppo(env).quick();
     cfg.num_employees = 2;
-    let mut trainer = Trainer::new(cfg);
-    trainer.train_episode();
+    let mut trainer = Trainer::new(cfg).unwrap();
+    trainer.train_episode().unwrap();
     let stats = trainer.last_ppo_stats();
     assert!(stats.entropy > 0.0, "fresh policy entropy must be positive");
     assert!(stats.value_loss.is_finite());
@@ -154,25 +158,17 @@ fn lr_schedule_anneals_policy_learning_rate() {
     cfg.num_employees = 1;
     cfg.lr_schedule = LrSchedule::Linear { final_fraction: 0.0 };
     cfg.schedule_horizon = 4;
-    let mut trainer = Trainer::new(cfg.clone());
+    let mut trainer = Trainer::new(cfg.clone()).unwrap();
     // Parameter movement per episode must shrink as the LR anneals to 0.
     let mut deltas = Vec::new();
     for _ in 0..5 {
         let before = trainer.store().flat_values();
-        trainer.train_episode();
+        trainer.train_episode().unwrap();
         let after = trainer.store().flat_values();
-        let delta: f32 = before
-            .iter()
-            .zip(&after)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f32 = before.iter().zip(&after).map(|(a, b)| (a - b).abs()).sum();
         deltas.push(delta);
     }
     // Episode 5 runs at progress >= 1 -> lr 0 -> parameters frozen.
-    assert!(
-        deltas[4] < 1e-6,
-        "annealed-to-zero schedule still moved params by {}",
-        deltas[4]
-    );
+    assert!(deltas[4] < 1e-6, "annealed-to-zero schedule still moved params by {}", deltas[4]);
     assert!(deltas[0] > deltas[4], "no annealing effect visible");
 }
