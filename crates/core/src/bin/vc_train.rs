@@ -8,11 +8,30 @@
 //!          [--workers W] [--horizon T] [--seed S] [--log-every N]
 //!          [--probe] [--save-ckpt PATH] [--load-ckpt PATH] [--save-csv PATH]
 //!          [--record PATH]
+//!          [--resume PATH] [--ckpt-every N] [--ckpt-keep K]
+//!          [--round-timeout-ms MS] [--restart-budget N] [--inject SPEC]...
 //! ```
+//!
+//! Fault tolerance & resume:
+//!
+//! * `--ckpt-every N` writes a durable v2 checkpoint (full training state:
+//!   parameters, Adam moments, RNG streams, counters, config) every N
+//!   episodes to `<base>.ep<E>`, where `<base>` is the `--save-ckpt` path
+//!   (default `vc-train.ckpt`); `--ckpt-keep K` retains the last K (default
+//!   3). Writes are atomic (tmp file + fsync + rename).
+//! * `--resume PATH` rebuilds the trainer from a v2 checkpoint — including
+//!   its embedded config, so the other training flags are ignored — and
+//!   continues toward `--episodes` total episodes bit-exactly (for
+//!   curiosity-free configs).
+//! * `--inject SPEC` scripts a deterministic fault for testing recovery:
+//!   `panic:J@K` (employee J panics at update round K), `stall:J@K:D`
+//!   (stalls for D rounds), `nan:J@K` (emits NaN gradients). Repeatable.
+//!   Pair stalls with `--round-timeout-ms` so the barrier can't wedge.
 
 use drl_cews::prelude::*;
 use vc_baselines::prelude::*;
 use vc_env::prelude::*;
+use vc_rl::chief::FaultKind;
 
 /// Prints a CLI-level error and exits with status 2.
 fn fail(msg: &str) -> ! {
@@ -32,6 +51,22 @@ fn need(v: Option<String>, what: &str) -> String {
     v.unwrap_or_else(|| fail(&format!("{what} needs a path")))
 }
 
+/// Parses a `--inject` spec: `panic:J@K`, `nan:J@K`, or `stall:J@K:D`.
+fn parse_inject(spec: &str) -> Option<(usize, u64, FaultKind)> {
+    let (kind, rest) = spec.split_once(':')?;
+    let (target, kind) = match kind {
+        "panic" => (rest, FaultKind::Panic),
+        "nan" => (rest, FaultKind::NanGrads),
+        "stall" => {
+            let (target, dur) = rest.rsplit_once(':')?;
+            (target, FaultKind::Stall { rounds: dur.parse().ok()? })
+        }
+        _ => return None,
+    };
+    let (j, k) = target.split_once('@')?;
+    Some((j.parse().ok()?, k.parse().ok()?, kind))
+}
+
 fn main() {
     let mut env = EnvConfig::paper_default();
     env.num_pois = 100;
@@ -47,6 +82,9 @@ fn main() {
     let mut load_ckpt: Option<String> = None;
     let mut save_csv: Option<String> = None;
     let mut record: Option<String> = None;
+    let mut resume: Option<String> = None;
+    let mut ckpt_every: Option<usize> = None;
+    let mut ckpt_keep = 3usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -110,31 +148,65 @@ fn main() {
             "--load-ckpt" => load_ckpt = Some(need(args.next(), "--load-ckpt")),
             "--save-csv" => save_csv = Some(need(args.next(), "--save-csv")),
             "--record" => record = Some(need(args.next(), "--record")),
+            "--resume" => resume = Some(need(args.next(), "--resume")),
+            "--ckpt-every" => ckpt_every = Some(parse_usize(args.next(), "--ckpt-every")),
+            "--ckpt-keep" => ckpt_keep = parse_usize(args.next(), "--ckpt-keep"),
+            "--round-timeout-ms" => {
+                cfg.fault.round_timeout_ms =
+                    Some(parse_usize(args.next(), "--round-timeout-ms") as u64);
+            }
+            "--restart-budget" => {
+                cfg.fault.restart_budget = parse_usize(args.next(), "--restart-budget");
+            }
+            "--inject" => {
+                let spec = need(args.next(), "--inject");
+                let (employee, round, kind) = parse_inject(&spec).unwrap_or_else(|| {
+                    fail(&format!("--inject wants panic:J@K, nan:J@K or stall:J@K:D, got {spec:?}"))
+                });
+                cfg.fault.faults = cfg.fault.faults.clone().with(employee, round, kind);
+            }
             other => fail(&format!("unknown flag {other}")),
         }
     }
 
+    let mut trainer = match &resume {
+        Some(path) => {
+            let data = std::fs::read(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read checkpoint {path}: {e}")));
+            let t = Trainer::resume_from(&data)
+                .unwrap_or_else(|e| fail(&format!("cannot resume from {path}: {e}")));
+            println!(
+                "resumed from {path}: {} episodes / {} rounds trained (training flags other \
+                 than --episodes come from the checkpoint)",
+                t.episodes_trained(),
+                t.rounds_trained()
+            );
+            t
+        }
+        None => Trainer::new(cfg).unwrap_or_else(|e| fail(&format!("cannot start trainer: {e}"))),
+    };
+    // Print the banner from the trainer's own config: on --resume it comes
+    // from the checkpoint, not from the command line.
+    let tcfg = trainer.config();
     println!(
         "training: {} reward, curiosity={}, M={}, K={}, batch={}, lr={}, ent={}, mask={}, \
          env: W={} P={} T={}",
-        match cfg.reward_mode {
+        match tcfg.reward_mode {
             vc_env::reward::RewardMode::Sparse => "sparse",
             vc_env::reward::RewardMode::Dense => "dense",
         },
-        cfg.curiosity.label(),
-        cfg.num_employees,
-        cfg.ppo.epochs,
-        cfg.ppo.minibatch,
-        cfg.ppo.lr,
-        cfg.ppo.ent_coef,
-        cfg.mask_invalid,
-        cfg.env.num_workers,
-        cfg.env.num_pois,
-        cfg.env.horizon,
+        tcfg.curiosity.label(),
+        tcfg.num_employees,
+        tcfg.ppo.epochs,
+        tcfg.ppo.minibatch,
+        tcfg.ppo.lr,
+        tcfg.ppo.ent_coef,
+        tcfg.mask_invalid,
+        tcfg.env.num_workers,
+        tcfg.env.num_pois,
+        tcfg.env.horizon,
     );
-    let env = cfg.env.clone();
-    let mut trainer =
-        Trainer::new(cfg).unwrap_or_else(|e| fail(&format!("cannot start trainer: {e}")));
+    let env = trainer.config().env.clone();
     if let Some(path) = load_ckpt {
         let data = std::fs::read(&path)
             .unwrap_or_else(|e| fail(&format!("cannot read checkpoint {path}: {e}")));
@@ -143,11 +215,29 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("cannot restore checkpoint {path}: {e:?}")));
         println!("restored policy from {path} (pass --episodes 0 to evaluate only)");
     }
+    let ckpt_base = save_ckpt.clone().unwrap_or_else(|| "vc-train.ckpt".to_owned());
+    let mut rotated: Vec<String> = Vec::new();
     let start = std::time::Instant::now();
-    for ep in 0..episodes {
+    let first_ep = trainer.episodes_trained();
+    for ep in first_ep..episodes.max(first_ep) {
         let s = trainer
             .train_episode()
             .unwrap_or_else(|e| fail(&format!("training failed at episode {ep}: {e}")));
+        if let Some(every) = ckpt_every {
+            if every > 0 && (ep + 1) % every == 0 {
+                let bytes = trainer
+                    .checkpoint_v2()
+                    .unwrap_or_else(|e| fail(&format!("cannot snapshot training state: {e}")));
+                let path = format!("{ckpt_base}.ep{}", ep + 1);
+                vc_nn::serialize::write_checkpoint_file(std::path::Path::new(&path), &bytes)
+                    .unwrap_or_else(|e| fail(&format!("cannot write checkpoint {path}: {e}")));
+                println!("checkpoint (v2, resumable) -> {path}");
+                rotated.push(path);
+                while rotated.len() > ckpt_keep.max(1) {
+                    std::fs::remove_file(rotated.remove(0)).ok();
+                }
+            }
+        }
         if ep % log_every == 0 || ep + 1 == episodes {
             let probe_err = if probe {
                 trainer.curiosity().as_spatial().map(|sp| {
@@ -175,10 +265,22 @@ fn main() {
             );
         }
     }
-    println!("trained {episodes} episodes in {:.1}s", start.elapsed().as_secs_f32());
+    println!(
+        "trained {} episodes ({} total) in {:.1}s{}",
+        trainer.episodes_trained() - first_ep,
+        trainer.episodes_trained(),
+        start.elapsed().as_secs_f32(),
+        if trainer.restarts_used() > 0 {
+            format!(", {} employee respawn(s)", trainer.restarts_used())
+        } else {
+            String::new()
+        }
+    );
 
     if let Some(path) = save_ckpt {
-        std::fs::write(&path, trainer.checkpoint())
+        // Atomic write: a crash here can never truncate an existing
+        // checkpoint.
+        vc_nn::serialize::write_checkpoint_file(std::path::Path::new(&path), &trainer.checkpoint())
             .unwrap_or_else(|e| fail(&format!("cannot write checkpoint {path}: {e}")));
         println!("checkpoint -> {path}");
     }

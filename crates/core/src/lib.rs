@@ -41,5 +41,5 @@ pub mod training_log;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::eval::{evaluate, PolicyScheduler};
-    pub use crate::trainer::{CuriosityChoice, Trainer, TrainerConfig, TrainerError};
+    pub use crate::trainer::{CuriosityChoice, FaultConfig, Trainer, TrainerConfig, TrainerError};
 }

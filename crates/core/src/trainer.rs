@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::time::Duration;
 use vc_curiosity::prelude::*;
 use vc_env::prelude::*;
 use vc_nn::optim::{Adam, LrSchedule, Optimizer};
@@ -35,6 +36,9 @@ pub enum TrainerError {
     /// The chief–employee executor failed (employee death, closed channel,
     /// malformed gradients).
     Chief(ChiefError),
+    /// A durable checkpoint could not be decoded or does not match this
+    /// trainer's models.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for TrainerError {
@@ -42,6 +46,7 @@ impl fmt::Display for TrainerError {
         match self {
             TrainerError::Env(e) => write!(f, "invalid trainer environment: {e}"),
             TrainerError::Chief(e) => write!(f, "chief executor failed: {e}"),
+            TrainerError::Checkpoint(e) => write!(f, "bad training checkpoint: {e}"),
         }
     }
 }
@@ -51,7 +56,14 @@ impl std::error::Error for TrainerError {
         match self {
             TrainerError::Env(e) => Some(e),
             TrainerError::Chief(e) => Some(e),
+            TrainerError::Checkpoint(e) => Some(e),
         }
+    }
+}
+
+impl From<CheckpointError> for TrainerError {
+    fn from(e: CheckpointError) -> Self {
+        TrainerError::Checkpoint(e)
     }
 }
 
@@ -170,6 +182,45 @@ impl CuriosityChoice {
     }
 }
 
+/// Fault-tolerance policy for the chief–employee executor, in
+/// serialization-friendly units (see `ChiefConfig` in `vc-rl` for the
+/// runtime semantics).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Gather-round timeout in milliseconds; `None` waits forever (a hung
+    /// employee then wedges the synchronous barrier).
+    pub round_timeout_ms: Option<u64>,
+    /// Total employee respawns allowed before a death aborts the run.
+    pub restart_budget: usize,
+    /// Base of the exponential respawn backoff, in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Deterministic fault-injection script (empty in production runs).
+    pub faults: FaultPlan,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            round_timeout_ms: None,
+            restart_budget: 16,
+            backoff_base_ms: 10,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl FaultConfig {
+    fn to_chief(&self) -> ChiefConfig {
+        ChiefConfig {
+            round_timeout: self.round_timeout_ms.map(Duration::from_millis),
+            restart_budget: self.restart_budget,
+            backoff_base: Duration::from_millis(self.backoff_base_ms),
+            backoff_cap: Duration::from_secs(5),
+            faults: self.faults.clone(),
+        }
+    }
+}
+
 /// Full trainer configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TrainerConfig {
@@ -198,6 +249,8 @@ pub struct TrainerConfig {
     pub mask_invalid: bool,
     /// Master seed for network init, employees and sampling.
     pub seed: u64,
+    /// Fault-tolerance policy (restart budget, round timeout, injection).
+    pub fault: FaultConfig,
 }
 
 impl TrainerConfig {
@@ -215,6 +268,7 @@ impl TrainerConfig {
             schedule_horizon: 2500,
             mask_invalid: true,
             seed: 1,
+            fault: FaultConfig::default(),
         }
     }
 
@@ -232,6 +286,7 @@ impl TrainerConfig {
             schedule_horizon: 2500,
             mask_invalid: true,
             seed: 1,
+            fault: FaultConfig::default(),
         }
     }
 
@@ -347,6 +402,14 @@ impl Employee for CewsEmployee {
         };
         GradPair { ppo, curiosity: cur, stats }
     }
+
+    fn snapshot_rng(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    fn restore_rng(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
 }
 
 /// The chief: global stores, optimizers, and the employee executor.
@@ -360,6 +423,7 @@ pub struct Trainer {
     curiosity_opt: Adam,
     executor: ChiefExecutor,
     episodes: usize,
+    rounds: u64,
     history: Vec<EpisodeStats>,
     last_ppo_stats: PpoStats,
 }
@@ -380,32 +444,36 @@ impl Trainer {
         let net = ActorCritic::new(&mut store, net_cfg, &mut rng);
         let curiosity = cfg.curiosity.build(&cfg.env, cfg.seed.wrapping_add(77));
 
-        let employees: Vec<CewsEmployee> = (0..cfg.num_employees)
-            .map(|id| {
-                // Same init seed ⇒ identical parameter layout; values are
-                // overwritten by the first broadcast anyway.
-                let mut erng = StdRng::seed_from_u64(cfg.seed);
-                let mut estore = ParamStore::new();
-                let enet = ActorCritic::new(&mut estore, net_cfg, &mut erng);
-                CewsEmployee {
-                    env: CrowdsensingEnv::new(cfg.env.clone()),
-                    store: estore,
-                    net: enet,
-                    curiosity: cfg.curiosity.build(&cfg.env, cfg.seed.wrapping_add(77)),
-                    buffer: RolloutBuffer::new(),
-                    ppo: cfg.ppo,
-                    reward_mode: cfg.reward_mode,
-                    opts: PolicyOptions {
-                        mode: SampleMode::Stochastic,
-                        mask_invalid: cfg.mask_invalid,
-                    },
-                    rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(1000 + id as u64)),
-                    episode: 0,
-                    base_seed: cfg.env.seed,
-                }
+        // The employee factory outlives construction: the executor re-invokes
+        // it to build replacements for dead employees, which then receive the
+        // current global snapshot via the chief's respawn path. A respawned
+        // employee's RNG restarts its seeded stream — acceptable, since the
+        // original stream died with the panicked thread.
+        let fac_env = cfg.env.clone();
+        let fac_curiosity = cfg.curiosity;
+        let (fac_ppo, fac_reward, fac_mask, fac_seed) =
+            (cfg.ppo, cfg.reward_mode, cfg.mask_invalid, cfg.seed);
+        let factory = move |id: usize| -> Box<dyn Employee> {
+            // Same init seed ⇒ identical parameter layout; values are
+            // overwritten by the first broadcast anyway.
+            let mut erng = StdRng::seed_from_u64(fac_seed);
+            let mut estore = ParamStore::new();
+            let enet = ActorCritic::new(&mut estore, net_cfg, &mut erng);
+            Box::new(CewsEmployee {
+                env: CrowdsensingEnv::new(fac_env.clone()),
+                store: estore,
+                net: enet,
+                curiosity: fac_curiosity.build(&fac_env, fac_seed.wrapping_add(77)),
+                buffer: RolloutBuffer::new(),
+                ppo: fac_ppo,
+                reward_mode: fac_reward,
+                opts: PolicyOptions { mode: SampleMode::Stochastic, mask_invalid: fac_mask },
+                rng: StdRng::seed_from_u64(fac_seed.wrapping_add(1000 + id as u64)),
+                episode: 0,
+                base_seed: fac_env.seed,
             })
-            .collect();
-        let executor = ChiefExecutor::spawn(employees)?;
+        };
+        let executor = ChiefExecutor::spawn_with(cfg.num_employees, factory, cfg.fault.to_chief())?;
 
         let ppo_opt = Adam::new(cfg.ppo.lr);
         let curiosity_opt = Adam::new(cfg.curiosity_lr);
@@ -420,9 +488,33 @@ impl Trainer {
             curiosity_opt,
             executor,
             episodes: 0,
+            rounds: 0,
             history: Vec::new(),
             last_ppo_stats: PpoStats::default(),
         })
+    }
+
+    /// Rebuilds a trainer from a v2 checkpoint produced by
+    /// [`Self::checkpoint_v2`]: the embedded JSON config reconstructs the
+    /// trainer, then parameters, optimizer moments, per-employee RNG
+    /// streams and counters are restored, continuing the run bit-exactly
+    /// (guaranteed for curiosity-free configs; curiosity models with
+    /// unserialized internal state resume approximately).
+    ///
+    /// # Errors
+    ///
+    /// [`TrainerError::Checkpoint`] on a corrupt or incompatible
+    /// checkpoint, plus everything [`Self::new`] can return.
+    pub fn resume_from(data: &[u8]) -> Result<Self, TrainerError> {
+        let ck = vc_nn::serialize::load_checkpoint_v2(data)?;
+        let cfg: TrainerConfig = serde_json::from_str(&ck.meta).map_err(|_| {
+            TrainerError::Checkpoint(CheckpointError::Inconsistent(
+                "metadata is not a TrainerConfig",
+            ))
+        })?;
+        let mut trainer = Trainer::new(cfg)?;
+        trainer.restore_v2(data)?;
+        Ok(trainer)
     }
 
     /// The trainer configuration.
@@ -461,7 +553,7 @@ impl Trainer {
         self.last_ppo_stats
     }
 
-    fn broadcast(&self) -> Result<(), ChiefError> {
+    fn broadcast(&mut self) -> Result<(), ChiefError> {
         let cur = if self.curiosity_store_len == 0 {
             Vec::new()
         } else {
@@ -471,33 +563,46 @@ impl Trainer {
     }
 
     /// One full episode of the chief–employee loop; returns the mean
-    /// employee stats.
+    /// employee stats (over the employees that completed their rollout).
+    ///
+    /// Faults are absorbed, not fatal: panicked/hung employees are
+    /// respawned within the restart budget, and an update round whose
+    /// every contribution was quarantined is skipped rather than applying
+    /// a zero (or poisoned) gradient.
     ///
     /// # Errors
     ///
-    /// [`TrainerError::Chief`] when an employee thread dies mid-episode or
-    /// pushes malformed gradients.
+    /// [`TrainerError::Chief`] when the executor hits an unrecoverable
+    /// failure: restart budget exhausted, malformed gradients, protocol
+    /// violation.
     pub fn train_episode(&mut self) -> Result<EpisodeStats, TrainerError> {
         // Anneal the policy learning rate against the schedule horizon.
         let progress = self.episodes as f32 / self.cfg.schedule_horizon.max(1) as f32;
         self.ppo_opt.set_learning_rate(self.cfg.lr_schedule.at(self.cfg.ppo.lr, progress));
         self.broadcast()?;
-        let stats = self.executor.rollout_all()?;
-        let m = self.executor.num_employees() as f32;
+        let rollout = self.executor.rollout_all()?;
         for _k in 0..self.cfg.ppo.epochs {
-            let (gp, gc, round_stats) = self.executor.gather_grads()?;
-            self.last_ppo_stats = round_stats;
-            // Average over employees so the step size is independent of M.
+            let report = self.executor.gather_grads()?;
+            self.rounds += 1;
+            if report.contributors == 0 {
+                // Every warm employee died or was quarantined this round;
+                // there is no gradient to apply.
+                continue;
+            }
+            self.last_ppo_stats = report.stats;
+            // Average over the employees that actually contributed so the
+            // step size is independent of (surviving) M.
+            let m = report.contributors as f32;
             self.store.zero_grads();
-            let scaled: Vec<f32> = gp.iter().map(|g| g / m).collect();
+            let scaled: Vec<f32> = report.ppo.iter().map(|g| g / m).collect();
             self.store.add_flat_grads(&scaled);
             self.store.clip_grad_norm(self.cfg.ppo.max_grad_norm);
             self.ppo_opt.step(&mut self.store);
 
-            if !gc.is_empty() {
+            if !report.curiosity.is_empty() {
                 let cstore = self.curiosity.params_mut();
                 cstore.zero_grads();
-                let cscaled: Vec<f32> = gc.iter().map(|g| g / m).collect();
+                let cscaled: Vec<f32> = report.curiosity.iter().map(|g| g / m).collect();
                 cstore.add_flat_grads(&cscaled);
                 cstore.clip_grad_norm(self.cfg.ppo.max_grad_norm);
                 self.curiosity_opt.step(cstore);
@@ -505,7 +610,7 @@ impl Trainer {
             self.broadcast()?;
         }
         self.episodes += 1;
-        let mean = EpisodeStats::mean(&stats);
+        let mean = EpisodeStats::mean(&rollout.stats);
         self.history.push(mean);
         Ok(mean)
     }
@@ -529,6 +634,107 @@ impl Trainer {
     pub fn restore(&mut self, data: &[u8]) -> Result<(), vc_nn::serialize::CheckpointError> {
         let restored = vc_nn::serialize::load_checkpoint(data)?;
         self.store.copy_values_from(&restored);
+        Ok(())
+    }
+
+    /// Global gradient gather rounds completed so far.
+    pub fn rounds_trained(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Employee respawns spent from the restart budget so far.
+    pub fn restarts_used(&self) -> usize {
+        self.executor.restarts_used()
+    }
+
+    /// Serializes the complete training state — both parameter stores,
+    /// Adam moments, per-employee RNG streams, counters, and the trainer
+    /// config as JSON metadata — in the durable v2 format (CRC32 footer).
+    /// Pair with [`Self::resume_from`] / [`Self::restore_v2`].
+    ///
+    /// # Errors
+    ///
+    /// [`TrainerError::Chief`] when an employee fails to report its RNG
+    /// state (and cannot be respawned).
+    pub fn checkpoint_v2(&mut self) -> Result<bytes::Bytes, TrainerError> {
+        let rng_states = self.executor.snapshot_rngs()?;
+        let (m, v) = self.ppo_opt.flat_moments();
+        let ppo_opt = AdamState { t: self.ppo_opt.steps(), m, v };
+        let (curiosity, curiosity_opt) = if self.curiosity_store_len == 0 {
+            (None, None)
+        } else {
+            let (cm, cv) = self.curiosity_opt.flat_moments();
+            (
+                Some(self.curiosity.params().clone()),
+                Some(AdamState { t: self.curiosity_opt.steps(), m: cm, v: cv }),
+            )
+        };
+        let meta = serde_json::to_string(&self.cfg).map_err(|_| {
+            TrainerError::Checkpoint(CheckpointError::Inconsistent(
+                "trainer config failed to serialize",
+            ))
+        })?;
+        let ck = TrainCheckpoint {
+            policy: self.store.clone(),
+            curiosity,
+            ppo_opt,
+            curiosity_opt,
+            rng_states,
+            episodes: self.episodes as u64,
+            rounds: self.rounds,
+            meta,
+        };
+        Ok(vc_nn::serialize::save_checkpoint_v2(&ck))
+    }
+
+    /// Restores the full training state captured by [`Self::checkpoint_v2`]
+    /// into this (compatibly configured) trainer: parameters, optimizer
+    /// moments, per-employee RNG streams, and the episode/round counters.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainerError::Checkpoint`] on a corrupt checkpoint or one whose
+    /// shapes don't match this trainer's models; [`TrainerError::Chief`]
+    /// when the RNG streams can't be delivered to the employees.
+    pub fn restore_v2(&mut self, data: &[u8]) -> Result<(), TrainerError> {
+        let ck = vc_nn::serialize::load_checkpoint_v2(data)?;
+        if ck.policy.num_scalars() != self.store.num_scalars() {
+            return Err(TrainerError::Checkpoint(CheckpointError::Inconsistent(
+                "policy shape doesn't match this trainer",
+            )));
+        }
+        self.store.copy_values_from(&ck.policy);
+        self.ppo_opt
+            .restore_state(&self.store, ck.ppo_opt.t, &ck.ppo_opt.m, &ck.ppo_opt.v)
+            .map_err(|_| {
+                TrainerError::Checkpoint(CheckpointError::Inconsistent(
+                    "ppo Adam moments don't match the policy",
+                ))
+            })?;
+        if let (Some(cur), Some(copt)) = (&ck.curiosity, &ck.curiosity_opt) {
+            if self.curiosity_store_len != 0 {
+                if cur.num_scalars() != self.curiosity_store_len {
+                    return Err(TrainerError::Checkpoint(CheckpointError::Inconsistent(
+                        "curiosity shape doesn't match this trainer",
+                    )));
+                }
+                self.curiosity.params_mut().copy_values_from(cur);
+                let cstore = self.curiosity.params();
+                self.curiosity_opt.restore_state(cstore, copt.t, &copt.m, &copt.v).map_err(
+                    |_| {
+                        TrainerError::Checkpoint(CheckpointError::Inconsistent(
+                            "curiosity Adam moments don't match the model",
+                        ))
+                    },
+                )?;
+            }
+        }
+        if !ck.rng_states.is_empty() {
+            self.executor.restore_rngs(&ck.rng_states)?;
+        }
+        self.episodes = ck.episodes as usize;
+        self.rounds = ck.rounds;
+        self.executor.set_round(ck.rounds);
         Ok(())
     }
 }

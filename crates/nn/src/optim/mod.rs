@@ -4,7 +4,7 @@ mod adam;
 mod schedule;
 mod sgd;
 
-pub use adam::Adam;
+pub use adam::{Adam, MomentLengthMismatch};
 pub use schedule::LrSchedule;
 pub use sgd::Sgd;
 

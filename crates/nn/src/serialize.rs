@@ -1,33 +1,75 @@
-//! Binary checkpointing of a [`ParamStore`].
+//! Binary checkpointing of model parameters and full training state.
 //!
 //! The paper's training process "periodically saves DNN parameters for
-//! testing" (Sec VI-D); this module is that mechanism. The format is a
-//! simple self-describing little-endian layout:
+//! testing" (Sec VI-D); this module is that mechanism. Two formats share
+//! the `VCNN` magic:
+//!
+//! **v1** — a bare [`ParamStore`] (weights only), kept for evaluation
+//! artifacts and backward compatibility:
 //!
 //! ```text
-//! magic "VCNN" | u32 version | u32 param-count |
+//! magic "VCNN" | u32 version=1 | u32 param-count |
 //!   per param: u32 name-len | name bytes | u8 frozen |
 //!              u32 ndim | u32 dims... | f32 data...
 //! ```
+//!
+//! **v2** — a durable [`TrainCheckpoint`] capturing everything a run needs
+//! to resume *bit-exactly*: both parameter stores, Adam moment vectors and
+//! step counters, per-employee RNG streams, the episode/round counters, an
+//! opaque UTF-8 metadata blob (the trainer embeds its JSON config), and a
+//! CRC32 footer so torn or corrupted files are detected before any of it
+//! is trusted:
+//!
+//! ```text
+//! magic "VCNN" | u32 version=2 | u8 has-curiosity |
+//!   policy params (v1 param-count + per-param layout) |
+//!   [curiosity params] |
+//!   ppo adam: u64 t | u32 n | n×f32 m | n×f32 v |
+//!   [curiosity adam] |
+//!   u32 rng-count | per stream: 4×u64 |
+//!   u64 episodes | u64 rounds |
+//!   u32 meta-len | meta bytes |
+//!   u32 crc32 (IEEE, over every preceding byte)
+//! ```
+//!
+//! All loaders are total: malformed input of any shape yields a typed
+//! [`CheckpointError`], never a panic — length and size arithmetic is
+//! checked so hostile headers can't wrap offsets. [`write_checkpoint_file`]
+//! writes durably (tmp file, fsync, atomic rename) so a crash mid-write
+//! can never truncate an existing checkpoint.
 
 use crate::param::ParamStore;
 use crate::tensor::Tensor;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::Write;
+use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"VCNN";
 const VERSION: u32 = 1;
+const VERSION_V2: u32 = 2;
 
 /// Errors from checkpoint decoding.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CheckpointError {
     /// The buffer does not start with the expected magic bytes.
     BadMagic,
     /// Unknown format version.
     BadVersion(u32),
-    /// The buffer ended before the declared content.
+    /// The buffer ended before the declared content (or declared sizes
+    /// overflow — either way the declared content can't exist).
     Truncated,
     /// A string field was not valid UTF-8.
     BadName,
+    /// The CRC32 footer does not match the body: bit rot or a torn write.
+    BadCrc {
+        /// CRC computed over the body actually read.
+        computed: u32,
+        /// CRC the footer claims.
+        stored: u32,
+    },
+    /// A v2 section is internally inconsistent (e.g. Adam moments that
+    /// don't cover the parameter store they accompany).
+    Inconsistent(&'static str),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -37,17 +79,39 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
             CheckpointError::BadName => write!(f, "checkpoint contains non-UTF-8 name"),
+            CheckpointError::BadCrc { computed, stored } => {
+                write!(
+                    f,
+                    "checkpoint CRC mismatch: computed {computed:#010x}, stored {stored:#010x}"
+                )
+            }
+            CheckpointError::Inconsistent(what) => {
+                write!(f, "checkpoint internally inconsistent: {what}")
+            }
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
 
-/// Serializes every parameter (values only; gradients are transient).
-pub fn save_checkpoint(store: &ParamStore) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + store.num_scalars() * 4);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the same checksum
+/// gzip and PNG use. Bitwise implementation; checkpoint files are small
+/// enough that a lookup table isn't worth the code.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ------------------------------------------------------------ v1 sections
+
+fn put_store(buf: &mut BytesMut, store: &ParamStore) {
     buf.put_u32_le(store.len() as u32);
     for id in store.ids() {
         let name = store.name(id).as_bytes();
@@ -63,24 +127,11 @@ pub fn save_checkpoint(store: &ParamStore) -> Bytes {
             buf.put_f32_le(x);
         }
     }
-    buf.freeze()
 }
 
-/// Reconstructs a [`ParamStore`] from [`save_checkpoint`] output. Parameter
-/// ids are assigned in the original registration order, so layers built
-/// against the original store remain valid against the restored one.
-pub fn load_checkpoint(mut buf: &[u8]) -> Result<ParamStore, CheckpointError> {
-    if buf.remaining() < 12 {
+fn get_store(buf: &mut &[u8]) -> Result<ParamStore, CheckpointError> {
+    if buf.remaining() < 4 {
         return Err(CheckpointError::Truncated);
-    }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(CheckpointError::BadMagic);
-    }
-    let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(CheckpointError::BadVersion(version));
     }
     let count = buf.get_u32_le() as usize;
     let mut store = ParamStore::new();
@@ -89,7 +140,10 @@ pub fn load_checkpoint(mut buf: &[u8]) -> Result<ParamStore, CheckpointError> {
             return Err(CheckpointError::Truncated);
         }
         let name_len = buf.get_u32_le() as usize;
-        if buf.remaining() < name_len + 1 + 4 {
+        // name + frozen byte + ndim word, with overflow-checked sizing so a
+        // hostile name_len can't wrap past the bounds check.
+        let need = name_len.checked_add(1 + 4).ok_or(CheckpointError::Truncated)?;
+        if buf.remaining() < need {
             return Err(CheckpointError::Truncated);
         }
         let mut name_bytes = vec![0u8; name_len];
@@ -97,15 +151,20 @@ pub fn load_checkpoint(mut buf: &[u8]) -> Result<ParamStore, CheckpointError> {
         let name = String::from_utf8(name_bytes).map_err(|_| CheckpointError::BadName)?;
         let frozen = buf.get_u8() != 0;
         let ndim = buf.get_u32_le() as usize;
-        if buf.remaining() < ndim * 4 {
+        let dims_bytes = ndim.checked_mul(4).ok_or(CheckpointError::Truncated)?;
+        if buf.remaining() < dims_bytes {
             return Err(CheckpointError::Truncated);
         }
         let mut shape = Vec::with_capacity(ndim);
         for _ in 0..ndim {
             shape.push(buf.get_u32_le() as usize);
         }
-        let numel: usize = shape.iter().product();
-        if buf.remaining() < numel * 4 {
+        let numel = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or(CheckpointError::Truncated)?;
+        let data_bytes = numel.checked_mul(4).ok_or(CheckpointError::Truncated)?;
+        if buf.remaining() < data_bytes {
             return Err(CheckpointError::Truncated);
         }
         let mut data = Vec::with_capacity(numel);
@@ -122,13 +181,247 @@ pub fn load_checkpoint(mut buf: &[u8]) -> Result<ParamStore, CheckpointError> {
     Ok(store)
 }
 
+/// Serializes every parameter (values only; gradients are transient).
+pub fn save_checkpoint(store: &ParamStore) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + store.num_scalars() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    put_store(&mut buf, store);
+    buf.freeze()
+}
+
+/// Reconstructs a [`ParamStore`] from [`save_checkpoint`] output. Parameter
+/// ids are assigned in the original registration order, so layers built
+/// against the original store remain valid against the restored one.
+pub fn load_checkpoint(mut buf: &[u8]) -> Result<ParamStore, CheckpointError> {
+    if buf.remaining() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    get_store(&mut buf)
+}
+
+// ------------------------------------------------------------ v2 sections
+
+/// Snapshot of one Adam optimizer's state: step counter plus flattened
+/// first/second moments (both empty before the optimizer's first step).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AdamState {
+    /// Update steps taken (`Adam::steps`).
+    pub t: u64,
+    /// Flattened first-moment estimates in parameter-registration order.
+    pub m: Vec<f32>,
+    /// Flattened second-moment estimates in parameter-registration order.
+    pub v: Vec<f32>,
+}
+
+/// Everything a chief–employee training run needs to resume bit-exactly
+/// (see the v2 wire layout in the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct TrainCheckpoint {
+    /// Global actor-critic parameters.
+    pub policy: ParamStore,
+    /// Global curiosity parameters, when a curiosity model is trained.
+    pub curiosity: Option<ParamStore>,
+    /// Chief-side PPO Adam optimizer state.
+    pub ppo_opt: AdamState,
+    /// Chief-side curiosity Adam optimizer state (when curiosity is on).
+    pub curiosity_opt: Option<AdamState>,
+    /// Per-employee RNG stream states, indexed by employee.
+    pub rng_states: Vec<[u64; 4]>,
+    /// Episodes completed so far.
+    pub episodes: u64,
+    /// Global gradient gather rounds completed so far.
+    pub rounds: u64,
+    /// Opaque caller metadata (the trainer stores its JSON config here so
+    /// `--resume` can rebuild an identical trainer).
+    pub meta: String,
+}
+
+fn put_adam(buf: &mut BytesMut, state: &AdamState) {
+    buf.put_u64_le(state.t);
+    buf.put_u32_le(state.m.len() as u32);
+    for &x in &state.m {
+        buf.put_f32_le(x);
+    }
+    for &x in &state.v {
+        buf.put_f32_le(x);
+    }
+}
+
+fn get_adam(buf: &mut &[u8]) -> Result<AdamState, CheckpointError> {
+    if buf.remaining() < 12 {
+        return Err(CheckpointError::Truncated);
+    }
+    let t = buf.get_u64_le();
+    let n = buf.get_u32_le() as usize;
+    let bytes = n.checked_mul(8).ok_or(CheckpointError::Truncated)?;
+    if buf.remaining() < bytes {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut m = Vec::with_capacity(n);
+    for _ in 0..n {
+        m.push(buf.get_f32_le());
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(buf.get_f32_le());
+    }
+    Ok(AdamState { t, m, v })
+}
+
+/// Serializes a full training checkpoint in the v2 format (with CRC32
+/// footer).
+pub fn save_checkpoint_v2(ck: &TrainCheckpoint) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        64 + (ck.policy.num_scalars() + ck.ppo_opt.m.len() + ck.ppo_opt.v.len()) * 4
+            + ck.rng_states.len() * 32
+            + ck.meta.len(),
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION_V2);
+    buf.put_u8(ck.curiosity.is_some() as u8);
+    put_store(&mut buf, &ck.policy);
+    if let Some(cur) = &ck.curiosity {
+        put_store(&mut buf, cur);
+    }
+    put_adam(&mut buf, &ck.ppo_opt);
+    if ck.curiosity.is_some() {
+        let default = AdamState::default();
+        put_adam(&mut buf, ck.curiosity_opt.as_ref().unwrap_or(&default));
+    }
+    buf.put_u32_le(ck.rng_states.len() as u32);
+    for s in &ck.rng_states {
+        for &w in s {
+            buf.put_u64_le(w);
+        }
+    }
+    buf.put_u64_le(ck.episodes);
+    buf.put_u64_le(ck.rounds);
+    buf.put_u32_le(ck.meta.len() as u32);
+    buf.put_slice(ck.meta.as_bytes());
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    buf.freeze()
+}
+
+/// Reconstructs a [`TrainCheckpoint`] from [`save_checkpoint_v2`] output,
+/// verifying the CRC32 footer before trusting any content.
+///
+/// # Errors
+///
+/// Every malformed-buffer shape maps to a typed [`CheckpointError`]; this
+/// function never panics on hostile input.
+pub fn load_checkpoint_v2(full: &[u8]) -> Result<TrainCheckpoint, CheckpointError> {
+    if full.len() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut head: &[u8] = full;
+    let mut magic = [0u8; 4];
+    head.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = head.get_u32_le();
+    if version != VERSION_V2 {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    if full.len() < 13 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, footer) = full.split_at(full.len() - 4);
+    let stored = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]);
+    let computed = crc32(body);
+    if computed != stored {
+        return Err(CheckpointError::BadCrc { computed, stored });
+    }
+    // Parse past magic + version (already validated above).
+    let mut buf = &body[8..];
+    let has_curiosity = buf.get_u8() != 0;
+    let policy = get_store(&mut buf)?;
+    let curiosity = if has_curiosity { Some(get_store(&mut buf)?) } else { None };
+    let ppo_opt = get_adam(&mut buf)?;
+    let curiosity_opt = if has_curiosity { Some(get_adam(&mut buf)?) } else { None };
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let rng_count = buf.get_u32_le() as usize;
+    let rng_bytes = rng_count.checked_mul(32).ok_or(CheckpointError::Truncated)?;
+    if buf.remaining() < rng_bytes {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut rng_states = Vec::with_capacity(rng_count);
+    for _ in 0..rng_count {
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = buf.get_u64_le();
+        }
+        rng_states.push(s);
+    }
+    if buf.remaining() < 20 {
+        return Err(CheckpointError::Truncated);
+    }
+    let episodes = buf.get_u64_le();
+    let rounds = buf.get_u64_le();
+    let meta_len = buf.get_u32_le() as usize;
+    if buf.remaining() != meta_len {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut meta_bytes = vec![0u8; meta_len];
+    buf.copy_to_slice(&mut meta_bytes);
+    let meta = String::from_utf8(meta_bytes).map_err(|_| CheckpointError::BadName)?;
+    if !ppo_opt.m.is_empty() && ppo_opt.m.len() != policy.num_scalars() {
+        return Err(CheckpointError::Inconsistent("ppo Adam moments don't cover the policy"));
+    }
+    Ok(TrainCheckpoint {
+        policy,
+        curiosity,
+        ppo_opt,
+        curiosity_opt,
+        rng_states,
+        episodes,
+        rounds,
+        meta,
+    })
+}
+
+/// Writes checkpoint bytes durably: the content goes to `<path>.tmp`, is
+/// fsynced, then atomically renamed over `path`. A crash at any point
+/// leaves either the previous checkpoint or the complete new one — never a
+/// truncated hybrid.
+///
+/// # Errors
+///
+/// Any I/O error from creating, writing, syncing, or renaming the file.
+pub fn write_checkpoint_file(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::init;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     fn sample_store() -> ParamStore {
         let mut rng = StdRng::seed_from_u64(12);
@@ -137,6 +430,28 @@ mod tests {
         s.add("layer.b", Tensor::zeros(&[3]));
         s.add_frozen("emb.table", init::randn(&[10, 8], 1.0, &mut rng));
         s
+    }
+
+    fn sample_v2() -> TrainCheckpoint {
+        let policy = sample_store();
+        let n = policy.num_scalars();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cur = ParamStore::new();
+        cur.add("icm.w", init::randn(&[2, 2], 0.5, &mut rng));
+        TrainCheckpoint {
+            ppo_opt: AdamState {
+                t: 7,
+                m: (0..n).map(|i| i as f32 * 0.01).collect(),
+                v: (0..n).map(|i| i as f32 * 0.02).collect(),
+            },
+            curiosity_opt: Some(AdamState { t: 7, m: vec![0.1; 4], v: vec![0.2; 4] }),
+            curiosity: Some(cur),
+            policy,
+            rng_states: vec![[1, 2, 3, 4], [5, 6, 7, 8]],
+            episodes: 42,
+            rounds: 168,
+            meta: "{\"seed\":7}".to_owned(),
+        }
     }
 
     #[test]
@@ -179,6 +494,14 @@ mod tests {
     }
 
     #[test]
+    fn v1_loader_rejects_v2_and_vice_versa() {
+        let v2 = save_checkpoint_v2(&sample_v2());
+        assert_eq!(load_checkpoint(&v2).unwrap_err(), CheckpointError::BadVersion(2));
+        let v1 = save_checkpoint(&sample_store());
+        assert_eq!(load_checkpoint_v2(&v1).unwrap_err(), CheckpointError::BadVersion(1));
+    }
+
+    #[test]
     fn wire_format_is_stable() {
         // Golden prefix: magic + version + count. Changing the format must
         // bump VERSION, not silently alter these bytes.
@@ -199,5 +522,155 @@ mod tests {
         let store = ParamStore::new();
         let restored = load_checkpoint(&save_checkpoint(&store)).unwrap();
         assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn hostile_headers_with_huge_sizes_are_truncated_not_panics() {
+        // A v1 header declaring one param whose name_len is u32::MAX: the
+        // unchecked `name_len + 5` would wrap to 4 and pass the bounds
+        // check in release builds. Must be a typed error instead.
+        let mut bytes: Vec<u8> = Vec::new();
+        bytes.put_slice(b"VCNN");
+        bytes.put_u32_le(1); // version
+        bytes.put_u32_le(1); // one param
+        bytes.put_u32_le(u32::MAX); // hostile name_len
+        assert_eq!(load_checkpoint(&bytes).unwrap_err(), CheckpointError::Truncated);
+
+        // Hostile shape whose element product overflows usize.
+        let mut bytes: Vec<u8> = Vec::new();
+        bytes.put_slice(b"VCNN");
+        bytes.put_u32_le(1);
+        bytes.put_u32_le(1); // one param
+        bytes.put_u32_le(1); // name_len
+        bytes.put_u8(b'w');
+        bytes.put_u8(0); // not frozen
+        bytes.put_u32_le(4); // ndim = 4
+        for _ in 0..4 {
+            bytes.put_u32_le(u32::MAX); // dims whose product wraps
+        }
+        assert_eq!(load_checkpoint(&bytes).unwrap_err(), CheckpointError::Truncated);
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_everything() {
+        let ck = sample_v2();
+        let bytes = save_checkpoint_v2(&ck);
+        let back = load_checkpoint_v2(&bytes).unwrap();
+        assert_eq!(back.policy.flat_values(), ck.policy.flat_values());
+        assert_eq!(
+            back.curiosity.as_ref().unwrap().flat_values(),
+            ck.curiosity.as_ref().unwrap().flat_values()
+        );
+        assert_eq!(back.ppo_opt, ck.ppo_opt);
+        assert_eq!(back.curiosity_opt, ck.curiosity_opt);
+        assert_eq!(back.rng_states, ck.rng_states);
+        assert_eq!((back.episodes, back.rounds), (42, 168));
+        assert_eq!(back.meta, ck.meta);
+    }
+
+    #[test]
+    fn v2_without_curiosity_roundtrips() {
+        let ck = TrainCheckpoint {
+            policy: sample_store(),
+            meta: String::new(),
+            ..TrainCheckpoint::default()
+        };
+        let back = load_checkpoint_v2(&save_checkpoint_v2(&ck)).unwrap();
+        assert!(back.curiosity.is_none() && back.curiosity_opt.is_none());
+        assert_eq!(back.policy.flat_values(), ck.policy.flat_values());
+        assert_eq!(back.ppo_opt, AdamState::default());
+    }
+
+    #[test]
+    fn v2_flipped_bit_anywhere_is_detected() {
+        // The CRC footer must catch a single flipped bit at any offset
+        // (flips inside the footer itself surface as BadCrc too; flips in
+        // the magic/version words surface as those typed errors).
+        let bytes = save_checkpoint_v2(&sample_v2()).to_vec();
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..200 {
+            let mut corrupted = bytes.clone();
+            let byte = rng.gen_range(0..corrupted.len());
+            let bit = rng.gen_range(0..8usize);
+            corrupted[byte] ^= 1 << bit;
+            assert!(
+                load_checkpoint_v2(&corrupted).is_err(),
+                "flip at byte {byte} bit {bit} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_every_truncation_is_a_typed_error() {
+        let bytes = save_checkpoint_v2(&sample_v2()).to_vec();
+        for cut in 0..bytes.len() {
+            match load_checkpoint_v2(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(_) => panic!("truncation to {cut} bytes parsed successfully"),
+            }
+        }
+    }
+
+    #[test]
+    fn fuzz_random_mutations_never_panic() {
+        // Seeded chaos: random multi-byte mutations, random truncations,
+        // and random garbage must always produce Ok or a typed error —
+        // any panic fails the test harness.
+        let v1 = save_checkpoint(&sample_store()).to_vec();
+        let v2 = save_checkpoint_v2(&sample_v2()).to_vec();
+        let mut rng = StdRng::seed_from_u64(99);
+        for round in 0..500 {
+            let base = if round % 2 == 0 { &v1 } else { &v2 };
+            let mut buf = base.clone();
+            for _ in 0..rng.gen_range(1..8usize) {
+                let i = rng.gen_range(0..buf.len());
+                buf[i] = (rng.gen::<u32>() & 0xFF) as u8;
+            }
+            if rng.gen_bool(0.5) {
+                buf.truncate(rng.gen_range(0..buf.len() + 1));
+            }
+            let _ = load_checkpoint(&buf);
+            let _ = load_checkpoint_v2(&buf);
+        }
+        // Pure garbage of assorted lengths.
+        for len in [0usize, 1, 3, 7, 8, 12, 13, 64, 1024] {
+            let garbage: Vec<u8> = (0..len).map(|_| (rng.gen::<u32>() & 0xFF) as u8).collect();
+            let _ = load_checkpoint(&garbage);
+            let _ = load_checkpoint_v2(&garbage);
+        }
+    }
+
+    #[test]
+    fn v2_inconsistent_adam_coverage_rejected() {
+        let mut ck = sample_v2();
+        ck.ppo_opt.m = vec![0.0; 3]; // doesn't cover the policy
+        ck.ppo_opt.v = vec![0.0; 3];
+        let bytes = save_checkpoint_v2(&ck);
+        assert!(matches!(
+            load_checkpoint_v2(&bytes).unwrap_err(),
+            CheckpointError::Inconsistent(_)
+        ));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("vcnn-serialize-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.bin");
+        write_checkpoint_file(&path, b"old").unwrap();
+        let bytes = save_checkpoint_v2(&sample_v2());
+        write_checkpoint_file(&path, &bytes).unwrap();
+        let read = std::fs::read(&path).unwrap();
+        assert_eq!(read, bytes.as_ref());
+        assert!(!dir.join("ck.bin.tmp").exists(), "tmp file left behind");
+        load_checkpoint_v2(&read).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE check value: crc32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 }

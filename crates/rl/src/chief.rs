@@ -1,30 +1,43 @@
 //! The chief–employee distributed computational architecture (Section V-A,
-//! Algorithms 1–2).
+//! Algorithms 1–2), hardened for long production-scale runs.
 //!
 //! One **chief** owns the global PPO and curiosity parameter stores and the
 //! only optimizers. M **employee** threads each hold a local model copy and
 //! a local environment. Training is *synchronous*: per update round `k`,
-//! every employee computes gradients from its own experience and pushes them
-//! into the global [`GradientBuffer`]s; the chief waits for all M
-//! contributions, sums them, applies one Adam step per model, clears the
-//! buffers, and broadcasts fresh parameters. (The paper explicitly prefers
-//! this synchronous scheme over asynchronous V-trace-style correction.)
+//! every employee computes gradients from its own experience and ships them
+//! to the chief, which sums them through the global [`GradientBuffer`]s,
+//! applies one Adam step per model, and broadcasts fresh parameters. (The
+//! paper explicitly prefers this synchronous scheme over asynchronous
+//! V-trace-style correction.)
+//!
+//! The paper assumes every employee survives every round. This executor does
+//! not: employee round work runs under `std::panic::catch_unwind`, so a
+//! panicking employee reports *why* it died instead of silently wedging the
+//! barrier; a configurable round timeout declares hung employees dead; dead
+//! employees are respawned from the current global parameter snapshot under
+//! a bounded restart budget with exponential backoff; and gradient
+//! contributions containing NaN/Inf are quarantined — dropped from the sum
+//! with the divisor adjusted — instead of corrupting the global model. A
+//! deterministic [`FaultPlan`] can inject panics, stalls and NaN gradients
+//! at scripted rounds so every recovery path is exercised by seeded tests.
 //!
 //! The employee behavior is abstracted behind the [`Employee`] trait so the
 //! same chief drives DRL-CEWS (PPO + curiosity), DPPO (PPO only) and Edics
 //! (per-worker agents).
 //!
-//! All executor entry points are fallible: employee-thread death, closed
-//! channels and malformed gradient contributions surface as [`ChiefError`]
-//! instead of panicking inside library code (see DESIGN.md, "Error handling
-//! & static analysis policy").
+//! All executor entry points are fallible: unrecoverable failures (exhausted
+//! restart budget, protocol violations, malformed gradients) surface as
+//! [`ChiefError`] instead of panicking inside library code (see DESIGN.md,
+//! "Fault tolerance & resume").
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Errors surfaced by the chief–employee executor and its gradient buffers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -33,11 +46,23 @@ pub enum ChiefError {
     NoEmployees,
     /// The OS refused to spawn an employee thread.
     Spawn(String),
-    /// An employee's command channel is closed — its thread died (panicked
-    /// or exited early).
+    /// An employee died (panicked, timed out, or closed its command channel)
+    /// and no factory/budget was available to respawn it.
     EmployeeDied {
         /// Index of the dead employee.
         employee: usize,
+        /// Why it died: the panic message, `"timed out after …"`, or
+        /// `"command channel closed"`.
+        reason: String,
+    },
+    /// An employee died and the restart budget was already spent.
+    RestartBudgetExhausted {
+        /// Index of the employee that could not be respawned.
+        employee: usize,
+        /// The configured total restart budget.
+        budget: usize,
+        /// Why the employee died this time.
+        reason: String,
     },
     /// The shared reply channel closed: every employee thread is gone.
     ChannelClosed,
@@ -51,7 +76,7 @@ pub enum ChiefError {
     /// A gather round completed with the wrong number of contributions in a
     /// buffer — some employee double-pushed or skipped its push.
     ContributionMismatch {
-        /// Contributions the round should have produced (= employee count).
+        /// Contributions the round should have produced.
         expected: usize,
         /// Contributions actually present in the buffer.
         got: usize,
@@ -63,8 +88,19 @@ pub enum ChiefError {
     UnexpectedReply {
         /// Index of the employee that sent the reply.
         employee: usize,
-        /// The phase the chief was running (`"rollout"` or `"update"`).
+        /// The phase the chief was running (`"rollout"`, `"update"` or
+        /// `"rng"`).
         during: &'static str,
+    },
+    /// A caller-provided state vector has the wrong cardinality (e.g. RNG
+    /// states for a different employee count).
+    StateMismatch {
+        /// What kind of state disagreed.
+        what: &'static str,
+        /// Expected cardinality.
+        expected: usize,
+        /// Provided cardinality.
+        got: usize,
     },
 }
 
@@ -73,8 +109,14 @@ impl fmt::Display for ChiefError {
         match self {
             ChiefError::NoEmployees => write!(f, "need at least one employee"),
             ChiefError::Spawn(err) => write!(f, "failed to spawn employee thread: {err}"),
-            ChiefError::EmployeeDied { employee } => {
-                write!(f, "employee {employee} died (command channel closed)")
+            ChiefError::EmployeeDied { employee, reason } => {
+                write!(f, "employee {employee} died ({reason})")
+            }
+            ChiefError::RestartBudgetExhausted { employee, budget, reason } => {
+                write!(
+                    f,
+                    "employee {employee} died ({reason}) with restart budget {budget} exhausted"
+                )
             }
             ChiefError::ChannelClosed => write!(f, "reply channel closed: all employees are gone"),
             ChiefError::GradientLengthMismatch { expected, got } => {
@@ -89,11 +131,109 @@ impl fmt::Display for ChiefError {
             ChiefError::UnexpectedReply { employee, during } => {
                 write!(f, "employee {employee} sent the wrong reply kind during {during}")
             }
+            ChiefError::StateMismatch { what, expected, got } => {
+                write!(f, "{what} state count mismatch: expected {expected}, got {got}")
+            }
         }
     }
 }
 
 impl std::error::Error for ChiefError {}
+
+// ------------------------------------------------------------ fault plans
+
+/// What a scripted fault does to the targeted employee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Panic inside the update-round work (exercises `catch_unwind` +
+    /// respawn).
+    Panic,
+    /// Swallow this and the next `rounds - 1` update commands without
+    /// replying (exercises the round timeout + respawn).
+    Stall {
+        /// Number of consecutive update rounds to stay silent for.
+        rounds: u64,
+    },
+    /// Replace every PPO gradient component with NaN (exercises
+    /// quarantine).
+    NanGrads,
+}
+
+/// One scripted fault: `kind` fires on `employee` at update round `round`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Target employee index.
+    pub employee: usize,
+    /// Global update-round counter value at which the fault fires.
+    pub round: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault-injection script, threaded through [`ChiefConfig`]
+/// into every employee thread. Empty by default (no faults).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The scripted faults, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no faults are scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds one scripted fault (builder-style).
+    pub fn with(mut self, employee: usize, round: u64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { employee, round, kind });
+        self
+    }
+
+    /// The fault scripted for `employee` at `round`, if any.
+    pub fn at(&self, employee: usize, round: u64) -> Option<FaultKind> {
+        self.events.iter().find(|e| e.employee == employee && e.round == round).map(|e| e.kind)
+    }
+}
+
+/// Fault-tolerance policy for a [`ChiefExecutor`].
+#[derive(Clone, Debug)]
+pub struct ChiefConfig {
+    /// How long a gather phase waits for stragglers before declaring the
+    /// missing employees dead. `None` waits forever (a hung employee then
+    /// wedges the barrier, as in the paper's idealized scheme).
+    pub round_timeout: Option<Duration>,
+    /// Total employee respawns allowed across the executor's lifetime; once
+    /// spent, the next death is fatal
+    /// ([`ChiefError::RestartBudgetExhausted`]).
+    pub restart_budget: usize,
+    /// Base of the per-employee exponential respawn backoff: restart `n` of
+    /// one employee sleeps `backoff_base * 2^n` (capped).
+    pub backoff_base: Duration,
+    /// Upper bound on one backoff sleep.
+    pub backoff_cap: Duration,
+    /// Deterministic fault-injection script (empty in production).
+    pub faults: FaultPlan,
+}
+
+impl Default for ChiefConfig {
+    fn default() -> Self {
+        Self {
+            round_timeout: None,
+            restart_budget: 0,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(5),
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+// -------------------------------------------------------------- data types
 
 /// Flat gradient vectors for the two global models. An empty curiosity
 /// vector means the employee trains no curiosity model.
@@ -106,6 +246,14 @@ pub struct GradPair {
     /// Diagnostics from the minibatch that produced `ppo` (entropy, value
     /// loss, KL proxy), aggregated by the chief for training telemetry.
     pub stats: crate::ppo::PpoStats,
+}
+
+impl GradPair {
+    /// True when any gradient component is NaN or ±Inf — such contributions
+    /// are quarantined by the chief rather than summed.
+    pub fn has_non_finite(&self) -> bool {
+        self.ppo.iter().chain(self.curiosity.iter()).any(|x| !x.is_finite())
+    }
 }
 
 /// Per-episode summary an employee reports after its rollout.
@@ -160,6 +308,16 @@ pub trait Employee: Send + 'static {
     /// One update round: sample a minibatch, compute gradients w.r.t. the
     /// local models, and return them flat (Algorithm 1, lines 18–20).
     fn compute_grads(&mut self) -> GradPair;
+
+    /// The employee's RNG stream state, for durable checkpoints that resume
+    /// bit-exactly. The default (all zeros) opts out of RNG persistence.
+    fn snapshot_rng(&self) -> [u64; 4] {
+        [0; 4]
+    }
+
+    /// Restores an RNG stream captured by [`Self::snapshot_rng`]. The
+    /// default is a no-op for employees without a persisted stream.
+    fn restore_rng(&mut self, _state: [u64; 4]) {}
 }
 
 /// A thread-safe flat-gradient accumulator — the "PPO gradient buffer" /
@@ -219,55 +377,215 @@ impl GradientBuffer {
     }
 }
 
+// ---------------------------------------------------------------- protocol
+
 enum Cmd {
     LoadParams(Arc<(Vec<f32>, Vec<f32>)>),
     Rollout,
-    ComputeGrads,
+    ComputeGrads { round: u64 },
+    SnapshotRng,
+    RestoreRng([u64; 4]),
     Stop,
 }
 
 enum Reply {
     RolloutDone(EpisodeStats),
-    /// Gradients were pushed into the global buffers; `Err` carries an
-    /// accumulate failure detected on the employee side.
-    GradsDone(Result<crate::ppo::PpoStats, ChiefError>),
+    /// The employee's gradients for this round, shipped to the chief for
+    /// accumulation (the chief owns the Fig.-1 gradient buffers).
+    GradsDone(GradPair),
+    /// The employee's round work panicked; carries the phase and the panic
+    /// payload rendered as a string.
+    Panicked {
+        during: &'static str,
+        message: String,
+    },
+    RngState([u64; 4]),
 }
 
-struct EmployeeHandle {
-    cmd_tx: Sender<Cmd>,
+/// Extracts a human-readable message from a panic payload: `String` and
+/// `&str` payloads verbatim, anything else `"<non-string panic>"`.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_owned()
+    }
+}
+
+/// The employee thread body: a command loop whose round work is wrapped in
+/// `catch_unwind`, with deterministic fault injection from the shared
+/// [`FaultPlan`]. On a caught panic the thread reports [`Reply::Panicked`]
+/// and exits; the chief respawns a replacement.
+fn run_employee(
+    mut emp: Box<dyn Employee>,
+    index: usize,
+    generation: u64,
+    cmd_rx: Receiver<Cmd>,
+    reply_tx: Sender<(usize, u64, Reply)>,
+    faults: Arc<FaultPlan>,
+) {
+    let mut stalled_rounds = 0u64;
+    while let Ok(cmd) = cmd_rx.recv() {
+        match cmd {
+            Cmd::LoadParams(p) => emp.load_params(&p.0, &p.1),
+            Cmd::Rollout => match catch_unwind(AssertUnwindSafe(|| emp.rollout())) {
+                Ok(stats) => {
+                    let _ = reply_tx.send((index, generation, Reply::RolloutDone(stats)));
+                }
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    let _ = reply_tx.send((
+                        index,
+                        generation,
+                        Reply::Panicked { during: "rollout", message },
+                    ));
+                    return;
+                }
+            },
+            Cmd::ComputeGrads { round } => {
+                if stalled_rounds > 0 {
+                    // Mid-stall: swallow the command without replying; the
+                    // chief's round timeout will declare this employee dead.
+                    stalled_rounds -= 1;
+                    continue;
+                }
+                let fault = faults.at(index, round);
+                if let Some(FaultKind::Stall { rounds }) = fault {
+                    stalled_rounds = rounds.saturating_sub(1);
+                    continue;
+                }
+                let work = catch_unwind(AssertUnwindSafe(|| {
+                    if fault == Some(FaultKind::Panic) {
+                        panic!("injected fault: employee {index} panicked at round {round}");
+                    }
+                    let mut grads = emp.compute_grads();
+                    if fault == Some(FaultKind::NanGrads) {
+                        for g in &mut grads.ppo {
+                            *g = f32::NAN;
+                        }
+                    }
+                    grads
+                }));
+                match work {
+                    Ok(grads) => {
+                        let _ = reply_tx.send((index, generation, Reply::GradsDone(grads)));
+                    }
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        let _ = reply_tx.send((
+                            index,
+                            generation,
+                            Reply::Panicked { during: "update", message },
+                        ));
+                        return;
+                    }
+                }
+            }
+            Cmd::SnapshotRng => {
+                let _ = reply_tx.send((index, generation, Reply::RngState(emp.snapshot_rng())));
+            }
+            Cmd::RestoreRng(state) => emp.restore_rng(state),
+            Cmd::Stop => return,
+        }
+    }
+}
+
+// --------------------------------------------------------------- executor
+
+/// One employee's chief-side bookkeeping.
+struct EmployeeSlot {
+    /// `None` while the employee is dead (dropping the sender lets a
+    /// stalled thread observe the closed channel and exit).
+    cmd_tx: Option<Sender<Cmd>>,
     join: Option<JoinHandle<()>>,
+    /// Bumped on every respawn; replies from older generations are stale
+    /// and ignored.
+    generation: u64,
+    /// Times this slot has been respawned (drives the backoff exponent).
+    restarts: usize,
+    /// Completed a rollout since its last (re)spawn — cold employees have
+    /// no experience buffer and sit out gather rounds until the next
+    /// rollout phase.
+    warm: bool,
+    /// Why the employee is currently dead, when it is.
+    dead: Option<String>,
 }
 
-/// Drives M employee threads through synchronized rollout / update rounds.
+impl EmployeeSlot {
+    fn is_alive(&self) -> bool {
+        self.dead.is_none()
+    }
+}
+
+/// What one fault-tolerant gather round produced.
+#[derive(Clone, Debug, Default)]
+pub struct RoundReport {
+    /// Summed PPO gradients over healthy contributors (empty when nobody
+    /// contributed — the caller should skip the optimizer step).
+    pub ppo: Vec<f32>,
+    /// Summed curiosity gradients (empty when unused or nobody contributed).
+    pub curiosity: Vec<f32>,
+    /// Mean minibatch diagnostics over healthy contributors.
+    pub stats: crate::ppo::PpoStats,
+    /// Healthy gradient contributions in the sums — the divisor for
+    /// employee averaging (quarantined and dead employees excluded).
+    pub contributors: usize,
+    /// Employees whose gradients contained NaN/Inf and were dropped.
+    pub quarantined: Vec<usize>,
+    /// Employees that died this round (panic, timeout, closed channel).
+    pub failed: Vec<usize>,
+    /// Employees respawned at the end of this round.
+    pub respawned: Vec<usize>,
+}
+
+/// What one fault-tolerant rollout phase produced.
+#[derive(Clone, Debug, Default)]
+pub struct RolloutReport {
+    /// Stats of employees that completed their rollout, ordered by
+    /// employee index.
+    pub stats: Vec<EpisodeStats>,
+    /// Employees that died during the rollout phase.
+    pub failed: Vec<usize>,
+    /// Employees respawned at the end of the phase (cold until the next
+    /// rollout).
+    pub respawned: Vec<usize>,
+}
+
+type EmployeeFactory = Box<dyn FnMut(usize) -> Box<dyn Employee> + Send>;
+
+/// Drives M employee threads through synchronized rollout / update rounds,
+/// containing panics, declaring stragglers dead, quarantining non-finite
+/// gradients, and respawning dead employees within a restart budget.
 ///
 /// The chief does not know what model the employees run; it only moves flat
 /// parameter and gradient vectors. The caller owns the global stores and
 /// optimizers and provides the summed-gradient application as a closure.
 pub struct ChiefExecutor {
-    employees: Vec<EmployeeHandle>,
-    reply_rx: Receiver<(usize, Reply)>,
+    slots: Vec<EmployeeSlot>,
+    reply_rx: Receiver<(usize, u64, Reply)>,
+    /// Kept alive (and cloned into respawned threads) so the reply channel
+    /// never disconnects while the chief lives.
+    reply_tx: Sender<(usize, u64, Reply)>,
     ppo_buffer: Arc<GradientBuffer>,
     curiosity_buffer: Arc<GradientBuffer>,
-}
-
-/// Pushes one employee's gradients into the global buffers, stopping at the
-/// first failure. Runs on the employee thread; each `accumulate` call takes
-/// and releases the buffer lock before the reply is sent, so no lock is held
-/// across a channel send.
-fn push_grads(
-    grads: &GradPair,
-    ppo_buf: &GradientBuffer,
-    cur_buf: &GradientBuffer,
-) -> Result<(), ChiefError> {
-    ppo_buf.accumulate(&grads.ppo)?;
-    if !grads.curiosity.is_empty() {
-        cur_buf.accumulate(&grads.curiosity)?;
-    }
-    Ok(())
+    cfg: ChiefConfig,
+    faults: Arc<FaultPlan>,
+    factory: Option<EmployeeFactory>,
+    /// Last broadcast parameter snapshot; respawned employees are seeded
+    /// from it.
+    snapshot: Option<Arc<(Vec<f32>, Vec<f32>)>>,
+    /// Global update-round counter (drives fault injection and resume).
+    round: u64,
+    /// Respawns spent from the restart budget.
+    restarts_used: usize,
 }
 
 impl ChiefExecutor {
-    /// Spawns one thread per employee.
+    /// Spawns one thread per pre-built employee, with no respawn capability
+    /// (first death is fatal) and no timeout — the paper's idealized
+    /// executor. Use [`Self::spawn_with`] for fault tolerance.
     ///
     /// # Errors
     ///
@@ -277,149 +595,469 @@ impl ChiefExecutor {
         if employees.is_empty() {
             return Err(ChiefError::NoEmployees);
         }
-        let ppo_buffer = Arc::new(GradientBuffer::new());
-        let curiosity_buffer = Arc::new(GradientBuffer::new());
-        let (reply_tx, reply_rx) = bounded::<(usize, Reply)>(employees.len() * 2);
+        Self::build(
+            employees.into_iter().map(|e| Box::new(e) as Box<dyn Employee>).collect(),
+            None,
+            ChiefConfig::default(),
+        )
+    }
 
-        let mut handles = Vec::with_capacity(employees.len());
-        for (i, mut emp) in employees.into_iter().enumerate() {
-            let (cmd_tx, cmd_rx) = bounded::<Cmd>(2);
-            let reply_tx = reply_tx.clone();
-            let ppo_buf = Arc::clone(&ppo_buffer);
-            let cur_buf = Arc::clone(&curiosity_buffer);
-            let join = std::thread::Builder::new()
-                .name(format!("employee-{i}"))
-                .spawn(move || {
-                    while let Ok(cmd) = cmd_rx.recv() {
-                        match cmd {
-                            Cmd::LoadParams(p) => emp.load_params(&p.0, &p.1),
-                            Cmd::Rollout => {
-                                let stats = emp.rollout();
-                                let _ = reply_tx.send((i, Reply::RolloutDone(stats)));
-                            }
-                            Cmd::ComputeGrads => {
-                                let grads = emp.compute_grads();
-                                let pushed = push_grads(&grads, &ppo_buf, &cur_buf);
-                                let reply = pushed.map(|()| grads.stats);
-                                let _ = reply_tx.send((i, Reply::GradsDone(reply)));
-                            }
-                            Cmd::Stop => break,
-                        }
-                    }
-                })
-                .map_err(|e| ChiefError::Spawn(e.to_string()))?;
-            handles.push(EmployeeHandle { cmd_tx, join: Some(join) });
+    /// Spawns `count` employees from `factory` under the fault-tolerance
+    /// policy in `cfg`. The factory is retained and re-invoked to build
+    /// replacements for dead employees.
+    ///
+    /// # Errors
+    ///
+    /// [`ChiefError::NoEmployees`] when `count == 0`, [`ChiefError::Spawn`]
+    /// when the OS refuses a thread.
+    pub fn spawn_with<F>(count: usize, mut factory: F, cfg: ChiefConfig) -> Result<Self, ChiefError>
+    where
+        F: FnMut(usize) -> Box<dyn Employee> + Send + 'static,
+    {
+        if count == 0 {
+            return Err(ChiefError::NoEmployees);
         }
+        let employees: Vec<Box<dyn Employee>> = (0..count).map(&mut factory).collect();
+        Self::build(employees, Some(Box::new(factory)), cfg)
+    }
 
-        Ok(Self { employees: handles, reply_rx, ppo_buffer, curiosity_buffer })
+    fn build(
+        employees: Vec<Box<dyn Employee>>,
+        factory: Option<EmployeeFactory>,
+        cfg: ChiefConfig,
+    ) -> Result<Self, ChiefError> {
+        let count = employees.len();
+        let faults = Arc::new(cfg.faults.clone());
+        let (reply_tx, reply_rx) = bounded::<(usize, u64, Reply)>((count * 4).max(16));
+        let mut slots = Vec::with_capacity(count);
+        for (i, emp) in employees.into_iter().enumerate() {
+            let (cmd_tx, join) = spawn_thread(emp, i, 0, reply_tx.clone(), Arc::clone(&faults))?;
+            slots.push(EmployeeSlot {
+                cmd_tx: Some(cmd_tx),
+                join: Some(join),
+                generation: 0,
+                restarts: 0,
+                warm: false,
+                dead: None,
+            });
+        }
+        Ok(Self {
+            slots,
+            reply_rx,
+            reply_tx,
+            ppo_buffer: Arc::new(GradientBuffer::new()),
+            curiosity_buffer: Arc::new(GradientBuffer::new()),
+            cfg,
+            faults,
+            factory,
+            snapshot: None,
+            round: 0,
+            restarts_used: 0,
+        })
     }
 
     /// Number of employees.
     pub fn num_employees(&self) -> usize {
-        self.employees.len()
+        self.slots.len()
+    }
+
+    /// Global update-round counter (the `round` axis of [`FaultPlan`]).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Overrides the update-round counter (used when resuming a run from a
+    /// durable checkpoint so scripted faults and telemetry stay aligned).
+    pub fn set_round(&mut self, round: u64) {
+        self.round = round;
+    }
+
+    /// Respawns spent from [`ChiefConfig::restart_budget`] so far.
+    pub fn restarts_used(&self) -> usize {
+        self.restarts_used
+    }
+
+    /// Marks an employee dead: its command channel is dropped (a stalled
+    /// thread then observes the closed channel and exits) and its join
+    /// handle detached (never block the chief on a hung thread).
+    fn mark_dead(&mut self, employee: usize, reason: String) {
+        let slot = &mut self.slots[employee];
+        if slot.dead.is_some() {
+            return;
+        }
+        slot.cmd_tx = None;
+        drop(slot.join.take()); // detach
+        slot.warm = false;
+        slot.dead = Some(reason);
+    }
+
+    /// Respawns every currently dead employee from the factory, charging
+    /// the restart budget and sleeping the exponential backoff. Returns the
+    /// respawned indices.
+    ///
+    /// # Errors
+    ///
+    /// [`ChiefError::EmployeeDied`] when no factory exists (executor built
+    /// via [`Self::spawn`]), [`ChiefError::RestartBudgetExhausted`] when
+    /// the budget is spent, [`ChiefError::Spawn`] when the OS refuses a
+    /// thread.
+    fn respawn_dead(&mut self) -> Result<Vec<usize>, ChiefError> {
+        let dead: Vec<usize> =
+            (0..self.slots.len()).filter(|&i| !self.slots[i].is_alive()).collect();
+        let mut respawned = Vec::new();
+        for i in dead {
+            let reason = self.slots[i].dead.clone().unwrap_or_else(|| "unknown".to_owned());
+            if self.factory.is_none() {
+                return Err(ChiefError::EmployeeDied { employee: i, reason });
+            }
+            if self.restarts_used >= self.cfg.restart_budget {
+                return Err(ChiefError::RestartBudgetExhausted {
+                    employee: i,
+                    budget: self.cfg.restart_budget,
+                    reason,
+                });
+            }
+            let exponent = self.slots[i].restarts.min(16) as u32;
+            let backoff = self
+                .cfg
+                .backoff_base
+                .saturating_mul(2u32.saturating_pow(exponent))
+                .min(self.cfg.backoff_cap);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            let generation = self.slots[i].generation + 1;
+            let emp = match self.factory.as_mut() {
+                Some(f) => f(i),
+                None => return Err(ChiefError::EmployeeDied { employee: i, reason }),
+            };
+            let (cmd_tx, join) =
+                spawn_thread(emp, i, generation, self.reply_tx.clone(), Arc::clone(&self.faults))?;
+            // Seed the replacement from the current global snapshot so it
+            // rejoins at the chief's parameters, not at init.
+            if let Some(snap) = &self.snapshot {
+                let _ = cmd_tx.send(Cmd::LoadParams(Arc::clone(snap)));
+            }
+            let slot = &mut self.slots[i];
+            slot.cmd_tx = Some(cmd_tx);
+            slot.join = Some(join);
+            slot.generation = generation;
+            slot.restarts += 1;
+            slot.warm = false;
+            slot.dead = None;
+            self.restarts_used += 1;
+            respawned.push(i);
+        }
+        Ok(respawned)
     }
 
     /// Broadcasts fresh global parameters to every employee (fire-and-forget;
-    /// the next synchronized phase orders it before use).
+    /// the next synchronized phase orders it before use). The snapshot is
+    /// cached so respawned employees can be seeded from it. Employees whose
+    /// command channel is closed are declared dead and respawned.
     ///
     /// # Errors
     ///
-    /// [`ChiefError::EmployeeDied`] if any employee's command channel is
-    /// closed.
-    pub fn broadcast_params(&self, ppo: Vec<f32>, curiosity: Vec<f32>) -> Result<(), ChiefError> {
+    /// The respawn errors of [`ChiefError`] when a dead employee cannot be
+    /// replaced.
+    pub fn broadcast_params(
+        &mut self,
+        ppo: Vec<f32>,
+        curiosity: Vec<f32>,
+    ) -> Result<(), ChiefError> {
         let shared = Arc::new((ppo, curiosity));
-        for (i, e) in self.employees.iter().enumerate() {
-            e.cmd_tx
-                .send(Cmd::LoadParams(Arc::clone(&shared)))
-                .map_err(|_| ChiefError::EmployeeDied { employee: i })?;
+        self.snapshot = Some(Arc::clone(&shared));
+        for i in 0..self.slots.len() {
+            let sent = match &self.slots[i].cmd_tx {
+                Some(tx) => tx.send(Cmd::LoadParams(Arc::clone(&shared))).is_ok(),
+                None => false,
+            };
+            if !sent && self.slots[i].is_alive() {
+                self.mark_dead(i, "command channel closed".to_owned());
+            }
         }
+        self.respawn_dead()?;
         Ok(())
     }
 
-    /// Runs one episode rollout on every employee in parallel and returns
-    /// their stats (indexed by employee).
+    /// Sends one command to every matching live slot; returns the indices
+    /// awaiting a reply. Slots whose channel is closed are declared dead.
+    fn send_phase(&mut self, make_cmd: impl Fn() -> Cmd, warm_only: bool) -> Vec<bool> {
+        let mut pending = vec![false; self.slots.len()];
+        for (i, pend) in pending.iter_mut().enumerate() {
+            if !self.slots[i].is_alive() || (warm_only && !self.slots[i].warm) {
+                continue;
+            }
+            let sent = match &self.slots[i].cmd_tx {
+                Some(tx) => tx.send(make_cmd()).is_ok(),
+                None => false,
+            };
+            if sent {
+                *pend = true;
+            } else {
+                self.mark_dead(i, "command channel closed".to_owned());
+            }
+        }
+        pending
+    }
+
+    /// Receives the next reply within the phase deadline. `Ok(None)` means
+    /// the deadline expired.
+    fn recv_deadline(
+        &self,
+        deadline: Option<Instant>,
+    ) -> Result<Option<(usize, u64, Reply)>, ChiefError> {
+        match deadline {
+            None => match self.reply_rx.recv() {
+                Ok(m) => Ok(Some(m)),
+                Err(_) => Err(ChiefError::ChannelClosed),
+            },
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    return Ok(None);
+                }
+                Ok(self.reply_rx.recv_timeout(d - now))
+            }
+        }
+    }
+
+    /// Runs one episode rollout on every live employee in parallel.
+    /// Panicked or timed-out employees are declared dead and respawned
+    /// (cold: they sit out update rounds until the next rollout phase).
     ///
     /// # Errors
     ///
-    /// [`ChiefError::EmployeeDied`] / [`ChiefError::ChannelClosed`] when a
-    /// thread is gone, [`ChiefError::UnexpectedReply`] on a protocol
-    /// violation.
-    pub fn rollout_all(&self) -> Result<Vec<EpisodeStats>, ChiefError> {
-        for (i, e) in self.employees.iter().enumerate() {
-            e.cmd_tx.send(Cmd::Rollout).map_err(|_| ChiefError::EmployeeDied { employee: i })?;
-        }
-        let mut stats = vec![EpisodeStats::default(); self.employees.len()];
-        for _ in 0..self.employees.len() {
-            let (i, reply) = self.reply_rx.recv().map_err(|_| ChiefError::ChannelClosed)?;
+    /// [`ChiefError::UnexpectedReply`] on a protocol violation, or the
+    /// respawn errors when a dead employee cannot be replaced.
+    pub fn rollout_all(&mut self) -> Result<RolloutReport, ChiefError> {
+        let mut pending = self.send_phase(|| Cmd::Rollout, false);
+        let deadline = self.cfg.round_timeout.map(|t| Instant::now() + t);
+        let mut collected: Vec<(usize, EpisodeStats)> = Vec::new();
+        let mut failed = Vec::new();
+        while pending.iter().any(|&p| p) {
+            let Some((i, gen, reply)) = self.recv_deadline(deadline)? else {
+                break; // deadline expired; stragglers are handled below
+            };
+            if self.slots.get(i).is_none_or(|s| s.generation != gen) || !pending[i] {
+                continue; // stale reply from an abandoned generation
+            }
             match reply {
-                Reply::RolloutDone(s) => stats[i] = s,
-                Reply::GradsDone(_) => {
+                Reply::RolloutDone(stats) => {
+                    pending[i] = false;
+                    self.slots[i].warm = true;
+                    collected.push((i, stats));
+                }
+                Reply::Panicked { during, message } => {
+                    pending[i] = false;
+                    failed.push(i);
+                    self.mark_dead(i, format!("panicked during {during}: {message}"));
+                }
+                Reply::GradsDone(_) | Reply::RngState(_) => {
                     return Err(ChiefError::UnexpectedReply { employee: i, during: "rollout" });
                 }
             }
         }
-        Ok(stats)
+        let stragglers: Vec<usize> =
+            pending.iter().enumerate().filter(|&(_, &p)| p).map(|(i, _)| i).collect();
+        for i in stragglers {
+            failed.push(i);
+            let t = self.cfg.round_timeout.unwrap_or_default();
+            self.mark_dead(i, format!("timed out after {t:?} in rollout"));
+        }
+        let respawned = self.respawn_dead()?;
+        collected.sort_by_key(|&(i, _)| i);
+        failed.sort_unstable();
+        Ok(RolloutReport {
+            stats: collected.into_iter().map(|(_, s)| s).collect(),
+            failed,
+            respawned,
+        })
     }
 
-    /// Runs one gradient round on every employee and returns the summed
-    /// gradients `(ppo, curiosity)` plus the mean minibatch diagnostics once
-    /// all M have contributed (Algorithm 2, lines 3–5).
+    /// Runs one gradient round on every warm employee and returns the
+    /// summed gradients plus diagnostics once every healthy contribution is
+    /// in (Algorithm 2, lines 3–5). Non-finite contributions are
+    /// quarantined; panicked and timed-out employees are declared dead and
+    /// respawned after the round.
     ///
     /// # Errors
     ///
-    /// Besides the liveness errors of [`Self::rollout_all`], this propagates
-    /// employee-side [`ChiefError::GradientLengthMismatch`] failures and
-    /// checks the PPO buffer's contribution count against the employee count
-    /// ([`ChiefError::ContributionMismatch`]) before draining. Either way the
-    /// buffers are drained, so a failed round never poisons the next one.
-    pub fn gather_grads(&self) -> Result<(Vec<f32>, Vec<f32>, crate::ppo::PpoStats), ChiefError> {
-        for (i, e) in self.employees.iter().enumerate() {
-            e.cmd_tx
-                .send(Cmd::ComputeGrads)
-                .map_err(|_| ChiefError::EmployeeDied { employee: i })?;
-        }
-        let m = self.employees.len() as f32;
-        let mut stats = crate::ppo::PpoStats::default();
-        let mut first_err = None;
-        for _ in 0..self.employees.len() {
-            let (i, reply) = match self.reply_rx.recv() {
-                Ok(r) => r,
-                Err(_) => {
+    /// [`ChiefError::GradientLengthMismatch`] /
+    /// [`ChiefError::ContributionMismatch`] on malformed gradients (layout
+    /// bugs, not faults), [`ChiefError::UnexpectedReply`] on protocol
+    /// violations, and the respawn errors when a dead employee cannot be
+    /// replaced. Either way the buffers are drained, so a failed round
+    /// never poisons the next one.
+    pub fn gather_grads(&mut self) -> Result<RoundReport, ChiefError> {
+        let round = self.round;
+        self.round += 1;
+        let mut pending = self.send_phase(|| Cmd::ComputeGrads { round }, true);
+        let deadline = self.cfg.round_timeout.map(|t| Instant::now() + t);
+        let mut report = RoundReport::default();
+        let mut stats_sum = crate::ppo::PpoStats::default();
+        let mut first_err: Option<ChiefError> = None;
+        while pending.iter().any(|&p| p) {
+            let msg = match self.recv_deadline(deadline) {
+                Ok(m) => m,
+                Err(e) => {
                     self.drain_buffers();
-                    return Err(ChiefError::ChannelClosed);
+                    return Err(e);
                 }
             };
+            let Some((i, gen, reply)) = msg else {
+                break; // deadline expired; stragglers are handled below
+            };
+            if self.slots.get(i).is_none_or(|s| s.generation != gen) || !pending[i] {
+                continue; // stale reply from an abandoned generation
+            }
             match reply {
-                Reply::GradsDone(Ok(s)) => {
-                    stats.policy_objective += s.policy_objective / m;
-                    stats.value_loss += s.value_loss / m;
-                    stats.entropy += s.entropy / m;
-                    stats.approx_kl += s.approx_kl / m;
+                Reply::GradsDone(grads) => {
+                    pending[i] = false;
+                    if grads.has_non_finite() {
+                        report.quarantined.push(i);
+                        continue;
+                    }
+                    let accumulated = self.ppo_buffer.accumulate(&grads.ppo).and_then(|()| {
+                        if grads.curiosity.is_empty() {
+                            Ok(())
+                        } else {
+                            self.curiosity_buffer.accumulate(&grads.curiosity)
+                        }
+                    });
+                    match accumulated {
+                        Ok(()) => {
+                            report.contributors += 1;
+                            stats_sum.policy_objective += grads.stats.policy_objective;
+                            stats_sum.value_loss += grads.stats.value_loss;
+                            stats_sum.entropy += grads.stats.entropy;
+                            stats_sum.approx_kl += grads.stats.approx_kl;
+                        }
+                        Err(e) => {
+                            first_err.get_or_insert(e);
+                        }
+                    }
                 }
-                Reply::GradsDone(Err(e)) => {
-                    first_err.get_or_insert(e);
+                Reply::Panicked { during, message } => {
+                    pending[i] = false;
+                    report.failed.push(i);
+                    self.mark_dead(i, format!("panicked during {during}: {message}"));
                 }
-                Reply::RolloutDone(_) => {
+                Reply::RolloutDone(_) | Reply::RngState(_) => {
                     first_err.get_or_insert(ChiefError::UnexpectedReply {
                         employee: i,
                         during: "update",
                     });
+                    pending[i] = false;
                 }
             }
+        }
+        let stragglers: Vec<usize> =
+            pending.iter().enumerate().filter(|&(_, &p)| p).map(|(i, _)| i).collect();
+        for i in stragglers {
+            report.failed.push(i);
+            let t = self.cfg.round_timeout.unwrap_or_default();
+            self.mark_dead(i, format!("timed out after {t:?} in update round {round}"));
         }
         if let Some(e) = first_err {
             self.drain_buffers();
             return Err(e);
         }
-        // Runtime invariant (was a debug_assert): exactly one PPO
-        // contribution per employee this round.
+        // Runtime invariant: exactly one PPO contribution per healthy
+        // employee this round.
         let got = self.ppo_buffer.contributions();
-        if got != self.employees.len() {
-            let expected = self.employees.len();
+        if got != report.contributors {
+            let expected = report.contributors;
             self.drain_buffers();
             return Err(ChiefError::ContributionMismatch { expected, got, buffer: "ppo" });
         }
-        Ok((self.ppo_buffer.take(), self.curiosity_buffer.take(), stats))
+        report.respawned = self.respawn_dead()?;
+        report.failed.sort_unstable();
+        if report.contributors > 0 {
+            let n = report.contributors as f32;
+            report.stats = crate::ppo::PpoStats {
+                policy_objective: stats_sum.policy_objective / n,
+                value_loss: stats_sum.value_loss / n,
+                entropy: stats_sum.entropy / n,
+                approx_kl: stats_sum.approx_kl / n,
+            };
+        }
+        report.ppo = self.ppo_buffer.take();
+        report.curiosity = self.curiosity_buffer.take();
+        Ok(report)
+    }
+
+    /// Collects every employee's RNG stream state (for durable
+    /// checkpoints), ordered by employee index. Dead employees are
+    /// respawned first so the snapshot always covers all M streams.
+    ///
+    /// # Errors
+    ///
+    /// [`ChiefError::EmployeeDied`] when an employee fails to answer within
+    /// the round timeout, plus the respawn errors.
+    pub fn snapshot_rngs(&mut self) -> Result<Vec<[u64; 4]>, ChiefError> {
+        self.respawn_dead()?;
+        let mut pending = self.send_phase(|| Cmd::SnapshotRng, false);
+        let deadline = self.cfg.round_timeout.map(|t| Instant::now() + t);
+        let mut states = vec![None; self.slots.len()];
+        while pending.iter().any(|&p| p) {
+            let Some((i, gen, reply)) = self.recv_deadline(deadline)? else {
+                break;
+            };
+            if self.slots.get(i).is_none_or(|s| s.generation != gen) || !pending[i] {
+                continue;
+            }
+            match reply {
+                Reply::RngState(s) => {
+                    pending[i] = false;
+                    states[i] = Some(s);
+                }
+                Reply::Panicked { during, message } => {
+                    pending[i] = false;
+                    self.mark_dead(i, format!("panicked during {during}: {message}"));
+                }
+                _ => return Err(ChiefError::UnexpectedReply { employee: i, during: "rng" }),
+            }
+        }
+        states
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.ok_or_else(|| ChiefError::EmployeeDied {
+                    employee: i,
+                    reason: "no RNG snapshot before the deadline".to_owned(),
+                })
+            })
+            .collect()
+    }
+
+    /// Restores per-employee RNG streams captured by
+    /// [`Self::snapshot_rngs`] (fire-and-forget; channel FIFO orders it
+    /// before the next phase).
+    ///
+    /// # Errors
+    ///
+    /// [`ChiefError::StateMismatch`] when the state count differs from the
+    /// employee count, plus the respawn errors for closed channels.
+    pub fn restore_rngs(&mut self, states: &[[u64; 4]]) -> Result<(), ChiefError> {
+        if states.len() != self.slots.len() {
+            return Err(ChiefError::StateMismatch {
+                what: "rng",
+                expected: self.slots.len(),
+                got: states.len(),
+            });
+        }
+        for (i, &state) in states.iter().enumerate() {
+            let sent = match &self.slots[i].cmd_tx {
+                Some(tx) => tx.send(Cmd::RestoreRng(state)).is_ok(),
+                None => false,
+            };
+            if !sent && self.slots[i].is_alive() {
+                self.mark_dead(i, "command channel closed".to_owned());
+            }
+        }
+        self.respawn_dead()?;
+        Ok(())
     }
 
     /// Clears both gradient buffers after a failed round so stale partial
@@ -430,13 +1068,31 @@ impl ChiefExecutor {
     }
 }
 
+/// Spawns one employee thread; returns its command channel and join handle.
+fn spawn_thread(
+    emp: Box<dyn Employee>,
+    index: usize,
+    generation: u64,
+    reply_tx: Sender<(usize, u64, Reply)>,
+    faults: Arc<FaultPlan>,
+) -> Result<(Sender<Cmd>, JoinHandle<()>), ChiefError> {
+    let (cmd_tx, cmd_rx) = bounded::<Cmd>(4);
+    let join = std::thread::Builder::new()
+        .name(format!("employee-{index}.{generation}"))
+        .spawn(move || run_employee(emp, index, generation, cmd_rx, reply_tx, faults))
+        .map_err(|e| ChiefError::Spawn(e.to_string()))?;
+    Ok((cmd_tx, join))
+}
+
 impl Drop for ChiefExecutor {
     fn drop(&mut self) {
-        for e in &self.employees {
-            let _ = e.cmd_tx.send(Cmd::Stop);
+        for s in &self.slots {
+            if let Some(tx) = &s.cmd_tx {
+                let _ = tx.send(Cmd::Stop);
+            }
         }
-        for e in &mut self.employees {
-            if let Some(j) = e.join.take() {
+        for s in &mut self.slots {
+            if let Some(j) = s.join.take() {
                 let _ = j.join();
             }
         }
@@ -456,6 +1112,12 @@ mod tests {
         rollouts: usize,
     }
 
+    impl FakeEmployee {
+        fn new(id: usize) -> Self {
+            FakeEmployee { id: id as f32, params: vec![], rollouts: 0 }
+        }
+    }
+
     impl Employee for FakeEmployee {
         fn load_params(&mut self, ppo: &[f32], _curiosity: &[f32]) {
             self.params = ppo.to_vec();
@@ -470,6 +1132,19 @@ mod tests {
                 curiosity: vec![self.id],
                 stats: crate::ppo::PpoStats { entropy: self.id, ..Default::default() },
             }
+        }
+        fn snapshot_rng(&self) -> [u64; 4] {
+            [self.id as u64; 4]
+        }
+    }
+
+    fn fast_config() -> ChiefConfig {
+        ChiefConfig {
+            round_timeout: Some(Duration::from_millis(400)),
+            restart_budget: 8,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -507,11 +1182,26 @@ mod tests {
     #[test]
     fn chief_errors_render_useful_messages() {
         let cases: Vec<(ChiefError, &str)> = vec![
-            (ChiefError::EmployeeDied { employee: 3 }, "employee 3 died"),
+            (
+                ChiefError::EmployeeDied { employee: 3, reason: "panicked during update".into() },
+                "employee 3 died (panicked during update)",
+            ),
             (ChiefError::GradientLengthMismatch { expected: 4, got: 2 }, "length mismatch"),
             (
                 ChiefError::ContributionMismatch { expected: 8, got: 7, buffer: "ppo" },
                 "7 contributions, expected 8",
+            ),
+            (
+                ChiefError::RestartBudgetExhausted {
+                    employee: 1,
+                    budget: 4,
+                    reason: "timed out".into(),
+                },
+                "restart budget 4 exhausted",
+            ),
+            (
+                ChiefError::StateMismatch { what: "rng", expected: 8, got: 2 },
+                "rng state count mismatch",
             ),
         ];
         for (err, needle) in cases {
@@ -525,39 +1215,38 @@ mod tests {
 
     #[test]
     fn chief_synchronizes_rollouts_and_grads() {
-        let employees: Vec<FakeEmployee> =
-            (0..4).map(|i| FakeEmployee { id: i as f32, params: vec![], rollouts: 0 }).collect();
-        let chief = ChiefExecutor::spawn(employees).unwrap();
+        let employees: Vec<FakeEmployee> = (0..4).map(FakeEmployee::new).collect();
+        let mut chief = ChiefExecutor::spawn(employees).unwrap();
         assert_eq!(chief.num_employees(), 4);
 
         chief.broadcast_params(vec![10.0, 20.0], vec![]).unwrap();
-        let stats = chief.rollout_all().unwrap();
+        let rollout = chief.rollout_all().unwrap();
+        assert!(rollout.failed.is_empty());
         // Stats arrive indexed by employee regardless of completion order.
-        for (i, s) in stats.iter().enumerate() {
+        for (i, s) in rollout.stats.iter().enumerate() {
             assert_eq!(s.kappa, i as f32);
         }
 
-        let (ppo, cur, stats) = chief.gather_grads().unwrap();
+        let report = chief.gather_grads().unwrap();
         // Σ_i (params + i) = 4·[10,20] + [Σi, Σi] = [46, 86].
-        assert_eq!(ppo, vec![46.0, 86.0]);
+        assert_eq!(report.ppo, vec![46.0, 86.0]);
+        assert_eq!(report.contributors, 4);
+        assert!(report.quarantined.is_empty() && report.failed.is_empty());
         // Mean of ids 0..4 = 1.5.
-        assert!((stats.entropy - 1.5).abs() < 1e-6);
+        assert!((report.stats.entropy - 1.5).abs() < 1e-6);
         // Curiosity buffer collected the ids.
-        let mut cur_sum = cur;
-        assert_eq!(cur_sum.len(), 1);
-        assert_eq!(cur_sum.pop().unwrap(), 6.0);
+        assert_eq!(report.curiosity, vec![6.0]);
     }
 
     #[test]
     fn repeated_rounds_reuse_buffers() {
-        let employees: Vec<FakeEmployee> = (0..2)
-            .map(|i| FakeEmployee { id: i as f32 + 1.0, params: vec![], rollouts: 0 })
-            .collect();
-        let chief = ChiefExecutor::spawn(employees).unwrap();
+        let employees: Vec<FakeEmployee> = (1..=2).map(FakeEmployee::new).collect();
+        let mut chief = ChiefExecutor::spawn(employees).unwrap();
         chief.broadcast_params(vec![0.0], vec![]).unwrap();
+        chief.rollout_all().unwrap();
         for round in 1..=3 {
-            let (ppo, _, _) = chief.gather_grads().unwrap();
-            assert_eq!(ppo, vec![3.0], "round {round}");
+            let report = chief.gather_grads().unwrap();
+            assert_eq!(report.ppo, vec![3.0], "round {round}");
         }
     }
 
@@ -578,10 +1267,11 @@ mod tests {
     }
 
     #[test]
-    fn gather_surfaces_employee_side_length_mismatch() {
-        let chief =
+    fn gather_surfaces_length_mismatch() {
+        let mut chief =
             ChiefExecutor::spawn(vec![MisshapenEmployee { len: 3 }, MisshapenEmployee { len: 5 }])
                 .unwrap();
+        chief.rollout_all().unwrap();
         let err = chief.gather_grads().unwrap_err();
         assert!(
             matches!(err, ChiefError::GradientLengthMismatch { .. }),
@@ -600,25 +1290,224 @@ mod tests {
         // Σ_i (params + i) with all 16 contributions accounted for.
         const M: usize = 16;
         const ROUNDS: usize = 50;
-        let employees: Vec<FakeEmployee> =
-            (0..M).map(|i| FakeEmployee { id: i as f32, params: vec![], rollouts: 0 }).collect();
-        let chief = ChiefExecutor::spawn(employees).unwrap();
+        let employees: Vec<FakeEmployee> = (0..M).map(FakeEmployee::new).collect();
+        let mut chief = ChiefExecutor::spawn(employees).unwrap();
         let id_sum: f32 = (0..M).map(|i| i as f32).sum(); // 120
         for round in 0..ROUNDS {
             // Fresh params each round so a stale broadcast shows up as a
             // wrong sum, not just a repeat of the previous round.
             let p = round as f32;
             chief.broadcast_params(vec![p, -p], vec![]).unwrap();
-            let stats = chief.rollout_all().unwrap();
-            assert_eq!(stats.len(), M, "round {round}");
-            let (ppo, cur, _) = chief.gather_grads().unwrap();
-            assert_eq!(ppo, vec![M as f32 * p + id_sum, -(M as f32) * p + id_sum], "round {round}");
+            let rollout = chief.rollout_all().unwrap();
+            assert_eq!(rollout.stats.len(), M, "round {round}");
+            let report = chief.gather_grads().unwrap();
+            assert_eq!(
+                report.ppo,
+                vec![M as f32 * p + id_sum, -(M as f32) * p + id_sum],
+                "round {round}"
+            );
             // Curiosity gradients collect every id exactly once.
-            assert_eq!(cur, vec![id_sum], "round {round}");
+            assert_eq!(report.curiosity, vec![id_sum], "round {round}");
+            assert_eq!(report.contributors, M, "round {round}");
             // Buffers fully drained between rounds.
             assert_eq!(chief.ppo_buffer.contributions(), 0);
             assert_eq!(chief.curiosity_buffer.contributions(), 0);
         }
+    }
+
+    /// An employee that panics during its `n`-th rollout.
+    struct PanickyEmployee {
+        rollouts_before_panic: usize,
+        done: usize,
+    }
+
+    impl Employee for PanickyEmployee {
+        fn load_params(&mut self, _ppo: &[f32], _curiosity: &[f32]) {}
+        fn rollout(&mut self) -> EpisodeStats {
+            if self.done >= self.rollouts_before_panic {
+                panic!("boom in rollout");
+            }
+            self.done += 1;
+            EpisodeStats::default()
+        }
+        fn compute_grads(&mut self) -> GradPair {
+            GradPair { ppo: vec![1.0], ..Default::default() }
+        }
+    }
+
+    #[test]
+    fn rollout_panic_without_factory_is_fatal_with_payload() {
+        let mut chief =
+            ChiefExecutor::spawn(vec![PanickyEmployee { rollouts_before_panic: 0, done: 0 }])
+                .unwrap();
+        let err = chief.rollout_all().unwrap_err();
+        match err {
+            ChiefError::EmployeeDied { employee, reason } => {
+                assert_eq!(employee, 0);
+                assert!(reason.contains("boom in rollout"), "payload lost: {reason}");
+            }
+            other => panic!("expected EmployeeDied, got {other}"),
+        }
+    }
+
+    #[test]
+    fn panicked_employee_is_respawned_within_budget() {
+        let mut chief = ChiefExecutor::spawn_with(
+            4,
+            |i| {
+                if i == 2 {
+                    Box::new(PanickyEmployee { rollouts_before_panic: 1, done: 0 })
+                } else {
+                    Box::new(FakeEmployee::new(i)) as Box<dyn Employee>
+                }
+            },
+            fast_config(),
+        )
+        .unwrap();
+        chief.broadcast_params(vec![0.0], vec![]).unwrap();
+        // First rollout: everyone survives (employee 2 has one rollout left).
+        let r1 = chief.rollout_all().unwrap();
+        assert_eq!(r1.stats.len(), 4);
+        assert!(r1.failed.is_empty());
+        // Second rollout: employee 2 panics, is respawned, and the other
+        // three complete.
+        let r2 = chief.rollout_all().unwrap();
+        assert_eq!(r2.stats.len(), 3);
+        assert_eq!(r2.failed, vec![2]);
+        assert_eq!(r2.respawned, vec![2]);
+        assert_eq!(chief.restarts_used(), 1);
+        // The replacement is cold: gathers exclude it until it rolls out.
+        let report = chief.gather_grads().unwrap();
+        assert_eq!(report.contributors, 3);
+        // Third rollout warms the replacement (fresh PanickyEmployee with
+        // one rollout budget), and the next gather includes all 4.
+        let r3 = chief.rollout_all().unwrap();
+        assert_eq!(r3.stats.len(), 4);
+        let report = chief.gather_grads().unwrap();
+        assert_eq!(report.contributors, 4);
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_is_fatal() {
+        let cfg = ChiefConfig { restart_budget: 1, ..fast_config() };
+        let mut chief = ChiefExecutor::spawn_with(
+            2,
+            |i| {
+                if i == 0 {
+                    Box::new(PanickyEmployee { rollouts_before_panic: 0, done: 0 })
+                } else {
+                    Box::new(FakeEmployee::new(i)) as Box<dyn Employee>
+                }
+            },
+            cfg,
+        )
+        .unwrap();
+        // First death consumes the budget; the respawned clone dies again
+        // on the next rollout and must abort the run.
+        chief.rollout_all().unwrap();
+        let err = chief.rollout_all().unwrap_err();
+        match err {
+            ChiefError::RestartBudgetExhausted { employee, budget, reason } => {
+                assert_eq!((employee, budget), (0, 1));
+                assert!(reason.contains("boom in rollout"));
+            }
+            other => panic!("expected RestartBudgetExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn injected_panic_at_round_is_contained_and_respawned() {
+        let faults = FaultPlan::none().with(1, 0, FaultKind::Panic);
+        let cfg = ChiefConfig { faults, ..fast_config() };
+        let mut chief =
+            ChiefExecutor::spawn_with(3, |i| Box::new(FakeEmployee::new(i)) as _, cfg).unwrap();
+        chief.broadcast_params(vec![1.0], vec![]).unwrap();
+        chief.rollout_all().unwrap();
+        let report = chief.gather_grads().unwrap();
+        // Employees 0 and 2 contribute (1 + 0) + (1 + 2) = 4.
+        assert_eq!(report.ppo, vec![4.0]);
+        assert_eq!(report.contributors, 2);
+        assert_eq!(report.failed, vec![1]);
+        assert_eq!(report.respawned, vec![1]);
+        // Round 1 has no fault scripted; the replacement is still cold.
+        let report = chief.gather_grads().unwrap();
+        assert_eq!(report.contributors, 2);
+        // After the next rollout everyone contributes again.
+        chief.rollout_all().unwrap();
+        let report = chief.gather_grads().unwrap();
+        assert_eq!(report.contributors, 3);
+        assert_eq!(report.ppo, vec![6.0]);
+    }
+
+    #[test]
+    fn stalled_employee_is_declared_dead_not_wedged() {
+        let faults = FaultPlan::none().with(0, 0, FaultKind::Stall { rounds: 3 });
+        let cfg = ChiefConfig {
+            round_timeout: Some(Duration::from_millis(100)),
+            faults,
+            ..fast_config()
+        };
+        let mut chief =
+            ChiefExecutor::spawn_with(2, |i| Box::new(FakeEmployee::new(i)) as _, cfg).unwrap();
+        chief.broadcast_params(vec![0.0], vec![]).unwrap();
+        chief.rollout_all().unwrap();
+        let start = Instant::now();
+        let report = chief.gather_grads().unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5), "gather wedged on the stall");
+        assert_eq!(report.contributors, 1);
+        assert_eq!(report.ppo, vec![1.0]); // employee 1 only
+        assert_eq!(report.failed, vec![0]);
+        assert_eq!(report.respawned, vec![0]);
+    }
+
+    #[test]
+    fn nan_gradients_are_quarantined_with_divisor_adjusted() {
+        let faults = FaultPlan::none().with(2, 0, FaultKind::NanGrads);
+        let cfg = ChiefConfig { faults, ..fast_config() };
+        let mut chief =
+            ChiefExecutor::spawn_with(4, |i| Box::new(FakeEmployee::new(i)) as _, cfg).unwrap();
+        chief.broadcast_params(vec![10.0], vec![]).unwrap();
+        chief.rollout_all().unwrap();
+        let report = chief.gather_grads().unwrap();
+        // Healthy: 0, 1, 3 → (10+0) + (10+1) + (10+3) = 34; NaN never
+        // reaches the sum.
+        assert_eq!(report.ppo, vec![34.0]);
+        assert!(report.ppo.iter().all(|x| x.is_finite()));
+        assert_eq!(report.contributors, 3);
+        assert_eq!(report.quarantined, vec![2]);
+        // Quarantine does not kill: next round all 4 contribute.
+        let report = chief.gather_grads().unwrap();
+        assert_eq!(report.contributors, 4);
+        assert_eq!(report.quarantined, Vec::<usize>::new());
+        assert_eq!(chief.restarts_used(), 0);
+    }
+
+    #[test]
+    fn rng_snapshot_roundtrip_covers_every_employee() {
+        let mut chief =
+            ChiefExecutor::spawn_with(3, |i| Box::new(FakeEmployee::new(i)) as _, fast_config())
+                .unwrap();
+        let states = chief.snapshot_rngs().unwrap();
+        assert_eq!(states, vec![[0u64; 4], [1; 4], [2; 4]]);
+        chief.restore_rngs(&states).unwrap();
+        let err = chief.restore_rngs(&states[..1]).unwrap_err();
+        assert_eq!(err, ChiefError::StateMismatch { what: "rng", expected: 3, got: 1 });
+    }
+
+    #[test]
+    fn fault_plan_lookup_and_serde() {
+        let plan = FaultPlan::none().with(1, 3, FaultKind::Panic).with(
+            2,
+            5,
+            FaultKind::Stall { rounds: 2 },
+        );
+        assert_eq!(plan.at(1, 3), Some(FaultKind::Panic));
+        assert_eq!(plan.at(1, 4), None);
+        assert_eq!(plan.at(2, 5), Some(FaultKind::Stall { rounds: 2 }));
+        assert!(!plan.is_empty() && FaultPlan::none().is_empty());
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
     }
 
     #[test]

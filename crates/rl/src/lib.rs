@@ -33,7 +33,8 @@ pub mod ppo;
 pub mod prelude {
     pub use crate::buffer::{RolloutBuffer, Transition};
     pub use crate::chief::{
-        ChiefError, ChiefExecutor, Employee, EpisodeStats, GradPair, GradientBuffer,
+        ChiefConfig, ChiefError, ChiefExecutor, Employee, EpisodeStats, FaultEvent, FaultKind,
+        FaultPlan, GradPair, GradientBuffer, RolloutReport, RoundReport,
     };
     pub use crate::gae::{discounted_returns, gae_advantages, normalize_advantages};
     pub use crate::net::{ActorCritic, NetConfig, NetOutputs, CHARGE_CHOICES, MOVES_PER_WORKER};

@@ -1,0 +1,170 @@
+//! Chaos suite: a scripted multi-fault training run over the fault-tolerant
+//! chief–employee executor.
+//!
+//! Eight deterministic employees train for five episodes (two gradient
+//! rounds each). The fault plan injects two panics, one stall, and one
+//! NaN-gradient round at known (employee, round) coordinates. The run must
+//! complete within the restart budget, clean rounds must produce exact
+//! gradient sums over all eight employees, faulted rounds must lose exactly
+//! the scripted contribution, and the rollout metrics must match a
+//! fault-free run of the same fleet.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::time::Duration;
+
+use vc_rl::prelude::*;
+
+/// A deterministic employee: gradients depend only on the broadcast
+/// parameters and the employee index, so expected sums are computable in
+/// closed form and identical across runs.
+struct ChaosEmployee {
+    id: f32,
+    params: Vec<f32>,
+}
+
+impl ChaosEmployee {
+    fn new(id: usize) -> Self {
+        ChaosEmployee { id: id as f32, params: vec![] }
+    }
+}
+
+impl Employee for ChaosEmployee {
+    fn load_params(&mut self, ppo: &[f32], _curiosity: &[f32]) {
+        self.params = ppo.to_vec();
+    }
+    fn rollout(&mut self) -> EpisodeStats {
+        EpisodeStats { kappa: self.id, xi: 1.0 - self.id / 10.0, ..Default::default() }
+    }
+    fn compute_grads(&mut self) -> GradPair {
+        GradPair {
+            ppo: self.params.iter().map(|p| p + self.id).collect(),
+            curiosity: vec![self.id],
+            stats: PpoStats { entropy: self.id, ..Default::default() },
+        }
+    }
+}
+
+const M: usize = 8;
+const EPISODES: u64 = 5;
+const ROUNDS_PER_EPISODE: u64 = 2;
+const PARAMS: [f32; 3] = [0.25, -1.0, 3.5];
+
+/// Sum of employee ids `0..M`.
+const ID_SUM: f32 = 28.0;
+
+fn executor(faults: FaultPlan) -> ChiefExecutor {
+    let cfg = ChiefConfig {
+        round_timeout: Some(Duration::from_millis(500)),
+        restart_budget: 8,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        faults,
+    };
+    ChiefExecutor::spawn_with(M, |i| Box::new(ChaosEmployee::new(i)), cfg)
+        .expect("spawn chaos fleet")
+}
+
+/// Drives one full training schedule and returns the per-episode rollout
+/// stats plus every round report, in order.
+fn train(exec: &mut ChiefExecutor) -> (Vec<Vec<EpisodeStats>>, Vec<RoundReport>) {
+    let mut rollouts = Vec::new();
+    let mut rounds = Vec::new();
+    for _ in 0..EPISODES {
+        exec.broadcast_params(PARAMS.to_vec(), vec![]).expect("broadcast");
+        let rollout = exec.rollout_all().expect("rollout");
+        rollouts.push(rollout.stats);
+        for _ in 0..ROUNDS_PER_EPISODE {
+            rounds.push(exec.gather_grads().expect("gather"));
+        }
+    }
+    (rollouts, rounds)
+}
+
+/// The scripted plan: two panics, one stall, one NaN round, each on the
+/// second gather round of an episode so the respawned replacement is warmed
+/// by the next episode's rollout.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with(2, 1, FaultKind::Panic)
+        .with(5, 3, FaultKind::Panic)
+        .with(1, 5, FaultKind::Stall { rounds: 2 })
+        .with(0, 7, FaultKind::NanGrads)
+}
+
+/// The employee knocked out of round `r` by [`chaos_plan`], if any.
+fn scripted_loss(round: u64) -> Option<usize> {
+    match round {
+        1 => Some(2),
+        3 => Some(5),
+        5 => Some(1),
+        7 => Some(0),
+        _ => None,
+    }
+}
+
+#[test]
+fn chaos_run_completes_with_exact_sums_and_full_recovery() {
+    let mut exec = executor(chaos_plan());
+    let (rollouts, rounds) = train(&mut exec);
+
+    assert_eq!(rounds.len(), (EPISODES * ROUNDS_PER_EPISODE) as usize);
+    // Two panics + one stall burn restarts; the NaN round must not.
+    assert_eq!(exec.restarts_used(), 3);
+
+    for (r, report) in rounds.iter().enumerate() {
+        let round = r as u64;
+        match scripted_loss(round) {
+            None => {
+                // Clean round: every employee contributes, sums are exact.
+                assert_eq!(report.contributors, M, "round {round} contributors");
+                assert!(report.failed.is_empty(), "round {round} failures");
+                assert!(report.quarantined.is_empty(), "round {round} quarantine");
+                for (j, &p) in PARAMS.iter().enumerate() {
+                    let expect = (M as f32) * p + ID_SUM;
+                    assert_eq!(report.ppo[j], expect, "round {round} ppo[{j}]");
+                }
+                assert_eq!(report.curiosity, vec![ID_SUM]);
+                assert_eq!(report.stats.entropy, ID_SUM / M as f32);
+            }
+            Some(lost) => {
+                // Faulted round: exactly the scripted contribution is missing
+                // from the sums, whatever the failure mode.
+                assert_eq!(report.contributors, M - 1, "round {round} contributors");
+                for (j, &p) in PARAMS.iter().enumerate() {
+                    let expect = (M as f32 - 1.0) * p + (ID_SUM - lost as f32);
+                    assert_eq!(report.ppo[j], expect, "round {round} ppo[{j}]");
+                }
+                assert_eq!(report.curiosity, vec![ID_SUM - lost as f32]);
+                if round == 7 {
+                    // NaN gradients are quarantined, not fatal.
+                    assert_eq!(report.quarantined, vec![lost]);
+                    assert!(report.failed.is_empty());
+                    assert!(report.respawned.is_empty());
+                } else {
+                    assert_eq!(report.failed, vec![lost]);
+                    assert_eq!(report.respawned, vec![lost]);
+                }
+            }
+        }
+    }
+
+    // Every replacement rejoined: the final episode's rollout and both of
+    // its gather rounds saw the full fleet.
+    assert_eq!(rollouts.last().map(Vec::len), Some(M));
+}
+
+#[test]
+fn chaos_rollout_metrics_match_fault_free_run() {
+    let mut faulty = executor(chaos_plan());
+    let mut clean = executor(FaultPlan::none());
+    let (faulty_rollouts, _) = train(&mut faulty);
+    let (clean_rollouts, clean_rounds) = train(&mut clean);
+
+    // Faults land in gather rounds and every casualty is respawned before
+    // the next rollout, so the rollout telemetry of the two runs is
+    // identical: all eight employees report every episode.
+    assert_eq!(faulty_rollouts, clean_rollouts);
+    assert_eq!(clean.restarts_used(), 0);
+    assert!(clean_rounds.iter().all(|r| r.contributors == M && r.failed.is_empty()));
+}

@@ -143,6 +143,22 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for durable checkpoints that must
+        /// resume a stream bit-exactly. (Shim-only API: the real `rand`
+        /// crate exposes no equivalent, so only checkpointing code that is
+        /// already coupled to this shim's streams may use it.)
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`Self::state`] snapshot, continuing
+        /// the captured stream exactly.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
@@ -265,6 +281,18 @@ mod tests {
         let mut c = StdRng::seed_from_u64(43);
         let equal = (0..100).all(|_| a.gen::<f32>() == c.gen::<f32>());
         assert!(!equal, "different seeds must diverge");
+    }
+
+    #[test]
+    fn state_snapshot_resumes_stream_exactly() {
+        let mut a = StdRng::seed_from_u64(7);
+        for _ in 0..13 {
+            let _: u64 = a.gen();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * `pub-docs` — every `pub` item in `vc-nn` and `vc-rl` carries a doc
 //!   comment (stricter than `missing_docs`: it also fires inside modules
 //!   that allow the rustc lint).
+//! * `no-process-exit` — no `std::process::exit` outside `src/bin/`;
+//!   library code must return typed errors (an exit from an employee thread
+//!   would bypass the chief's panic containment and respawn machinery).
 //!
 //! Grandfathered findings live in `xtask-allow.txt` at the repo root, one
 //! per line as `<lint> <path>` or `<lint> <path>:<line>`; `#` starts a
@@ -117,12 +120,13 @@ fn run_source_lints(root: &Path) -> bool {
     // no-unwrap: library sources of the crates whose panics kill employees.
     for dir in ["crates/nn/src", "crates/env/src", "crates/rl/src"] {
         for file in rust_files(&root.join(dir)) {
-            lint_file(&file, root, &mut findings, true, false);
+            lint_file(&file, root, &mut findings, true, false, false);
         }
     }
-    // lock-across-send runs over every first-party crate (the shims
-    // implement the locking primitives themselves and are exempt);
-    // pub-docs only where the policy demands it: vc-nn and vc-rl.
+    // lock-across-send and no-process-exit run over every first-party crate
+    // (the shims implement the locking primitives themselves and are
+    // exempt); pub-docs only where the policy demands it: vc-nn and vc-rl.
+    // Binaries under src/bin/ may exit; libraries must return errors.
     for dir in [
         "crates/nn/src",
         "crates/env/src",
@@ -134,7 +138,8 @@ fn run_source_lints(root: &Path) -> bool {
     ] {
         let want_docs = dir == "crates/nn/src" || dir == "crates/rl/src";
         for file in rust_files(&root.join(dir)) {
-            lint_file(&file, root, &mut findings, false, want_docs);
+            let in_bin = file.components().any(|c| c.as_os_str() == "bin");
+            lint_file(&file, root, &mut findings, false, want_docs, !in_bin);
         }
     }
 
@@ -219,14 +224,15 @@ struct LockGuard {
 
 /// Scans one file for the custom lints, appending findings.
 ///
-/// `check_unwrap` / `check_docs` select the per-crate lints; the
-/// lock-across-send lint always runs.
+/// `check_unwrap` / `check_docs` / `check_exit` select the per-crate lints;
+/// the lock-across-send lint always runs.
 fn lint_file(
     file: &Path,
     root: &Path,
     findings: &mut Vec<Finding>,
     check_unwrap: bool,
     check_docs: bool,
+    check_exit: bool,
 ) {
     let Ok(text) = fs::read_to_string(file) else { return };
     let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
@@ -253,6 +259,17 @@ fn lint_file(
 
         if trimmed.contains("#[cfg(test)]") {
             cfg_test_pending = true;
+        }
+
+        // Even inside #[cfg(test)]: an exit tears down the whole test
+        // harness (or an employee thread) instead of unwinding.
+        if check_exit && s.contains("process::exit") {
+            findings.push(Finding {
+                lint: "no-process-exit",
+                path: rel.clone(),
+                line: lineno,
+                msg: "std::process::exit outside src/bin/; return a typed error instead".to_owned(),
+            });
         }
 
         if !in_test {
@@ -501,7 +518,7 @@ mod tests {
         )
         .unwrap();
         let mut findings = Vec::new();
-        lint_file(&file, &dir, &mut findings, false, false);
+        lint_file(&file, &dir, &mut findings, false, false, false);
         let locks: Vec<_> = findings.iter().filter(|f| f.lint == "lock-across-send").collect();
         assert_eq!(locks.len(), 1, "exactly the bad fn must fire");
         assert_eq!(locks[0].line, 3);
@@ -522,10 +539,33 @@ mod tests {
         )
         .unwrap();
         let mut findings = Vec::new();
-        lint_file(&file, &dir, &mut findings, true, false);
+        lint_file(&file, &dir, &mut findings, true, false, false);
         let unwraps: Vec<_> = findings.iter().filter(|f| f.lint == "no-unwrap").collect();
         assert_eq!(unwraps.len(), 1);
         assert_eq!(unwraps[0].line, 1);
+    }
+
+    #[test]
+    fn process_exit_lint_fires_outside_bin_only() {
+        let dir = std::env::temp_dir().join("xtask-lint-test3");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("case.rs");
+        fs::write(
+            &file,
+            "fn lib_code() { std::process::exit(2); }\n\
+             fn noted() { let s = \"process::exit\"; } // string: no finding\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        lint_file(&file, &dir, &mut findings, false, false, true);
+        let exits: Vec<_> = findings.iter().filter(|f| f.lint == "no-process-exit").collect();
+        assert_eq!(exits.len(), 1, "only the real call fires, not strings/comments");
+        assert_eq!(exits[0].line, 1);
+
+        // The same file scanned as a binary source is exempt.
+        let mut bin_findings = Vec::new();
+        lint_file(&file, &dir, &mut bin_findings, false, false, false);
+        assert!(bin_findings.iter().all(|f| f.lint != "no-process-exit"));
     }
 
     #[test]
