@@ -1,0 +1,296 @@
+//! Kernel & episode benchmark trajectory: times the dense-kernel hot path
+//! (naive vs blocked GEMM, whole-batch conv forward/backward) and one real
+//! training episode, then appends a run record to `BENCH_kernels.json` so
+//! the perf history accumulates commit over commit.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p vc-bench --bin bench_kernels [-- --smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` runs each target for a couple of iterations — enough to
+//! validate the pipeline and the emitted JSON schema without meaningful
+//! statistics (used by `cargo xtask bench --smoke` and CI).
+//!
+//! Each run record is `{schema_version, mode, unix_time_s, results: [...]}`
+//! with one result per `(op, shape, threads)`:
+//! `{op, shape, threads, iters, ns_per_iter, gflops}`. The file as a whole
+//! is a JSON array of runs — the trajectory.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // a broken bench fixture should abort loudly
+
+use serde::Value;
+use std::time::Instant;
+use vc_bench::bench_trainer;
+use vc_nn::ops::conv::{conv2d_backward, conv2d_forward};
+use vc_nn::ops::gemm;
+use vc_nn::prelude::*;
+
+/// One timed benchmark case.
+struct Rec {
+    op: &'static str,
+    shape: String,
+    threads: usize,
+    iters: u64,
+    ns_per_iter: f64,
+    flops: f64,
+}
+
+impl Rec {
+    fn to_value(&self) -> Value {
+        let gflops = if self.ns_per_iter > 0.0 && self.flops > 0.0 {
+            self.flops / self.ns_per_iter
+        } else {
+            0.0
+        };
+        Value::Map(vec![
+            ("op".into(), Value::Str(self.op.into())),
+            ("shape".into(), Value::Str(self.shape.clone())),
+            ("threads".into(), Value::UInt(self.threads as u64)),
+            ("iters".into(), Value::UInt(self.iters)),
+            ("ns_per_iter".into(), Value::Float(self.ns_per_iter)),
+            ("gflops".into(), Value::Float(gflops)),
+        ])
+    }
+}
+
+/// Times `f` over `iters` iterations after one warm-up pass; ns/iter.
+fn time_ns(iters: u64, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Deterministic pseudo-random fill (no RNG state shared with training).
+fn lcg_fill(seed: u32, len: usize) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            (s >> 9) as f32 / (1u32 << 23) as f32 - 0.5
+        })
+        .collect()
+}
+
+fn bench_matmuls(iters: u64, out: &mut Vec<Rec>) {
+    let shapes: &[(usize, usize, usize)] = &[(64, 64, 64), (256, 256, 256), (33, 65, 127)];
+    for &(m, k, n) in shapes {
+        let a = lcg_fill(1, m * k);
+        let b = lcg_fill(2, k * n);
+        let mut c = vec![0.0f32; m * n];
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        let shape = format!("{m}x{k}x{n}");
+        if (m, k, n) == (256, 256, 256) {
+            // The baseline the blocked kernel is measured against.
+            let ns = time_ns(iters, || {
+                gemm::matmul_naive(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b),
+                    &mut c,
+                    m,
+                    k,
+                    n,
+                );
+            });
+            out.push(Rec {
+                op: "matmul_naive",
+                shape: shape.clone(),
+                threads: 1,
+                iters,
+                ns_per_iter: ns,
+                flops,
+            });
+        }
+        for threads in [1usize, 2] {
+            let ns = time_ns(iters, || {
+                gemm::gemm(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b),
+                    &mut c,
+                    m,
+                    k,
+                    n,
+                    threads,
+                );
+            });
+            out.push(Rec {
+                op: "matmul_blocked",
+                shape: shape.clone(),
+                threads,
+                iters,
+                ns_per_iter: ns,
+                flops,
+            });
+        }
+    }
+}
+
+fn bench_conv(iters: u64, out: &mut Vec<Rec>) {
+    // The paper's CNN encoder front: [B=32, 3, 16, 16], 3→16 channels, 3x3.
+    let cfg = ConvCfg { in_channels: 3, out_channels: 16, kernel: 3, stride: 1, padding: 1 };
+    let (bsz, h, w) = (32usize, 16usize, 16usize);
+    let x = Tensor::from_vec(&[bsz, 3, h, w], lcg_fill(3, bsz * 3 * h * w));
+    let wt = Tensor::from_vec(&[16, 3, 3, 3], lcg_fill(4, 16 * 3 * 9));
+    let bias = Tensor::from_vec(&[16], lcg_fill(5, 16));
+    let (ho, wo) = (cfg.out_size(h).unwrap(), cfg.out_size(w).unwrap());
+    let patch = 3 * 9;
+    let flops = 2.0 * (bsz * 16 * ho * wo * patch) as f64;
+    let shape = format!("b{bsz}c3->16 {h}x{w}k3");
+
+    let ns = time_ns(iters, || {
+        std::hint::black_box(conv2d_forward(std::hint::black_box(&x), &wt, &bias, &cfg));
+    });
+    out.push(Rec {
+        op: "conv2d_forward",
+        shape: shape.clone(),
+        threads: gemm::kernel_threads(),
+        iters,
+        ns_per_iter: ns,
+        flops,
+    });
+
+    let f = conv2d_forward(&x, &wt, &bias, &cfg);
+    let gout = Tensor::ones(f.output.shape());
+    let ns = time_ns(iters, || {
+        std::hint::black_box(conv2d_backward(
+            std::hint::black_box(&gout),
+            &f.cols,
+            &wt,
+            x.shape(),
+            &cfg,
+        ));
+    });
+    out.push(Rec {
+        op: "conv2d_backward",
+        shape,
+        threads: gemm::kernel_threads(),
+        iters,
+        ns_per_iter: ns,
+        flops: 2.0 * flops, // two whole-batch GEMMs of forward volume
+    });
+}
+
+fn bench_episode(iters: u64, out: &mut Vec<Rec>) {
+    let mut trainer = bench_trainer(2, 16);
+    let ns = time_ns(iters, || {
+        trainer.train_episode().expect("bench episode failed");
+    });
+    out.push(Rec {
+        op: "train_episode",
+        shape: "employees2 minibatch16".into(),
+        threads: 2,
+        iters,
+        ns_per_iter: ns,
+        flops: 0.0,
+    });
+}
+
+/// Validates one run record against the trajectory schema.
+fn validate_run(run: &Value) -> Result<(), String> {
+    for key in ["schema_version", "mode", "unix_time_s", "results"] {
+        if run.get(key).is_none() {
+            return Err(format!("run record missing `{key}`"));
+        }
+    }
+    let results = run
+        .get("results")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| "`results` must be an array".to_owned())?;
+    if results.is_empty() {
+        return Err("`results` must be non-empty".into());
+    }
+    for (i, rec) in results.iter().enumerate() {
+        for key in ["op", "shape", "threads", "iters", "ns_per_iter", "gflops"] {
+            if rec.get(key).is_none() {
+                return Err(format!("result {i} missing `{key}`"));
+            }
+        }
+        if rec.get("op").and_then(Value::as_str).is_none() {
+            return Err(format!("result {i}: `op` must be a string"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a whole trajectory file (array of run records).
+fn validate_trajectory(text: &str) -> Result<usize, String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let runs = v.as_seq().ok_or_else(|| "trajectory must be a JSON array of runs".to_owned())?;
+    for run in runs {
+        validate_run(run)?;
+    }
+    Ok(runs.len())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_owned());
+    let iters: u64 = if smoke { 2 } else { 20 };
+
+    let mut recs = Vec::new();
+    bench_matmuls(iters, &mut recs);
+    bench_conv(iters, &mut recs);
+    bench_episode(if smoke { 1 } else { 3 }, &mut recs);
+
+    println!("{:<16} {:>24} {:>8} {:>14} {:>10}", "op", "shape", "threads", "ns/iter", "GFLOP/s");
+    for r in &recs {
+        let gflops =
+            if r.ns_per_iter > 0.0 && r.flops > 0.0 { r.flops / r.ns_per_iter } else { 0.0 };
+        println!(
+            "{:<16} {:>24} {:>8} {:>14.0} {:>10.2}",
+            r.op, r.shape, r.threads, r.ns_per_iter, gflops
+        );
+    }
+    let naive = recs.iter().find(|r| r.op == "matmul_naive");
+    let blocked = recs
+        .iter()
+        .find(|r| r.op == "matmul_blocked" && r.shape == "256x256x256" && r.threads == 1);
+    if let (Some(nv), Some(bl)) = (naive, blocked) {
+        println!("speedup matmul 256x256x256 (1 thread): {:.2}x", nv.ns_per_iter / bl.ns_per_iter);
+    }
+
+    // Append this run to the trajectory (tolerating a missing or corrupt
+    // existing file — the trajectory restarts rather than blocking the run).
+    let mut runs: Vec<Value> = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|t| serde_json::from_str::<Value>(&t).ok())
+        .and_then(|v| v.as_seq().map(<[Value]>::to_vec))
+        .unwrap_or_default();
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let run = Value::Map(vec![
+        ("schema_version".into(), Value::UInt(1)),
+        ("mode".into(), Value::Str(if smoke { "smoke" } else { "full" }.into())),
+        ("unix_time_s".into(), Value::UInt(unix_s)),
+        ("results".into(), Value::Seq(recs.iter().map(Rec::to_value).collect())),
+    ]);
+    if let Err(e) = validate_run(&run) {
+        eprintln!("bench_kernels: BUG: emitted run fails its own schema: {e}");
+        std::process::exit(1);
+    }
+    runs.push(run);
+    let text = serde_json::to_string_pretty(&Value::Seq(runs)).expect("serialize trajectory");
+    std::fs::write(&out_path, &text).expect("write trajectory file");
+
+    // Re-read and validate the artifact end to end, so schema drift fails
+    // the bench (and CI) immediately.
+    let reread = std::fs::read_to_string(&out_path).expect("re-read trajectory file");
+    match validate_trajectory(&reread) {
+        Ok(n) => println!("wrote {out_path}: {n} run(s), schema ok"),
+        Err(e) => {
+            eprintln!("bench_kernels: schema validation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -438,6 +438,11 @@ impl Trainer {
     /// fails to spawn.
     pub fn new(cfg: TrainerConfig) -> Result<Self, TrainerError> {
         cfg.env.validate()?;
+        // Size the dense-kernel thread budget to the cores left after each
+        // employee thread claims one. Purely a throughput knob: kernel
+        // results are bit-identical for every setting.
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        vc_nn::prelude::set_kernel_threads((cores / cfg.num_employees.max(1)).max(1));
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
         let net_cfg = NetConfig::for_scenario(cfg.env.grid, cfg.env.num_workers);

@@ -461,8 +461,10 @@ impl Graph {
                 Op::MatMul => {
                     let a = node.parents[0];
                     let b = node.parents[1];
-                    let ga = gout.matmul(&self.value(b).transpose());
-                    let gb = self.value(a).transpose().matmul(&gout);
+                    // dA = g·Bᵀ, dB = Aᵀ·g via the transpose-packing kernels
+                    // (no materialized transpose tensors).
+                    let ga = gout.matmul_nt(self.value(b));
+                    let gb = self.value(a).matmul_tn(&gout);
                     send(&mut grads, a, ga);
                     send(&mut grads, b, gb);
                 }

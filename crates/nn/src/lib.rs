@@ -67,6 +67,7 @@ pub mod prelude {
     pub use crate::graph::{Graph, NodeId};
     pub use crate::layers::{Activation, Conv2dLayer, Embedding, LayerNormLayer, Linear, Mlp};
     pub use crate::ops::conv::ConvCfg;
+    pub use crate::ops::gemm::{kernel_threads, set_kernel_threads};
     pub use crate::optim::{Adam, LrSchedule, Optimizer, Sgd};
     pub use crate::param::{ParamId, ParamStore};
     pub use crate::serialize::{

@@ -86,11 +86,12 @@ pub enum Op {
         /// Table row picked per output row.
         indices: Vec<usize>,
     },
-    /// 2-D convolution; saves the im2col matrices for backward.
+    /// 2-D convolution; saves the whole-batch im2col matrix for backward.
     Conv2d {
         /// Shape/stride/padding of the convolution.
         cfg: ConvCfg,
-        /// Saved im2col matrices for the backward pass.
+        /// Saved whole-batch column matrix `[C_in*K*K, B*HO*WO]` for the
+        /// backward pass.
         cols: Tensor,
     },
     /// Layer norm over the trailing dimension; saves per-row statistics.

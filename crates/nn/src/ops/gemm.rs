@@ -1,0 +1,414 @@
+//! Blocked, register-tiled GEMM kernels and the kernel thread-pool knob.
+//!
+//! Every PPO update and curiosity forward-model step bottoms out in dense
+//! matrix multiplies — either directly ([`crate::tensor::Tensor::matmul`],
+//! the autograd `MatMul` op) or through the im2col convolution lowering
+//! ([`crate::ops::conv`]). This module owns those kernels:
+//!
+//! * [`gemm`] — `C = A·B`, cache-blocked over `k` and `n`, register-tiled
+//!   `MR×NR` micro-kernel, optionally row-parallel across scoped threads;
+//! * [`gemm_nt`] / [`gemm_tn`] — `A·Bᵀ` and `Aᵀ·B` via a transpose pack
+//!   into a caller-provided scratch buffer (no per-call allocation when the
+//!   caller reuses the scratch across steps);
+//! * [`matmul_naive`] — the unblocked reference kernel, kept for
+//!   correctness tests and as the benchmark baseline.
+//!
+//! ## NaN semantics
+//!
+//! None of these kernels skip zero operands: `0 · NaN` and `0 · ∞`
+//! contribute `NaN` to the accumulator exactly as IEEE 754 demands. The
+//! seed kernel's `if a == 0.0 { continue }` "sparsity" shortcut silently
+//! laundered non-finite values into zeros, defeating the NaN-quarantine
+//! machinery in the training chief; the regression tests in
+//! `crates/nn/tests/gemm_kernels.rs` pin the corrected behavior.
+//!
+//! ## Determinism
+//!
+//! Each output element is accumulated strictly in ascending-`k` order by a
+//! single accumulation chain: the micro-kernel *reloads* its accumulator
+//! tile from `C` at every `k`-block boundary instead of summing per-block
+//! partials, so blocking does not reassociate the floating-point sum. Row
+//! parallelism partitions complete output rows across threads, so every
+//! element is still computed by exactly one thread in the same order.
+//! Consequently results are bit-identical to [`matmul_naive`] for every
+//! thread count — checkpoint-resume determinism survives the fast path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Rows per register tile of the micro-kernel.
+const MR: usize = 4;
+/// Columns per register tile of the micro-kernel: two AVX2 vectors per row,
+/// giving the 8 independent FMA chains needed to hide FMA latency.
+const NR: usize = 16;
+/// `k`-block height: one packed `KC × NR` B-panel is 16 KiB, comfortably
+/// inside L1 while the A rows stream through.
+const KC: usize = 256;
+/// Below this `m·k·n` volume a matmul is not worth spawning threads for.
+const PAR_THRESHOLD: usize = 1 << 18;
+
+/// Global kernel thread budget, set once per process by the trainer (sized
+/// to the cores left over after employee threads are accounted for).
+static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the number of scoped threads dense kernels may fan out across.
+/// Clamped to at least 1. Results are bit-identical for every setting, so
+/// this is purely a throughput knob.
+pub fn set_kernel_threads(n: usize) {
+    KERNEL_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current kernel thread budget (≥ 1).
+pub fn kernel_threads() -> usize {
+    KERNEL_THREADS.load(Ordering::Relaxed).max(1)
+}
+
+/// Unblocked reference matmul: `out = A·B` with `A: [m,k]`, `B: [k,n]`,
+/// `out: [m,n]`, all row-major. `ikj` loop order, no zero-skip — this is
+/// the semantic ground truth the blocked kernel must match bit-for-bit.
+///
+/// # Panics
+///
+/// If a slice length disagrees with its shape.
+pub fn matmul_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "naive gemm lhs length");
+    assert_eq!(b.len(), k * n, "naive gemm rhs length");
+    assert_eq!(out.len(), m * n, "naive gemm out length");
+    out.fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o = av.mul_add(bv, *o);
+            }
+        }
+    }
+}
+
+/// Blocked GEMM: `out = A·B` with `A: [m,k]`, `B: [k,n]`, `out: [m,n]`,
+/// row-major. Fans output rows across up to `threads` scoped threads when
+/// the problem is large enough; bit-identical to [`matmul_naive`] for every
+/// thread count.
+///
+/// # Panics
+///
+/// If a slice length disagrees with its shape.
+pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, threads: usize) {
+    assert_eq!(a.len(), m * k, "gemm lhs length");
+    assert_eq!(b.len(), k * n, "gemm rhs length");
+    assert_eq!(out.len(), m * n, "gemm out length");
+    out.fill(0.0);
+    let threads = threads.max(1).min(m);
+    if threads <= 1 || m * n * k < PAR_THRESHOLD {
+        gemm_rows(a, b, out, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (a_chunk, o_chunk) in a.chunks(rows_per * k).zip(out.chunks_mut(rows_per * n)) {
+            s.spawn(move || gemm_rows(a_chunk, b, o_chunk, k, n));
+        }
+    });
+}
+
+/// `out = A·Bᵀ` with `A: [m,k]`, `B: [n,k]`, `out: [m,n]`. `B` is
+/// transpose-packed into `scratch` (resized as needed, reusable across
+/// calls) and the product runs through the blocked kernel, so accumulation
+/// order matches materializing `Bᵀ` and calling [`matmul_naive`].
+///
+/// # Panics
+///
+/// If a slice length disagrees with its shape.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS-style signature
+pub fn gemm_nt(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut Vec<f32>,
+    threads: usize,
+) {
+    assert_eq!(b.len(), n * k, "gemm_nt rhs length");
+    transpose_into(b, n, k, scratch);
+    gemm(a, scratch, out, m, k, n, threads);
+}
+
+/// `out = Aᵀ·B` with `A: [k,m]`, `B: [k,n]`, `out: [m,n]`. `A` is
+/// transpose-packed into `scratch` (resized as needed, reusable across
+/// calls) and the product runs through the blocked kernel.
+///
+/// # Panics
+///
+/// If a slice length disagrees with its shape.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS-style signature
+pub fn gemm_tn(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut Vec<f32>,
+    threads: usize,
+) {
+    assert_eq!(a.len(), k * m, "gemm_tn lhs length");
+    transpose_into(a, k, m, scratch);
+    gemm(scratch, b, out, m, k, n, threads);
+}
+
+/// Writes the transpose of row-major `src: [rows, cols]` into `dst`
+/// (`[cols, rows]`), resizing `dst` but keeping its allocation when large
+/// enough.
+pub fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut Vec<f32>) {
+    assert_eq!(src.len(), rows * cols, "transpose_into length");
+    dst.clear();
+    dst.resize(rows * cols, 0.0);
+    for (i, row) in src.chunks_exact(cols).enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            dst[j * rows + i] = v;
+        }
+    }
+}
+
+/// Splits `data` into per-thread runs of whole `item_len`-element items and
+/// applies `f(first_item_index, chunk)` to each run — sequentially when
+/// `threads <= 1` or there is a single item, on scoped threads otherwise.
+/// Item order within a run is preserved, so any per-item computation is
+/// deterministic regardless of the thread count.
+///
+/// # Panics
+///
+/// If `data.len() != items * item_len`.
+pub fn par_items(
+    data: &mut [f32],
+    item_len: usize,
+    items: usize,
+    threads: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    assert_eq!(data.len(), items * item_len, "par_items length mismatch");
+    let threads = threads.max(1).min(items.max(1));
+    if threads <= 1 || item_len == 0 {
+        f(0, data);
+        return;
+    }
+    let per = items.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, chunk) in data.chunks_mut(per * item_len).enumerate() {
+            let f = &f;
+            s.spawn(move || f(t * per, chunk));
+        }
+    });
+}
+
+/// Single-threaded blocked kernel over a full row range: `out += 0` is
+/// assumed (caller zeroes), `a` holds exactly the rows of `out`.
+fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    if k == 0 || n == 0 {
+        return;
+    }
+    let m = out.len() / n;
+    // One packed KC×NR B-panel lives on the stack for the whole call.
+    let mut panel = [0.0f32; KC * NR];
+    let mut kb = 0;
+    while kb < k {
+        let kc = KC.min(k - kb);
+        let mut j = 0;
+        while j < n {
+            let nr = NR.min(n - j);
+            pack_panel(b, n, kb, kc, j, nr, &mut panel);
+            let panel = &panel[..kc * NR];
+            let mut i = 0;
+            while i + MR <= m {
+                tile_rows::<MR>(a, out, i, k, n, kb, kc, j, nr, panel);
+                i += MR;
+            }
+            while i < m {
+                tile_rows::<1>(a, out, i, k, n, kb, kc, j, nr, panel);
+                i += 1;
+            }
+            j += NR;
+        }
+        kb += kc;
+    }
+}
+
+/// Packs the `kc × nr` block of `B` at `(kb, j)` into a contiguous
+/// `kc × NR` panel, zero-padding columns beyond `nr`. The pad lanes only
+/// ever feed accumulator lanes that are never written back, so `NaN`
+/// operands in `A` cannot leak through them.
+#[allow(clippy::too_many_arguments)] // index soup is the kernel's nature
+fn pack_panel(
+    b: &[f32],
+    n: usize,
+    kb: usize,
+    kc: usize,
+    j: usize,
+    nr: usize,
+    panel: &mut [f32; KC * NR],
+) {
+    for p in 0..kc {
+        let src = &b[(kb + p) * n + j..(kb + p) * n + j + nr];
+        let dst = &mut panel[p * NR..p * NR + NR];
+        dst[..nr].copy_from_slice(src);
+        dst[nr..].fill(0.0);
+    }
+}
+
+/// The register-tiled micro-kernel: accumulates the `R × nr` output tile at
+/// `(i, j)` over the `k`-block `[kb, kb+kc)`. The accumulator tile is
+/// loaded from `out` and stored back, so the per-element accumulation chain
+/// stays strictly ascending in `k` across blocks (see module docs).
+#[allow(clippy::too_many_arguments)] // index soup is the kernel's nature
+#[inline(always)]
+fn tile_rows<const R: usize>(
+    a: &[f32],
+    out: &mut [f32],
+    i: usize,
+    k: usize,
+    n: usize,
+    kb: usize,
+    kc: usize,
+    j: usize,
+    nr: usize,
+    panel: &[f32],
+) {
+    let mut acc = [[0.0f32; NR]; R];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        accr[..nr].copy_from_slice(&out[(i + r) * n + j..(i + r) * n + j + nr]);
+    }
+    if R == MR {
+        let a0 = &a[i * k + kb..i * k + kb + kc];
+        let a1 = &a[(i + 1) * k + kb..(i + 1) * k + kb + kc];
+        let a2 = &a[(i + 2) * k + kb..(i + 2) * k + kb + kc];
+        let a3 = &a[(i + 3) * k + kb..(i + 3) * k + kb + kc];
+        for ((((&x0, &x1), &x2), &x3), bp) in
+            a0.iter().zip(a1).zip(a2).zip(a3).zip(panel.chunks_exact(NR))
+        {
+            let xs = [x0, x1, x2, x3];
+            for (accr, xr) in acc.iter_mut().zip(xs) {
+                for (av, &bv) in accr.iter_mut().zip(bp) {
+                    *av = xr.mul_add(bv, *av);
+                }
+            }
+        }
+    } else {
+        let a0 = &a[i * k + kb..i * k + kb + kc];
+        for (&x0, bp) in a0.iter().zip(panel.chunks_exact(NR)) {
+            for (av, &bv) in acc[0].iter_mut().zip(bp) {
+                *av = x0.mul_add(bv, *av);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[(i + r) * n + j..(i + r) * n + j + nr].copy_from_slice(&accr[..nr]);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill.
+    fn lcg_fill(seed: u32, len: usize) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                (s >> 9) as f32 / (1u32 << 23) as f32 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise() {
+        for (case, &(m, k, n)) in
+            [(1, 1, 1), (3, 5, 7), (17, 19, 23), (4, 600, 9), (33, 2, 65), (40, 40, 40)]
+                .iter()
+                .enumerate()
+        {
+            let a = lcg_fill(case as u32, m * k);
+            let b = lcg_fill(case as u32 + 100, k * n);
+            let mut want = vec![0.0; m * n];
+            matmul_naive(&a, &b, &mut want, m, k, n);
+            for threads in [1usize, 2, 3] {
+                let mut got = vec![0.0; m * n];
+                gemm(&a, &b, &mut got, m, k, n, threads);
+                assert_eq!(got, want, "m={m} k={k} n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn nt_and_tn_match_materialized_transpose() {
+        let (m, k, n) = (7, 11, 5);
+        let a = lcg_fill(1, m * k);
+        let bt = lcg_fill(2, n * k); // B stored [n, k]
+        let at = lcg_fill(3, k * m); // A stored [k, m]
+        let b = lcg_fill(4, k * n);
+
+        let mut scratch = Vec::new();
+        let mut got = vec![0.0; m * n];
+        gemm_nt(&a, &bt, &mut got, m, k, n, &mut scratch, 1);
+        let mut b_mat = Vec::new();
+        transpose_into(&bt, n, k, &mut b_mat);
+        let mut want = vec![0.0; m * n];
+        matmul_naive(&a, &b_mat, &mut want, m, k, n);
+        assert_eq!(got, want);
+
+        gemm_tn(&at, &b, &mut got, m, k, n, &mut scratch, 1);
+        let mut a_mat = Vec::new();
+        transpose_into(&at, k, m, &mut a_mat);
+        matmul_naive(&a_mat, &b, &mut want, m, k, n);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zero_times_nonfinite_is_nan() {
+        // A = [0, 1], B column 0 row 0 = NaN: 0·NaN must poison the output.
+        let a = [0.0f32, 1.0];
+        let b = [f32::NAN, 2.0, 3.0, 4.0];
+        let mut out = [0.0f32; 2];
+        gemm(&a, &b, &mut out, 1, 2, 2, 1);
+        assert!(out[0].is_nan(), "0·NaN must propagate, got {}", out[0]);
+        let b_inf = [f32::INFINITY, 2.0, 3.0, 4.0];
+        gemm(&a, &b_inf, &mut out, 1, 2, 2, 1);
+        assert!(out[0].is_nan(), "0·∞ must propagate as NaN, got {}", out[0]);
+        // The naive reference agrees.
+        matmul_naive(&a, &b, &mut out, 1, 2, 2);
+        assert!(out[0].is_nan());
+    }
+
+    #[test]
+    fn empty_dims_are_fine() {
+        let mut out = vec![1.0f32; 3];
+        gemm(&[], &[], &mut out, 3, 0, 1, 1);
+        assert_eq!(out, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn par_items_partitions_whole_items() {
+        let mut data = vec![0.0f32; 6 * 4];
+        par_items(&mut data, 4, 6, 3, |first, chunk| {
+            for (d, item) in chunk.chunks_mut(4).enumerate() {
+                item.fill((first + d) as f32);
+            }
+        });
+        for (i, item) in data.chunks(4).enumerate() {
+            assert!(item.iter().all(|&v| v == i as f32), "item {i}: {item:?}");
+        }
+    }
+
+    #[test]
+    fn thread_knob_clamps_to_one() {
+        set_kernel_threads(0);
+        assert_eq!(kernel_threads(), 1);
+        set_kernel_threads(2);
+        assert_eq!(kernel_threads(), 2);
+        set_kernel_threads(1);
+    }
+}

@@ -4,6 +4,8 @@
 
 /// 2-D convolution via im2col.
 pub mod conv;
+/// Blocked GEMM kernels and the kernel threading knob.
+pub mod gemm;
 /// Layer normalization.
 pub mod norm;
 /// Row-wise softmax and log-softmax.

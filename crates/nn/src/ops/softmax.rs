@@ -3,18 +3,39 @@
 //! All functions operate on rank-2 tensors `[rows, cols]`, treating each row
 //! as an independent distribution — the layout used for per-worker action
 //! heads after the `[B, W*A] -> [B*W, A]` reshape.
+//!
+//! ## Fully masked rows
+//!
+//! Action masking drives logits to `-∞` (or `-1e9`). A row whose entries
+//! are *all* exactly `-∞` has no well-defined softmax (`0/0`); the seed
+//! implementation silently produced `NaN`s that then tripped the gradient
+//! quarantine. The defined behavior is now: such a row yields the uniform
+//! distribution (`1/cols` from [`softmax_rows`], `-ln(cols)` from
+//! [`log_softmax_rows`]) — a fully masked head carries no preference, and a
+//! uniform output keeps downstream entropy/ratio terms finite. Rows with
+//! `NaN` entries still propagate `NaN`.
 
 use crate::tensor::Tensor;
 
-/// Numerically stable row-wise softmax.
+/// Whether every entry of the row is exactly `-∞` (a fully masked head).
+fn fully_masked(row: &[f32]) -> bool {
+    row.iter().all(|&v| v == f32::NEG_INFINITY)
+}
+
+/// Numerically stable row-wise softmax. Fully masked rows (all `-∞`)
+/// yield the uniform distribution; see the module docs.
 pub fn softmax_rows(x: &Tensor) -> Tensor {
     assert_eq!(x.ndim(), 2, "softmax_rows requires rank 2");
     let (rows, cols) = (x.shape()[0], x.shape()[1]);
     let mut out = vec![0.0f32; rows * cols];
     for r in 0..rows {
         let row = &x.data()[r * cols..(r + 1) * cols];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let dst = &mut out[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        if m == f32::NEG_INFINITY && fully_masked(row) {
+            dst.fill(1.0 / cols as f32);
+            continue;
+        }
         let mut z = 0.0f32;
         for (d, &v) in dst.iter_mut().zip(row) {
             let e = (v - m).exp();
@@ -28,16 +49,22 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
     Tensor::from_vec(&[rows, cols], out)
 }
 
-/// Numerically stable row-wise log-softmax.
+/// Numerically stable row-wise log-softmax. Fully masked rows (all `-∞`)
+/// yield `-ln(cols)` everywhere; see the module docs.
 pub fn log_softmax_rows(x: &Tensor) -> Tensor {
     assert_eq!(x.ndim(), 2, "log_softmax_rows requires rank 2");
     let (rows, cols) = (x.shape()[0], x.shape()[1]);
     let mut out = vec![0.0f32; rows * cols];
     for r in 0..rows {
         let row = &x.data()[r * cols..(r + 1) * cols];
+        let dst = &mut out[r * cols..(r + 1) * cols];
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        if m == f32::NEG_INFINITY && fully_masked(row) {
+            dst.fill(-(cols as f32).ln());
+            continue;
+        }
         let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
-        for (d, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+        for (d, &v) in dst.iter_mut().zip(row) {
             *d = v - lse;
         }
     }
@@ -112,6 +139,45 @@ mod tests {
         assert!(!y.has_non_finite());
         assert!(y.data()[1] < 1e-6);
         assert!((y.data()[0] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fully_masked_rows_are_uniform() {
+        // A row of all -inf (fully masked action head) must produce the
+        // uniform distribution, not a silent 0/0 NaN.
+        let ninf = f32::NEG_INFINITY;
+        let x = Tensor::from_vec(&[2, 4], vec![ninf, ninf, ninf, ninf, 1.0, 2.0, 3.0, 4.0]);
+        let y = softmax_rows(&x);
+        assert!(!y.has_non_finite(), "masked row produced non-finite: {y:?}");
+        for c in 0..4 {
+            assert!((y.at2(0, c) - 0.25).abs() < 1e-7, "uniform expected, got {}", y.at2(0, c));
+        }
+        let s: f32 = (0..4).map(|c| y.at2(1, c)).sum();
+        assert!((s - 1.0).abs() < 1e-6, "unmasked row must be unaffected");
+
+        let ls = log_softmax_rows(&x);
+        for c in 0..4 {
+            assert!((ls.at2(0, c) + 4.0f32.ln()).abs() < 1e-6, "-ln(cols) expected");
+        }
+    }
+
+    #[test]
+    fn masked_row_backward_is_finite() {
+        let ninf = f32::NEG_INFINITY;
+        let x = Tensor::from_vec(&[1, 3], vec![ninf, ninf, ninf]);
+        let y = softmax_rows(&x);
+        let g = softmax_backward(&y, &Tensor::ones(&[1, 3]));
+        assert!(!g.has_non_finite());
+        let ly = log_softmax_rows(&x);
+        let lg = log_softmax_backward(&ly, &Tensor::ones(&[1, 3]));
+        assert!(!lg.has_non_finite());
+    }
+
+    #[test]
+    fn nan_rows_still_propagate() {
+        // NaN logits are a bug upstream; they must stay visible.
+        let x = Tensor::from_vec(&[1, 2], vec![f32::NAN, 0.0]);
+        assert!(softmax_rows(&x).has_non_finite());
     }
 
     #[test]

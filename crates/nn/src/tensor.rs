@@ -200,29 +200,97 @@ impl Tensor {
     }
 
     /// Row-major matrix multiply of rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
+    ///
+    /// Runs the blocked kernel in [`crate::ops::gemm`] under the process-wide
+    /// kernel thread budget. `0 · NaN` and `0 · ∞` propagate as `NaN` (no
+    /// zero-skipping), and results are bit-identical for every thread count.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Self::matmul`] writing into `out`, reusing its allocation. `out` is
+    /// reshaped to `[m, n]`; any previous contents are overwritten.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(self.ndim(), 2, "matmul lhs must be rank 2");
         assert_eq!(other.ndim(), 2, "matmul rhs must be rank 2");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims {} vs {}", k, k2);
-        let mut out = vec![0.0f32; m * n];
-        // ikj loop order: the inner loop walks contiguous rows of `other`,
-        // which vectorizes well and stays cache-friendly.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor::from_vec(&[m, n], out)
+        out.shape = vec![m, n];
+        out.data.resize(m * n, 0.0);
+        crate::ops::gemm::gemm(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            m,
+            k,
+            n,
+            crate::ops::gemm::kernel_threads(),
+        );
+    }
+
+    /// `self · otherᵀ` for `self: [m,k]`, `other: [n,k]` → `[m,n]`, without
+    /// the caller materializing the transpose.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        let mut scratch = Vec::new();
+        self.matmul_nt_into(other, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_nt`] writing into `out` and transpose-packing through
+    /// `scratch`, reusing both allocations across calls.
+    pub fn matmul_nt_into(&self, other: &Tensor, scratch: &mut Vec<f32>, out: &mut Tensor) {
+        assert_eq!(self.ndim(), 2, "matmul_nt lhs must be rank 2");
+        assert_eq!(other.ndim(), 2, "matmul_nt rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_nt inner dims {} vs {}", k, k2);
+        out.shape = vec![m, n];
+        out.data.resize(m * n, 0.0);
+        crate::ops::gemm::gemm_nt(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            m,
+            k,
+            n,
+            scratch,
+            crate::ops::gemm::kernel_threads(),
+        );
+    }
+
+    /// `selfᵀ · other` for `self: [k,m]`, `other: [k,n]` → `[m,n]`, without
+    /// the caller materializing the transpose.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(&[0]);
+        let mut scratch = Vec::new();
+        self.matmul_tn_into(other, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_tn`] writing into `out` and transpose-packing through
+    /// `scratch`, reusing both allocations across calls.
+    pub fn matmul_tn_into(&self, other: &Tensor, scratch: &mut Vec<f32>, out: &mut Tensor) {
+        assert_eq!(self.ndim(), 2, "matmul_tn lhs must be rank 2");
+        assert_eq!(other.ndim(), 2, "matmul_tn rhs must be rank 2");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_tn inner dims {} vs {}", k, k2);
+        out.shape = vec![m, n];
+        out.data.resize(m * n, 0.0);
+        crate::ops::gemm::gemm_tn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            m,
+            k,
+            n,
+            scratch,
+            crate::ops::gemm::kernel_threads(),
+        );
     }
 
     /// Transpose of a rank-2 tensor.

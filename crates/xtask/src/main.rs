@@ -26,6 +26,11 @@
 //! Grandfathered findings live in `xtask-allow.txt` at the repo root, one
 //! per line as `<lint> <path>` or `<lint> <path>:<line>`; `#` starts a
 //! comment.
+//!
+//! `cargo xtask bench` runs the kernel/episode benchmark suite and appends
+//! to the `BENCH_kernels.json` trajectory at the repo root; `--smoke` runs
+//! minimal iterations against a throwaway file under `target/` and only
+//! validates the artifact schema (the CI `bench-smoke` job).
 
 use std::fmt;
 use std::fs;
@@ -51,6 +56,10 @@ fn main() -> ExitCode {
         }
         "build" => run_cargo(&root, &["build", "--workspace", "--all-targets"]),
         "lint" => run_source_lints(&root),
+        "bench" => {
+            let smoke = std::env::args().any(|a| a == "--smoke");
+            run_bench(&root, smoke)
+        }
         _ => {
             eprintln!(
                 "usage: cargo xtask <task>\n\n\
@@ -59,7 +68,9 @@ fn main() -> ExitCode {
                  fmt     cargo fmt --all --check\n  \
                  clippy  cargo clippy --workspace --all-targets -D warnings\n  \
                  build   cargo build --workspace --all-targets\n  \
-                 lint    custom source lints only"
+                 lint    custom source lints only\n  \
+                 bench   kernel/episode benchmarks -> BENCH_kernels.json\n          \
+                 (--smoke: minimal iterations, schema check only)"
             );
             return ExitCode::from(2);
         }
@@ -95,6 +106,61 @@ fn run_cargo(root: &Path, args: &[&str]) -> bool {
             false
         }
     }
+}
+
+/// Runs the kernel/episode benchmark binary and validates the trajectory
+/// artifact it emits. Smoke mode writes a throwaway file under `target/`
+/// (minimal iterations, schema check only); a full run appends to
+/// `BENCH_kernels.json` at the repo root.
+fn run_bench(root: &Path, smoke: bool) -> bool {
+    let out = if smoke {
+        root.join("target").join("BENCH_kernels.smoke.json")
+    } else {
+        root.join("BENCH_kernels.json")
+    };
+    if smoke {
+        // A stale smoke artifact would mask a bench that silently wrote
+        // nothing; always start from scratch.
+        let _ = fs::remove_file(&out);
+    }
+    let out_str = out.display().to_string();
+    let mut args =
+        vec!["run", "--release", "--package", "vc-bench", "--bin", "bench_kernels", "--"];
+    if smoke {
+        args.push("--smoke");
+    }
+    args.extend_from_slice(&["--out", &out_str]);
+    if !run_cargo(root, &args) {
+        return false;
+    }
+    validate_bench_artifact(&out)
+}
+
+/// Structural check of the benchmark trajectory: a JSON array whose text
+/// carries every per-result field. The bench binary performs the full
+/// parse-level validation itself; this guards the artifact actually written
+/// to disk (catching an empty or truncated file).
+fn validate_bench_artifact(path: &Path) -> bool {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask: bench artifact {} unreadable: {e}", path.display());
+            return false;
+        }
+    };
+    if !text.trim_start().starts_with('[') {
+        eprintln!("xtask: bench artifact {} is not a JSON array", path.display());
+        return false;
+    }
+    for key in ["\"op\"", "\"shape\"", "\"threads\"", "\"iters\"", "\"ns_per_iter\"", "\"gflops\""]
+    {
+        if !text.contains(key) {
+            eprintln!("xtask: bench artifact {} missing key {key}", path.display());
+            return false;
+        }
+    }
+    eprintln!("xtask: bench artifact {} ok ({} bytes)", path.display(), text.len());
+    true
 }
 
 /// One custom-lint violation.
