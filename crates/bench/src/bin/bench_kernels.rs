@@ -22,7 +22,7 @@
 
 use serde::Value;
 use std::time::Instant;
-use vc_bench::bench_trainer;
+use vc_bench::{bench_trainer, chief_stress_trainer};
 use vc_nn::ops::conv::{conv2d_backward, conv2d_forward};
 use vc_nn::ops::gemm;
 use vc_nn::prelude::*;
@@ -189,6 +189,27 @@ fn bench_episode(iters: u64, out: &mut Vec<Rec>) {
     });
 }
 
+/// Times the telemetry-off chief stress loop: 16 employees × `rounds`
+/// gather rounds on a small map. This is the acceptance substrate for the
+/// "disabled telemetry costs ≤ 2%" budget — the instrumented broadcast /
+/// gather / apply path runs at full round rate with a `Telemetry::off`
+/// handle, so regressions in the disabled-path overhead show up here.
+fn bench_chief_stress(iters: u64, rounds: usize, out: &mut Vec<Rec>) {
+    let employees = 16usize;
+    let mut trainer = chief_stress_trainer(employees, rounds);
+    let ns = time_ns(iters, || {
+        trainer.train_episode().expect("chief stress episode failed");
+    });
+    out.push(Rec {
+        op: "chief_stress",
+        shape: format!("employees{employees} rounds{rounds}"),
+        threads: employees,
+        iters,
+        ns_per_iter: ns,
+        flops: 0.0,
+    });
+}
+
 /// Validates one run record against the trajectory schema.
 fn validate_run(run: &Value) -> Result<(), String> {
     for key in ["schema_version", "mode", "unix_time_s", "results"] {
@@ -241,6 +262,7 @@ fn main() {
     bench_matmuls(iters, &mut recs);
     bench_conv(iters, &mut recs);
     bench_episode(if smoke { 1 } else { 3 }, &mut recs);
+    bench_chief_stress(1, if smoke { 5 } else { 50 }, &mut recs);
 
     println!("{:<16} {:>24} {:>8} {:>14} {:>10}", "op", "shape", "threads", "ns/iter", "GFLOP/s");
     for r in &recs {

@@ -34,6 +34,29 @@ pub fn bench_trainer(employees: usize, minibatch: usize) -> Trainer {
     Trainer::new(cfg).unwrap_or_else(|e| panic!("bench fixture failed to start: {e}"))
 }
 
+/// The chief-loop stress fixture: many employees, many gather rounds, a
+/// deliberately small map so the measurement is dominated by the chief's
+/// broadcast → rollout → gather → apply cycle rather than by episode
+/// simulation. One `train_episode` performs exactly `rounds` gather rounds
+/// (one per PPO epoch), so wall-clock per episode tracks the per-round
+/// overhead of the chief path — including the cost of its (disabled)
+/// telemetry hooks.
+///
+/// # Panics
+///
+/// Panics if the fixture configuration cannot start a trainer.
+pub fn chief_stress_trainer(employees: usize, rounds: usize) -> Trainer {
+    let mut env = EnvConfig::tiny();
+    env.horizon = 15;
+    env.num_pois = 20;
+    let mut cfg = TrainerConfig::drl_cews(env);
+    cfg.curiosity = CuriosityChoice::None;
+    cfg.num_employees = employees;
+    cfg.ppo.epochs = rounds;
+    cfg.ppo.minibatch = 16;
+    Trainer::new(cfg).unwrap_or_else(|e| panic!("chief stress fixture failed to start: {e}"))
+}
+
 /// A DPPO trainer at benchmark scale.
 ///
 /// # Panics

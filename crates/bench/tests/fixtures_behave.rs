@@ -1,0 +1,36 @@
+//! Integration checks on the benchmark fixtures: a bench that measures a
+//! fixture doing the wrong amount of work produces confidently wrong
+//! numbers, so the work content is pinned here.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use vc_bench::{bench_env, bench_trainer, chief_stress_trainer};
+
+#[test]
+fn chief_stress_performs_exactly_the_configured_rounds() {
+    // The stress fixture's contract: one episode == `rounds` gather rounds.
+    // If a refactor changed the epochs→rounds mapping, the chief-stress
+    // bench would silently time a different workload.
+    let mut t = chief_stress_trainer(4, 3);
+    assert_eq!(t.rounds_trained(), 0);
+    t.train_episode().unwrap();
+    assert_eq!(t.rounds_trained(), 3, "one episode must run exactly `rounds` gather rounds");
+    t.train_episode().unwrap();
+    assert_eq!(t.rounds_trained(), 6);
+}
+
+#[test]
+fn chief_stress_runs_with_telemetry_disabled() {
+    // The ≤2% overhead budget is measured against a disabled handle; the
+    // fixture must not accidentally ship an enabled one.
+    let t = chief_stress_trainer(2, 1);
+    assert!(!t.telemetry().is_on(), "stress fixture must run telemetry-off");
+}
+
+#[test]
+fn bench_trainer_produces_finite_episodes() {
+    assert!(bench_env().validate().is_ok());
+    let mut t = bench_trainer(2, 16);
+    let s = t.train_episode().unwrap();
+    assert!(s.kappa.is_finite() && (0.0..=1.0).contains(&s.kappa));
+}

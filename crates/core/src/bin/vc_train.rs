@@ -10,7 +10,19 @@
 //!          [--record PATH]
 //!          [--resume PATH] [--ckpt-every N] [--ckpt-keep K]
 //!          [--round-timeout-ms MS] [--restart-budget N] [--inject SPEC]...
+//!          [--telemetry-dir DIR] [--metrics-dump PATH]
 //! ```
+//!
+//! Telemetry:
+//!
+//! * `--telemetry-dir DIR` enables the telemetry registry, streams one JSON
+//!   line per update round (gather/apply/sync/broadcast timings, health
+//!   counters) plus per-episode environment events to
+//!   `DIR/round_timings.jsonl`, and writes a Prometheus-style dump of every
+//!   metric to `DIR/metrics.prom` at exit.
+//! * `--metrics-dump PATH` writes the Prometheus dump to PATH (also
+//!   enables telemetry when `--telemetry-dir` is absent; no JSONL stream
+//!   in that case).
 //!
 //! Fault tolerance & resume:
 //!
@@ -85,6 +97,8 @@ fn main() {
     let mut resume: Option<String> = None;
     let mut ckpt_every: Option<usize> = None;
     let mut ckpt_keep = 3usize;
+    let mut telemetry_dir: Option<String> = None;
+    let mut metrics_dump: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -158,6 +172,8 @@ fn main() {
             "--restart-budget" => {
                 cfg.fault.restart_budget = parse_usize(args.next(), "--restart-budget");
             }
+            "--telemetry-dir" => telemetry_dir = Some(need(args.next(), "--telemetry-dir")),
+            "--metrics-dump" => metrics_dump = Some(need(args.next(), "--metrics-dump")),
             "--inject" => {
                 let spec = need(args.next(), "--inject");
                 let (employee, round, kind) = parse_inject(&spec).unwrap_or_else(|| {
@@ -169,11 +185,25 @@ fn main() {
         }
     }
 
+    // Telemetry: enabled by either flag; the JSONL stream needs a dir.
+    let telemetry = if telemetry_dir.is_some() || metrics_dump.is_some() {
+        let t = vc_telemetry::Telemetry::new();
+        if let Some(dir) = &telemetry_dir {
+            let path = std::path::Path::new(dir).join("round_timings.jsonl");
+            t.attach_jsonl(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot open {}: {e}", path.display())));
+        }
+        Some(t)
+    } else {
+        None
+    };
+    let handle = telemetry.clone().unwrap_or_else(vc_telemetry::Telemetry::off);
+
     let mut trainer = match &resume {
         Some(path) => {
             let data = std::fs::read(path)
                 .unwrap_or_else(|e| fail(&format!("cannot read checkpoint {path}: {e}")));
-            let t = Trainer::resume_from(&data)
+            let t = Trainer::resume_from_with_telemetry(&data, handle.clone())
                 .unwrap_or_else(|e| fail(&format!("cannot resume from {path}: {e}")));
             println!(
                 "resumed from {path}: {} episodes / {} rounds trained (training flags other \
@@ -183,7 +213,8 @@ fn main() {
             );
             t
         }
-        None => Trainer::new(cfg).unwrap_or_else(|e| fail(&format!("cannot start trainer: {e}"))),
+        None => Trainer::with_telemetry(cfg, handle.clone())
+            .unwrap_or_else(|e| fail(&format!("cannot start trainer: {e}"))),
     };
     // Print the banner from the trainer's own config: on --resume it comes
     // from the checkpoint, not from the command line.
@@ -325,5 +356,23 @@ fn main() {
             "  {name:>8}: kappa={:.3} xi={:.3} rho={:.3}",
             m.data_collection_ratio, m.remaining_data_ratio, m.energy_efficiency
         );
+    }
+
+    if let Some(t) = &telemetry {
+        trainer.publish_kernel_telemetry();
+        t.flush().unwrap_or_else(|e| fail(&format!("cannot flush telemetry log: {e}")));
+        let mut prom_paths: Vec<std::path::PathBuf> = Vec::new();
+        if let Some(dir) = &telemetry_dir {
+            prom_paths.push(std::path::Path::new(dir).join("metrics.prom"));
+            println!("round timings -> {dir}/round_timings.jsonl");
+        }
+        if let Some(path) = &metrics_dump {
+            prom_paths.push(std::path::PathBuf::from(path));
+        }
+        for path in prom_paths {
+            t.write_prometheus(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+            println!("metrics dump -> {}", path.display());
+        }
     }
 }

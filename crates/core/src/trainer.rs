@@ -21,12 +21,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vc_curiosity::prelude::*;
 use vc_env::prelude::*;
 use vc_nn::optim::{Adam, LrSchedule, Optimizer};
 use vc_nn::prelude::*;
 use vc_rl::prelude::*;
+use vc_telemetry::{Field, Telemetry};
 
 /// Errors from building or driving a [`Trainer`].
 #[derive(Clone, Debug, PartialEq)]
@@ -426,6 +427,7 @@ pub struct Trainer {
     rounds: u64,
     history: Vec<EpisodeStats>,
     last_ppo_stats: PpoStats,
+    telemetry: Telemetry,
 }
 
 impl Trainer {
@@ -437,6 +439,20 @@ impl Trainer {
     /// [`TrainerError::Chief`] when no employees are requested or a thread
     /// fails to spawn.
     pub fn new(cfg: TrainerConfig) -> Result<Self, TrainerError> {
+        Self::with_telemetry(cfg, Telemetry::off())
+    }
+
+    /// Like [`Self::new`], with a telemetry registry threaded through the
+    /// whole stack: the chief executor (round timings, quarantine/restart
+    /// counters, per-employee gradient-norm histograms), every employee's
+    /// environment (collision/charge counters, per-episode κ/ξ/ρ), and —
+    /// when the handle is enabled — the dense-kernel call/FLOP tallies in
+    /// `vc_nn`. The config stays serializable; the handle lives only here.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`].
+    pub fn with_telemetry(cfg: TrainerConfig, telemetry: Telemetry) -> Result<Self, TrainerError> {
         cfg.env.validate()?;
         // Size the dense-kernel thread budget to the cores left after each
         // employee thread claims one. Purely a throughput knob: kernel
@@ -456,6 +472,7 @@ impl Trainer {
         // original stream died with the panicked thread.
         let fac_env = cfg.env.clone();
         let fac_curiosity = cfg.curiosity;
+        let fac_telemetry = telemetry.clone();
         let (fac_ppo, fac_reward, fac_mask, fac_seed) =
             (cfg.ppo, cfg.reward_mode, cfg.mask_invalid, cfg.seed);
         let factory = move |id: usize| -> Box<dyn Employee> {
@@ -464,8 +481,10 @@ impl Trainer {
             let mut erng = StdRng::seed_from_u64(fac_seed);
             let mut estore = ParamStore::new();
             let enet = ActorCritic::new(&mut estore, net_cfg, &mut erng);
+            let mut emp_env = CrowdsensingEnv::new(fac_env.clone());
+            emp_env.set_telemetry(fac_telemetry.clone());
             Box::new(CewsEmployee {
-                env: CrowdsensingEnv::new(fac_env.clone()),
+                env: emp_env,
                 store: estore,
                 net: enet,
                 curiosity: fac_curiosity.build(&fac_env, fac_seed.wrapping_add(77)),
@@ -478,7 +497,12 @@ impl Trainer {
                 base_seed: fac_env.seed,
             })
         };
-        let executor = ChiefExecutor::spawn_with(cfg.num_employees, factory, cfg.fault.to_chief())?;
+        let mut executor =
+            ChiefExecutor::spawn_with(cfg.num_employees, factory, cfg.fault.to_chief())?;
+        executor.set_telemetry(telemetry.clone());
+        if telemetry.is_on() {
+            vc_nn::prelude::set_kernel_telemetry(true);
+        }
 
         let ppo_opt = Adam::new(cfg.ppo.lr);
         let curiosity_opt = Adam::new(cfg.curiosity_lr);
@@ -496,6 +520,7 @@ impl Trainer {
             rounds: 0,
             history: Vec::new(),
             last_ppo_stats: PpoStats::default(),
+            telemetry,
         })
     }
 
@@ -511,13 +536,26 @@ impl Trainer {
     /// [`TrainerError::Checkpoint`] on a corrupt or incompatible
     /// checkpoint, plus everything [`Self::new`] can return.
     pub fn resume_from(data: &[u8]) -> Result<Self, TrainerError> {
+        Self::resume_from_with_telemetry(data, Telemetry::off())
+    }
+
+    /// [`Self::resume_from`] with a telemetry registry attached to the
+    /// rebuilt trainer (the handle itself is never checkpointed).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::resume_from`].
+    pub fn resume_from_with_telemetry(
+        data: &[u8],
+        telemetry: Telemetry,
+    ) -> Result<Self, TrainerError> {
         let ck = vc_nn::serialize::load_checkpoint_v2(data)?;
         let cfg: TrainerConfig = serde_json::from_str(&ck.meta).map_err(|_| {
             TrainerError::Checkpoint(CheckpointError::Inconsistent(
                 "metadata is not a TrainerConfig",
             ))
         })?;
-        let mut trainer = Trainer::new(cfg)?;
+        let mut trainer = Trainer::with_telemetry(cfg, telemetry)?;
         trainer.restore_v2(data)?;
         Ok(trainer)
     }
@@ -567,6 +605,57 @@ impl Trainer {
         self.executor.broadcast_params(self.store.flat_values(), cur)
     }
 
+    /// Writes one `"round"` line to the telemetry JSONL sink (the
+    /// `round_timings.jsonl` schema): phase timings in milliseconds plus
+    /// the round's health counters. No-op when telemetry is off.
+    #[allow(clippy::too_many_arguments)] // flat timing record, not an API
+    fn emit_round_event(
+        &self,
+        round: u64,
+        gather_ms: f64,
+        apply_ms: f64,
+        broadcast_ms: f64,
+        sync_ms: f64,
+        report: &RoundReport,
+    ) {
+        if !self.telemetry.is_on() {
+            return;
+        }
+        self.telemetry.event(
+            "round",
+            &[
+                ("episode", Field::U64(self.episodes as u64)),
+                ("round", Field::U64(round)),
+                ("gather_ms", Field::F64(gather_ms)),
+                ("apply_ms", Field::F64(apply_ms)),
+                ("broadcast_ms", Field::F64(broadcast_ms)),
+                ("sync_ms", Field::F64(sync_ms)),
+                ("contributors", Field::U64(report.contributors as u64)),
+                ("quarantined", Field::U64(report.quarantined.len() as u64)),
+                ("failed", Field::U64(report.failed.len() as u64)),
+                ("respawned", Field::U64(report.respawned.len() as u64)),
+            ],
+        );
+    }
+
+    /// The telemetry handle this trainer records into (disabled for
+    /// [`Self::new`]-built trainers).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Scrapes the process-wide dense-kernel counters (`vc_nn`) into
+    /// `nn_gemm_calls` / `nn_gemm_flops` gauges, so a Prometheus dump
+    /// includes the kernel tallies. Call before [`Telemetry::prometheus`].
+    pub fn publish_kernel_telemetry(&self) {
+        if !self.telemetry.is_on() {
+            return;
+        }
+        let k = vc_nn::prelude::kernel_counters();
+        self.telemetry.gauge("nn_gemm_calls").set(k.gemm_calls as f64);
+        self.telemetry.gauge("nn_gemm_flops").set(k.gemm_flops as f64);
+    }
+
     /// One full episode of the chief–employee loop; returns the mean
     /// employee stats (over the employees that completed their rollout).
     ///
@@ -581,20 +670,30 @@ impl Trainer {
     /// failure: restart budget exhausted, malformed gradients, protocol
     /// violation.
     pub fn train_episode(&mut self) -> Result<EpisodeStats, TrainerError> {
+        let tel_on = self.telemetry.is_on();
         // Anneal the policy learning rate against the schedule horizon.
         let progress = self.episodes as f32 / self.cfg.schedule_horizon.max(1) as f32;
         self.ppo_opt.set_learning_rate(self.cfg.lr_schedule.at(self.cfg.ppo.lr, progress));
         self.broadcast()?;
+        // Rollout is the synchronization barrier of the episode: the chief
+        // blocks until every (surviving) employee has finished exploring.
+        let sync_timer = tel_on.then(Instant::now);
         let rollout = self.executor.rollout_all()?;
+        let sync_ms = sync_timer.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
         for _k in 0..self.cfg.ppo.epochs {
+            let round = self.rounds;
+            let gather_timer = tel_on.then(Instant::now);
             let report = self.executor.gather_grads()?;
+            let gather_ms = gather_timer.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
             self.rounds += 1;
             if report.contributors == 0 {
                 // Every warm employee died or was quarantined this round;
                 // there is no gradient to apply.
+                self.emit_round_event(round, gather_ms, 0.0, 0.0, sync_ms, &report);
                 continue;
             }
             self.last_ppo_stats = report.stats;
+            let apply_timer = tel_on.then(Instant::now);
             // Average over the employees that actually contributed so the
             // step size is independent of (surviving) M.
             let m = report.contributors as f32;
@@ -612,7 +711,16 @@ impl Trainer {
                 cstore.clip_grad_norm(self.cfg.ppo.max_grad_norm);
                 self.curiosity_opt.step(cstore);
             }
+            let apply_ms = apply_timer.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
+            let bc_timer = tel_on.then(Instant::now);
             self.broadcast()?;
+            let broadcast_ms = bc_timer.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
+            if tel_on {
+                self.telemetry
+                    .histogram("trainer_apply_seconds", &vc_telemetry::SPAN_SECONDS_BOUNDS)
+                    .observe(apply_ms / 1e3);
+            }
+            self.emit_round_event(round, gather_ms, apply_ms, broadcast_ms, sync_ms, &report);
         }
         self.episodes += 1;
         let mean = EpisodeStats::mean(&rollout.stats);

@@ -1,5 +1,10 @@
 //! CSV export of training histories, so training curves (Figs. 4–5 style)
 //! can be plotted from any run.
+//!
+//! Floats are written in Rust's shortest-round-trip form (`{:?}`), so
+//! `parse_csv(to_csv(h))` reproduces `h` bit-exactly — a fixed-precision
+//! format like `{:.6}` would silently lose the low mantissa bits and make
+//! re-plotted curves drift from the run that produced them.
 
 use std::io::Write;
 use std::path::Path;
@@ -8,6 +13,11 @@ use vc_rl::chief::EpisodeStats;
 /// CSV header matching [`write_csv`]'s columns.
 pub const CSV_HEADER: &str = "episode,kappa,xi,rho,ext_reward,int_reward,collisions";
 
+/// Renders one float in shortest-round-trip form (parses back bit-exactly).
+fn fmt_f32(v: f32) -> String {
+    format!("{v:?}")
+}
+
 /// Renders a history as CSV text (header + one row per episode).
 pub fn to_csv(history: &[EpisodeStats]) -> String {
     let mut out = String::with_capacity(32 * (history.len() + 1));
@@ -15,8 +25,13 @@ pub fn to_csv(history: &[EpisodeStats]) -> String {
     out.push('\n');
     for (ep, s) in history.iter().enumerate() {
         out.push_str(&format!(
-            "{ep},{:.6},{:.6},{:.6},{:.6},{:.6},{}\n",
-            s.kappa, s.xi, s.rho, s.ext_reward, s.int_reward, s.collisions
+            "{ep},{},{},{},{},{},{}\n",
+            fmt_f32(s.kappa),
+            fmt_f32(s.xi),
+            fmt_f32(s.rho),
+            fmt_f32(s.ext_reward),
+            fmt_f32(s.int_reward),
+            s.collisions
         ));
     }
     out
@@ -32,7 +47,9 @@ pub fn write_csv(history: &[EpisodeStats], path: &Path) -> std::io::Result<()> {
 }
 
 /// Parses a CSV produced by [`to_csv`] back into stats (for tooling that
-/// post-processes runs).
+/// post-processes runs). Non-finite cells are rejected: Rust's float parser
+/// accepts `NaN`/`inf` spellings, but a training log containing them is
+/// corrupt, not a curve.
 pub fn parse_csv(text: &str) -> Result<Vec<EpisodeStats>, String> {
     let mut lines = text.lines();
     let header = lines.next().ok_or("empty CSV")?;
@@ -49,7 +66,11 @@ pub fn parse_csv(text: &str) -> Result<Vec<EpisodeStats>, String> {
             return Err(format!("row {i}: expected 7 cells, got {}", cells.len()));
         }
         let f = |j: usize| -> Result<f32, String> {
-            cells[j].parse().map_err(|e| format!("row {i} col {j}: {e}"))
+            let v: f32 = cells[j].parse().map_err(|e| format!("row {i} col {j}: {e}"))?;
+            if !v.is_finite() {
+                return Err(format!("row {i} col {j}: non-finite value {:?}", cells[j]));
+            }
+            Ok(v)
         };
         out.push(EpisodeStats {
             kappa: f(1)?,
@@ -89,6 +110,16 @@ mod tests {
         ]
     }
 
+    /// Asserts two stats are the same to the bit (NaN-free histories).
+    fn assert_bit_equal(a: &EpisodeStats, b: &EpisodeStats, ctx: &str) {
+        assert_eq!(a.kappa.to_bits(), b.kappa.to_bits(), "{ctx}: kappa");
+        assert_eq!(a.xi.to_bits(), b.xi.to_bits(), "{ctx}: xi");
+        assert_eq!(a.rho.to_bits(), b.rho.to_bits(), "{ctx}: rho");
+        assert_eq!(a.ext_reward.to_bits(), b.ext_reward.to_bits(), "{ctx}: ext");
+        assert_eq!(a.int_reward.to_bits(), b.int_reward.to_bits(), "{ctx}: int");
+        assert_eq!(a.collisions, b.collisions, "{ctx}: collisions");
+    }
+
     #[test]
     fn csv_roundtrip() {
         let h = sample();
@@ -102,11 +133,84 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::excessive_precision)] // the full-mantissa literal IS the test
+    fn csv_roundtrip_is_bit_exact_on_awkward_values() {
+        // Values chosen to break fixed-precision formatting: subnormals,
+        // maxima, values needing all 9 significant decimal digits.
+        let h = vec![EpisodeStats {
+            kappa: 0.1000000014901161, // f32 nearest to 0.1
+            xi: f32::MIN_POSITIVE,
+            rho: 1.0e-40,             // subnormal
+            ext_reward: -f32::MAX,    // would format as garbage under {:.6}
+            int_reward: 16_777_217.0, // 2^24 + 1 → rounds to 2^24 in f32
+            collisions: u32::MAX,
+        }];
+        let parsed = parse_csv(&to_csv(&h)).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_bit_equal(&parsed[0], &h[0], "awkward");
+    }
+
+    #[test]
+    fn csv_roundtrip_fuzz_bit_exact() {
+        // Seeded xorshift over raw f32 bit patterns (finite only): the
+        // round-trip must reproduce every episode bit for bit.
+        let mut s: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next_f32 = move || loop {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let v = f32::from_bits((s >> 32) as u32);
+            if v.is_finite() {
+                return v;
+            }
+        };
+        for case in 0..200 {
+            let h: Vec<EpisodeStats> = (0..5)
+                .map(|_| EpisodeStats {
+                    kappa: next_f32(),
+                    xi: next_f32(),
+                    rho: next_f32(),
+                    ext_reward: next_f32(),
+                    int_reward: next_f32(),
+                    collisions: case,
+                })
+                .collect();
+            let parsed = parse_csv(&to_csv(&h)).unwrap();
+            assert_eq!(parsed.len(), h.len(), "case {case}");
+            for (a, b) in parsed.iter().zip(&h) {
+                assert_bit_equal(a, b, &format!("case {case}"));
+            }
+        }
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(parse_csv("").is_err());
         assert!(parse_csv("wrong,header\n1,2").is_err());
         let bad = format!("{CSV_HEADER}\n1,2,3\n");
         assert!(parse_csv(&bad).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_rows() {
+        // Too many cells.
+        let bad = format!("{CSV_HEADER}\n0,1,2,3,4,5,6,7\n");
+        assert!(parse_csv(&bad).unwrap_err().contains("expected 7 cells"));
+        // Non-numeric float cell.
+        let bad = format!("{CSV_HEADER}\n0,abc,0,0,0,0,0\n");
+        assert!(parse_csv(&bad).unwrap_err().contains("col 1"));
+        // Negative collision count (u32 column).
+        let bad = format!("{CSV_HEADER}\n0,0,0,0,0,0,-1\n");
+        assert!(parse_csv(&bad).unwrap_err().contains("col 6"));
+    }
+
+    #[test]
+    fn parse_rejects_non_finite_cells() {
+        for cell in ["NaN", "nan", "inf", "-inf", "infinity"] {
+            let bad = format!("{CSV_HEADER}\n0,{cell},0,0,0,0,0\n");
+            let err = parse_csv(&bad).unwrap_err();
+            assert!(err.contains("non-finite"), "{cell}: {err}");
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@ use crate::entities::{ChargingStation, Poi, Worker};
 use crate::geometry::Point;
 use crate::metrics::{self, Metrics};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use vc_telemetry::{Counter, Field, Gauge, Telemetry};
 
 /// What happened to one worker during a slot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -60,6 +62,23 @@ pub struct CrowdsensingEnv {
     initial_total_data: f32,
     /// Per-worker collection ratio at the last Υ¹ pulse.
     sparse_level: Vec<f32>,
+    /// Cached telemetry handles; `None` until [`Self::set_telemetry`], so
+    /// an uninstrumented env pays nothing per step.
+    telemetry: Option<EnvTelemetry>,
+}
+
+/// Telemetry handles cached at attach time (see `vc_telemetry`'s overhead
+/// policy): collision / charge / episode counters plus the per-episode
+/// κ/ξ/ρ gauges updated when an episode completes.
+#[derive(Clone, Debug)]
+struct EnvTelemetry {
+    handle: Telemetry,
+    collisions: Arc<Counter>,
+    charge_slots: Arc<Counter>,
+    episodes: Arc<Counter>,
+    kappa: Arc<Gauge>,
+    xi: Arc<Gauge>,
+    rho: Arc<Gauge>,
 }
 
 impl CrowdsensingEnv {
@@ -124,7 +143,29 @@ impl CrowdsensingEnv {
             t: 0,
             initial_total_data,
             sparse_level: vec![0.0; w],
+            telemetry: None,
         })
+    }
+
+    /// Attaches a telemetry registry: per-step collision and charge-grant
+    /// counters, and a per-episode κ/ξ/ρ event + gauges emitted when the
+    /// horizon is reached. Cloned envs share the registry. With a disabled
+    /// handle each step pays one relaxed atomic load.
+    pub fn set_telemetry(&mut self, handle: Telemetry) {
+        self.telemetry = Some(EnvTelemetry {
+            collisions: handle.counter("env_collisions_total"),
+            charge_slots: handle.counter("env_charge_slots_total"),
+            episodes: handle.counter("env_episodes_total"),
+            kappa: handle.gauge("env_kappa"),
+            xi: handle.gauge("env_xi"),
+            rho: handle.gauge("env_rho"),
+            handle,
+        });
+    }
+
+    /// The attached telemetry, only when it is currently enabled.
+    fn tel(&self) -> Option<&EnvTelemetry> {
+        self.telemetry.as_ref().filter(|t| t.handle.is_on())
     }
 
     /// Restores the pristine scenario (same map, full batteries, full data)
@@ -361,7 +402,40 @@ impl CrowdsensingEnv {
         }
 
         self.t += 1;
-        StepResult { outcomes, t: self.t, done: self.done() }
+        let done = self.done();
+        if let Some(tel) = self.tel() {
+            let collided = outcomes.iter().filter(|o| o.collided).count() as u64;
+            if collided > 0 {
+                tel.collisions.add(collided);
+            }
+            let charged = outcomes.iter().filter(|o| o.charged > 0.0).count() as u64;
+            if charged > 0 {
+                tel.charge_slots.add(charged);
+            }
+            if done {
+                let m = metrics::compute(&self.workers, &self.pois);
+                tel.kappa.set(f64::from(m.data_collection_ratio));
+                tel.xi.set(f64::from(m.remaining_data_ratio));
+                tel.rho.set(f64::from(m.energy_efficiency));
+                tel.episodes.inc();
+                let collisions: u64 = self.workers.iter().map(|w| u64::from(w.collisions)).sum();
+                let charged_total: f64 =
+                    self.workers.iter().map(|w| f64::from(w.total_charged)).sum();
+                tel.handle.event(
+                    "episode",
+                    &[
+                        ("t", Field::U64(self.t as u64)),
+                        ("kappa", Field::F64(f64::from(m.data_collection_ratio))),
+                        ("xi", Field::F64(f64::from(m.remaining_data_ratio))),
+                        ("rho", Field::F64(f64::from(m.energy_efficiency))),
+                        ("fairness", Field::F64(f64::from(m.fairness_index))),
+                        ("collisions", Field::U64(collisions)),
+                        ("charged", Field::F64(charged_total)),
+                    ],
+                );
+            }
+        }
+        StepResult { outcomes, t: self.t, done }
     }
 }
 
@@ -389,6 +463,28 @@ mod tests {
             steps += 1;
         }
         assert_eq!(steps, env.config().horizon);
+    }
+
+    #[test]
+    fn telemetry_counts_collisions_and_emits_episode_metrics() {
+        let t = Telemetry::new();
+        let mut env = env_with(EnvConfig::tiny());
+        env.set_telemetry(t.clone());
+        // Walking east off the map edge is illegal every slot → collision.
+        env.teleport_worker(0, Point::new(7.9, 4.0));
+        while !env.done() {
+            env.step(&[WorkerAction::go(Move::East)]);
+        }
+        let horizon = env.config().horizon as u64;
+        assert_eq!(t.counter("env_collisions_total").get(), horizon);
+        assert_eq!(t.counter("env_episodes_total").get(), 1);
+        let m = env.metrics();
+        assert_eq!(t.gauge("env_rho").get(), f64::from(m.energy_efficiency));
+        // A disabled handle freezes the counters.
+        t.set_on(false);
+        env.reset();
+        env.step(&[WorkerAction::go(Move::East)]);
+        assert_eq!(t.counter("env_collisions_total").get(), horizon);
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub mod prelude {
     pub use crate::graph::{Graph, NodeId};
     pub use crate::layers::{Activation, Conv2dLayer, Embedding, LayerNormLayer, Linear, Mlp};
     pub use crate::ops::conv::ConvCfg;
-    pub use crate::ops::gemm::{kernel_threads, set_kernel_threads};
+    pub use crate::ops::gemm::{
+        kernel_counters, kernel_telemetry_enabled, kernel_threads, reset_kernel_counters,
+        set_kernel_telemetry, set_kernel_threads, KernelCounters,
+    };
     pub use crate::optim::{Adam, LrSchedule, Optimizer, Sgd};
     pub use crate::param::{ParamId, ParamStore};
     pub use crate::serialize::{

@@ -33,7 +33,7 @@
 //! Consequently results are bit-identical to [`matmul_naive`] for every
 //! thread count — checkpoint-resume determinism survives the fast path.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Rows per register tile of the micro-kernel.
 const MR: usize = 4;
@@ -60,6 +60,50 @@ pub fn set_kernel_threads(n: usize) {
 /// The current kernel thread budget (≥ 1).
 pub fn kernel_threads() -> usize {
     KERNEL_THREADS.load(Ordering::Relaxed).max(1)
+}
+
+/// Gate for kernel telemetry. When off (the default) every instrumented
+/// kernel pays exactly one relaxed atomic load; when on, [`gemm`] tallies
+/// call counts and multiply-add FLOPs into process-wide counters that the
+/// trainer scrapes into its telemetry registry.
+static KERNEL_TELEMETRY: AtomicBool = AtomicBool::new(false);
+/// Number of blocked-GEMM dispatches (includes [`gemm_nt`] / [`gemm_tn`],
+/// which route through [`gemm`]).
+static GEMM_CALLS: AtomicU64 = AtomicU64::new(0);
+/// Cumulative `2·m·k·n` FLOPs across those dispatches.
+static GEMM_FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Enables or disables kernel call/FLOP tallying.
+pub fn set_kernel_telemetry(on: bool) {
+    KERNEL_TELEMETRY.store(on, Ordering::Relaxed);
+}
+
+/// Whether kernel call/FLOP tallying is currently enabled.
+pub fn kernel_telemetry_enabled() -> bool {
+    KERNEL_TELEMETRY.load(Ordering::Relaxed)
+}
+
+/// A snapshot of the kernel telemetry counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Blocked-GEMM dispatches since the last reset.
+    pub gemm_calls: u64,
+    /// Cumulative `2·m·k·n` FLOPs across those dispatches.
+    pub gemm_flops: u64,
+}
+
+/// Reads the kernel telemetry counters.
+pub fn kernel_counters() -> KernelCounters {
+    KernelCounters {
+        gemm_calls: GEMM_CALLS.load(Ordering::Relaxed),
+        gemm_flops: GEMM_FLOPS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the kernel telemetry counters (e.g. at the start of a run).
+pub fn reset_kernel_counters() {
+    GEMM_CALLS.store(0, Ordering::Relaxed);
+    GEMM_FLOPS.store(0, Ordering::Relaxed);
 }
 
 /// Unblocked reference matmul: `out = A·B` with `A: [m,k]`, `B: [k,n]`,
@@ -98,6 +142,10 @@ pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize,
     assert_eq!(a.len(), m * k, "gemm lhs length");
     assert_eq!(b.len(), k * n, "gemm rhs length");
     assert_eq!(out.len(), m * n, "gemm out length");
+    if KERNEL_TELEMETRY.load(Ordering::Relaxed) {
+        GEMM_CALLS.fetch_add(1, Ordering::Relaxed);
+        GEMM_FLOPS.fetch_add(2 * (m as u64) * (k as u64) * (n as u64), Ordering::Relaxed);
+    }
     out.fill(0.0);
     let threads = threads.max(1).min(m);
     if threads <= 1 || m * n * k < PAR_THRESHOLD {
@@ -410,5 +458,29 @@ mod tests {
         set_kernel_threads(2);
         assert_eq!(kernel_threads(), 2);
         set_kernel_threads(1);
+    }
+
+    #[test]
+    fn kernel_counters_tally_calls_and_flops() {
+        // Counters are process-wide, so this test tolerates concurrent
+        // growth from other tests: it checks the *delta* is at least what
+        // its own calls contribute.
+        let (m, k, n) = (3usize, 4usize, 5usize);
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        let mut c = vec![0.0f32; m * n];
+        set_kernel_telemetry(true);
+        assert!(kernel_telemetry_enabled());
+        let before = kernel_counters();
+        gemm(&a, &b, &mut c, m, k, n, 1);
+        gemm(&a, &b, &mut c, m, k, n, 1);
+        let after = kernel_counters();
+        set_kernel_telemetry(false);
+        assert!(after.gemm_calls >= before.gemm_calls + 2);
+        assert!(after.gemm_flops >= before.gemm_flops + 2 * 2 * (m * k * n) as u64);
+        // With telemetry back off, counters stop moving from this thread.
+        let frozen = kernel_counters();
+        gemm(&a, &b, &mut c, m, k, n, 1);
+        assert_eq!(kernel_counters().gemm_calls, frozen.gemm_calls);
     }
 }

@@ -38,6 +38,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use vc_telemetry::{Counter, Field, Histogram, Telemetry};
 
 /// Errors surfaced by the chief–employee executor and its gradient buffers.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -555,6 +556,30 @@ pub struct RolloutReport {
 
 type EmployeeFactory = Box<dyn FnMut(usize) -> Box<dyn Employee> + Send>;
 
+/// Gradient-norm bucket bounds: spans healthy pre-clip norms (~0.01..10)
+/// plus an explosion tail; non-finite norms land in the overflow bucket.
+const GRAD_NORM_BOUNDS: [f64; 10] = [1e-3, 1e-2, 0.05, 0.2, 0.5, 1.0, 2.0, 5.0, 20.0, 100.0];
+
+/// Telemetry handles cached at attach time so per-round recording never
+/// touches the registry lock (see `vc_telemetry`'s overhead policy).
+struct ChiefTelemetry {
+    handle: Telemetry,
+    rounds: Arc<Counter>,
+    quarantined: Arc<Counter>,
+    restarts: Arc<Counter>,
+    failures: Arc<Counter>,
+    gather_seconds: Arc<Histogram>,
+    rollout_seconds: Arc<Histogram>,
+    broadcast_seconds: Arc<Histogram>,
+    /// One histogram per employee slot: `chief_grad_norm_employee_<i>`.
+    grad_norm: Vec<Arc<Histogram>>,
+}
+
+/// L2 norm of a gradient vector, accumulated in f64.
+fn grad_l2_norm(g: &[f32]) -> f64 {
+    g.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt()
+}
+
 /// Drives M employee threads through synchronized rollout / update rounds,
 /// containing panics, declaring stragglers dead, quarantining non-finite
 /// gradients, and respawning dead employees within a restart budget.
@@ -580,6 +605,8 @@ pub struct ChiefExecutor {
     round: u64,
     /// Respawns spent from the restart budget.
     restarts_used: usize,
+    /// Cached telemetry handles; `None` until [`ChiefExecutor::set_telemetry`].
+    telemetry: Option<ChiefTelemetry>,
 }
 
 impl ChiefExecutor {
@@ -653,7 +680,34 @@ impl ChiefExecutor {
             snapshot: None,
             round: 0,
             restarts_used: 0,
+            telemetry: None,
         })
+    }
+
+    /// Attaches a telemetry registry, pre-resolving every metric handle the
+    /// chief records into. With a disabled handle the only per-round cost
+    /// is one relaxed atomic load per instrumentation site.
+    pub fn set_telemetry(&mut self, handle: Telemetry) {
+        let span_bounds = &vc_telemetry::SPAN_SECONDS_BOUNDS;
+        let grad_norm = (0..self.slots.len())
+            .map(|i| handle.histogram(&format!("chief_grad_norm_employee_{i}"), &GRAD_NORM_BOUNDS))
+            .collect();
+        self.telemetry = Some(ChiefTelemetry {
+            rounds: handle.counter("chief_rounds_total"),
+            quarantined: handle.counter("chief_quarantined_total"),
+            restarts: handle.counter("chief_restarts_total"),
+            failures: handle.counter("chief_employee_failures_total"),
+            gather_seconds: handle.histogram("chief_gather_seconds", span_bounds),
+            rollout_seconds: handle.histogram("chief_rollout_seconds", span_bounds),
+            broadcast_seconds: handle.histogram("chief_broadcast_seconds", span_bounds),
+            grad_norm,
+            handle,
+        });
+    }
+
+    /// The attached telemetry, only when it is currently enabled.
+    fn tel(&self) -> Option<&ChiefTelemetry> {
+        self.telemetry.as_ref().filter(|t| t.handle.is_on())
     }
 
     /// Number of employees.
@@ -747,6 +801,17 @@ impl ChiefExecutor {
             slot.dead = None;
             self.restarts_used += 1;
             respawned.push(i);
+            if let Some(t) = self.tel() {
+                t.restarts.inc();
+                t.handle.event(
+                    "chief_restart",
+                    &[
+                        ("employee", Field::U64(i as u64)),
+                        ("round", Field::U64(self.round)),
+                        ("reason", Field::Str(&reason)),
+                    ],
+                );
+            }
         }
         Ok(respawned)
     }
@@ -765,6 +830,7 @@ impl ChiefExecutor {
         ppo: Vec<f32>,
         curiosity: Vec<f32>,
     ) -> Result<(), ChiefError> {
+        let timer = self.tel().map(|_| Instant::now());
         let shared = Arc::new((ppo, curiosity));
         self.snapshot = Some(Arc::clone(&shared));
         for i in 0..self.slots.len() {
@@ -777,6 +843,9 @@ impl ChiefExecutor {
             }
         }
         self.respawn_dead()?;
+        if let (Some(t), Some(start)) = (self.tel(), timer) {
+            t.broadcast_seconds.observe(start.elapsed().as_secs_f64());
+        }
         Ok(())
     }
 
@@ -831,6 +900,7 @@ impl ChiefExecutor {
     /// [`ChiefError::UnexpectedReply`] on a protocol violation, or the
     /// respawn errors when a dead employee cannot be replaced.
     pub fn rollout_all(&mut self) -> Result<RolloutReport, ChiefError> {
+        let timer = self.tel().map(|_| Instant::now());
         let mut pending = self.send_phase(|| Cmd::Rollout, false);
         let deadline = self.cfg.round_timeout.map(|t| Instant::now() + t);
         let mut collected: Vec<(usize, EpisodeStats)> = Vec::new();
@@ -868,6 +938,10 @@ impl ChiefExecutor {
         let respawned = self.respawn_dead()?;
         collected.sort_by_key(|&(i, _)| i);
         failed.sort_unstable();
+        if let (Some(t), Some(start)) = (self.tel(), timer) {
+            t.failures.add(failed.len() as u64);
+            t.rollout_seconds.observe(start.elapsed().as_secs_f64());
+        }
         Ok(RolloutReport {
             stats: collected.into_iter().map(|(_, s)| s).collect(),
             failed,
@@ -890,6 +964,7 @@ impl ChiefExecutor {
     /// replaced. Either way the buffers are drained, so a failed round
     /// never poisons the next one.
     pub fn gather_grads(&mut self) -> Result<RoundReport, ChiefError> {
+        let timer = self.tel().map(|_| Instant::now());
         let round = self.round;
         self.round += 1;
         let mut pending = self.send_phase(|| Cmd::ComputeGrads { round }, true);
@@ -914,7 +989,15 @@ impl ChiefExecutor {
             match reply {
                 Reply::GradsDone(grads) => {
                     pending[i] = false;
+                    if let Some(t) = self.tel() {
+                        if let Some(h) = t.grad_norm.get(i) {
+                            h.observe(grad_l2_norm(&grads.ppo));
+                        }
+                    }
                     if grads.has_non_finite() {
+                        if let Some(t) = self.tel() {
+                            t.quarantined.inc();
+                        }
                         report.quarantined.push(i);
                         continue;
                     }
@@ -984,6 +1067,11 @@ impl ChiefExecutor {
         }
         report.ppo = self.ppo_buffer.take();
         report.curiosity = self.curiosity_buffer.take();
+        if let (Some(t), Some(start)) = (self.tel(), timer) {
+            t.rounds.inc();
+            t.failures.add(report.failed.len() as u64);
+            t.gather_seconds.observe(start.elapsed().as_secs_f64());
+        }
         Ok(report)
     }
 
@@ -1236,6 +1324,43 @@ mod tests {
         assert!((report.stats.entropy - 1.5).abs() < 1e-6);
         // Curiosity buffer collected the ids.
         assert_eq!(report.curiosity, vec![6.0]);
+    }
+
+    #[test]
+    fn telemetry_records_rounds_quarantine_and_grad_norms() {
+        let faults = FaultPlan::none().with(1, 1, FaultKind::NanGrads);
+        let cfg = ChiefConfig { faults, ..fast_config() };
+        let mut chief =
+            ChiefExecutor::spawn_with(2, |i| Box::new(FakeEmployee::new(i)), cfg).unwrap();
+        let t = Telemetry::new();
+        chief.set_telemetry(t.clone());
+
+        chief.broadcast_params(vec![1.0, 2.0], vec![]).unwrap();
+        chief.rollout_all().unwrap();
+        let clean = chief.gather_grads().unwrap(); // round 0: clean
+        assert_eq!(clean.contributors, 2);
+        let tainted = chief.gather_grads().unwrap(); // round 1: employee 1 NaN
+        assert_eq!(tainted.quarantined, vec![1]);
+
+        assert_eq!(t.counter("chief_rounds_total").get(), 2);
+        assert_eq!(t.counter("chief_quarantined_total").get(), 1);
+        assert_eq!(t.counter("chief_restarts_total").get(), 0);
+        // Both employees contributed a (finite or NaN) gradient each round.
+        let bounds = &GRAD_NORM_BOUNDS;
+        assert_eq!(t.histogram("chief_grad_norm_employee_0", bounds).count(), 2);
+        let emp1 = t.histogram("chief_grad_norm_employee_1", bounds).snapshot();
+        assert_eq!(emp1.count, 2);
+        // The NaN norm lands in the overflow bucket without poisoning the sum.
+        assert_eq!(emp1.buckets[bounds.len()], 1);
+        assert!(emp1.sum.is_finite());
+        assert_eq!(t.histogram("chief_gather_seconds", bounds).count(), 2);
+        assert_eq!(t.histogram("chief_rollout_seconds", bounds).count(), 1);
+        assert_eq!(t.histogram("chief_broadcast_seconds", bounds).count(), 1);
+
+        // Disabling the handle freezes everything.
+        t.set_on(false);
+        chief.gather_grads().unwrap();
+        assert_eq!(t.counter("chief_rounds_total").get(), 2);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], and fixed-bucket
+//! [`Histogram`].
+//!
+//! All three are plain atomics — recording never takes a lock and never
+//! allocates, so instrumented hot paths stay cheap even with telemetry on.
+//! Registration (name → handle lookup) is the only locked operation and is
+//! expected to happen once at setup time, with the `Arc` handle cached by
+//! the instrumented component.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically non-decreasing `u64` counter.
+///
+/// Increments saturate at `u64::MAX` instead of wrapping, so a counter can
+/// never appear to go backwards no matter how long the process runs.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub const fn new() -> Self {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`, saturating at `u64::MAX`.
+    pub fn add(&self, n: u64) {
+        // `fetch_update` with a closure that always returns `Some` cannot
+        // fail; the result is ignored rather than unwrapped.
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_add(n)));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as raw bits in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge holding `0.0`.
+    pub const fn new() -> Self {
+        Gauge { bits: AtomicU64::new(0) }
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram with Prometheus `le` (less-or-equal) semantics.
+///
+/// Bucket `i` counts observations `v <= bounds[i]`; one extra overflow
+/// bucket counts everything above the last bound (`+Inf`). Counts and the
+/// running sum are atomics, so concurrent `observe` calls from many threads
+/// lose nothing: the final `count` and per-bucket totals are exact.
+///
+/// Non-finite observations (NaN, ±∞) land in the overflow bucket and
+/// contribute `0.0` to the sum so a single bad sample cannot poison it.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+/// A point-in-time copy of a histogram's state, for tests and reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite upper bounds, ascending; the implicit `+Inf` bucket is last.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `buckets.len() == bounds.len() + 1`.
+    pub buckets: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all finite observations.
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram from ascending finite upper bounds.
+    ///
+    /// Non-finite, unsorted, or duplicate bounds are dropped (the remaining
+    /// prefix of strictly-ascending finite bounds is kept), so construction
+    /// never fails; an empty bound list leaves only the overflow bucket.
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut clean: Vec<f64> = Vec::with_capacity(bounds.len());
+        for &b in bounds {
+            if b.is_finite() && clean.last().is_none_or(|&last| b > last) {
+                clean.push(b);
+            }
+        }
+        let buckets = (0..=clean.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: clean,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = if v.is_finite() {
+            // First bucket whose bound satisfies `v <= bound`.
+            self.bounds.partition_point(|&b| b < v)
+        } else {
+            self.bounds.len() // overflow bucket
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let add = if v.is_finite() { v } else { 0.0 };
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + add).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Copies out the full state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn histogram_drops_bad_bounds() {
+        let h = Histogram::new(&[1.0, f64::NAN, 0.5, 1.0, 2.0]);
+        // NaN, the out-of-order 0.5, and the duplicate 1.0 are dropped.
+        assert_eq!(h.snapshot().bounds, vec![1.0, 2.0]);
+    }
+}

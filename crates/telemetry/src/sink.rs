@@ -1,0 +1,181 @@
+//! Event sinks: an append-only JSONL log and Prometheus-style text
+//! exposition.
+//!
+//! The JSONL sink writes one complete JSON object per line. Each line is
+//! formatted into a private buffer first and handed to the writer as a
+//! single `write_all` under the sink mutex, so concurrent writers can never
+//! interleave partial lines — every line in the file parses on its own.
+
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+
+/// A typed event field value.
+///
+/// Floats are rendered shortest-round-trip (like `serde_json`); non-finite
+/// floats become JSON `null` since JSON has no NaN/∞ literals.
+#[derive(Debug, Clone, Copy)]
+pub enum Field<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite renders as `null`).
+    F64(f64),
+    /// String (JSON-escaped on write).
+    Str(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// Appends `v` to `out` as a JSON value.
+fn write_json_value(out: &mut String, v: &Field<'_>) {
+    match *v {
+        Field::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Field::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Field::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` is Rust's shortest round-trip float form; force a
+                // decimal point so the value re-parses as a float.
+                let mut s = format!("{x:?}");
+                if !s.contains(['.', 'e', 'E']) {
+                    s.push_str(".0");
+                }
+                out.push_str(&s);
+            } else {
+                out.push_str("null");
+            }
+        }
+        Field::Str(s) => write_json_string(out, s),
+        Field::Bool(b) => out.push_str(if b { "true" } else { "false" }),
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal with minimal escaping.
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats one event as a single JSON line (without the trailing newline).
+///
+/// The line always leads with `"type"` and a monotone `"seq"` so readers can
+/// demultiplex and order events without trusting file offsets.
+pub(crate) fn format_event_line(kind: &str, seq: u64, fields: &[(&str, Field<'_>)]) -> String {
+    let mut line = String::with_capacity(64 + fields.len() * 24);
+    line.push_str("{\"type\":");
+    write_json_string(&mut line, kind);
+    let _ = write!(line, ",\"seq\":{seq}");
+    for (key, value) in fields {
+        line.push(',');
+        write_json_string(&mut line, key);
+        line.push(':');
+        write_json_value(&mut line, value);
+    }
+    line.push('}');
+    line
+}
+
+/// An append-only JSONL event log.
+#[derive(Debug)]
+pub(crate) struct JsonlSink {
+    writer: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Opens (and creates or appends to) the log at `path`, creating parent
+    /// directories as needed.
+    pub(crate) fn open(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink { writer: BufWriter::new(file) })
+    }
+
+    /// Writes one pre-formatted line atomically (single `write_all` of the
+    /// full line including its newline).
+    pub(crate) fn write_line(&mut self, line: &str) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        self.writer.write_all(&buf)
+    }
+
+    /// Flushes buffered lines to the OS.
+    pub(crate) fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// A mutex-guarded optional sink, shared by all clones of a handle.
+pub(crate) type SharedSink = Mutex<Option<JsonlSink>>;
+
+/// Renders a float for Prometheus text exposition.
+pub(crate) fn prom_float(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        let mut s = format!("{v:?}");
+        if !s.contains(['.', 'e', 'E']) {
+            s.push_str(".0");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_line_escapes_and_orders() {
+        let line = format_event_line(
+            "round",
+            3,
+            &[("name", Field::Str("a\"b\n")), ("x", Field::F64(0.1)), ("ok", Field::Bool(true))],
+        );
+        assert_eq!(
+            line,
+            "{\"type\":\"round\",\"seq\":3,\"name\":\"a\\\"b\\n\",\"x\":0.1,\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let line = format_event_line("e", 0, &[("bad", Field::F64(f64::NAN))]);
+        assert!(line.contains("\"bad\":null"));
+    }
+
+    #[test]
+    fn prom_float_round_trips() {
+        assert_eq!(prom_float(0.1), "0.1");
+        assert_eq!(prom_float(2.0), "2.0");
+        assert_eq!(prom_float(f64::INFINITY), "+Inf");
+    }
+}

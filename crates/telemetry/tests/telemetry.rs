@@ -1,0 +1,177 @@
+//! Integration tests for `vc_telemetry`: bucket semantics, saturation,
+//! multi-threaded recording determinism, JSONL sink line-atomicity, and the
+//! disabled-handle guarantee.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test assertions may abort loudly
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use vc_telemetry::{Field, Telemetry, SPAN_SECONDS_BOUNDS};
+
+/// A fresh per-test temp dir (process-unique, cleaned up at start).
+fn test_dir(name: &str) -> PathBuf {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let n = NONCE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("vc_telemetry_{name}_{}_{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_le() {
+    let t = Telemetry::new();
+    let h = t.histogram("bounds", &[1.0, 2.0, 4.0]);
+    // Prometheus `le` semantics: a value exactly on a bound lands in that
+    // bound's bucket, one ulp above lands in the next.
+    h.observe(1.0);
+    h.observe(f64::from_bits(1.0f64.to_bits() + 1));
+    h.observe(2.0);
+    h.observe(4.0);
+    h.observe(4.000001);
+    h.observe(-3.0); // below every bound → first bucket
+    let snap = h.snapshot();
+    assert_eq!(snap.bounds, vec![1.0, 2.0, 4.0]);
+    assert_eq!(snap.buckets, vec![2, 2, 1, 1]);
+    assert_eq!(snap.count, 6);
+}
+
+#[test]
+fn histogram_non_finite_goes_to_overflow_without_poisoning_sum() {
+    let t = Telemetry::new();
+    let h = t.histogram("nf", &[1.0]);
+    h.observe(0.5);
+    h.observe(f64::NAN);
+    h.observe(f64::INFINITY);
+    let snap = h.snapshot();
+    assert_eq!(snap.buckets, vec![1, 2]);
+    assert_eq!(snap.count, 3);
+    assert_eq!(snap.sum, 0.5); // non-finite contributed nothing
+}
+
+#[test]
+fn counter_saturates_at_max() {
+    let t = Telemetry::new();
+    let c = t.counter("sat");
+    c.add(u64::MAX - 1);
+    c.add(5);
+    assert_eq!(c.get(), u64::MAX);
+    c.inc();
+    assert_eq!(c.get(), u64::MAX); // saturated, never wraps to 0
+}
+
+#[test]
+fn eight_threads_record_deterministic_totals() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let t = Telemetry::new();
+    // Pre-register so all threads share the same handles.
+    let c = t.counter("mt_total");
+    let h = t.histogram("mt_hist", &[10.0, 100.0, 1000.0]);
+    thread::scope(|scope| {
+        for _tid in 0..THREADS {
+            let c = &c;
+            let h = &h;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    // Values 0..4 are exactly representable and sum exactly
+                    // in any order, so the final sum is deterministic.
+                    h.observe((i % 5) as f64);
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS * PER_THREAD);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    // Each thread contributes 2000 each of {0,1,2,3,4}: sum = 2000·10 per thread.
+    assert_eq!(snap.sum, (THREADS * PER_THREAD * 2) as f64);
+    // All values ≤ 10 → everything in the first bucket.
+    assert_eq!(snap.buckets, vec![THREADS * PER_THREAD, 0, 0, 0]);
+}
+
+#[test]
+fn jsonl_sink_lines_are_atomic_under_concurrency() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 200;
+    let dir = test_dir("jsonl_atomic");
+    let path = dir.join("events.jsonl");
+    let t = Telemetry::new();
+    t.attach_jsonl(&path).unwrap();
+    thread::scope(|scope| {
+        for tid in 0..THREADS {
+            let t = t.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    t.event(
+                        "burst",
+                        &[
+                            ("thread", Field::U64(tid as u64)),
+                            ("i", Field::U64(i as u64)),
+                            ("payload", Field::Str("x\"y\\z")),
+                        ],
+                    );
+                }
+            });
+        }
+    });
+    t.flush().unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), THREADS * PER_THREAD);
+    let mut seqs = Vec::with_capacity(lines.len());
+    for line in &lines {
+        // Every line must parse as a self-contained JSON object with the
+        // standard envelope — no torn or interleaved writes.
+        let v: serde::Value = serde_json::from_str(line).expect("line must be valid JSON");
+        assert_eq!(v.get("type").and_then(serde::Value::as_str), Some("burst"));
+        assert_eq!(v.get("payload").and_then(serde::Value::as_str), Some("x\"y\\z"));
+        seqs.push(v.get("seq").and_then(serde::Value::as_u64).expect("seq"));
+    }
+    // Sequence numbers cover 0..N exactly once (every event landed once).
+    seqs.sort_unstable();
+    assert_eq!(seqs, (0..(THREADS * PER_THREAD) as u64).collect::<Vec<_>>());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disabled_handle_writes_no_events() {
+    let dir = test_dir("disabled");
+    let path = dir.join("events.jsonl");
+    let t = Telemetry::off();
+    t.attach_jsonl(&path).unwrap();
+    t.event("should_not_appear", &[("x", Field::U64(1))]);
+    t.span("should_not_record").finish();
+    t.flush().unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.is_empty(), "disabled handle must write nothing, got: {text:?}");
+    assert_eq!(t.histogram("should_not_record", &SPAN_SECONDS_BOUNDS).count(), 0);
+    // Flipping the shared flag re-enables every clone.
+    t.set_on(true);
+    t.event("now_visible", &[]);
+    t.flush().unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().count(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn prometheus_dump_schema() {
+    let t = Telemetry::new();
+    t.counter("z_total").add(3);
+    t.gauge("a_gauge").set(0.25);
+    t.histogram("lat_seconds", &[0.1, 1.0]).observe(0.05);
+    let text = t.prometheus();
+    // Counters, then gauges, then histograms; names sorted within a kind.
+    let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE")).collect();
+    assert_eq!(
+        type_lines,
+        vec!["# TYPE z_total counter", "# TYPE a_gauge gauge", "# TYPE lat_seconds histogram"]
+    );
+    assert!(text.contains("lat_seconds_bucket{le=\"0.1\"} 1"));
+    assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 1"));
+    assert!(text.contains("lat_seconds_sum 0.05"));
+    assert!(text.contains("lat_seconds_count 1"));
+}

@@ -7,6 +7,9 @@
 //!    the workspace lint wall (`[workspace.lints]` in the root manifest).
 //! 3. `cargo build --workspace --all-targets` — everything must compile.
 //! 4. Custom source lints that rustc/clippy cannot express (see below).
+//! 5. An integration-test floor: every first-party library crate must ship
+//!    at least one integration test target (`tests/` files or `[[test]]`
+//!    manifest entries); shims and the binary-only `xtask` are exempt.
 //!
 //! The custom lints, run standalone via `cargo xtask lint`:
 //!
@@ -26,6 +29,11 @@
 //! Grandfathered findings live in `xtask-allow.txt` at the repo root, one
 //! per line as `<lint> <path>` or `<lint> <path>:<line>`; `#` starts a
 //! comment.
+//!
+//! `cargo xtask regen-golden` regenerates the golden-trace fixture
+//! (`tests/fixtures/golden_trace.json`) from the current code — run it when
+//! a metric-affecting change is intentional, and commit the new fixture with
+//! the change.
 //!
 //! `cargo xtask bench` runs the kernel/episode benchmark suite and appends
 //! to the `BENCH_kernels.json` trajectory at the repo root; `--smoke` runs
@@ -49,6 +57,7 @@ fn main() -> ExitCode {
                 )
                 && run_cargo(&root, &["build", "--workspace", "--all-targets"])
                 && run_source_lints(&root)
+                && check_integration_tests(&root)
         }
         "fmt" => run_cargo(&root, &["fmt", "--all", "--check"]),
         "clippy" => {
@@ -56,6 +65,22 @@ fn main() -> ExitCode {
         }
         "build" => run_cargo(&root, &["build", "--workspace", "--all-targets"]),
         "lint" => run_source_lints(&root),
+        "tests-present" => check_integration_tests(&root),
+        "regen-golden" => run_cargo(
+            &root,
+            &[
+                "test",
+                "--release",
+                "--package",
+                "drl-cews",
+                "--test",
+                "golden_trace",
+                "--",
+                "--ignored",
+                "regen_golden_fixture",
+                "--nocapture",
+            ],
+        ),
         "bench" => {
             let smoke = std::env::args().any(|a| a == "--smoke");
             run_bench(&root, smoke)
@@ -69,6 +94,10 @@ fn main() -> ExitCode {
                  clippy  cargo clippy --workspace --all-targets -D warnings\n  \
                  build   cargo build --workspace --all-targets\n  \
                  lint    custom source lints only\n  \
+                 tests-present  fail if a first-party library crate has no\n          \
+                 integration tests\n  \
+                 regen-golden   regenerate tests/fixtures/golden_trace.json\n          \
+                 from the current code\n  \
                  bench   kernel/episode benchmarks -> BENCH_kernels.json\n          \
                  (--smoke: minimal iterations, schema check only)"
             );
@@ -106,6 +135,50 @@ fn run_cargo(root: &Path, args: &[&str]) -> bool {
             false
         }
     }
+}
+
+/// First-party library crates covered by the integration-test floor. The
+/// shims are exempt (they exist to satisfy the offline build, not to be
+/// tested as products) and `xtask` itself is a binary-only tool crate.
+const TESTED_CRATES: &[&str] = &[
+    "crates/nn",
+    "crates/env",
+    "crates/rl",
+    "crates/core",
+    "crates/curiosity",
+    "crates/baselines",
+    "crates/bench",
+    "crates/telemetry",
+];
+
+/// Fails if any first-party library crate ships zero integration tests.
+///
+/// A crate's integration tests are the `.rs` files under its `tests/`
+/// directory plus any explicit `[[test]]` targets in its manifest (the root
+/// `tests/` files are wired into `crates/core` that way). Unit tests don't
+/// count: they compile inside the library and can't catch linkage or
+/// public-API regressions.
+fn check_integration_tests(root: &Path) -> bool {
+    eprintln!("xtask: integration-test presence");
+    let mut ok = true;
+    for rel in TESTED_CRATES {
+        let dir = root.join(rel);
+        let from_dir = rust_files(&dir.join("tests")).len();
+        let from_manifest = fs::read_to_string(dir.join("Cargo.toml"))
+            .map(|t| t.lines().filter(|l| l.trim() == "[[test]]").count())
+            .unwrap_or(0);
+        let total = from_dir + from_manifest;
+        if total == 0 {
+            eprintln!("xtask: {rel} has no integration tests (tests/ empty, no [[test]] targets)");
+            ok = false;
+        } else {
+            eprintln!("xtask:   {rel}: {total} integration test target(s)");
+        }
+    }
+    if !ok {
+        eprintln!("xtask: every first-party library crate needs at least one integration test");
+    }
+    ok
 }
 
 /// Runs the kernel/episode benchmark binary and validates the trajectory
@@ -183,8 +256,9 @@ fn run_source_lints(root: &Path) -> bool {
     let allow = load_allowlist(root);
     let mut findings = Vec::new();
 
-    // no-unwrap: library sources of the crates whose panics kill employees.
-    for dir in ["crates/nn/src", "crates/env/src", "crates/rl/src"] {
+    // no-unwrap: library sources of the crates whose panics kill employees
+    // (telemetry runs inside chief and employee hot paths, so it counts).
+    for dir in ["crates/nn/src", "crates/env/src", "crates/rl/src", "crates/telemetry/src"] {
         for file in rust_files(&root.join(dir)) {
             lint_file(&file, root, &mut findings, true, false, false);
         }
@@ -201,6 +275,7 @@ fn run_source_lints(root: &Path) -> bool {
         "crates/curiosity/src",
         "crates/baselines/src",
         "crates/bench/src",
+        "crates/telemetry/src",
     ] {
         let want_docs = dir == "crates/nn/src" || dir == "crates/rl/src";
         for file in rust_files(&root.join(dir)) {

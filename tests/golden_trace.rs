@@ -1,0 +1,166 @@
+//! Golden-trace regression: a fixed seeded scenario must reproduce the
+//! committed per-episode metric series exactly (to float-noise tolerance).
+//!
+//! The trace pins κ/ξ/ρ and both reward channels for every episode, so any
+//! silent change to the reward constants, the environment dynamics, the
+//! PPO update, or the curiosity module shows up as a diff against
+//! `tests/fixtures/golden_trace.json`.
+//!
+//! When a change is *intentional*, regenerate the fixture with
+//! `cargo xtask regen-golden` and commit the new file alongside the change.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use drl_cews::prelude::*;
+use vc_env::prelude::*;
+use vc_rl::prelude::EpisodeStats;
+
+/// Absolute tolerance for the pinned series. Training is deterministic at
+/// 2 employees (commutative two-term gradient sums), so the slack only has
+/// to absorb shortest-round-trip JSON parse noise, not run-to-run jitter.
+const TOL: f64 = 1e-5;
+
+const SEED: u64 = 42;
+const EPISODES: usize = 6;
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/golden_trace.json")
+}
+
+/// The pinned scenario: 2 workers, 8 PoIs, short horizon, 2 employees.
+fn golden_config() -> TrainerConfig {
+    let mut env = EnvConfig::tiny();
+    env.num_workers = 2;
+    env.num_pois = 8;
+    env.horizon = 20;
+    let mut cfg = TrainerConfig::drl_cews(env).quick();
+    cfg.num_employees = 2;
+    cfg.seed = SEED;
+    cfg
+}
+
+fn run_golden_trace() -> Vec<EpisodeStats> {
+    let mut trainer = Trainer::new(golden_config()).unwrap();
+    trainer.train(EPISODES).unwrap()
+}
+
+fn fmt_field(v: f32) -> String {
+    // Shortest round-trip form: parses back bit-exactly, so the fixture
+    // carries the full mantissa instead of a truncated decimal.
+    let s = format!("{v:?}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn render_fixture(stats: &[EpisodeStats]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"scenario\": {{\"seed\": {SEED}, \"episodes\": {EPISODES}, \"workers\": 2, \"pois\": 8, \"employees\": 2}},\n"
+    ));
+    out.push_str("  \"episodes\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kappa\": {}, \"xi\": {}, \"rho\": {}, \"ext_reward\": {}, \"int_reward\": {}, \"collisions\": {}}}{}\n",
+            fmt_field(s.kappa),
+            fmt_field(s.xi),
+            fmt_field(s.rho),
+            fmt_field(s.ext_reward),
+            fmt_field(s.int_reward),
+            s.collisions,
+            if i + 1 < stats.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn parse_fixture(text: &str) -> Vec<(String, f64)> {
+    let v: serde::Value = serde_json::from_str(text).expect("fixture must be valid JSON");
+    let episodes = v.get("episodes").expect("fixture missing `episodes`");
+    let serde::Value::Seq(rows) = episodes else {
+        panic!("`episodes` must be an array");
+    };
+    let mut out = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        for key in ["kappa", "xi", "rho", "ext_reward", "int_reward", "collisions"] {
+            let cell = row
+                .get(key)
+                .and_then(serde::Value::as_f64)
+                .unwrap_or_else(|| panic!("episode {i} missing numeric `{key}`"));
+            out.push((format!("episode {i} {key}"), cell));
+        }
+    }
+    out
+}
+
+fn flatten(stats: &[EpisodeStats]) -> Vec<f64> {
+    stats
+        .iter()
+        .flat_map(|s| {
+            [
+                f64::from(s.kappa),
+                f64::from(s.xi),
+                f64::from(s.rho),
+                f64::from(s.ext_reward),
+                f64::from(s.int_reward),
+                f64::from(s.collisions),
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn golden_trace_matches_committed_fixture() {
+    let path = fixture_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read {} ({e}); run `cargo xtask regen-golden` to create it", path.display())
+    });
+    let expected = parse_fixture(&text);
+    let actual = flatten(&run_golden_trace());
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "fixture pins {} values but the run produced {} — episode count changed?",
+        expected.len(),
+        actual.len()
+    );
+    let mut diffs = Vec::new();
+    for ((label, want), got) in expected.iter().zip(&actual) {
+        if (want - got).abs() > TOL {
+            diffs.push(format!("{label}: fixture {want} vs run {got}"));
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "golden trace diverged from tests/fixtures/golden_trace.json \
+         (if the change is intentional, run `cargo xtask regen-golden`):\n{}",
+        diffs.join("\n")
+    );
+}
+
+#[test]
+fn golden_run_is_reproducible_in_process() {
+    // The fixture comparison is only meaningful if the run itself is
+    // deterministic: two back-to-back runs must agree bit for bit.
+    let a = flatten(&run_golden_trace());
+    let b = flatten(&run_golden_trace());
+    assert_eq!(a, b, "golden scenario is not deterministic — fixture would flake");
+}
+
+/// Rewrites the committed fixture from the current code. Run via
+/// `cargo xtask regen-golden`, never as part of a normal test pass.
+#[test]
+#[ignore = "regenerates the fixture; run via `cargo xtask regen-golden`"]
+fn regen_golden_fixture() {
+    let stats = run_golden_trace();
+    let path = fixture_path();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).unwrap();
+    }
+    std::fs::write(&path, render_fixture(&stats)).unwrap();
+    println!("wrote {} ({} episodes)", path.display(), stats.len());
+}

@@ -1,0 +1,150 @@
+//! Differential scheduler testing: greedy, eDiCS and D&C all step through
+//! the *same* seeded scenarios, and a shared invariant checker audits every
+//! slot. A scheduler may be smart or dumb, but it must never drive the
+//! environment into a physically impossible state.
+//!
+//! Invariants checked at every time slot, for every scheduler:
+//! * worker energy never goes negative;
+//! * no worker ever occupies an obstacle cell;
+//! * `metrics::compute` outputs stay bounded (κ/ξ/fairness in [0,1],
+//!   ρ finite and non-negative).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vc_baselines::prelude::*;
+use vc_env::prelude::*;
+
+/// The shared arena: the paper map with its obstacle layout, short horizon.
+fn arena() -> EnvConfig {
+    let mut cfg = EnvConfig::paper_default();
+    cfg.horizon = 30;
+    cfg.num_pois = 60;
+    cfg
+}
+
+/// Steps `scheduler` through one full episode on `cfg` reseeded with `seed`,
+/// asserting the physical invariants after every slot. Returns final metrics.
+fn run_audited_episode(scheduler: &mut dyn Scheduler, cfg: &EnvConfig, seed: u64) -> Metrics {
+    let mut env = CrowdsensingEnv::new(cfg.clone());
+    env.reset_with_seed(seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let name = scheduler.name();
+    while !env.done() {
+        let actions = scheduler.decide(&env, &mut rng);
+        assert_eq!(
+            actions.len(),
+            env.workers().len(),
+            "{name}: action count must match worker count"
+        );
+        let res = env.step(&actions);
+        let t = res.t;
+        for (i, w) in env.workers().iter().enumerate() {
+            assert!(
+                w.energy >= 0.0,
+                "{name} seed {seed} t={t}: worker {i} energy went negative ({})",
+                w.energy
+            );
+            assert!(
+                w.energy <= w.capacity,
+                "{name} seed {seed} t={t}: worker {i} energy {} exceeds capacity {}",
+                w.energy,
+                w.capacity
+            );
+            for (k, rect) in cfg.obstacles.iter().enumerate() {
+                assert!(
+                    !rect.contains(&w.pos),
+                    "{name} seed {seed} t={t}: worker {i} at ({}, {}) is inside obstacle {k}",
+                    w.pos.x,
+                    w.pos.y
+                );
+            }
+        }
+        let m = env.metrics();
+        assert!(
+            (0.0..=1.0).contains(&m.data_collection_ratio),
+            "{name} seed {seed} t={t}: kappa {} out of [0,1]",
+            m.data_collection_ratio
+        );
+        assert!(
+            (0.0..=1.0).contains(&m.remaining_data_ratio),
+            "{name} seed {seed} t={t}: xi {} out of [0,1]",
+            m.remaining_data_ratio
+        );
+        assert!(
+            (0.0..=1.0).contains(&m.fairness_index),
+            "{name} seed {seed} t={t}: fairness {} out of [0,1]",
+            m.fairness_index
+        );
+        assert!(
+            m.energy_efficiency.is_finite() && m.energy_efficiency >= 0.0,
+            "{name} seed {seed} t={t}: rho {} is not a finite non-negative ratio",
+            m.energy_efficiency
+        );
+    }
+    env.metrics()
+}
+
+#[test]
+fn all_planners_respect_physics_on_identical_scenarios() {
+    let cfg = arena();
+    for seed in [3u64, 9, 17] {
+        let mut edics = Edics::new(&cfg, EdicsConfig::default());
+        let mut dnc = DncScheduler::default();
+        let mut greedy = GreedyScheduler;
+        let mut random = RandomScheduler;
+        let schedulers: [&mut dyn Scheduler; 4] = [&mut greedy, &mut edics, &mut dnc, &mut random];
+        for s in schedulers {
+            let m = run_audited_episode(s, &cfg, seed);
+            // End-of-episode sanity on the same run: in these scenarios
+            // every scheduler collects less data than it burns energy, so
+            // ρ stays under 1 as well (empirical envelope on the paper map).
+            assert!(
+                m.energy_efficiency <= 1.0,
+                "{} seed {seed}: rho {} above the paper-map envelope",
+                s.name(),
+                m.energy_efficiency
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_lookahead_beats_the_random_floor() {
+    // Averaged over episodes on a dense map, one-step lookahead must collect
+    // at least as much as uniform-random motion (paper Table ordering).
+    let cfg = arena();
+    let greedy = evaluate_kappa(&mut GreedyScheduler, &cfg, 3, 9);
+    let random = evaluate_kappa(&mut RandomScheduler, &cfg, 3, 9);
+    assert!(
+        greedy >= random,
+        "greedy kappa {greedy} lost to random kappa {random} on the shared scenario"
+    );
+    assert!(greedy > 0.0, "greedy collected nothing at all");
+}
+
+/// Mean κ over `episodes` audited episodes (seeds `seed`, `seed+1`, ...).
+fn evaluate_kappa(scheduler: &mut dyn Scheduler, cfg: &EnvConfig, episodes: u64, seed: u64) -> f32 {
+    let mut acc = 0.0;
+    for ep in 0..episodes {
+        acc += run_audited_episode(scheduler, cfg, seed + ep).data_collection_ratio;
+    }
+    acc / episodes as f32
+}
+
+#[test]
+fn differential_runs_are_deterministic_per_seed() {
+    // The audit is only trustworthy if a (scheduler, seed) pair replays to
+    // the same final metrics — otherwise a latent violation could hide
+    // behind run-to-run jitter.
+    let cfg = arena();
+    for seed in [9u64, 17] {
+        let a = run_audited_episode(&mut GreedyScheduler, &cfg, seed);
+        let b = run_audited_episode(&mut GreedyScheduler, &cfg, seed);
+        assert_eq!(a, b, "greedy replay diverged at seed {seed}");
+        let a = run_audited_episode(&mut DncScheduler::default(), &cfg, seed);
+        let b = run_audited_episode(&mut DncScheduler::default(), &cfg, seed);
+        assert_eq!(a, b, "d&c replay diverged at seed {seed}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Schema checks for the telemetry artifacts a training run leaves behind:
+//! the `round_timings.jsonl` event log and the `metrics.prom` exposition
+//! dump. Anything that consumes these files downstream (plot scripts,
+//! dashboards) relies on exactly the shapes pinned here.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use drl_cews::prelude::*;
+use serde::Value;
+use vc_env::prelude::*;
+
+fn artifact_dir() -> std::path::PathBuf {
+    static NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "vc_telemetry_artifacts_{}_{}",
+        std::process::id(),
+        NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ))
+}
+
+/// Runs a short instrumented training and returns the two artifact texts.
+fn run_instrumented(dir: &std::path::Path) -> (String, String) {
+    let jsonl_path = dir.join("round_timings.jsonl");
+    let prom_path = dir.join("metrics.prom");
+    let handle = vc_telemetry::Telemetry::new();
+    handle.attach_jsonl(&jsonl_path).unwrap();
+
+    let mut env = EnvConfig::tiny();
+    env.horizon = 15;
+    env.num_pois = 20;
+    let mut cfg = TrainerConfig::drl_cews(env).quick();
+    cfg.num_employees = 2;
+    cfg.seed = 11;
+    let mut trainer = Trainer::with_telemetry(cfg, handle.clone()).unwrap();
+    trainer.train(2).unwrap();
+    trainer.publish_kernel_telemetry();
+    handle.flush().unwrap();
+    handle.write_prometheus(&prom_path).unwrap();
+
+    let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+    let prom = std::fs::read_to_string(&prom_path).unwrap();
+    (jsonl, prom)
+}
+
+fn f64_field(v: &Value, key: &str, ctx: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or_else(|| panic!("{ctx}: missing numeric `{key}`"))
+}
+
+#[test]
+fn round_timings_jsonl_matches_schema() {
+    let dir = artifact_dir();
+    let (jsonl, _) = run_instrumented(&dir);
+
+    let mut last_seq: Option<u64> = None;
+    let (mut rounds, mut episodes) = (0usize, 0usize);
+    for (i, line) in jsonl.lines().enumerate() {
+        let v: Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("line {i} is not valid JSON ({e:?}): {line}"));
+        let kind = v
+            .get("type")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("line {i}: missing string `type`"));
+        let seq = v.get("seq").and_then(Value::as_u64).unwrap_or_else(|| panic!("line {i}: seq"));
+        if let Some(prev) = last_seq {
+            assert!(seq > prev, "line {i}: seq {seq} not monotone after {prev}");
+        }
+        last_seq = Some(seq);
+        match kind {
+            "round" => {
+                rounds += 1;
+                let ctx = format!("round line {i}");
+                for key in ["gather_ms", "apply_ms", "broadcast_ms", "sync_ms"] {
+                    let ms = f64_field(&v, key, &ctx);
+                    assert!(ms >= 0.0, "{ctx}: negative {key} {ms}");
+                }
+                for key in ["episode", "round", "contributors", "quarantined", "failed"] {
+                    assert!(
+                        v.get(key).and_then(Value::as_u64).is_some(),
+                        "{ctx}: missing count `{key}`"
+                    );
+                }
+            }
+            "episode" => {
+                episodes += 1;
+                let ctx = format!("episode line {i}");
+                for key in ["kappa", "xi", "rho", "fairness"] {
+                    let x = f64_field(&v, key, &ctx);
+                    assert!((0.0..=1.0).contains(&x), "{ctx}: {key} {x} out of [0,1]");
+                }
+                assert!(v.get("collisions").and_then(Value::as_u64).is_some(), "{ctx}: collisions");
+            }
+            // Fault events only appear under injection; tolerate but don't require.
+            "chief_restart" => {}
+            other => panic!("line {i}: unknown event type `{other}`"),
+        }
+    }
+    // 2 episodes of training with quick() round counts: both event kinds
+    // must actually be present, not just schema-valid-when-present.
+    assert!(rounds >= 2, "expected at least one round event per episode, got {rounds}");
+    assert!(episodes >= 2, "expected employee episode events, got {episodes}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn metrics_prom_matches_schema() {
+    let dir = artifact_dir();
+    let (_, prom) = run_instrumented(&dir);
+
+    // Every series the instrumentation registers must be present with a
+    // `# TYPE` declaration and at least one sample line.
+    for (name, kind) in [
+        ("chief_rounds_total", "counter"),
+        ("chief_quarantined_total", "counter"),
+        ("chief_restarts_total", "counter"),
+        ("env_episodes_total", "counter"),
+        ("env_kappa", "gauge"),
+        ("nn_gemm_calls", "gauge"),
+        ("nn_gemm_flops", "gauge"),
+        ("chief_gather_seconds", "histogram"),
+        ("chief_broadcast_seconds", "histogram"),
+        ("trainer_apply_seconds", "histogram"),
+    ] {
+        assert!(
+            prom.contains(&format!("# TYPE {name} {kind}")),
+            "missing `# TYPE {name} {kind}` in metrics.prom"
+        );
+    }
+
+    let sample = |name: &str| -> f64 {
+        prom.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("no sample line for {name}"))
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("unparsable sample for {name}: {e}"))
+    };
+    // 2 training episodes × quick() rounds: the chief must have turned.
+    assert!(sample("chief_rounds_total") >= 2.0);
+    // 2 employees × 2 episodes of rollouts.
+    assert!(sample("env_episodes_total") >= 4.0);
+    // GEMM kernels ran and were tallied.
+    assert!(sample("nn_gemm_calls") > 0.0);
+    assert!(sample("nn_gemm_flops") > 0.0);
+
+    // Histograms expose cumulative buckets ending in +Inf, plus _sum/_count,
+    // and the +Inf bucket equals _count.
+    for name in ["chief_gather_seconds", "chief_broadcast_seconds"] {
+        let inf: f64 = prom
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name}_bucket{{le=\"+Inf\"}} ")))
+            .unwrap_or_else(|| panic!("no +Inf bucket for {name}"))
+            .trim()
+            .parse()
+            .unwrap();
+        let count = sample(&format!("{name}_count"));
+        assert_eq!(inf, count, "{name}: +Inf bucket must equal _count");
+        assert!(count > 0.0, "{name}: histogram never observed");
+        assert!(sample(&format!("{name}_sum")) >= 0.0, "{name}: negative _sum");
+        // Buckets are cumulative: values never decrease in `le` order.
+        let buckets: Vec<f64> = prom
+            .lines()
+            .filter_map(|l| l.strip_prefix(&format!("{name}_bucket{{le=\"")))
+            .map(|rest| rest.split("\"} ").nth(1).unwrap().trim().parse().unwrap())
+            .collect();
+        assert!(
+            buckets.windows(2).all(|w| w[0] <= w[1]),
+            "{name}: buckets are not cumulative: {buckets:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
