@@ -458,7 +458,15 @@ impl Trainer {
         // employee thread claims one. Purely a throughput knob: kernel
         // results are bit-identical for every setting.
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        vc_nn::prelude::set_kernel_threads((cores / cfg.num_employees.max(1)).max(1));
+        let kernel_threads = (cores / cfg.num_employees.max(1)).max(1);
+        vc_nn::prelude::set_kernel_threads(kernel_threads);
+        // Pre-grow the persistent kernel pool so the first large GEMM of the
+        // run doesn't pay worker-spawn latency mid-rollout. The pool is
+        // process-global and grow-only; with `kernel_threads == 1` every
+        // matmul stays on the calling thread and no workers are reserved.
+        if kernel_threads > 1 {
+            vc_nn::ops::pool::ensure_workers(kernel_threads - 1);
+        }
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
         let net_cfg = NetConfig::for_scenario(cfg.env.grid, cfg.env.num_workers);
@@ -645,8 +653,10 @@ impl Trainer {
     }
 
     /// Scrapes the process-wide dense-kernel counters (`vc_nn`) into
-    /// `nn_gemm_calls` / `nn_gemm_flops` gauges, so a Prometheus dump
-    /// includes the kernel tallies. Call before [`Telemetry::prometheus`].
+    /// `nn_gemm_calls` / `nn_gemm_flops` gauges, plus the persistent-pool
+    /// (`nn_pool_*`) and tensor-arena (`nn_arena_*`) health counters, so a
+    /// Prometheus dump includes the kernel tallies. Call before
+    /// [`Telemetry::prometheus`].
     pub fn publish_kernel_telemetry(&self) {
         if !self.telemetry.is_on() {
             return;
@@ -654,6 +664,16 @@ impl Trainer {
         let k = vc_nn::prelude::kernel_counters();
         self.telemetry.gauge("nn_gemm_calls").set(k.gemm_calls as f64);
         self.telemetry.gauge("nn_gemm_flops").set(k.gemm_flops as f64);
+        let p = vc_nn::prelude::pool_stats();
+        self.telemetry.gauge("nn_pool_workers").set(p.workers as f64);
+        self.telemetry.gauge("nn_pool_dispatches").set(p.dispatches as f64);
+        self.telemetry.gauge("nn_pool_jobs_executed").set(p.jobs_executed as f64);
+        self.telemetry.gauge("nn_pool_jobs_helped").set(p.jobs_helped as f64);
+        self.telemetry.gauge("nn_pool_parks").set(p.parks as f64);
+        let a = vc_nn::prelude::arena_stats();
+        self.telemetry.gauge("nn_arena_hits").set(a.hits as f64);
+        self.telemetry.gauge("nn_arena_misses").set(a.misses as f64);
+        self.telemetry.gauge("nn_arena_held_bytes").set(a.held_bytes as f64);
     }
 
     /// One full episode of the chief–employee loop; returns the mean

@@ -9,25 +9,87 @@
 //! Parameters enter a graph via [`Graph::param`], which copies the current
 //! value out of the store; a graph therefore never borrows the store, and one
 //! store can feed many sequential graphs (the PPO epoch pattern).
+//!
+//! Tapes recycle themselves: dropping a `Graph` parks its node storage (and
+//! any op-held index/context buffers) in thread-local freelists that the
+//! next `Graph::new` on the same thread reuses, and `backward` recycles its
+//! gradient-slot vector the same way. Together with the arena-backed
+//! [`Tensor`] this makes steady-state training steps allocation-free inside
+//! the graph (see `crates/nn/tests/arena_alloc.rs`).
 
+use crate::arena;
 use crate::op::Op;
 use crate::ops::conv::{conv2d_backward, conv2d_forward, ConvCfg};
 use crate::ops::norm::{layer_norm_backward, layer_norm_forward};
 use crate::ops::softmax::{log_softmax_backward, log_softmax_rows, softmax_backward, softmax_rows};
 use crate::param::{ParamId, ParamStore};
 use crate::tensor::Tensor;
+use std::cell::RefCell;
 
 /// Handle to one node of a [`Graph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NodeId(usize);
 
+/// Inline parent list. Every op has at most 3 parents (`Conv2d`,
+/// `LayerNorm`), so parents live inside the node instead of one heap `Vec`
+/// per node.
+#[derive(Clone, Copy)]
+struct Parents {
+    ids: [NodeId; 3],
+    len: u8,
+}
+
+impl Parents {
+    fn new(ps: &[NodeId]) -> Self {
+        assert!(ps.len() <= 3, "ops have at most 3 parents");
+        let mut ids = [NodeId(usize::MAX); 3];
+        ids[..ps.len()].copy_from_slice(ps);
+        Self { ids, len: ps.len() as u8 }
+    }
+}
+
+impl std::ops::Index<usize> for Parents {
+    type Output = NodeId;
+    fn index(&self, i: usize) -> &NodeId {
+        assert!(i < usize::from(self.len), "parent index out of range");
+        &self.ids[i]
+    }
+}
+
 struct Node {
     value: Tensor,
-    parents: Vec<NodeId>,
+    parents: Parents,
     op: Op,
     /// True if this node is, or depends on, a non-frozen parameter leaf.
     needs_grad: bool,
     param: Option<ParamId>,
+}
+
+thread_local! {
+    /// Retired node vectors, reused by the next `Graph::new` on this thread.
+    static NODE_STORAGE: RefCell<Vec<Vec<Node>>> = const { RefCell::new(Vec::new()) };
+    /// Retired gradient-slot vectors from `backward` / `grad_of`.
+    static GRAD_STORAGE: RefCell<Vec<Vec<Option<Tensor>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// How many retired vectors each thread-local store parks.
+const MAX_RETIRED: usize = 8;
+
+fn take_grad_buffer(len: usize) -> Vec<Option<Tensor>> {
+    let mut v = GRAD_STORAGE.try_with(|s| s.borrow_mut().pop()).ok().flatten().unwrap_or_default();
+    v.clear();
+    v.resize_with(len, || None);
+    v
+}
+
+fn release_grad_buffer(mut v: Vec<Option<Tensor>>) {
+    v.clear(); // remaining gradient tensors recycle through the arena
+    let _ = GRAD_STORAGE.try_with(|s| {
+        let mut s = s.borrow_mut();
+        if s.len() < MAX_RETIRED {
+            s.push(v);
+        }
+    });
 }
 
 /// A forward tape plus the machinery to run reverse-mode backprop over it.
@@ -36,10 +98,41 @@ pub struct Graph {
     nodes: Vec<Node>,
 }
 
+impl Drop for Graph {
+    fn drop(&mut self) {
+        let mut nodes = std::mem::take(&mut self.nodes);
+        for node in nodes.drain(..) {
+            // Op-held buffers go back to the arena; node value tensors
+            // recycle themselves on drop.
+            match node.op {
+                Op::PickColumn { indices } | Op::GatherRows { indices } => {
+                    arena::put_usize(indices);
+                }
+                Op::LayerNorm { ctx } => {
+                    arena::put_f32(ctx.mean);
+                    arena::put_f32(ctx.rstd);
+                }
+                _ => {}
+            }
+        }
+        let _ = NODE_STORAGE.try_with(|s| {
+            let mut s = s.borrow_mut();
+            if s.len() < MAX_RETIRED {
+                s.push(nodes);
+            }
+        });
+    }
+}
+
 impl Graph {
-    /// An empty tape.
+    /// An empty tape (reusing a retired tape's storage when one is parked).
     pub fn new() -> Self {
-        Self { nodes: Vec::with_capacity(64) }
+        let nodes = NODE_STORAGE
+            .try_with(|s| s.borrow_mut().pop())
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| Vec::with_capacity(64));
+        Self { nodes }
     }
 
     /// Number of nodes recorded so far.
@@ -65,12 +158,12 @@ impl Graph {
     fn push(
         &mut self,
         value: Tensor,
-        parents: Vec<NodeId>,
+        parents: &[NodeId],
         op: Op,
         param: Option<ParamId>,
         needs_grad: bool,
     ) -> NodeId {
-        self.nodes.push(Node { value, parents, op, needs_grad, param });
+        self.nodes.push(Node { value, parents: Parents::new(parents), op, needs_grad, param });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -86,7 +179,7 @@ impl Graph {
     /// (shape consistency, no NaN/Inf) — see [`crate::check`].
     pub fn leaf(&mut self, value: Tensor) -> NodeId {
         crate::check::assert_valid(&value, "graph leaf");
-        self.push(value, vec![], Op::Leaf, None, false)
+        self.push(value, &[], Op::Leaf, None, false)
     }
 
     /// A parameter input: copies the current value from the store; backward
@@ -98,7 +191,7 @@ impl Graph {
         let needs = !store.is_frozen(id);
         let value = store.value(id).clone();
         crate::check::assert_valid(&value, "graph param");
-        self.push(value, vec![], Op::Leaf, Some(id), needs)
+        self.push(value, &[], Op::Leaf, Some(id), needs)
     }
 
     // ---- elementwise ops --------------------------------------------------
@@ -107,28 +200,28 @@ impl Graph {
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let v = self.value(a).zip(self.value(b), |x, y| x + y);
         let ng = self.any_needs_grad(&[a, b]);
-        self.push(v, vec![a, b], Op::Add, None, ng)
+        self.push(v, &[a, b], Op::Add, None, ng)
     }
 
     /// Elementwise `a - b` (same shape).
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let v = self.value(a).zip(self.value(b), |x, y| x - y);
         let ng = self.any_needs_grad(&[a, b]);
-        self.push(v, vec![a, b], Op::Sub, None, ng)
+        self.push(v, &[a, b], Op::Sub, None, ng)
     }
 
     /// Elementwise `a * b` (same shape).
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let v = self.value(a).zip(self.value(b), |x, y| x * y);
         let ng = self.any_needs_grad(&[a, b]);
-        self.push(v, vec![a, b], Op::Mul, None, ng)
+        self.push(v, &[a, b], Op::Mul, None, ng)
     }
 
     /// Elementwise negation.
     pub fn neg(&mut self, a: NodeId) -> NodeId {
         let v = self.value(a).map(|x| -x);
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::Neg, None, ng)
+        self.push(v, &[a], Op::Neg, None, ng)
     }
 
     /// `x[rows, cols] + b[cols]` with `b` broadcast over rows (bias add).
@@ -143,63 +236,63 @@ impl Graph {
             *o += bv.data()[i % cols];
         }
         let ng = self.any_needs_grad(&[x, b]);
-        self.push(out, vec![x, b], Op::AddRowBroadcast, None, ng)
+        self.push(out, &[x, b], Op::AddRowBroadcast, None, ng)
     }
 
     /// `c * a` for a known scalar.
     pub fn scale(&mut self, a: NodeId, c: f32) -> NodeId {
         let v = self.value(a).map(|x| c * x);
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::Scale(c), None, ng)
+        self.push(v, &[a], Op::Scale(c), None, ng)
     }
 
     /// `a + c` for a known scalar.
     pub fn add_scalar(&mut self, a: NodeId, c: f32) -> NodeId {
         let v = self.value(a).map(|x| x + c);
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::AddScalar(c), None, ng)
+        self.push(v, &[a], Op::AddScalar(c), None, ng)
     }
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: NodeId) -> NodeId {
         let v = self.value(a).map(|x| x.max(0.0));
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::Relu, None, ng)
+        self.push(v, &[a], Op::Relu, None, ng)
     }
 
     /// Elementwise tanh.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
         let v = self.value(a).map(f32::tanh);
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::Tanh, None, ng)
+        self.push(v, &[a], Op::Tanh, None, ng)
     }
 
     /// Elementwise sigmoid.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
         let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::Sigmoid, None, ng)
+        self.push(v, &[a], Op::Sigmoid, None, ng)
     }
 
     /// Elementwise exp.
     pub fn exp(&mut self, a: NodeId) -> NodeId {
         let v = self.value(a).map(f32::exp);
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::Exp, None, ng)
+        self.push(v, &[a], Op::Exp, None, ng)
     }
 
     /// Elementwise ln(max(x, eps)).
     pub fn ln(&mut self, a: NodeId, eps: f32) -> NodeId {
         let v = self.value(a).map(|x| x.max(eps).ln());
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::Ln { eps }, None, ng)
+        self.push(v, &[a], Op::Ln { eps }, None, ng)
     }
 
     /// Elementwise square.
     pub fn square(&mut self, a: NodeId) -> NodeId {
         let v = self.value(a).map(|x| x * x);
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::Square, None, ng)
+        self.push(v, &[a], Op::Square, None, ng)
     }
 
     /// Elementwise clamp to `[lo, hi]`.
@@ -207,21 +300,21 @@ impl Graph {
         assert!(lo <= hi, "clamp bounds inverted");
         let v = self.value(a).map(|x| x.clamp(lo, hi));
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::Clamp { lo, hi }, None, ng)
+        self.push(v, &[a], Op::Clamp { lo, hi }, None, ng)
     }
 
     /// Elementwise min(a, b).
     pub fn min_elem(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let v = self.value(a).zip(self.value(b), f32::min);
         let ng = self.any_needs_grad(&[a, b]);
-        self.push(v, vec![a, b], Op::MinElem, None, ng)
+        self.push(v, &[a, b], Op::MinElem, None, ng)
     }
 
     /// Elementwise max(a, b).
     pub fn max_elem(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let v = self.value(a).zip(self.value(b), f32::max);
         let ng = self.any_needs_grad(&[a, b]);
-        self.push(v, vec![a, b], Op::MaxElem, None, ng)
+        self.push(v, &[a, b], Op::MaxElem, None, ng)
     }
 
     // ---- linear algebra ---------------------------------------------------
@@ -230,7 +323,7 @@ impl Graph {
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let v = self.value(a).matmul(self.value(b));
         let ng = self.any_needs_grad(&[a, b]);
-        self.push(v, vec![a, b], Op::MatMul, None, ng)
+        self.push(v, &[a, b], Op::MatMul, None, ng)
     }
 
     // ---- reductions -------------------------------------------------------
@@ -239,14 +332,14 @@ impl Graph {
     pub fn sum_all(&mut self, a: NodeId) -> NodeId {
         let v = Tensor::scalar(self.value(a).sum());
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::SumAll, None, ng)
+        self.push(v, &[a], Op::SumAll, None, ng)
     }
 
     /// Mean over all elements → `[1]`.
     pub fn mean_all(&mut self, a: NodeId) -> NodeId {
         let v = Tensor::scalar(self.value(a).mean());
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::MeanAll, None, ng)
+        self.push(v, &[a], Op::MeanAll, None, ng)
     }
 
     /// Per-row mean of `[rows, cols]` → `[rows, 1]`.
@@ -255,13 +348,13 @@ impl Graph {
         let av = self.value(a);
         assert_eq!(av.ndim(), 2, "mean_rows requires rank 2");
         let (rows, cols) = (av.shape()[0], av.shape()[1]);
-        let mut out = vec![0.0f32; rows];
+        let mut out = arena::take_f32_zeroed(rows);
         for r in 0..rows {
             out[r] = av.data()[r * cols..(r + 1) * cols].iter().sum::<f32>() / cols as f32;
         }
         let v = Tensor::from_vec(&[rows, 1], out);
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::MeanRows, None, ng)
+        self.push(v, &[a], Op::MeanRows, None, ng)
     }
 
     // ---- shape ops ----------------------------------------------------------
@@ -270,7 +363,7 @@ impl Graph {
     pub fn reshape(&mut self, a: NodeId, shape: &[usize]) -> NodeId {
         let v = self.value(a).reshape(shape);
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::Reshape, None, ng)
+        self.push(v, &[a], Op::Reshape, None, ng)
     }
 
     /// Concatenates two rank-2 tensors along the column axis.
@@ -281,7 +374,7 @@ impl Graph {
         assert_eq!(bv.ndim(), 2, "concat_cols rhs must be rank 2");
         assert_eq!(av.shape()[0], bv.shape()[0], "concat_cols row mismatch");
         let (rows, ca, cb) = (av.shape()[0], av.shape()[1], bv.shape()[1]);
-        let mut out = vec![0.0f32; rows * (ca + cb)];
+        let mut out = arena::take_f32_zeroed(rows * (ca + cb));
         for r in 0..rows {
             out[r * (ca + cb)..r * (ca + cb) + ca]
                 .copy_from_slice(&av.data()[r * ca..(r + 1) * ca]);
@@ -290,7 +383,7 @@ impl Graph {
         }
         let v = Tensor::from_vec(&[rows, ca + cb], out);
         let ng = self.any_needs_grad(&[a, b]);
-        self.push(v, vec![a, b], Op::ConcatCols { left_cols: ca }, None, ng)
+        self.push(v, &[a, b], Op::ConcatCols { left_cols: ca }, None, ng)
     }
 
     // ---- distribution ops ---------------------------------------------------
@@ -299,14 +392,14 @@ impl Graph {
     pub fn softmax(&mut self, a: NodeId) -> NodeId {
         let v = softmax_rows(self.value(a));
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::Softmax, None, ng)
+        self.push(v, &[a], Op::Softmax, None, ng)
     }
 
     /// Row-wise log-softmax.
     pub fn log_softmax(&mut self, a: NodeId) -> NodeId {
         let v = log_softmax_rows(self.value(a));
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::LogSoftmax, None, ng)
+        self.push(v, &[a], Op::LogSoftmax, None, ng)
     }
 
     /// Picks `x[r, indices[r]]` per row → `[rows, 1]`.
@@ -315,14 +408,14 @@ impl Graph {
         assert_eq!(av.ndim(), 2, "pick_column requires rank 2");
         let (rows, cols) = (av.shape()[0], av.shape()[1]);
         assert_eq!(indices.len(), rows, "one index per row required");
-        let mut out = vec![0.0f32; rows];
+        let mut out = arena::take_f32_zeroed(rows);
         for (r, &ix) in indices.iter().enumerate() {
             assert!(ix < cols, "pick index {ix} out of {cols} columns");
             out[r] = av.at2(r, ix);
         }
         let v = Tensor::from_vec(&[rows, 1], out);
         let ng = self.any_needs_grad(&[a]);
-        self.push(v, vec![a], Op::PickColumn { indices }, None, ng)
+        self.push(v, &[a], Op::PickColumn { indices }, None, ng)
     }
 
     /// Gathers rows from a `[vocab, dim]` table → `[len, dim]`.
@@ -330,14 +423,14 @@ impl Graph {
         let tv = self.value(table);
         assert_eq!(tv.ndim(), 2, "gather_rows table must be rank 2");
         let (vocab, dim) = (tv.shape()[0], tv.shape()[1]);
-        let mut out = Vec::with_capacity(indices.len() * dim);
+        let mut out = arena::take_f32(indices.len() * dim);
         for &ix in &indices {
             assert!(ix < vocab, "gather index {ix} out of {vocab} rows");
             out.extend_from_slice(&tv.data()[ix * dim..(ix + 1) * dim]);
         }
         let v = Tensor::from_vec(&[indices.len(), dim], out);
         let ng = self.any_needs_grad(&[table]);
-        self.push(v, vec![table], Op::GatherRows { indices }, None, ng)
+        self.push(v, &[table], Op::GatherRows { indices }, None, ng)
     }
 
     // ---- NN primitives ------------------------------------------------------
@@ -346,14 +439,14 @@ impl Graph {
     pub fn conv2d(&mut self, x: NodeId, w: NodeId, b: NodeId, cfg: ConvCfg) -> NodeId {
         let f = conv2d_forward(self.value(x), self.value(w), self.value(b), &cfg);
         let ng = self.any_needs_grad(&[x, w, b]);
-        self.push(f.output, vec![x, w, b], Op::Conv2d { cfg, cols: f.cols }, None, ng)
+        self.push(f.output, &[x, w, b], Op::Conv2d { cfg, cols: f.cols }, None, ng)
     }
 
     /// Layer norm over the trailing dimension of `x:[rows, feat]`.
     pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId, eps: f32) -> NodeId {
         let (v, ctx) = layer_norm_forward(self.value(x), self.value(gamma), self.value(beta), eps);
         let ng = self.any_needs_grad(&[x, gamma, beta]);
-        self.push(v, vec![x, gamma, beta], Op::LayerNorm { ctx }, None, ng)
+        self.push(v, &[x, gamma, beta], Op::LayerNorm { ctx }, None, ng)
     }
 
     // ---- backward -----------------------------------------------------------
@@ -373,6 +466,7 @@ impl Graph {
                 store.accumulate_grad(pid, g);
             }
         }
+        release_grad_buffer(grads);
         self.nodes[loss.0].value.item()
     }
 
@@ -381,7 +475,9 @@ impl Graph {
     /// tests and by RND/ICM feature analysis.
     pub fn grad_of(&self, loss: NodeId, node: NodeId) -> Option<Tensor> {
         let mut grads = self.compute_grads_tracking_all(loss);
-        grads[node.0].take()
+        let g = grads[node.0].take();
+        release_grad_buffer(grads);
+        g
     }
 
     fn compute_grads(&self, loss: NodeId) -> Vec<Option<Tensor>> {
@@ -399,7 +495,7 @@ impl Graph {
             "backward requires a scalar loss, got shape {:?}",
             self.nodes[loss.0].value.shape()
         );
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        let mut grads: Vec<Option<Tensor>> = take_grad_buffer(self.nodes.len());
         grads[loss.0] = Some(Tensor::ones(self.nodes[loss.0].value.shape()));
 
         for i in (0..self.nodes.len()).rev() {
@@ -534,15 +630,14 @@ impl Graph {
                 }
                 Op::SumAll => {
                     let g = gout.item();
-                    let shape = self.value(node.parents[0]).shape().to_vec();
-                    send(&mut grads, node.parents[0], Tensor::full(&shape, g));
+                    let p = node.parents[0];
+                    send(&mut grads, p, Tensor::full(self.value(p).shape(), g));
                 }
                 Op::MeanAll => {
                     let p = node.parents[0];
                     let n = self.value(p).numel() as f32;
                     let g = gout.item() / n;
-                    let shape = self.value(p).shape().to_vec();
-                    send(&mut grads, p, Tensor::full(&shape, g));
+                    send(&mut grads, p, Tensor::full(self.value(p).shape(), g));
                 }
                 Op::MeanRows => {
                     let p = node.parents[0];
@@ -558,8 +653,8 @@ impl Graph {
                 }
                 Op::Reshape => {
                     let p = node.parents[0];
-                    let shape = self.value(p).shape().to_vec();
-                    send(&mut grads, p, gout.reshape(&shape));
+                    let g = gout.reshape(self.value(p).shape());
+                    send(&mut grads, p, g);
                 }
                 Op::ConcatCols { left_cols } => {
                     let a = node.parents[0];

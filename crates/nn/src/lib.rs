@@ -38,6 +38,8 @@
 //! }
 //! ```
 
+/// Thread-local buffer freelists backing tensor and kernel allocations.
+pub mod arena;
 /// Debug-build invariant checks over tensors and gradients.
 pub mod check;
 /// The [`NnError`](error::NnError) type.
@@ -63,6 +65,7 @@ pub mod tensor;
 
 /// Convenience re-exports of the types nearly every consumer needs.
 pub mod prelude {
+    pub use crate::arena::{arena_stats, reset_arena_stats, ArenaStats};
     pub use crate::error::NnError;
     pub use crate::graph::{Graph, NodeId};
     pub use crate::layers::{Activation, Conv2dLayer, Embedding, LayerNormLayer, Linear, Mlp};
@@ -71,6 +74,7 @@ pub mod prelude {
         kernel_counters, kernel_telemetry_enabled, kernel_threads, reset_kernel_counters,
         set_kernel_telemetry, set_kernel_threads, KernelCounters,
     };
+    pub use crate::ops::pool::{pool_stats, PoolStats};
     pub use crate::optim::{Adam, LrSchedule, Optimizer, Sgd};
     pub use crate::param::{ParamId, ParamStore};
     pub use crate::serialize::{

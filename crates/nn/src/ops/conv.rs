@@ -15,11 +15,16 @@
 //! matrix is saved in the graph node so the backward pass is two more
 //! whole-batch GEMMs plus a `col2im` scatter.
 //!
-//! The im2col fill, the bias/scatter epilogue and the col2im scatter are
-//! parallelized across scoped threads via [`crate::ops::gemm::par_items`];
-//! each thread owns disjoint whole rows/items, so results are bit-identical
-//! for every thread count.
+//! The im2col fill, the bias/scatter epilogue and the col2im scatter run
+//! sequentially through [`crate::ops::gemm::par_items`]: the fills are
+//! memory-bandwidth-bound, so the old per-call scoped threads cost more
+//! than they saved, and routing them through the persistent kernel pool
+//! would require copying the inputs (roughly the price of the fill itself).
+//! The parallel GEMMs go through the pool; everything is bit-identical for
+//! every thread count. All scratch buffers come from [`crate::arena`], so
+//! steady-state conv layers allocate nothing.
 
+use crate::arena;
 use crate::ops::gemm;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -214,7 +219,7 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, b: &Tensor, cfg: &ConvCfg) -> Conv
     // Lower the whole batch into one [patch, B*HO*WO] column matrix,
     // writing directly into the saved buffer (one row of patch coordinates
     // per parallel item).
-    let mut cols_all = vec![0.0f32; patch * cols_w];
+    let mut cols_all = arena::take_f32_zeroed(patch * cols_w);
     gemm::par_items(&mut cols_all, cols_w, patch, threads, |row0, chunk| {
         im2col_rows(x.data(), c, h, wd, cfg, ho, wo, bsz, row0, chunk);
     });
@@ -222,13 +227,13 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, b: &Tensor, cfg: &ConvCfg) -> Conv
     // One GEMM for the whole batch: W [C_out, patch] · cols [patch, B*ns].
     // The weight tensor is already contiguous in that layout — no reshape
     // copy needed.
-    let mut y = vec![0.0f32; cfg.out_channels * cols_w];
+    let mut y = arena::take_f32_zeroed(cfg.out_channels * cols_w);
     gemm::gemm(w.data(), &cols_all, &mut y, cfg.out_channels, patch, cols_w, threads);
 
     // Scatter [C_out, B*ns] → [B, C_out, ns], adding the bias; parallel
     // over batch items.
     let item_len = cfg.out_channels * n_spatial;
-    let mut out = vec![0.0f32; bsz * item_len];
+    let mut out = arena::take_f32_zeroed(bsz * item_len);
     gemm::par_items(&mut out, item_len, bsz, threads, |bi0, chunk| {
         for (d, item) in chunk.chunks_mut(item_len).enumerate() {
             let bi = bi0 + d;
@@ -241,6 +246,7 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, b: &Tensor, cfg: &ConvCfg) -> Conv
             }
         }
     });
+    arena::put_f32(y);
     ConvForward {
         output: Tensor::from_vec(&[bsz, cfg.out_channels, ho, wo], out),
         cols: Tensor::from_vec(&[patch, cols_w], cols_all),
@@ -278,7 +284,7 @@ pub fn conv2d_backward(
 
     // Rearrange gout [B, C_out, ns] → [C_out, B*ns] so the whole batch is
     // one GEMM operand; parallel over output-channel rows.
-    let mut gout_r = vec![0.0f32; cfg.out_channels * cols_w];
+    let mut gout_r = arena::take_f32_zeroed(cfg.out_channels * cols_w);
     gemm::par_items(&mut gout_r, cols_w, cfg.out_channels, threads, |co0, chunk| {
         for (d, row) in chunk.chunks_mut(cols_w).enumerate() {
             let co = co0 + d;
@@ -296,8 +302,8 @@ pub fn conv2d_backward(
     }
 
     // dW = gout_r · colsᵀ — one whole-batch GEMM.
-    let mut scratch = Vec::new();
-    let mut gw_mat = vec![0.0f32; cfg.out_channels * patch];
+    let mut scratch = arena::take_f32(patch * cols_w);
+    let mut gw_mat = arena::take_f32_zeroed(cfg.out_channels * patch);
     gemm::gemm_nt(
         &gout_r,
         cols.data(),
@@ -311,7 +317,7 @@ pub fn conv2d_backward(
 
     // dcols = Wᵀ · gout_r — one whole-batch GEMM, then scattered back onto
     // the input gradient in parallel over batch items.
-    let mut gcols = vec![0.0f32; patch * cols_w];
+    let mut gcols = arena::take_f32_zeroed(patch * cols_w);
     gemm::gemm_tn(
         w.data(),
         &gout_r,
@@ -330,6 +336,9 @@ pub fn conv2d_backward(
             col2im_strided(&gcols, cols_w, bi * n_spatial, c, h, wd, cfg, ho, wo, gx_item);
         }
     });
+    arena::put_f32(scratch);
+    arena::put_f32(gout_r);
+    arena::put_f32(gcols);
     ConvGrads {
         gx,
         gw: Tensor::from_vec(&[cfg.out_channels, cfg.in_channels, cfg.kernel, cfg.kernel], gw_mat),

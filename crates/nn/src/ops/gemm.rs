@@ -6,7 +6,10 @@
 //! ([`crate::ops::conv`]). This module owns those kernels:
 //!
 //! * [`gemm`] — `C = A·B`, cache-blocked over `k` and `n`, register-tiled
-//!   `MR×NR` micro-kernel, optionally row-parallel across scoped threads;
+//!   `MR×NR` micro-kernel, optionally row-parallel across the persistent
+//!   kernel pool ([`crate::ops::pool`]);
+//! * [`gemm_scoped`] — the retired per-call scoped-spawn dispatcher, kept
+//!   as a differential baseline for benches and equivalence tests;
 //! * [`gemm_nt`] / [`gemm_tn`] — `A·Bᵀ` and `Aᵀ·B` via a transpose pack
 //!   into a caller-provided scratch buffer (no per-call allocation when the
 //!   caller reuses the scratch across steps);
@@ -25,15 +28,24 @@
 //! ## Determinism
 //!
 //! Each output element is accumulated strictly in ascending-`k` order by a
-//! single accumulation chain: the micro-kernel *reloads* its accumulator
-//! tile from `C` at every `k`-block boundary instead of summing per-block
-//! partials, so blocking does not reassociate the floating-point sum. Row
+//! single accumulation chain: the micro-kernel starts its accumulator tile
+//! at literal zero for the first `k`-block (so callers never pre-zero `C`
+//! — that memset was ~3% of a 256³ multiply) and *reloads* it from `C` at
+//! every later `k`-block boundary instead of summing per-block partials, so
+//! blocking does not reassociate the floating-point sum. Row
 //! parallelism partitions complete output rows across threads, so every
 //! element is still computed by exactly one thread in the same order.
 //! Consequently results are bit-identical to [`matmul_naive`] for every
 //! thread count — checkpoint-resume determinism survives the fast path.
+//! Both parallel dispatchers partition into whole-row chunks, and each
+//! row's accumulation chain is self-contained, so pooled, scoped and
+//! sequential execution agree bit-for-bit no matter how many rows land in
+//! a chunk or which thread computes it.
 
+use crate::arena;
+use crate::ops::pool;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 
 /// Rows per register tile of the micro-kernel.
 const MR: usize = 4;
@@ -43,8 +55,15 @@ const NR: usize = 16;
 /// `k`-block height: one packed `KC × NR` B-panel is 16 KiB, comfortably
 /// inside L1 while the A rows stream through.
 const KC: usize = 256;
-/// Below this `m·k·n` volume a matmul is not worth spawning threads for.
-const PAR_THRESHOLD: usize = 1 << 18;
+/// Below this `m·k·n` volume a matmul runs sequentially: parallel dispatch
+/// (job boxing, input copies, result hand-back) is a net loss for small
+/// shapes. Calibrated against the pooled dispatcher on the bench host —
+/// 64³ (262,144; ~12 µs sequential) still loses to dispatch overhead and
+/// must never fan out, while shapes around 128³ (2.1 M) are the measured
+/// break-even — so the gate sits at 2 MiFLOP-volume. The old scoped-spawn
+/// dispatcher put this at `1 << 18`, which let 64³ fan out at a 15× loss
+/// (46.5 → 3.0 GFLOP/s in the committed bench trajectory).
+pub const PAR_THRESHOLD: usize = 1 << 21;
 
 /// Global kernel thread budget, set once per process by the trainer (sized
 /// to the cores left over after employee threads are accounted for).
@@ -131,13 +150,15 @@ pub fn matmul_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n
 }
 
 /// Blocked GEMM: `out = A·B` with `A: [m,k]`, `B: [k,n]`, `out: [m,n]`,
-/// row-major. Fans output rows across up to `threads` scoped threads when
-/// the problem is large enough; bit-identical to [`matmul_naive`] for every
-/// thread count.
+/// row-major. Fans output rows across up to `threads` persistent pool
+/// workers when the problem is large enough; bit-identical to
+/// [`matmul_naive`] for every thread count.
 ///
 /// # Panics
 ///
-/// If a slice length disagrees with its shape.
+/// If a slice length disagrees with its shape, or if a pool worker dies
+/// while holding one of this call's row chunks (a job panic — mirrors the
+/// panic propagation of the old scoped-spawn dispatcher).
 pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, threads: usize) {
     assert_eq!(a.len(), m * k, "gemm lhs length");
     assert_eq!(b.len(), k * n, "gemm rhs length");
@@ -146,18 +167,137 @@ pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize,
         GEMM_CALLS.fetch_add(1, Ordering::Relaxed);
         GEMM_FLOPS.fetch_add(2 * (m as u64) * (k as u64) * (n as u64), Ordering::Relaxed);
     }
-    out.fill(0.0);
     let threads = threads.max(1).min(m);
     if threads <= 1 || m * n * k < PAR_THRESHOLD {
         gemm_rows(a, b, out, k, n);
         return;
     }
-    let rows_per = m.div_ceil(threads);
-    std::thread::scope(|s| {
-        for (a_chunk, o_chunk) in a.chunks(rows_per * k).zip(out.chunks_mut(rows_per * n)) {
-            s.spawn(move || gemm_rows(a_chunk, b, o_chunk, k, n));
+    gemm_pooled(a, b, out, m, k, n, threads);
+}
+
+/// Rows per *remote* pool job. Finer than one-chunk-per-thread on purpose:
+/// the caller's helping loop ([`pool::try_run_one`]) can then absorb
+/// whatever the OS scheduler does not hand to the workers, and the caller's
+/// final wait shrinks to at most one small chunk. Every row is a single
+/// sequential-`k` accumulation chain computed by [`gemm_rows`], so results
+/// are bitwise independent of the chunk size — chunking is purely a
+/// load-balancing knob.
+const CHUNK_ROWS: usize = 32;
+
+/// The pooled row-parallel dispatcher, bitwise identical to
+/// [`matmul_naive`] regardless of which thread computes what.
+///
+/// The caller keeps its fair share — the leading `m.div_ceil(threads)` rows
+/// — and computes it against the original borrows (no copy, exactly like
+/// one scoped worker). Only the remainder goes to the pool, split into
+/// [`CHUNK_ROWS`]-row jobs that own arena-recycled copies of their A rows
+/// plus one shared copy of B (jobs must be `'static`; the workspace denies
+/// `unsafe`, so borrows cannot cross the pool boundary). Results return
+/// over a per-call channel together with their A buffers so the
+/// *dispatching* thread's arena recycles everything — buffers never strand
+/// in worker freelists. While waiting, the caller drains queued jobs inline
+/// ([`pool::try_run_one`]), so the call completes even on a pool with zero
+/// workers.
+fn gemm_pooled(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    let caller_rows = m.div_ceil(threads);
+    // Remote chunks never coarser than the caller's share.
+    let chunk_rows = CHUNK_ROWS.min(caller_rows);
+    pool::ensure_workers(threads - 1);
+
+    let mut b_buf = arena::take_f32(b.len());
+    b_buf.extend_from_slice(b);
+    let b_shared = Arc::new(b_buf);
+
+    let (tx, rx) = mpsc::channel::<(usize, Vec<f32>, Vec<f32>)>();
+    let mut jobs: Vec<pool::Job> = Vec::new();
+    let mut row0 = caller_rows;
+    while row0 < m {
+        let rows = chunk_rows.min(m - row0);
+        let mut a_chunk = arena::take_f32(rows * k);
+        a_chunk.extend_from_slice(&a[row0 * k..(row0 + rows) * k]);
+        // Zeroed only to materialize the length — the kernel overwrites
+        // every element (safe Rust has no uninitialized-len Vec).
+        let mut c_chunk = arena::take_f32_zeroed(rows * n);
+        let b_ref = Arc::clone(&b_shared);
+        let tx = tx.clone();
+        jobs.push(Box::new(move || {
+            gemm_rows(&a_chunk, &b_ref, &mut c_chunk, k, n);
+            let _ = tx.send((row0, c_chunk, a_chunk));
+        }));
+        row0 += rows;
+    }
+    drop(tx);
+    let mut pending = jobs.len();
+    pool::submit(jobs);
+
+    gemm_rows(&a[..caller_rows * k], b, &mut out[..caller_rows * n], k, n);
+
+    let mut spins = 0u32;
+    while pending > 0 {
+        match rx.try_recv() {
+            Ok((row0, c_chunk, a_chunk)) => {
+                out[row0 * n..row0 * n + c_chunk.len()].copy_from_slice(&c_chunk);
+                arena::put_f32(c_chunk);
+                arena::put_f32(a_chunk);
+                pending -= 1;
+            }
+            Err(mpsc::TryRecvError::Empty) => {
+                if pool::try_run_one() {
+                    continue;
+                }
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(64) {
+                    // Let a worker holding our last chunk onto the core.
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            Err(mpsc::TryRecvError::Disconnected) => {
+                panic!("kernel pool job panicked mid-GEMM ({pending} chunk(s) lost)");
+            }
         }
-    });
+    }
+    if let Ok(b_buf) = Arc::try_unwrap(b_shared) {
+        arena::put_f32(b_buf);
+    }
+}
+
+/// The retired scoped-spawn GEMM dispatcher: spawns fresh threads per call
+/// exactly as the PR 3 kernel did (no volume threshold — callers choose the
+/// fan-out). Kept purely as a differential baseline: the pooled-vs-scoped
+/// bench record quantifies what the pool saves, and the equivalence tests
+/// pin pooled output bitwise against this path.
+///
+/// # Panics
+///
+/// If a slice length disagrees with its shape.
+pub fn gemm_scoped(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "gemm lhs length");
+    assert_eq!(b.len(), k * n, "gemm rhs length");
+    assert_eq!(out.len(), m * n, "gemm out length");
+    let threads = threads.max(1).min(m);
+    if threads <= 1 {
+        gemm_rows(a, b, out, k, n);
+        return;
+    }
+    pool::run_scoped_rows(a, b, out, k, n, m.div_ceil(threads), gemm_rows);
 }
 
 /// `out = A·Bᵀ` with `A: [m,k]`, `B: [n,k]`, `out: [m,n]`. `B` is
@@ -221,11 +361,15 @@ pub fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut Vec<f32>)
     }
 }
 
-/// Splits `data` into per-thread runs of whole `item_len`-element items and
-/// applies `f(first_item_index, chunk)` to each run — sequentially when
-/// `threads <= 1` or there is a single item, on scoped threads otherwise.
-/// Item order within a run is preserved, so any per-item computation is
-/// deterministic regardless of the thread count.
+/// Splits `data` into runs of whole `item_len`-element items and applies
+/// `f(first_item_index, chunk)` to each run in ascending order. The
+/// `threads` parameter only shapes the chunk boundaries handed to `f`;
+/// execution is sequential. The im2col/col2im fills that route through here
+/// are memory-bandwidth-bound, and per-call scoped spawns cost more than
+/// they saved (see the pool module docs) while dispatching them to the
+/// persistent pool would require copying the inputs — roughly the price of
+/// the fill itself. Item order is preserved, so per-item computation is
+/// deterministic for every `threads` value.
 ///
 /// # Panics
 ///
@@ -244,18 +388,23 @@ pub fn par_items(
         return;
     }
     let per = items.div_ceil(threads);
-    std::thread::scope(|s| {
-        for (t, chunk) in data.chunks_mut(per * item_len).enumerate() {
-            let f = &f;
-            s.spawn(move || f(t * per, chunk));
-        }
-    });
+    for (t, chunk) in data.chunks_mut(per * item_len).enumerate() {
+        f(t * per, chunk);
+    }
 }
 
-/// Single-threaded blocked kernel over a full row range: `out += 0` is
-/// assumed (caller zeroes), `a` holds exactly the rows of `out`.
+/// Single-threaded blocked kernel over a full row range: `a` holds exactly
+/// the rows of `out`. Prior `out` contents are ignored — the `kb == 0` pass
+/// of [`tile_rows`] overwrites every element before any later `k`-block
+/// reloads it, so callers need not (and do not) zero `out` first.
 fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
-    if k == 0 || n == 0 {
+    if k == 0 {
+        // Empty sum: the product is all zeros and the tile loop below would
+        // never write `out`.
+        out.fill(0.0);
+        return;
+    }
+    if n == 0 {
         return;
     }
     let m = out.len() / n;
@@ -307,9 +456,11 @@ fn pack_panel(
 }
 
 /// The register-tiled micro-kernel: accumulates the `R × nr` output tile at
-/// `(i, j)` over the `k`-block `[kb, kb+kc)`. The accumulator tile is
-/// loaded from `out` and stored back, so the per-element accumulation chain
-/// stays strictly ascending in `k` across blocks (see module docs).
+/// `(i, j)` over the `k`-block `[kb, kb+kc)`. The first `k`-block starts
+/// its accumulator at literal zero (prior `out` contents are ignored —
+/// callers never pre-zero); later blocks reload the tile from `out`, so the
+/// per-element accumulation chain stays strictly ascending in `k` across
+/// blocks (see module docs).
 #[allow(clippy::too_many_arguments)] // index soup is the kernel's nature
 #[inline(always)]
 fn tile_rows<const R: usize>(
@@ -325,8 +476,10 @@ fn tile_rows<const R: usize>(
     panel: &[f32],
 ) {
     let mut acc = [[0.0f32; NR]; R];
-    for (r, accr) in acc.iter_mut().enumerate() {
-        accr[..nr].copy_from_slice(&out[(i + r) * n + j..(i + r) * n + j + nr]);
+    if kb > 0 {
+        for (r, accr) in acc.iter_mut().enumerate() {
+            accr[..nr].copy_from_slice(&out[(i + r) * n + j..(i + r) * n + j + nr]);
+        }
     }
     if R == MR {
         let a0 = &a[i * k + kb..i * k + kb + kc];
@@ -388,6 +541,27 @@ mod tests {
                 gemm(&a, &b, &mut got, m, k, n, threads);
                 assert_eq!(got, want, "m={m} k={k} n={n} threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn pooled_dispatch_matches_naive_bitwise_above_threshold() {
+        // 160³ volume (4.1 M) clears PAR_THRESHOLD, so threads ≥ 2 route
+        // through the persistent pool; every thread count must agree with
+        // the reference bit-for-bit, and with the scoped baseline.
+        let (m, k, n) = (160usize, 160, 160);
+        assert!(m * k * n >= PAR_THRESHOLD, "shape must exercise the pooled path");
+        let a = lcg_fill(7, m * k);
+        let b = lcg_fill(8, k * n);
+        let mut want = vec![0.0; m * n];
+        matmul_naive(&a, &b, &mut want, m, k, n);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let mut got = vec![0.0; m * n];
+            gemm(&a, &b, &mut got, m, k, n, threads);
+            assert_eq!(got, want, "pooled threads={threads}");
+            let mut scoped = vec![0.0; m * n];
+            gemm_scoped(&a, &b, &mut scoped, m, k, n, threads);
+            assert_eq!(scoped, want, "scoped threads={threads}");
         }
     }
 

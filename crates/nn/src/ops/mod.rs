@@ -8,5 +8,7 @@ pub mod conv;
 pub mod gemm;
 /// Layer normalization.
 pub mod norm;
+/// The persistent kernel thread pool (the only thread-creating module).
+pub mod pool;
 /// Row-wise softmax and log-softmax.
 pub mod softmax;

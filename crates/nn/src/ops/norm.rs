@@ -5,6 +5,7 @@
 //! (both `[features]`). The DRL-CEWS CNN applies this after every conv layer
 //! (on the flattened `[B, C*H*W]` view) to stabilize PPO updates.
 
+use crate::arena;
 use crate::tensor::Tensor;
 
 /// Saved statistics from a layer-norm forward pass, needed for backward.
@@ -27,9 +28,9 @@ pub fn layer_norm_forward(
     let (rows, feat) = (x.shape()[0], x.shape()[1]);
     assert_eq!(gamma.shape(), &[feat], "gamma shape mismatch");
     assert_eq!(beta.shape(), &[feat], "beta shape mismatch");
-    let mut out = vec![0.0f32; rows * feat];
-    let mut mean = vec![0.0f32; rows];
-    let mut rstd = vec![0.0f32; rows];
+    let mut out = arena::take_f32_zeroed(rows * feat);
+    let mut mean = arena::take_f32_zeroed(rows);
+    let mut rstd = arena::take_f32_zeroed(rows);
     for r in 0..rows {
         let row = &x.data()[r * feat..(r + 1) * feat];
         let mu = row.iter().sum::<f32>() / feat as f32;
@@ -67,9 +68,9 @@ pub fn layer_norm_backward(
 ) -> LayerNormGrads {
     let (rows, feat) = (x.shape()[0], x.shape()[1]);
     let n = feat as f32;
-    let mut gx = vec![0.0f32; rows * feat];
-    let mut ggamma = vec![0.0f32; feat];
-    let mut gbeta = vec![0.0f32; feat];
+    let mut gx = arena::take_f32_zeroed(rows * feat);
+    let mut ggamma = arena::take_f32_zeroed(feat);
+    let mut gbeta = arena::take_f32_zeroed(feat);
     for r in 0..rows {
         let xr = &x.data()[r * feat..(r + 1) * feat];
         let gr = &gout.data()[r * feat..(r + 1) * feat];

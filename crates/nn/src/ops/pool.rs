@@ -1,0 +1,314 @@
+//! Persistent kernel thread pool: spawn-once workers for the GEMM hot path.
+//!
+//! The previous kernel layer spawned fresh scoped threads inside every
+//! parallel `gemm()` call. At training shapes that overhead dominates: the
+//! committed bench trajectory shows 64³ matmul collapsing from 46.5 GFLOP/s
+//! at 1 thread to 3.0 GFLOP/s at 2 threads, purely from thread creation.
+//! This module replaces per-call spawning with a process-wide pool that is
+//! grown on demand (never shrunk) and parked between dispatches.
+//!
+//! ## Design
+//!
+//! * **No work stealing.** Jobs are whole-row GEMM chunks pushed onto one
+//!   `Mutex<VecDeque>`; any worker may pop any job. The partitioning
+//!   contract (whole rows per chunk, every row a self-contained
+//!   accumulation chain) lives in the dispatcher, so results are
+//!   bit-identical to the scoped implementation for every thread count
+//!   regardless of chunk size or which worker runs which chunk.
+//! * **Spin-then-park.** Workers spin briefly on the queue-length atomic,
+//!   then park on a condvar. Dispatch cost while warm is one lock + one
+//!   `notify_all`.
+//! * **Caller helping.** The dispatching thread always computes chunk 0
+//!   itself and then drains remaining queued jobs inline via
+//!   [`try_run_one`] while waiting. The pool therefore never deadlocks even
+//!   with zero workers (spawn failure, single-core boxes), and undersized
+//!   pools are starvation-free.
+//! * **Panic containment.** Worker threads wrap each job in `catch_unwind`;
+//!   a panicking job kills its result channel, which the dispatcher
+//!   translates back into a panic on the calling thread (matching scoped
+//!   `std::thread::scope` semantics).
+//!
+//! This is the only module in the workspace allowed to create threads
+//! (enforced by `cargo xtask check`'s `no-raw-thread` lint);
+//! [`run_scoped_rows`] keeps the old scoped-spawn path alive behind that
+//! exemption as a differential baseline for benches and equivalence tests.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A unit of pool work: an owning closure, run exactly once on any thread.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Brief spin before a worker parks; deliberately short so workers on
+/// oversubscribed machines yield the core back to the dispatcher quickly.
+const WORKER_SPINS: u32 = 256;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    /// Queue length mirror; lets spinning workers poll without the lock.
+    queued: AtomicUsize,
+}
+
+static SHARED: OnceLock<&'static Shared> = OnceLock::new();
+static WORKERS: AtomicUsize = AtomicUsize::new(0);
+static DISPATCHES: AtomicU64 = AtomicU64::new(0);
+static JOBS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+static JOBS_HELPED: AtomicU64 = AtomicU64::new(0);
+static PARKS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the pool's lifetime counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads currently alive (grow-only).
+    pub workers: usize,
+    /// Parallel dispatches routed through the pool.
+    pub dispatches: u64,
+    /// Jobs completed on pool worker threads.
+    pub jobs_executed: u64,
+    /// Jobs completed inline on dispatching threads ([`try_run_one`]).
+    pub jobs_helped: u64,
+    /// Times a worker exhausted its spin budget and parked.
+    pub parks: u64,
+}
+
+/// Reads the pool's lifetime counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        workers: WORKERS.load(Ordering::Relaxed),
+        dispatches: DISPATCHES.load(Ordering::Relaxed),
+        jobs_executed: JOBS_EXECUTED.load(Ordering::Relaxed),
+        jobs_helped: JOBS_HELPED.load(Ordering::Relaxed),
+        parks: PARKS.load(Ordering::Relaxed),
+    }
+}
+
+fn shared() -> &'static Shared {
+    SHARED.get_or_init(|| {
+        Box::leak(Box::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            queued: AtomicUsize::new(0),
+        }))
+    })
+}
+
+fn lock_queue(s: &'static Shared) -> std::sync::MutexGuard<'static, VecDeque<Job>> {
+    // A poisoned queue only means a *pop* panicked mid-hold, which popping
+    // never does; job panics happen outside the lock. Recover the guard.
+    s.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn pop_job(s: &'static Shared) -> Option<Job> {
+    if s.queued.load(Ordering::Acquire) == 0 {
+        return None;
+    }
+    let mut q = lock_queue(s);
+    let job = q.pop_front();
+    if job.is_some() {
+        s.queued.fetch_sub(1, Ordering::Release);
+    }
+    job
+}
+
+fn worker_loop(s: &'static Shared) {
+    loop {
+        if let Some(job) = pop_job(s) {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let mut found = false;
+        for _ in 0..WORKER_SPINS {
+            std::hint::spin_loop();
+            if s.queued.load(Ordering::Acquire) > 0 {
+                found = true;
+                break;
+            }
+        }
+        if found {
+            continue;
+        }
+        PARKS.fetch_add(1, Ordering::Relaxed);
+        let guard = lock_queue(s);
+        let guard = s
+            .available
+            .wait_while(guard, |q| q.is_empty())
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        drop(guard);
+    }
+}
+
+/// Grows the pool to at least `n` worker threads (never shrinks). Spawn
+/// failures degrade gracefully: dispatchers finish queued work themselves
+/// via caller helping, so an undersized pool is slower, never stuck.
+pub fn ensure_workers(n: usize) {
+    let s = shared();
+    loop {
+        let cur = WORKERS.load(Ordering::Relaxed);
+        if cur >= n {
+            return;
+        }
+        // Claim the slot before spawning so racing dispatchers don't
+        // over-spawn; roll back if the OS refuses the thread.
+        if WORKERS.compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed).is_err() {
+            continue;
+        }
+        let spawned = std::thread::Builder::new()
+            .name(format!("vc-nn-kernel-{cur}"))
+            .spawn(move || worker_loop(s));
+        if spawned.is_err() {
+            WORKERS.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+/// Enqueues a batch of jobs and wakes the workers. Records one dispatch.
+pub fn submit(jobs: Vec<Job>) {
+    let s = shared();
+    DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    let n = jobs.len();
+    {
+        let mut q = lock_queue(s);
+        q.extend(jobs);
+        s.queued.fetch_add(n, Ordering::Release);
+    }
+    s.available.notify_all();
+}
+
+/// Pops and runs one queued job on the calling thread. Returns `false` when
+/// the queue is empty. Dispatchers call this in their wait loop so work
+/// always completes even if every worker is busy or absent.
+pub fn try_run_one() -> bool {
+    let s = shared();
+    match pop_job(s) {
+        Some(job) => {
+            job();
+            JOBS_HELPED.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        None => false,
+    }
+}
+
+/// The retired scoped-spawn row partitioner, kept as a differential
+/// baseline: spawns one scoped thread per row chunk exactly as the PR 3
+/// kernel did. Benches compare pooled vs scoped dispatch with this, and the
+/// equivalence tests pin bit-identical output between the two paths.
+pub fn run_scoped_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    rows_per: usize,
+    kernel: fn(&[f32], &[f32], &mut [f32], usize, usize),
+) {
+    std::thread::scope(|scope| {
+        for (a_chunk, o_chunk) in a.chunks(rows_per * k).zip(out.chunks_mut(rows_per * n)) {
+            scope.spawn(move || kernel(a_chunk, b, o_chunk, k, n));
+        }
+    });
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    #[test]
+    fn submitted_jobs_all_run_even_with_zero_workers() {
+        // Don't ensure_workers: caller helping alone must drain the queue.
+        let hits = Arc::new(AtomicU32::new(0));
+        let jobs: Vec<Job> = (0..8)
+            .map(|_| {
+                let hits = Arc::clone(&hits);
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as Job
+            })
+            .collect();
+        submit(jobs);
+        // Workers may exist from other tests; help until the count lands.
+        while hits.load(Ordering::Relaxed) < 8 {
+            if !try_run_one() {
+                std::hint::spin_loop();
+            }
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn workers_drain_queue_while_caller_waits() {
+        ensure_workers(2);
+        assert!(pool_stats().workers >= 2);
+        let (tx, rx) = mpsc::channel();
+        let jobs: Vec<Job> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                Box::new(move || {
+                    let _ = tx.send(i);
+                }) as Job
+            })
+            .collect();
+        drop(tx);
+        submit(jobs);
+        let mut got: Vec<i32> = Vec::new();
+        while got.len() < 4 {
+            match rx.try_recv() {
+                Ok(v) => got.push(v),
+                Err(mpsc::TryRecvError::Empty) => {
+                    if !try_run_one() {
+                        std::thread::yield_now();
+                    }
+                }
+                Err(mpsc::TryRecvError::Disconnected) => break,
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn worker_survives_job_panic() {
+        ensure_workers(1);
+        let before = pool_stats();
+        submit(vec![Box::new(|| panic!("deliberate test panic")) as Job]);
+        // The panicking job must be consumed (by a worker or by us), and
+        // later jobs must still run.
+        let (tx, rx) = mpsc::channel();
+        submit(vec![Box::new(move || {
+            let _ = tx.send(42u32);
+        }) as Job]);
+        loop {
+            match rx.try_recv() {
+                Ok(v) => {
+                    assert_eq!(v, 42);
+                    break;
+                }
+                Err(mpsc::TryRecvError::Empty) => {
+                    // Helping may hit the panicking job; contain it like a
+                    // worker does.
+                    let _ = std::panic::catch_unwind(try_run_one);
+                    std::thread::yield_now();
+                }
+                Err(mpsc::TryRecvError::Disconnected) => panic!("sender dropped unexpectedly"),
+            }
+        }
+        assert!(pool_stats().dispatches >= before.dispatches + 2);
+    }
+
+    #[test]
+    fn ensure_workers_is_grow_only() {
+        ensure_workers(3);
+        let grown = pool_stats().workers;
+        assert!(grown >= 3);
+        ensure_workers(1);
+        assert_eq!(pool_stats().workers, grown, "pool must never shrink");
+    }
+}

@@ -15,6 +15,7 @@
 //! uniform output keeps downstream entropy/ratio terms finite. Rows with
 //! `NaN` entries still propagate `NaN`.
 
+use crate::arena;
 use crate::tensor::Tensor;
 
 /// Whether every entry of the row is exactly `-∞` (a fully masked head).
@@ -27,7 +28,7 @@ fn fully_masked(row: &[f32]) -> bool {
 pub fn softmax_rows(x: &Tensor) -> Tensor {
     assert_eq!(x.ndim(), 2, "softmax_rows requires rank 2");
     let (rows, cols) = (x.shape()[0], x.shape()[1]);
-    let mut out = vec![0.0f32; rows * cols];
+    let mut out = arena::take_f32_zeroed(rows * cols);
     for r in 0..rows {
         let row = &x.data()[r * cols..(r + 1) * cols];
         let dst = &mut out[r * cols..(r + 1) * cols];
@@ -54,7 +55,7 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
 pub fn log_softmax_rows(x: &Tensor) -> Tensor {
     assert_eq!(x.ndim(), 2, "log_softmax_rows requires rank 2");
     let (rows, cols) = (x.shape()[0], x.shape()[1]);
-    let mut out = vec![0.0f32; rows * cols];
+    let mut out = arena::take_f32_zeroed(rows * cols);
     for r in 0..rows {
         let row = &x.data()[r * cols..(r + 1) * cols];
         let dst = &mut out[r * cols..(r + 1) * cols];
@@ -76,7 +77,7 @@ pub fn log_softmax_rows(x: &Tensor) -> Tensor {
 pub fn softmax_backward(y: &Tensor, gout: &Tensor) -> Tensor {
     assert_eq!(y.shape(), gout.shape());
     let (rows, cols) = (y.shape()[0], y.shape()[1]);
-    let mut gin = vec![0.0f32; rows * cols];
+    let mut gin = arena::take_f32_zeroed(rows * cols);
     for r in 0..rows {
         let yr = &y.data()[r * cols..(r + 1) * cols];
         let gr = &gout.data()[r * cols..(r + 1) * cols];
@@ -93,7 +94,7 @@ pub fn softmax_backward(y: &Tensor, gout: &Tensor) -> Tensor {
 pub fn log_softmax_backward(y: &Tensor, gout: &Tensor) -> Tensor {
     assert_eq!(y.shape(), gout.shape());
     let (rows, cols) = (y.shape()[0], y.shape()[1]);
-    let mut gin = vec![0.0f32; rows * cols];
+    let mut gin = arena::take_f32_zeroed(rows * cols);
     for r in 0..rows {
         let yr = &y.data()[r * cols..(r + 1) * cols];
         let gr = &gout.data()[r * cols..(r + 1) * cols];

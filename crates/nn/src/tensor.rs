@@ -5,15 +5,39 @@
 //! [`crate::param::ParamStore`] stores one per parameter (plus one for its
 //! gradient). Shapes are dynamic (`Vec<usize>`); all data lives in one
 //! contiguous `Vec<f32>` in row-major order.
+//!
+//! Storage is arena-backed: constructors draw their buffers from the
+//! thread-local freelists in [`crate::arena`], and `Drop` returns them, so
+//! steady-state graph construction recycles the same allocations step after
+//! step instead of hitting the global allocator (see the arena module docs
+//! and the counting-allocator test in `crates/nn/tests/arena_alloc.rs`).
 
+use crate::arena;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense row-major tensor of `f32` values.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        // Manual impl so clones draw from the arena; the derived impl would
+        // clone straight from the global allocator.
+        let mut data = arena::take_f32(self.data.len());
+        data.extend_from_slice(&self.data);
+        Self { shape: arena::take_usize_copy(&self.shape), data }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        arena::put_f32(std::mem::take(&mut self.data));
+        arena::put_usize(std::mem::take(&mut self.shape));
+    }
 }
 
 impl Tensor {
@@ -29,13 +53,32 @@ impl Tensor {
             numel,
             data.len()
         );
-        Self { shape: shape.to_vec(), data }
+        Self { shape: arena::take_usize_copy(shape), data }
+    }
+
+    /// A tensor wrapping an arena-recycled copy of `data`. Panics if the
+    /// element count implied by `shape` does not match `data.len()`.
+    pub fn from_slice(shape: &[usize], data: &[f32]) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            numel,
+            data.len(),
+            "shape {:?} implies {} elements but data has {}",
+            shape,
+            numel,
+            data.len()
+        );
+        let mut buf = arena::take_f32(data.len());
+        buf.extend_from_slice(data);
+        Self { shape: arena::take_usize_copy(shape), data: buf }
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let numel: usize = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![value; numel] }
+        let mut data = arena::take_f32(numel);
+        data.resize(numel, value);
+        Self { shape: arena::take_usize_copy(shape), data }
     }
 
     /// A zero-filled tensor.
@@ -50,7 +93,7 @@ impl Tensor {
 
     /// A rank-0-like scalar stored as shape `[1]`.
     pub fn scalar(value: f32) -> Self {
-        Self::from_vec(&[1], vec![value])
+        Self::full(&[1], value)
     }
 
     /// The shape of the tensor.
@@ -83,9 +126,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning the underlying buffer.
-    pub fn into_data(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor, returning the underlying buffer (the shape
+    /// buffer is recycled into the arena).
+    pub fn into_data(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// The single element of a one-element tensor. Panics otherwise.
@@ -98,7 +142,7 @@ impl Tensor {
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
         let numel: usize = shape.iter().product();
         assert_eq!(numel, self.numel(), "reshape {:?} -> {:?}", self.shape, shape);
-        Tensor::from_vec(shape, self.data.clone())
+        Tensor::from_slice(shape, &self.data)
     }
 
     /// Element at a 2-D index of a rank-2 tensor.
@@ -118,7 +162,9 @@ impl Tensor {
 
     /// Applies `f` elementwise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        let mut data = arena::take_f32(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
+        Tensor { shape: arena::take_usize_copy(&self.shape), data }
     }
 
     /// In-place elementwise map.
@@ -131,10 +177,9 @@ impl Tensor {
     /// Elementwise binary combination with a same-shape tensor.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip shape mismatch");
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
-        }
+        let mut data = arena::take_f32(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
+        Tensor { shape: arena::take_usize_copy(&self.shape), data }
     }
 
     /// `self += other` elementwise; shapes must match.
@@ -205,9 +250,18 @@ impl Tensor {
     /// kernel thread budget. `0 · NaN` and `0 · ∞` propagate as `NaN` (no
     /// zero-skipping), and results are bit-identical for every thread count.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        let mut out = Tensor::zeros(&[0]);
+        let mut out = self.empty_product(other);
         self.matmul_into(other, &mut out);
         out
+    }
+
+    /// An empty tensor whose data buffer is arena-sized for the `[m, n]`
+    /// product of `self` and `other` (a capacity hint for the `_into`
+    /// fills; harmless if the ranks turn out wrong — the fill asserts).
+    fn empty_product(&self, other: &Tensor) -> Tensor {
+        let m = self.shape.first().copied().unwrap_or(0);
+        let n = other.shape.last().copied().unwrap_or(0);
+        Tensor { shape: arena::take_usize(2), data: arena::take_f32(m.saturating_mul(n)) }
     }
 
     /// [`Self::matmul`] writing into `out`, reusing its allocation. `out` is
@@ -218,8 +272,7 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims {} vs {}", k, k2);
-        out.shape = vec![m, n];
-        out.data.resize(m * n, 0.0);
+        out.set_shape2(m, n);
         crate::ops::gemm::gemm(
             &self.data,
             &other.data,
@@ -234,9 +287,10 @@ impl Tensor {
     /// `self · otherᵀ` for `self: [m,k]`, `other: [n,k]` → `[m,n]`, without
     /// the caller materializing the transpose.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
-        let mut out = Tensor::zeros(&[0]);
-        let mut scratch = Vec::new();
+        let mut out = self.empty_product(other);
+        let mut scratch = arena::take_f32(other.numel());
         self.matmul_nt_into(other, &mut scratch, &mut out);
+        arena::put_f32(scratch);
         out
     }
 
@@ -248,8 +302,7 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (n, k2) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_nt inner dims {} vs {}", k, k2);
-        out.shape = vec![m, n];
-        out.data.resize(m * n, 0.0);
+        out.set_shape2(m, n);
         crate::ops::gemm::gemm_nt(
             &self.data,
             &other.data,
@@ -265,9 +318,13 @@ impl Tensor {
     /// `selfᵀ · other` for `self: [k,m]`, `other: [k,n]` → `[m,n]`, without
     /// the caller materializing the transpose.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
-        let mut out = Tensor::zeros(&[0]);
-        let mut scratch = Vec::new();
+        let m = self.shape.last().copied().unwrap_or(0);
+        let n = other.shape.last().copied().unwrap_or(0);
+        let mut out =
+            Tensor { shape: arena::take_usize(2), data: arena::take_f32(m.saturating_mul(n)) };
+        let mut scratch = arena::take_f32(self.numel());
         self.matmul_tn_into(other, &mut scratch, &mut out);
+        arena::put_f32(scratch);
         out
     }
 
@@ -279,8 +336,7 @@ impl Tensor {
         let (k, m) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul_tn inner dims {} vs {}", k, k2);
-        out.shape = vec![m, n];
-        out.data.resize(m * n, 0.0);
+        out.set_shape2(m, n);
         crate::ops::gemm::gemm_tn(
             &self.data,
             &other.data,
@@ -297,13 +353,21 @@ impl Tensor {
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.ndim(), 2, "transpose requires rank 2");
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; m * n];
+        let mut out = arena::take_f32_zeroed(m * n);
         for i in 0..m {
             for j in 0..n {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
         Tensor::from_vec(&[n, m], out)
+    }
+
+    /// Resets this tensor in place to shape `[m, n]` with a zero-extended
+    /// buffer of exactly `m·n` elements, keeping both allocations.
+    fn set_shape2(&mut self, m: usize, n: usize) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&[m, n]);
+        self.data.resize(m * n, 0.0);
     }
 }
 

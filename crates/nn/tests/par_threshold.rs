@@ -1,0 +1,52 @@
+//! Pins the parallel-dispatch threshold calibration.
+//!
+//! `PAR_THRESHOLD` exists because fanning a small GEMM out to the pool costs
+//! more than the multiply itself: the committed bench trajectory shows 64³
+//! at 46 GFLOP/s single-threaded collapsing to ~3 GFLOP/s when the old
+//! `1 << 18` threshold let it spawn threads. This test asserts the dispatch
+//! decision directly via the pool's dispatch counter: sub-threshold shapes
+//! must never reach the pool no matter the configured thread count, and
+//! above-threshold shapes must.
+//!
+//! The whole file is a single `#[test]` because integration-test binaries
+//! run tests concurrently and the dispatch counter is process-global; one
+//! test keeps the readings race-free.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use vc_nn::ops::gemm::{gemm, PAR_THRESHOLD};
+use vc_nn::ops::pool::pool_stats;
+
+#[test]
+fn small_gemms_never_dispatch_and_large_gemms_do() {
+    // 64³ (the policy-head shape class) sits below the threshold…
+    const {
+        assert!(
+            64 * 64 * 64 < PAR_THRESHOLD,
+            "64x64x64 must stay below PAR_THRESHOLD; recalibrate before lowering it"
+        );
+        // …and the bench's ragged shape does too (it lost 3.6x to fan-out
+        // under the old 1 << 18 threshold).
+        assert!(33 * 65 * 127 < PAR_THRESHOLD);
+    }
+
+    let a = vec![0.25f32; 64 * 64];
+    let b = vec![0.5f32; 64 * 64];
+    let mut out = vec![0.0f32; 64 * 64];
+    for threads in [2usize, 4, 8] {
+        let before = pool_stats().dispatches;
+        gemm(&a, &b, &mut out, 64, 64, 64, threads);
+        let after = pool_stats().dispatches;
+        assert_eq!(after - before, 0, "64x64x64 with threads={threads} must not reach the pool");
+    }
+
+    // An above-threshold shape with threads >= 2 must route through the pool.
+    let (m, k, n) = (160usize, 160, 160);
+    assert!(m * k * n >= PAR_THRESHOLD);
+    let a = vec![0.25f32; m * k];
+    let b = vec![0.5f32; k * n];
+    let mut out = vec![0.0f32; m * n];
+    let before = pool_stats().dispatches;
+    gemm(&a, &b, &mut out, m, k, n, 2);
+    let after = pool_stats().dispatches;
+    assert!(after > before, "160x160x160 with threads=2 must dispatch to the pool");
+}

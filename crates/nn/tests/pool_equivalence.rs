@@ -1,0 +1,79 @@
+//! Bit-exact equivalence of the three GEMM execution strategies.
+//!
+//! The pooled dispatcher ([`gemm`]), the scoped-thread baseline
+//! ([`gemm_scoped`]) and the sequential reference ([`matmul_naive`]) must
+//! agree **bitwise** for every thread count, because the deterministic
+//! replay/golden-trace machinery depends on runs being reproducible across
+//! machines with different core counts. Both parallel paths partition the
+//! output into whole-row chunks and run the identical blocked row kernel per
+//! chunk, so any divergence here means the partitioning or the micro-kernel
+//! accumulation order changed.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use vc_nn::ops::gemm::{gemm, gemm_scoped, matmul_naive, PAR_THRESHOLD};
+
+fn lcg_fill(buf: &mut [f32], mut state: u64) {
+    for v in buf.iter_mut() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *v = ((state >> 40) as f32 / (1 << 24) as f32) - 0.5;
+    }
+}
+
+fn check_shape(m: usize, k: usize, n: usize) {
+    let mut a = vec![0.0f32; m * k];
+    let mut b = vec![0.0f32; k * n];
+    lcg_fill(&mut a, 0x9E3779B97F4A7C15 ^ (m * k * n) as u64);
+    lcg_fill(&mut b, 0xD1B54A32D192ED03 ^ (m + k + n) as u64);
+
+    let mut reference = vec![0.0f32; m * n];
+    matmul_naive(&a, &b, &mut reference, m, k, n);
+
+    for threads in [1usize, 2, 4, 8] {
+        let mut pooled = vec![0.0f32; m * n];
+        gemm(&a, &b, &mut pooled, m, k, n, threads);
+        assert_eq!(
+            pooled.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "pooled gemm diverged from naive at {m}x{k}x{n}, threads={threads}"
+        );
+
+        let mut scoped = vec![0.0f32; m * n];
+        gemm_scoped(&a, &b, &mut scoped, m, k, n, threads);
+        assert_eq!(
+            scoped.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "scoped gemm diverged from naive at {m}x{k}x{n}, threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn above_threshold_square_shape_is_bitwise_identical() {
+    // 160³ = 4.1 M flop-volume, comfortably above the dispatch threshold.
+    const { assert!(160 * 160 * 160 >= PAR_THRESHOLD) }
+    check_shape(160, 160, 160);
+}
+
+#[test]
+fn above_threshold_ragged_shape_is_bitwise_identical() {
+    // Ragged dims exercise the tail chunk (m not divisible by threads).
+    let (m, k, n) = (131, 173, 97);
+    assert!(m * k * n >= PAR_THRESHOLD, "shape fell below PAR_THRESHOLD");
+    check_shape(m, k, n);
+}
+
+#[test]
+fn below_threshold_shape_is_bitwise_identical() {
+    // 64³ stays sequential in `gemm` for every thread count; `gemm_scoped`
+    // still fans out (it has no threshold). Both must match naive exactly.
+    const { assert!(64 * 64 * 64 < PAR_THRESHOLD) }
+    check_shape(64, 64, 64);
+}
+
+#[test]
+fn more_threads_than_rows_is_bitwise_identical() {
+    // threads > m forces empty tail chunks in the partitioner.
+    let (m, k, n) = (6, 640, 640);
+    assert!(m * k * n >= PAR_THRESHOLD, "shape fell below PAR_THRESHOLD");
+    check_shape(m, k, n);
+}

@@ -38,6 +38,9 @@ pub mod prelude {
     };
     pub use crate::gae::{discounted_returns, gae_advantages, normalize_advantages};
     pub use crate::net::{ActorCritic, NetConfig, NetOutputs, CHARGE_CHOICES, MOVES_PER_WORKER};
-    pub use crate::policy::{sample_action, state_value, PolicyOptions, SampleMode, SampledAction};
+    pub use crate::policy::{
+        sample_action, sample_actions_batched, state_value, state_values_batched, PolicyOptions,
+        SampleMode, SampledAction,
+    };
     pub use crate::ppo::{compute_ppo_grads, finish_rollout, PpoConfig, PpoStats};
 }

@@ -83,8 +83,129 @@ impl Default for PolicyOptions {
     }
 }
 
+/// Stacks the encoded states of `envs` into one `[E, C, H, W]` leaf and
+/// runs a single forward pass, returning the batched graph outputs.
+///
+/// All environments must share the network's worker count and grid. The
+/// per-row arithmetic of every kernel is bitwise independent of the batch
+/// dimension (pinned by the blocked-vs-naive GEMM equivalence tests), so
+/// row `e` of the batched outputs is bit-identical to a batch-of-one
+/// forward of `envs[e]`.
+fn forward_batched(
+    net: &ActorCritic,
+    store: &ParamStore,
+    envs: &[&CrowdsensingEnv],
+    g: &mut Graph,
+) -> crate::net::NetOutputs {
+    let cfg = envs[0].config();
+    let shape = vc_env::state::state_shape(cfg);
+    let item = shape[0] * shape[1] * shape[2];
+    let mut stacked = vc_nn::arena::take_f32(envs.len() * item);
+    for env in envs {
+        assert_eq!(
+            env.config().num_workers,
+            net.config().num_workers,
+            "network sized for a different worker count"
+        );
+        stacked.extend_from_slice(&vc_env::state::encode(env));
+    }
+    let s = g.leaf(Tensor::from_vec(&[envs.len(), shape[0], shape[1], shape[2]], stacked));
+    net.forward(g, store, s)
+}
+
+/// Encodes every environment, runs **one** batched forward pass and samples
+/// a joint action per environment.
+///
+/// This is the rollout hot path: `E` lockstep episodes cost one network
+/// evaluation per step instead of `E`, amortizing graph construction and
+/// pushing the per-step GEMMs into shapes the blocked kernel likes. The RNG
+/// is consumed in environment order then worker order — exactly the order
+/// `E` sequential [`sample_action`] calls would use — and the underlying
+/// kernels are batch-invariant, so results match the sequential path.
+pub fn sample_actions_batched(
+    net: &ActorCritic,
+    store: &ParamStore,
+    envs: &[&CrowdsensingEnv],
+    opts: PolicyOptions,
+    rng: &mut impl Rng,
+) -> Vec<SampledAction> {
+    if envs.is_empty() {
+        return Vec::new();
+    }
+    let w_count = net.config().num_workers;
+    let e_count = envs.len();
+
+    let mut g = Graph::new();
+    let out = forward_batched(net, store, envs, &mut g);
+    let values: Vec<f32> = g.value(out.value).data().to_vec();
+    let mut move_logits = g.value(out.move_logits).clone(); // [E·W, 9]
+    let mut charge_logits = g.value(out.charge_logits).clone(); // [E·W, 2]
+
+    let mut sampled = Vec::with_capacity(e_count);
+    for (ei, env) in envs.iter().enumerate() {
+        let mut move_mask = vec![true; w_count * MOVES_PER_WORKER];
+        let mut charge_mask = vec![true; w_count * CHARGE_CHOICES];
+        if opts.mask_invalid {
+            for wi in 0..w_count {
+                let row = ei * w_count + wi;
+                let mask = env.valid_moves(wi);
+                for (mi, ok) in mask.iter().enumerate() {
+                    if !ok {
+                        *move_logits.at2_mut(row, mi) = MASK_LOGIT;
+                        move_mask[wi * MOVES_PER_WORKER + mi] = false;
+                    }
+                }
+                if !env.can_charge(wi) {
+                    *charge_logits.at2_mut(row, 1) = MASK_LOGIT;
+                    charge_mask[wi * CHARGE_CHOICES + 1] = false;
+                }
+            }
+        }
+        sampled.push((move_mask, charge_mask));
+    }
+
+    let move_probs = vc_nn::ops::softmax::softmax_rows(&move_logits);
+    let charge_probs = vc_nn::ops::softmax::softmax_rows(&charge_logits);
+
+    sampled
+        .into_iter()
+        .enumerate()
+        .map(|(ei, (move_mask, charge_mask))| {
+            let mut actions = Vec::with_capacity(w_count);
+            let mut moves = Vec::with_capacity(w_count);
+            let mut charges = Vec::with_capacity(w_count);
+            let mut logp = 0.0f32;
+            for wi in 0..w_count {
+                let row = ei * w_count + wi;
+                let mp = &move_probs.data()[row * MOVES_PER_WORKER..(row + 1) * MOVES_PER_WORKER];
+                let cp = &charge_probs.data()[row * CHARGE_CHOICES..(row + 1) * CHARGE_CHOICES];
+                let (mv, ch) = match opts.mode {
+                    SampleMode::Stochastic => {
+                        (sample_categorical(mp, rng), sample_categorical(cp, rng))
+                    }
+                    SampleMode::Greedy => (argmax(mp), argmax(cp)),
+                };
+                logp += mp[mv].max(1e-12).ln() + cp[ch].max(1e-12).ln();
+                moves.push(mv);
+                charges.push(ch);
+                actions.push(WorkerAction { movement: Move::from_index(mv), charge: ch == 1 });
+            }
+            SampledAction {
+                actions,
+                moves,
+                charges,
+                move_mask,
+                charge_mask,
+                logp,
+                value: values[ei],
+            }
+        })
+        .collect()
+}
+
 /// Encodes the environment state, runs the network and samples a joint
-/// action for every worker.
+/// action for every worker. Batch-of-one wrapper over
+/// [`sample_actions_batched`].
 pub fn sample_action(
     net: &ActorCritic,
     store: &ParamStore,
@@ -92,71 +213,29 @@ pub fn sample_action(
     opts: PolicyOptions,
     rng: &mut impl Rng,
 ) -> SampledAction {
-    let cfg = env.config();
-    let w_count = cfg.num_workers;
-    assert_eq!(net.config().num_workers, w_count, "network sized for a different worker count");
+    let mut batch = sample_actions_batched(net, store, &[env], opts, rng);
+    batch.swap_remove(0)
+}
 
-    let state = vc_env::state::encode(env);
-    let shape = vc_env::state::state_shape(cfg);
+/// One batched forward returning only the state values `V(s)` for each
+/// environment (the bootstrap `V(s_T)` of Eqn 11, vectorized).
+pub fn state_values_batched(
+    net: &ActorCritic,
+    store: &ParamStore,
+    envs: &[&CrowdsensingEnv],
+) -> Vec<f32> {
+    if envs.is_empty() {
+        return Vec::new();
+    }
     let mut g = Graph::new();
-    let s = g.leaf(Tensor::from_vec(&[1, shape[0], shape[1], shape[2]], state));
-    let out = net.forward(&mut g, store, s);
-
-    let mut move_logits = g.value(out.move_logits).clone();
-    let mut charge_logits = g.value(out.charge_logits).clone();
-    let value = g.value(out.value).item();
-
-    let mut move_mask = vec![true; w_count * MOVES_PER_WORKER];
-    let mut charge_mask = vec![true; w_count * CHARGE_CHOICES];
-    if opts.mask_invalid {
-        for wi in 0..w_count {
-            let mask = env.valid_moves(wi);
-            for (mi, ok) in mask.iter().enumerate() {
-                if !ok {
-                    *move_logits.at2_mut(wi, mi) = MASK_LOGIT;
-                    move_mask[wi * MOVES_PER_WORKER + mi] = false;
-                }
-            }
-            if !env.can_charge(wi) {
-                *charge_logits.at2_mut(wi, 1) = MASK_LOGIT;
-                charge_mask[wi * CHARGE_CHOICES + 1] = false;
-            }
-        }
-    }
-
-    let move_probs = vc_nn::ops::softmax::softmax_rows(&move_logits);
-    let charge_probs = vc_nn::ops::softmax::softmax_rows(&charge_logits);
-
-    let mut actions = Vec::with_capacity(w_count);
-    let mut moves = Vec::with_capacity(w_count);
-    let mut charges = Vec::with_capacity(w_count);
-    let mut logp = 0.0f32;
-    for wi in 0..w_count {
-        let mp = &move_probs.data()[wi * MOVES_PER_WORKER..(wi + 1) * MOVES_PER_WORKER];
-        let cp = &charge_probs.data()[wi * CHARGE_CHOICES..(wi + 1) * CHARGE_CHOICES];
-        let (mv, ch) = match opts.mode {
-            SampleMode::Stochastic => (sample_categorical(mp, rng), sample_categorical(cp, rng)),
-            SampleMode::Greedy => (argmax(mp), argmax(cp)),
-        };
-        logp += mp[mv].max(1e-12).ln() + cp[ch].max(1e-12).ln();
-        moves.push(mv);
-        charges.push(ch);
-        actions.push(WorkerAction { movement: Move::from_index(mv), charge: ch == 1 });
-    }
-
-    SampledAction { actions, moves, charges, move_mask, charge_mask, logp, value }
+    let out = forward_batched(net, store, envs, &mut g);
+    g.value(out.value).data().to_vec()
 }
 
 /// Runs the network once and returns the state value only (the bootstrap
 /// `V(s_T)` of Eqn 11).
 pub fn state_value(net: &ActorCritic, store: &ParamStore, env: &CrowdsensingEnv) -> f32 {
-    let cfg = env.config();
-    let state = vc_env::state::encode(env);
-    let shape = vc_env::state::state_shape(cfg);
-    let mut g = Graph::new();
-    let s = g.leaf(Tensor::from_vec(&[1, shape[0], shape[1], shape[2]], state));
-    let out = net.forward(&mut g, store, s);
-    g.value(out.value).item()
+    state_values_batched(net, store, &[env])[0]
 }
 
 #[cfg(test)]
@@ -243,5 +322,87 @@ mod tests {
         let v = state_value(&net, &store, &env);
         let a = sample_action(&net, &store, &env, PolicyOptions::default(), &mut rng);
         assert!((v - a.value).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batched_greedy_matches_sequential_bitwise() {
+        // Kernel arithmetic is batch-invariant, so one [3, C, H, W] forward
+        // must reproduce three batch-of-one forwards bit for bit.
+        let (store, net, env, mut rng) = setup();
+        let mut env_b = CrowdsensingEnv::new(env.config().clone());
+        let mut env_c = CrowdsensingEnv::new(env.config().clone());
+        // Diversify the states so a batch-index mixup would be caught.
+        let acts: Vec<WorkerAction> = (0..env.config().num_workers)
+            .map(|_| WorkerAction { movement: Move::from_index(1), charge: false })
+            .collect();
+        let _ = env_b.step(&acts);
+        let _ = env_c.step(&acts);
+        let _ = env_c.step(&acts);
+
+        let opts = PolicyOptions { mode: SampleMode::Greedy, mask_invalid: true };
+        let batched = sample_actions_batched(&net, &store, &[&env, &env_b, &env_c], opts, &mut rng);
+        assert_eq!(batched.len(), 3);
+        for (i, e) in [&env, &env_b, &env_c].into_iter().enumerate() {
+            let single = sample_action(&net, &store, e, opts, &mut rng);
+            assert_eq!(batched[i].moves, single.moves, "env {i} moves diverged");
+            assert_eq!(batched[i].charges, single.charges, "env {i} charges diverged");
+            assert_eq!(batched[i].move_mask, single.move_mask);
+            assert_eq!(batched[i].charge_mask, single.charge_mask);
+            assert_eq!(
+                batched[i].value.to_bits(),
+                single.value.to_bits(),
+                "env {i} value not bit-identical: batched {} vs single {}",
+                batched[i].value,
+                single.value
+            );
+            assert_eq!(batched[i].logp.to_bits(), single.logp.to_bits(), "env {i} logp diverged");
+        }
+    }
+
+    #[test]
+    fn batched_stochastic_consumes_rng_in_sequential_order() {
+        // With identical probabilities, the batched sampler must draw from
+        // the RNG in env-major, worker-minor order — the same stream E
+        // sequential calls would consume.
+        let (store, net, env, _) = setup();
+        let mut env_b = CrowdsensingEnv::new(env.config().clone());
+        let acts: Vec<WorkerAction> = (0..env.config().num_workers)
+            .map(|_| WorkerAction { movement: Move::from_index(2), charge: false })
+            .collect();
+        let _ = env_b.step(&acts);
+
+        let opts = PolicyOptions::default();
+        let mut rng_batched = StdRng::seed_from_u64(77);
+        let batched = sample_actions_batched(&net, &store, &[&env, &env_b], opts, &mut rng_batched);
+
+        let mut rng_seq = StdRng::seed_from_u64(77);
+        let first = sample_action(&net, &store, &env, opts, &mut rng_seq);
+        let second = sample_action(&net, &store, &env_b, opts, &mut rng_seq);
+        assert_eq!(batched[0].moves, first.moves);
+        assert_eq!(batched[0].charges, first.charges);
+        assert_eq!(batched[1].moves, second.moves);
+        assert_eq!(batched[1].charges, second.charges);
+    }
+
+    #[test]
+    fn state_values_batched_matches_singles() {
+        let (store, net, env, _) = setup();
+        let mut env_b = CrowdsensingEnv::new(env.config().clone());
+        let acts: Vec<WorkerAction> = (0..env.config().num_workers)
+            .map(|_| WorkerAction { movement: Move::from_index(3), charge: false })
+            .collect();
+        let _ = env_b.step(&acts);
+        let vs = state_values_batched(&net, &store, &[&env, &env_b]);
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].to_bits(), state_value(&net, &store, &env).to_bits());
+        assert_eq!(vs[1].to_bits(), state_value(&net, &store, &env_b).to_bits());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (store, net, _, mut rng) = setup();
+        assert!(sample_actions_batched(&net, &store, &[], PolicyOptions::default(), &mut rng)
+            .is_empty());
+        assert!(state_values_batched(&net, &store, &[]).is_empty());
     }
 }

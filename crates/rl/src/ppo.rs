@@ -100,16 +100,19 @@ pub fn compute_ppo_grads(
     let w = net.config().num_workers;
     let state_len = buffer.transitions()[0].state.len();
 
-    // Assemble minibatch tensors.
-    let mut states = Vec::with_capacity(b * state_len);
-    let mut flat_moves = Vec::with_capacity(b * w);
-    let mut flat_charges = Vec::with_capacity(b * w);
-    let mut move_mask = Vec::with_capacity(b * w * MOVES_PER_WORKER);
-    let mut charge_mask = Vec::with_capacity(b * w * CHARGE_CHOICES);
-    let mut old_logp = Vec::with_capacity(b);
-    let mut adv = Vec::with_capacity(b);
-    let mut rets = Vec::with_capacity(b);
-    let mut old_values = Vec::with_capacity(b);
+    // Assemble minibatch tensors. Buffers come from the tensor arena so the
+    // per-update epoch loop recycles them instead of re-allocating: the f32
+    // buffers return when their tensors drop, and the index vectors are
+    // recycled by the graph when the `PickColumn` nodes retire.
+    let mut states = vc_nn::arena::take_f32(b * state_len);
+    let mut flat_moves = vc_nn::arena::take_usize(b * w);
+    let mut flat_charges = vc_nn::arena::take_usize(b * w);
+    let mut move_mask = vc_nn::arena::take_f32(b * w * MOVES_PER_WORKER);
+    let mut charge_mask = vc_nn::arena::take_f32(b * w * CHARGE_CHOICES);
+    let mut old_logp = vc_nn::arena::take_f32(b);
+    let mut adv = vc_nn::arena::take_f32(b);
+    let mut rets = vc_nn::arena::take_f32(b);
+    let mut old_values = vc_nn::arena::take_f32(b);
     for &i in indices {
         let t = &buffer.transitions()[i];
         states.extend_from_slice(&t.state);

@@ -25,6 +25,11 @@
 //! * `no-process-exit` — no `std::process::exit` outside `src/bin/`;
 //!   library code must return typed errors (an exit from an employee thread
 //!   would bypass the chief's panic containment and respawn machinery).
+//! * `no-raw-thread` — no `thread::spawn(` / `thread::scope(` outside
+//!   `crates/nn/src/ops/pool.rs`: all kernel parallelism must route through
+//!   the persistent pool (per-call spawns were the 15× regression the pool
+//!   replaced). Long-lived employee threads use `thread::Builder`, which the
+//!   token scan deliberately permits.
 //!
 //! Grandfathered findings live in `xtask-allow.txt` at the repo root, one
 //! per line as `<lint> <path>` or `<lint> <path>:<line>`; `#` starts a
@@ -37,8 +42,11 @@
 //!
 //! `cargo xtask bench` runs the kernel/episode benchmark suite and appends
 //! to the `BENCH_kernels.json` trajectory at the repo root; `--smoke` runs
-//! minimal iterations against a throwaway file under `target/` and only
-//! validates the artifact schema (the CI `bench-smoke` job).
+//! minimal iterations against a throwaway file under `target/`, validates
+//! the artifact schema and gates matmul throughput against the last
+//! committed full run (the CI `bench-smoke` job): any matched
+//! `(op, shape, threads)` GFLOP/s dropping below 75% of the committed
+//! number fails the task.
 
 use std::fmt;
 use std::fs;
@@ -99,7 +107,8 @@ fn main() -> ExitCode {
                  regen-golden   regenerate tests/fixtures/golden_trace.json\n          \
                  from the current code\n  \
                  bench   kernel/episode benchmarks -> BENCH_kernels.json\n          \
-                 (--smoke: minimal iterations, schema check only)"
+                 (--smoke: minimal iterations, schema check + matmul\n          \
+                 regression gate vs the last committed full run)"
             );
             return ExitCode::from(2);
         }
@@ -206,7 +215,105 @@ fn run_bench(root: &Path, smoke: bool) -> bool {
     if !run_cargo(root, &args) {
         return false;
     }
-    validate_bench_artifact(&out)
+    if !validate_bench_artifact(&out) {
+        return false;
+    }
+    if smoke {
+        return check_bench_regression(root, &out);
+    }
+    true
+}
+
+/// Fraction of a committed GFLOP/s number a smoke run must reach; below
+/// this the bench gate fails.
+const BENCH_REGRESSION_FLOOR: f64 = 0.75;
+
+/// Gates a smoke run's matmul throughput against the last committed *full*
+/// run in `BENCH_kernels.json`.
+///
+/// Only `matmul_*` records are compared — they run at full iteration count
+/// even in smoke mode, so their GFLOP/s are statistically meaningful, and
+/// they are the numbers the kernel-dispatch work is judged by. Records are
+/// matched on exact `(op, shape, threads)`; ops present on only one side
+/// (a new benchmark, or one that was renamed) are skipped with a note. A
+/// missing or full-run-free trajectory skips the gate — there is nothing to
+/// regress against.
+fn check_bench_regression(root: &Path, smoke_path: &Path) -> bool {
+    let committed_path = root.join("BENCH_kernels.json");
+    let Some(committed) = last_run_results(&committed_path, Some("full")) else {
+        eprintln!(
+            "xtask: bench gate skipped: no committed full run in {}",
+            committed_path.display()
+        );
+        return true;
+    };
+    let Some(smoke) = last_run_results(smoke_path, None) else {
+        eprintln!("xtask: bench gate: smoke artifact {} has no runs", smoke_path.display());
+        return false;
+    };
+
+    let mut ok = true;
+    let mut compared = 0usize;
+    for (key, smoke_gflops) in &smoke {
+        if !key.0.starts_with("matmul") || *smoke_gflops <= 0.0 {
+            continue;
+        }
+        let Some(committed_gflops) = committed.iter().find(|(k, _)| k == key).map(|(_, g)| *g)
+        else {
+            eprintln!(
+                "xtask: bench gate: {} {} t{} has no committed baseline (new record?)",
+                key.0, key.1, key.2
+            );
+            continue;
+        };
+        compared += 1;
+        let floor = committed_gflops * BENCH_REGRESSION_FLOOR;
+        if *smoke_gflops < floor {
+            eprintln!(
+                "xtask: bench gate FAIL: {} {} t{}: {smoke_gflops:.2} GFLOP/s < 75% of \
+                 committed {committed_gflops:.2}",
+                key.0, key.1, key.2
+            );
+            ok = false;
+        } else {
+            eprintln!(
+                "xtask: bench gate ok: {} {} t{}: {smoke_gflops:.2} GFLOP/s vs committed \
+                 {committed_gflops:.2}",
+                key.0, key.1, key.2
+            );
+        }
+    }
+    if compared == 0 {
+        eprintln!("xtask: bench gate: no comparable matmul records; treating as pass");
+    }
+    ok
+}
+
+/// `(op, shape, threads)` identity of one bench record, paired with its
+/// measured GFLOP/s.
+type BenchRecord = ((String, String, u64), f64);
+
+/// Parses a bench trajectory and returns `((op, shape, threads), gflops)`
+/// for every result of the last run — optionally the last run with the
+/// given `mode` — or `None` when the file or a matching run is absent.
+fn last_run_results(path: &Path, mode: Option<&str>) -> Option<Vec<BenchRecord>> {
+    let text = fs::read_to_string(path).ok()?;
+    let v: serde::Value = serde_json::from_str(&text).ok()?;
+    let runs = v.as_seq()?;
+    let run = runs
+        .iter()
+        .rev()
+        .find(|r| mode.is_none_or(|m| r.get("mode").and_then(serde::Value::as_str) == Some(m)))?;
+    let results = run.get("results")?.as_seq()?;
+    let mut out = Vec::new();
+    for rec in results {
+        let op = rec.get("op")?.as_str()?.to_owned();
+        let shape = rec.get("shape")?.as_str()?.to_owned();
+        let threads = rec.get("threads")?.as_u64()?;
+        let gflops = rec.get("gflops")?.as_f64()?;
+        out.push(((op, shape, threads), gflops));
+    }
+    Some(out)
 }
 
 /// Structural check of the benchmark trajectory: a JSON array whose text
@@ -260,13 +367,15 @@ fn run_source_lints(root: &Path) -> bool {
     // (telemetry runs inside chief and employee hot paths, so it counts).
     for dir in ["crates/nn/src", "crates/env/src", "crates/rl/src", "crates/telemetry/src"] {
         for file in rust_files(&root.join(dir)) {
-            lint_file(&file, root, &mut findings, true, false, false);
+            lint_file(&file, root, &mut findings, true, false, false, false);
         }
     }
-    // lock-across-send and no-process-exit run over every first-party crate
-    // (the shims implement the locking primitives themselves and are
-    // exempt); pub-docs only where the policy demands it: vc-nn and vc-rl.
-    // Binaries under src/bin/ may exit; libraries must return errors.
+    // lock-across-send, no-process-exit and no-raw-thread run over every
+    // first-party crate (the shims implement the locking primitives
+    // themselves and are exempt); pub-docs only where the policy demands it:
+    // vc-nn and vc-rl. Binaries under src/bin/ may exit; libraries must
+    // return errors. The persistent kernel pool is the one module allowed to
+    // create threads.
     for dir in [
         "crates/nn/src",
         "crates/env/src",
@@ -280,7 +389,8 @@ fn run_source_lints(root: &Path) -> bool {
         let want_docs = dir == "crates/nn/src" || dir == "crates/rl/src";
         for file in rust_files(&root.join(dir)) {
             let in_bin = file.components().any(|c| c.as_os_str() == "bin");
-            lint_file(&file, root, &mut findings, false, want_docs, !in_bin);
+            let is_pool = file.ends_with("crates/nn/src/ops/pool.rs");
+            lint_file(&file, root, &mut findings, false, want_docs, !in_bin, !is_pool);
         }
     }
 
@@ -365,8 +475,8 @@ struct LockGuard {
 
 /// Scans one file for the custom lints, appending findings.
 ///
-/// `check_unwrap` / `check_docs` / `check_exit` select the per-crate lints;
-/// the lock-across-send lint always runs.
+/// `check_unwrap` / `check_docs` / `check_exit` / `check_threads` select the
+/// per-crate lints; the lock-across-send lint always runs.
 fn lint_file(
     file: &Path,
     root: &Path,
@@ -374,6 +484,7 @@ fn lint_file(
     check_unwrap: bool,
     check_docs: bool,
     check_exit: bool,
+    check_threads: bool,
 ) {
     let Ok(text) = fs::read_to_string(file) else { return };
     let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
@@ -414,6 +525,16 @@ fn lint_file(
         }
 
         if !in_test {
+            if check_threads && (s.contains("thread::spawn(") || s.contains("thread::scope(")) {
+                findings.push(Finding {
+                    lint: "no-raw-thread",
+                    path: rel.clone(),
+                    line: lineno,
+                    msg: "raw thread::spawn/thread::scope outside the kernel pool; \
+                          route parallel work through vc_nn::ops::pool"
+                        .to_owned(),
+                });
+            }
             if check_unwrap && (s.contains(".unwrap()") || s.contains(".expect(")) {
                 findings.push(Finding {
                     lint: "no-unwrap",
@@ -659,7 +780,7 @@ mod tests {
         )
         .unwrap();
         let mut findings = Vec::new();
-        lint_file(&file, &dir, &mut findings, false, false, false);
+        lint_file(&file, &dir, &mut findings, false, false, false, false);
         let locks: Vec<_> = findings.iter().filter(|f| f.lint == "lock-across-send").collect();
         assert_eq!(locks.len(), 1, "exactly the bad fn must fire");
         assert_eq!(locks[0].line, 3);
@@ -680,7 +801,7 @@ mod tests {
         )
         .unwrap();
         let mut findings = Vec::new();
-        lint_file(&file, &dir, &mut findings, true, false, false);
+        lint_file(&file, &dir, &mut findings, true, false, false, false);
         let unwraps: Vec<_> = findings.iter().filter(|f| f.lint == "no-unwrap").collect();
         assert_eq!(unwraps.len(), 1);
         assert_eq!(unwraps[0].line, 1);
@@ -698,15 +819,111 @@ mod tests {
         )
         .unwrap();
         let mut findings = Vec::new();
-        lint_file(&file, &dir, &mut findings, false, false, true);
+        lint_file(&file, &dir, &mut findings, false, false, true, false);
         let exits: Vec<_> = findings.iter().filter(|f| f.lint == "no-process-exit").collect();
         assert_eq!(exits.len(), 1, "only the real call fires, not strings/comments");
         assert_eq!(exits[0].line, 1);
 
         // The same file scanned as a binary source is exempt.
         let mut bin_findings = Vec::new();
-        lint_file(&file, &dir, &mut bin_findings, false, false, false);
+        lint_file(&file, &dir, &mut bin_findings, false, false, false, false);
         assert!(bin_findings.iter().all(|f| f.lint != "no-process-exit"));
+    }
+
+    #[test]
+    fn raw_thread_lint_fires_only_when_enabled() {
+        let dir = std::env::temp_dir().join("xtask-lint-test4");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("case.rs");
+        fs::write(
+            &file,
+            "fn bad() { std::thread::spawn(|| {}); }\n\
+             fn also_bad() { std::thread::scope(|s| {}); }\n\
+             fn fine() { std::thread::Builder::new().spawn(|| {}); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   fn t() { std::thread::spawn(|| {}); }\n\
+             }\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        lint_file(&file, &dir, &mut findings, false, false, false, true);
+        let threads: Vec<_> = findings.iter().filter(|f| f.lint == "no-raw-thread").collect();
+        assert_eq!(threads.len(), 2, "spawn + scope fire; Builder and tests do not");
+        assert_eq!(threads[0].line, 1);
+        assert_eq!(threads[1].line, 2);
+
+        // The pool module is scanned with the lint disabled.
+        let mut pool_findings = Vec::new();
+        lint_file(&file, &dir, &mut pool_findings, false, false, false, false);
+        assert!(pool_findings.iter().all(|f| f.lint != "no-raw-thread"));
+    }
+
+    #[test]
+    fn bench_regression_gate_compares_last_full_run() {
+        let dir = std::env::temp_dir().join("xtask-bench-gate-test");
+        fs::create_dir_all(&dir).unwrap();
+        let committed = dir.join("BENCH_kernels.json");
+        let rec = |op: &str, gflops: f64| {
+            format!(
+                "{{\"op\":\"{op}\",\"shape\":\"256x256x256\",\"threads\":2,\
+                 \"iters\":20,\"ns_per_iter\":1.0,\"gflops\":{gflops}}}"
+            )
+        };
+        fs::write(
+            &committed,
+            format!(
+                "[{{\"schema_version\":1,\"mode\":\"full\",\"unix_time_s\":1,\
+                 \"results\":[{}]}},\
+                 {{\"schema_version\":1,\"mode\":\"smoke\",\"unix_time_s\":2,\
+                 \"results\":[{}]}}]",
+                rec("matmul_blocked", 60.0),
+                rec("matmul_blocked", 1.0), // trailing smoke run must be ignored
+            ),
+        )
+        .unwrap();
+
+        // Full-run baseline is found even with a smoke run appended after it.
+        let full = last_run_results(&committed, Some("full")).unwrap();
+        assert_eq!(full.len(), 1);
+        assert!((full[0].1 - 60.0).abs() < 1e-9);
+
+        // A healthy smoke run passes the gate…
+        let smoke = dir.join("smoke.json");
+        fs::write(
+            &smoke,
+            format!(
+                "[{{\"schema_version\":1,\"mode\":\"smoke\",\"unix_time_s\":3,\
+                 \"results\":[{}]}}]",
+                rec("matmul_blocked", 55.0)
+            ),
+        )
+        .unwrap();
+        assert!(check_bench_regression(&dir, &smoke));
+
+        // …a >25% drop fails it…
+        fs::write(
+            &smoke,
+            format!(
+                "[{{\"schema_version\":1,\"mode\":\"smoke\",\"unix_time_s\":3,\
+                 \"results\":[{}]}}]",
+                rec("matmul_blocked", 30.0)
+            ),
+        )
+        .unwrap();
+        assert!(!check_bench_regression(&dir, &smoke));
+
+        // …and an unmatched record is skipped, not failed.
+        fs::write(
+            &smoke,
+            format!(
+                "[{{\"schema_version\":1,\"mode\":\"smoke\",\"unix_time_s\":3,\
+                 \"results\":[{}]}}]",
+                rec("matmul_new_op", 0.1)
+            ),
+        )
+        .unwrap();
+        assert!(check_bench_regression(&dir, &smoke));
     }
 
     #[test]
