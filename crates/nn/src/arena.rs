@@ -32,14 +32,27 @@
 //! allocator. Global hit/miss/held counters feed the trainer's telemetry
 //! gauges (`nn_arena_*`).
 
+use crate::sync::atomic::{AtomicU64, Ordering};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-thread, per-class cap on parked buffers.
+#[cfg(not(loom))]
 const MAX_BUFFERS: usize = 512;
 /// Per-thread, per-class cap on parked bytes (256 MiB).
+#[cfg(not(loom))]
 const MAX_HELD_BYTES: usize = 256 << 20;
 
+/// Model-checking caps, shrunk so `tests/loom_arena.rs` reaches the
+/// over-cap drop path with a handful of small buffers.
+#[cfg(loom)]
+const MAX_BUFFERS: usize = 2;
+#[cfg(loom)]
+const MAX_HELD_BYTES: usize = 64;
+
+// ordering: HITS/MISSES are monotonic telemetry counters; HELD_BYTES is a
+// sum of per-thread deltas where each thread only ever undoes its own
+// additions (freelists are thread-local), so no load of any of these gates
+// other memory — Relaxed throughout.
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static HELD_BYTES: AtomicU64 = AtomicU64::new(0);
@@ -58,17 +71,17 @@ pub struct ArenaStats {
 /// Reads the process-wide arena counters.
 pub fn arena_stats() -> ArenaStats {
     ArenaStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
-        held_bytes: HELD_BYTES.load(Ordering::Relaxed),
+        hits: HITS.load(Ordering::Relaxed), // ordering: telemetry (see statics)
+        misses: MISSES.load(Ordering::Relaxed), // ordering: telemetry (see statics)
+        held_bytes: HELD_BYTES.load(Ordering::Relaxed), // ordering: telemetry (see statics)
     }
 }
 
 /// Zeroes the hit/miss counters (held bytes track live state and are not
 /// reset).
 pub fn reset_arena_stats() {
-    HITS.store(0, Ordering::Relaxed);
-    MISSES.store(0, Ordering::Relaxed);
+    HITS.store(0, Ordering::Relaxed); // ordering: telemetry (see statics)
+    MISSES.store(0, Ordering::Relaxed); // ordering: telemetry (see statics)
 }
 
 /// One element class of the freelist: buffers sorted ascending by capacity.
@@ -94,11 +107,13 @@ impl<T> Shelf<T> {
         if idx < self.free.len() {
             let v = self.free.remove(idx);
             self.held_bytes -= v.capacity() * size_of::<T>();
+            // ordering: telemetry counters (see statics); each thread only
+            // subtracts bytes it previously added.
             HELD_BYTES.fetch_sub((v.capacity() * size_of::<T>()) as u64, Ordering::Relaxed);
-            HITS.fetch_add(1, Ordering::Relaxed);
+            HITS.fetch_add(1, Ordering::Relaxed); // ordering: telemetry (see statics)
             v
         } else {
-            MISSES.fetch_add(1, Ordering::Relaxed);
+            MISSES.fetch_add(1, Ordering::Relaxed); // ordering: telemetry (see statics)
             Vec::with_capacity(min_cap)
         }
     }
@@ -114,12 +129,14 @@ impl<T> Shelf<T> {
         let idx = self.free.partition_point(|p| p.capacity() < v.capacity());
         self.free.insert(idx, v);
         self.held_bytes += bytes;
-        HELD_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+        HELD_BYTES.fetch_add(bytes as u64, Ordering::Relaxed); // ordering: telemetry (see statics)
     }
 }
 
 impl<T> Drop for Shelf<T> {
     fn drop(&mut self) {
+        // ordering: telemetry (see statics); returns this thread's own
+        // contribution on thread exit.
         HELD_BYTES.fetch_sub(self.held_bytes as u64, Ordering::Relaxed);
     }
 }

@@ -60,6 +60,8 @@ pub mod optim;
 pub mod param;
 /// Checkpoint save/load.
 pub mod serialize;
+/// Sync primitive facade: std normally, `loom` models under `--cfg loom`.
+pub mod sync;
 /// The dense row-major tensor.
 pub mod tensor;
 

@@ -44,7 +44,7 @@
 
 use crate::arena;
 use crate::ops::pool;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
 /// Rows per register tile of the micro-kernel.
@@ -73,12 +73,14 @@ static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(1);
 /// Clamped to at least 1. Results are bit-identical for every setting, so
 /// this is purely a throughput knob.
 pub fn set_kernel_threads(n: usize) {
+    // ordering: standalone tuning knob; readers act on whatever value they
+    // see and no other memory is published through it.
     KERNEL_THREADS.store(n.max(1), Ordering::Relaxed);
 }
 
 /// The current kernel thread budget (≥ 1).
 pub fn kernel_threads() -> usize {
-    KERNEL_THREADS.load(Ordering::Relaxed).max(1)
+    KERNEL_THREADS.load(Ordering::Relaxed).max(1) // ordering: tuning knob (see setter)
 }
 
 /// Gate for kernel telemetry. When off (the default) every instrumented
@@ -94,12 +96,14 @@ static GEMM_FLOPS: AtomicU64 = AtomicU64::new(0);
 
 /// Enables or disables kernel call/FLOP tallying.
 pub fn set_kernel_telemetry(on: bool) {
+    // ordering: standalone on/off flag; a dispatch racing the toggle may
+    // tally or not, both acceptable — nothing else is published through it.
     KERNEL_TELEMETRY.store(on, Ordering::Relaxed);
 }
 
 /// Whether kernel call/FLOP tallying is currently enabled.
 pub fn kernel_telemetry_enabled() -> bool {
-    KERNEL_TELEMETRY.load(Ordering::Relaxed)
+    KERNEL_TELEMETRY.load(Ordering::Relaxed) // ordering: on/off flag (see setter)
 }
 
 /// A snapshot of the kernel telemetry counters.
@@ -114,15 +118,15 @@ pub struct KernelCounters {
 /// Reads the kernel telemetry counters.
 pub fn kernel_counters() -> KernelCounters {
     KernelCounters {
-        gemm_calls: GEMM_CALLS.load(Ordering::Relaxed),
-        gemm_flops: GEMM_FLOPS.load(Ordering::Relaxed),
+        gemm_calls: GEMM_CALLS.load(Ordering::Relaxed), // ordering: telemetry counter
+        gemm_flops: GEMM_FLOPS.load(Ordering::Relaxed), // ordering: telemetry counter
     }
 }
 
 /// Zeroes the kernel telemetry counters (e.g. at the start of a run).
 pub fn reset_kernel_counters() {
-    GEMM_CALLS.store(0, Ordering::Relaxed);
-    GEMM_FLOPS.store(0, Ordering::Relaxed);
+    GEMM_CALLS.store(0, Ordering::Relaxed); // ordering: telemetry counter
+    GEMM_FLOPS.store(0, Ordering::Relaxed); // ordering: telemetry counter
 }
 
 /// Unblocked reference matmul: `out = A·B` with `A: [m,k]`, `B: [k,n]`,
@@ -163,8 +167,11 @@ pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize,
     assert_eq!(a.len(), m * k, "gemm lhs length");
     assert_eq!(b.len(), k * n, "gemm rhs length");
     assert_eq!(out.len(), m * n, "gemm out length");
+    // ordering: telemetry gate + monotonic counters; dispatches racing a
+    // toggle may miss a tally, which telemetry tolerates.
     if KERNEL_TELEMETRY.load(Ordering::Relaxed) {
-        GEMM_CALLS.fetch_add(1, Ordering::Relaxed);
+        GEMM_CALLS.fetch_add(1, Ordering::Relaxed); // ordering: telemetry counter
+                                                    // ordering: telemetry counter (see the gate comment above).
         GEMM_FLOPS.fetch_add(2 * (m as u64) * (k as u64) * (n as u64), Ordering::Relaxed);
     }
     let threads = threads.max(1).min(m);

@@ -28,35 +28,134 @@
 //!   translates back into a panic on the calling thread (matching scoped
 //!   `std::thread::scope` semantics).
 //!
+//! All primitives come from [`crate::sync`], so under `--cfg loom` the
+//! dispatch protocol (enqueue vs spin vs park/unpark vs caller helping) is
+//! exhaustively model-checked by `tests/loom_pool.rs`; the happens-before
+//! contract itself is written down in `DESIGN.md` §13.
+//!
 //! This is the only module in the workspace allowed to create threads
 //! (enforced by `cargo xtask check`'s `no-raw-thread` lint);
 //! [`run_scoped_rows`] keeps the old scoped-spawn path alive behind that
 //! exemption as a differential baseline for benches and equivalence tests.
 
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{hint, thread, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
 
 /// A unit of pool work: an owning closure, run exactly once on any thread.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Brief spin before a worker parks; deliberately short so workers on
 /// oversubscribed machines yield the core back to the dispatcher quickly.
+#[cfg(not(loom))]
 const WORKER_SPINS: u32 = 256;
+/// Under the model every spin iteration is two scheduling points; one
+/// iteration is enough to cover the spin→recheck→park branch structure.
+#[cfg(loom)]
+const WORKER_SPINS: u32 = 1;
 
+/// The pool's shared dispatch state. Instantiated once process-wide via
+/// [`shared`]; loom models build private instances (fresh state per
+/// explored execution) through [`model::ModelPool`].
 struct Shared {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     /// Queue length mirror; lets spinning workers poll without the lock.
+    /// Written only while holding `queue` (Release), read lock-free
+    /// (Acquire): a reader that observes n > 0 may race a concurrent pop,
+    /// so a zero-length pop result is normal and handled.
     queued: AtomicUsize,
 }
 
 static SHARED: OnceLock<&'static Shared> = OnceLock::new();
+// ordering: all five counters are monotonic telemetry read only by
+// pool_stats(); no other memory depends on their values, so Relaxed is
+// sufficient everywhere they are touched.
 static WORKERS: AtomicUsize = AtomicUsize::new(0);
 static DISPATCHES: AtomicU64 = AtomicU64::new(0);
 static JOBS_EXECUTED: AtomicU64 = AtomicU64::new(0);
 static JOBS_HELPED: AtomicU64 = AtomicU64::new(0);
 static PARKS: AtomicU64 = AtomicU64::new(0);
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            queued: AtomicUsize::new(0),
+        }
+    }
+
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        // A poisoned queue only means a *pop* panicked mid-hold, which
+        // popping never does; job panics happen outside the lock. Recover
+        // the guard.
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn pop_job(&self) -> Option<Job> {
+        if self.queued.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.lock_queue();
+        let job = q.pop_front();
+        if job.is_some() {
+            self.queued.fetch_sub(1, Ordering::Release);
+        }
+        job
+    }
+
+    /// Enqueues a batch of jobs and wakes the workers.
+    fn submit(&self, jobs: Vec<Job>) {
+        let n = jobs.len();
+        {
+            let mut q = self.lock_queue();
+            q.extend(jobs);
+            self.queued.fetch_add(n, Ordering::Release);
+        }
+        self.available.notify_all();
+    }
+
+    /// Pops and runs one job inline; `false` when the queue is empty.
+    fn try_run_one(&self) -> bool {
+        match self.pop_job() {
+            Some(job) => {
+                job();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// One scheduling round of a worker: runs one job (returns `true`), or
+    /// spins briefly and — if the queue stays empty — parks until woken
+    /// (returns `false`; the caller loops back to re-attempt the pop).
+    ///
+    /// The park is a `wait_while` predicate loop on the queue itself, so a
+    /// submit that lands between the failed spin and the park is seen
+    /// before sleeping — the lost-wakeup window the loom model pins shut.
+    fn worker_step(&self) -> bool {
+        if let Some(job) = self.pop_job() {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            return true;
+        }
+        for _ in 0..WORKER_SPINS {
+            hint::spin_loop();
+            if self.queued.load(Ordering::Acquire) > 0 {
+                return false;
+            }
+        }
+        // ordering: monotonic telemetry counter (see statics above).
+        PARKS.fetch_add(1, Ordering::Relaxed);
+        let guard = self.lock_queue();
+        let guard = self
+            .available
+            .wait_while(guard, |q| q.is_empty())
+            .unwrap_or_else(PoisonError::into_inner);
+        drop(guard);
+        false
+    }
+}
 
 /// A snapshot of the pool's lifetime counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -75,68 +174,27 @@ pub struct PoolStats {
 
 /// Reads the pool's lifetime counters.
 pub fn pool_stats() -> PoolStats {
+    // ordering: monotonic telemetry counters; snapshot consistency across
+    // the five loads is not required (see statics above).
     PoolStats {
-        workers: WORKERS.load(Ordering::Relaxed),
-        dispatches: DISPATCHES.load(Ordering::Relaxed),
-        jobs_executed: JOBS_EXECUTED.load(Ordering::Relaxed),
-        jobs_helped: JOBS_HELPED.load(Ordering::Relaxed),
-        parks: PARKS.load(Ordering::Relaxed),
+        workers: WORKERS.load(Ordering::Relaxed), // ordering: see above
+        dispatches: DISPATCHES.load(Ordering::Relaxed), // ordering: see above
+        jobs_executed: JOBS_EXECUTED.load(Ordering::Relaxed), // ordering: see above
+        jobs_helped: JOBS_HELPED.load(Ordering::Relaxed), // ordering: see above
+        parks: PARKS.load(Ordering::Relaxed),     // ordering: see above
     }
 }
 
 fn shared() -> &'static Shared {
-    SHARED.get_or_init(|| {
-        Box::leak(Box::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
-            queued: AtomicUsize::new(0),
-        }))
-    })
-}
-
-fn lock_queue(s: &'static Shared) -> std::sync::MutexGuard<'static, VecDeque<Job>> {
-    // A poisoned queue only means a *pop* panicked mid-hold, which popping
-    // never does; job panics happen outside the lock. Recover the guard.
-    s.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-fn pop_job(s: &'static Shared) -> Option<Job> {
-    if s.queued.load(Ordering::Acquire) == 0 {
-        return None;
-    }
-    let mut q = lock_queue(s);
-    let job = q.pop_front();
-    if job.is_some() {
-        s.queued.fetch_sub(1, Ordering::Release);
-    }
-    job
+    SHARED.get_or_init(|| Box::leak(Box::new(Shared::new())))
 }
 
 fn worker_loop(s: &'static Shared) {
     loop {
-        if let Some(job) = pop_job(s) {
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        if s.worker_step() {
+            // ordering: monotonic telemetry counter (see statics above).
             JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
-            continue;
         }
-        let mut found = false;
-        for _ in 0..WORKER_SPINS {
-            std::hint::spin_loop();
-            if s.queued.load(Ordering::Acquire) > 0 {
-                found = true;
-                break;
-            }
-        }
-        if found {
-            continue;
-        }
-        PARKS.fetch_add(1, Ordering::Relaxed);
-        let guard = lock_queue(s);
-        let guard = s
-            .available
-            .wait_while(guard, |q| q.is_empty())
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        drop(guard);
     }
 }
 
@@ -146,19 +204,24 @@ fn worker_loop(s: &'static Shared) {
 pub fn ensure_workers(n: usize) {
     let s = shared();
     loop {
+        // ordering: WORKERS only gates how many threads exist; the spawned
+        // thread's visibility of pool state is established by the mutex,
+        // not by this counter, so the claim CAS can stay Relaxed.
         let cur = WORKERS.load(Ordering::Relaxed);
         if cur >= n {
             return;
         }
         // Claim the slot before spawning so racing dispatchers don't
         // over-spawn; roll back if the OS refuses the thread.
+        // ordering: pure slot accounting, same contract as the load above.
         if WORKERS.compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed).is_err() {
             continue;
         }
-        let spawned = std::thread::Builder::new()
+        let spawned = thread::Builder::new()
             .name(format!("vc-nn-kernel-{cur}"))
             .spawn(move || worker_loop(s));
         if spawned.is_err() {
+            // ordering: rollback of the Relaxed claim above.
             WORKERS.fetch_sub(1, Ordering::Relaxed);
             return;
         }
@@ -167,29 +230,21 @@ pub fn ensure_workers(n: usize) {
 
 /// Enqueues a batch of jobs and wakes the workers. Records one dispatch.
 pub fn submit(jobs: Vec<Job>) {
-    let s = shared();
+    // ordering: monotonic telemetry counter (see statics above).
     DISPATCHES.fetch_add(1, Ordering::Relaxed);
-    let n = jobs.len();
-    {
-        let mut q = lock_queue(s);
-        q.extend(jobs);
-        s.queued.fetch_add(n, Ordering::Release);
-    }
-    s.available.notify_all();
+    shared().submit(jobs);
 }
 
 /// Pops and runs one queued job on the calling thread. Returns `false` when
 /// the queue is empty. Dispatchers call this in their wait loop so work
 /// always completes even if every worker is busy or absent.
 pub fn try_run_one() -> bool {
-    let s = shared();
-    match pop_job(s) {
-        Some(job) => {
-            job();
-            JOBS_HELPED.fetch_add(1, Ordering::Relaxed);
-            true
-        }
-        None => false,
+    if shared().try_run_one() {
+        // ordering: monotonic telemetry counter (see statics above).
+        JOBS_HELPED.fetch_add(1, Ordering::Relaxed);
+        true
+    } else {
+        false
     }
 }
 
@@ -213,6 +268,57 @@ pub fn run_scoped_rows(
     });
 }
 
+/// Model-checking surface: a private pool instance with fresh state per
+/// explored execution, driving the *same* `Shared` protocol code the
+/// production statics use. Worker loops are exercised one [`worker_step`]
+/// at a time so model executions terminate.
+///
+/// [`worker_step`]: ModelPool::worker_step
+#[cfg(loom)]
+pub mod model {
+    use super::{Job, Ordering, Shared};
+
+    /// A self-contained pool for `loom` models (see `tests/loom_pool.rs`).
+    pub struct ModelPool {
+        shared: Shared,
+    }
+
+    impl ModelPool {
+        /// A pool with an empty queue and no workers.
+        #[must_use]
+        pub fn new() -> Self {
+            ModelPool { shared: Shared::new() }
+        }
+
+        /// [`super::submit`] against this instance (no telemetry).
+        pub fn submit(&self, jobs: Vec<Job>) {
+            self.shared.submit(jobs);
+        }
+
+        /// [`super::try_run_one`] against this instance (no telemetry).
+        pub fn try_run_one(&self) -> bool {
+            self.shared.try_run_one()
+        }
+
+        /// One worker scheduling round; see `Shared::worker_step`.
+        pub fn worker_step(&self) -> bool {
+            self.shared.worker_step()
+        }
+
+        /// The lock-free queue-length mirror.
+        #[must_use]
+        pub fn queued(&self) -> usize {
+            self.shared.queued.load(Ordering::Acquire)
+        }
+    }
+
+    impl Default for ModelPool {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -229,18 +335,18 @@ mod tests {
             .map(|_| {
                 let hits = Arc::clone(&hits);
                 Box::new(move || {
-                    hits.fetch_add(1, Ordering::Relaxed);
+                    hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 }) as Job
             })
             .collect();
         submit(jobs);
         // Workers may exist from other tests; help until the count lands.
-        while hits.load(Ordering::Relaxed) < 8 {
+        while hits.load(std::sync::atomic::Ordering::Relaxed) < 8 {
             if !try_run_one() {
                 std::hint::spin_loop();
             }
         }
-        assert_eq!(hits.load(Ordering::Relaxed), 8);
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 8);
     }
 
     #[test]

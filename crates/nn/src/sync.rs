@@ -1,0 +1,29 @@
+//! Synchronization facade: std primitives normally, `loom` models under
+//! `--cfg loom`.
+//!
+//! Concurrent modules ([`crate::ops::pool`], [`crate::arena`]) import their
+//! primitives from here instead of `std::sync` directly. In ordinary builds
+//! every name is a plain re-export of the std type — zero wrappers, zero
+//! hot-path overhead. Under `RUSTFLAGS="--cfg loom"` the same names resolve
+//! to the `loom` shim's model-aware types, so the loom test suites
+//! (`tests/loom_*.rs`) can exhaustively explore the interleavings of the
+//! real production code paths. See `DESIGN.md` §13 for the memory-model
+//! contracts this facade lets us check.
+
+#[cfg(not(loom))]
+pub use std::sync::atomic;
+#[cfg(not(loom))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+#[cfg(not(loom))]
+pub use std::{hint, thread};
+
+#[cfg(loom)]
+pub use loom::sync::atomic;
+#[cfg(loom)]
+pub use loom::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+#[cfg(loom)]
+pub use loom::{hint, thread};
+
+// Poison handling is std's in both modes (the loom shim reuses std's
+// `LockResult`/`PoisonError`, always returning `Ok`).
+pub use std::sync::{LockResult, PoisonError};

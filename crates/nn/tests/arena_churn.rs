@@ -1,0 +1,76 @@
+//! Multi-thread stress test for the tensor arena (`vc_nn::arena`).
+//!
+//! Eight threads churn take/put cycles over a spread of buffer sizes and
+//! the process-wide counters must stay exact: every take is either a hit
+//! or a miss, parked bytes never exceed the documented per-thread cap, and
+//! once every thread has exited (running its freelist TLS destructor) the
+//! arena holds exactly what it held before the churn.
+//!
+//! The loom suite (`tests/loom_arena.rs`) proves the same invariants
+//! exhaustively over a tiny schedule space; this test covers real parallel
+//! timing at scale on actual OS threads.
+
+use vc_nn::arena::{arena_stats, put_f32, put_usize, take_f32, take_f32_zeroed, take_usize};
+
+const THREADS: u64 = 8;
+const ROUNDS: u64 = 200;
+/// Takes per round per thread: 3 f32 takes + 1 usize take.
+const TAKES_PER_ROUND: u64 = 4;
+/// Documented per-thread, per-class parked-bytes cap (see `arena.rs`).
+const MAX_HELD_BYTES_PER_CLASS: u64 = 256 << 20;
+/// Element classes exercised here: `f32` and `usize`.
+const CLASSES: u64 = 2;
+
+#[test]
+fn eight_thread_churn_keeps_counters_exact() {
+    let before = arena_stats();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    // Vary capacities per thread and round so freelists see
+                    // both exact-fit reuse and first-fit-larger reuse.
+                    let cap = 16 + ((t * 37 + round * 11) % 240) as usize;
+                    let a = take_f32(cap);
+                    assert!(a.capacity() >= cap && a.is_empty());
+                    let z = take_f32_zeroed(cap / 2);
+                    assert_eq!(z.len(), cap / 2);
+                    assert!(z.iter().all(|&x| x == 0.0), "recycled buffer not zeroed");
+                    let mut shape = take_usize(4);
+                    shape.extend_from_slice(&[2, 3, cap, 1]);
+                    let b = take_f32(cap * 2);
+                    put_f32(a);
+                    put_f32(b);
+                    put_f32(z);
+                    put_usize(shape);
+                    let held = arena_stats().held_bytes;
+                    assert!(
+                        held <= THREADS * CLASSES * MAX_HELD_BYTES_PER_CLASS,
+                        "parked bytes {held} exceed the documented cap"
+                    );
+                }
+            });
+        }
+    });
+    let after = arena_stats();
+    let takes = THREADS * ROUNDS * TAKES_PER_ROUND;
+    let hits = after.hits - before.hits;
+    let misses = after.misses - before.misses;
+    assert_eq!(hits + misses, takes, "every take must be counted as a hit or a miss");
+    assert!(hits > 0, "churn over repeated sizes must produce recycling hits");
+    // `join` may return before the exiting thread's TLS destructors have
+    // finished, so parked bytes can lag briefly; they must converge back to
+    // the pre-churn level once every freelist destructor has run.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let held = arena_stats().held_bytes;
+        if held == before.held_bytes {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "thread exit must return every parked byte to the allocator (still {held} parked)"
+        );
+        std::thread::yield_now();
+    }
+}

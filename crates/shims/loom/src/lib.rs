@@ -1,0 +1,309 @@
+//! Offline stand-in for `loom` (see `DESIGN.md`, "Offline dependency
+//! shims"): a **bounded-exhaustive concurrency model checker** exposing the
+//! `loom` API subset this workspace uses.
+//!
+//! [`model`] runs a closure repeatedly, exploring thread interleavings via
+//! depth-first search over *scheduling points* — every operation on the
+//! shim's [`sync`] primitives and [`thread`] API. Exactly one model thread
+//! runs at a time (a turn token handed around by a controlled scheduler),
+//! so each execution is deterministic and replayable; between executions
+//! the last undecided scheduling choice is advanced until the space is
+//! exhausted. Assertion failures, panics, and **deadlocks** (including
+//! lost condvar wakeups) in *any* explored interleaving fail the model
+//! with the first failing execution's message.
+//!
+//! ## Scope and honesty
+//!
+//! * Interleavings are explored at **sequential consistency**: the
+//!   `Ordering` arguments on [`sync::atomic`] types are accepted for API
+//!   compatibility but weak-memory reorderings are not modelled (real loom
+//!   models C11 orderings; this shim cannot). ThreadSanitizer in CI covers
+//!   the ordering axis on real hardware — see `cargo xtask analyze`.
+//! * Exploration is **context-bounded**: at most `LOOM_MAX_PREEMPTIONS`
+//!   involuntary switches per execution (default 2; `0` = unbounded full
+//!   DFS). Empirically almost all schedule-sensitive bugs need ≤ 2
+//!   preemptions, and the bound keeps suites fast enough for CI.
+//! * Spurious condvar wakeups are not generated; a missed notification
+//!   therefore shows up as a deadlock, the bug class it causes in practice.
+//! * Executions are capped by `LOOM_MAX_ITERATIONS` (default 250 000); an
+//!   exploration that hits the cap prints a warning and passes, so model
+//!   closures should stay small (a handful of threads and operations).
+//!
+//! Only code running *inside* [`model`] is checked; the primitives degrade
+//! to plain std behaviour outside, so `static` counters built on
+//! [`sync::atomic`] types keep working in ordinary `--cfg loom` builds.
+
+pub mod sync;
+pub mod thread;
+
+mod sched;
+
+use sched::{spawn_model, Choice, Sched};
+use std::sync::Arc;
+
+/// Model-aware spin hints.
+pub mod hint {
+    /// A scheduling point under the model; a real spin hint outside.
+    pub fn spin_loop() {
+        if crate::sched::current().is_some() {
+            crate::sched::sched_point();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Installs (once per process) a panic hook that silences the internal
+/// unwind token used to tear down aborted executions, plus deliberate
+/// panics tagged `[loom-contained]` by panic-containment tests. All other
+/// panics go to the previously installed hook.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<sched::AbortToken>() {
+                return;
+            }
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .map(ToOwned::to_owned)
+                .or_else(|| info.payload().downcast_ref::<String>().cloned());
+            if msg.as_deref().is_some_and(|m| m.contains("[loom-contained]")) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Explores the interleavings of `f` and panics on the first failing
+/// execution (assertion failure, panic, or deadlock).
+///
+/// `f` must be deterministic given a schedule: no wall-clock time, OS
+/// randomness, or state leaked between executions that decisions depend
+/// on. Shared state must go through [`sync`] primitives to be visible to
+/// the checker.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 250_000);
+    let f = Arc::new(f);
+    let mut prefix: Vec<Choice> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        let sched = Arc::new(Sched::new(std::mem::take(&mut prefix), max_preemptions));
+        let fx = Arc::clone(&f);
+        let (_tid, _slot) = spawn_model(&sched, move || fx());
+        let (failure, mut path) = sched.run_to_completion();
+        if let Some(msg) = failure {
+            panic!("loom: model failed on execution {executions}: {msg}");
+        }
+        // Backtrack: advance the deepest scheduling choice that still has
+        // untried alternatives, discarding everything after it.
+        let exhausted = loop {
+            match path.last_mut() {
+                None => break true,
+                Some(c) if c.index + 1 < c.alternatives => {
+                    c.index += 1;
+                    break false;
+                }
+                Some(_) => {
+                    path.pop();
+                }
+            }
+        };
+        if exhausted {
+            return;
+        }
+        if executions >= max_iterations {
+            eprintln!(
+                "loom: warning: exploration truncated after {executions} executions \
+                 (LOOM_MAX_ITERATIONS={max_iterations}); coverage is partial"
+            );
+            return;
+        }
+        prefix = path;
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The checker must *find* the lost update in an unsynchronized
+    /// load-then-store increment — the canonical two-thread race.
+    #[test]
+    fn finds_lost_update_race() {
+        let failed = catch_unwind(AssertUnwindSafe(|| {
+            super::model(|| {
+                let v = Arc::new(AtomicUsize::new(0));
+                let v2 = Arc::clone(&v);
+                let t = super::thread::spawn(move || {
+                    let cur = v2.load(Ordering::SeqCst);
+                    v2.store(cur + 1, Ordering::SeqCst);
+                });
+                let cur = v.load(Ordering::SeqCst);
+                v.store(cur + 1, Ordering::SeqCst);
+                t.join().unwrap();
+                assert_eq!(v.load(Ordering::SeqCst), 2, "[loom-contained] lost update");
+            });
+        }))
+        .is_err();
+        assert!(failed, "the model checker must discover the lost-update interleaving");
+    }
+
+    /// The same counter with an atomic RMW passes every interleaving.
+    #[test]
+    fn atomic_rmw_increment_is_race_free() {
+        super::model(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let v2 = Arc::clone(&v);
+            let t = super::thread::spawn(move || {
+                v2.fetch_add(1, Ordering::SeqCst);
+            });
+            v.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(v.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    /// Mutex-protected state is exclusive in every interleaving.
+    #[test]
+    fn mutex_excludes_and_publishes() {
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u32));
+            let m2 = Arc::clone(&m);
+            let t = super::thread::spawn(move || {
+                *m2.lock().unwrap() += 1;
+            });
+            *m.lock().unwrap() += 1;
+            t.join().unwrap();
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+    }
+
+    /// Both schedule orders of two racing writers are actually reached.
+    #[test]
+    fn explores_both_orders() {
+        use std::sync::Mutex as StdMutex;
+        let seen: &'static StdMutex<Vec<usize>> = Box::leak(Box::new(StdMutex::new(Vec::new())));
+        super::model(move || {
+            let v = Arc::new(AtomicUsize::new(0));
+            let v2 = Arc::clone(&v);
+            let t = super::thread::spawn(move || {
+                v2.store(1, Ordering::SeqCst);
+            });
+            v.store(2, Ordering::SeqCst);
+            t.join().unwrap();
+            seen.lock().unwrap().push(v.load(Ordering::SeqCst));
+        });
+        let seen = seen.lock().unwrap();
+        assert!(seen.contains(&1), "child-last order never explored");
+        assert!(seen.contains(&2), "parent-last order never explored");
+    }
+
+    /// ABBA lock ordering must be reported as a deadlock.
+    #[test]
+    fn detects_abba_deadlock() {
+        let failed = catch_unwind(AssertUnwindSafe(|| {
+            super::model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t = super::thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+                drop((_ga, _gb));
+                t.join().unwrap();
+            });
+        }))
+        .is_err();
+        assert!(failed, "ABBA ordering must deadlock in some interleaving");
+    }
+
+    /// A bare `wait` with no predicate loop misses a notification that
+    /// fires before the wait starts — found as a deadlock. The `wait_while`
+    /// variant passes. This is the `condvar-predicate` lint's rationale.
+    #[test]
+    fn finds_lost_wakeup_on_bare_wait() {
+        let failed = catch_unwind(AssertUnwindSafe(|| {
+            super::model(|| {
+                let pair = Arc::new((Mutex::new(false), Condvar::new()));
+                let pair2 = Arc::clone(&pair);
+                let t = super::thread::spawn(move || {
+                    *pair2.0.lock().unwrap() = true;
+                    pair2.1.notify_one();
+                });
+                let ready = pair.0.lock().unwrap();
+                // BUG (deliberate): waiting without checking the predicate;
+                // if the notifier already ran, the wakeup is gone forever.
+                drop(pair.1.wait(ready).unwrap());
+                t.join().unwrap();
+            });
+        }))
+        .is_err();
+        assert!(failed, "bare condvar wait must lose a wakeup in some interleaving");
+
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let t = super::thread::spawn(move || {
+                *pair2.0.lock().unwrap() = true;
+                pair2.1.notify_one();
+            });
+            let ready = pair.0.lock().unwrap();
+            let ready = pair.1.wait_while(ready, |r| !*r).unwrap();
+            assert!(*ready);
+            drop(ready);
+            t.join().unwrap();
+        });
+    }
+
+    /// Flag handoff through SeqCst atomics is correct in every order.
+    #[test]
+    fn flag_handoff_is_visible() {
+        super::model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let data = Arc::new(AtomicUsize::new(0));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = super::thread::spawn(move || {
+                d2.store(42, Ordering::SeqCst);
+                f2.store(true, Ordering::SeqCst);
+            });
+            if flag.load(Ordering::SeqCst) {
+                assert_eq!(data.load(Ordering::SeqCst), 42, "flag set but data not visible");
+            }
+            t.join().unwrap();
+        });
+    }
+
+    /// Primitives work as plain std types outside a model.
+    #[test]
+    fn degrades_to_std_outside_model() {
+        static COUNT: AtomicUsize = AtomicUsize::new(0);
+        COUNT.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(COUNT.load(Ordering::Relaxed), 3);
+        let m = Mutex::new(1);
+        *m.lock().unwrap() += 1;
+        assert_eq!(*m.lock().unwrap(), 2);
+        let t = super::thread::spawn(|| 7usize);
+        assert_eq!(t.join().unwrap(), 7);
+    }
+}

@@ -1,0 +1,489 @@
+//! The controlled scheduler behind [`crate::model`].
+//!
+//! One model execution runs every model thread on a real OS thread, but a
+//! single "turn token" (`State::cur`) ensures exactly one of them makes
+//! progress at any instant. Every shim primitive (atomic op, mutex acquire
+//! and release, condvar wait/notify, spawn/join/yield) calls back into the
+//! scheduler, which treats the call as a *scheduling point*: a place where
+//! the set of runnable threads is enumerated and one is chosen to run next.
+//!
+//! Exploration is a depth-first search over those choices. The first
+//! execution records, at each point with more than one runnable thread, a
+//! [`Choice`] with index 0; subsequent executions replay a mutated prefix
+//! and extend it. When every recorded choice has exhausted its
+//! alternatives, the (bounded) schedule space has been fully explored.
+//!
+//! Blocked threads (mutex contention, condvar waits, joins) are never
+//! candidates. If no thread is runnable while some are still blocked, the
+//! execution is reported as a **deadlock** — which is also how lost condvar
+//! wakeups surface. A thread panic aborts the whole model with the panic
+//! message; the remaining threads are unwound with an [`AbortToken`].
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard, PoisonError};
+
+/// Hard cap on scheduling points in a single execution; exceeding it means
+/// a runaway schedule (e.g. an unbounded spin) and aborts the model.
+const MAX_POINTS_PER_EXECUTION: usize = 1_000_000;
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (deadlock detected, another thread panicked, replay diverged). The
+/// process-wide panic hook installed by [`crate::model`] silences it.
+pub(crate) struct AbortToken;
+
+/// Why a model thread is not currently runnable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Block {
+    /// Waiting to acquire the mutex at this address.
+    Mutex(usize),
+    /// Waiting on the condvar at this address.
+    Condvar(usize),
+    /// Waiting for the thread with this id to finish.
+    Join(usize),
+}
+
+/// One recorded scheduling decision: which runnable-thread index was taken,
+/// out of how many alternatives. Only points with ≥ 2 alternatives are
+/// recorded; forced moves replay identically for free.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    pub(crate) index: usize,
+    pub(crate) alternatives: usize,
+}
+
+struct Th {
+    finished: bool,
+    blocked: Option<Block>,
+}
+
+pub(crate) struct State {
+    threads: Vec<Th>,
+    /// Turn token: the id of the one thread allowed to make progress.
+    cur: usize,
+    /// All threads finished; the execution completed normally.
+    pub(crate) done: bool,
+    /// The execution is being torn down (deadlock, panic, divergence).
+    pub(crate) abort: bool,
+    /// First failure message; propagated by the controller as a panic.
+    pub(crate) failure: Option<String>,
+    /// DFS decision path: replayed prefix + decisions appended this run.
+    pub(crate) path: Vec<Choice>,
+    /// Next position in `path` during replay.
+    pos: usize,
+    preemptions: usize,
+    max_preemptions: usize,
+    /// Mutex address → owning thread id.
+    locked: HashMap<usize, usize>,
+    /// Condvar address → FIFO of waiting thread ids.
+    cv_waiters: HashMap<usize, VecDeque<usize>>,
+    /// OS handles of every model thread, joined by the controller.
+    pub(crate) os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Sched {
+    state: OsMutex<State>,
+    /// Turn-token condvar: model threads wait here for their turn, and the
+    /// controller waits here for `done`/`abort`.
+    turn: OsCondvar,
+}
+
+thread_local! {
+    /// The scheduler and thread id of the current OS thread, when it is a
+    /// model thread. `None` outside `model()` — primitives then degrade to
+    /// their plain std behaviour.
+    static CURRENT: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler/thread-id pair for the calling thread, if it is a model
+/// thread. Uses `try_with` so thread-local destructors that touch shim
+/// atomics after teardown see `None` instead of panicking.
+pub(crate) fn current() -> Option<(Arc<Sched>, usize)> {
+    CURRENT.try_with(|c| c.borrow().clone()).ok().flatten()
+}
+
+/// Runs `sched.switch(tid)` when called from a model thread; no-op outside.
+pub(crate) fn sched_point() {
+    if let Some((sched, tid)) = current() {
+        sched.switch(tid);
+    }
+}
+
+fn lock_state(s: &Sched) -> OsGuard<'_, State> {
+    s.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Sched {
+    pub(crate) fn new(prefix: Vec<Choice>, max_preemptions: usize) -> Self {
+        Sched {
+            state: OsMutex::new(State {
+                threads: Vec::new(),
+                cur: 0,
+                done: false,
+                abort: false,
+                failure: None,
+                path: prefix,
+                pos: 0,
+                preemptions: 0,
+                max_preemptions,
+                locked: HashMap::new(),
+                cv_waiters: HashMap::new(),
+                os_handles: Vec::new(),
+            }),
+            turn: OsCondvar::new(),
+        }
+    }
+
+    /// Parks the calling model thread until it holds the turn token (or the
+    /// execution aborts).
+    fn wait_turn<'a>(&'a self, mut st: OsGuard<'a, State>, tid: usize) -> OsGuard<'a, State> {
+        while !st.abort && st.cur != tid {
+            st = self.turn.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st
+    }
+
+    /// Chooses the next thread to run. `self_runnable` is false when the
+    /// caller is blocking or finishing. Returns false when the execution
+    /// must abort (`st.abort`/`st.failure` are then set) and true otherwise
+    /// — including normal completion, which sets `st.done`.
+    fn pick_next(&self, st: &mut State, tid: usize, self_runnable: bool) -> bool {
+        let mut cands: Vec<usize> = Vec::new();
+        if self_runnable {
+            cands.push(tid);
+        }
+        for i in 0..st.threads.len() {
+            if i != tid && !st.threads[i].finished && st.threads[i].blocked.is_none() {
+                cands.push(i);
+            }
+        }
+        if cands.is_empty() {
+            if st.threads.iter().all(|t| t.finished) {
+                st.done = true;
+                return true;
+            }
+            let stuck: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.finished)
+                .map(|(i, t)| format!("thread {i} blocked on {:?}", t.blocked))
+                .collect();
+            st.abort = true;
+            st.failure =
+                Some(format!("deadlock: every live thread is blocked ({})", stuck.join("; ")));
+            return false;
+        }
+        // Preemption bounding (Musuvathi & Qadeer): once the budget is
+        // spent, a runnable thread is never switched away from, which keeps
+        // the DFS polynomial while still covering the schedules that find
+        // almost all real bugs. Budget 0 means unbounded (full DFS).
+        let bounded =
+            self_runnable && st.max_preemptions != 0 && st.preemptions >= st.max_preemptions;
+        let n_alts = if bounded { 1 } else { cands.len() };
+        let idx = if n_alts == 1 {
+            0
+        } else if st.pos < st.path.len() {
+            let c = st.path[st.pos];
+            if c.alternatives != n_alts {
+                st.abort = true;
+                st.failure = Some(format!(
+                    "nondeterministic model: replay point {} had {} alternatives, expected {}; \
+                     model closures must be deterministic (no wall-clock time or OS randomness)",
+                    st.pos, n_alts, c.alternatives
+                ));
+                return false;
+            }
+            st.pos += 1;
+            c.index
+        } else {
+            if st.path.len() >= MAX_POINTS_PER_EXECUTION {
+                st.abort = true;
+                st.failure = Some(
+                    "execution exceeded the scheduling-point cap (unbounded loop in the model?)"
+                        .to_owned(),
+                );
+                return false;
+            }
+            st.path.push(Choice { index: 0, alternatives: n_alts });
+            st.pos += 1;
+            0
+        };
+        let chosen = cands[idx];
+        if self_runnable && chosen != tid {
+            st.preemptions += 1;
+        }
+        st.cur = chosen;
+        true
+    }
+
+    /// Releases the state guard, wakes everyone, and unwinds the calling
+    /// model thread with an [`AbortToken`].
+    fn abort_unwind(&self, st: OsGuard<'_, State>) -> ! {
+        drop(st);
+        self.turn.notify_all();
+        std::panic::panic_any(AbortToken)
+    }
+
+    /// One scheduling point: enumerate runnable threads, pick the next per
+    /// the DFS path, and hand over or keep the turn token.
+    pub(crate) fn switch(&self, tid: usize) {
+        let mut st = lock_state(self);
+        if st.abort || !self.pick_next(&mut st, tid, true) {
+            self.abort_unwind(st);
+        }
+        if st.cur != tid {
+            self.turn.notify_all();
+            st = self.wait_turn(st, tid);
+            if st.abort {
+                self.abort_unwind(st);
+            }
+        }
+    }
+
+    /// Marks the caller blocked for `why`, schedules someone else, and
+    /// parks until a wake event clears the block and the token returns.
+    fn block_on(&self, tid: usize, why: Block) {
+        let mut st = lock_state(self);
+        if st.abort {
+            self.abort_unwind(st);
+        }
+        st.threads[tid].blocked = Some(why);
+        if !self.pick_next(&mut st, tid, false) {
+            self.abort_unwind(st);
+        }
+        self.turn.notify_all();
+        st = self.wait_turn(st, tid);
+        if st.abort {
+            self.abort_unwind(st);
+        }
+    }
+
+    /// Acquires the model mutex at `addr`, blocking (in model time) while
+    /// another thread owns it. One scheduling point precedes the attempt.
+    pub(crate) fn mutex_acquire(&self, tid: usize, addr: usize) {
+        self.switch(tid);
+        loop {
+            {
+                let mut st = lock_state(self);
+                if st.abort {
+                    self.abort_unwind(st);
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = st.locked.entry(addr) {
+                    e.insert(tid);
+                    return;
+                }
+            }
+            // Owned by someone else: block until an unlock clears us, then
+            // retry (another woken thread may have won the race).
+            self.block_on(tid, Block::Mutex(addr));
+        }
+    }
+
+    /// Releases the model mutex at `addr` and lets every thread blocked on
+    /// it retry. Also a scheduling point. Tolerates teardown: during an
+    /// abort (guard drops while unwinding) it does nothing.
+    pub(crate) fn mutex_release(&self, tid: usize, addr: usize) {
+        let mut st = lock_state(self);
+        if st.abort {
+            return;
+        }
+        st.locked.remove(&addr);
+        for th in &mut st.threads {
+            if th.blocked == Some(Block::Mutex(addr)) {
+                th.blocked = None;
+            }
+        }
+        if !self.pick_next(&mut st, tid, true) {
+            self.abort_unwind(st);
+        }
+        if st.cur != tid {
+            self.turn.notify_all();
+            st = self.wait_turn(st, tid);
+            if st.abort {
+                self.abort_unwind(st);
+            }
+        }
+    }
+
+    /// Atomically releases the mutex at `mutex_addr`, enqueues the caller
+    /// on the condvar at `cv_addr`, blocks until notified, and reacquires
+    /// the mutex — the model of `Condvar::wait`. Spurious wakeups are not
+    /// modelled.
+    pub(crate) fn condvar_wait(&self, tid: usize, cv_addr: usize, mutex_addr: usize) {
+        {
+            let mut st = lock_state(self);
+            if st.abort {
+                self.abort_unwind(st);
+            }
+            st.locked.remove(&mutex_addr);
+            for th in &mut st.threads {
+                if th.blocked == Some(Block::Mutex(mutex_addr)) {
+                    th.blocked = None;
+                }
+            }
+            st.cv_waiters.entry(cv_addr).or_default().push_back(tid);
+            st.threads[tid].blocked = Some(Block::Condvar(cv_addr));
+            if !self.pick_next(&mut st, tid, false) {
+                self.abort_unwind(st);
+            }
+            self.turn.notify_all();
+            st = self.wait_turn(st, tid);
+            if st.abort {
+                self.abort_unwind(st);
+            }
+        }
+        self.mutex_acquire(tid, mutex_addr);
+    }
+
+    /// Wakes one (FIFO) or all waiters of the condvar at `cv_addr`; they
+    /// then race to reacquire their mutex. Also a scheduling point.
+    pub(crate) fn condvar_notify(&self, tid: usize, cv_addr: usize, all: bool) {
+        let mut st = lock_state(self);
+        if st.abort {
+            self.abort_unwind(st);
+        }
+        let woken: Vec<usize> = match st.cv_waiters.get_mut(&cv_addr) {
+            Some(q) if all => q.drain(..).collect(),
+            Some(q) => q.pop_front().into_iter().collect(),
+            None => Vec::new(),
+        };
+        for t in woken {
+            st.threads[t].blocked = None;
+        }
+        if !self.pick_next(&mut st, tid, true) {
+            self.abort_unwind(st);
+        }
+        if st.cur != tid {
+            self.turn.notify_all();
+            st = self.wait_turn(st, tid);
+            if st.abort {
+                self.abort_unwind(st);
+            }
+        }
+    }
+
+    /// Blocks (in model time) until thread `target` finishes.
+    pub(crate) fn join_wait(&self, tid: usize, target: usize) {
+        self.switch(tid);
+        let finished = {
+            let st = lock_state(self);
+            if st.abort {
+                self.abort_unwind(st);
+            }
+            st.threads[target].finished
+        };
+        if !finished {
+            self.block_on(tid, Block::Join(target));
+        }
+    }
+
+    /// Marks the calling thread finished, wakes its joiners, and hands the
+    /// token to the next runnable thread (or completes the execution).
+    /// `failure` carries the panic message when the thread died panicking.
+    fn finish(&self, tid: usize, failure: Option<String>) {
+        let mut st = lock_state(self);
+        st.threads[tid].finished = true;
+        for th in &mut st.threads {
+            if th.blocked == Some(Block::Join(tid)) {
+                th.blocked = None;
+            }
+        }
+        if let Some(msg) = failure {
+            if st.failure.is_none() {
+                st.failure = Some(msg);
+            }
+            st.abort = true;
+        } else if !st.abort {
+            // On deadlock this sets abort+failure; either way fall through
+            // to the notify so the controller (and parked threads) wake.
+            let _ = self.pick_next(&mut st, tid, false);
+        }
+        drop(st);
+        self.turn.notify_all();
+    }
+
+    /// Controller side: waits for the execution to finish, joins every OS
+    /// thread, and returns the failure (if any) and the recorded path.
+    pub(crate) fn run_to_completion(&self) -> (Option<String>, Vec<Choice>) {
+        let mut st = lock_state(self);
+        while !st.done && !st.abort {
+            st = self.turn.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let handles = std::mem::take(&mut st.os_handles);
+        drop(st);
+        self.turn.notify_all();
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut st = lock_state(self);
+        (st.failure.take(), std::mem::take(&mut st.path))
+    }
+}
+
+/// Where a spawned model thread deposits its closure's outcome.
+pub(crate) type ResultSlot<T> = Arc<OsMutex<Option<std::thread::Result<T>>>>;
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked with a non-string payload".to_owned()
+    }
+}
+
+/// Registers and starts a new model thread running `f`. The OS thread is
+/// parked until the scheduler grants it the turn token for the first time.
+/// Returns the model thread id and the slot its result will land in.
+pub(crate) fn spawn_model<T, F>(sched: &Arc<Sched>, f: F) -> (usize, ResultSlot<T>)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = {
+        let mut st = lock_state(sched);
+        st.threads.push(Th { finished: false, blocked: None });
+        st.threads.len() - 1
+    };
+    let slot: ResultSlot<T> = Arc::new(OsMutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let sched2 = Arc::clone(sched);
+    let spawned = std::thread::Builder::new().name(format!("loom-model-{tid}")).spawn(move || {
+        CURRENT.with_borrow_mut(|c| *c = Some((Arc::clone(&sched2), tid)));
+        {
+            let st = lock_state(&sched2);
+            let st = sched2.wait_turn(st, tid);
+            if st.abort {
+                drop(st);
+                CURRENT.with_borrow_mut(Option::take);
+                sched2.finish(tid, None);
+                return;
+            }
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        // Clear the model-thread identity BEFORE finishing: thread-local
+        // destructors (e.g. arena freelists updating shim atomics) run
+        // after this closure returns, and must see plain-std behaviour
+        // rather than scheduling points on a finished thread.
+        CURRENT.with_borrow_mut(Option::take);
+        match outcome {
+            Ok(v) => {
+                *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(Ok(v));
+                sched2.finish(tid, None);
+            }
+            Err(p) if p.is::<AbortToken>() => sched2.finish(tid, None),
+            Err(p) => {
+                let msg = panic_message(p.as_ref());
+                *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(Err(p));
+                sched2.finish(tid, Some(msg));
+            }
+        }
+    });
+    match spawned {
+        Ok(h) => lock_state(sched).os_handles.push(h),
+        Err(e) => panic!("loom: could not spawn model thread: {e}"),
+    }
+    (tid, slot)
+}

@@ -1,0 +1,345 @@
+//! Model-aware synchronization primitives mirroring `std::sync`.
+//!
+//! Inside [`crate::model`] every operation is a scheduling point explored
+//! by the checker; outside a model the types degrade to their plain std
+//! behaviour, so statics built on them keep working in ordinary builds.
+
+use crate::sched::{current, sched_point};
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+pub use std::sync::Arc;
+pub use std::sync::LockResult;
+
+/// Model-aware atomics. `Ordering` is re-exported from std: the checker
+/// explores sequentially-consistent interleavings regardless of the
+/// ordering argument (weak-memory reorderings are *not* modelled; see the
+/// crate docs), so the argument only documents intent.
+pub mod atomic {
+    use super::sched_point;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty, rmw) => {
+            model_atomic!($(#[$doc])* $name, $std, $ty);
+            impl $name {
+                /// Adds to the value, returning the previous value.
+                pub fn fetch_add(&self, val: $ty, _order: Ordering) -> $ty {
+                    sched_point();
+                    self.v.fetch_add(val, Ordering::SeqCst)
+                }
+
+                /// Subtracts from the value, returning the previous value.
+                pub fn fetch_sub(&self, val: $ty, _order: Ordering) -> $ty {
+                    sched_point();
+                    self.v.fetch_sub(val, Ordering::SeqCst)
+                }
+            }
+        };
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                v: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Creates a new atomic holding `val`.
+                pub const fn new(val: $ty) -> Self {
+                    Self { v: std::sync::atomic::$std::new(val) }
+                }
+
+                /// Loads the value.
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    sched_point();
+                    self.v.load(Ordering::SeqCst)
+                }
+
+                /// Stores a value.
+                pub fn store(&self, val: $ty, _order: Ordering) {
+                    sched_point();
+                    self.v.store(val, Ordering::SeqCst);
+                }
+
+                /// Swaps the value, returning the previous one.
+                pub fn swap(&self, val: $ty, _order: Ordering) -> $ty {
+                    sched_point();
+                    self.v.swap(val, Ordering::SeqCst)
+                }
+
+                /// Stores `new` if the current value equals `current`.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    sched_point();
+                    self.v.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Like [`Self::compare_exchange`]; the model never fails
+                /// spuriously.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Applies `f` until it succeeds atomically, as std's
+                /// `fetch_update`.
+                pub fn fetch_update<F>(
+                    &self,
+                    _set_order: Ordering,
+                    _fetch_order: Ordering,
+                    f: F,
+                ) -> Result<$ty, $ty>
+                where
+                    F: FnMut($ty) -> Option<$ty>,
+                {
+                    sched_point();
+                    self.v.fetch_update(Ordering::SeqCst, Ordering::SeqCst, f)
+                }
+            }
+        };
+    }
+
+    model_atomic!(
+        /// Model-aware `AtomicBool`.
+        AtomicBool, AtomicBool, bool
+    );
+    model_atomic!(
+        /// Model-aware `AtomicU32`.
+        AtomicU32, AtomicU32, u32, rmw
+    );
+    model_atomic!(
+        /// Model-aware `AtomicU64`.
+        AtomicU64, AtomicU64, u64, rmw
+    );
+    model_atomic!(
+        /// Model-aware `AtomicUsize`.
+        AtomicUsize, AtomicUsize, usize, rmw
+    );
+}
+
+/// A model-aware mutual-exclusion lock mirroring `std::sync::Mutex`.
+///
+/// `lock()` returns `LockResult` for std API compatibility but never
+/// actually poisons: like `parking_lot`, a panic while holding the lock
+/// simply releases it.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// The guard returned by [`Mutex::lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// Whether this acquisition went through the model scheduler (and must
+    /// release through it on drop).
+    model: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// The mutex's model identity: its address, stable for its lifetime.
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    /// Acquires the lock. Inside a model this is a scheduling point and
+    /// blocks in model time; the result is always `Ok`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let model = match current() {
+            Some((sched, tid)) => {
+                sched.mutex_acquire(tid, self.addr());
+                true
+            }
+            None => false,
+        };
+        // Under the model the real lock is always uncontended: the
+        // scheduler only lets one owner through at a time.
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(MutexGuard { lock: self, inner: Some(inner), model })
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.inner.into_inner().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Mutable access without locking (requires exclusive access).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        })
+    }
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    fn inner_ref(&self) -> &std::sync::MutexGuard<'a, T> {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("loom MutexGuard accessed after release"),
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut std::sync::MutexGuard<'a, T> {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("loom MutexGuard accessed after release"),
+        }
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner_ref()
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner_mut()
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then the model lock: the moment the
+        // scheduler lets another thread in, the real mutex must be free.
+        self.inner = None;
+        if self.model {
+            if let Some((sched, tid)) = current() {
+                sched.mutex_release(tid, self.lock.addr());
+            }
+        }
+    }
+}
+
+/// A model-aware condition variable mirroring `std::sync::Condvar`.
+///
+/// Spurious wakeups are not modelled: a thread in `wait` wakes only via
+/// `notify_one`/`notify_all`. A missed notification therefore surfaces as
+/// a model deadlock — which is exactly the bug class predicate loops
+/// (`wait_while`) exist to prevent.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    std: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Condvar { std: std::sync::Condvar::new() }
+    }
+
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    /// Releases `guard`'s mutex, waits for a notification, reacquires.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if guard.model {
+            if let Some((sched, tid)) = current() {
+                let lock = guard.lock;
+                guard.inner = None; // free the real mutex while modelled-blocked
+                guard.model = false; // drop releases nothing further
+                drop(guard);
+                // Returns with the *model* mutex reacquired; take the real
+                // one directly (guaranteed uncontended) rather than via
+                // `lock()`, which would model-acquire a second time.
+                sched.condvar_wait(tid, self.addr(), lock.addr());
+                let inner = lock.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                return Ok(MutexGuard { lock, inner: Some(inner), model: true });
+            }
+        }
+        // Plain std path (outside a model).
+        let lock = guard.lock;
+        let inner = match guard.inner.take() {
+            Some(g) => g,
+            None => unreachable!("loom MutexGuard accessed after release"),
+        };
+        guard.model = false;
+        drop(guard);
+        let inner = self.std.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        Ok(MutexGuard { lock, inner: Some(inner), model: false })
+    }
+
+    /// Waits until `condition` returns false, rechecking on every wakeup.
+    pub fn wait_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> LockResult<MutexGuard<'a, T>>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut guard) {
+            guard = self.wait(guard).unwrap_or_else(PoisonError::into_inner);
+        }
+        Ok(guard)
+    }
+
+    /// Wakes one waiter (FIFO under the model).
+    pub fn notify_one(&self) {
+        if let Some((sched, tid)) = current() {
+            sched.condvar_notify(tid, self.addr(), false);
+        }
+        self.std.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        if let Some((sched, tid)) = current() {
+            sched.condvar_notify(tid, self.addr(), true);
+        }
+        self.std.notify_all();
+    }
+}
+
+/// A model-aware `std::sync::OnceLock`: initialization is a scheduling
+/// point; the stored value itself is plain std state.
+#[derive(Debug, Default)]
+pub struct OnceLock<T> {
+    inner: std::sync::OnceLock<T>,
+}
+
+impl<T> OnceLock<T> {
+    /// Creates an empty cell.
+    pub const fn new() -> Self {
+        OnceLock { inner: std::sync::OnceLock::new() }
+    }
+
+    /// The stored value, if initialized.
+    pub fn get(&self) -> Option<&T> {
+        sched_point();
+        self.inner.get()
+    }
+
+    /// Stores `value` if the cell is empty.
+    pub fn set(&self, value: T) -> Result<(), T> {
+        sched_point();
+        self.inner.set(value)
+    }
+
+    /// The stored value, initializing it with `f` if empty.
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        sched_point();
+        self.inner.get_or_init(f)
+    }
+}

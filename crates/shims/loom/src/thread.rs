@@ -1,0 +1,113 @@
+//! Model-aware threads mirroring `std::thread`.
+
+use crate::sched::{current, sched_point, spawn_model, ResultSlot, Sched};
+use std::sync::{Arc, PoisonError};
+
+/// The result of joining a thread, as `std::thread::Result`.
+pub type Result<T> = std::thread::Result<T>;
+
+enum Inner<T> {
+    Model { sched: Arc<Sched>, target: usize, slot: ResultSlot<T> },
+    Os(std::thread::JoinHandle<T>),
+}
+
+/// An owned handle to a spawned thread, as `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JoinHandle(..)")
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    pub fn join(self) -> Result<T> {
+        match self.0 {
+            Inner::Model { sched, target, slot } => {
+                let tid = match current() {
+                    Some((_, tid)) => tid,
+                    None => unreachable!("model JoinHandle joined outside its model"),
+                };
+                sched.join_wait(tid, target);
+                match slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
+                    Some(res) => res,
+                    // The target unwound via an abort before producing a
+                    // result; this thread is about to be unwound too, so
+                    // any placeholder panic payload works.
+                    None => Err(Box::new("loom execution aborted")),
+                }
+            }
+            Inner::Os(h) => h.join(),
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model the thread is registered with the
+/// scheduler and its interleavings are explored; outside it is a plain
+/// `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current() {
+        Some((sched, tid)) => {
+            let (target, slot) = spawn_model(&sched, f);
+            // Scheduling point: the child is now a candidate, so both
+            // child-first and parent-first orders get explored.
+            sched.switch(tid);
+            JoinHandle(Inner::Model { sched, target, slot })
+        }
+        None => JoinHandle(Inner::Os(std::thread::spawn(f))),
+    }
+}
+
+/// Yields the current thread: a scheduling point under the model.
+pub fn yield_now() {
+    if current().is_some() {
+        sched_point();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// A thread factory mirroring `std::thread::Builder` (the name is kept for
+/// the OS thread outside a model and ignored inside one).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Creates a builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Builder { name: None }
+    }
+
+    /// Names the thread-to-be.
+    #[must_use]
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns the thread; inside a model, registration cannot fail.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match current() {
+            Some(_) => Ok(spawn(f)),
+            None => {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    b = b.name(n);
+                }
+                Ok(JoinHandle(Inner::Os(b.spawn(f)?)))
+            }
+        }
+    }
+}

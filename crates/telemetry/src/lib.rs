@@ -32,19 +32,21 @@
 
 pub mod metrics;
 pub mod sink;
+/// Sync primitive facade: `parking_lot`/std normally, `loom` under
+/// `--cfg loom`.
+pub mod sync;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use sink::Field;
 
-use parking_lot::Mutex;
 use sink::{prom_float, JsonlSink, SharedSink};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+use sync::{AtomicBool, AtomicU64, Mutex, Ordering};
 
 /// Default span-duration bucket bounds, in seconds (~100µs .. 30s).
 pub const SPAN_SECONDS_BOUNDS: [f64; 10] =
@@ -113,12 +115,15 @@ impl Telemetry {
     /// Whether recording is enabled — the one check hot paths make.
     #[inline]
     pub fn is_on(&self) -> bool {
+        // ordering: standalone on/off flag — a record racing the toggle
+        // may or may not be kept, both acceptable; no other memory is
+        // published through it (handles travel via Arc/the registry lock).
         self.shared.enabled.load(Ordering::Relaxed)
     }
 
     /// Enables or disables recording on all clones of this handle.
     pub fn set_on(&self, on: bool) {
-        self.shared.enabled.store(on, Ordering::Relaxed);
+        self.shared.enabled.store(on, Ordering::Relaxed); // ordering: see is_on
     }
 
     /// Returns the counter registered under `name`, creating it on first
@@ -161,6 +166,9 @@ impl Telemetry {
         }
         let mut guard = self.shared.sink.lock();
         let Some(sink) = guard.as_mut() else { return };
+        // ordering: always executed under the sink lock, which already
+        // serializes emitters; the atomic only makes `seq` safe to move
+        // out from under the lock later.
         let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
         let line = sink::format_event_line(kind, seq, fields);
         let _ = sink.write_line(&line);

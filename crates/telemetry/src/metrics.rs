@@ -7,7 +7,7 @@
 //! expected to happen once at setup time, with the `Arc` handle cached by
 //! the instrumented component.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 /// A monotonically non-decreasing `u64` counter.
 ///
@@ -35,12 +35,14 @@ impl Counter {
         // fail; the result is ignored rather than unwrapped.
         let _ = self
             .value
+            // ordering: standalone monotonic tally — readers only ever
+            // render its value, no other memory is gated on it.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_add(n)));
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // ordering: standalone tally (see add)
     }
 }
 
@@ -58,12 +60,14 @@ impl Gauge {
 
     /// Sets the gauge.
     pub fn set(&self, v: f64) {
+        // ordering: last-write-wins sample; each store/load is a complete
+        // value, nothing else is published through it.
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
-        f64::from_bits(self.bits.load(Ordering::Relaxed))
+        f64::from_bits(self.bits.load(Ordering::Relaxed)) // ordering: see set
     }
 }
 
@@ -127,17 +131,22 @@ impl Histogram {
         } else {
             self.bounds.len() // overflow bucket
         };
+        // ordering: independent tallies; a reader may see bucket/count/sum
+        // at slightly different points, which snapshot consumers tolerate
+        // (each individual tally is still exact — see the loom suite).
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed); // ordering: see above
         let add = if v.is_finite() { v } else { 0.0 };
-        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed); // ordering: see above
         loop {
             let next = (f64::from_bits(cur) + add).to_bits();
+            // ordering: CAS retry loop on the sum alone; exactness comes
+            // from the CAS, not from ordering with other fields.
             match self.sum_bits.compare_exchange_weak(
                 cur,
                 next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // ordering: see above
+                Ordering::Relaxed, // ordering: see above
             ) {
                 Ok(_) => break,
                 Err(seen) => cur = seen,
@@ -147,19 +156,19 @@ impl Histogram {
 
     /// Total number of observations.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // ordering: tally read (see observe)
     }
 
     /// Sum of all finite observations.
     pub fn sum(&self) -> f64 {
-        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed)) // ordering: tally read (see observe)
     }
 
     /// Copies out the full state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             bounds: self.bounds.clone(),
-            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(), // ordering: tally read (see observe)
             count: self.count(),
             sum: self.sum(),
         }

@@ -6,7 +6,7 @@
 //! single `write_all` under the sink mutex, so concurrent writers can never
 //! interleave partial lines — every line in the file parses on its own.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write as _};

@@ -1,0 +1,71 @@
+//! Loom model checking for the telemetry registry handle path
+//! (`crates/telemetry/src/lib.rs`): racing registrations must converge on
+//! one shared metric instance, and lock-free recording through the
+//! returned handles must stay exact.
+//!
+//! Run via `cargo xtask analyze --loom`; empty without `--cfg loom`.
+
+#![cfg(loom)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use vc_telemetry::Telemetry;
+
+/// Two threads racing `counter("x")` on first use must get the *same*
+/// counter (entry-or-insert under the registry lock), so their increments
+/// land on one instance: the total is exactly 2 in every interleaving.
+#[test]
+fn racing_registrations_share_one_counter() {
+    loom::model(|| {
+        let t = Telemetry::new();
+        let t1 = t.clone();
+        let t2 = t.clone();
+        let a = loom::thread::spawn(move || t1.counter("x").inc());
+        let b = loom::thread::spawn(move || t2.counter("x").inc());
+        a.join().unwrap();
+        b.join().unwrap();
+        assert_eq!(t.counter("x").get(), 2, "registrations must converge on one instance");
+    });
+}
+
+/// The enabled flag races a recording thread: the record may land or not
+/// depending on the interleaving, but the counter may only ever read 0 or
+/// 1 — never a torn or duplicated tick — and the flag itself settles.
+#[test]
+fn enabled_toggle_races_recording_safely() {
+    loom::model(|| {
+        let t = Telemetry::new();
+        let rec = {
+            let t = t.clone();
+            loom::thread::spawn(move || {
+                if t.is_on() {
+                    t.counter("ticks").inc();
+                }
+            })
+        };
+        t.set_on(false);
+        rec.join().unwrap();
+        let got = t.counter("ticks").get();
+        assert!(got <= 1, "a race may drop a tick but never invent one (got {got})");
+        assert!(!t.is_on());
+    });
+}
+
+/// Concurrent histogram observes through cached handles: bucket counts,
+/// total count, and the CAS-maintained sum must all be exact in every
+/// interleaving.
+#[test]
+fn concurrent_observes_stay_exact() {
+    loom::model(|| {
+        let t = Telemetry::new();
+        let h1 = t.histogram("h", &[1.0]);
+        let h2 = t.histogram("h", &[1.0]);
+        let a = loom::thread::spawn(move || h1.observe(0.5));
+        let b = loom::thread::spawn(move || h2.observe(2.0));
+        a.join().unwrap();
+        b.join().unwrap();
+        let snap = t.histogram("h", &[1.0]).snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.buckets, vec![1, 1], "one observation per bucket");
+        assert!((snap.sum - 2.5).abs() < 1e-12, "CAS sum lost an update: {}", snap.sum);
+    });
+}

@@ -30,10 +30,33 @@
 //!   the persistent pool (per-call spawns were the 15× regression the pool
 //!   replaced). Long-lived employee threads use `thread::Builder`, which the
 //!   token scan deliberately permits.
+//! * `atomic-ordering` — every `Ordering::Relaxed` in first-party library
+//!   sources carries a `// ordering:` justification comment on the same or
+//!   the preceding line. Relaxed is correct for standalone counters and
+//!   flags but silently wrong the moment other memory is published through
+//!   the atomic; the comment forces that argument to be written down where
+//!   reviewers (and `cargo xtask analyze`) can check it. See `DESIGN.md`
+//!   §13 for the workspace memory-model contracts.
+//! * `condvar-predicate` — no bare `.wait(` on a condvar: waits must go
+//!   through `wait_while` (or another predicate loop), because a bare wait
+//!   whose notification fired early blocks forever. The loom suite
+//!   demonstrates exactly this failure (`finds_lost_wakeup_on_bare_wait`
+//!   in the `loom` shim's self-tests).
+//! * `no-static-mut` — no `static mut` anywhere in the workspace, shims
+//!   included: every access is unsafe and unsynchronized by construction;
+//!   use atomics, `OnceLock`, or `Mutex` statics instead.
 //!
 //! Grandfathered findings live in `xtask-allow.txt` at the repo root, one
 //! per line as `<lint> <path>` or `<lint> <path>:<line>`; `#` starts a
-//! comment.
+//! comment. Entries that no longer match any finding fail the run (stale
+//! allows hide regressions) — prune them together with the fix.
+//!
+//! `cargo xtask analyze [--loom|--tsan|--miri] [--strict]` runs the dynamic
+//! concurrency analyses (loom model checking on stable; ThreadSanitizer and
+//! Miri on a nightly toolchain, pinned via `VC_NIGHTLY` in CI). Without
+//! flags, all three run. Missing prerequisites (no nightly, no rust-src /
+//! miri component — the usual state offline) skip that analysis with a
+//! note; `--strict` turns a skip into a failure and is what CI uses.
 //!
 //! `cargo xtask regen-golden` regenerates the golden-trace fixture
 //! (`tests/fixtures/golden_trace.json`) from the current code — run it when
@@ -93,6 +116,20 @@ fn main() -> ExitCode {
             let smoke = std::env::args().any(|a| a == "--smoke");
             run_bench(&root, smoke)
         }
+        "analyze" => {
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            let strict = rest.iter().any(|a| a == "--strict");
+            let mut which: Vec<&str> = Vec::new();
+            for flag in ["--loom", "--tsan", "--miri"] {
+                if rest.iter().any(|a| a == flag) {
+                    which.push(&flag[2..]);
+                }
+            }
+            if which.is_empty() {
+                which = vec!["loom", "tsan", "miri"];
+            }
+            run_analyze(&root, &which, strict)
+        }
         _ => {
             eprintln!(
                 "usage: cargo xtask <task>\n\n\
@@ -108,7 +145,11 @@ fn main() -> ExitCode {
                  from the current code\n  \
                  bench   kernel/episode benchmarks -> BENCH_kernels.json\n          \
                  (--smoke: minimal iterations, schema check + matmul\n          \
-                 regression gate vs the last committed full run)"
+                 regression gate vs the last committed full run)\n  \
+                 analyze dynamic concurrency analyses; flags select a\n          \
+                 subset: --loom (model checking, stable), --tsan\n          \
+                 (ThreadSanitizer, nightly), --miri (nightly).\n          \
+                 --strict fails on missing prerequisites (CI)"
             );
             return ExitCode::from(2);
         }
@@ -128,22 +169,188 @@ fn repo_root() -> PathBuf {
 
 /// Runs one cargo subprocess, echoing the command line; true on success.
 fn run_cargo(root: &Path, args: &[&str]) -> bool {
-    eprintln!("xtask: cargo {}", args.join(" "));
-    let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned()))
-        .args(args)
-        .current_dir(root)
-        .status();
-    match status {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    run_cmd(root, &cargo, args, &[])
+}
+
+/// Runs one subprocess with extra environment variables; true on success.
+fn run_cmd(root: &Path, program: &str, args: &[&str], envs: &[(&str, &str)]) -> bool {
+    let mut line = String::new();
+    for (k, v) in envs {
+        line.push_str(&format!("{k}={v} "));
+    }
+    eprintln!("xtask: {line}{program} {}", args.join(" "));
+    let mut cmd = Command::new(program);
+    cmd.args(args).current_dir(root);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    match cmd.status() {
         Ok(s) if s.success() => true,
         Ok(s) => {
-            eprintln!("xtask: cargo {} failed with {s}", args.join(" "));
+            eprintln!("xtask: {program} {} failed with {s}", args.join(" "));
             false
         }
         Err(e) => {
-            eprintln!("xtask: could not spawn cargo: {e}");
+            eprintln!("xtask: could not spawn {program}: {e}");
             false
         }
     }
+}
+
+/// The nightly toolchain used for sanitizer/miri analyses: `VC_NIGHTLY`
+/// when set (CI pins it there), plain `nightly` otherwise.
+fn nightly_toolchain() -> String {
+    std::env::var("VC_NIGHTLY").unwrap_or_else(|_| "nightly".to_owned())
+}
+
+/// Captures stdout of a command; `None` if it failed to run or exited
+/// non-zero.
+fn capture(root: &Path, program: &str, args: &[&str]) -> Option<String> {
+    let out = Command::new(program).args(args).current_dir(root).output().ok()?;
+    out.status.success().then(|| String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// Reports an analysis whose prerequisite is missing: a failure under
+/// `--strict` (CI must run everything), a logged skip otherwise.
+fn skip_or_fail(strict: bool, what: &str, why: &str) -> bool {
+    if strict {
+        eprintln!("xtask: analyze {what}: MISSING prerequisite ({why}) and --strict is set");
+        false
+    } else {
+        eprintln!("xtask: analyze {what}: skipped ({why})");
+        true
+    }
+}
+
+/// Dynamic concurrency analyses — see the crate docs. `which` holds any of
+/// `"loom"` / `"tsan"` / `"miri"`.
+fn run_analyze(root: &Path, which: &[&str], strict: bool) -> bool {
+    let mut ok = true;
+    for w in which {
+        ok &= match *w {
+            "loom" => analyze_loom(root),
+            "tsan" => analyze_tsan(root, strict),
+            "miri" => analyze_miri(root, strict),
+            other => {
+                eprintln!("xtask: unknown analysis {other}");
+                false
+            }
+        };
+    }
+    ok
+}
+
+/// The loom model-checking suites (`tests/loom_*.rs`), plus the shim's own
+/// checker self-tests. Runs on stable with `--cfg loom`; a separate target
+/// dir keeps the flag from invalidating the main build cache, and
+/// `--test-threads=1` serializes models because the pool/arena counters are
+/// process-wide.
+fn analyze_loom(root: &Path) -> bool {
+    let envs: &[(&str, &str)] = &[("RUSTFLAGS", "--cfg loom"), ("CARGO_TARGET_DIR", "target/loom")];
+    run_cmd(root, "cargo", &["test", "--release", "-p", "loom", "--lib"], envs)
+        && run_cmd(
+            root,
+            "cargo",
+            &[
+                "test",
+                "--release",
+                "-p",
+                "vc-nn",
+                "--test",
+                "loom_pool",
+                "--test",
+                "loom_arena",
+                "--",
+                "--test-threads=1",
+            ],
+            envs,
+        )
+        && run_cmd(
+            root,
+            "cargo",
+            &[
+                "test",
+                "--release",
+                "-p",
+                "vc-telemetry",
+                "--test",
+                "loom_registry",
+                "--",
+                "--test-threads=1",
+            ],
+            envs,
+        )
+}
+
+/// ThreadSanitizer over the concurrent crates' test suites. Needs a nightly
+/// with `rust-src` (`-Zbuild-std` instruments std itself, which TSan
+/// requires to avoid false positives on std's own synchronization).
+fn analyze_tsan(root: &Path, strict: bool) -> bool {
+    let tc = nightly_toolchain();
+    let Some(version) = capture(root, "rustup", &["run", &tc, "rustc", "--version"]) else {
+        return skip_or_fail(strict, "tsan", &format!("toolchain {tc} unavailable"));
+    };
+    let components =
+        capture(root, "rustup", &["component", "list", "--installed", "--toolchain", &tc])
+            .unwrap_or_default();
+    if !components.lines().any(|l| l.starts_with("rust-src")) {
+        return skip_or_fail(strict, "tsan", &format!("rust-src not installed for {tc}"));
+    }
+    let Some(host) = capture(root, "rustup", &["run", &tc, "rustc", "-vV"])
+        .and_then(|v| v.lines().find_map(|l| l.strip_prefix("host: ").map(str::to_owned)))
+    else {
+        return skip_or_fail(strict, "tsan", "could not determine host triple");
+    };
+    eprintln!("xtask: analyze tsan on {} ({host})", version.trim());
+    run_cmd(
+        root,
+        "rustup",
+        &[
+            "run",
+            &tc,
+            "cargo",
+            "test",
+            "-Zbuild-std",
+            "--target",
+            &host,
+            "-p",
+            "vc-nn",
+            "-p",
+            "vc-telemetry",
+            "--lib",
+            "--tests",
+        ],
+        &[
+            ("RUSTFLAGS", "-Zsanitizer=thread"),
+            ("RUSTDOCFLAGS", "-Zsanitizer=thread"),
+            ("CARGO_TARGET_DIR", "target/tsan"),
+        ],
+    )
+}
+
+/// Miri over the pointer/alias-heavy units: the arena (recycled `Vec`
+/// buffers) and the telemetry metrics. Leaks are expected — the kernel
+/// pool's shared state is deliberately `Box::leak`ed and worker threads
+/// never join — so the leak checker is off.
+fn analyze_miri(root: &Path, strict: bool) -> bool {
+    let tc = nightly_toolchain();
+    if capture(root, "rustup", &["run", &tc, "cargo", "miri", "--version"]).is_none() {
+        return skip_or_fail(strict, "miri", &format!("cargo miri unavailable on {tc}"));
+    }
+    let envs: &[(&str, &str)] =
+        &[("MIRIFLAGS", "-Zmiri-ignore-leaks"), ("CARGO_TARGET_DIR", "target/miri")];
+    run_cmd(
+        root,
+        "rustup",
+        &["run", &tc, "cargo", "miri", "test", "-p", "vc-nn", "--lib", "--", "arena"],
+        envs,
+    ) && run_cmd(
+        root,
+        "rustup",
+        &["run", &tc, "cargo", "miri", "test", "-p", "vc-telemetry", "--lib"],
+        envs,
+    )
 }
 
 /// First-party library crates covered by the integration-test floor. The
@@ -357,6 +564,25 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Which custom lints [`lint_file`] applies to a file.
+#[derive(Clone, Copy, Default)]
+struct Checks {
+    /// `no-unwrap`.
+    unwrap: bool,
+    /// `pub-docs`.
+    docs: bool,
+    /// `no-process-exit`.
+    exit: bool,
+    /// `no-raw-thread`.
+    threads: bool,
+    /// `atomic-ordering`.
+    atomics: bool,
+    /// `condvar-predicate`.
+    condvar: bool,
+    /// `no-static-mut`.
+    static_mut: bool,
+}
+
 /// Runs every custom lint over the workspace sources; true when clean.
 fn run_source_lints(root: &Path) -> bool {
     eprintln!("xtask: custom source lints");
@@ -367,15 +593,15 @@ fn run_source_lints(root: &Path) -> bool {
     // (telemetry runs inside chief and employee hot paths, so it counts).
     for dir in ["crates/nn/src", "crates/env/src", "crates/rl/src", "crates/telemetry/src"] {
         for file in rust_files(&root.join(dir)) {
-            lint_file(&file, root, &mut findings, true, false, false, false);
+            lint_file(&file, root, &mut findings, Checks { unwrap: true, ..Checks::default() });
         }
     }
-    // lock-across-send, no-process-exit and no-raw-thread run over every
-    // first-party crate (the shims implement the locking primitives
-    // themselves and are exempt); pub-docs only where the policy demands it:
-    // vc-nn and vc-rl. Binaries under src/bin/ may exit; libraries must
-    // return errors. The persistent kernel pool is the one module allowed to
-    // create threads.
+    // lock-across-send, no-process-exit, no-raw-thread, atomic-ordering and
+    // condvar-predicate run over every first-party crate (the shims
+    // implement the locking primitives themselves and are exempt); pub-docs
+    // only where the policy demands it: vc-nn and vc-rl. Binaries under
+    // src/bin/ may exit; libraries must return errors. The persistent
+    // kernel pool is the one module allowed to create threads.
     for dir in [
         "crates/nn/src",
         "crates/env/src",
@@ -390,17 +616,55 @@ fn run_source_lints(root: &Path) -> bool {
         for file in rust_files(&root.join(dir)) {
             let in_bin = file.components().any(|c| c.as_os_str() == "bin");
             let is_pool = file.ends_with("crates/nn/src/ops/pool.rs");
-            lint_file(&file, root, &mut findings, false, want_docs, !in_bin, !is_pool);
+            lint_file(
+                &file,
+                root,
+                &mut findings,
+                Checks {
+                    docs: want_docs,
+                    exit: !in_bin,
+                    threads: !is_pool,
+                    atomics: true,
+                    condvar: true,
+                    static_mut: true,
+                    unwrap: false,
+                },
+            );
+        }
+    }
+    // no-static-mut alone is workspace-wide: shims and xtask included (a
+    // `static mut` is UB-prone everywhere, offline stand-in or not).
+    for dir in ["crates/shims", "crates/xtask/src"] {
+        for file in rust_files(&root.join(dir)) {
+            lint_file(&file, root, &mut findings, Checks { static_mut: true, ..Checks::default() });
         }
     }
 
+    let mut used = vec![false; allow.len()];
     let mut failed = 0usize;
     for f in &findings {
-        if allowed(&allow, f) {
+        if let Some(idx) = allow_match(&allow, f) {
+            used[idx] = true;
             continue;
         }
         eprintln!("{f}");
         failed += 1;
+    }
+    // A stale allow entry no longer matches anything: the finding was
+    // fixed (prune the entry) or the path moved (it now hides a real
+    // finding elsewhere). Either way it must not linger.
+    for (i, entry) in allow.iter().enumerate() {
+        if !used[i] {
+            let loc = match entry.2 {
+                Some(line) => format!("{}:{line}", entry.1),
+                None => entry.1.clone(),
+            };
+            eprintln!(
+                "xtask: stale allowlist entry: `{} {loc}` matches no finding — prune it",
+                entry.0
+            );
+            failed += 1;
+        }
     }
     if failed == 0 {
         eprintln!("xtask: source lints clean ({} allow-listed entries)", allow.len());
@@ -439,12 +703,19 @@ fn load_allowlist(root: &Path) -> Allow {
     out
 }
 
-/// Whether a finding is grandfathered by the allowlist.
-fn allowed(allow: &Allow, f: &Finding) -> bool {
+/// The index of the allowlist entry grandfathering a finding, if any (used
+/// for stale-entry detection: every entry must match at least one finding).
+fn allow_match(allow: &Allow, f: &Finding) -> Option<usize> {
     let path = f.path.to_string_lossy();
-    allow.iter().any(|(lint, p, line)| {
+    allow.iter().position(|(lint, p, line)| {
         lint == f.lint && path == p.as_str() && line.is_none_or(|l| l == f.line)
     })
+}
+
+/// Whether a finding is grandfathered by the allowlist.
+#[cfg(test)]
+fn allowed(allow: &Allow, f: &Finding) -> bool {
+    allow_match(allow, f).is_some()
 }
 
 /// All `.rs` files under `dir`, recursively, in stable order.
@@ -475,17 +746,19 @@ struct LockGuard {
 
 /// Scans one file for the custom lints, appending findings.
 ///
-/// `check_unwrap` / `check_docs` / `check_exit` / `check_threads` select the
-/// per-crate lints; the lock-across-send lint always runs.
-fn lint_file(
-    file: &Path,
-    root: &Path,
-    findings: &mut Vec<Finding>,
-    check_unwrap: bool,
-    check_docs: bool,
-    check_exit: bool,
-    check_threads: bool,
-) {
+/// `checks` selects the per-crate lints; the lock-across-send lint always
+/// runs except on the workspace-wide `no-static-mut`-only pass (where
+/// nothing else in `checks` is set either).
+fn lint_file(file: &Path, root: &Path, findings: &mut Vec<Finding>, checks: Checks) {
+    let Checks {
+        unwrap: check_unwrap,
+        docs: check_docs,
+        exit: check_exit,
+        threads: check_threads,
+        atomics: check_atomics,
+        condvar: check_condvar,
+        static_mut: check_static_mut,
+    } = checks;
     let Ok(text) = fs::read_to_string(file) else { return };
     let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
     let raw: Vec<&str> = text.lines().collect();
@@ -524,6 +797,25 @@ fn lint_file(
             });
         }
 
+        // Even inside #[cfg(test)]: a `static mut` is unsynchronized by
+        // construction wherever it lives. Declarations only (they always
+        // start a line, possibly behind a visibility modifier).
+        if check_static_mut
+            && (trimmed.starts_with("static mut ")
+                || trimmed.starts_with("pub static mut ")
+                || trimmed.starts_with("pub(crate) static mut ")
+                || trimmed.starts_with("pub(super) static mut "))
+        {
+            findings.push(Finding {
+                lint: "no-static-mut",
+                path: rel.clone(),
+                line: lineno,
+                msg: "static mut is unsynchronized and unsafe to touch; use an atomic, \
+                      OnceLock, or Mutex static"
+                    .to_owned(),
+            });
+        }
+
         if !in_test {
             if check_threads && (s.contains("thread::spawn(") || s.contains("thread::scope(")) {
                 findings.push(Finding {
@@ -532,6 +824,41 @@ fn lint_file(
                     line: lineno,
                     msg: "raw thread::spawn/thread::scope outside the kernel pool; \
                           route parallel work through vc_nn::ops::pool"
+                        .to_owned(),
+                });
+            }
+            if check_atomics && s.contains("Ordering::Relaxed") {
+                // Justification comments live in the *raw* text (stripping
+                // removes them): accepted on the same line or anywhere in
+                // the contiguous `//` comment block directly above.
+                let mut justified = raw[i].contains("// ordering:");
+                let mut j = i;
+                while !justified && j > 0 {
+                    j -= 1;
+                    let t = raw[j].trim_start();
+                    if !t.starts_with("//") {
+                        break;
+                    }
+                    justified = t.contains("ordering:");
+                }
+                if !justified {
+                    findings.push(Finding {
+                        lint: "atomic-ordering",
+                        path: rel.clone(),
+                        line: lineno,
+                        msg: "Ordering::Relaxed without a `// ordering:` justification on \
+                              this or the preceding line"
+                            .to_owned(),
+                    });
+                }
+            }
+            if check_condvar && s.contains(".wait(") {
+                findings.push(Finding {
+                    lint: "condvar-predicate",
+                    path: rel.clone(),
+                    line: lineno,
+                    msg: "bare .wait( — use wait_while (a bare wait whose notify fired \
+                          early blocks forever)"
                         .to_owned(),
                 });
             }
@@ -780,7 +1107,7 @@ mod tests {
         )
         .unwrap();
         let mut findings = Vec::new();
-        lint_file(&file, &dir, &mut findings, false, false, false, false);
+        lint_file(&file, &dir, &mut findings, Checks::default());
         let locks: Vec<_> = findings.iter().filter(|f| f.lint == "lock-across-send").collect();
         assert_eq!(locks.len(), 1, "exactly the bad fn must fire");
         assert_eq!(locks[0].line, 3);
@@ -801,7 +1128,7 @@ mod tests {
         )
         .unwrap();
         let mut findings = Vec::new();
-        lint_file(&file, &dir, &mut findings, true, false, false, false);
+        lint_file(&file, &dir, &mut findings, Checks { unwrap: true, ..Checks::default() });
         let unwraps: Vec<_> = findings.iter().filter(|f| f.lint == "no-unwrap").collect();
         assert_eq!(unwraps.len(), 1);
         assert_eq!(unwraps[0].line, 1);
@@ -819,14 +1146,14 @@ mod tests {
         )
         .unwrap();
         let mut findings = Vec::new();
-        lint_file(&file, &dir, &mut findings, false, false, true, false);
+        lint_file(&file, &dir, &mut findings, Checks { exit: true, ..Checks::default() });
         let exits: Vec<_> = findings.iter().filter(|f| f.lint == "no-process-exit").collect();
         assert_eq!(exits.len(), 1, "only the real call fires, not strings/comments");
         assert_eq!(exits[0].line, 1);
 
         // The same file scanned as a binary source is exempt.
         let mut bin_findings = Vec::new();
-        lint_file(&file, &dir, &mut bin_findings, false, false, false, false);
+        lint_file(&file, &dir, &mut bin_findings, Checks::default());
         assert!(bin_findings.iter().all(|f| f.lint != "no-process-exit"));
     }
 
@@ -847,7 +1174,7 @@ mod tests {
         )
         .unwrap();
         let mut findings = Vec::new();
-        lint_file(&file, &dir, &mut findings, false, false, false, true);
+        lint_file(&file, &dir, &mut findings, Checks { threads: true, ..Checks::default() });
         let threads: Vec<_> = findings.iter().filter(|f| f.lint == "no-raw-thread").collect();
         assert_eq!(threads.len(), 2, "spawn + scope fire; Builder and tests do not");
         assert_eq!(threads[0].line, 1);
@@ -855,7 +1182,7 @@ mod tests {
 
         // The pool module is scanned with the lint disabled.
         let mut pool_findings = Vec::new();
-        lint_file(&file, &dir, &mut pool_findings, false, false, false, false);
+        lint_file(&file, &dir, &mut pool_findings, Checks::default());
         assert!(pool_findings.iter().all(|f| f.lint != "no-raw-thread"));
     }
 
@@ -924,6 +1251,98 @@ mod tests {
         )
         .unwrap();
         assert!(check_bench_regression(&dir, &smoke));
+    }
+
+    #[test]
+    fn atomic_ordering_lint_requires_justification() {
+        let dir = std::env::temp_dir().join("xtask-lint-test5");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("case.rs");
+        fs::write(
+            &file,
+            "fn same_line() { C.load(Ordering::Relaxed); } // ordering: telemetry\n\
+             // ordering: monotonic counter, nothing published through it\n\
+             fn line_above() { C.fetch_add(1, Ordering::Relaxed); }\n\
+             fn bare() { C.store(0, Ordering::Relaxed); }\n\
+             fn acquire_is_fine() { C.load(Ordering::Acquire); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   fn t() { C.load(Ordering::Relaxed); }\n\
+             }\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        lint_file(&file, &dir, &mut findings, Checks { atomics: true, ..Checks::default() });
+        let hits: Vec<_> = findings.iter().filter(|f| f.lint == "atomic-ordering").collect();
+        assert_eq!(hits.len(), 1, "only the unjustified non-test Relaxed fires");
+        assert_eq!(hits[0].line, 4);
+    }
+
+    #[test]
+    fn condvar_predicate_lint_allows_wait_while() {
+        let dir = std::env::temp_dir().join("xtask-lint-test6");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("case.rs");
+        fs::write(
+            &file,
+            "fn bad(cv: &Condvar, g: Guard) { let _g = cv.wait(g); }\n\
+             fn good(cv: &Condvar, g: Guard) { let _g = cv.wait_while(g, |q| q.is_empty()); }\n\
+             fn timed(cv: &Condvar, g: Guard) { let _g = cv.wait_timeout(g, D); }\n\
+             fn unrelated() { handle.join_wait(1); }\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        lint_file(&file, &dir, &mut findings, Checks { condvar: true, ..Checks::default() });
+        let hits: Vec<_> = findings.iter().filter(|f| f.lint == "condvar-predicate").collect();
+        assert_eq!(hits.len(), 1, "only the bare wait fires");
+        assert_eq!(hits[0].line, 1);
+    }
+
+    #[test]
+    fn static_mut_lint_fires_even_in_tests() {
+        let dir = std::env::temp_dir().join("xtask-lint-test7");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("case.rs");
+        fs::write(
+            &file,
+            "static mut GLOBAL: u32 = 0;\n\
+             \x20pub static mut ALSO: u32 = 0;\n\
+             static FINE: AtomicU32 = AtomicU32::new(0);\n\
+             // a static mut in a comment is fine\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   static mut IN_TEST: u32 = 0;\n\
+             }\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        lint_file(&file, &dir, &mut findings, Checks { static_mut: true, ..Checks::default() });
+        let hits: Vec<_> = findings.iter().filter(|f| f.lint == "no-static-mut").collect();
+        assert_eq!(hits.len(), 3, "both declarations and the test one fire; comment does not");
+        assert_eq!(hits[0].line, 1);
+        assert_eq!(hits[1].line, 2);
+        assert_eq!(hits[2].line, 7);
+    }
+
+    #[test]
+    fn stale_allow_entries_are_detected() {
+        // allow_match reports which entry matched; run_source_lints treats
+        // unmatched entries as failures. Simulate the bookkeeping here.
+        let allow = vec![
+            ("no-unwrap".to_owned(), "crates/x/src/lib.rs".to_owned(), None),
+            ("no-unwrap".to_owned(), "crates/gone/src/lib.rs".to_owned(), None),
+        ];
+        let finding = Finding {
+            lint: "no-unwrap",
+            path: PathBuf::from("crates/x/src/lib.rs"),
+            line: 3,
+            msg: String::new(),
+        };
+        let mut used = vec![false; allow.len()];
+        if let Some(idx) = allow_match(&allow, &finding) {
+            used[idx] = true;
+        }
+        assert_eq!(used, vec![true, false], "the entry for the vanished file must read stale");
     }
 
     #[test]
