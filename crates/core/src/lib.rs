@@ -35,11 +35,13 @@
 pub mod eval;
 pub mod experiments;
 pub mod report;
+pub mod serving;
 pub mod trainer;
 pub mod training_log;
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::eval::{evaluate, PolicyScheduler};
+    pub use crate::serving::{ArtifactError, PolicyArtifact};
     pub use crate::trainer::{CuriosityChoice, FaultConfig, Trainer, TrainerConfig, TrainerError};
 }

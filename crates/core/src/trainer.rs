@@ -217,6 +217,9 @@ impl FaultConfig {
             restart_budget: self.restart_budget,
             backoff_base: Duration::from_millis(self.backoff_base_ms),
             backoff_cap: Duration::from_secs(5),
+            // Derive the jitter stream from the training seed's fault
+            // config deterministically: resumes reproduce the schedule.
+            backoff_seed: 0xBAC0_FF5E ^ self.restart_budget as u64,
             faults: self.faults.clone(),
         }
     }

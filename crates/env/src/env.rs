@@ -246,6 +246,14 @@ impl CrowdsensingEnv {
         w.energy = energy.clamp(0.0, w.capacity);
     }
 
+    /// Overwrites a PoI's remaining data, clamped to `[0, initial]` (the
+    /// serving path uses this to project a reported fleet snapshot onto
+    /// the policy's training scenario).
+    pub fn set_poi_data(&mut self, poi: usize, data: f32) {
+        let p = &mut self.pois[poi];
+        p.data = data.clamp(0.0, p.initial_data);
+    }
+
     // ---- queries for planners ----------------------------------------------
 
     /// Whether the segment `from -> to` is a legal move (inside the space and

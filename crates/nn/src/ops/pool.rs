@@ -93,6 +93,11 @@ impl Shared {
         self.queue.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Lock-free queue-length read (the mirror, not the deque itself).
+    fn queued_len(&self) -> usize {
+        self.queued.load(Ordering::Acquire)
+    }
+
     fn pop_job(&self) -> Option<Job> {
         if self.queued.load(Ordering::Acquire) == 0 {
             return None;
@@ -245,6 +250,36 @@ pub fn try_run_one() -> bool {
         true
     } else {
         false
+    }
+}
+
+/// Drains the pool's queue within `deadline` by running queued jobs on
+/// the calling thread (caller helping), returning `true` once the queue
+/// is observed empty. Used by graceful shutdown: worker threads are
+/// detached and never joined (the pool is process-global and grow-only),
+/// so "quiesced" means no *queued* work remains — a job already running
+/// on a worker finishes on its own thread.
+///
+/// Returns `false` if the deadline expires while jobs are still queued
+/// (e.g. another dispatcher keeps submitting); the caller decides whether
+/// that is an error.
+pub fn quiesce(deadline: std::time::Duration) -> bool {
+    let start = std::time::Instant::now();
+    let s = shared();
+    loop {
+        // ordering: Acquire pairs with the Release len publication in
+        // submit/pop so an observed-zero here means every enqueued job has
+        // been popped by someone.
+        if s.queued_len() == 0 {
+            return true;
+        }
+        if !try_run_one() {
+            // Queue non-empty but pop lost a race: give the winner a beat.
+            thread::yield_now();
+        }
+        if start.elapsed() >= deadline {
+            return s.queued_len() == 0;
+        }
     }
 }
 

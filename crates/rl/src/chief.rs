@@ -32,6 +32,8 @@
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -214,10 +216,18 @@ pub struct ChiefConfig {
     /// ([`ChiefError::RestartBudgetExhausted`]).
     pub restart_budget: usize,
     /// Base of the per-employee exponential respawn backoff: restart `n` of
-    /// one employee sleeps `backoff_base * 2^n` (capped).
+    /// one employee sleeps a jittered `backoff_base * 2^n` (capped) — see
+    /// [`jittered_backoff`] for the exact schedule.
     pub backoff_base: Duration,
     /// Upper bound on one backoff sleep.
     pub backoff_cap: Duration,
+    /// Seed of the backoff-jitter stream. Plain exponential backoff
+    /// synchronizes restart storms: several employees dying in the same
+    /// round would otherwise all sleep the identical `base * 2^n` and
+    /// respawn (and, under a shared-cause failure, die again) in lockstep.
+    /// Mixing a per-chief seeded stream into every sleep decorrelates them
+    /// while keeping the schedule deterministic for a given seed.
+    pub backoff_seed: u64,
     /// Deterministic fault-injection script (empty in production).
     pub faults: FaultPlan,
 }
@@ -229,9 +239,36 @@ impl Default for ChiefConfig {
             restart_budget: 0,
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_secs(5),
+            backoff_seed: 0xBAC0_FF5E,
             faults: FaultPlan::none(),
         }
     }
+}
+
+/// The decorrelated respawn backoff: restart `n` sleeps uniformly in
+/// `[target/2, target]` where `target = min(base * 2^min(n,16), cap)`.
+///
+/// The deterministic upper half of the exponential window preserves the
+/// budget-exhaustion pacing the chaos suite relies on, while the seeded
+/// uniform draw spreads simultaneous respawns across half a window so a
+/// multi-employee death does not restart (and re-fail) in lockstep.
+pub fn jittered_backoff(
+    base: Duration,
+    cap: Duration,
+    restarts: usize,
+    rng: &mut StdRng,
+) -> Duration {
+    let exponent = restarts.min(16) as u32;
+    let target = base.saturating_mul(2u32.saturating_pow(exponent)).min(cap);
+    if target.is_zero() {
+        return target;
+    }
+    let target_ns = target.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let half = target_ns / 2;
+    // One draw per sleep, consumed even when half == 0 so the stream
+    // position is independent of the duration values.
+    let jitter = rng.gen_range(0..half + 1);
+    Duration::from_nanos(half + jitter)
 }
 
 // -------------------------------------------------------------- data types
@@ -605,6 +642,9 @@ pub struct ChiefExecutor {
     round: u64,
     /// Respawns spent from the restart budget.
     restarts_used: usize,
+    /// Seeded jitter stream decorrelating respawn backoffs (see
+    /// [`jittered_backoff`]).
+    backoff_rng: StdRng,
     /// Cached telemetry handles; `None` until [`ChiefExecutor::set_telemetry`].
     telemetry: Option<ChiefTelemetry>,
 }
@@ -668,6 +708,7 @@ impl ChiefExecutor {
                 dead: None,
             });
         }
+        let backoff_rng = StdRng::seed_from_u64(cfg.backoff_seed);
         Ok(Self {
             slots,
             reply_rx,
@@ -680,6 +721,7 @@ impl ChiefExecutor {
             snapshot: None,
             round: 0,
             restarts_used: 0,
+            backoff_rng,
             telemetry: None,
         })
     }
@@ -771,12 +813,12 @@ impl ChiefExecutor {
                     reason,
                 });
             }
-            let exponent = self.slots[i].restarts.min(16) as u32;
-            let backoff = self
-                .cfg
-                .backoff_base
-                .saturating_mul(2u32.saturating_pow(exponent))
-                .min(self.cfg.backoff_cap);
+            let backoff = jittered_backoff(
+                self.cfg.backoff_base,
+                self.cfg.backoff_cap,
+                self.slots[i].restarts,
+                &mut self.backoff_rng,
+            );
             if !backoff.is_zero() {
                 std::thread::sleep(backoff);
             }
@@ -1232,8 +1274,58 @@ mod tests {
             restart_budget: 8,
             backoff_base: Duration::from_millis(1),
             backoff_cap: Duration::from_millis(4),
+            backoff_seed: 7,
             faults: FaultPlan::none(),
         }
+    }
+
+    #[test]
+    fn jittered_backoff_pins_seeded_schedule() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(5);
+        let mut rng = StdRng::seed_from_u64(0xBAC0_FF5E);
+        let schedule: Vec<Duration> =
+            (0..6).map(|n| jittered_backoff(base, cap, n, &mut rng)).collect();
+        // Pinned against the seeded xoshiro stream: any change to the draw
+        // order or the half-open range arithmetic shows up here.
+        let expected_ns: Vec<u64> = schedule.iter().map(|d| d.as_nanos() as u64).collect();
+        let mut check = StdRng::seed_from_u64(0xBAC0_FF5E);
+        for (n, &got) in expected_ns.iter().enumerate() {
+            let target = base.saturating_mul(2u32.saturating_pow(n as u32)).min(cap);
+            let target_ns = target.as_nanos() as u64;
+            let half = target_ns / 2;
+            let want = half + check.gen_range(0..half + 1);
+            assert_eq!(got, want, "restart {n}");
+            // Decorrelation window: always within [target/2, target].
+            assert!(got >= half && got <= target_ns, "restart {n}: {got} vs target {target_ns}");
+        }
+        // Replaying the same seed reproduces the schedule exactly.
+        let mut replay = StdRng::seed_from_u64(0xBAC0_FF5E);
+        let again: Vec<Duration> =
+            (0..6).map(|n| jittered_backoff(base, cap, n, &mut replay)).collect();
+        assert_eq!(schedule, again);
+    }
+
+    #[test]
+    fn jittered_backoff_respects_cap_and_zero_base() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Deep restart counts saturate at the cap (never overflow).
+        let d = jittered_backoff(Duration::from_secs(1), Duration::from_secs(4), 60, &mut rng);
+        assert!(d >= Duration::from_secs(2) && d <= Duration::from_secs(4));
+        // A zero base keeps the schedule at zero but still consumes a draw
+        // only when non-zero, returning immediately otherwise.
+        let z = jittered_backoff(Duration::ZERO, Duration::from_secs(1), 3, &mut rng);
+        assert_eq!(z, Duration::ZERO);
+        // Two executors with different seeds must decorrelate: their restart-0
+        // sleeps differ for at least one of a handful of seeds.
+        let draws: Vec<u64> = (0..4)
+            .map(|s| {
+                let mut r = StdRng::seed_from_u64(s);
+                jittered_backoff(Duration::from_millis(10), Duration::from_secs(1), 4, &mut r)
+                    .as_nanos() as u64
+            })
+            .collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]), "seeds failed to decorrelate: {draws:?}");
     }
 
     #[test]

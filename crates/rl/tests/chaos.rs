@@ -59,6 +59,7 @@ fn executor(faults: FaultPlan) -> ChiefExecutor {
         restart_budget: 8,
         backoff_base: Duration::from_millis(1),
         backoff_cap: Duration::from_millis(4),
+        backoff_seed: 7,
         faults,
     };
     ChiefExecutor::spawn_with(M, |i| Box::new(ChaosEmployee::new(i)), cfg)

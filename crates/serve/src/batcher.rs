@@ -1,0 +1,242 @@
+//! The micro-batch engine: deadline shedding, batched policy inference,
+//! greedy fallback, and per-batch panic containment.
+//!
+//! Each cycle pops a batch from the admission queue, sheds anything past
+//! its deadline with a typed error, feeds the worst observed queue wait to
+//! the shed ladder, and serves the survivors either through one batched
+//! actor-critic forward pass or — degraded — through the greedy baseline.
+//! A panic inside the batched pass is caught and the batch retried
+//! per-request through greedy, so one poisoned request can only take down
+//! its own reply, never the loop.
+
+use crate::model::PolicyBundle;
+use crate::queue::Pending;
+use crate::shed::{Mode, ShedLadder};
+use rand::rngs::StdRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+use vc_baselines::prelude::{GreedyScheduler, Scheduler};
+use vc_env::prelude::*;
+use vc_rl::prelude::*;
+use vc_telemetry::{Counter, Gauge, Histogram, Telemetry};
+
+use crate::protocol::{ActionOut, Response, ScheduleReply, ScheduleRequest, WireError};
+
+/// Bucket bounds for request latency (seconds): 1ms .. 5s.
+pub const REQUEST_SECONDS_BOUNDS: [f64; 8] = [0.001, 0.005, 0.02, 0.05, 0.1, 0.5, 1.0, 5.0];
+
+/// Bucket bounds for batch occupancy (requests per batch).
+pub const BATCH_OCCUPANCY_BOUNDS: [f64; 6] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// Cached metric handles for the serving hot path (registered once; see
+/// the `vc_telemetry` overhead policy).
+pub struct ServeMetrics {
+    /// `serve_queue_depth` gauge.
+    pub queue_depth: Arc<Gauge>,
+    /// `serve_requests_total` counter (admitted requests).
+    pub requests: Arc<Counter>,
+    /// `serve_shed_total{reason="deadline"}`.
+    pub shed_deadline: Arc<Counter>,
+    /// `serve_shed_total{reason="queue_full"}`.
+    pub shed_queue_full: Arc<Counter>,
+    /// `serve_degraded_batches_total` (batches served by greedy).
+    pub degraded_batches: Arc<Counter>,
+    /// `serve_reload_total{outcome="ok"}`.
+    pub reload_ok: Arc<Counter>,
+    /// `serve_reload_total{outcome="rolled_back"}`.
+    pub reload_rolled_back: Arc<Counter>,
+    /// `serve_batch_panics_total` (batched passes that panicked and fell
+    /// back to greedy).
+    pub panics: Arc<Counter>,
+    /// `serve_request_seconds` histogram (admission → reply).
+    pub request_seconds: Arc<Histogram>,
+    /// `serve_batch_occupancy` histogram.
+    pub batch_occupancy: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    /// Registers (or re-looks-up) every serve metric on `t`.
+    #[must_use]
+    pub fn new(t: &Telemetry) -> Self {
+        ServeMetrics {
+            queue_depth: t.gauge("serve_queue_depth"),
+            requests: t.counter("serve_requests_total"),
+            shed_deadline: t.counter_labeled("serve_shed_total", &[("reason", "deadline")]),
+            shed_queue_full: t.counter_labeled("serve_shed_total", &[("reason", "queue_full")]),
+            degraded_batches: t.counter("serve_degraded_batches_total"),
+            reload_ok: t.counter_labeled("serve_reload_total", &[("outcome", "ok")]),
+            reload_rolled_back: t
+                .counter_labeled("serve_reload_total", &[("outcome", "rolled_back")]),
+            panics: t.counter("serve_batch_panics_total"),
+            request_seconds: t.histogram("serve_request_seconds", &REQUEST_SECONDS_BOUNDS),
+            batch_occupancy: t.histogram("serve_batch_occupancy", &BATCH_OCCUPANCY_BOUNDS),
+        }
+    }
+}
+
+/// What one batch cycle did (drives stats and tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Requests answered with a schedule.
+    pub served: usize,
+    /// Requests shed past their deadline.
+    pub shed: usize,
+    /// Whether the batch ran in degraded (greedy) mode.
+    pub degraded: bool,
+    /// Whether the batched policy pass panicked.
+    pub panicked: bool,
+}
+
+/// Projects a reported fleet snapshot onto a fresh scenario environment.
+/// Coordinates are clamped to the space (the snapshot is advisory — the
+/// policy only needs a plausible state, not a bit-exact one); energies and
+/// PoI levels are clamped by the env setters.
+pub fn apply_snapshot(env: &mut CrowdsensingEnv, req: &ScheduleRequest) {
+    let (sx, sy) = (env.config().size_x, env.config().size_y);
+    for (i, w) in req.workers.iter().enumerate().take(env.workers().len()) {
+        env.teleport_worker(i, Point::new(w.x.clamp(0.0, sx), w.y.clamp(0.0, sy)));
+        env.set_worker_energy(i, w.energy);
+    }
+    let pois = env.pois().len();
+    for (i, &d) in req.poi_data.iter().enumerate().take(pois) {
+        env.set_poi_data(i, d);
+    }
+}
+
+fn actions_to_wire(actions: &[WorkerAction]) -> Vec<ActionOut> {
+    actions
+        .iter()
+        .map(|a| ActionOut { move_index: a.movement.index() as u64, charge: a.charge })
+        .collect()
+}
+
+/// Answers one pending request through the greedy baseline (also the
+/// per-request fallback after a batched-pass panic). Greedy itself runs
+/// under `catch_unwind`, so even a request that breaks *both* schedulers
+/// gets a typed internal error instead of killing the loop.
+fn serve_one_greedy(pending: &Pending, env: &mut CrowdsensingEnv, rng: &mut StdRng) -> Response {
+    apply_snapshot(env, &pending.req);
+    let decided = catch_unwind(AssertUnwindSafe(|| {
+        let mut greedy = GreedyScheduler;
+        greedy.decide(env, rng)
+    }));
+    match decided {
+        Ok(actions) => Response::Schedule(ScheduleReply {
+            id: pending.req.id,
+            mode: "greedy".to_owned(),
+            actions: actions_to_wire(&actions),
+            queued_ms: pending.waited(Instant::now()).as_secs_f64() * 1e3,
+        }),
+        Err(_) => Response::Rejected(WireError::Internal {
+            id: pending.req.id,
+            reason: "scheduler panicked".to_owned(),
+        }),
+    }
+}
+
+fn send_reply(pending: &Pending, resp: Response, metrics: &ServeMetrics) {
+    metrics.request_seconds.observe(pending.enqueued.elapsed().as_secs_f64());
+    // A dead connection (receiver dropped) is the client's loss, not ours.
+    let _ = pending.reply.try_send(resp);
+}
+
+/// Runs one popped batch to completion: every request in `batch` receives
+/// exactly one response (schedule, typed shed, or typed internal error).
+pub fn process_batch(
+    batch: Vec<Pending>,
+    bundle: &PolicyBundle,
+    ladder: &mut ShedLadder,
+    rng: &mut StdRng,
+    metrics: &ServeMetrics,
+) -> BatchOutcome {
+    let mut outcome = BatchOutcome::default();
+    let now = Instant::now();
+    metrics.batch_occupancy.observe(batch.len() as f64);
+
+    // Deadline-aware shedding: expired requests are answered, not dropped.
+    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+    let mut worst_wait = std::time::Duration::ZERO;
+    for p in batch {
+        let waited = p.waited(now);
+        if p.expired(now) {
+            metrics.shed_deadline.inc();
+            outcome.shed += 1;
+            let err =
+                WireError::DeadlineExceeded { id: p.req.id, waited_ms: waited.as_millis() as u64 };
+            send_reply(&p, Response::Rejected(err), metrics);
+        } else {
+            worst_wait = worst_wait.max(waited);
+            live.push(p);
+        }
+    }
+    if live.is_empty() {
+        return outcome;
+    }
+
+    let mode = ladder.observe(worst_wait);
+    outcome.degraded = mode == Mode::Degraded;
+
+    let mut base = match bundle.artifact.make_env() {
+        Ok(env) => env,
+        Err(e) => {
+            for p in &live {
+                let err = WireError::Internal { id: p.req.id, reason: e.to_string() };
+                send_reply(p, Response::Rejected(err), metrics);
+            }
+            return outcome;
+        }
+    };
+
+    if mode == Mode::Degraded {
+        metrics.degraded_batches.inc();
+        for p in &live {
+            let resp = serve_one_greedy(p, &mut base, rng);
+            send_reply(p, resp, metrics);
+            outcome.served += 1;
+        }
+        return outcome;
+    }
+
+    // One env per request, all sharing the artifact's scenario so the
+    // batched forward pass sees a homogeneous worker count.
+    let mut envs: Vec<CrowdsensingEnv> = Vec::with_capacity(live.len());
+    for p in &live {
+        let mut env = base.clone();
+        apply_snapshot(&mut env, &p.req);
+        envs.push(env);
+    }
+    let env_refs: Vec<&CrowdsensingEnv> = envs.iter().collect();
+    let opts =
+        PolicyOptions { mode: SampleMode::Greedy, mask_invalid: bundle.artifact.mask_invalid };
+    let sampled = catch_unwind(AssertUnwindSafe(|| {
+        sample_actions_batched(&bundle.artifact.net, &bundle.artifact.store, &env_refs, opts, rng)
+    }));
+    match sampled {
+        Ok(joint) if joint.len() == live.len() => {
+            for (p, s) in live.iter().zip(&joint) {
+                let resp = Response::Schedule(ScheduleReply {
+                    id: p.req.id,
+                    mode: "policy".to_owned(),
+                    actions: actions_to_wire(&s.actions),
+                    queued_ms: p.waited(now).as_secs_f64() * 1e3,
+                });
+                send_reply(p, resp, metrics);
+                outcome.served += 1;
+            }
+        }
+        _ => {
+            // Batched pass panicked (or returned a malformed batch):
+            // contain it and retry each request alone through greedy, so a
+            // single poisoned request costs only its own reply.
+            metrics.panics.inc();
+            outcome.panicked = true;
+            for p in &live {
+                let resp = serve_one_greedy(p, &mut base, rng);
+                send_reply(p, resp, metrics);
+                outcome.served += 1;
+            }
+        }
+    }
+    outcome
+}

@@ -1,0 +1,133 @@
+//! `vc_serve` — the fleet-scheduling daemon.
+//!
+//! ```text
+//! vc_serve --checkpoint ck.v2 [--tcp 127.0.0.1:7477] [--uds /run/vc.sock]
+//!          [--telemetry-jsonl serve.jsonl] [--queue-cap 64] [--batch-max 16]
+//!          [--slo-ms 50] [--deadline-ms 200]
+//! ```
+//!
+//! The daemon runs until stdin reaches EOF (systemd-friendly: closing the
+//! handle requests shutdown), then drains gracefully within the shutdown
+//! deadline. Signal-based shutdown (SIGTERM) cannot be caught without
+//! `unsafe` (denied workspace-wide), so process managers should close
+//! stdin or let `Drop` run; the drain guarantee is identical.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+use vc_serve::prelude::*;
+use vc_telemetry::Telemetry;
+
+struct Args {
+    checkpoint: PathBuf,
+    tcp: Option<String>,
+    uds: Option<PathBuf>,
+    telemetry_jsonl: Option<PathBuf>,
+    cfg: ServeConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vc_serve --checkpoint <file.v2> [--tcp ADDR] [--uds PATH] \
+         [--telemetry-jsonl PATH] [--queue-cap N] [--batch-max N] [--slo-ms N] \
+         [--deadline-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut checkpoint = None;
+    let mut tcp = None;
+    let mut uds = None;
+    let mut telemetry_jsonl = None;
+    let mut cfg = ServeConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint"))),
+            "--tcp" => tcp = Some(value("--tcp")),
+            "--uds" => uds = Some(PathBuf::from(value("--uds"))),
+            "--telemetry-jsonl" => {
+                telemetry_jsonl = Some(PathBuf::from(value("--telemetry-jsonl")));
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = value("--queue-cap").parse().unwrap_or_else(|_| usage());
+            }
+            "--batch-max" => {
+                cfg.batch_max = value("--batch-max").parse().unwrap_or_else(|_| usage());
+            }
+            "--slo-ms" => {
+                cfg.slo =
+                    Duration::from_millis(value("--slo-ms").parse().unwrap_or_else(|_| usage()));
+            }
+            "--deadline-ms" => {
+                cfg.default_deadline = Duration::from_millis(
+                    value("--deadline-ms").parse().unwrap_or_else(|_| usage()),
+                );
+            }
+            _ => usage(),
+        }
+    }
+    let Some(checkpoint) = checkpoint else { usage() };
+    let mut args = Args { checkpoint, tcp, uds, telemetry_jsonl, cfg };
+    if args.tcp.is_none() && args.uds.is_none() {
+        args.tcp = Some("127.0.0.1:7477".to_owned());
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let telemetry = Telemetry::new();
+    if let Some(path) = &args.telemetry_jsonl {
+        if let Err(e) = telemetry.attach_jsonl(path) {
+            eprintln!("vc_serve: cannot open telemetry sink {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    let artifact = match drl_cews::serving::PolicyArtifact::from_file(Path::new(&args.checkpoint)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("vc_serve: cannot load {}: {e}", args.checkpoint.display());
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "vc_serve: loaded {:?} (grid {}, {} workers, {} episodes trained)",
+        args.checkpoint, artifact.env.grid, artifact.env.num_workers, artifact.episodes
+    );
+    let server = match Server::start(
+        artifact,
+        args.cfg,
+        telemetry,
+        args.tcp.as_deref(),
+        args.uds.as_deref(),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vc_serve: startup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(addr) = server.tcp_addr() {
+        eprintln!("vc_serve: listening on tcp {addr}");
+    }
+    if let Some(path) = server.uds_path() {
+        eprintln!("vc_serve: listening on uds {}", path.display());
+    }
+
+    // Block until stdin closes (the shutdown request), then drain.
+    let mut sink = String::new();
+    while std::io::stdin().read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+        sink.clear();
+    }
+    let deadline = args.cfg.shutdown_deadline;
+    eprintln!("vc_serve: stdin closed, draining (deadline {deadline:?})");
+    let report = server.shutdown(deadline);
+    eprintln!(
+        "vc_serve: drained ({} rejected in drain, pool quiesced: {})",
+        report.rejected_in_drain, report.pool_quiesced
+    );
+}

@@ -1,0 +1,104 @@
+//! Typed failure surface of the daemon.
+//!
+//! Overload is a *reply*, not an exception: [`crate::protocol::WireError`]
+//! carries shed/deadline/backpressure outcomes back to the client, while
+//! [`ServeError`] covers daemon-side failures (startup, reload, I/O).
+
+use drl_cews::serving::ArtifactError;
+use std::fmt;
+use std::io;
+
+/// Daemon-side errors (never sent on the wire; wire-visible rejections are
+/// [`crate::protocol::WireError`]).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Startup or socket I/O failed.
+    Io(io::Error),
+    /// The initial checkpoint could not be loaded.
+    Artifact(ArtifactError),
+    /// A hot-reload was rejected; the previous weights remain live.
+    Reload(ReloadError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve I/O failed: {e}"),
+            ServeError::Artifact(e) => write!(f, "cannot load checkpoint: {e}"),
+            ServeError::Reload(e) => write!(f, "hot-reload rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Artifact(e) => Some(e),
+            ServeError::Reload(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<ArtifactError> for ServeError {
+    fn from(e: ArtifactError) -> Self {
+        ServeError::Artifact(e)
+    }
+}
+
+impl From<ReloadError> for ServeError {
+    fn from(e: ReloadError) -> Self {
+        ServeError::Reload(e)
+    }
+}
+
+/// Why a hot-reload did not swap; in every case the daemon keeps serving
+/// the previous weights (rollback is the *absence* of the swap — the old
+/// `Arc` is never released until a fully validated replacement exists).
+#[derive(Debug)]
+pub enum ReloadError {
+    /// The candidate file failed CRC/shape/metadata validation.
+    Artifact(ArtifactError),
+    /// The candidate is valid but serves a different scenario than the
+    /// daemon was started for, so in-flight requests would misparse.
+    Incompatible {
+        /// Expected (grid, num_workers) from the live artifact.
+        expected: (usize, usize),
+        /// Candidate's (grid, num_workers).
+        got: (usize, usize),
+    },
+}
+
+impl fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReloadError::Artifact(e) => write!(f, "candidate checkpoint invalid: {e}"),
+            ReloadError::Incompatible { expected, got } => write!(
+                f,
+                "candidate scenario (grid {}, workers {}) != live (grid {}, workers {})",
+                got.0, got.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReloadError::Artifact(e) => Some(e),
+            ReloadError::Incompatible { .. } => None,
+        }
+    }
+}
+
+impl From<ArtifactError> for ReloadError {
+    fn from(e: ArtifactError) -> Self {
+        ReloadError::Artifact(e)
+    }
+}

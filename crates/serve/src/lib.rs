@@ -1,0 +1,47 @@
+//! `vc_serve`: the overload-safe fleet-scheduling daemon.
+//!
+//! The serving path turns the repo's evaluation stack into a
+//! request/response product: a long-running daemon loads a v2 training
+//! checkpoint (via [`drl_cews::serving::PolicyArtifact`]), listens on a
+//! TCP and/or Unix-domain socket speaking a length-prefixed JSON protocol
+//! ([`protocol`]), micro-batches "schedule my fleet" requests through
+//! `sample_actions_batched`, and is engineered to *degrade instead of
+//! die*:
+//!
+//! * **Bounded admission** ([`queue`]) — a full queue answers
+//!   `QueueFull { retry_after_ms }` immediately; memory use is capped.
+//! * **Deadlines** — requests queued past their deadline are shed with a
+//!   typed `DeadlineExceeded`, never silently dropped.
+//! * **Shed ladder** ([`shed`]) — sustained SLO breaches degrade batches
+//!   from policy inference to the greedy baseline until latency recovers.
+//! * **Panic containment** ([`batcher`], [`server`]) — per connection and
+//!   per batch; a poisoned request costs only its own reply.
+//! * **Hot-reload with rollback** ([`model`]) — new weights swap in only
+//!   after full CRC/shape/metadata validation; any failure keeps the
+//!   previous generation live.
+//! * **Graceful shutdown** — [`server::Server::shutdown`] drains within a
+//!   bounded deadline, answers leftovers with `ShuttingDown`, quiesces
+//!   the kernel pool, and flushes telemetry sinks.
+//!
+//! See DESIGN.md §14 for the full overload policy and the hot-reload
+//! state machine.
+
+pub mod batcher;
+pub mod client;
+pub mod error;
+pub mod model;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod shed;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::client::{ClientError, ServeClient};
+    pub use crate::error::{ReloadError, ServeError};
+    pub use crate::protocol::{
+        ActionOut, Request, Response, ScheduleReply, ScheduleRequest, StatsReply, WireError,
+        WorkerState,
+    };
+    pub use crate::server::{ServeConfig, Server, ShutdownReport};
+}

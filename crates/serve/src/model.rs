@@ -1,0 +1,108 @@
+//! Hot-reloadable weights: validate-then-swap with implicit rollback.
+//!
+//! The live policy lives behind an `Arc` inside a [`ModelSlot`]. A reload
+//! fully loads and validates the *candidate* checkpoint (CRC32 footer,
+//! metadata parse, env validation, parameter-shape cross-check — all in
+//! [`drl_cews::serving::PolicyArtifact::from_bytes`]) plus a scenario
+//! compatibility check against the live weights, and only then swaps the
+//! `Arc` under a short lock. Any failure leaves the previous `Arc`
+//! untouched: rollback is the absence of the swap, so there is no window
+//! in which requests can observe half-loaded weights.
+
+use crate::error::ReloadError;
+use drl_cews::serving::PolicyArtifact;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// An immutable generation of servable weights.
+pub struct PolicyBundle {
+    /// The validated inference artifact.
+    pub artifact: PolicyArtifact,
+    /// Monotone generation number (0 = the startup checkpoint).
+    pub generation: u64,
+}
+
+/// The atomically swappable slot holding the live [`PolicyBundle`].
+pub struct ModelSlot {
+    current: Mutex<Arc<PolicyBundle>>,
+    generation: AtomicU64,
+    rollbacks: AtomicU64,
+}
+
+impl ModelSlot {
+    /// Wraps the startup artifact as generation 0.
+    #[must_use]
+    pub fn new(artifact: PolicyArtifact) -> Self {
+        ModelSlot {
+            current: Mutex::new(Arc::new(PolicyBundle { artifact, generation: 0 })),
+            generation: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// The live bundle. The lock is held only long enough to clone the
+    /// `Arc`; batches keep their clone for their whole lifetime, so a
+    /// reload mid-batch never changes weights under a running inference.
+    #[must_use]
+    pub fn bundle(&self) -> Arc<PolicyBundle> {
+        Arc::clone(&self.current.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Generation currently live.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        // ordering: freshness counter for stats only; the bundle itself
+        // travels through the mutex above.
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Reloads rejected so far (each one kept the previous weights).
+    #[must_use]
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks.load(Ordering::Relaxed) // ordering: stats only (see generation)
+    }
+
+    /// Validates `path` as a candidate checkpoint and swaps it in,
+    /// returning the new generation.
+    ///
+    /// # Errors
+    ///
+    /// [`ReloadError`] when the candidate fails any validation stage or
+    /// serves a different scenario; the previous weights stay live and the
+    /// rollback counter increments.
+    pub fn try_swap(&self, path: &Path) -> Result<u64, ReloadError> {
+        let result = self.validate_and_swap(path);
+        if result.is_err() {
+            // ordering: stats only (see generation)
+            self.rollbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn validate_and_swap(&self, path: &Path) -> Result<u64, ReloadError> {
+        let candidate = PolicyArtifact::from_file(path)?;
+        let live = self.bundle();
+        let expected = (live.artifact.env.grid, live.artifact.env.num_workers);
+        let got = (candidate.env.grid, candidate.env.num_workers);
+        if expected != got {
+            return Err(ReloadError::Incompatible { expected, got });
+        }
+        let generation = live.generation + 1;
+        let fresh = Arc::new(PolicyBundle { artifact: candidate, generation });
+        *self.current.lock().unwrap_or_else(PoisonError::into_inner) = fresh;
+        // ordering: stats only (see generation); publication of the new
+        // bundle happens through the mutex.
+        self.generation.store(generation, Ordering::Relaxed);
+        Ok(generation)
+    }
+}
+
+impl std::fmt::Debug for ModelSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelSlot")
+            .field("generation", &self.generation())
+            .field("rollbacks", &self.rollbacks())
+            .finish()
+    }
+}

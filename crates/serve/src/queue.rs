@@ -1,0 +1,179 @@
+//! The bounded admission queue: explicit backpressure instead of
+//! unbounded growth.
+//!
+//! Admission is `try_push` — when the queue is at capacity the request is
+//! handed back to the connection so it can answer
+//! [`crate::protocol::WireError::QueueFull`] immediately; nothing is ever
+//! silently dropped. The batch loop pops with a predicate-looped
+//! `wait_timeout_while`, so an idle daemon parks instead of spinning.
+
+use crate::protocol::{Response, ScheduleRequest};
+use std::collections::VecDeque;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One admitted request waiting for the batch loop.
+pub struct Pending {
+    /// The request as received.
+    pub req: ScheduleRequest,
+    /// When admission happened (queue-wait clock).
+    pub enqueued: Instant,
+    /// Effective deadline (request's own, or the daemon default).
+    pub deadline: Duration,
+    /// Where the single response for this request must go. The channel is
+    /// rendezvous-free (capacity 1) and the connection side waits with a
+    /// timeout, so a reply can never block the batch loop.
+    pub reply: SyncSender<Response>,
+}
+
+impl Pending {
+    /// How long this request has waited so far.
+    #[must_use]
+    pub fn waited(&self, now: Instant) -> Duration {
+        now.saturating_duration_since(self.enqueued)
+    }
+
+    /// Whether the deadline has passed.
+    #[must_use]
+    pub fn expired(&self, now: Instant) -> bool {
+        self.waited(now) > self.deadline
+    }
+}
+
+/// A bounded FIFO of [`Pending`] requests.
+pub struct AdmissionQueue {
+    inner: Mutex<VecDeque<Pending>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `cap` requests (`cap >= 1` enforced).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(VecDeque::with_capacity(cap.max(1))),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current depth.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits a request, or hands it back when the queue is full so the
+    /// caller can reply with backpressure.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(pending)` (the unchanged request) at capacity.
+    pub fn try_push(&self, pending: Pending) -> Result<(), Pending> {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.len() >= self.cap {
+            return Err(pending);
+        }
+        q.push_back(pending);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pops up to `max` requests, waiting at most `wait` for the first
+    /// one. Returns an empty vector on timeout.
+    #[must_use]
+    pub fn pop_batch(&self, max: usize, wait: Duration) -> Vec<Pending> {
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let (mut guard, _timeout) = self
+            .ready
+            .wait_timeout_while(guard, wait, |q| q.is_empty())
+            .unwrap_or_else(PoisonError::into_inner);
+        let take = guard.len().min(max.max(1));
+        guard.drain(..take).collect()
+    }
+
+    /// Empties the queue immediately (shutdown path: the caller answers
+    /// every drained request with a typed shutdown rejection).
+    #[must_use]
+    pub fn drain_all(&self) -> Vec<Pending> {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        q.drain(..).collect()
+    }
+
+    /// Wakes every batch-loop waiter (shutdown path).
+    pub fn wake_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
+impl std::fmt::Debug for AdmissionQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionQueue").field("len", &self.len()).field("cap", &self.cap).finish()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    fn pending(id: u64) -> Pending {
+        let (tx, _rx) = sync_channel(1);
+        Pending {
+            req: ScheduleRequest { id, deadline_ms: 10, workers: vec![], poi_data: vec![] },
+            enqueued: Instant::now(),
+            deadline: Duration::from_millis(10),
+            reply: tx,
+        }
+    }
+
+    #[test]
+    fn bounded_push_hands_back_overflow() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.try_push(pending(1)).is_ok());
+        assert!(q.try_push(pending(2)).is_ok());
+        let back = q.try_push(pending(3)).unwrap_err();
+        assert_eq!(back.req.id, 3);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_respects_max_and_timeout() {
+        let q = AdmissionQueue::new(8);
+        for i in 0..5 {
+            assert!(q.try_push(pending(i)).is_ok());
+        }
+        let batch = q.pop_batch(3, Duration::from_millis(1));
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].req.id, 0);
+        assert_eq!(q.len(), 2);
+        let rest = q.pop_batch(8, Duration::from_millis(1));
+        assert_eq!(rest.len(), 2);
+        // Empty queue: the wait times out and returns nothing.
+        let none = q.pop_batch(8, Duration::from_millis(5));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn expiry_clock_works() {
+        let p = pending(1);
+        assert!(!p.expired(p.enqueued + Duration::from_millis(5)));
+        assert!(p.expired(p.enqueued + Duration::from_millis(15)));
+    }
+}

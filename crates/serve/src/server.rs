@@ -1,0 +1,548 @@
+//! The daemon: socket accept loops, per-connection handlers, the batch
+//! thread, hot-reload, and deadline-bounded graceful shutdown.
+//!
+//! Failure containment is layered: the framing layer answers malformed
+//! frames in-band and drops only the offending connection; each
+//! connection handler runs under `catch_unwind`; the batch loop contains
+//! panics per batch (see [`crate::batcher`]); and shutdown drains the
+//! admission queue within a bounded deadline, answering anything left
+//! with a typed [`WireError::ShuttingDown`] so no admitted request is
+//! ever silently lost.
+
+use crate::batcher::{process_batch, ServeMetrics};
+use crate::error::ServeError;
+use crate::model::ModelSlot;
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, FrameError, Request, Response,
+    ScheduleRequest, StatsReply, WireError,
+};
+use crate::queue::{AdmissionQueue, Pending};
+use crate::shed::ShedLadder;
+use drl_cews::serving::PolicyArtifact;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{Builder, JoinHandle};
+use std::time::{Duration, Instant};
+use vc_telemetry::{Field, Telemetry};
+
+/// Tunables for the daemon; the defaults suit an interactive deployment
+/// and the integration tests shrink them aggressively.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Bounded admission-queue capacity.
+    pub queue_cap: usize,
+    /// Max requests folded into one batched forward pass.
+    pub batch_max: usize,
+    /// Deadline applied when a request asks for `deadline_ms == 0`.
+    pub default_deadline: Duration,
+    /// Queue-wait SLO feeding the shed ladder.
+    pub slo: Duration,
+    /// Consecutive SLO breaches before degrading to greedy.
+    pub trip_after: u32,
+    /// Consecutive healthy batches before recovering to policy mode.
+    pub recover_after: u32,
+    /// Socket read timeout — bounds how long a wedged client can pin a
+    /// connection thread.
+    pub read_timeout: Duration,
+    /// How long the batch loop parks waiting for work per cycle.
+    pub pop_wait: Duration,
+    /// Drain budget applied by [`Server::shutdown`] and `Drop`.
+    pub shutdown_deadline: Duration,
+    /// Seed of the serving RNG (greedy tie-breaks, sampling).
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_cap: 64,
+            batch_max: 16,
+            default_deadline: Duration::from_millis(200),
+            slo: Duration::from_millis(50),
+            trip_after: 3,
+            recover_after: 5,
+            read_timeout: Duration::from_secs(2),
+            pop_wait: Duration::from_millis(20),
+            shutdown_deadline: Duration::from_secs(2),
+            seed: 0x5EED_5EED,
+        }
+    }
+}
+
+/// Shared daemon state (one per [`Server`], behind an `Arc`).
+struct Inner {
+    cfg: ServeConfig,
+    slot: ModelSlot,
+    queue: AdmissionQueue,
+    /// Set once at shutdown: stop admitting, drain, exit loops.
+    stop: AtomicBool,
+    /// Wall-clock bound for the drain, set by shutdown.
+    drain_deadline: Mutex<Option<Instant>>,
+    metrics: ServeMetrics,
+    telemetry: Telemetry,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    degraded: AtomicBool,
+    expected_workers: usize,
+}
+
+impl Inner {
+    fn stopping(&self) -> bool {
+        // ordering: shutdown flag is a plain latch; loops that miss one
+        // update observe it next cycle, and the drain itself synchronizes
+        // through the queue mutex.
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// What shutdown managed to do within its deadline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Requests still queued at shutdown that were answered with a
+    /// typed `ShuttingDown` rejection instead of a schedule.
+    pub rejected_in_drain: usize,
+    /// Whether the kernel pool quiesced within the remaining budget.
+    pub pool_quiesced: bool,
+}
+
+/// A running daemon. Dropping it performs a graceful, deadline-bounded
+/// shutdown (see [`Server::shutdown`] for the explicit form).
+pub struct Server {
+    inner: Arc<Inner>,
+    batch_thread: Option<JoinHandle<usize>>,
+    accept_threads: Vec<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    uds_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Starts the daemon: loads nothing itself (the caller provides a
+    /// validated [`PolicyArtifact`]), binds the requested sockets, spawns
+    /// the accept loops and the batch thread.
+    ///
+    /// Pass `tcp` as a bind address (`"127.0.0.1:0"` picks a free port;
+    /// see [`Server::tcp_addr`]) and/or `uds` as a socket path. At least
+    /// one must be given.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when binding or thread spawning fails, or when
+    /// neither listener is requested.
+    pub fn start(
+        artifact: PolicyArtifact,
+        cfg: ServeConfig,
+        telemetry: Telemetry,
+        tcp: Option<&str>,
+        uds: Option<&Path>,
+    ) -> Result<Server, ServeError> {
+        if tcp.is_none() && uds.is_none() {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "no listener requested",
+            )));
+        }
+        let expected_workers = artifact.env.num_workers;
+        let inner = Arc::new(Inner {
+            queue: AdmissionQueue::new(cfg.queue_cap),
+            slot: ModelSlot::new(artifact),
+            stop: AtomicBool::new(false),
+            drain_deadline: Mutex::new(None),
+            metrics: ServeMetrics::new(&telemetry),
+            telemetry,
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            expected_workers,
+            cfg,
+        });
+
+        let mut accept_threads = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = tcp {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            let inner2 = Arc::clone(&inner);
+            accept_threads.push(
+                Builder::new()
+                    .name("serve-accept-tcp".into())
+                    .spawn(move || accept_loop_tcp(&listener, &inner2))?,
+            );
+        }
+        let mut uds_path = None;
+        if let Some(path) = uds {
+            // A stale socket file from a crashed predecessor would fail the
+            // bind; it is ours to claim.
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            uds_path = Some(path.to_path_buf());
+            let inner2 = Arc::clone(&inner);
+            accept_threads.push(
+                Builder::new()
+                    .name("serve-accept-uds".into())
+                    .spawn(move || accept_loop_uds(&listener, &inner2))?,
+            );
+        }
+
+        inner.telemetry.event(
+            "serve_start",
+            &[
+                ("workers", Field::U64(expected_workers as u64)),
+                ("queue_cap", Field::U64(cfg.queue_cap as u64)),
+            ],
+        );
+        let inner2 = Arc::clone(&inner);
+        let batch_thread =
+            Some(Builder::new().name("serve-batch".into()).spawn(move || batch_loop(&inner2))?);
+        Ok(Server { inner, batch_thread, accept_threads, tcp_addr, uds_path })
+    }
+
+    /// The bound TCP address (useful with a `:0` bind).
+    #[must_use]
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix-socket path, if any.
+    #[must_use]
+    pub fn uds_path(&self) -> Option<&Path> {
+        self.uds_path.as_deref()
+    }
+
+    /// Live weight generation.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.inner.slot.generation()
+    }
+
+    /// Rejected reloads so far (each kept the previous weights).
+    #[must_use]
+    pub fn rollbacks(&self) -> u64 {
+        self.inner.slot.rollbacks()
+    }
+
+    /// Hot-reloads weights from `path` (same validation as the `Reload`
+    /// wire request).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Reload`]; the previous weights remain live.
+    pub fn reload(&self, path: &Path) -> Result<u64, ServeError> {
+        match self.inner.slot.try_swap(path) {
+            Ok(generation) => {
+                self.inner.metrics.reload_ok.inc();
+                Ok(generation)
+            }
+            Err(e) => {
+                self.inner.metrics.reload_rolled_back.inc();
+                Err(ServeError::Reload(e))
+            }
+        }
+    }
+
+    /// Gracefully shuts down within `deadline`: stops admitting, drains
+    /// queued requests through the batch loop, answers anything still
+    /// queued at the deadline with `ShuttingDown`, joins the daemon
+    /// threads, quiesces the kernel pool, and flushes telemetry sinks.
+    #[must_use]
+    pub fn shutdown(mut self, deadline: Duration) -> ShutdownReport {
+        self.shutdown_inner(deadline)
+    }
+
+    fn shutdown_inner(&mut self, deadline: Duration) -> ShutdownReport {
+        let start = Instant::now();
+        *self.inner.drain_deadline.lock().unwrap_or_else(PoisonError::into_inner) =
+            Some(start + deadline);
+        // ordering: latch (see Inner::stopping)
+        self.inner.stop.store(true, Ordering::Relaxed);
+        self.inner.queue.wake_all();
+        for handle in self.accept_threads.drain(..) {
+            let _ = handle.join();
+        }
+        let rejected_in_drain =
+            self.batch_thread.take().map_or(0, |h| h.join().unwrap_or_default());
+        let remaining = deadline.saturating_sub(start.elapsed());
+        let pool_quiesced = vc_nn::ops::pool::quiesce(remaining);
+        // One summary event so the JSONL sink always carries the lifecycle
+        // tail, then flush it to the OS before the handle goes away.
+        self.inner.telemetry.event(
+            "serve_shutdown",
+            &[
+                ("rejected_in_drain", Field::U64(rejected_in_drain as u64)),
+                ("pool_quiesced", Field::Bool(pool_quiesced)),
+                // ordering: stats tallies, see Inner
+                ("admitted", Field::U64(self.inner.admitted.load(Ordering::Relaxed))),
+                ("shed", Field::U64(self.inner.shed.load(Ordering::Relaxed))), // ordering: as above
+                ("generation", Field::U64(self.inner.slot.generation())),
+            ],
+        );
+        let _ = self.inner.telemetry.flush();
+        if let Some(path) = &self.uds_path {
+            let _ = std::fs::remove_file(path);
+        }
+        ShutdownReport { rejected_in_drain, pool_quiesced }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.batch_thread.is_some() {
+            let deadline = self.inner.cfg.shutdown_deadline;
+            let _ = self.shutdown_inner(deadline);
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("tcp", &self.tcp_addr)
+            .field("uds", &self.uds_path)
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
+fn accept_loop_tcp(listener: &TcpListener, inner: &Arc<Inner>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => spawn_conn_tcp(stream, inner),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if inner.stopping() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                if inner.stopping() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn accept_loop_uds(listener: &UnixListener, inner: &Arc<Inner>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => spawn_conn_uds(stream, inner),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if inner.stopping() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                if inner.stopping() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn spawn_conn_tcp(stream: TcpStream, inner: &Arc<Inner>) {
+    let inner2 = Arc::clone(inner);
+    let spawned = Builder::new().name("serve-conn".into()).spawn(move || {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(inner2.cfg.read_timeout));
+        let mut stream = stream;
+        // Panic containment per connection: a handler bug poisons only
+        // this connection, never the daemon.
+        let _ = catch_unwind(AssertUnwindSafe(|| handle_conn(&mut stream, &inner2)));
+    });
+    // Spawn failure (fd/thread exhaustion): drop the connection — the
+    // client sees a reset, which is backpressure too.
+    drop(spawned);
+}
+
+fn spawn_conn_uds(stream: UnixStream, inner: &Arc<Inner>) {
+    let inner2 = Arc::clone(inner);
+    let spawned = Builder::new().name("serve-conn".into()).spawn(move || {
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(inner2.cfg.read_timeout));
+        let mut stream = stream;
+        let _ = catch_unwind(AssertUnwindSafe(|| handle_conn(&mut stream, &inner2)));
+    });
+    drop(spawned);
+}
+
+fn write_response<S: Read + Write>(stream: &mut S, resp: &Response) -> bool {
+    write_frame(stream, &encode_response(resp)).is_ok()
+}
+
+/// Per-connection request loop, shared by TCP and Unix sockets.
+fn handle_conn<S: Read + Write>(stream: &mut S, inner: &Arc<Inner>) {
+    loop {
+        let payload = match read_frame(stream) {
+            Ok(p) => p,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::TooLarge { claimed }) => {
+                // The payload was never read, so framing is lost: answer
+                // once, then drop the connection.
+                let err = WireError::BadRequest {
+                    id: 0,
+                    reason: format!("frame of {claimed} bytes exceeds cap"),
+                };
+                let _ = write_response(stream, &Response::Rejected(err));
+                return;
+            }
+            // Read timeout (wedged client) or hard I/O error: drop.
+            Err(FrameError::Io(_)) => return,
+        };
+        let Some(request) = decode_request(&payload) else {
+            let err =
+                WireError::BadRequest { id: 0, reason: "unparsable request frame".to_owned() };
+            if !write_response(stream, &Response::Rejected(err)) {
+                return;
+            }
+            continue;
+        };
+        let resp = match request {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats(stats(inner)),
+            Request::Reload { path } => match inner.slot.try_swap(Path::new(&path)) {
+                Ok(generation) => {
+                    inner.metrics.reload_ok.inc();
+                    Response::Reloaded { ok: true, detail: format!("generation {generation}") }
+                }
+                Err(e) => {
+                    inner.metrics.reload_rolled_back.inc();
+                    Response::Reloaded { ok: false, detail: e.to_string() }
+                }
+            },
+            Request::Schedule(req) => schedule(inner, req),
+        };
+        if !write_response(stream, &resp) {
+            return;
+        }
+    }
+}
+
+fn stats(inner: &Arc<Inner>) -> StatsReply {
+    StatsReply {
+        generation: inner.slot.generation(),
+        queue_depth: inner.queue.len() as u64,
+        // ordering: stats snapshot; each counter is independent.
+        degraded: inner.degraded.load(Ordering::Relaxed),
+        admitted: inner.admitted.load(Ordering::Relaxed), // ordering: see above
+        shed: inner.shed.load(Ordering::Relaxed),         // ordering: see above
+    }
+}
+
+/// Admission: validate, enqueue with backpressure, then wait for the
+/// batch loop's single response.
+fn schedule(inner: &Arc<Inner>, req: ScheduleRequest) -> Response {
+    let id = req.id;
+    if inner.stopping() {
+        return Response::Rejected(WireError::ShuttingDown { id });
+    }
+    if let Some(reason) = validate(inner, &req) {
+        return Response::Rejected(WireError::BadRequest { id, reason });
+    }
+    let deadline = if req.deadline_ms == 0 {
+        inner.cfg.default_deadline
+    } else {
+        Duration::from_millis(req.deadline_ms)
+    };
+    let (tx, rx) = sync_channel::<Response>(1);
+    let pending = Pending { req, enqueued: Instant::now(), deadline, reply: tx };
+    match inner.queue.try_push(pending) {
+        Ok(()) => {
+            // ordering: stats tally only
+            inner.admitted.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.requests.inc();
+            inner.metrics.queue_depth.set(inner.queue.len() as f64);
+            // The batch loop always sends exactly one response (schedule,
+            // shed, or drain rejection). The slack covers one worst-case
+            // batch on top of the deadline; hitting the timeout means a
+            // daemon bug, surfaced as a typed internal error.
+            let slack = deadline + inner.cfg.slo * 4 + Duration::from_secs(2);
+            match rx.recv_timeout(slack) {
+                Ok(resp) => resp,
+                Err(_) => Response::Rejected(WireError::Internal {
+                    id,
+                    reason: "response lost".to_owned(),
+                }),
+            }
+        }
+        Err(_rejected) => {
+            // ordering: stats tally only
+            inner.shed.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.shed_queue_full.inc();
+            let retry_after_ms = (inner.cfg.slo.as_millis() as u64).max(1);
+            Response::Rejected(WireError::QueueFull { id, retry_after_ms })
+        }
+    }
+}
+
+fn validate(inner: &Arc<Inner>, req: &ScheduleRequest) -> Option<String> {
+    if req.workers.len() != inner.expected_workers {
+        return Some(format!(
+            "snapshot has {} workers, scenario expects {}",
+            req.workers.len(),
+            inner.expected_workers
+        ));
+    }
+    let finite =
+        req.workers.iter().all(|w| w.x.is_finite() && w.y.is_finite() && w.energy.is_finite())
+            && req.poi_data.iter().all(|d| d.is_finite());
+    if !finite {
+        return Some("snapshot contains non-finite values".to_owned());
+    }
+    None
+}
+
+/// The batch loop: pop → shed → infer (or degrade) → reply, until stopped
+/// and drained. Returns how many requests the drain answered with
+/// `ShuttingDown` (for the shutdown report).
+fn batch_loop(inner: &Arc<Inner>) -> usize {
+    let mut ladder = ShedLadder::new(inner.cfg.slo, inner.cfg.trip_after, inner.cfg.recover_after);
+    let mut rng = StdRng::seed_from_u64(inner.cfg.seed);
+    loop {
+        let stopping = inner.stopping();
+        let past_drain_deadline = stopping
+            && inner
+                .drain_deadline
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_some_and(|dl| Instant::now() >= dl);
+        if past_drain_deadline || (stopping && inner.queue.is_empty()) {
+            break;
+        }
+        let batch = inner.queue.pop_batch(inner.cfg.batch_max, inner.cfg.pop_wait);
+        inner.metrics.queue_depth.set(inner.queue.len() as f64);
+        if batch.is_empty() {
+            continue;
+        }
+        let bundle = inner.slot.bundle();
+        let outcome = process_batch(batch, &bundle, &mut ladder, &mut rng, &inner.metrics);
+        // ordering: stats flag only
+        inner.degraded.store(outcome.degraded, Ordering::Relaxed);
+        if outcome.shed > 0 {
+            // ordering: stats tally only
+            inner.shed.fetch_add(outcome.shed as u64, Ordering::Relaxed);
+        }
+    }
+    // Whatever is still queued gets a typed shutdown rejection — answered,
+    // never dropped.
+    let leftovers = inner.queue.drain_all();
+    let rejected = leftovers.len();
+    for p in leftovers {
+        let err = WireError::ShuttingDown { id: p.req.id };
+        let _ = p.reply.try_send(Response::Rejected(err));
+    }
+    inner.metrics.queue_depth.set(0.0);
+    rejected
+}

@@ -1,0 +1,119 @@
+//! The load-shed ladder: batched policy inference → greedy baseline.
+//!
+//! The ladder watches the worst queue wait of each batch against the
+//! latency SLO. A run of consecutive breaches trips it into degraded mode,
+//! where batches are answered by the engineered greedy scheduler (orders
+//! of magnitude cheaper than a network forward pass); a run of consecutive
+//! healthy batches steps back up. Hysteresis on both edges keeps one
+//! outlier batch from flapping the mode.
+
+use std::time::Duration;
+
+/// Which scheduler answers the current batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Batched actor-critic inference (normal operation).
+    Policy,
+    /// Greedy-baseline fallback (overload).
+    Degraded,
+}
+
+/// Hysteretic two-level shed ladder.
+#[derive(Debug)]
+pub struct ShedLadder {
+    slo: Duration,
+    trip_after: u32,
+    recover_after: u32,
+    breaches: u32,
+    healthy: u32,
+    mode: Mode,
+    degradations: u64,
+}
+
+impl ShedLadder {
+    /// A ladder tripping after `trip_after` consecutive batches whose
+    /// worst queue wait breaches `slo`, recovering after `recover_after`
+    /// consecutive healthy batches.
+    #[must_use]
+    pub fn new(slo: Duration, trip_after: u32, recover_after: u32) -> Self {
+        ShedLadder {
+            slo,
+            trip_after: trip_after.max(1),
+            recover_after: recover_after.max(1),
+            breaches: 0,
+            healthy: 0,
+            mode: Mode::Policy,
+            degradations: 0,
+        }
+    }
+
+    /// Current mode.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Times the ladder has stepped down into degraded mode.
+    #[must_use]
+    pub fn degradations(&self) -> u64 {
+        self.degradations
+    }
+
+    /// Feeds one batch's worst queue wait and returns the mode the batch
+    /// should be served in (the post-update mode, so the batch that trips
+    /// the ladder is already served degraded).
+    pub fn observe(&mut self, worst_wait: Duration) -> Mode {
+        if worst_wait > self.slo {
+            self.breaches += 1;
+            self.healthy = 0;
+            if self.mode == Mode::Policy && self.breaches >= self.trip_after {
+                self.mode = Mode::Degraded;
+                self.degradations += 1;
+            }
+        } else {
+            self.healthy += 1;
+            self.breaches = 0;
+            if self.mode == Mode::Degraded && self.healthy >= self.recover_after {
+                self.mode = Mode::Policy;
+            }
+        }
+        self.mode
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    #[test]
+    fn trips_after_consecutive_breaches_only() {
+        let mut l = ShedLadder::new(10 * MS, 3, 2);
+        assert_eq!(l.observe(20 * MS), Mode::Policy);
+        assert_eq!(l.observe(20 * MS), Mode::Policy);
+        // One healthy batch resets the breach run.
+        assert_eq!(l.observe(MS), Mode::Policy);
+        assert_eq!(l.observe(20 * MS), Mode::Policy);
+        assert_eq!(l.observe(20 * MS), Mode::Policy);
+        assert_eq!(l.observe(20 * MS), Mode::Degraded);
+        assert_eq!(l.degradations(), 1);
+    }
+
+    #[test]
+    fn recovers_with_hysteresis() {
+        let mut l = ShedLadder::new(10 * MS, 1, 3);
+        assert_eq!(l.observe(20 * MS), Mode::Degraded);
+        assert_eq!(l.observe(MS), Mode::Degraded);
+        assert_eq!(l.observe(MS), Mode::Degraded);
+        assert_eq!(l.observe(MS), Mode::Policy);
+        // A breach mid-recovery restarts the healthy run.
+        assert_eq!(l.observe(20 * MS), Mode::Degraded);
+        assert_eq!(l.observe(MS), Mode::Degraded);
+        assert_eq!(l.observe(20 * MS), Mode::Degraded);
+        assert_eq!(l.observe(MS), Mode::Degraded);
+        assert_eq!(l.observe(MS), Mode::Degraded);
+        assert_eq!(l.observe(MS), Mode::Policy);
+    }
+}

@@ -1,0 +1,222 @@
+//! Prometheus text-exposition hardening: metric/label name validation,
+//! label-value escaping, and the typed [`ExpositionError`].
+//!
+//! Metric names reach the registry as `&str`, so byte sequences that are
+//! not UTF-8 are unrepresentable by construction; what *can* still corrupt
+//! an exposition page are names outside the Prometheus charset (spaces,
+//! quotes, arbitrary unicode) and label values containing `\`, `"`, or
+//! newlines. This module rejects the former with a typed error and escapes
+//! the latter per the exposition-format spec.
+
+use std::fmt;
+
+/// Why an exposition page could not be rendered faithfully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpositionError {
+    /// A registered metric name is outside `[a-zA-Z_:][a-zA-Z0-9_:]*`
+    /// (this also covers names that only *look* textual — anything not
+    /// valid UTF-8 cannot even be registered, since names are `&str`).
+    InvalidMetricName(String),
+    /// A label key is outside `[a-zA-Z_][a-zA-Z0-9_]*` or collides with
+    /// the reserved histogram label `le`.
+    InvalidLabelName {
+        /// The metric the bad label was registered on.
+        metric: String,
+        /// The offending label key.
+        label: String,
+    },
+}
+
+impl fmt::Display for ExpositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpositionError::InvalidMetricName(name) => {
+                write!(f, "invalid Prometheus metric name {name:?}")
+            }
+            ExpositionError::InvalidLabelName { metric, label } => {
+                write!(f, "invalid Prometheus label name {label:?} on metric {metric:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExpositionError {}
+
+/// Whether `name` is a valid Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+#[must_use]
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else { return false };
+    if !(first.is_ascii_alphabetic() || first == '_' || first == ':') {
+        return false;
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Whether `name` is a valid Prometheus label name:
+/// `[a-zA-Z_][a-zA-Z0-9_]*`, excluding the reserved `le`.
+#[must_use]
+pub fn valid_label_name(name: &str) -> bool {
+    if name == "le" {
+        return false;
+    }
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else { return false };
+    if !(first.is_ascii_alphabetic() || first == '_') {
+        return false;
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escapes a label value for the text exposition format: `\` becomes
+/// `\\`, `"` becomes `\"`, and a line feed becomes `\n`. Everything else
+/// (including other unicode) passes through unchanged per the spec.
+#[must_use]
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A registry key: a base metric name plus its (sorted) label pairs.
+///
+/// Two series of the same metric with different labels are distinct
+/// entries that render under one shared `# TYPE` header.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Base metric name (validated at exposition time, not registration,
+    /// so registration can stay infallible on hot paths).
+    pub name: String,
+    /// Label pairs, sorted by key for a canonical identity.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// A key with no labels.
+    #[must_use]
+    pub fn bare(name: &str) -> Self {
+        MetricKey { name: name.to_owned(), labels: Vec::new() }
+    }
+
+    /// A key with labels; pairs are sorted by key so registration order
+    /// does not create duplicate series.
+    #[must_use]
+    pub fn labeled(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut pairs: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect();
+        pairs.sort();
+        MetricKey { name: name.to_owned(), labels: pairs }
+    }
+
+    /// Validates the name and every label key.
+    pub fn validate(&self) -> Result<(), ExpositionError> {
+        if !valid_metric_name(&self.name) {
+            return Err(ExpositionError::InvalidMetricName(self.name.clone()));
+        }
+        for (k, _) in &self.labels {
+            if !valid_label_name(k) {
+                return Err(ExpositionError::InvalidLabelName {
+                    metric: self.name.clone(),
+                    label: k.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the label block (`{k="v",...}`), with values escaped;
+    /// `extra` appends one more pre-rendered pair (used for `le`).
+    /// Returns an empty string when there are no labels at all.
+    #[must_use]
+    pub fn label_block(&self, extra: Option<(&str, &str)>) -> String {
+        if self.labels.is_empty() && extra.is_none() {
+            return String::new();
+        }
+        let mut out = String::from("{");
+        let mut first = true;
+        for (k, v) in &self.labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label_value(v));
+            out.push('"');
+        }
+        if let Some((k, v)) = extra {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label_value(v));
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_charset() {
+        assert!(valid_metric_name("vc_serve:requests_total"));
+        assert!(valid_metric_name("_x9"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("9x"));
+        assert!(!valid_metric_name("a b"));
+        assert!(!valid_metric_name("naïve"));
+        assert!(!valid_metric_name("a\"b"));
+    }
+
+    #[test]
+    fn label_charset_excludes_le() {
+        assert!(valid_label_name("shard"));
+        assert!(!valid_label_name("le"));
+        assert!(!valid_label_name("1st"));
+        assert!(!valid_label_name("a:b"));
+    }
+
+    #[test]
+    fn escaping_matches_spec() {
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(escape_label_value("plain ünicode"), "plain ünicode");
+    }
+
+    #[test]
+    fn label_block_renders_sorted_and_escaped() {
+        let key = MetricKey::labeled("m", &[("z", "1"), ("a", "x\ny")]);
+        assert_eq!(key.label_block(None), "{a=\"x\\ny\",z=\"1\"}");
+        assert_eq!(key.label_block(Some(("le", "0.5"))), "{a=\"x\\ny\",z=\"1\",le=\"0.5\"}");
+        assert_eq!(MetricKey::bare("m").label_block(None), "");
+        assert_eq!(MetricKey::bare("m").label_block(Some(("le", "+Inf"))), "{le=\"+Inf\"}");
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        assert_eq!(
+            MetricKey::bare("bad name").validate(),
+            Err(ExpositionError::InvalidMetricName("bad name".to_owned()))
+        );
+        assert_eq!(
+            MetricKey::labeled("m", &[("le", "x")]).validate(),
+            Err(ExpositionError::InvalidLabelName {
+                metric: "m".to_owned(),
+                label: "le".to_owned()
+            })
+        );
+        assert!(MetricKey::labeled("m", &[("ok", "v")]).validate().is_ok());
+    }
+}

@@ -30,12 +30,14 @@
 //! assert!(t.prometheus().contains("chief_rounds_total 1"));
 //! ```
 
+pub mod expo;
 pub mod metrics;
 pub mod sink;
 /// Sync primitive facade: `parking_lot`/std normally, `loom` under
 /// `--cfg loom`.
 pub mod sync;
 
+pub use expo::{escape_label_value, ExpositionError, MetricKey};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use sink::Field;
 
@@ -56,9 +58,9 @@ pub const SPAN_SECONDS_BOUNDS: [f64; 10] =
 struct Shared {
     enabled: AtomicBool,
     seq: AtomicU64,
-    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
-    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
-    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    counters: Mutex<BTreeMap<MetricKey, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<MetricKey, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<MetricKey, Arc<Histogram>>>,
     sink: SharedSink,
 }
 
@@ -129,21 +131,48 @@ impl Telemetry {
     /// Returns the counter registered under `name`, creating it on first
     /// use. Cache the returned `Arc` rather than re-looking-up per record.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_labeled(name, &[])
+    }
+
+    /// Returns the counter series `name{labels}`, creating it on first
+    /// use. Label pairs are sorted internally, so registration order does
+    /// not fork duplicate series; label *values* may hold any UTF-8 and
+    /// are escaped at exposition time.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = MetricKey::labeled(name, labels);
         let mut map = self.shared.counters.lock();
-        Arc::clone(map.entry(name.to_owned()).or_insert_with(|| Arc::new(Counter::new())))
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(Counter::new())))
     }
 
     /// Returns the gauge registered under `name`, creating it on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_labeled(name, &[])
+    }
+
+    /// Returns the gauge series `name{labels}`, creating it on first use.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = MetricKey::labeled(name, labels);
         let mut map = self.shared.gauges.lock();
-        Arc::clone(map.entry(name.to_owned()).or_insert_with(|| Arc::new(Gauge::new())))
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(Gauge::new())))
     }
 
     /// Returns the histogram registered under `name`, creating it with the
     /// given bucket bounds on first use (later calls keep the first bounds).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.histogram_labeled(name, &[], bounds)
+    }
+
+    /// Returns the histogram series `name{labels}`, creating it with
+    /// `bounds` on first use (later calls keep the first bounds).
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        let key = MetricKey::labeled(name, labels);
         let mut map = self.shared.histograms.lock();
-        Arc::clone(map.entry(name.to_owned()).or_insert_with(|| Arc::new(Histogram::new(bounds))))
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(Histogram::new(bounds))))
     }
 
     /// Attaches (or replaces) the JSONL event sink, appending to `path`.
@@ -195,30 +224,83 @@ impl Telemetry {
 
     /// Renders every registered metric in Prometheus text exposition
     /// format, names sorted, histograms with cumulative `le` buckets.
+    ///
+    /// Infallible variant of [`Telemetry::try_prometheus`]: series whose
+    /// metric or label names fail validation are *skipped* (with an
+    /// explanatory `#` comment) rather than emitted malformed, so the page
+    /// always parses.
     #[must_use]
     pub fn prometheus(&self) -> String {
+        self.render_prometheus(false).unwrap_or_default()
+    }
+
+    /// Renders the exposition page, failing with a typed
+    /// [`ExpositionError`] if any registered metric or label name is
+    /// outside the Prometheus charset — nothing malformed is ever
+    /// returned. (Names are `&str`, so non-UTF-8 is unrepresentable; this
+    /// catches the remaining ways a name can corrupt the page.)
+    pub fn try_prometheus(&self) -> Result<String, ExpositionError> {
+        // `strict` guarantees `render_prometheus` only returns `Err`.
+        self.render_prometheus(true)
+    }
+
+    /// Shared renderer: in strict mode the first invalid name aborts with
+    /// its typed error; otherwise invalid series degrade to a comment.
+    fn render_prometheus(&self, strict: bool) -> Result<String, ExpositionError> {
         let mut out = String::new();
-        for (name, c) in self.shared.counters.lock().iter() {
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {}", c.get());
+        let skip = |out: &mut String, err: ExpositionError| -> Result<(), ExpositionError> {
+            if strict {
+                return Err(err);
+            }
+            let _ = writeln!(out, "# skipped series: {}", err.to_string().replace('\n', " "));
+            Ok(())
+        };
+        let mut last_type: Option<String> = None;
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            if last_type.as_deref() != Some(name) {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_type = Some(name.to_owned());
+            }
+        };
+        for (key, c) in self.shared.counters.lock().iter() {
+            if let Err(err) = key.validate() {
+                skip(&mut out, err)?;
+                continue;
+            }
+            type_line(&mut out, &key.name, "counter");
+            let _ = writeln!(out, "{}{} {}", key.name, key.label_block(None), c.get());
         }
-        for (name, g) in self.shared.gauges.lock().iter() {
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {}", prom_float(g.get()));
+        for (key, g) in self.shared.gauges.lock().iter() {
+            if let Err(err) = key.validate() {
+                skip(&mut out, err)?;
+                continue;
+            }
+            type_line(&mut out, &key.name, "gauge");
+            let _ = writeln!(out, "{}{} {}", key.name, key.label_block(None), prom_float(g.get()));
         }
-        for (name, h) in self.shared.histograms.lock().iter() {
+        for (key, h) in self.shared.histograms.lock().iter() {
+            if let Err(err) = key.validate() {
+                skip(&mut out, err)?;
+                continue;
+            }
             let snap = h.snapshot();
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            type_line(&mut out, &key.name, "histogram");
             let mut cumulative = 0u64;
             for (i, bucket) in snap.buckets.iter().enumerate() {
                 cumulative += bucket;
                 let le = snap.bounds.get(i).map_or_else(|| "+Inf".to_owned(), |b| prom_float(*b));
-                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {cumulative}",
+                    key.name,
+                    key.label_block(Some(("le", &le)))
+                );
             }
-            let _ = writeln!(out, "{name}_sum {}", prom_float(snap.sum));
-            let _ = writeln!(out, "{name}_count {}", snap.count);
+            let _ =
+                writeln!(out, "{}_sum{} {}", key.name, key.label_block(None), prom_float(snap.sum));
+            let _ = writeln!(out, "{}_count{} {}", key.name, key.label_block(None), snap.count);
         }
-        out
+        Ok(out)
     }
 
     /// Writes [`Telemetry::prometheus`] output to `path`, creating parent
@@ -261,6 +343,7 @@ impl Drop for Span {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -288,6 +371,44 @@ mod tests {
         assert!(text.contains("h_bucket{le=\"2.0\"} 1"));
         assert!(text.contains("h_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("h_count 1"));
+    }
+
+    #[test]
+    fn labeled_series_escape_and_share_type_header() {
+        let t = Telemetry::new();
+        t.counter_labeled("req_total", &[("peer", "a\\b\"c\nd")]).inc();
+        t.counter_labeled("req_total", &[("peer", "plain")]).add(2);
+        let text = t.try_prometheus().unwrap();
+        assert_eq!(text.matches("# TYPE req_total counter").count(), 1);
+        assert!(text.contains("req_total{peer=\"a\\\\b\\\"c\\nd\"} 1"));
+        assert!(text.contains("req_total{peer=\"plain\"} 2"));
+        // Labeled histograms keep their own labels alongside `le`.
+        t.histogram_labeled("lat", &[("mode", "x")], &[1.0]).observe(0.5);
+        let text = t.try_prometheus().unwrap();
+        assert!(text.contains("lat_bucket{mode=\"x\",le=\"1.0\"} 1"));
+        assert!(text.contains("lat_sum{mode=\"x\"} 0.5"));
+    }
+
+    #[test]
+    fn invalid_names_fail_typed_and_never_emit_malformed() {
+        let t = Telemetry::new();
+        t.counter("ok_total").inc();
+        t.counter("bad name").inc();
+        assert_eq!(
+            t.try_prometheus(),
+            Err(ExpositionError::InvalidMetricName("bad name".to_owned()))
+        );
+        // The infallible page skips the bad series but stays parseable.
+        let page = t.prometheus();
+        assert!(page.contains("ok_total 1"));
+        // The offending name appears only inside the `#` comment, never as
+        // a sample line, so every non-comment line stays well-formed.
+        assert!(!page.lines().any(|l| !l.starts_with('#') && l.contains("bad name")));
+        assert!(page.contains("# skipped series"));
+        // Reserved `le` label key is rejected too.
+        let t2 = Telemetry::new();
+        t2.gauge_labeled("g", &[("le", "boom")]).set(1.0);
+        assert!(matches!(t2.try_prometheus(), Err(ExpositionError::InvalidLabelName { .. })));
     }
 
     #[test]

@@ -143,7 +143,8 @@ fn main() -> ExitCode {
                  integration tests\n  \
                  regen-golden   regenerate tests/fixtures/golden_trace.json\n          \
                  from the current code\n  \
-                 bench   kernel/episode benchmarks -> BENCH_kernels.json\n          \
+                 bench   kernel/episode benchmarks -> BENCH_kernels.json,\n          \
+                 then the serve_load daemon chaos bench -> BENCH_serve.json\n          \
                  (--smoke: minimal iterations, schema check + matmul\n          \
                  regression gate vs the last committed full run)\n  \
                  analyze dynamic concurrency analyses; flags select a\n          \
@@ -365,6 +366,7 @@ const TESTED_CRATES: &[&str] = &[
     "crates/baselines",
     "crates/bench",
     "crates/telemetry",
+    "crates/serve",
 ];
 
 /// Fails if any first-party library crate ships zero integration tests.
@@ -425,9 +427,61 @@ fn run_bench(root: &Path, smoke: bool) -> bool {
     if !validate_bench_artifact(&out) {
         return false;
     }
-    if smoke {
-        return check_bench_regression(root, &out);
+    if smoke && !check_bench_regression(root, &out) {
+        return false;
     }
+    run_serve_bench(root, smoke)
+}
+
+/// Runs the `serve_load` daemon load/fault-injection benchmark and
+/// validates the trajectory it emits. Smoke mode writes a throwaway file
+/// under `target/`; a full run appends to `BENCH_serve.json` at the repo
+/// root. The binary itself enforces the behavioural invariants (every
+/// request answered, corrupt reloads rejected) and exits non-zero on any
+/// violation, so a pass here is a real chaos result, not just a schema
+/// check.
+fn run_serve_bench(root: &Path, smoke: bool) -> bool {
+    let out = if smoke {
+        root.join("target").join("BENCH_serve.smoke.json")
+    } else {
+        root.join("BENCH_serve.json")
+    };
+    if smoke {
+        let _ = fs::remove_file(&out);
+    }
+    let out_str = out.display().to_string();
+    let mut args = vec!["run", "--release", "--package", "vc-bench", "--bin", "serve_load", "--"];
+    if smoke {
+        args.push("--smoke");
+    }
+    args.extend_from_slice(&["--out", &out_str]);
+    if !run_cargo(root, &args) {
+        return false;
+    }
+    validate_serve_artifact(&out)
+}
+
+/// Structural check of the serving trajectory: a JSON array whose records
+/// carry the latency percentiles and shed rate.
+fn validate_serve_artifact(path: &Path) -> bool {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask: serve artifact {} unreadable: {e}", path.display());
+            return false;
+        }
+    };
+    if !text.trim_start().starts_with('[') {
+        eprintln!("xtask: serve artifact {} is not a JSON array", path.display());
+        return false;
+    }
+    for key in ["\"p50_us\"", "\"p99_us\"", "\"shed_rate\"", "\"schema_version\""] {
+        if !text.contains(key) {
+            eprintln!("xtask: serve artifact {} missing key {key}", path.display());
+            return false;
+        }
+    }
+    eprintln!("xtask: serve artifact {} ok ({} bytes)", path.display(), text.len());
     true
 }
 
@@ -611,6 +665,7 @@ fn run_source_lints(root: &Path) -> bool {
         "crates/baselines/src",
         "crates/bench/src",
         "crates/telemetry/src",
+        "crates/serve/src",
     ] {
         let want_docs = dir == "crates/nn/src" || dir == "crates/rl/src";
         for file in rust_files(&root.join(dir)) {
