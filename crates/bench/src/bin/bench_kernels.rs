@@ -13,10 +13,13 @@
 //! validate the pipeline and the emitted JSON schema without meaningful
 //! statistics (used by `cargo xtask bench --smoke` and CI).
 //!
-//! Each run record is `{schema_version, mode, unix_time_s, results: [...]}`
-//! with one result per `(op, shape, threads)`:
-//! `{op, shape, threads, iters, ns_per_iter, gflops}`. The file as a whole
-//! is a JSON array of runs — the trajectory.
+//! Each run record is `{schema_version, mode, unix_time_s, target_features,
+//! simd_kernel, results: [...]}` with one result per `(op, shape,
+//! threads)`: `{op, shape, threads, iters, ns_per_iter, gflops}`. The file
+//! as a whole is a JSON array of runs — the trajectory. Schema version 2
+//! added `target_features` (the CPU features detected at run time, e.g.
+//! `avx2,fma`) and `simd_kernel` (which GEMM micro-kernel flavor the run
+//! exercised); version-1 records in the history stay valid.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)] // a broken bench fixture should abort loudly
 
@@ -127,7 +130,13 @@ fn bench_matmuls(iters: u64, out: &mut Vec<Rec>) {
                 flops,
             });
         }
-        for threads in [1usize, 2] {
+        // The headline 256³ shape carries the full thread ladder so the
+        // trajectory shows how pooled dispatch scales (t8 included per the
+        // ROADMAP scaling target); small shapes keep t1/t2, which is enough
+        // to catch the dispatch threshold misfiring.
+        let thread_ladder: &[usize] =
+            if (m, k, n) == (256, 256, 256) { &[1, 2, 4, 8] } else { &[1, 2] };
+        for &threads in thread_ladder {
             let ns = time_ns_reps(iters, REPS, || {
                 gemm::gemm(
                     std::hint::black_box(&a),
@@ -347,11 +356,51 @@ fn bench_chief_stress(iters: u64, rounds: usize, out: &mut Vec<Rec>) {
     });
 }
 
-/// Validates one run record against the trajectory schema.
+/// Comma-separated list of the CPU features the GEMM kernels care about,
+/// as detected at run time (what the *host* has, independent of what the
+/// binary was compiled for — the pair localizes "why did GFLOP/s move"
+/// across heterogeneous bench hosts).
+fn detected_target_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut feats = Vec::new();
+        if std::arch::is_x86_feature_detected!("avx2") {
+            feats.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            feats.push("fma");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            feats.push("avx512f");
+        }
+        if feats.is_empty() {
+            "none".into()
+        } else {
+            feats.join(",")
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "non-x86".into()
+    }
+}
+
+/// Validates one run record against the trajectory schema. Version-2 runs
+/// additionally carry `target_features` / `simd_kernel`; earlier records in
+/// the committed history must stay valid, so those keys are only required
+/// when `schema_version >= 2`.
 fn validate_run(run: &Value) -> Result<(), String> {
     for key in ["schema_version", "mode", "unix_time_s", "results"] {
         if run.get(key).is_none() {
             return Err(format!("run record missing `{key}`"));
+        }
+    }
+    let version = run.get("schema_version").and_then(Value::as_u64).unwrap_or(0);
+    if version >= 2 {
+        for key in ["target_features", "simd_kernel"] {
+            if run.get(key).and_then(Value::as_str).is_none() {
+                return Err(format!("schema v{version} run record missing string `{key}`"));
+            }
         }
     }
     let results = run
@@ -433,10 +482,13 @@ fn main() {
     let unix_s = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
+    let simd_kernel = if gemm::simd_kernel_active() { "avx2" } else { "scalar" };
     let run = Value::Map(vec![
-        ("schema_version".into(), Value::UInt(1)),
+        ("schema_version".into(), Value::UInt(2)),
         ("mode".into(), Value::Str(if smoke { "smoke" } else { "full" }.into())),
         ("unix_time_s".into(), Value::UInt(unix_s)),
+        ("target_features".into(), Value::Str(detected_target_features())),
+        ("simd_kernel".into(), Value::Str(simd_kernel.into())),
         ("results".into(), Value::Seq(recs.iter().map(Rec::to_value).collect())),
     ]);
     if let Err(e) = validate_run(&run) {

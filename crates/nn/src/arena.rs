@@ -20,8 +20,10 @@
 //! * Arenas are strictly thread-local: a buffer taken on thread A and
 //!   returned on thread B parks in B's freelist. That migration is safe and
 //!   only costs cache warmth, so cross-thread flows (the kernel pool's
-//!   result buffers) deliberately route buffers back to the dispatching
-//!   thread before returning them.
+//!   result cells, and the packed GEMM operand panels shared with workers
+//!   behind `Arc`) deliberately route buffers back to the dispatching
+//!   thread — over the result channel or via `Arc::try_unwrap` — before
+//!   returning them.
 //! * Returned buffers are cleared (`len == 0`); takers receive an empty
 //!   `Vec` with at least the requested capacity and must fill it
 //!   themselves. [`take_f32_zeroed`] packages the common resize-to-zero

@@ -1,13 +1,17 @@
-//! Blocked, register-tiled GEMM kernels and the kernel thread-pool knob.
+//! Blocked, packed, SIMD-tiled GEMM kernels and the kernel thread-pool knob.
 //!
 //! Every PPO update and curiosity forward-model step bottoms out in dense
 //! matrix multiplies — either directly ([`crate::tensor::Tensor::matmul`],
 //! the autograd `MatMul` op) or through the im2col convolution lowering
 //! ([`crate::ops::conv`]). This module owns those kernels:
 //!
-//! * [`gemm`] — `C = A·B`, cache-blocked over `k` and `n`, register-tiled
-//!   `MR×NR` micro-kernel, optionally row-parallel across the persistent
-//!   kernel pool ([`crate::ops::pool`]);
+//! * [`gemm`] — `C = A·B`. Both operands are packed once into
+//!   micro-kernel-friendly layouts (see below), then the product is computed
+//!   in L2-sized `KC×NC` column panels by the `MR×NR` register tile in
+//!   [`crate::ops::simd`] (AVX2/FMA on x86-64-v3, bit-identical scalar
+//!   fallback elsewhere). Large problems fan out across the persistent
+//!   kernel pool ([`crate::ops::pool`]) on a 2-D grid of row-chunk ×
+//!   column-panel cells;
 //! * [`gemm_scoped`] — the retired per-call scoped-spawn dispatcher, kept
 //!   as a differential baseline for benches and equivalence tests;
 //! * [`gemm_nt`] / [`gemm_tn`] — `A·Bᵀ` and `Aᵀ·B` via a transpose pack
@@ -16,6 +20,23 @@
 //! * [`matmul_naive`] — the unblocked reference kernel, kept for
 //!   correctness tests and as the benchmark baseline.
 //!
+//! ## Packed layouts
+//!
+//! Packing happens once per [`gemm`] call, into arena-recycled buffers
+//! ([`crate::arena`]), and the packed images are what crosses the pool
+//! boundary (read-only, behind `Arc`) — the old dispatcher's per-chunk A
+//! copies and remainder bookkeeping are gone:
+//!
+//! * **A** (`m×k` row-major) becomes `k`-block-major micro-panels of `MR`
+//!   interleaved rows: within block `kb` (height `kc`), the panel for rows
+//!   `[i, i+r)` stores `a[i+rr][kb+p]` at `m·kb + kc·i + p·r + rr`. The
+//!   micro-kernel reads its `r` row values for step `p` contiguously.
+//! * **B** (`k×n` row-major) becomes `k`-block-major `NR`-wide column
+//!   panels, zero-padded to full `NR` width: within block `kb`, the panel
+//!   for columns `[j, j+nr)` stores `b[kb+p][j+l]` at
+//!   `n_pad·kb + kc·j + p·NR + l` with `n_pad = n` rounded up to `NR`.
+//!   Pad lanes only feed accumulator lanes that are never written back.
+//!
 //! ## NaN semantics
 //!
 //! None of these kernels skip zero operands: `0 · NaN` and `0 · ∞`
@@ -23,7 +44,8 @@
 //! seed kernel's `if a == 0.0 { continue }` "sparsity" shortcut silently
 //! laundered non-finite values into zeros, defeating the NaN-quarantine
 //! machinery in the training chief; the regression tests in
-//! `crates/nn/tests/gemm_kernels.rs` pin the corrected behavior.
+//! `crates/nn/tests/gemm_kernels.rs` and `gemm_simd_nan.rs` pin the
+//! corrected behavior through both the scalar and SIMD tile paths.
 //!
 //! ## Determinism
 //!
@@ -32,44 +54,55 @@
 //! at literal zero for the first `k`-block (so callers never pre-zero `C`
 //! — that memset was ~3% of a 256³ multiply) and *reloads* it from `C` at
 //! every later `k`-block boundary instead of summing per-block partials, so
-//! blocking does not reassociate the floating-point sum. Row
-//! parallelism partitions complete output rows across threads, so every
-//! element is still computed by exactly one thread in the same order.
-//! Consequently results are bit-identical to [`matmul_naive`] for every
-//! thread count — checkpoint-resume determinism survives the fast path.
-//! Both parallel dispatchers partition into whole-row chunks, and each
-//! row's accumulation chain is self-contained, so pooled, scoped and
-//! sequential execution agree bit-for-bit no matter how many rows land in
-//! a chunk or which thread computes it.
+//! blocking does not reassociate the floating-point sum. Lane `j` of the
+//! AVX2 FMA tile computes exactly the scalar `mul_add` chain (fused
+//! multiply-add is deterministic per lane), so SIMD does not reassociate it
+//! either. Parallel dispatch partitions the *output* into disjoint
+//! row-chunk × column-panel cells, each computed by exactly one thread as
+//! the same chain. Consequently results are bit-identical to
+//! [`matmul_naive`] for every thread count and for every kernel flavor —
+//! checkpoint-resume determinism survives the fast path.
 
 use crate::arena;
 use crate::ops::pool;
+use crate::ops::simd;
 use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
-/// Rows per register tile of the micro-kernel.
-const MR: usize = 4;
-/// Columns per register tile of the micro-kernel: two AVX2 vectors per row,
-/// giving the 8 independent FMA chains needed to hide FMA latency.
-const NR: usize = 16;
+use simd::{MR, NR};
+
 /// `k`-block height: one packed `KC × NR` B-panel is 16 KiB, comfortably
-/// inside L1 while the A rows stream through.
+/// inside L1 while the packed A micro-panels stream through.
 const KC: usize = 256;
+/// Column-panel width for cache blocking and parallel partitioning: one
+/// `KC × NC` packed B block is 128 KiB — about half an L2 slice — so a
+/// worker chewing through its panel keeps B resident while A streams.
+/// A multiple of `NR`, so panel boundaries always align with packed B
+/// micro-panels.
+const NC: usize = 128;
+/// Row-block height inside a panel: bounds the `C` working set per
+/// (`k`-block, row-block) sweep. A multiple of `MR`, so block boundaries
+/// always align with packed A micro-panels.
+const MC: usize = 128;
 /// Below this `m·k·n` volume a matmul runs sequentially: parallel dispatch
-/// (job boxing, input copies, result hand-back) is a net loss for small
-/// shapes. Calibrated against the pooled dispatcher on the bench host —
-/// 64³ (262,144; ~12 µs sequential) still loses to dispatch overhead and
-/// must never fan out, while shapes around 128³ (2.1 M) are the measured
-/// break-even — so the gate sits at 2 MiFLOP-volume. The old scoped-spawn
-/// dispatcher put this at `1 << 18`, which let 64³ fan out at a 15× loss
-/// (46.5 → 3.0 GFLOP/s in the committed bench trajectory).
+/// (job boxing, packed-operand sharing, result hand-back) is a net loss for
+/// small shapes. Re-measured for the SIMD + shared-packing dispatcher on
+/// the bench host: end-to-end dispatch overhead is ~5 µs per pooled call
+/// (128³ t2 vs t1 delta), while the SIMD kernel finishes 64³ (262,144) in
+/// ~9 µs sequentially — same order as the dispatch itself, so 64³-class
+/// shapes must never fan out. Shapes from 128³ (2.1 M, ~73 µs sequential)
+/// up amortize the overhead to a few percent, so the gate stays at
+/// 2 MiFLOP-volume even though the SIMD kernel moved the single-thread
+/// numbers. The old scoped-spawn dispatcher put this at `1 << 18`, which
+/// let 64³ fan out at a 15× loss (46.5 → 3.0 GFLOP/s in the committed
+/// bench trajectory).
 pub const PAR_THRESHOLD: usize = 1 << 21;
 
 /// Global kernel thread budget, set once per process by the trainer (sized
 /// to the cores left over after employee threads are accounted for).
 static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(1);
 
-/// Sets the number of scoped threads dense kernels may fan out across.
+/// Sets the number of pool threads dense kernels may fan out across.
 /// Clamped to at least 1. Results are bit-identical for every setting, so
 /// this is purely a throughput knob.
 pub fn set_kernel_threads(n: usize) {
@@ -81,6 +114,38 @@ pub fn set_kernel_threads(n: usize) {
 /// The current kernel thread budget (≥ 1).
 pub fn kernel_threads() -> usize {
     KERNEL_THREADS.load(Ordering::Relaxed).max(1) // ordering: tuning knob (see setter)
+}
+
+/// When set, [`gemm`] routes every tile through the scalar fallback even on
+/// SIMD-capable builds. The two paths are bit-identical by construction
+/// (see [`crate::ops::simd`]); this knob exists so equivalence tests and
+/// the dispatch-threshold calibration can run both flavors on one host.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or un-forces) the scalar micro-kernel on SIMD-capable builds.
+/// Purely a test/calibration knob — results are bit-identical either way.
+pub fn set_force_scalar(on: bool) {
+    // ordering: standalone test knob; a dispatch racing the toggle picks
+    // either kernel flavor, which agree bitwise.
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+/// Whether the scalar micro-kernel is currently forced.
+pub fn force_scalar() -> bool {
+    FORCE_SCALAR.load(Ordering::Relaxed) // ordering: test knob (see setter)
+}
+
+/// Whether this build carries the AVX2/FMA micro-kernel at all (false on
+/// non-x86 targets and under Miri/loom, where the scalar fallback runs).
+pub fn simd_kernel_compiled() -> bool {
+    simd::compiled()
+}
+
+/// Whether the next [`gemm`] dispatch will use the SIMD tile: compiled in
+/// and not overridden by [`set_force_scalar`]. Benchmarks record this next
+/// to the detected target features.
+pub fn simd_kernel_active() -> bool {
+    simd::compiled() && !force_scalar()
 }
 
 /// Gate for kernel telemetry. When off (the default) every instrumented
@@ -154,15 +219,15 @@ pub fn matmul_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n
 }
 
 /// Blocked GEMM: `out = A·B` with `A: [m,k]`, `B: [k,n]`, `out: [m,n]`,
-/// row-major. Fans output rows across up to `threads` persistent pool
-/// workers when the problem is large enough; bit-identical to
-/// [`matmul_naive`] for every thread count.
+/// row-major. Packs both operands once, then fans row-chunk × column-panel
+/// cells across up to `threads` persistent pool workers when the problem is
+/// large enough; bit-identical to [`matmul_naive`] for every thread count.
 ///
 /// # Panics
 ///
 /// If a slice length disagrees with its shape, or if a pool worker dies
-/// while holding one of this call's row chunks (a job panic — mirrors the
-/// panic propagation of the old scoped-spawn dispatcher).
+/// while holding one of this call's cells (a job panic — mirrors the panic
+/// propagation of the old scoped-spawn dispatcher).
 pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize, threads: usize) {
     assert_eq!(a.len(), m * k, "gemm lhs length");
     assert_eq!(b.len(), k * n, "gemm rhs length");
@@ -174,7 +239,7 @@ pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize,
                                                     // ordering: telemetry counter (see the gate comment above).
         GEMM_FLOPS.fetch_add(2 * (m as u64) * (k as u64) * (n as u64), Ordering::Relaxed);
     }
-    let threads = threads.max(1).min(m);
+    let threads = threads.max(1);
     if threads <= 1 || m * n * k < PAR_THRESHOLD {
         gemm_rows(a, b, out, k, n);
         return;
@@ -182,29 +247,22 @@ pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize,
     gemm_pooled(a, b, out, m, k, n, threads);
 }
 
-/// Rows per *remote* pool job. Finer than one-chunk-per-thread on purpose:
-/// the caller's helping loop ([`pool::try_run_one`]) can then absorb
-/// whatever the OS scheduler does not hand to the workers, and the caller's
-/// final wait shrinks to at most one small chunk. Every row is a single
-/// sequential-`k` accumulation chain computed by [`gemm_rows`], so results
-/// are bitwise independent of the chunk size — chunking is purely a
-/// load-balancing knob.
-const CHUNK_ROWS: usize = 32;
-
-/// The pooled row-parallel dispatcher, bitwise identical to
-/// [`matmul_naive`] regardless of which thread computes what.
+/// The pooled dispatcher, bitwise identical to [`matmul_naive`] regardless
+/// of which thread computes what.
 ///
-/// The caller keeps its fair share — the leading `m.div_ceil(threads)` rows
-/// — and computes it against the original borrows (no copy, exactly like
-/// one scoped worker). Only the remainder goes to the pool, split into
-/// [`CHUNK_ROWS`]-row jobs that own arena-recycled copies of their A rows
-/// plus one shared copy of B (jobs must be `'static`; the workspace denies
-/// `unsafe`, so borrows cannot cross the pool boundary). Results return
-/// over a per-call channel together with their A buffers so the
-/// *dispatching* thread's arena recycles everything — buffers never strand
-/// in worker freelists. While waiting, the caller drains queued jobs inline
-/// ([`pool::try_run_one`]), so the call completes even on a pool with zero
-/// workers.
+/// A and B are packed once on the dispatching thread and shared with the
+/// workers read-only behind `Arc` — packing replaces the old dispatcher's
+/// per-chunk A copies and whole-B clone with work the kernel needs anyway,
+/// and read-only sharing means workers never bounce dirty cache lines. The
+/// output is partitioned into a 2-D grid of (`MR`-aligned row chunk) ×
+/// (`NC` column panel) cells — disjoint, so no two threads ever write the
+/// same `C` line. The caller keeps cell (0,0), computing it in place on the
+/// original `out` borrow; every other cell becomes a pool job that fills an
+/// arena-recycled dense panel and hands it back over a per-call channel for
+/// the dispatcher to copy into `out` (jobs must be `'static`; the workspace
+/// denies `unsafe`, so `out` borrows cannot cross the pool boundary). While
+/// waiting, the caller drains queued jobs inline ([`pool::try_run_one`]),
+/// so the call completes even on a pool with zero workers.
 fn gemm_pooled(
     a: &[f32],
     b: &[f32],
@@ -214,46 +272,71 @@ fn gemm_pooled(
     n: usize,
     threads: usize,
 ) {
-    let caller_rows = m.div_ceil(threads);
-    // Remote chunks never coarser than the caller's share.
-    let chunk_rows = CHUNK_ROWS.min(caller_rows);
     pool::ensure_workers(threads - 1);
+    let use_simd = simd_kernel_active();
 
-    let mut b_buf = arena::take_f32(b.len());
-    b_buf.extend_from_slice(b);
-    let b_shared = Arc::new(b_buf);
+    // Zeroed: `pack_b` relies on pad lanes reading as zero, and `pack_a`
+    // overwrites every element anyway.
+    let mut ap = arena::take_f32_zeroed(m * k);
+    pack_a(a, m, k, &mut ap);
+    let mut bp = arena::take_f32_zeroed(k * n.div_ceil(NR) * NR);
+    pack_b(b, k, n, &mut bp);
+    let ap = Arc::new(ap);
+    let bp = Arc::new(bp);
 
-    let (tx, rx) = mpsc::channel::<(usize, Vec<f32>, Vec<f32>)>();
+    // Cell grain: aim for ~2 cells per thread so the caller's helping loop
+    // can absorb whatever the OS scheduler does not hand to the workers.
+    // Row chunks are multiples of MR so every cell starts on a packed A
+    // micro-panel boundary; column panels are NC-wide (a multiple of NR) so
+    // every cell starts on a packed B panel boundary. Cell shape is purely
+    // a load-balancing knob — each output element is one ascending-`k`
+    // chain no matter which cell contains it.
+    let col_panels = n.div_ceil(NC);
+    let row_chunks = (threads * 2).div_ceil(col_panels).max(1);
+    let rows_per = m.div_ceil(row_chunks).next_multiple_of(MR);
+
+    let (tx, rx) = mpsc::channel::<(usize, usize, usize, usize, Vec<f32>)>();
     let mut jobs: Vec<pool::Job> = Vec::new();
-    let mut row0 = caller_rows;
-    while row0 < m {
-        let rows = chunk_rows.min(m - row0);
-        let mut a_chunk = arena::take_f32(rows * k);
-        a_chunk.extend_from_slice(&a[row0 * k..(row0 + rows) * k]);
-        // Zeroed only to materialize the length — the kernel overwrites
-        // every element (safe Rust has no uninitialized-len Vec).
-        let mut c_chunk = arena::take_f32_zeroed(rows * n);
-        let b_ref = Arc::clone(&b_shared);
-        let tx = tx.clone();
-        jobs.push(Box::new(move || {
-            gemm_rows(&a_chunk, &b_ref, &mut c_chunk, k, n);
-            let _ = tx.send((row0, c_chunk, a_chunk));
-        }));
-        row0 += rows;
+    let mut i0 = 0;
+    while i0 < m {
+        let rows = rows_per.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let nc = NC.min(n - j0);
+            if i0 == 0 && j0 == 0 {
+                // The caller's cell, computed in place below.
+                j0 += NC;
+                continue;
+            }
+            // Zeroed only to materialize the length — the kernel overwrites
+            // every element (safe Rust has no uninitialized-len Vec).
+            let mut c_cell = arena::take_f32_zeroed(rows * nc);
+            let ap = Arc::clone(&ap);
+            let bp = Arc::clone(&bp);
+            let tx = tx.clone();
+            jobs.push(Box::new(move || {
+                gemm_packed(&ap, &bp, &mut c_cell, nc, m, k, n, i0, rows, j0, nc, use_simd);
+                let _ = tx.send((i0, j0, rows, nc, c_cell));
+            }));
+            j0 += NC;
+        }
+        i0 += rows;
     }
     drop(tx);
     let mut pending = jobs.len();
     pool::submit(jobs);
 
-    gemm_rows(&a[..caller_rows * k], b, &mut out[..caller_rows * n], k, n);
+    gemm_packed(&ap, &bp, out, n, m, k, n, 0, rows_per.min(m), 0, NC.min(n), use_simd);
 
     let mut spins = 0u32;
     while pending > 0 {
         match rx.try_recv() {
-            Ok((row0, c_chunk, a_chunk)) => {
-                out[row0 * n..row0 * n + c_chunk.len()].copy_from_slice(&c_chunk);
-                arena::put_f32(c_chunk);
-                arena::put_f32(a_chunk);
+            Ok((i0, j0, rows, nc, c_cell)) => {
+                for rr in 0..rows {
+                    out[(i0 + rr) * n + j0..(i0 + rr) * n + j0 + nc]
+                        .copy_from_slice(&c_cell[rr * nc..rr * nc + nc]);
+                }
+                arena::put_f32(c_cell);
                 pending -= 1;
             }
             Err(mpsc::TryRecvError::Empty) => {
@@ -262,27 +345,31 @@ fn gemm_pooled(
                 }
                 spins = spins.wrapping_add(1);
                 if spins.is_multiple_of(64) {
-                    // Let a worker holding our last chunk onto the core.
+                    // Let a worker holding our last cell onto the core.
                     std::thread::yield_now();
                 } else {
                     std::hint::spin_loop();
                 }
             }
             Err(mpsc::TryRecvError::Disconnected) => {
-                panic!("kernel pool job panicked mid-GEMM ({pending} chunk(s) lost)");
+                panic!("kernel pool job panicked mid-GEMM ({pending} cell(s) lost)");
             }
         }
     }
-    if let Ok(b_buf) = Arc::try_unwrap(b_shared) {
-        arena::put_f32(b_buf);
+    if let Ok(buf) = Arc::try_unwrap(ap) {
+        arena::put_f32(buf);
+    }
+    if let Ok(buf) = Arc::try_unwrap(bp) {
+        arena::put_f32(buf);
     }
 }
 
 /// The retired scoped-spawn GEMM dispatcher: spawns fresh threads per call
 /// exactly as the PR 3 kernel did (no volume threshold — callers choose the
-/// fan-out). Kept purely as a differential baseline: the pooled-vs-scoped
-/// bench record quantifies what the pool saves, and the equivalence tests
-/// pin pooled output bitwise against this path.
+/// fan-out, and each scoped worker packs its own operand copies). Kept
+/// purely as a differential baseline: the pooled-vs-scoped bench record
+/// quantifies what the pool + shared packing save, and the equivalence
+/// tests pin pooled output bitwise against this path.
 ///
 /// # Panics
 ///
@@ -299,7 +386,7 @@ pub fn gemm_scoped(
     assert_eq!(a.len(), m * k, "gemm lhs length");
     assert_eq!(b.len(), k * n, "gemm rhs length");
     assert_eq!(out.len(), m * n, "gemm out length");
-    let threads = threads.max(1).min(m);
+    let threads = threads.max(1).min(m.max(1));
     if threads <= 1 {
         gemm_rows(a, b, out, k, n);
         return;
@@ -400,39 +487,69 @@ pub fn par_items(
     }
 }
 
-/// Single-threaded blocked kernel over a full row range: `a` holds exactly
-/// the rows of `out`. Prior `out` contents are ignored — the `kb == 0` pass
-/// of [`tile_rows`] overwrites every element before any later `k`-block
-/// reloads it, so callers need not (and do not) zero `out` first.
-fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
-    if k == 0 {
-        // Empty sum: the product is all zeros and the tile loop below would
-        // never write `out`.
-        out.fill(0.0);
-        return;
+/// Packs row-major `a: [m,k]` into the `k`-block-major `MR`-interleaved
+/// micro-panel layout (see module docs). `dst` must hold exactly `m·k`
+/// elements; every one is overwritten. Pure reshuffle — every source
+/// element appears exactly once, so no rounding or NaN behavior is
+/// introduced. The full-height case is a bounds-check-free 4-row
+/// interleave that LLVM vectorizes; packing cost showed up at 64³-class
+/// shapes when this was a per-element `push` loop.
+fn pack_a(a: &[f32], m: usize, k: usize, dst: &mut [f32]) {
+    debug_assert_eq!(dst.len(), m * k);
+    let mut kb = 0;
+    while kb < k {
+        let kc = KC.min(k - kb);
+        let mut i = 0;
+        while i < m {
+            let r = MR.min(m - i);
+            let base = m * kb + kc * i;
+            let dpan = &mut dst[base..base + kc * r];
+            if r == MR {
+                let r0 = &a[i * k + kb..i * k + kb + kc];
+                let r1 = &a[(i + 1) * k + kb..(i + 1) * k + kb + kc];
+                let r2 = &a[(i + 2) * k + kb..(i + 2) * k + kb + kc];
+                let r3 = &a[(i + 3) * k + kb..(i + 3) * k + kb + kc];
+                for ((((d, &x0), &x1), &x2), &x3) in
+                    dpan.chunks_exact_mut(MR).zip(r0).zip(r1).zip(r2).zip(r3)
+                {
+                    d[0] = x0;
+                    d[1] = x1;
+                    d[2] = x2;
+                    d[3] = x3;
+                }
+            } else {
+                for (p, d) in dpan.chunks_exact_mut(r).enumerate() {
+                    for (rr, v) in d.iter_mut().enumerate() {
+                        *v = a[(i + rr) * k + kb + p];
+                    }
+                }
+            }
+            i += r;
+        }
+        kb += kc;
     }
-    if n == 0 {
-        return;
-    }
-    let m = out.len() / n;
-    // One packed KC×NR B-panel lives on the stack for the whole call.
-    let mut panel = [0.0f32; KC * NR];
+}
+
+/// Packs row-major `b: [k,n]` into the `k`-block-major `NR`-wide
+/// column-panel layout (see module docs). `dst` must hold exactly
+/// `k · n_pad` elements (`n_pad` = `n` rounded up to `NR`) **and arrive
+/// zeroed** — pad lanes beyond `nr` are left untouched and must read as
+/// zero. The dispatchers take `dst` from [`arena::take_f32_zeroed`], which
+/// guarantees this. Pad lanes only ever feed accumulator lanes that are
+/// never written back, so `NaN` operands in `A` cannot leak through them.
+fn pack_b(b: &[f32], k: usize, n: usize, dst: &mut [f32]) {
+    let n_pad = n.div_ceil(NR) * NR;
+    debug_assert_eq!(dst.len(), k * n_pad);
     let mut kb = 0;
     while kb < k {
         let kc = KC.min(k - kb);
         let mut j = 0;
         while j < n {
             let nr = NR.min(n - j);
-            pack_panel(b, n, kb, kc, j, nr, &mut panel);
-            let panel = &panel[..kc * NR];
-            let mut i = 0;
-            while i + MR <= m {
-                tile_rows::<MR>(a, out, i, k, n, kb, kc, j, nr, panel);
-                i += MR;
-            }
-            while i < m {
-                tile_rows::<1>(a, out, i, k, n, kb, kc, j, nr, panel);
-                i += 1;
+            let base = n_pad * kb + kc * j;
+            let dpan = &mut dst[base..base + kc * NR];
+            for (p, d) in dpan.chunks_exact_mut(NR).enumerate() {
+                d[..nr].copy_from_slice(&b[(kb + p) * n + j..(kb + p) * n + j + nr]);
             }
             j += NR;
         }
@@ -440,80 +557,106 @@ fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     }
 }
 
-/// Packs the `kc × nr` block of `B` at `(kb, j)` into a contiguous
-/// `kc × NR` panel, zero-padding columns beyond `nr`. The pad lanes only
-/// ever feed accumulator lanes that are never written back, so `NaN`
-/// operands in `A` cannot leak through them.
+/// Computes the output cell `rows × nc` at `(i0, j0)` of the full `m×k×n`
+/// product from packed operands `ap` / `bp` (layouts in the module docs).
+/// The cell's top-left element is `out[0]` and rows are `ldc` apart, so the
+/// same kernel serves in-place computation on the full `C` (`ldc = n`) and
+/// dense per-job panels (`ldc = nc`).
+///
+/// `i0` must be a multiple of `MR` and `j0` a multiple of `NR` (cell
+/// boundaries align with packed micro-panels); `i0 + rows` must either be a
+/// multiple of `MR` or equal `m`, which the dispatchers guarantee by
+/// construction.
+///
+/// Loop order is `k`-block → row-block (`MC`) → column (`NR`) → row tile:
+/// every tile sees its `k`-blocks in ascending order with a reload in
+/// between, keeping each output element a single ascending-`k` chain.
 #[allow(clippy::too_many_arguments)] // index soup is the kernel's nature
-fn pack_panel(
-    b: &[f32],
+fn gemm_packed(
+    ap: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    ldc: usize,
+    m: usize,
+    k: usize,
     n: usize,
-    kb: usize,
-    kc: usize,
-    j: usize,
-    nr: usize,
-    panel: &mut [f32; KC * NR],
+    i0: usize,
+    rows: usize,
+    j0: usize,
+    nc: usize,
+    use_simd: bool,
 ) {
-    for p in 0..kc {
-        let src = &b[(kb + p) * n + j..(kb + p) * n + j + nr];
-        let dst = &mut panel[p * NR..p * NR + NR];
-        dst[..nr].copy_from_slice(src);
-        dst[nr..].fill(0.0);
+    debug_assert!(i0.is_multiple_of(MR) && j0.is_multiple_of(NR));
+    debug_assert!(i0 + rows <= m && j0 + nc <= n);
+    let n_pad = n.div_ceil(NR) * NR;
+    let mut kb = 0;
+    while kb < k {
+        let kc = KC.min(k - kb);
+        let first = kb == 0;
+        let mut ic = i0;
+        while ic < i0 + rows {
+            let mc = MC.min(i0 + rows - ic);
+            let mut j = j0;
+            while j < j0 + nc {
+                let nr = NR.min(j0 + nc - j);
+                let pb = n_pad * kb + kc * j;
+                let bpanel = &bp[pb..pb + kc * NR];
+                let mut i = ic;
+                while i < ic + mc {
+                    let r = MR.min(ic + mc - i);
+                    let pa = m * kb + kc * i;
+                    let apanel = &ap[pa..pa + kc * r];
+                    let ob = (i - i0) * ldc + (j - j0);
+                    simd::tile(r, apanel, bpanel, &mut out[ob..], ldc, kc, nr, first, use_simd);
+                    i += r;
+                }
+                j += NR;
+            }
+            ic += mc;
+        }
+        kb += kc;
     }
 }
 
-/// The register-tiled micro-kernel: accumulates the `R × nr` output tile at
-/// `(i, j)` over the `k`-block `[kb, kb+kc)`. The first `k`-block starts
-/// its accumulator at literal zero (prior `out` contents are ignored —
-/// callers never pre-zero); later blocks reload the tile from `out`, so the
-/// per-element accumulation chain stays strictly ascending in `k` across
-/// blocks (see module docs).
-#[allow(clippy::too_many_arguments)] // index soup is the kernel's nature
-#[inline(always)]
-fn tile_rows<const R: usize>(
-    a: &[f32],
-    out: &mut [f32],
-    i: usize,
-    k: usize,
-    n: usize,
-    kb: usize,
-    kc: usize,
-    j: usize,
-    nr: usize,
-    panel: &[f32],
-) {
-    let mut acc = [[0.0f32; NR]; R];
-    if kb > 0 {
-        for (r, accr) in acc.iter_mut().enumerate() {
-            accr[..nr].copy_from_slice(&out[(i + r) * n + j..(i + r) * n + j + nr]);
-        }
+/// Single-threaded packed GEMM over a full row range: `a` holds exactly the
+/// rows of `out`. Packs both operands into thread-local arena scratch, then
+/// sweeps L2-sized `NC` column panels. Prior `out` contents are ignored —
+/// the first `k`-block pass overwrites every element before any later block
+/// reloads it, so callers need not (and do not) zero `out` first. This is
+/// also the per-chunk kernel of the retired scoped baseline, which is why
+/// it keeps the `fn(a, b, out, k, n)` shape [`pool::run_scoped_rows`]
+/// expects.
+fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    if n == 0 {
+        return;
     }
-    if R == MR {
-        let a0 = &a[i * k + kb..i * k + kb + kc];
-        let a1 = &a[(i + 1) * k + kb..(i + 1) * k + kb + kc];
-        let a2 = &a[(i + 2) * k + kb..(i + 2) * k + kb + kc];
-        let a3 = &a[(i + 3) * k + kb..(i + 3) * k + kb + kc];
-        for ((((&x0, &x1), &x2), &x3), bp) in
-            a0.iter().zip(a1).zip(a2).zip(a3).zip(panel.chunks_exact(NR))
-        {
-            let xs = [x0, x1, x2, x3];
-            for (accr, xr) in acc.iter_mut().zip(xs) {
-                for (av, &bv) in accr.iter_mut().zip(bp) {
-                    *av = xr.mul_add(bv, *av);
-                }
-            }
-        }
-    } else {
-        let a0 = &a[i * k + kb..i * k + kb + kc];
-        for (&x0, bp) in a0.iter().zip(panel.chunks_exact(NR)) {
-            for (av, &bv) in acc[0].iter_mut().zip(bp) {
-                *av = x0.mul_add(bv, *av);
-            }
-        }
+    if k == 0 {
+        // Empty sum: the product is all zeros and the tile loop below would
+        // never write `out`.
+        out.fill(0.0);
+        return;
     }
-    for (r, accr) in acc.iter().enumerate() {
-        out[(i + r) * n + j..(i + r) * n + j + nr].copy_from_slice(&accr[..nr]);
+    let m = out.len() / n;
+    if m == 0 {
+        return;
     }
+    let use_simd = simd_kernel_active();
+    // Zeroed: `pack_b` relies on pad lanes reading as zero, and `pack_a`
+    // overwrites every element anyway.
+    let mut ap = arena::take_f32_zeroed(m * k);
+    pack_a(a, m, k, &mut ap);
+    let mut bp = arena::take_f32_zeroed(k * n.div_ceil(NR) * NR);
+    pack_b(b, k, n, &mut bp);
+    let mut j0 = 0;
+    while j0 < n {
+        let nc = NC.min(n - j0);
+        // `gemm_packed` writes cell-relative: its `out[0]` is the cell's
+        // top-left element, so each panel starts at column `j0`.
+        gemm_packed(&ap, &bp, &mut out[j0..], n, m, k, n, 0, m, j0, nc, use_simd);
+        j0 += NC;
+    }
+    arena::put_f32(ap);
+    arena::put_f32(bp);
 }
 
 #[cfg(test)]
@@ -552,6 +695,10 @@ mod tests {
     }
 
     #[test]
+    // 40 M interpreted mul_adds plus persistent pool threads: far beyond
+    // Miri's budget. The packing offsets and tile dispatch it shares with
+    // the sequential path stay Miri-covered via the other tests here.
+    #[cfg_attr(miri, ignore)]
     fn pooled_dispatch_matches_naive_bitwise_above_threshold() {
         // 160³ volume (4.1 M) clears PAR_THRESHOLD, so threads ≥ 2 route
         // through the persistent pool; every thread count must agree with
@@ -570,6 +717,69 @@ mod tests {
             gemm_scoped(&a, &b, &mut scoped, m, k, n, threads);
             assert_eq!(scoped, want, "scoped threads={threads}");
         }
+    }
+
+    #[test]
+    fn packed_layouts_roundtrip_every_element() {
+        // Awkward shapes: k crossing a KC boundary, ragged MR/NR tails.
+        let (m, k, n) = (7usize, 300usize, 21usize);
+        let a = lcg_fill(11, m * k);
+        let b = lcg_fill(12, k * n);
+        let mut ap = vec![0.0f32; m * k];
+        pack_a(&a, m, k, &mut ap);
+        let n_pad = n.div_ceil(NR) * NR;
+        let mut bp = vec![0.0f32; k * n_pad];
+        pack_b(&b, k, n, &mut bp);
+        // Check the documented offset formulas directly.
+        let mut kb = 0;
+        while kb < k {
+            let kc = KC.min(k - kb);
+            for p in 0..kc {
+                let mut i = 0;
+                while i < m {
+                    let r = MR.min(m - i);
+                    for rr in 0..r {
+                        assert_eq!(
+                            ap[m * kb + kc * i + p * r + rr].to_bits(),
+                            a[(i + rr) * k + kb + p].to_bits(),
+                            "A pack mismatch at kb={kb} p={p} i={i} rr={rr}"
+                        );
+                    }
+                    i += r;
+                }
+                let mut j = 0;
+                while j < n {
+                    let nr = NR.min(n - j);
+                    for l in 0..NR {
+                        let got = bp[n_pad * kb + kc * j + p * NR + l];
+                        let want = if l < nr { b[(kb + p) * n + j + l] } else { 0.0 };
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "B pack mismatch at kb={kb} p={p} j={j} l={l}"
+                        );
+                    }
+                    j += NR;
+                }
+            }
+            kb += kc;
+        }
+    }
+
+    #[test]
+    fn forced_scalar_matches_simd_bitwise() {
+        let (m, k, n) = (23usize, 37, 41);
+        let a = lcg_fill(21, m * k);
+        let b = lcg_fill(22, k * n);
+        let mut fast = vec![0.0; m * n];
+        gemm(&a, &b, &mut fast, m, k, n, 1);
+        set_force_scalar(true);
+        assert!(!simd_kernel_active());
+        let mut slow = vec![0.0; m * n];
+        gemm(&a, &b, &mut slow, m, k, n, 1);
+        set_force_scalar(false);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&fast), bits(&slow));
     }
 
     #[test]
@@ -617,6 +827,9 @@ mod tests {
         let mut out = vec![1.0f32; 3];
         gemm(&[], &[], &mut out, 3, 0, 1, 1);
         assert_eq!(out, vec![0.0; 3]);
+        let mut empty: Vec<f32> = Vec::new();
+        gemm(&[], &[1.0, 2.0], &mut empty, 0, 1, 2, 1);
+        gemm(&[1.0], &[], &mut empty, 1, 1, 0, 1);
     }
 
     #[test]

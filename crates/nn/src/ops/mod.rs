@@ -10,5 +10,8 @@ pub mod gemm;
 pub mod norm;
 /// The persistent kernel thread pool (the only thread-creating module).
 pub mod pool;
+/// SIMD micro-kernels for the blocked GEMM (the one sanctioned `unsafe`
+/// module; bit-compatible scalar fallback for non-x86/miri/loom builds).
+pub(crate) mod simd;
 /// Row-wise softmax and log-softmax.
 pub mod softmax;

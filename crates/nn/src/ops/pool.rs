@@ -9,12 +9,17 @@
 //!
 //! ## Design
 //!
-//! * **No work stealing.** Jobs are whole-row GEMM chunks pushed onto one
+//! * **No work stealing.** Jobs are disjoint GEMM output cells (row-chunk ×
+//!   L2-sized column-panel, see `gemm.rs`) pushed onto one
 //!   `Mutex<VecDeque>`; any worker may pop any job. The partitioning
-//!   contract (whole rows per chunk, every row a self-contained
-//!   accumulation chain) lives in the dispatcher, so results are
-//!   bit-identical to the scoped implementation for every thread count
-//!   regardless of chunk size or which worker runs which chunk.
+//!   contract (cells aligned to packed micro-panel boundaries, every output
+//!   element a self-contained ascending-`k` accumulation chain) lives in
+//!   the dispatcher, so results are bit-identical to the scoped
+//!   implementation for every thread count regardless of cell shape or
+//!   which worker runs which cell. Workers share the dispatcher's packed
+//!   operands read-only behind `Arc` and write results into their own
+//!   arena-recycled panels, so no cache line is ever written by two
+//!   threads.
 //! * **Spin-then-park.** Workers spin briefly on the queue-length atomic,
 //!   then park on a condvar. Dispatch cost while warm is one lock + one
 //!   `notify_all`.

@@ -1,0 +1,316 @@
+//! Explicit SIMD micro-kernels for the blocked GEMM — the workspace's one
+//! sanctioned `unsafe` module.
+//!
+//! The dense hot path ([`crate::ops::gemm`]) bottoms out in the register
+//! tile computed here: an `MR×NR = 4×16` output tile accumulated over one
+//! `k`-block from *packed* operand panels. On x86-64 with AVX2+FMA (the
+//! `.cargo/config.toml` baseline is x86-64-v3) the tile runs on explicit
+//! `core::arch` intrinsics — eight `__m256` accumulators, two panel loads
+//! and four broadcasts per `k` step, all `_mm256_fmadd_ps`. Everywhere else
+//! (non-x86 targets, Miri, `--cfg loom` model builds, or when
+//! [`gemm::set_force_scalar`](crate::ops::gemm::set_force_scalar) is on)
+//! the same tile runs the scalar fallback below.
+//!
+//! ## Bit compatibility
+//!
+//! The two paths are bit-identical by construction. Each output element is
+//! one accumulation chain in strictly ascending `k`:
+//!
+//! ```text
+//! acc = fma(a[i][p], b[p][j], acc)        // p = kb, kb+1, …, kb+kc-1
+//! ```
+//!
+//! The scalar path expresses each link as `f32::mul_add` (one `vfmadd`
+//! instruction on this baseline); the SIMD path expresses sixteen chains at
+//! a time as two `_mm256_fmadd_ps` lanes. IEEE 754 fused multiply-add is
+//! deterministic per lane — same inputs, same single rounding — so lane `j`
+//! of the vector chain computes exactly the scalar chain, `NaN`/`∞`
+//! propagation included. The equivalence tests
+//! (`crates/nn/tests/pool_equivalence.rs`, `gemm_simd_nan.rs`) pin this
+//! bitwise on every shape and thread count, and the scalar fallback is what
+//! the Miri/loom `cargo xtask analyze` jobs exercise.
+//!
+//! ## Padded tail lanes
+//!
+//! B panels are zero-padded to the full `NR` width, so tail tiles
+//! (`nr < NR`) accumulate `a·0` in the pad lanes. Those lanes are never
+//! written back — stores go through an `nr`-bounded copy — so a non-finite
+//! `a` poisoning a pad lane (`NaN·0 = NaN`) cannot leak into `C`. The NaN
+//! regression suite covers exactly this window.
+//!
+//! ## Safety policy
+//!
+//! The workspace denies `unsafe_code` (`DESIGN.md` §8); this module holds
+//! the single exemption, granted because the intrinsics' preconditions are
+//! mechanical and locally checkable. Every `unsafe` block sits behind slice
+//! length asserts that establish the pointed-to ranges, target-feature
+//! availability is a compile-time `cfg` (no runtime dispatch to get wrong),
+//! and the `unsafe-allow` lint in `cargo xtask lint` fails any *other*
+//! module that tries to opt out of the deny.
+#![allow(unsafe_code)]
+
+/// Rows per register tile of the micro-kernel.
+pub(crate) const MR: usize = 4;
+/// Columns per register tile: two AVX2 vectors per row, giving the eight
+/// independent FMA chains needed to hide FMA latency.
+pub(crate) const NR: usize = 16;
+
+/// Whether this build carries the AVX2/FMA micro-kernel. False on non-x86
+/// targets and under Miri or loom, where the scalar fallback (bit-identical
+/// by construction) runs instead.
+pub(crate) const fn compiled() -> bool {
+    cfg!(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma",
+        not(miri),
+        not(loom)
+    ))
+}
+
+/// Computes one `r×nr` output tile (`r ≤ MR`, `nr ≤ NR`) over one `k`-block
+/// of length `kc`.
+///
+/// * `ap` — packed A micro-panel: `kc` steps of `r` row values
+///   (`ap[p*r + row]`).
+/// * `bp` — packed B panel: `kc` steps of `NR` lanes (`bp[p*NR + col]`),
+///   zero-padded beyond `nr`.
+/// * `out` — the tile's top-left element is `out[0]`; row `row` spans
+///   `out[row*ldc .. row*ldc + nr]`.
+/// * `first` — when true this is the first `k`-block: accumulators start at
+///   literal zero and prior `out` contents are ignored. Otherwise the tile
+///   is reloaded from `out`, keeping each element's accumulation chain
+///   strictly ascending in `k` across blocks.
+/// * `use_simd` — selects the AVX2 path when it is compiled in; callers
+///   resolve [`compiled`] and the force-scalar knob once per GEMM call.
+///
+/// # Panics
+///
+/// If a slice is shorter than the ranges described above.
+#[allow(clippy::too_many_arguments)] // index soup is the kernel's nature
+pub(crate) fn tile(
+    r: usize,
+    ap: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    ldc: usize,
+    kc: usize,
+    nr: usize,
+    first: bool,
+    use_simd: bool,
+) {
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx2",
+        target_feature = "fma",
+        not(miri),
+        not(loom)
+    ))]
+    if use_simd && r == MR {
+        avx::tile_mr(ap, bp, out, ldc, kc, nr, first);
+        return;
+    }
+    let _ = use_simd;
+    scalar_tile(r, ap, bp, out, ldc, kc, nr, first);
+}
+
+/// The scalar reference tile: identical chains via `f32::mul_add`. Handles
+/// every row count `1..=MR`; also the tail-row path on SIMD builds (scalar
+/// and vector chains are bit-identical, so tiles may mix freely).
+#[allow(clippy::too_many_arguments)] // index soup is the kernel's nature
+fn scalar_tile(
+    r: usize,
+    ap: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    ldc: usize,
+    kc: usize,
+    nr: usize,
+    first: bool,
+) {
+    debug_assert!((1..=MR).contains(&r) && (1..=NR).contains(&nr));
+    let mut acc = [[0.0f32; NR]; MR];
+    if !first {
+        for (row, accr) in acc.iter_mut().enumerate().take(r) {
+            accr[..nr].copy_from_slice(&out[row * ldc..row * ldc + nr]);
+        }
+    }
+    for (p, bl) in bp.chunks_exact(NR).enumerate().take(kc) {
+        let astep = &ap[p * r..p * r + r];
+        for (accr, &av) in acc.iter_mut().zip(astep) {
+            for (lane, &bv) in accr.iter_mut().zip(bl) {
+                *lane = av.mul_add(bv, *lane);
+            }
+        }
+    }
+    for (row, accr) in acc.iter().enumerate().take(r) {
+        out[row * ldc..row * ldc + nr].copy_from_slice(&accr[..nr]);
+    }
+}
+
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma",
+    not(miri),
+    not(loom)
+))]
+mod avx {
+    use super::{MR, NR};
+    use core::arch::x86_64::{
+        __m256, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+
+    /// The full `MR×nr` AVX2/FMA tile; see [`super::tile`] for the operand
+    /// contract. Bounds for every raw load/store are established by the
+    /// asserts up front, so the `unsafe` here is exactly "these pointers
+    /// stay inside their slices".
+    pub(super) fn tile_mr(
+        ap: &[f32],
+        bp: &[f32],
+        out: &mut [f32],
+        ldc: usize,
+        kc: usize,
+        nr: usize,
+        first: bool,
+    ) {
+        assert!(ap.len() >= kc * MR, "packed A panel too short");
+        assert!(bp.len() >= kc * NR, "packed B panel too short");
+        assert!((1..=NR).contains(&nr), "tile width out of range");
+        assert!(
+            out.len() >= (MR - 1) * ldc + nr && ldc >= nr,
+            "output tile out of bounds (len {}, ldc {ldc}, nr {nr})",
+            out.len()
+        );
+        // SAFETY: all pointer arithmetic below stays inside `ap[..kc*MR]`,
+        // `bp[..kc*NR]` and `out[..(MR-1)*ldc+nr]`, which the asserts above
+        // establish; loads/stores are unaligned-tolerant (`loadu`/`storeu`),
+        // and partial rows go through a stack staging buffer instead of
+        // touching memory past `nr`.
+        unsafe {
+            let mut acc: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+            if !first {
+                for (row, accr) in acc.iter_mut().enumerate() {
+                    if nr == NR {
+                        accr[0] = _mm256_loadu_ps(out.as_ptr().add(row * ldc));
+                        accr[1] = _mm256_loadu_ps(out.as_ptr().add(row * ldc + 8));
+                    } else {
+                        // Pad lanes start at zero and are never stored back.
+                        let mut stage = [0.0f32; NR];
+                        stage[..nr].copy_from_slice(&out[row * ldc..row * ldc + nr]);
+                        accr[0] = _mm256_loadu_ps(stage.as_ptr());
+                        accr[1] = _mm256_loadu_ps(stage.as_ptr().add(8));
+                    }
+                }
+            }
+            let mut a = ap.as_ptr();
+            let mut b = bp.as_ptr();
+            for _ in 0..kc {
+                let b0 = _mm256_loadu_ps(b);
+                let b1 = _mm256_loadu_ps(b.add(8));
+                for accr in &mut acc {
+                    let av = _mm256_set1_ps(*a);
+                    accr[0] = _mm256_fmadd_ps(av, b0, accr[0]);
+                    accr[1] = _mm256_fmadd_ps(av, b1, accr[1]);
+                    a = a.add(1);
+                }
+                b = b.add(NR);
+            }
+            for (row, accr) in acc.iter().enumerate() {
+                if nr == NR {
+                    _mm256_storeu_ps(out.as_mut_ptr().add(row * ldc), accr[0]);
+                    _mm256_storeu_ps(out.as_mut_ptr().add(row * ldc + 8), accr[1]);
+                } else {
+                    let mut stage = [0.0f32; NR];
+                    _mm256_storeu_ps(stage.as_mut_ptr(), accr[0]);
+                    _mm256_storeu_ps(stage.as_mut_ptr().add(8), accr[1]);
+                    out[row * ldc..row * ldc + nr].copy_from_slice(&stage[..nr]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    /// Packs one k-step-major micro-panel pair from row-major `a`/`b` and
+    /// runs `tile` both ways, asserting bitwise agreement with a direct
+    /// mul_add chain.
+    fn check_tile(r: usize, kc: usize, nr: usize, poison: Option<(usize, usize)>) {
+        let mut a = vec![0.0f32; kc * r];
+        let mut b = vec![0.0f32; kc * NR];
+        for (i, v) in a.iter_mut().enumerate() {
+            *v = (i as f32).sin();
+        }
+        for p in 0..kc {
+            for l in 0..nr {
+                b[p * NR + l] = ((p * 31 + l) as f32).cos();
+            }
+        }
+        if let Some((p, l)) = poison {
+            b[p * NR + l] = f32::NAN;
+            a[p * r] = 0.0; // 0·NaN must still poison lane l of row 0
+        }
+        let mut want = vec![0.0f32; r * NR];
+        for p in 0..kc {
+            for row in 0..r {
+                for lane in 0..nr {
+                    let w = &mut want[row * NR + lane];
+                    *w = a[p * r + row].mul_add(b[p * NR + lane], *w);
+                }
+            }
+        }
+        for use_simd in [false, true] {
+            let mut out = vec![0.0f32; r * NR];
+            tile(r, &a, &b, &mut out, NR, kc, nr, true, use_simd);
+            for row in 0..r {
+                for lane in 0..nr {
+                    assert_eq!(
+                        out[row * NR + lane].to_bits(),
+                        want[row * NR + lane].to_bits(),
+                        "r={r} kc={kc} nr={nr} simd={use_simd} row={row} lane={lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_and_tail_tiles_match_reference_chains() {
+        for r in 1..=MR {
+            for nr in [1, 7, 8, 9, NR] {
+                check_tile(r, 5, nr, None);
+            }
+        }
+        check_tile(MR, 256, NR, None);
+    }
+
+    #[test]
+    fn zero_times_nan_poisons_only_its_lane() {
+        check_tile(MR, 3, NR, Some((1, 2)));
+        // Tail tile: the poisoned lane sits inside nr, pad lanes beyond.
+        check_tile(MR, 3, 5, Some((0, 4)));
+    }
+
+    #[test]
+    fn reload_continues_the_chain() {
+        let kc = 4;
+        let a = vec![1.5f32; 2 * kc * MR];
+        let b = vec![0.25f32; 2 * kc * NR];
+        for use_simd in [false, true] {
+            let mut once = vec![0.0f32; MR * NR];
+            tile(MR, &a, &b, &mut once, NR, 2 * kc, NR, true, use_simd);
+
+            let mut split = vec![0.0f32; MR * NR];
+            tile(MR, &a[..kc * MR], &b[..kc * NR], &mut split, NR, kc, NR, true, use_simd);
+            tile(MR, &a[..kc * MR], &b[..kc * NR], &mut split, NR, kc, NR, false, use_simd);
+            // 2·kc identical steps in one block ≡ kc steps + reloaded kc steps.
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&once), bits(&split), "simd={use_simd}");
+        }
+    }
+}

@@ -3,10 +3,18 @@
 //! `PAR_THRESHOLD` exists because fanning a small GEMM out to the pool costs
 //! more than the multiply itself: the committed bench trajectory shows 64³
 //! at 46 GFLOP/s single-threaded collapsing to ~3 GFLOP/s when the old
-//! `1 << 18` threshold let it spawn threads. This test asserts the dispatch
-//! decision directly via the pool's dispatch counter: sub-threshold shapes
-//! must never reach the pool no matter the configured thread count, and
-//! above-threshold shapes must.
+//! `1 << 18` threshold let it spawn threads.
+//!
+//! Re-measured for the SIMD micro-kernel + packed-panel dispatcher
+//! (2026-08): a pooled dispatch costs ~5 µs end to end (pack handoff, job
+//! send, drain/copy-back), while the 64³ shape now finishes sequentially in
+//! ~9 µs — fan-out would still roughly double its latency, so the floor
+//! cannot drop below 64³. The first shape where the overhead amortizes is
+//! ~128³ (2.1 M flop-volume, ~73 µs sequential), which is exactly the
+//! `1 << 21` boundary; the threshold therefore stays at `1 << 21` for the
+//! SIMD path. This test asserts the dispatch decision directly via the
+//! pool's dispatch counter: sub-threshold shapes must never reach the pool
+//! no matter the configured thread count, and above-threshold shapes must.
 //!
 //! The whole file is a single `#[test]` because integration-test binaries
 //! run tests concurrently and the dispatch counter is process-global; one

@@ -1,16 +1,24 @@
-//! Bit-exact equivalence of the three GEMM execution strategies.
+//! Bit-exact equivalence of every GEMM execution strategy.
 //!
 //! The pooled dispatcher ([`gemm`]), the scoped-thread baseline
 //! ([`gemm_scoped`]) and the sequential reference ([`matmul_naive`]) must
 //! agree **bitwise** for every thread count, because the deterministic
 //! replay/golden-trace machinery depends on runs being reproducible across
-//! machines with different core counts. Both parallel paths partition the
-//! output into whole-row chunks and run the identical blocked row kernel per
-//! chunk, so any divergence here means the partitioning or the micro-kernel
+//! machines with different core counts. The pooled path partitions the
+//! output into MR-aligned row chunks × L2-sized column panels and runs the
+//! packed micro-kernel per cell; the micro-kernel reloads its accumulators
+//! from `C` at every KC boundary, so each output element is one strictly
+//! ascending-k FMA chain regardless of how the grid was carved. Any
+//! divergence here means the partitioning, the packing layout, or the
 //! accumulation order changed.
+//!
+//! The sweep also runs with the SIMD micro-kernel force-disabled
+//! ([`set_force_scalar`]): per-lane AVX2 FMA is bit-identical to scalar
+//! `f32::mul_add`, so the scalar fallback (non-x86 / Miri / loom builds)
+//! must produce the same bits as the vectorized path.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use vc_nn::ops::gemm::{gemm, gemm_scoped, matmul_naive, PAR_THRESHOLD};
+use vc_nn::ops::gemm::{gemm, gemm_scoped, matmul_naive, set_force_scalar, PAR_THRESHOLD};
 
 fn lcg_fill(buf: &mut [f32], mut state: u64) {
     for v in buf.iter_mut() {
@@ -27,24 +35,35 @@ fn check_shape(m: usize, k: usize, n: usize) {
 
     let mut reference = vec![0.0f32; m * n];
     matmul_naive(&a, &b, &mut reference, m, k, n);
+    let want: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
 
-    for threads in [1usize, 2, 4, 8] {
-        let mut pooled = vec![0.0f32; m * n];
-        gemm(&a, &b, &mut pooled, m, k, n, threads);
-        assert_eq!(
-            pooled.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            "pooled gemm diverged from naive at {m}x{k}x{n}, threads={threads}"
-        );
+    // Both kernel flavors must agree with the reference. The force flag is
+    // process-global and tests in this binary run concurrently, but that
+    // cannot skew an assertion: whichever kernel actually runs, the bits
+    // must match `matmul_naive`.
+    for scalar in [false, true] {
+        set_force_scalar(scalar);
+        for threads in [1usize, 2, 4, 8] {
+            let mut pooled = vec![0.0f32; m * n];
+            gemm(&a, &b, &mut pooled, m, k, n, threads);
+            assert_eq!(
+                pooled.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want,
+                "pooled gemm diverged from naive at {m}x{k}x{n}, \
+                 threads={threads}, force_scalar={scalar}"
+            );
 
-        let mut scoped = vec![0.0f32; m * n];
-        gemm_scoped(&a, &b, &mut scoped, m, k, n, threads);
-        assert_eq!(
-            scoped.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            "scoped gemm diverged from naive at {m}x{k}x{n}, threads={threads}"
-        );
+            let mut scoped = vec![0.0f32; m * n];
+            gemm_scoped(&a, &b, &mut scoped, m, k, n, threads);
+            assert_eq!(
+                scoped.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want,
+                "scoped gemm diverged from naive at {m}x{k}x{n}, \
+                 threads={threads}, force_scalar={scalar}"
+            );
+        }
     }
+    set_force_scalar(false);
 }
 
 #[test]
@@ -56,8 +75,18 @@ fn above_threshold_square_shape_is_bitwise_identical() {
 
 #[test]
 fn above_threshold_ragged_shape_is_bitwise_identical() {
-    // Ragged dims exercise the tail chunk (m not divisible by threads).
+    // Ragged dims exercise MR/NR tail tiles and a ragged final row chunk.
     let (m, k, n) = (131, 173, 97);
+    assert!(m * k * n >= PAR_THRESHOLD, "shape fell below PAR_THRESHOLD");
+    check_shape(m, k, n);
+}
+
+#[test]
+fn above_threshold_prime_shape_is_bitwise_identical() {
+    // All-prime dims: k crosses the KC=256 boundary (accumulator reload),
+    // n crosses the NC=128 panel boundary with a ragged last panel, and m
+    // leaves a 3-row tail tile below MR.
+    let (m, k, n) = (131, 257, 251);
     assert!(m * k * n >= PAR_THRESHOLD, "shape fell below PAR_THRESHOLD");
     check_shape(m, k, n);
 }
@@ -71,9 +100,28 @@ fn below_threshold_shape_is_bitwise_identical() {
 }
 
 #[test]
+fn bench_ragged_shape_is_bitwise_identical() {
+    // The bench matrix's ragged shape; below threshold, so this pins the
+    // sequential packed path (and the scalar fallback) bitwise.
+    const { assert!(33 * 65 * 127 < PAR_THRESHOLD) }
+    check_shape(33, 65, 127);
+}
+
+#[test]
 fn more_threads_than_rows_is_bitwise_identical() {
-    // threads > m forces empty tail chunks in the partitioner.
+    // threads > m: the row partitioner rounds chunks to MR, leaving fewer
+    // row chunks than workers.
     let (m, k, n) = (6, 640, 640);
+    assert!(m * k * n >= PAR_THRESHOLD, "shape fell below PAR_THRESHOLD");
+    check_shape(m, k, n);
+}
+
+#[test]
+fn more_threads_than_panels_is_bitwise_identical() {
+    // A single NC column panel (n ≤ 128) and an 8-row output: the whole
+    // grid is 2 jobs, so at threads=8 most workers sit idle. Idle workers
+    // must not perturb the result or deadlock the drain loop.
+    let (m, k, n) = (8, 4096, 64);
     assert!(m * k * n >= PAR_THRESHOLD, "shape fell below PAR_THRESHOLD");
     check_shape(m, k, n);
 }

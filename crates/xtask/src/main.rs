@@ -45,6 +45,11 @@
 //! * `no-static-mut` — no `static mut` anywhere in the workspace, shims
 //!   included: every access is unsafe and unsynchronized by construction;
 //!   use atomics, `OnceLock`, or `Mutex` statics instead.
+//! * `unsafe-allow` — the workspace denies `unsafe_code`, so the only door
+//!   into `unsafe` is an `allow(unsafe_code)` attribute; every such
+//!   attribute must be allow-listed, keeping the sanctioned-unsafe modules
+//!   (currently only the SIMD micro-kernel, `crates/nn/src/ops/simd.rs`)
+//!   an explicit, reviewed list.
 //!
 //! Grandfathered findings live in `xtask-allow.txt` at the repo root, one
 //! per line as `<lint> <path>` or `<lint> <path>:<line>`; `#` starts a
@@ -66,10 +71,11 @@
 //! `cargo xtask bench` runs the kernel/episode benchmark suite and appends
 //! to the `BENCH_kernels.json` trajectory at the repo root; `--smoke` runs
 //! minimal iterations against a throwaway file under `target/`, validates
-//! the artifact schema and gates matmul throughput against the last
-//! committed full run (the CI `bench-smoke` job): any matched
-//! `(op, shape, threads)` GFLOP/s dropping below 75% of the committed
-//! number fails the task.
+//! the artifact schema and gates against the last committed full run (the
+//! CI `bench-smoke` job): a matched flop-carrying record (`matmul_*`,
+//! `conv2d_*`) fails below 75% of the committed GFLOP/s, and a matched
+//! zero-flop record (rollout/PPO/episode timings) fails above 2× the
+//! committed `ns_per_iter`.
 
 use std::fmt;
 use std::fs;
@@ -331,9 +337,12 @@ fn analyze_tsan(root: &Path, strict: bool) -> bool {
 }
 
 /// Miri over the pointer/alias-heavy units: the arena (recycled `Vec`
-/// buffers) and the telemetry metrics. Leaks are expected — the kernel
-/// pool's shared state is deliberately `Box::leak`ed and worker threads
-/// never join — so the leak checker is off.
+/// buffers), the packed-GEMM kernel (`gemm` + `simd` unit tests — Miri
+/// compiles the scalar fallback, which exercises the same packing offsets
+/// and tile dispatch as the AVX2 path), and the telemetry metrics. Leaks
+/// are expected — the kernel pool's shared state is deliberately
+/// `Box::leak`ed and worker threads never join — so the leak checker is
+/// off.
 fn analyze_miri(root: &Path, strict: bool) -> bool {
     let tc = nightly_toolchain();
     if capture(root, "rustup", &["run", &tc, "cargo", "miri", "--version"]).is_none() {
@@ -341,12 +350,17 @@ fn analyze_miri(root: &Path, strict: bool) -> bool {
     }
     let envs: &[(&str, &str)] =
         &[("MIRIFLAGS", "-Zmiri-ignore-leaks"), ("CARGO_TARGET_DIR", "target/miri")];
+    for filter in ["arena", "gemm", "simd"] {
+        if !run_cmd(
+            root,
+            "rustup",
+            &["run", &tc, "cargo", "miri", "test", "-p", "vc-nn", "--lib", "--", filter],
+            envs,
+        ) {
+            return false;
+        }
+    }
     run_cmd(
-        root,
-        "rustup",
-        &["run", &tc, "cargo", "miri", "test", "-p", "vc-nn", "--lib", "--", "arena"],
-        envs,
-    ) && run_cmd(
         root,
         "rustup",
         &["run", &tc, "cargo", "miri", "test", "-p", "vc-telemetry", "--lib"],
@@ -489,16 +503,36 @@ fn validate_serve_artifact(path: &Path) -> bool {
 /// this the bench gate fails.
 const BENCH_REGRESSION_FLOOR: f64 = 0.75;
 
-/// Gates a smoke run's matmul throughput against the last committed *full*
-/// run in `BENCH_kernels.json`.
+/// Slowdown factor a zero-flop (time-gated) record may reach before the
+/// bench gate fails. Looser than the GFLOP/s floor on purpose: the
+/// zero-flop records (`rollout_step_*`, `ppo_update`, `train_episode`)
+/// run only a couple of iterations in smoke mode, so their ns/iter is
+/// noisy; a 2× wall still catches real (order-of-magnitude) regressions
+/// without flapping on scheduler jitter.
+const BENCH_TIME_REGRESSION_FACTOR: f64 = 2.0;
+
+/// Gates a smoke run against the last committed *full* run in
+/// `BENCH_kernels.json`.
 ///
-/// Only `matmul_*` records are compared — they run at full iteration count
-/// even in smoke mode, so their GFLOP/s are statistically meaningful, and
-/// they are the numbers the kernel-dispatch work is judged by. Records are
-/// matched on exact `(op, shape, threads)`; ops present on only one side
-/// (a new benchmark, or one that was renamed) are skipped with a note. A
-/// missing or full-run-free trajectory skips the gate — there is nothing to
-/// regress against.
+/// Two gate branches, so no record class can regress silently:
+///
+/// * **Throughput-gated:** `matmul_*` and `conv2d_*` records (the ones with
+///   real FLOP counts) must reach [`BENCH_REGRESSION_FLOOR`] of the
+///   committed GFLOP/s. Matmuls run at full iteration count even in smoke
+///   mode, so their numbers are statistically meaningful.
+/// * **Time-gated:** every record with `gflops == 0` (`rollout_step_*`,
+///   `ppo_update`, `train_episode`, `chief_stress`) must keep its
+///   `ns_per_iter` under [`BENCH_TIME_REGRESSION_FACTOR`] × the committed
+///   value. The gate only catches slowdowns, so a record whose smoke
+///   workload is lighter than the full one can only pass — except that
+///   workload-bearing shapes (e.g. `chief_stress`'s `rounds5` vs
+///   `rounds50`) differ between modes and therefore fall into the
+///   unmatched-record skip below rather than comparing apples to oranges.
+///
+/// Records are matched on exact `(op, shape, threads)`; ops present on only
+/// one side (a new benchmark, or one that was renamed) are skipped with a
+/// note. A missing or full-run-free trajectory skips the gate — there is
+/// nothing to regress against.
 fn check_bench_regression(root: &Path, smoke_path: &Path) -> bool {
     let committed_path = root.join("BENCH_kernels.json");
     let Some(committed) = last_run_results(&committed_path, Some("full")) else {
@@ -515,11 +549,9 @@ fn check_bench_regression(root: &Path, smoke_path: &Path) -> bool {
 
     let mut ok = true;
     let mut compared = 0usize;
-    for (key, smoke_gflops) in &smoke {
-        if !key.0.starts_with("matmul") || *smoke_gflops <= 0.0 {
-            continue;
-        }
-        let Some(committed_gflops) = committed.iter().find(|(k, _)| k == key).map(|(_, g)| *g)
+    for (key, smoke_gflops, smoke_ns) in &smoke {
+        let Some((committed_gflops, committed_ns)) =
+            committed.iter().find(|(k, _, _)| k == key).map(|(_, g, t)| (*g, *t))
         else {
             eprintln!(
                 "xtask: bench gate: {} {} t{} has no committed baseline (new record?)",
@@ -527,36 +559,67 @@ fn check_bench_regression(root: &Path, smoke_path: &Path) -> bool {
             );
             continue;
         };
-        compared += 1;
-        let floor = committed_gflops * BENCH_REGRESSION_FLOOR;
-        if *smoke_gflops < floor {
-            eprintln!(
-                "xtask: bench gate FAIL: {} {} t{}: {smoke_gflops:.2} GFLOP/s < 75% of \
-                 committed {committed_gflops:.2}",
-                key.0, key.1, key.2
-            );
-            ok = false;
+        let flop_gated = key.0.starts_with("matmul") || key.0.starts_with("conv2d");
+        if flop_gated {
+            if *smoke_gflops <= 0.0 || committed_gflops <= 0.0 {
+                eprintln!(
+                    "xtask: bench gate: {} {} t{} lacks GFLOP/s on one side; skipped",
+                    key.0, key.1, key.2
+                );
+                continue;
+            }
+            compared += 1;
+            let floor = committed_gflops * BENCH_REGRESSION_FLOOR;
+            if *smoke_gflops < floor {
+                eprintln!(
+                    "xtask: bench gate FAIL: {} {} t{}: {smoke_gflops:.2} GFLOP/s < 75% of \
+                     committed {committed_gflops:.2}",
+                    key.0, key.1, key.2
+                );
+                ok = false;
+            } else {
+                eprintln!(
+                    "xtask: bench gate ok: {} {} t{}: {smoke_gflops:.2} GFLOP/s vs committed \
+                     {committed_gflops:.2}",
+                    key.0, key.1, key.2
+                );
+            }
         } else {
-            eprintln!(
-                "xtask: bench gate ok: {} {} t{}: {smoke_gflops:.2} GFLOP/s vs committed \
-                 {committed_gflops:.2}",
-                key.0, key.1, key.2
-            );
+            if *smoke_ns <= 0.0 || committed_ns <= 0.0 {
+                continue;
+            }
+            compared += 1;
+            let wall = committed_ns * BENCH_TIME_REGRESSION_FACTOR;
+            if *smoke_ns > wall {
+                eprintln!(
+                    "xtask: bench gate FAIL: {} {} t{}: {smoke_ns:.0} ns/iter > 2x committed \
+                     {committed_ns:.0}",
+                    key.0, key.1, key.2
+                );
+                ok = false;
+            } else {
+                eprintln!(
+                    "xtask: bench gate ok: {} {} t{}: {smoke_ns:.0} ns/iter vs committed \
+                     {committed_ns:.0}",
+                    key.0, key.1, key.2
+                );
+            }
         }
     }
     if compared == 0 {
-        eprintln!("xtask: bench gate: no comparable matmul records; treating as pass");
+        eprintln!("xtask: bench gate: no comparable records; treating as pass");
     }
     ok
 }
 
 /// `(op, shape, threads)` identity of one bench record, paired with its
-/// measured GFLOP/s.
-type BenchRecord = ((String, String, u64), f64);
+/// measured GFLOP/s and ns/iter.
+type BenchRecord = ((String, String, u64), f64, f64);
 
-/// Parses a bench trajectory and returns `((op, shape, threads), gflops)`
-/// for every result of the last run — optionally the last run with the
-/// given `mode` — or `None` when the file or a matching run is absent.
+/// Parses a bench trajectory and returns
+/// `((op, shape, threads), gflops, ns_per_iter)` for every result of the
+/// last run — optionally the last run with the given `mode` — or `None`
+/// when the file or a matching run is absent.
 fn last_run_results(path: &Path, mode: Option<&str>) -> Option<Vec<BenchRecord>> {
     let text = fs::read_to_string(path).ok()?;
     let v: serde::Value = serde_json::from_str(&text).ok()?;
@@ -572,7 +635,8 @@ fn last_run_results(path: &Path, mode: Option<&str>) -> Option<Vec<BenchRecord>>
         let shape = rec.get("shape")?.as_str()?.to_owned();
         let threads = rec.get("threads")?.as_u64()?;
         let gflops = rec.get("gflops")?.as_f64()?;
-        out.push(((op, shape, threads), gflops));
+        let ns_per_iter = rec.get("ns_per_iter")?.as_f64()?;
+        out.push(((op, shape, threads), gflops, ns_per_iter));
     }
     Some(out)
 }
@@ -635,6 +699,8 @@ struct Checks {
     condvar: bool,
     /// `no-static-mut`.
     static_mut: bool,
+    /// `unsafe-allow`.
+    unsafe_allow: bool,
 }
 
 /// Runs every custom lint over the workspace sources; true when clean.
@@ -682,6 +748,7 @@ fn run_source_lints(root: &Path) -> bool {
                     atomics: true,
                     condvar: true,
                     static_mut: true,
+                    unsafe_allow: true,
                     unwrap: false,
                 },
             );
@@ -813,6 +880,7 @@ fn lint_file(file: &Path, root: &Path, findings: &mut Vec<Finding>, checks: Chec
         atomics: check_atomics,
         condvar: check_condvar,
         static_mut: check_static_mut,
+        unsafe_allow: check_unsafe_allow,
     } = checks;
     let Ok(text) = fs::read_to_string(file) else { return };
     let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
@@ -849,6 +917,22 @@ fn lint_file(file: &Path, root: &Path, findings: &mut Vec<Finding>, checks: Chec
                 path: rel.clone(),
                 line: lineno,
                 msg: "std::process::exit outside src/bin/; return a typed error instead".to_owned(),
+            });
+        }
+
+        // Even inside #[cfg(test)]: the workspace denies `unsafe_code`, so
+        // the only door into `unsafe` is an `allow(unsafe_code)` attribute.
+        // Every such attribute must be allow-listed in xtask-allow.txt,
+        // which keeps the set of sanctioned-unsafe modules (currently just
+        // the SIMD micro-kernel) an explicit, reviewed list.
+        if check_unsafe_allow && s.contains("allow(unsafe_code)") {
+            findings.push(Finding {
+                lint: "unsafe-allow",
+                path: rel.clone(),
+                line: lineno,
+                msg: "allow(unsafe_code) outside the sanctioned-unsafe allowlist; add an \
+                      `unsafe-allow` entry to xtask-allow.txt after review"
+                    .to_owned(),
             });
         }
 
@@ -1241,26 +1325,35 @@ mod tests {
         assert!(pool_findings.iter().all(|f| f.lint != "no-raw-thread"));
     }
 
+    /// One bench result record as JSON, for gate tests.
+    fn bench_rec(op: &str, ns_per_iter: f64, gflops: f64) -> String {
+        format!(
+            "{{\"op\":\"{op}\",\"shape\":\"256x256x256\",\"threads\":2,\
+             \"iters\":20,\"ns_per_iter\":{ns_per_iter},\"gflops\":{gflops}}}"
+        )
+    }
+
+    /// One run record (array of results) as JSON, for gate tests.
+    fn bench_run(mode: &str, results: &[String]) -> String {
+        format!(
+            "{{\"schema_version\":1,\"mode\":\"{mode}\",\"unix_time_s\":1,\
+             \"results\":[{}]}}",
+            results.join(",")
+        )
+    }
+
     #[test]
     fn bench_regression_gate_compares_last_full_run() {
         let dir = std::env::temp_dir().join("xtask-bench-gate-test");
         fs::create_dir_all(&dir).unwrap();
         let committed = dir.join("BENCH_kernels.json");
-        let rec = |op: &str, gflops: f64| {
-            format!(
-                "{{\"op\":\"{op}\",\"shape\":\"256x256x256\",\"threads\":2,\
-                 \"iters\":20,\"ns_per_iter\":1.0,\"gflops\":{gflops}}}"
-            )
-        };
         fs::write(
             &committed,
             format!(
-                "[{{\"schema_version\":1,\"mode\":\"full\",\"unix_time_s\":1,\
-                 \"results\":[{}]}},\
-                 {{\"schema_version\":1,\"mode\":\"smoke\",\"unix_time_s\":2,\
-                 \"results\":[{}]}}]",
-                rec("matmul_blocked", 60.0),
-                rec("matmul_blocked", 1.0), // trailing smoke run must be ignored
+                "[{},{}]",
+                bench_run("full", &[bench_rec("matmul_blocked", 1.0, 60.0)]),
+                // Trailing smoke run must be ignored as a baseline.
+                bench_run("smoke", &[bench_rec("matmul_blocked", 1.0, 1.0)]),
             ),
         )
         .unwrap();
@@ -1269,43 +1362,99 @@ mod tests {
         let full = last_run_results(&committed, Some("full")).unwrap();
         assert_eq!(full.len(), 1);
         assert!((full[0].1 - 60.0).abs() < 1e-9);
+        assert!((full[0].2 - 1.0).abs() < 1e-9);
 
         // A healthy smoke run passes the gate…
         let smoke = dir.join("smoke.json");
-        fs::write(
-            &smoke,
-            format!(
-                "[{{\"schema_version\":1,\"mode\":\"smoke\",\"unix_time_s\":3,\
-                 \"results\":[{}]}}]",
-                rec("matmul_blocked", 55.0)
-            ),
-        )
-        .unwrap();
+        let write_smoke = |recs: &[String]| {
+            fs::write(&smoke, format!("[{}]", bench_run("smoke", recs))).unwrap();
+        };
+        write_smoke(&[bench_rec("matmul_blocked", 1.0, 55.0)]);
         assert!(check_bench_regression(&dir, &smoke));
 
         // …a >25% drop fails it…
-        fs::write(
-            &smoke,
-            format!(
-                "[{{\"schema_version\":1,\"mode\":\"smoke\",\"unix_time_s\":3,\
-                 \"results\":[{}]}}]",
-                rec("matmul_blocked", 30.0)
-            ),
-        )
-        .unwrap();
+        write_smoke(&[bench_rec("matmul_blocked", 1.0, 30.0)]);
         assert!(!check_bench_regression(&dir, &smoke));
 
         // …and an unmatched record is skipped, not failed.
+        write_smoke(&[bench_rec("matmul_new_op", 1.0, 0.1)]);
+        assert!(check_bench_regression(&dir, &smoke));
+    }
+
+    #[test]
+    fn bench_regression_gate_covers_conv_by_gflops() {
+        let dir = std::env::temp_dir().join("xtask-bench-gate-conv-test");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("BENCH_kernels.json"),
+            format!("[{}]", bench_run("full", &[bench_rec("conv2d_forward", 100.0, 8.0)])),
+        )
+        .unwrap();
+        let smoke = dir.join("smoke.json");
+
+        // Healthy conv throughput passes…
+        fs::write(
+            &smoke,
+            format!("[{}]", bench_run("smoke", &[bench_rec("conv2d_forward", 110.0, 7.0)])),
+        )
+        .unwrap();
+        assert!(check_bench_regression(&dir, &smoke));
+
+        // …and a >25% GFLOP/s drop fails — conv records are no longer the
+        // gate's blind spot.
+        fs::write(
+            &smoke,
+            format!("[{}]", bench_run("smoke", &[bench_rec("conv2d_forward", 200.0, 4.0)])),
+        )
+        .unwrap();
+        assert!(!check_bench_regression(&dir, &smoke));
+    }
+
+    #[test]
+    fn bench_regression_gate_covers_zero_flop_records_by_time() {
+        let dir = std::env::temp_dir().join("xtask-bench-gate-time-test");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("BENCH_kernels.json"),
+            format!(
+                "[{}]",
+                bench_run(
+                    "full",
+                    &[
+                        bench_rec("ppo_update", 1000.0, 0.0),
+                        bench_rec("rollout_step_batched", 500.0, 0.0),
+                    ]
+                )
+            ),
+        )
+        .unwrap();
+        let smoke = dir.join("smoke.json");
+
+        // Under the 2× wall (even somewhat slower) passes…
         fs::write(
             &smoke,
             format!(
-                "[{{\"schema_version\":1,\"mode\":\"smoke\",\"unix_time_s\":3,\
-                 \"results\":[{}]}}]",
-                rec("matmul_new_op", 0.1)
+                "[{}]",
+                bench_run(
+                    "smoke",
+                    &[
+                        bench_rec("ppo_update", 1900.0, 0.0),
+                        bench_rec("rollout_step_batched", 400.0, 0.0),
+                    ]
+                )
             ),
         )
         .unwrap();
         assert!(check_bench_regression(&dir, &smoke));
+
+        // …past the wall fails: timed records can no longer regress
+        // silently just because their gflops field is 0.
+        fs::write(
+            &smoke,
+            format!("[{}]", bench_run("smoke", &[bench_rec("ppo_update", 2100.0, 0.0)])),
+        )
+        .unwrap();
+        assert!(!check_bench_regression(&dir, &smoke));
     }
 
     #[test]
@@ -1377,6 +1526,31 @@ mod tests {
         assert_eq!(hits[0].line, 1);
         assert_eq!(hits[1].line, 2);
         assert_eq!(hits[2].line, 7);
+    }
+
+    #[test]
+    fn unsafe_allow_lint_flags_every_unsafe_code_allow() {
+        let dir = std::env::temp_dir().join("xtask-lint-test8");
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("case.rs");
+        fs::write(
+            &file,
+            "#![allow(unsafe_code)]\n\
+             fn fine() {}\n\
+             // allow(unsafe_code) in a comment is fine\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   #[allow(unsafe_code)]\n\
+             \x20   fn t() {}\n\
+             }\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        lint_file(&file, &dir, &mut findings, Checks { unsafe_allow: true, ..Checks::default() });
+        let hits: Vec<_> = findings.iter().filter(|f| f.lint == "unsafe-allow").collect();
+        assert_eq!(hits.len(), 2, "file-level and test-module attributes fire; comment does not");
+        assert_eq!(hits[0].line, 1);
+        assert_eq!(hits[1].line, 6);
     }
 
     #[test]
