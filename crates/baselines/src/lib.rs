@@ -7,7 +7,10 @@
 //!   two-step lookahead with station seeking;
 //! * [`edics::Edics`] — the authors' earlier multi-agent DRL algorithm
 //!   (one independent dense-reward PPO agent per worker);
-//! * [`scheduler::RandomScheduler`] — the uniform-random floor.
+//! * [`scheduler::RandomScheduler`] — the uniform-random floor;
+//! * [`hungarian::HungarianScheduler`] — the per-slot optimal-assignment
+//!   oracle (Kuhn–Munkres over the worker × PoI distance matrix), the cost
+//!   optimum every other per-slot assignment is audited against.
 //!
 //! The remaining comparator, **DPPO** (Heess et al.), shares its entire
 //! machinery with DRL-CEWS minus curiosity and sparse rewards; it is
@@ -17,6 +20,7 @@
 pub mod dnc;
 pub mod edics;
 pub mod greedy;
+pub mod hungarian;
 pub mod scheduler;
 
 /// Convenience re-exports.
@@ -24,5 +28,6 @@ pub mod prelude {
     pub use crate::dnc::DncScheduler;
     pub use crate::edics::{Edics, EdicsConfig};
     pub use crate::greedy::GreedyScheduler;
+    pub use crate::hungarian::{solve, Assignment, HungarianError, HungarianScheduler};
     pub use crate::scheduler::{run_episode, RandomScheduler, Scheduler};
 }

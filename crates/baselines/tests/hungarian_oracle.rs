@@ -1,0 +1,176 @@
+//! Oracle-vs-brute-force verification of the Hungarian solver: on every
+//! matrix small enough to enumerate (≤ 6×6), the O(n³) algorithm must return
+//! exactly the exhaustive minimum — plus the degenerate shapes the scheduler
+//! relies on (more workers than PoIs, all-equal costs, typed non-finite
+//! rejection).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vc_baselines::hungarian::{solve, HungarianError};
+
+const CASES: usize = 48;
+
+/// Exhaustive minimum assignment cost: enumerates every injection of the
+/// smaller side into the larger. Only viable for min(rows, cols) ≤ 6.
+fn brute_force_min(costs: &[f32], rows: usize, cols: usize) -> f32 {
+    fn recurse(
+        costs: &[f32],
+        cols: usize,
+        row: usize,
+        rows: usize,
+        taken: &mut Vec<bool>,
+        acc: f32,
+        best: &mut f32,
+    ) {
+        if row == rows {
+            *best = best.min(acc);
+            return;
+        }
+        // When rows > cols some rows stay unmatched; allow skipping a row
+        // only if there are more rows left than free columns.
+        let free = taken.iter().filter(|t| !**t).count();
+        if rows - row > free {
+            recurse(costs, cols, row + 1, rows, taken, acc, best);
+        }
+        for c in 0..cols {
+            if !taken[c] {
+                taken[c] = true;
+                recurse(costs, cols, row + 1, rows, taken, acc + costs[row * cols + c], best);
+                taken[c] = false;
+            }
+        }
+    }
+    let mut best = f32::INFINITY;
+    let mut taken = vec![false; cols];
+    recurse(costs, cols, 0, rows, &mut taken, 0.0, &mut best);
+    best
+}
+
+#[test]
+fn matches_brute_force_on_random_matrices() {
+    let mut rng = StdRng::seed_from_u64(0x0123);
+    for case in 0..CASES {
+        let rows = rng.gen_range(1..7);
+        let cols = rng.gen_range(1..7);
+        let costs: Vec<f32> = (0..rows * cols).map(|_| rng.gen::<f32>() * 10.0).collect();
+        let a = solve(&costs, rows, cols).unwrap();
+        let expect = brute_force_min(&costs, rows, cols);
+        assert!(
+            (a.total_cost - expect).abs() < 1e-4,
+            "case {case} ({rows}x{cols}): hungarian {} vs brute force {expect}\n{costs:?}",
+            a.total_cost
+        );
+        // The reported matching must sum to the reported cost and be a
+        // valid injection of min(rows, cols) pairs.
+        let matched: Vec<usize> = a.assigned.iter().flatten().copied().collect();
+        assert_eq!(matched.len(), rows.min(cols), "case {case}: wrong matching size");
+        let mut uniq = matched.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), matched.len(), "case {case}: a column matched twice");
+        let sum: f32 =
+            a.assigned.iter().enumerate().filter_map(|(r, c)| c.map(|c| costs[r * cols + c])).sum();
+        assert!((sum - a.total_cost).abs() < 1e-4, "case {case}: matching does not sum to cost");
+    }
+}
+
+#[test]
+fn more_workers_than_pois_assigns_the_cheapest_subset() {
+    let mut rng = StdRng::seed_from_u64(0x4567);
+    for case in 0..CASES {
+        let rows = rng.gen_range(2..7);
+        let cols = rng.gen_range(1..rows); // strictly fewer columns
+        let costs: Vec<f32> = (0..rows * cols).map(|_| rng.gen::<f32>() * 5.0).collect();
+        let a = solve(&costs, rows, cols).unwrap();
+        assert_eq!(
+            a.assigned.iter().filter(|c| c.is_some()).count(),
+            cols,
+            "case {case}: must match exactly {cols} workers"
+        );
+        let expect = brute_force_min(&costs, rows, cols);
+        assert!(
+            (a.total_cost - expect).abs() < 1e-4,
+            "case {case} ({rows}x{cols}): {} vs {expect}",
+            a.total_cost
+        );
+    }
+}
+
+#[test]
+fn all_equal_costs_give_any_perfect_matching_at_n_times_c() {
+    for n in 1..=6usize {
+        let costs = vec![2.5f32; n * n];
+        let a = solve(&costs, n, n).unwrap();
+        assert!((a.total_cost - 2.5 * n as f32).abs() < 1e-5);
+        let mut cols: Vec<usize> = a.assigned.iter().flatten().copied().collect();
+        cols.sort_unstable();
+        assert_eq!(cols, (0..n).collect::<Vec<_>>(), "n={n}: not a permutation");
+    }
+}
+
+#[test]
+fn non_finite_cells_are_typed_errors_anywhere_in_the_matrix() {
+    let mut rng = StdRng::seed_from_u64(0x89AB);
+    for _ in 0..CASES {
+        let rows = rng.gen_range(1..7);
+        let cols = rng.gen_range(1..7);
+        let mut costs: Vec<f32> = (0..rows * cols).map(|_| rng.gen()).collect();
+        let bad = rng.gen_range(0..costs.len());
+        costs[bad] = if rng.gen_bool(0.5) { f32::NAN } else { f32::NEG_INFINITY };
+        let err = solve(&costs, rows, cols).unwrap_err();
+        assert_eq!(
+            err,
+            HungarianError::NonFiniteCost { row: bad / cols, col: bad % cols },
+            "error must name the first offending cell"
+        );
+    }
+}
+
+#[test]
+fn negative_costs_are_legal_inputs() {
+    // Reward-style matrices (negated gains) must solve exactly like shifted
+    // positive ones: optimality is translation invariant per row.
+    let mut rng = StdRng::seed_from_u64(0xCDEF);
+    for case in 0..CASES {
+        let n = rng.gen_range(1..7);
+        let costs: Vec<f32> = (0..n * n).map(|_| rng.gen::<f32>() * 4.0 - 2.0).collect();
+        let a = solve(&costs, n, n).unwrap();
+        let expect = brute_force_min(&costs, n, n);
+        assert!((a.total_cost - expect).abs() < 1e-4, "case {case}: {} vs {expect}", a.total_cost);
+    }
+}
+
+#[test]
+fn no_other_assignment_beats_the_oracle_even_adversarially() {
+    // Direct optimality statement on 4×4: every one of the 24 permutations
+    // costs at least the oracle's total.
+    let mut rng = StdRng::seed_from_u64(0x7777);
+    let perms4: Vec<[usize; 4]> = {
+        let mut out = Vec::new();
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    for d in 0..4 {
+                        let p = [a, b, c, d];
+                        let mut s = p;
+                        s.sort_unstable();
+                        if s == [0, 1, 2, 3] {
+                            out.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    };
+    for _ in 0..CASES {
+        let costs: Vec<f32> = (0..16).map(|_| rng.gen::<f32>() * 9.0).collect();
+        let oracle = solve(&costs, 4, 4).unwrap().total_cost;
+        for p in &perms4 {
+            let cost: f32 = p.iter().enumerate().map(|(r, &c)| costs[r * 4 + c]).sum();
+            assert!(oracle <= cost + 1e-4, "permutation {p:?} ({cost}) beat the oracle ({oracle})");
+        }
+    }
+}

@@ -335,6 +335,46 @@ fn bench_episode(iters: u64, out: &mut Vec<Rec>) {
     });
 }
 
+/// Times one environment step (greedy decide + step) per scenario family:
+/// the default paper-style grid against the obstacle-dense maze and the
+/// recharge-scarce map. The three records separate "the simulator got
+/// slower" from "a family's geometry makes stepping slower" (collision
+/// segment tests scale with obstacle count, so the maze is the stress row).
+fn bench_env_step(iters: u64, out: &mut Vec<Rec>) {
+    use vc_baselines::prelude::*;
+    use vc_env::scenario_gen::generate;
+    /// Timed batches per record; the fastest batch is reported.
+    const REPS: u32 = 5;
+    let families = [
+        ScenarioFamily::DefaultGrid,
+        ScenarioFamily::CityBlockMaze,
+        ScenarioFamily::RechargeScarce,
+    ];
+    for family in families {
+        let scn = generate(family, 7).expect("bench scenario generation failed");
+        let mut env = scn.try_env().expect("bench scenario instantiation failed");
+        let workers = env.workers().len();
+        let obstacles = env.config().obstacles.len();
+        let mut sched = GreedyScheduler;
+        let mut rng = StdRng::seed_from_u64(7);
+        let ns = time_ns_reps(iters, REPS, || {
+            if env.done() {
+                env.reset();
+            }
+            let actions = sched.decide(&env, &mut rng);
+            env.step(std::hint::black_box(&actions));
+        });
+        out.push(Rec {
+            op: "env_step",
+            shape: format!("{} w{workers} obs{obstacles}", family.name()),
+            threads: 1,
+            iters,
+            ns_per_iter: ns,
+            flops: 0.0,
+        });
+    }
+}
+
 /// Times the telemetry-off chief stress loop: 16 employees × `rounds`
 /// gather rounds on a small map. This is the acceptance substrate for the
 /// "disabled telemetry costs ≤ 2%" budget — the instrumented broadcast /
@@ -453,6 +493,7 @@ fn main() {
     bench_rollout_step(if smoke { 2 } else { 10 }, &mut recs);
     bench_ppo_update(if smoke { 1 } else { 5 }, &mut recs);
     bench_episode(if smoke { 1 } else { 3 }, &mut recs);
+    bench_env_step(if smoke { 50 } else { 2000 }, &mut recs);
     bench_chief_stress(1, if smoke { 5 } else { 50 }, &mut recs);
 
     println!("{:<16} {:>24} {:>8} {:>14} {:>10}", "op", "shape", "threads", "ns/iter", "GFLOP/s");

@@ -30,6 +30,22 @@ pub enum EnvError {
     ReplayDivergence,
     /// A recording failed to serialize.
     Serialize(String),
+    /// A shortest-path query asked for a target cell that is blocked or not
+    /// connected to the source ([`crate::pathfind::DistanceField::path_to`]).
+    Unreachable {
+        /// Source cell `(cx, cy)` of the distance field.
+        from: (usize, usize),
+        /// Target cell `(cx, cy)` that could not be reached.
+        to: (usize, usize),
+    },
+    /// A procedurally generated scenario violated one of its family's
+    /// self-validation invariants ([`crate::scenario_gen::generate`]).
+    ScenarioInvariant {
+        /// Family name (`ScenarioFamily::name`).
+        family: &'static str,
+        /// The first invariant violation found.
+        why: String,
+    },
 }
 
 impl fmt::Display for EnvError {
@@ -44,6 +60,12 @@ impl fmt::Display for EnvError {
                 write!(f, "replay diverged from the recording — determinism breach")
             }
             EnvError::Serialize(why) => write!(f, "recording failed to serialize: {why}"),
+            EnvError::Unreachable { from, to } => {
+                write!(f, "cell ({}, {}) is unreachable from ({}, {})", to.0, to.1, from.0, from.1)
+            }
+            EnvError::ScenarioInvariant { family, why } => {
+                write!(f, "generated `{family}` scenario violates an invariant: {why}")
+            }
         }
     }
 }

@@ -37,6 +37,7 @@ pub mod pathfind;
 pub mod recording;
 pub mod reward;
 pub mod scenario;
+pub mod scenario_gen;
 pub mod state;
 pub mod summary;
 pub mod trajectory;
@@ -55,6 +56,7 @@ pub mod prelude {
     pub use crate::pathfind::DistanceField;
     pub use crate::recording::{Recorder, Recording};
     pub use crate::reward::{dense_reward, extrinsic_reward, sparse_reward, RewardMode};
+    pub use crate::scenario_gen::{GeneratedScenario, ScenarioFamily};
     pub use crate::state::{encode, state_len, state_shape, STATE_CHANNELS};
     pub use crate::summary::{EpisodeSummary, WorkerSummary};
     pub use crate::trajectory::{HeatMap, Trajectory};

@@ -7,6 +7,7 @@
 //! available to planners that want true travel distances to stations.
 
 use crate::config::EnvConfig;
+use crate::error::EnvError;
 use crate::geometry::Point;
 use crate::state::cell_of;
 use std::collections::VecDeque;
@@ -15,6 +16,7 @@ use std::collections::VecDeque;
 #[derive(Clone, Debug)]
 pub struct DistanceField {
     grid: usize,
+    source: (usize, usize),
     dist: Vec<Option<u32>>,
 }
 
@@ -64,13 +66,78 @@ impl DistanceField {
                 }
             }
         }
-        Self { grid: g, dist }
+        Self { grid: g, source: (sx, sy), dist }
     }
 
     /// Hop distance to the cell containing `to`, or `None` if unreachable.
     pub fn distance_to(&self, cfg: &EnvConfig, to: &Point) -> Option<u32> {
         let (cx, cy) = cell_of(cfg, to);
         self.dist[cy * self.grid + cx]
+    }
+
+    /// Whether cell `(cx, cy)` was reached by the flood fill.
+    pub fn reachable(&self, cx: usize, cy: usize) -> bool {
+        cx < self.grid && cy < self.grid && self.dist[cy * self.grid + cx].is_some()
+    }
+
+    /// The source cell the field was filled from.
+    pub fn source_cell(&self) -> (usize, usize) {
+        self.source
+    }
+
+    /// Extracts one shortest cell path from the source to the cell containing
+    /// `to`, inclusive of both endpoint cells. The path follows the BFS
+    /// distance gradient, so it is exactly `distance_to` hops long and never
+    /// enters a blocked cell. Deterministic: ties between equally short
+    /// predecessors break in fixed neighbor-scan order.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::Unreachable`] when the target cell is blocked, lies in a
+    /// different connected component, or the source itself sits inside an
+    /// obstacle — a typed error instead of a panic, so planners can probe
+    /// arbitrary targets.
+    pub fn path_to(&self, cfg: &EnvConfig, to: &Point) -> Result<Vec<(usize, usize)>, EnvError> {
+        let g = self.grid;
+        let (tx, ty) = cell_of(cfg, to);
+        let unreachable = EnvError::Unreachable { from: self.source, to: (tx, ty) };
+        let Some(mut d) = self.dist[ty * g + tx] else {
+            return Err(unreachable);
+        };
+        let mut path = Vec::with_capacity(d as usize + 1);
+        let (mut cx, mut cy) = (tx, ty);
+        path.push((cx, cy));
+        while d > 0 {
+            let mut stepped = false;
+            'scan: for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let nx = cx as i32 + dx;
+                    let ny = cy as i32 + dy;
+                    if nx < 0 || ny < 0 || nx >= g as i32 || ny >= g as i32 {
+                        continue;
+                    }
+                    let (nx, ny) = (nx as usize, ny as usize);
+                    if self.dist[ny * g + nx] == Some(d - 1) {
+                        cx = nx;
+                        cy = ny;
+                        d -= 1;
+                        path.push((cx, cy));
+                        stepped = true;
+                        break 'scan;
+                    }
+                }
+            }
+            if !stepped {
+                // A reached cell always has a predecessor at d-1; treat a
+                // violation as unreachability rather than panicking.
+                return Err(unreachable);
+            }
+        }
+        path.reverse();
+        Ok(path)
     }
 
     /// Number of cells reachable from the source (including it).

@@ -1,0 +1,690 @@
+//! Procedural scenario families: seeded, self-validating map generators.
+//!
+//! `scenario.rs` draws entities for *one* hand-designed map (the paper's
+//! Fig. 2(b) grid). This module widens the evaluation surface to a matrix of
+//! scenario *families*, each a deterministic function of a single `u64`
+//! seed:
+//!
+//! * [`ScenarioFamily::DefaultGrid`] — the paper map's obstacle layout with
+//!   seeded entity draws (the control family);
+//! * [`ScenarioFamily::CityBlockMaze`] — a city-block maze: 2×2-cell
+//!   buildings on a 4-cell lattice with 1–2-cell streets, blocks knocked out
+//!   per seed (connectivity holds by construction, streets are cell-aligned);
+//! * [`ScenarioFamily::DriftingHotspots`] — an open map whose demand hotspot
+//!   random-walks across the space over the episode's phases, leaving an
+//!   elongated trail of PoI clusters;
+//! * [`ScenarioFamily::HeterogeneousFleet`] — a mixed drone/vehicle fleet:
+//!   drones carry a small battery (0.6·b₀), vehicles a large one (1.4·b₀);
+//! * [`ScenarioFamily::RechargeScarce`] — one corner charging station, a
+//!   reduced energy budget and a slow pump, à la "Learning to Recharge".
+//!
+//! **Seeding contract:** `generate(family, seed)` is bitwise deterministic —
+//! identical `(family, seed)` pairs produce identical configs and entity
+//! vectors; distinct seeds redraw obstacles (where the family randomizes
+//! them) and every entity position.
+//!
+//! **Self-validation:** every generated scenario is checked before it is
+//! returned — config validity, entity counts, placement invariants (inside
+//! the space, never inside or cell-overlapping an obstacle), and mutual
+//! reachability via [`DistanceField`]: every charging station and every PoI
+//! must be reachable from every worker spawn. Violations surface as
+//! [`EnvError::ScenarioInvariant`], never as a panic.
+
+use crate::config::{EnvConfig, PoiDistribution};
+use crate::entities::{ChargingStation, Poi, Worker};
+use crate::env::CrowdsensingEnv;
+use crate::error::EnvError;
+use crate::geometry::{Point, Rect};
+use crate::pathfind::DistanceField;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The procedural scenario families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScenarioFamily {
+    /// The paper's Fig. 2(b) obstacle layout, entities re-drawn per seed.
+    DefaultGrid,
+    /// City-block obstacle maze with seeded block knockouts.
+    CityBlockMaze,
+    /// Open map with a demand hotspot drifting across episode phases.
+    DriftingHotspots,
+    /// Mixed drone (small battery) / vehicle (large battery) fleet.
+    HeterogeneousFleet,
+    /// One remote charging station, tight energy budget, slow pump.
+    RechargeScarce,
+}
+
+impl ScenarioFamily {
+    /// Every family, in fixed sweep order.
+    pub const ALL: [ScenarioFamily; 5] = [
+        ScenarioFamily::DefaultGrid,
+        ScenarioFamily::CityBlockMaze,
+        ScenarioFamily::DriftingHotspots,
+        ScenarioFamily::HeterogeneousFleet,
+        ScenarioFamily::RechargeScarce,
+    ];
+
+    /// Stable snake_case identifier used in fixtures, benches and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioFamily::DefaultGrid => "default_grid",
+            ScenarioFamily::CityBlockMaze => "city_block_maze",
+            ScenarioFamily::DriftingHotspots => "drifting_hotspots",
+            ScenarioFamily::HeterogeneousFleet => "heterogeneous_fleet",
+            ScenarioFamily::RechargeScarce => "recharge_scarce",
+        }
+    }
+
+    /// Inverse of [`Self::name`].
+    pub fn from_name(name: &str) -> Option<ScenarioFamily> {
+        ScenarioFamily::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// Method form of [`generate`] for prelude users.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`generate`].
+    pub fn generate(self, seed: u64) -> Result<GeneratedScenario, EnvError> {
+        generate(self, seed)
+    }
+}
+
+/// A generated, validated scenario: the config plus explicit entities.
+///
+/// Entities are explicit (rather than re-derivable from `config.seed`)
+/// because families may place them under constraints `scenario::build` does
+/// not know about — component-restricted sampling, drifting cluster trails,
+/// per-worker battery classes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GeneratedScenario {
+    /// The family this scenario belongs to.
+    pub family: ScenarioFamily,
+    /// The seed it was generated from.
+    pub seed: u64,
+    /// Full environment configuration (obstacles included).
+    pub config: EnvConfig,
+    /// Worker spawns (heterogeneous batteries where the family mixes them).
+    pub workers: Vec<Worker>,
+    /// PoIs with initial data.
+    pub pois: Vec<Poi>,
+    /// Charging stations.
+    pub stations: Vec<ChargingStation>,
+}
+
+impl GeneratedScenario {
+    /// Instantiates a fresh environment; the entities become the reset
+    /// template, so [`CrowdsensingEnv::reset`] restores this exact scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidConfig`] if the config fails validation (cannot
+    /// happen for a scenario returned by [`generate`], which validates).
+    pub fn try_env(&self) -> Result<CrowdsensingEnv, EnvError> {
+        CrowdsensingEnv::try_from_parts(
+            self.config.clone(),
+            self.workers.clone(),
+            self.pois.clone(),
+            self.stations.clone(),
+        )
+    }
+
+    /// Panicking convenience wrapper over [`Self::try_env`].
+    ///
+    /// # Panics
+    ///
+    /// If the config fails validation (cannot happen for a scenario returned
+    /// by [`generate`]).
+    pub fn env(&self) -> CrowdsensingEnv {
+        self.try_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Generates and validates one scenario of `family` from `seed`.
+///
+/// # Errors
+///
+/// [`EnvError::ScenarioInvariant`] when the generated map violates a
+/// placement or reachability invariant (e.g. the free space fragmented), and
+/// [`EnvError::InvalidConfig`] when the family's config itself is broken —
+/// both indicate a generator bug, surfaced as typed errors so harnesses can
+/// report which family and seed failed.
+pub fn generate(family: ScenarioFamily, seed: u64) -> Result<GeneratedScenario, EnvError> {
+    // Decorrelate the family streams: two families given the same seed must
+    // not share entity draws.
+    let mut rng = StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(family.name().len() as u64),
+    );
+    let scenario = match family {
+        ScenarioFamily::DefaultGrid => gen_default_grid(seed, &mut rng),
+        ScenarioFamily::CityBlockMaze => gen_city_block_maze(seed, &mut rng),
+        ScenarioFamily::DriftingHotspots => gen_drifting_hotspots(seed, &mut rng),
+        ScenarioFamily::HeterogeneousFleet => gen_heterogeneous_fleet(seed, &mut rng),
+        ScenarioFamily::RechargeScarce => gen_recharge_scarce(seed, &mut rng),
+    }?;
+    validate(&scenario)?;
+    Ok(scenario)
+}
+
+// ---- family builders -------------------------------------------------------
+
+/// Shared base: paper physics constants, 16×16 space, shortened horizon so
+/// matrix sweeps stay fast.
+fn base_config(seed: u64) -> EnvConfig {
+    let mut cfg = EnvConfig::paper_default();
+    cfg.seed = seed;
+    cfg.horizon = 40;
+    cfg.num_pois = 60;
+    cfg
+}
+
+fn gen_default_grid(seed: u64, rng: &mut StdRng) -> Result<GeneratedScenario, EnvError> {
+    let cfg = base_config(seed);
+    let free = FreeSpace::of(&cfg, ScenarioFamily::DefaultGrid)?;
+    let workers = free.uniform_workers(&cfg, cfg.num_workers, rng);
+    let stations = free.spread_stations(&cfg, cfg.num_stations, rng);
+    // The paper's mixture: 25% uniform background, the rest around seeded
+    // cluster centers (one biased toward the corner room when reachable).
+    let mut centers: Vec<Point> = (0..4).map(|_| free.uniform_point(&cfg, rng)).collect();
+    let corner = Point::new(cfg.size_x * 0.85, cfg.size_y * 0.15);
+    if free.contains_point(&cfg, &corner) {
+        centers.push(corner);
+    }
+    let pois = free.clustered_pois(&cfg, cfg.num_pois, &centers, 0.09 * cfg.size_x, rng);
+    Ok(GeneratedScenario {
+        family: ScenarioFamily::DefaultGrid,
+        seed,
+        config: cfg,
+        workers,
+        pois,
+        stations,
+    })
+}
+
+fn gen_city_block_maze(seed: u64, rng: &mut StdRng) -> Result<GeneratedScenario, EnvError> {
+    let mut cfg = base_config(seed);
+    cfg.num_pois = 48;
+    cfg.poi_distribution = PoiDistribution::Uniform;
+    // 2×2-cell buildings on a 4-cell lattice: block (i, j) covers cells
+    // [4i+1, 4i+3) × [4j+1, 4j+3), so streets (rows/cols 0, 3–4, 7–8, 11–12,
+    // 15) are whole cells wide and stay connected no matter which blocks the
+    // seed keeps. Cell-aligned edges keep street cells fully obstacle-free
+    // under the positive-area overlap rule the flood fill uses.
+    let mut obstacles = Vec::new();
+    for j in 0..4 {
+        for i in 0..4 {
+            if rng.gen::<f32>() < 0.78 {
+                let (x0, y0) = (4.0 * i as f32 + 1.0, 4.0 * j as f32 + 1.0);
+                obstacles.push(Rect::new(x0, y0, x0 + 2.0, y0 + 2.0));
+            }
+        }
+    }
+    cfg.obstacles = obstacles;
+    let free = FreeSpace::of(&cfg, ScenarioFamily::CityBlockMaze)?;
+    let workers = free.uniform_workers(&cfg, cfg.num_workers, rng);
+    let stations = free.spread_stations(&cfg, cfg.num_stations, rng);
+    let pois = (0..cfg.num_pois)
+        .map(|_| Poi::new(free.uniform_point(&cfg, rng), 0.05 + 0.95 * rng.gen::<f32>()))
+        .collect();
+    Ok(GeneratedScenario {
+        family: ScenarioFamily::CityBlockMaze,
+        seed,
+        config: cfg,
+        workers,
+        pois,
+        stations,
+    })
+}
+
+fn gen_drifting_hotspots(seed: u64, rng: &mut StdRng) -> Result<GeneratedScenario, EnvError> {
+    let mut cfg = base_config(seed);
+    cfg.obstacles = Vec::new();
+    cfg.num_stations = 3;
+    cfg.poi_distribution = PoiDistribution::ClusteredUneven;
+    let free = FreeSpace::of(&cfg, ScenarioFamily::DriftingHotspots)?;
+    let workers = free.uniform_workers(&cfg, cfg.num_workers, rng);
+    let stations = free.spread_stations(&cfg, cfg.num_stations, rng);
+    // The hotspot center random-walks across `phases` waypoints; PoI i is
+    // drawn around the waypoint of its episode phase, producing the drift
+    // trail a static map can encode.
+    let phases = 6usize;
+    let margin = 1.0;
+    let mut center = free.uniform_point(&cfg, rng);
+    let mut waypoints = Vec::with_capacity(phases);
+    for _ in 0..phases {
+        waypoints.push(center);
+        let angle = rng.gen::<f32>() * std::f32::consts::TAU;
+        let step = 2.0 + 1.5 * rng.gen::<f32>();
+        center = Point::new(
+            (center.x + step * angle.cos()).clamp(margin, cfg.size_x - margin),
+            (center.y + step * angle.sin()).clamp(margin, cfg.size_y - margin),
+        );
+    }
+    let pois = (0..cfg.num_pois)
+        .map(|i| {
+            let phase = i * phases / cfg.num_pois;
+            let pos = free.gaussian_point(&cfg, waypoints[phase], 1.1, rng);
+            Poi::new(pos, 0.05 + 0.95 * rng.gen::<f32>())
+        })
+        .collect();
+    Ok(GeneratedScenario {
+        family: ScenarioFamily::DriftingHotspots,
+        seed,
+        config: cfg,
+        workers,
+        pois,
+        stations,
+    })
+}
+
+fn gen_heterogeneous_fleet(seed: u64, rng: &mut StdRng) -> Result<GeneratedScenario, EnvError> {
+    let mut cfg = base_config(seed);
+    cfg.num_workers = 4;
+    cfg.num_stations = 3;
+    cfg.obstacles = vec![Rect::new(3.0, 3.0, 5.0, 6.0), Rect::new(10.0, 9.0, 12.5, 11.0)];
+    let free = FreeSpace::of(&cfg, ScenarioFamily::HeterogeneousFleet)?;
+    // Alternate drone (0.6·b₀) and vehicle (1.4·b₀) battery classes; both
+    // spawn full. The global α/β energy coefficients stay shared — the
+    // classes differ in endurance, which is what recharge scheduling sees.
+    let workers = (0..cfg.num_workers)
+        .map(|i| {
+            let b0 = if i % 2 == 0 { 0.6 } else { 1.4 } * cfg.initial_energy;
+            Worker::new(free.uniform_point(&cfg, rng), b0)
+        })
+        .collect();
+    let stations = free.spread_stations(&cfg, cfg.num_stations, rng);
+    let centers: Vec<Point> = (0..3).map(|_| free.uniform_point(&cfg, rng)).collect();
+    let pois = free.clustered_pois(&cfg, cfg.num_pois, &centers, 0.1 * cfg.size_x, rng);
+    Ok(GeneratedScenario {
+        family: ScenarioFamily::HeterogeneousFleet,
+        seed,
+        config: cfg,
+        workers,
+        pois,
+        stations,
+    })
+}
+
+fn gen_recharge_scarce(seed: u64, rng: &mut StdRng) -> Result<GeneratedScenario, EnvError> {
+    let mut cfg = base_config(seed);
+    cfg.horizon = 50;
+    cfg.num_pois = 50;
+    cfg.num_stations = 1;
+    cfg.initial_energy = 18.0;
+    cfg.charge_rate = 8.0;
+    cfg.obstacles = vec![Rect::new(6.5, 6.5, 9.5, 9.5)];
+    cfg.poi_distribution = PoiDistribution::Uniform;
+    let free = FreeSpace::of(&cfg, ScenarioFamily::RechargeScarce)?;
+    let workers = free.uniform_workers(&cfg, cfg.num_workers, rng);
+    // The lone station hugs a corner, so most of the map is a long round
+    // trip from the pump.
+    let corner = Point::new(cfg.size_x * 0.92, cfg.size_y * 0.92);
+    let stations = vec![ChargingStation::new(free.nearest_point(&cfg, &corner), cfg.charge_range)];
+    let pois = (0..cfg.num_pois)
+        .map(|_| Poi::new(free.uniform_point(&cfg, rng), 0.05 + 0.95 * rng.gen::<f32>()))
+        .collect();
+    Ok(GeneratedScenario {
+        family: ScenarioFamily::RechargeScarce,
+        seed,
+        config: cfg,
+        workers,
+        pois,
+        stations,
+    })
+}
+
+// ---- constrained placement over the free-space component -------------------
+
+/// The largest connected component of obstacle-free cells, the sampling
+/// domain for every entity — placement inside it makes mutual reachability
+/// hold by construction, and validation re-derives it via [`DistanceField`].
+struct FreeSpace {
+    grid: usize,
+    /// Cells of the component, ascending row-major index.
+    cells: Vec<(usize, usize)>,
+    /// Component membership by cell index.
+    member: Vec<bool>,
+}
+
+impl FreeSpace {
+    /// Finds the largest free component (ties: the one containing the
+    /// lowest-index cell).
+    fn of(cfg: &EnvConfig, family: ScenarioFamily) -> Result<FreeSpace, EnvError> {
+        let g = cfg.grid;
+        let blocked: Vec<bool> = (0..g * g)
+            .map(|i| {
+                let (cx, cy) = (i % g, i / g);
+                let (x0, y0) = (cx as f32 * cfg.cell_x(), cy as f32 * cfg.cell_y());
+                cfg.obstacles
+                    .iter()
+                    .any(|r| r.overlaps_box(x0, y0, x0 + cfg.cell_x(), y0 + cfg.cell_y()))
+            })
+            .collect();
+        let mut seen = vec![false; g * g];
+        let mut best: Option<FreeSpace> = None;
+        for i in 0..g * g {
+            if blocked[i] || seen[i] {
+                continue;
+            }
+            let (cx, cy) = (i % g, i / g);
+            let center =
+                Point::new((cx as f32 + 0.5) * cfg.cell_x(), (cy as f32 + 0.5) * cfg.cell_y());
+            let field = DistanceField::from(cfg, &center);
+            let mut cells = Vec::new();
+            let mut member = vec![false; g * g];
+            for j in 0..g * g {
+                if field.reachable(j % g, j / g) {
+                    seen[j] = true;
+                    member[j] = true;
+                    cells.push((j % g, j / g));
+                }
+            }
+            if best.as_ref().is_none_or(|b| cells.len() > b.cells.len()) {
+                best = Some(FreeSpace { grid: g, cells, member });
+            }
+        }
+        let free = best.ok_or_else(|| EnvError::ScenarioInvariant {
+            family: family.name(),
+            why: "obstacles cover every grid cell — no free space to place entities".into(),
+        })?;
+        // Entities need room to move: require at least a quarter of the map.
+        if free.cells.len() * 4 < g * g {
+            return Err(EnvError::ScenarioInvariant {
+                family: family.name(),
+                why: format!(
+                    "largest free component has {} of {} cells — map too fragmented",
+                    free.cells.len(),
+                    g * g
+                ),
+            });
+        }
+        Ok(free)
+    }
+
+    fn in_component(&self, cfg: &EnvConfig, p: &Point) -> bool {
+        let cx = ((p.x / cfg.cell_x()) as usize).min(self.grid - 1);
+        let cy = ((p.y / cfg.cell_y()) as usize).min(self.grid - 1);
+        self.member[cy * self.grid + cx]
+    }
+
+    fn contains_point(&self, cfg: &EnvConfig, p: &Point) -> bool {
+        p.x >= 0.0
+            && p.y >= 0.0
+            && p.x <= cfg.size_x
+            && p.y <= cfg.size_y
+            && self.in_component(cfg, p)
+    }
+
+    /// Uniform point over the component: uniform cell, jittered interior
+    /// offset (component cells are fully obstacle-free, so any interior
+    /// point is valid).
+    fn uniform_point(&self, cfg: &EnvConfig, rng: &mut StdRng) -> Point {
+        let (cx, cy) = self.cells[rng.gen_range(0..self.cells.len())];
+        Point::new(
+            (cx as f32 + 0.15 + 0.7 * rng.gen::<f32>()) * cfg.cell_x(),
+            (cy as f32 + 0.15 + 0.7 * rng.gen::<f32>()) * cfg.cell_y(),
+        )
+    }
+
+    /// Gaussian draw around `center` rejected into the component; falls back
+    /// to a uniform component point after 100 misses.
+    fn gaussian_point(&self, cfg: &EnvConfig, center: Point, std: f32, rng: &mut StdRng) -> Point {
+        for _ in 0..100 {
+            let p = Point::new(
+                (center.x + randn(rng) * std).clamp(0.05, cfg.size_x - 0.05),
+                (center.y + randn(rng) * std).clamp(0.05, cfg.size_y - 0.05),
+            );
+            if self.in_component(cfg, &p) {
+                return p;
+            }
+        }
+        self.uniform_point(cfg, rng)
+    }
+
+    /// The component point closest to `target` (cell center, deterministic).
+    fn nearest_point(&self, cfg: &EnvConfig, target: &Point) -> Point {
+        let mut best = Point::new(
+            (self.cells[0].0 as f32 + 0.5) * cfg.cell_x(),
+            (self.cells[0].1 as f32 + 0.5) * cfg.cell_y(),
+        );
+        let mut best_d = f32::INFINITY;
+        for &(cx, cy) in &self.cells {
+            let p = Point::new((cx as f32 + 0.5) * cfg.cell_x(), (cy as f32 + 0.5) * cfg.cell_y());
+            let d = p.dist(target);
+            if d < best_d {
+                best_d = d;
+                best = p;
+            }
+        }
+        best
+    }
+
+    fn uniform_workers(&self, cfg: &EnvConfig, n: usize, rng: &mut StdRng) -> Vec<Worker> {
+        (0..n).map(|_| Worker::new(self.uniform_point(cfg, rng), cfg.initial_energy)).collect()
+    }
+
+    /// Stations at evenly spaced component cells (deterministic spread) with
+    /// a small jitter off the exact cell center.
+    fn spread_stations(&self, cfg: &EnvConfig, n: usize, rng: &mut StdRng) -> Vec<ChargingStation> {
+        (0..n)
+            .map(|i| {
+                let idx = (i + 1) * self.cells.len() / (n + 1);
+                let (cx, cy) = self.cells[idx.min(self.cells.len() - 1)];
+                let pos = Point::new(
+                    (cx as f32 + 0.3 + 0.4 * rng.gen::<f32>()) * cfg.cell_x(),
+                    (cy as f32 + 0.3 + 0.4 * rng.gen::<f32>()) * cfg.cell_y(),
+                );
+                ChargingStation::new(pos, cfg.charge_range)
+            })
+            .collect()
+    }
+
+    /// Mixture PoIs: 25% uniform background, the rest spread over `centers`
+    /// by round-robin, Gaussian with the given std.
+    fn clustered_pois(
+        &self,
+        cfg: &EnvConfig,
+        n: usize,
+        centers: &[Point],
+        std: f32,
+        rng: &mut StdRng,
+    ) -> Vec<Poi> {
+        (0..n)
+            .map(|i| {
+                let pos = if i < n / 4 || centers.is_empty() {
+                    self.uniform_point(cfg, rng)
+                } else {
+                    self.gaussian_point(cfg, centers[i % centers.len()], std, rng)
+                };
+                Poi::new(pos, 0.05 + 0.95 * rng.gen::<f32>())
+            })
+            .collect()
+    }
+}
+
+/// Standard normal via Box–Muller (mirrors `scenario::randn`).
+fn randn(rng: &mut StdRng) -> f32 {
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+// ---- self-validation -------------------------------------------------------
+
+/// Checks every family invariant on a generated scenario. Public so test
+/// harnesses can re-assert the contract on mutated seeds.
+///
+/// # Errors
+///
+/// [`EnvError::ScenarioInvariant`] naming the first violated invariant;
+/// [`EnvError::InvalidConfig`] when the config itself fails validation.
+pub fn validate(scn: &GeneratedScenario) -> Result<(), EnvError> {
+    let fam = scn.family.name();
+    let fail = |why: String| Err(EnvError::ScenarioInvariant { family: fam, why });
+    scn.config.validate()?;
+    let cfg = &scn.config;
+    if scn.workers.len() != cfg.num_workers
+        || scn.pois.len() != cfg.num_pois
+        || scn.stations.len() != cfg.num_stations
+    {
+        return fail(format!(
+            "entity counts ({} workers, {} PoIs, {} stations) disagree with the config \
+             ({}, {}, {})",
+            scn.workers.len(),
+            scn.pois.len(),
+            scn.stations.len(),
+            cfg.num_workers,
+            cfg.num_pois,
+            cfg.num_stations
+        ));
+    }
+    let placements = scn
+        .workers
+        .iter()
+        .map(|w| ("worker", w.pos))
+        .chain(scn.pois.iter().map(|p| ("PoI", p.pos)))
+        .chain(scn.stations.iter().map(|s| ("station", s.pos)));
+    for (kind, pos) in placements {
+        if pos.x < 0.0 || pos.y < 0.0 || pos.x > cfg.size_x || pos.y > cfg.size_y {
+            return fail(format!("{kind} at ({}, {}) is outside the space", pos.x, pos.y));
+        }
+        if cfg.obstacles.iter().any(|r| r.contains(&pos)) {
+            return fail(format!("{kind} at ({}, {}) is inside an obstacle", pos.x, pos.y));
+        }
+    }
+    for (wi, w) in scn.workers.iter().enumerate() {
+        if w.energy <= 0.0 || w.energy > w.capacity {
+            return fail(format!(
+                "worker {wi} spawns with energy {} outside (0, capacity {}]",
+                w.energy, w.capacity
+            ));
+        }
+        // Mutual reachability from this spawn: every station (the worker can
+        // recharge) and every PoI (no data is sealed off).
+        let field = DistanceField::from(cfg, &w.pos);
+        for (si, s) in scn.stations.iter().enumerate() {
+            if field.distance_to(cfg, &s.pos).is_none() {
+                return fail(format!("station {si} is unreachable from worker {wi}'s spawn"));
+            }
+        }
+        for (pi, p) in scn.pois.iter().enumerate() {
+            if field.distance_to(cfg, &p.pos).is_none() {
+                return fail(format!("PoI {pi} is unreachable from worker {wi}'s spawn"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_generates_and_validates() {
+        for family in ScenarioFamily::ALL {
+            let scn = generate(family, 7).unwrap_or_else(|e| panic!("{family:?}: {e}"));
+            assert_eq!(scn.family, family);
+            assert_eq!(scn.seed, 7);
+            validate(&scn).unwrap();
+            let env = scn.try_env().unwrap();
+            assert_eq!(env.workers().len(), scn.config.num_workers);
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bitwise_identical() {
+        for family in ScenarioFamily::ALL {
+            let a = generate(family, 42).unwrap();
+            let b = generate(family, 42).unwrap();
+            assert_eq!(a, b, "{family:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn different_seed_different_scenario() {
+        for family in ScenarioFamily::ALL {
+            let a = generate(family, 1).unwrap();
+            let b = generate(family, 2).unwrap();
+            assert_ne!(a.pois, b.pois, "{family:?} ignored the seed");
+        }
+    }
+
+    #[test]
+    fn families_are_decorrelated_at_equal_seed() {
+        let maze = generate(ScenarioFamily::CityBlockMaze, 9).unwrap();
+        let drift = generate(ScenarioFamily::DriftingHotspots, 9).unwrap();
+        assert_ne!(maze.workers, drift.workers);
+    }
+
+    #[test]
+    fn maze_blocks_are_cell_aligned_and_streets_open() {
+        let scn = generate(ScenarioFamily::CityBlockMaze, 3).unwrap();
+        for r in &scn.config.obstacles {
+            assert_eq!(r.x0.fract(), 0.0);
+            assert_eq!(r.y0.fract(), 0.0);
+            assert_eq!(r.width(), 2.0);
+            assert_eq!(r.height(), 2.0);
+        }
+        // Street row 0 must be fully free.
+        for r in &scn.config.obstacles {
+            assert!(r.y0 >= 1.0);
+        }
+    }
+
+    #[test]
+    fn fleet_mixes_battery_classes() {
+        let scn = generate(ScenarioFamily::HeterogeneousFleet, 5).unwrap();
+        let caps: Vec<f32> = scn.workers.iter().map(|w| w.capacity).collect();
+        assert!(caps.iter().any(|&c| c < 30.0), "no drone-class battery in {caps:?}");
+        assert!(caps.iter().any(|&c| c > 50.0), "no vehicle-class battery in {caps:?}");
+    }
+
+    #[test]
+    fn recharge_scarce_has_one_remote_station() {
+        let scn = generate(ScenarioFamily::RechargeScarce, 11).unwrap();
+        assert_eq!(scn.stations.len(), 1);
+        let st = scn.stations[0].pos;
+        assert!(st.x > scn.config.size_x * 0.6 && st.y > scn.config.size_y * 0.6);
+        assert!(scn.config.initial_energy < 20.0);
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for family in ScenarioFamily::ALL {
+            assert_eq!(ScenarioFamily::from_name(family.name()), Some(family));
+        }
+        assert_eq!(ScenarioFamily::from_name("nope"), None);
+    }
+
+    #[test]
+    fn validate_rejects_entity_in_obstacle() {
+        let mut scn = generate(ScenarioFamily::DefaultGrid, 1).unwrap();
+        scn.pois[0].pos = Point::new(3.0, 4.0); // inside Rect(2.5, 3, 4, 5)
+        assert!(matches!(validate(&scn), Err(EnvError::ScenarioInvariant { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_sealed_data() {
+        let mut scn = generate(ScenarioFamily::CityBlockMaze, 1).unwrap();
+        // Seal a PoI inside a ring of obstacles.
+        scn.config.obstacles = vec![
+            Rect::new(5.0, 5.0, 11.0, 6.0),
+            Rect::new(5.0, 10.0, 11.0, 11.0),
+            Rect::new(5.0, 6.0, 6.0, 10.0),
+            Rect::new(10.0, 6.0, 11.0, 10.0),
+        ];
+        for w in &mut scn.workers {
+            w.pos = Point::new(1.5, 1.5);
+        }
+        for p in &mut scn.pois {
+            p.pos = Point::new(1.5, 2.5);
+        }
+        for s in &mut scn.stations {
+            s.pos = Point::new(2.5, 1.5);
+        }
+        scn.pois[0].pos = Point::new(8.0, 8.0); // in the sealed ring
+        assert!(matches!(validate(&scn), Err(EnvError::ScenarioInvariant { .. })));
+    }
+}

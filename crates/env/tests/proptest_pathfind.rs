@@ -1,0 +1,219 @@
+//! Property suite for `pathfind` and `geometry` (seeded-case loops, PR-1
+//! convention): shortest paths never enter obstacles, their length respects
+//! the discrete lower bound, and unreachable targets surface as typed errors
+//! instead of panics.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vc_env::pathfind::DistanceField;
+use vc_env::prelude::*;
+
+const CASES: usize = 48;
+
+/// Random small map: 8×8, up to three random obstacle rectangles (not
+/// necessarily cell-aligned — partial cell overlap must block the cell).
+fn random_cfg(rng: &mut StdRng) -> EnvConfig {
+    let mut cfg = EnvConfig::tiny();
+    let n_obs = rng.gen_range(0..4);
+    cfg.obstacles = (0..n_obs)
+        .map(|_| {
+            let x0 = rng.gen::<f32>() * 6.0;
+            let y0 = rng.gen::<f32>() * 6.0;
+            let w = 0.5 + rng.gen::<f32>() * 2.0;
+            let h = 0.5 + rng.gen::<f32>() * 2.0;
+            Rect::new(x0, y0, (x0 + w).min(8.0), (y0 + h).min(8.0))
+        })
+        .collect();
+    cfg
+}
+
+/// The flood fill's blocking rule, recomputed independently.
+fn blocked(cfg: &EnvConfig, cx: usize, cy: usize) -> bool {
+    let (x0, y0) = (cx as f32 * cfg.cell_x(), cy as f32 * cfg.cell_y());
+    cfg.obstacles.iter().any(|r| r.overlaps_box(x0, y0, x0 + cfg.cell_x(), y0 + cfg.cell_y()))
+}
+
+fn cell_center(cfg: &EnvConfig, cx: usize, cy: usize) -> Point {
+    Point::new((cx as f32 + 0.5) * cfg.cell_x(), (cy as f32 + 0.5) * cfg.cell_y())
+}
+
+#[test]
+fn shortest_paths_respect_obstacles_and_lower_bound() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    let mut reachable_cases = 0;
+    for case in 0..CASES {
+        let cfg = random_cfg(&mut rng);
+        let (sx, sy) = (rng.gen_range(0..cfg.grid), rng.gen_range(0..cfg.grid));
+        let (tx, ty) = (rng.gen_range(0..cfg.grid), rng.gen_range(0..cfg.grid));
+        let source = cell_center(&cfg, sx, sy);
+        let target = cell_center(&cfg, tx, ty);
+        let field = DistanceField::from(&cfg, &source);
+        match field.path_to(&cfg, &target) {
+            Ok(path) => {
+                reachable_cases += 1;
+                assert_eq!(path[0], (sx, sy), "case {case}: path must start at the source cell");
+                assert_eq!(
+                    *path.last().unwrap(),
+                    (tx, ty),
+                    "case {case}: path must end at the target cell"
+                );
+                // Exactly as long as the BFS distance says.
+                let hops = path.len() as u32 - 1;
+                assert_eq!(
+                    Some(hops),
+                    field.distance_to(&cfg, &target),
+                    "case {case}: path length disagrees with the distance field"
+                );
+                // Discrete lower bound for 8-connected motion: hops can never
+                // beat the Chebyshev distance (which also implies
+                // hops >= manhattan/2, the diagonal-move Manhattan bound).
+                let cheb = (sx.abs_diff(tx)).max(sy.abs_diff(ty)) as u32;
+                let manhattan = (sx.abs_diff(tx) + sy.abs_diff(ty)) as u32;
+                assert!(hops >= cheb, "case {case}: {hops} hops beats Chebyshev {cheb}");
+                assert!(
+                    2 * hops >= manhattan,
+                    "case {case}: {hops} hops beats the Manhattan bound {manhattan}"
+                );
+                // Never enters a blocked cell; every step is 8-adjacent.
+                for (k, &(cx, cy)) in path.iter().enumerate() {
+                    assert!(
+                        !blocked(&cfg, cx, cy),
+                        "case {case}: path step {k} enters blocked cell ({cx}, {cy})"
+                    );
+                    if k > 0 {
+                        let (px, py) = path[k - 1];
+                        assert!(
+                            px.abs_diff(cx) <= 1 && py.abs_diff(cy) <= 1 && (px, py) != (cx, cy),
+                            "case {case}: step {k} teleports ({px},{py}) -> ({cx},{cy})"
+                        );
+                    }
+                }
+            }
+            Err(EnvError::Unreachable { from, to }) => {
+                // Typed error, correct endpoints, consistent with the field.
+                assert_eq!(from, (sx, sy), "case {case}: error names the wrong source");
+                assert_eq!(to, (tx, ty), "case {case}: error names the wrong target");
+                assert_eq!(
+                    field.distance_to(&cfg, &target),
+                    None,
+                    "case {case}: Unreachable contradicts the distance field"
+                );
+            }
+            Err(other) => panic!("case {case}: unexpected error {other}"),
+        }
+    }
+    assert!(
+        reachable_cases >= CASES / 2,
+        "only {reachable_cases} reachable cases — maps too dense"
+    );
+}
+
+#[test]
+fn sealed_target_returns_typed_error_not_panic() {
+    let mut cfg = EnvConfig::tiny();
+    // Seal the bottom-right corner with an L of walls.
+    cfg.obstacles = vec![Rect::new(5.0, 0.0, 5.8, 3.0), Rect::new(5.0, 2.2, 8.0, 3.0)];
+    let field = DistanceField::from(&cfg, &Point::new(1.0, 6.0));
+    let err = field.path_to(&cfg, &Point::new(7.5, 0.5)).unwrap_err();
+    assert!(matches!(err, EnvError::Unreachable { .. }), "wanted Unreachable, got {err}");
+    assert!(err.to_string().contains("unreachable"), "message unhelpful: {err}");
+}
+
+#[test]
+fn source_inside_obstacle_is_unreachable_everywhere() {
+    let mut cfg = EnvConfig::tiny();
+    cfg.obstacles = vec![Rect::new(3.0, 3.0, 5.0, 5.0)];
+    let field = DistanceField::from(&cfg, &Point::new(4.0, 4.0));
+    // Even the source's own cell: the field never formed.
+    assert!(field.path_to(&cfg, &Point::new(4.0, 4.0)).is_err());
+    assert!(field.path_to(&cfg, &Point::new(1.0, 1.0)).is_err());
+}
+
+#[test]
+fn path_to_source_is_the_single_source_cell() {
+    let cfg = EnvConfig::tiny();
+    let p = Point::new(3.5, 4.5);
+    let field = DistanceField::from(&cfg, &p);
+    assert_eq!(field.path_to(&cfg, &p).unwrap(), vec![field.source_cell()]);
+}
+
+// ---- geometry properties ---------------------------------------------------
+
+#[test]
+fn rect_corner_order_never_matters() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for case in 0..CASES {
+        let (x0, y0) = (rng.gen::<f32>() * 8.0, rng.gen::<f32>() * 8.0);
+        let (x1, y1) = (rng.gen::<f32>() * 8.0, rng.gen::<f32>() * 8.0);
+        let a = Rect::new(x0, y0, x1, y1);
+        let b = Rect::new(x1, y1, x0, y0);
+        assert_eq!((a.x0, a.y0, a.x1, a.y1), (b.x0, b.y0, b.x1, b.y1), "case {case}");
+        for _ in 0..8 {
+            let p = Point::new(rng.gen::<f32>() * 8.0, rng.gen::<f32>() * 8.0);
+            assert_eq!(a.contains(&p), b.contains(&p), "case {case}: contains disagrees");
+        }
+    }
+}
+
+#[test]
+fn contains_implies_box_overlap_and_segment_hit() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..CASES {
+        let x0 = rng.gen::<f32>() * 6.0;
+        let y0 = rng.gen::<f32>() * 6.0;
+        let r = Rect::new(x0, y0, x0 + 0.5 + rng.gen::<f32>(), y0 + 0.5 + rng.gen::<f32>());
+        // A point strictly inside…
+        let p = Point::new(
+            r.x0 + (r.x1 - r.x0) * (0.25 + 0.5 * rng.gen::<f32>()),
+            r.y0 + (r.y1 - r.y0) * (0.25 + 0.5 * rng.gen::<f32>()),
+        );
+        assert!(r.contains(&p), "case {case}: interior point not contained");
+        // …implies overlap with any box around it…
+        assert!(
+            r.overlaps_box(p.x - 0.1, p.y - 0.1, p.x + 0.1, p.y + 0.1),
+            "case {case}: contains without box overlap"
+        );
+        // …and a degenerate-to-short segment through it intersects.
+        let q = Point::new(p.x + 0.01, p.y + 0.01);
+        assert!(r.intersects_segment(&p, &q), "case {case}: interior segment missed");
+    }
+}
+
+#[test]
+fn segment_intersection_is_symmetric_and_misses_far_segments() {
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for case in 0..CASES {
+        let x0 = 2.0 + rng.gen::<f32>() * 2.0;
+        let y0 = 2.0 + rng.gen::<f32>() * 2.0;
+        let r = Rect::new(x0, y0, x0 + 1.0, y0 + 1.0);
+        let a = Point::new(rng.gen::<f32>() * 8.0, rng.gen::<f32>() * 8.0);
+        let b = Point::new(rng.gen::<f32>() * 8.0, rng.gen::<f32>() * 8.0);
+        assert_eq!(
+            r.intersects_segment(&a, &b),
+            r.intersects_segment(&b, &a),
+            "case {case}: intersection not symmetric"
+        );
+        // A segment strictly left of the rect can never hit it.
+        let far_a = Point::new(x0 - 1.5, a.y);
+        let far_b = Point::new(x0 - 1.1, b.y);
+        assert!(!r.intersects_segment(&far_a, &far_b), "case {case}: phantom intersection");
+    }
+}
+
+#[test]
+fn point_distance_is_a_metric() {
+    let mut rng = StdRng::seed_from_u64(0xFACE);
+    for case in 0..CASES {
+        let p = Point::new(rng.gen::<f32>() * 8.0, rng.gen::<f32>() * 8.0);
+        let q = Point::new(rng.gen::<f32>() * 8.0, rng.gen::<f32>() * 8.0);
+        let s = Point::new(rng.gen::<f32>() * 8.0, rng.gen::<f32>() * 8.0);
+        assert!((p.dist(&q) - q.dist(&p)).abs() < 1e-6, "case {case}: asymmetric");
+        assert_eq!(p.dist(&p), 0.0, "case {case}: nonzero self-distance");
+        assert!(
+            p.dist(&s) <= p.dist(&q) + q.dist(&s) + 1e-5,
+            "case {case}: triangle inequality violated"
+        );
+    }
+}

@@ -63,10 +63,11 @@
 //! miri component — the usual state offline) skip that analysis with a
 //! note; `--strict` turns a skip into a failure and is what CI uses.
 //!
-//! `cargo xtask regen-golden` regenerates the golden-trace fixture
-//! (`tests/fixtures/golden_trace.json`) from the current code — run it when
-//! a metric-affecting change is intentional, and commit the new fixture with
-//! the change.
+//! `cargo xtask regen-golden` regenerates the golden-trace fixtures — the
+//! trainer trace (`tests/fixtures/golden_trace.json`) and the per-family
+//! scenario traces (`tests/fixtures/golden_trace_<family>.json`) — from the
+//! current code. Run it when a metric-affecting change is intentional, and
+//! commit the new fixtures with the change.
 //!
 //! `cargo xtask bench` runs the kernel/episode benchmark suite and appends
 //! to the `BENCH_kernels.json` trajectory at the repo root; `--smoke` runs
@@ -103,21 +104,37 @@ fn main() -> ExitCode {
         "build" => run_cargo(&root, &["build", "--workspace", "--all-targets"]),
         "lint" => run_source_lints(&root),
         "tests-present" => check_integration_tests(&root),
-        "regen-golden" => run_cargo(
-            &root,
-            &[
-                "test",
-                "--release",
-                "--package",
-                "drl-cews",
-                "--test",
-                "golden_trace",
-                "--",
-                "--ignored",
-                "regen_golden_fixture",
-                "--nocapture",
-            ],
-        ),
+        "regen-golden" => {
+            run_cargo(
+                &root,
+                &[
+                    "test",
+                    "--release",
+                    "--package",
+                    "drl-cews",
+                    "--test",
+                    "golden_trace",
+                    "--",
+                    "--ignored",
+                    "regen_golden_fixture",
+                    "--nocapture",
+                ],
+            ) && run_cargo(
+                &root,
+                &[
+                    "test",
+                    "--release",
+                    "--package",
+                    "drl-cews",
+                    "--test",
+                    "golden_trace_families",
+                    "--",
+                    "--ignored",
+                    "regen_family_fixtures",
+                    "--nocapture",
+                ],
+            )
+        }
         "bench" => {
             let smoke = std::env::args().any(|a| a == "--smoke");
             run_bench(&root, smoke)
@@ -148,7 +165,8 @@ fn main() -> ExitCode {
                  tests-present  fail if a first-party library crate has no\n          \
                  integration tests\n  \
                  regen-golden   regenerate tests/fixtures/golden_trace.json\n          \
-                 from the current code\n  \
+                 and tests/fixtures/golden_trace_<family>.json from the\n          \
+                 current code\n  \
                  bench   kernel/episode benchmarks -> BENCH_kernels.json,\n          \
                  then the serve_load daemon chaos bench -> BENCH_serve.json\n          \
                  (--smoke: minimal iterations, schema check + matmul\n          \

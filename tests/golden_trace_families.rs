@@ -1,0 +1,240 @@
+//! Per-family golden traces: each procedural scenario family replays a
+//! Greedy-driven episode series and must reproduce its committed metric
+//! fixture exactly (to float-noise tolerance).
+//!
+//! Where `tests/golden_trace.rs` pins the *trainer* on the default map,
+//! these fixtures pin the *environment dynamics* across the whole scenario
+//! matrix — maze collision geometry, hotspot drift, heterogeneous
+//! batteries, recharge scarcity — plus both reward channels, so a silent
+//! change to any of them diffs against
+//! `tests/fixtures/golden_trace_<family>.json`.
+//!
+//! When a change is *intentional*, regenerate all fixtures with
+//! `cargo xtask regen-golden` and commit the new files alongside it.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vc_baselines::prelude::*;
+use vc_env::prelude::*;
+use vc_env::reward::{dense_reward, sparse_reward};
+use vc_env::scenario_gen::generate;
+
+/// Absolute tolerance: the runs are fully deterministic, so the slack only
+/// absorbs shortest-round-trip JSON parse noise.
+const TOL: f64 = 1e-5;
+
+const BASE_SEED: u64 = 404;
+const EPISODES: usize = 3;
+
+/// The pinned families. `DefaultGrid` is deliberately absent — the trainer
+/// trace in `golden_trace.rs` already covers the default map.
+const FAMILIES: [ScenarioFamily; 4] = [
+    ScenarioFamily::CityBlockMaze,
+    ScenarioFamily::DriftingHotspots,
+    ScenarioFamily::HeterogeneousFleet,
+    ScenarioFamily::RechargeScarce,
+];
+
+const FIELDS: [&str; 7] =
+    ["kappa", "xi", "rho", "fairness", "sparse_return", "dense_return", "collisions"];
+
+fn fixture_path(family: ScenarioFamily) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join(format!("../../tests/fixtures/golden_trace_{}.json", family.name()))
+}
+
+/// One pinned episode: metric snapshot plus accumulated reward returns.
+struct EpisodeRow {
+    metrics: Metrics,
+    sparse_return: f32,
+    dense_return: f32,
+    collisions: u32,
+}
+
+/// Drives a Greedy episode on a fresh scenario and accumulates both reward
+/// channels from the step outcomes (the same signals the trainer consumes).
+fn run_family_episode(family: ScenarioFamily, seed: u64, epsilon1: Option<f32>) -> EpisodeRow {
+    let mut scn = generate(family, seed).unwrap_or_else(|e| panic!("{family:?}/{seed}: {e}"));
+    if let Some(eps) = epsilon1 {
+        scn.config.epsilon1 = eps;
+    }
+    let mut env = scn.try_env().unwrap_or_else(|e| panic!("{family:?}/{seed}: {e}"));
+    let mut scheduler = GreedyScheduler;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
+    let mut sparse = 0.0f32;
+    let mut dense = 0.0f32;
+    while !env.done() {
+        let actions = scheduler.decide(&env, &mut rng);
+        let result = env.step(&actions);
+        sparse += sparse_reward(env.config(), &result.outcomes);
+        dense += dense_reward(env.config(), &result.outcomes);
+    }
+    EpisodeRow {
+        metrics: env.metrics(),
+        sparse_return: sparse,
+        dense_return: dense,
+        collisions: env.workers().iter().map(|w| w.collisions).sum(),
+    }
+}
+
+fn run_family_trace(family: ScenarioFamily, epsilon1: Option<f32>) -> Vec<EpisodeRow> {
+    (0..EPISODES).map(|e| run_family_episode(family, BASE_SEED + e as u64, epsilon1)).collect()
+}
+
+fn fmt_field(v: f32) -> String {
+    // Shortest round-trip form: parses back bit-exactly, so the fixture
+    // carries the full mantissa instead of a truncated decimal.
+    let s = format!("{v:?}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn render_fixture(family: ScenarioFamily, rows: &[EpisodeRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"scenario\": {{\"family\": \"{}\", \"base_seed\": {BASE_SEED}, \"episodes\": {EPISODES}, \"scheduler\": \"greedy\"}},\n",
+        family.name()
+    ));
+    out.push_str("  \"episodes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kappa\": {}, \"xi\": {}, \"rho\": {}, \"fairness\": {}, \"sparse_return\": {}, \"dense_return\": {}, \"collisions\": {}}}{}\n",
+            fmt_field(r.metrics.data_collection_ratio),
+            fmt_field(r.metrics.remaining_data_ratio),
+            fmt_field(r.metrics.energy_efficiency),
+            fmt_field(r.metrics.fairness_index),
+            fmt_field(r.sparse_return),
+            fmt_field(r.dense_return),
+            r.collisions,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn parse_fixture(family: ScenarioFamily, text: &str) -> Vec<(String, f64)> {
+    let v: serde::Value = serde_json::from_str(text).expect("fixture must be valid JSON");
+    let declared = v
+        .get("scenario")
+        .and_then(|s| s.get("family"))
+        .and_then(serde::Value::as_str)
+        .expect("fixture missing `scenario.family`");
+    assert_eq!(declared, family.name(), "fixture belongs to a different family");
+    let episodes = v.get("episodes").expect("fixture missing `episodes`");
+    let serde::Value::Seq(rows) = episodes else {
+        panic!("`episodes` must be an array");
+    };
+    let mut out = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        for key in FIELDS {
+            let cell = row
+                .get(key)
+                .and_then(serde::Value::as_f64)
+                .unwrap_or_else(|| panic!("episode {i} missing numeric `{key}`"));
+            out.push((format!("{} episode {i} {key}", family.name()), cell));
+        }
+    }
+    out
+}
+
+fn flatten(rows: &[EpisodeRow]) -> Vec<f64> {
+    rows.iter()
+        .flat_map(|r| {
+            [
+                f64::from(r.metrics.data_collection_ratio),
+                f64::from(r.metrics.remaining_data_ratio),
+                f64::from(r.metrics.energy_efficiency),
+                f64::from(r.metrics.fairness_index),
+                f64::from(r.sparse_return),
+                f64::from(r.dense_return),
+                f64::from(r.collisions),
+            ]
+        })
+        .collect()
+}
+
+fn diff_against_fixture(family: ScenarioFamily, actual: &[f64]) -> Vec<String> {
+    let path = fixture_path(family);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("cannot read {} ({e}); run `cargo xtask regen-golden` to create it", path.display())
+    });
+    let expected = parse_fixture(family, &text);
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "{}: fixture pins {} values but the run produced {}",
+        family.name(),
+        expected.len(),
+        actual.len()
+    );
+    expected
+        .iter()
+        .zip(actual)
+        .filter(|((_, want), got)| (*want - **got).abs() > TOL)
+        .map(|((label, want), got)| format!("{label}: fixture {want} vs run {got}"))
+        .collect()
+}
+
+#[test]
+fn family_traces_match_committed_fixtures() {
+    let mut diffs = Vec::new();
+    for family in FAMILIES {
+        diffs.extend(diff_against_fixture(family, &flatten(&run_family_trace(family, None))));
+    }
+    assert!(
+        diffs.is_empty(),
+        "family traces diverged from tests/fixtures/golden_trace_<family>.json \
+         (if the change is intentional, run `cargo xtask regen-golden`):\n{}",
+        diffs.join("\n")
+    );
+}
+
+#[test]
+fn family_runs_are_reproducible_in_process() {
+    // The fixture comparison is only meaningful if the runs themselves are
+    // deterministic: two back-to-back traces must agree bit for bit.
+    for family in FAMILIES {
+        let a = flatten(&run_family_trace(family, None));
+        let b = flatten(&run_family_trace(family, None));
+        assert_eq!(a, b, "{}: trace is not deterministic — fixture would flake", family.name());
+    }
+}
+
+#[test]
+fn reward_perturbation_is_caught_by_a_family_trace() {
+    // Sensitivity check on the harness itself: nudging the sparse-reward
+    // pulse threshold ε₁ (0.05 → 0.07) must push at least one family's
+    // trace outside tolerance. If every fixture still matched, the golden
+    // matrix would be blind to reward-constant drift.
+    let mut caught = 0usize;
+    for family in FAMILIES {
+        let perturbed = flatten(&run_family_trace(family, Some(0.07)));
+        if !diff_against_fixture(family, &perturbed).is_empty() {
+            caught += 1;
+        }
+    }
+    assert!(caught >= 1, "an ε₁ perturbation slipped past every family fixture");
+}
+
+/// Rewrites every committed family fixture from the current code. Run via
+/// `cargo xtask regen-golden`, never as part of a normal test pass.
+#[test]
+#[ignore = "regenerates the fixtures; run via `cargo xtask regen-golden`"]
+fn regen_family_fixtures() {
+    for family in FAMILIES {
+        let rows = run_family_trace(family, None);
+        let path = fixture_path(family);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).unwrap();
+        }
+        std::fs::write(&path, render_fixture(family, &rows)).unwrap();
+        println!("wrote {} ({} episodes)", path.display(), rows.len());
+    }
+}

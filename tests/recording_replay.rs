@@ -1,5 +1,6 @@
 //! Cross-crate integration: record a *policy-driven* episode, serialize it,
-//! replay it, and verify the replay reproduces the exact trajectory.
+//! replay it, and verify the replay reproduces the exact trajectory — on
+//! the default map and on every procedural scenario family.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
@@ -65,4 +66,45 @@ fn summary_of_replay_matches_live_summary() {
     let mut replayed = EpisodeSummary::new(1);
     recording.replay(|_, r| replayed.record(r));
     assert_eq!(replayed, live);
+}
+
+#[test]
+fn every_family_records_serializes_and_replays_bit_identically() {
+    // The recorder snapshots the slot-0 entities, so the generated
+    // families' richer templates (heterogeneous batteries, drift-placed
+    // PoIs, scarce stations) must survive JSON and replay to the exact
+    // trajectory — positions, energies and final metrics alike.
+    use vc_baselines::scheduler::Scheduler;
+    use vc_env::scenario_gen::generate;
+    for family in ScenarioFamily::ALL {
+        let scn = generate(family, 23).unwrap_or_else(|e| panic!("{family:?}: {e}"));
+        let mut env = scn.try_env().unwrap_or_else(|e| panic!("{family:?}: {e}"));
+        let mut recorder = Recorder::new(&env);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut sched = vc_baselines::greedy::GreedyScheduler;
+        let mut live_states = Vec::new();
+        while !env.done() {
+            let actions = sched.decide(&env, &mut rng);
+            recorder.log(&actions);
+            env.step(&actions);
+            live_states.push(env.workers().iter().map(|w| (w.pos, w.energy)).collect::<Vec<_>>());
+        }
+        let recording = recorder.finish(&env);
+
+        let json = recording.to_json().unwrap_or_else(|e| panic!("{family:?}: {e}"));
+        let restored = Recording::from_json(&json).unwrap_or_else(|e| panic!("{family:?}: {e}"));
+        assert_eq!(restored, recording, "{family:?}: JSON round-trip altered the recording");
+
+        let mut replay_states = Vec::new();
+        let replayed_env = restored.replay(|e, _| {
+            replay_states.push(e.workers().iter().map(|w| (w.pos, w.energy)).collect::<Vec<_>>());
+        });
+        assert_eq!(replay_states, live_states, "{family:?}: replay trajectory diverged");
+        assert_eq!(replayed_env.metrics(), env.metrics(), "{family:?}: final metrics diverged");
+        assert_eq!(
+            replayed_env.workers(),
+            env.workers(),
+            "{family:?}: final worker state diverged"
+        );
+    }
 }

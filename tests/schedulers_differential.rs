@@ -1,20 +1,27 @@
-//! Differential scheduler testing: greedy, eDiCS and D&C all step through
-//! the *same* seeded scenarios, and a shared invariant checker audits every
+//! Differential scheduler testing: every engineered scheduler steps through
+//! the *same* seeded scenarios — the paper map plus every procedural family
+//! from `vc_env::scenario_gen` — and a shared invariant checker audits every
 //! slot. A scheduler may be smart or dumb, but it must never drive the
 //! environment into a physically impossible state.
 //!
 //! Invariants checked at every time slot, for every scheduler:
-//! * worker energy never goes negative;
+//! * worker energy never goes negative and never exceeds capacity;
 //! * no worker ever occupies an obstacle cell;
 //! * `metrics::compute` outputs stay bounded (κ/ξ/fairness in [0,1],
 //!   ρ finite and non-negative).
+//!
+//! On top of the physics audit, the per-slot cost chain pins the assignment
+//! oracle's ordering: hungarian-cost ≤ greedy-cost ≤ expected-random-cost on
+//! every slot's worker × PoI distance matrix, for every scenario family.
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use vc_baselines::hungarian;
 use vc_baselines::prelude::*;
 use vc_env::prelude::*;
+use vc_env::scenario_gen::generate;
 
 /// The shared arena: the paper map with its obstacle layout, short horizon.
 fn arena() -> EnvConfig {
@@ -24,38 +31,43 @@ fn arena() -> EnvConfig {
     cfg
 }
 
-/// Steps `scheduler` through one full episode on `cfg` reseeded with `seed`,
-/// asserting the physical invariants after every slot. Returns final metrics.
-fn run_audited_episode(scheduler: &mut dyn Scheduler, cfg: &EnvConfig, seed: u64) -> Metrics {
-    let mut env = CrowdsensingEnv::new(cfg.clone());
-    env.reset_with_seed(seed);
+/// Steps `scheduler` through one full episode on a prebuilt environment,
+/// asserting the physical invariants after every slot (obstacles come from
+/// the env's own config, so generated-family layouts audit correctly).
+/// Returns final metrics.
+fn audit_episode(
+    scheduler: &mut dyn Scheduler,
+    env: &mut CrowdsensingEnv,
+    seed: u64,
+    context: &str,
+) -> Metrics {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
     let name = scheduler.name();
     while !env.done() {
-        let actions = scheduler.decide(&env, &mut rng);
+        let actions = scheduler.decide(env, &mut rng);
         assert_eq!(
             actions.len(),
             env.workers().len(),
-            "{name}: action count must match worker count"
+            "{name} on {context}: action count must match worker count"
         );
         let res = env.step(&actions);
         let t = res.t;
         for (i, w) in env.workers().iter().enumerate() {
             assert!(
                 w.energy >= 0.0,
-                "{name} seed {seed} t={t}: worker {i} energy went negative ({})",
+                "{name} on {context} t={t}: worker {i} energy went negative ({})",
                 w.energy
             );
             assert!(
                 w.energy <= w.capacity,
-                "{name} seed {seed} t={t}: worker {i} energy {} exceeds capacity {}",
+                "{name} on {context} t={t}: worker {i} energy {} exceeds capacity {}",
                 w.energy,
                 w.capacity
             );
-            for (k, rect) in cfg.obstacles.iter().enumerate() {
+            for (k, rect) in env.config().obstacles.clone().iter().enumerate() {
                 assert!(
                     !rect.contains(&w.pos),
-                    "{name} seed {seed} t={t}: worker {i} at ({}, {}) is inside obstacle {k}",
+                    "{name} on {context} t={t}: worker {i} at ({}, {}) is inside obstacle {k}",
                     w.pos.x,
                     w.pos.y
                 );
@@ -64,26 +76,33 @@ fn run_audited_episode(scheduler: &mut dyn Scheduler, cfg: &EnvConfig, seed: u64
         let m = env.metrics();
         assert!(
             (0.0..=1.0).contains(&m.data_collection_ratio),
-            "{name} seed {seed} t={t}: kappa {} out of [0,1]",
+            "{name} on {context} t={t}: kappa {} out of [0,1]",
             m.data_collection_ratio
         );
         assert!(
             (0.0..=1.0).contains(&m.remaining_data_ratio),
-            "{name} seed {seed} t={t}: xi {} out of [0,1]",
+            "{name} on {context} t={t}: xi {} out of [0,1]",
             m.remaining_data_ratio
         );
         assert!(
             (0.0..=1.0).contains(&m.fairness_index),
-            "{name} seed {seed} t={t}: fairness {} out of [0,1]",
+            "{name} on {context} t={t}: fairness {} out of [0,1]",
             m.fairness_index
         );
         assert!(
             m.energy_efficiency.is_finite() && m.energy_efficiency >= 0.0,
-            "{name} seed {seed} t={t}: rho {} is not a finite non-negative ratio",
+            "{name} on {context} t={t}: rho {} is not a finite non-negative ratio",
             m.energy_efficiency
         );
     }
     env.metrics()
+}
+
+/// The original paper-map entry point: reseed `cfg` and audit one episode.
+fn run_audited_episode(scheduler: &mut dyn Scheduler, cfg: &EnvConfig, seed: u64) -> Metrics {
+    let mut env = CrowdsensingEnv::new(cfg.clone());
+    env.reset_with_seed(seed);
+    audit_episode(scheduler, &mut env, seed, &format!("paper-map seed {seed}"))
 }
 
 #[test]
@@ -94,7 +113,9 @@ fn all_planners_respect_physics_on_identical_scenarios() {
         let mut dnc = DncScheduler::default();
         let mut greedy = GreedyScheduler;
         let mut random = RandomScheduler;
-        let schedulers: [&mut dyn Scheduler; 4] = [&mut greedy, &mut edics, &mut dnc, &mut random];
+        let mut hungarian = HungarianScheduler;
+        let schedulers: [&mut dyn Scheduler; 5] =
+            [&mut greedy, &mut edics, &mut dnc, &mut random, &mut hungarian];
         for s in schedulers {
             let m = run_audited_episode(s, &cfg, seed);
             // End-of-episode sanity on the same run: in these scenarios
@@ -107,6 +128,107 @@ fn all_planners_respect_physics_on_identical_scenarios() {
                 m.energy_efficiency
             );
         }
+    }
+}
+
+#[test]
+fn scenario_matrix_audits_every_family_times_every_scheduler() {
+    // The full sweep: 5 families × 5 engineered schedulers × 2 seeds, each
+    // episode audited slot by slot. Families regenerate per episode because
+    // their entities (battery classes, drift trails, component-restricted
+    // spawns) are richer than what `reset_with_seed` can rebuild.
+    for family in ScenarioFamily::ALL {
+        for seed in [5u64, 11] {
+            let scn = generate(family, seed).unwrap_or_else(|e| panic!("{family:?}/{seed}: {e}"));
+            let context = format!("{} seed {seed}", family.name());
+            let mut edics = Edics::new(&scn.config, EdicsConfig::default());
+            let mut dnc = DncScheduler::default();
+            let mut greedy = GreedyScheduler;
+            let mut random = RandomScheduler;
+            let mut hungarian = HungarianScheduler;
+            let schedulers: [&mut dyn Scheduler; 5] =
+                [&mut hungarian, &mut greedy, &mut random, &mut edics, &mut dnc];
+            for s in schedulers {
+                let mut env = scn.try_env().unwrap_or_else(|e| panic!("{family:?}/{seed}: {e}"));
+                audit_episode(s, &mut env, seed, &context);
+            }
+        }
+    }
+}
+
+/// Sequential nearest-available assignment cost on a row-major matrix: each
+/// row takes its cheapest untaken column, in row order — the greedy
+/// assignment the one-step planners approximate.
+fn greedy_assignment_cost(costs: &[f32], rows: usize, cols: usize) -> f32 {
+    let mut taken = vec![false; cols];
+    let mut total = 0.0f32;
+    for r in 0..rows {
+        let best = (0..cols)
+            .filter(|c| !taken[*c])
+            .min_by(|a, b| costs[r * cols + a].total_cmp(&costs[r * cols + b]));
+        if let Some(c) = best {
+            taken[c] = true;
+            total += costs[r * cols + c];
+        }
+    }
+    total
+}
+
+/// Expected cost of a uniformly random injective assignment: by symmetry
+/// each row is equally likely to land on any column, so the expectation is
+/// the sum of row means — a deterministic random-floor proxy.
+fn expected_random_cost(costs: &[f32], rows: usize, cols: usize) -> f32 {
+    (0..rows).map(|r| costs[r * cols..(r + 1) * cols].iter().sum::<f32>() / cols as f32).sum()
+}
+
+#[test]
+fn per_slot_cost_chain_hungarian_greedy_random_on_every_family() {
+    // On every slot of every family: the Hungarian total is the proven
+    // minimum (≤ both by optimality), and greedy beats the random floor on
+    // these dense distance matrices. Slots with fewer targets than workers
+    // are skipped (the chain compares full assignments).
+    const EPS: f32 = 1e-3;
+    for family in ScenarioFamily::ALL {
+        let mut slots_checked = 0usize;
+        for seed in [5u64, 11] {
+            let scn = generate(family, seed).unwrap();
+            let mut env = scn.try_env().unwrap();
+            let mut scheduler = HungarianScheduler;
+            let mut rng = StdRng::seed_from_u64(seed);
+            while !env.done() {
+                let (costs, targets) = HungarianScheduler::cost_matrix(&env);
+                let (w, n) = (env.workers().len(), targets.len());
+                if n >= w && w > 0 {
+                    let h = hungarian::solve(&costs, w, n).unwrap().total_cost;
+                    let g = greedy_assignment_cost(&costs, w, n);
+                    let r = expected_random_cost(&costs, w, n);
+                    let t = env.time();
+                    assert!(
+                        h <= g + EPS,
+                        "{} seed {seed} t={t}: hungarian {h} above greedy {g}",
+                        family.name()
+                    );
+                    assert!(
+                        g <= r + EPS,
+                        "{} seed {seed} t={t}: greedy {g} above the random floor {r}",
+                        family.name()
+                    );
+                    assert!(
+                        h <= r + EPS,
+                        "{} seed {seed} t={t}: hungarian {h} above the random floor {r}",
+                        family.name()
+                    );
+                    slots_checked += 1;
+                }
+                let actions = scheduler.decide(&env, &mut rng);
+                env.step(&actions);
+            }
+        }
+        assert!(
+            slots_checked > 0,
+            "{}: no slot ever had enough targets — the chain was never exercised",
+            family.name()
+        );
     }
 }
 
@@ -146,5 +268,8 @@ fn differential_runs_are_deterministic_per_seed() {
         let a = run_audited_episode(&mut DncScheduler::default(), &cfg, seed);
         let b = run_audited_episode(&mut DncScheduler::default(), &cfg, seed);
         assert_eq!(a, b, "d&c replay diverged at seed {seed}");
+        let a = run_audited_episode(&mut HungarianScheduler, &cfg, seed);
+        let b = run_audited_episode(&mut HungarianScheduler, &cfg, seed);
+        assert_eq!(a, b, "hungarian replay diverged at seed {seed}");
     }
 }
