@@ -10,7 +10,10 @@
 //! * [`scheduler::RandomScheduler`] — the uniform-random floor;
 //! * [`hungarian::HungarianScheduler`] — the per-slot optimal-assignment
 //!   oracle (Kuhn–Munkres over the worker × PoI distance matrix), the cost
-//!   optimum every other per-slot assignment is audited against.
+//!   optimum every other per-slot assignment is audited against;
+//! * [`sweep::SweepScheduler`] — a deterministic O(W) serpentine patrol,
+//!   the action source for fleet-scale benchmarks where lookahead
+//!   schedulers would dominate the measured step cost.
 //!
 //! The remaining comparator, **DPPO** (Heess et al.), shares its entire
 //! machinery with DRL-CEWS minus curiosity and sparse rewards; it is
@@ -22,6 +25,7 @@ pub mod edics;
 pub mod greedy;
 pub mod hungarian;
 pub mod scheduler;
+pub mod sweep;
 
 /// Convenience re-exports.
 pub mod prelude {
@@ -30,4 +34,5 @@ pub mod prelude {
     pub use crate::greedy::GreedyScheduler;
     pub use crate::hungarian::{solve, Assignment, HungarianError, HungarianScheduler};
     pub use crate::scheduler::{run_episode, RandomScheduler, Scheduler};
+    pub use crate::sweep::SweepScheduler;
 }

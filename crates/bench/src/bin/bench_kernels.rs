@@ -375,6 +375,80 @@ fn bench_env_step(iters: u64, out: &mut Vec<Rec>) {
     }
 }
 
+/// Times the struct-of-arrays fleet path. The `env_step` worker ladder
+/// (10 → 100 → 1000 workers on an otherwise identical 160×160 map with
+/// 20 000 PoIs) isolates how columnar stepping scales with fleet size
+/// alone: the per-slot fixed cost (PoI mirror sync, grid bookkeeping)
+/// amortizes across workers, which is exactly the ≤25× (w1000 vs w10)
+/// acceptance bound. Actions come from the O(W) [`SweepScheduler`] so the
+/// decide cost stays negligible next to the step being measured — a
+/// lookahead baseline would cost O(W·moves·P) and drown the signal. The
+/// `fleet_rollout` record closes the loop: one factored-head policy
+/// forward ([`FleetActorCritic`]) plus one fleet step at 1000 workers.
+fn bench_fleet(iters: u64, rollout_iters: u64, out: &mut Vec<Rec>) {
+    use vc_baselines::prelude::*;
+    /// Timed batches per record; the fastest batch is reported.
+    const REPS: u32 = 5;
+    let mega = |workers: usize| {
+        let mut cfg = EnvConfig::paper_default();
+        cfg.size_x = 160.0;
+        cfg.size_y = 160.0;
+        cfg.grid = 16;
+        cfg.num_workers = workers;
+        cfg.num_pois = 20_000;
+        cfg.num_stations = 64;
+        cfg.horizon = 1_000_000; // episodes never end mid-measurement
+        cfg.obstacles.clear();
+        cfg.poi_distribution = PoiDistribution::Uniform;
+        cfg.seed = 2020;
+        cfg
+    };
+    for workers in [10usize, 100, 1000] {
+        let mut env = CrowdsensingEnv::new(mega(workers));
+        let mut sched = SweepScheduler::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let ns = time_ns_reps(iters, REPS, || {
+            if env.done() {
+                env.reset();
+            }
+            let actions = sched.decide(&env, &mut rng);
+            env.step(std::hint::black_box(&actions));
+        });
+        out.push(Rec {
+            op: "env_step",
+            shape: format!("fleet w{workers} pois20000"),
+            threads: 1,
+            iters,
+            ns_per_iter: ns,
+            flops: 0.0,
+        });
+    }
+    let mut env = CrowdsensingEnv::new(mega(1000));
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let net = FleetActorCritic::new(
+        &mut store,
+        NetConfig::for_scenario(env.config().grid, env.config().num_workers),
+        &mut rng,
+    );
+    let opts = PolicyOptions::default();
+    let ns = time_ns_reps(rollout_iters, REPS, || {
+        if env.done() {
+            env.reset();
+        }
+        let sampled = sample_action_fleet(&net, &store, &env, opts, &mut rng);
+        env.step(std::hint::black_box(&sampled.actions));
+    });
+    out.push(Rec {
+        op: "fleet_rollout",
+        shape: "fleet w1000 pois20000".into(),
+        threads: gemm::kernel_threads(),
+        iters: rollout_iters,
+        ns_per_iter: ns,
+        flops: 0.0,
+    });
+}
+
 /// Times the telemetry-off chief stress loop: 16 employees × `rounds`
 /// gather rounds on a small map. This is the acceptance substrate for the
 /// "disabled telemetry costs ≤ 2%" budget — the instrumented broadcast /
@@ -494,6 +568,7 @@ fn main() {
     bench_ppo_update(if smoke { 1 } else { 5 }, &mut recs);
     bench_episode(if smoke { 1 } else { 3 }, &mut recs);
     bench_env_step(if smoke { 50 } else { 2000 }, &mut recs);
+    bench_fleet(if smoke { 20 } else { 500 }, if smoke { 2 } else { 10 }, &mut recs);
     bench_chief_stress(1, if smoke { 5 } else { 50 }, &mut recs);
 
     println!("{:<16} {:>24} {:>8} {:>14} {:>10}", "op", "shape", "threads", "ns/iter", "GFLOP/s");

@@ -10,9 +10,11 @@
 use crate::action::{Move, WorkerAction, NUM_MOVES};
 use crate::config::EnvConfig;
 use crate::entities::{ChargingStation, Poi, Worker};
+use crate::fleet::{self, FleetScratch, FleetState, FleetStepView};
 use crate::geometry::Point;
 use crate::metrics::{self, Metrics};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::sync::Arc;
 use vc_telemetry::{Counter, Field, Gauge, Telemetry};
 
@@ -48,6 +50,45 @@ pub struct StepResult {
     pub done: bool,
 }
 
+thread_local! {
+    /// Recycled `outcomes` buffers: [`StepResult`] returns its vector here
+    /// on drop and [`CrowdsensingEnv::step`] leases it back, so steady-state
+    /// stepping reuses the same allocation instead of churning the heap.
+    static OUTCOME_SHELF: RefCell<Vec<Vec<WorkerOutcome>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Most `Vec<WorkerOutcome>` buffers kept on the recycle shelf.
+const OUTCOME_SHELF_CAP: usize = 8;
+
+impl Drop for StepResult {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.outcomes);
+        if buf.capacity() == 0 {
+            return;
+        }
+        // `try_with`: TLS may already be torn down during thread exit.
+        let _ = OUTCOME_SHELF.try_with(|shelf| {
+            let mut shelf = shelf.borrow_mut();
+            if shelf.len() < OUTCOME_SHELF_CAP {
+                shelf.push(buf);
+            }
+        });
+    }
+}
+
+/// Leases a recycled outcome buffer (empty, capacity preserved).
+fn take_outcome_buf() -> Vec<WorkerOutcome> {
+    OUTCOME_SHELF
+        .try_with(|shelf| shelf.borrow_mut().pop())
+        .ok()
+        .flatten()
+        .map(|mut v| {
+            v.clear();
+            v
+        })
+        .unwrap_or_default()
+}
+
 /// The simulator.
 #[derive(Clone, Debug)]
 pub struct CrowdsensingEnv {
@@ -62,6 +103,12 @@ pub struct CrowdsensingEnv {
     initial_total_data: f32,
     /// Per-worker collection ratio at the last Υ¹ pulse.
     sparse_level: Vec<f32>,
+    /// Authoritative struct-of-arrays stepping state; `workers` / `pois`
+    /// above are an eagerly synchronized AoS read view over these columns
+    /// (DESIGN.md §16).
+    fleet: FleetState,
+    /// Persistent arena-backed per-step scratch (zero steady-state allocs).
+    scratch: FleetScratch,
     /// Cached telemetry handles; `None` until [`Self::set_telemetry`], so
     /// an uninstrumented env pays nothing per step.
     telemetry: Option<EnvTelemetry>,
@@ -134,6 +181,8 @@ impl CrowdsensingEnv {
         cfg.validate()?;
         let initial_total_data = pois.iter().map(|p| p.initial_data).sum();
         let w = workers.len();
+        let mut fleet = FleetState::default();
+        fleet.load(&cfg, &workers, &pois, &stations);
         Ok(Self {
             cfg,
             template: (workers.clone(), pois.clone(), stations.clone()),
@@ -143,6 +192,8 @@ impl CrowdsensingEnv {
             t: 0,
             initial_total_data,
             sparse_level: vec![0.0; w],
+            fleet,
+            scratch: FleetScratch::default(),
             telemetry: None,
         })
     }
@@ -177,6 +228,7 @@ impl CrowdsensingEnv {
         self.workers = workers;
         self.pois = pois;
         self.stations = stations;
+        self.fleet.load(&self.cfg, &self.workers, &self.pois, &self.stations);
         self.t = 0;
     }
 
@@ -212,6 +264,11 @@ impl CrowdsensingEnv {
         &self.stations
     }
 
+    /// The struct-of-arrays stepping state (columnar read view).
+    pub fn fleet(&self) -> &FleetState {
+        &self.fleet
+    }
+
     /// Current time slot (0 before the first step).
     pub fn time(&self) -> usize {
         self.t
@@ -238,12 +295,14 @@ impl CrowdsensingEnv {
     /// not validate obstacles or spend energy).
     pub fn teleport_worker(&mut self, worker: usize, pos: Point) {
         self.workers[worker].pos = pos;
+        self.fleet.set_worker_pos(worker, pos);
     }
 
     /// Overwrites a worker's remaining energy (test/ablation helper).
     pub fn set_worker_energy(&mut self, worker: usize, energy: f32) {
         let w = &mut self.workers[worker];
         w.energy = energy.clamp(0.0, w.capacity);
+        self.fleet.set_worker_energy(worker, w.energy);
     }
 
     /// Overwrites a PoI's remaining data, clamped to `[0, initial]` (the
@@ -252,6 +311,7 @@ impl CrowdsensingEnv {
     pub fn set_poi_data(&mut self, poi: usize, data: f32) {
         let p = &mut self.pois[poi];
         p.data = data.clamp(0.0, p.initial_data);
+        self.fleet.set_poi_data(poi, p.data);
     }
 
     // ---- queries for planners ----------------------------------------------
@@ -316,7 +376,98 @@ impl CrowdsensingEnv {
     // ---- dynamics -----------------------------------------------------------
 
     /// Advances one time slot. `actions` must have one entry per worker.
+    ///
+    /// Thin wrapper over [`Self::step_fleet`] that materializes the
+    /// columnar outcomes into a `Vec<WorkerOutcome>` (recycled across steps
+    /// via the drop shelf, so steady-state stepping stays allocation-free).
     pub fn step(&mut self, actions: &[WorkerAction]) -> StepResult {
+        let mut outcomes = take_outcome_buf();
+        let view = self.step_fleet(actions);
+        outcomes.extend((0..actions.len()).map(|wi| view.outcome(wi)));
+        let (t, done) = (view.t, view.done);
+        StepResult { outcomes, t, done }
+    }
+
+    /// Advances one time slot on the struct-of-arrays fast path, returning
+    /// a borrowed columnar view of the per-worker outcomes.
+    ///
+    /// This is the allocation-free fleet-scale entry point: the physics runs
+    /// over [`FleetState`] columns (pool-chunked above
+    /// [`fleet::FLEET_PAR_MIN_WORKERS`]) and the AoS `workers()` / `pois()`
+    /// views are refreshed in place before returning. Bitwise-identical to
+    /// [`Self::step_reference`] (see `tests/fleet_equivalence.rs`).
+    pub fn step_fleet(&mut self, actions: &[WorkerAction]) -> FleetStepView<'_> {
+        assert_eq!(actions.len(), self.workers.len(), "one action per worker required");
+        assert!(!self.done(), "episode already finished; call reset()");
+
+        fleet::step_columns(
+            &self.cfg,
+            &mut self.fleet,
+            &mut self.scratch,
+            actions,
+            &mut self.sparse_level,
+            self.initial_total_data,
+        );
+        self.fleet.sync_workers(&mut self.workers);
+        self.fleet.sync_pois(&mut self.pois);
+
+        self.t += 1;
+        let done = self.done();
+        if let Some(tel) = self.tel() {
+            let collided = self.scratch.out_collided.iter().filter(|&&c| c != 0).count() as u64;
+            if collided > 0 {
+                tel.collisions.add(collided);
+            }
+            let charged = self.scratch.out_charged.iter().filter(|&&c| c > 0.0).count() as u64;
+            if charged > 0 {
+                tel.charge_slots.add(charged);
+            }
+            if done {
+                self.emit_episode_telemetry(tel);
+            }
+        }
+        FleetStepView {
+            collected: &self.scratch.out_collected,
+            consumed: &self.scratch.out_consumed,
+            charged: &self.scratch.out_charged,
+            traveled: &self.scratch.out_traveled,
+            collided: &self.scratch.out_collided,
+            charging: &self.scratch.out_charging,
+            data_pulse: &self.scratch.out_data_pulse,
+            charge_pulse: &self.scratch.out_charge_pulse,
+            t: self.t,
+            done,
+        }
+    }
+
+    /// Emits the end-of-episode telemetry event and gauges.
+    fn emit_episode_telemetry(&self, tel: &EnvTelemetry) {
+        let m = metrics::compute(&self.workers, &self.pois);
+        tel.kappa.set(f64::from(m.data_collection_ratio));
+        tel.xi.set(f64::from(m.remaining_data_ratio));
+        tel.rho.set(f64::from(m.energy_efficiency));
+        tel.episodes.inc();
+        let collisions: u64 = self.workers.iter().map(|w| u64::from(w.collisions)).sum();
+        let charged_total: f64 = self.workers.iter().map(|w| f64::from(w.total_charged)).sum();
+        tel.handle.event(
+            "episode",
+            &[
+                ("t", Field::U64(self.t as u64)),
+                ("kappa", Field::F64(f64::from(m.data_collection_ratio))),
+                ("xi", Field::F64(f64::from(m.remaining_data_ratio))),
+                ("rho", Field::F64(f64::from(m.energy_efficiency))),
+                ("fairness", Field::F64(f64::from(m.fairness_index))),
+                ("collisions", Field::U64(collisions)),
+                ("charged", Field::F64(charged_total)),
+            ],
+        );
+    }
+
+    /// The original AoS per-entity step loop, preserved verbatim as the
+    /// differential-testing baseline for the columnar path (see
+    /// `tests/fleet_equivalence.rs`). Resynchronizes the fleet columns from
+    /// the AoS state before returning, so the two paths can be interleaved.
+    pub fn step_reference(&mut self, actions: &[WorkerAction]) -> StepResult {
         assert_eq!(actions.len(), self.workers.len(), "one action per worker required");
         assert!(!self.done(), "episode already finished; call reset()");
 
@@ -421,28 +572,12 @@ impl CrowdsensingEnv {
                 tel.charge_slots.add(charged);
             }
             if done {
-                let m = metrics::compute(&self.workers, &self.pois);
-                tel.kappa.set(f64::from(m.data_collection_ratio));
-                tel.xi.set(f64::from(m.remaining_data_ratio));
-                tel.rho.set(f64::from(m.energy_efficiency));
-                tel.episodes.inc();
-                let collisions: u64 = self.workers.iter().map(|w| u64::from(w.collisions)).sum();
-                let charged_total: f64 =
-                    self.workers.iter().map(|w| f64::from(w.total_charged)).sum();
-                tel.handle.event(
-                    "episode",
-                    &[
-                        ("t", Field::U64(self.t as u64)),
-                        ("kappa", Field::F64(f64::from(m.data_collection_ratio))),
-                        ("xi", Field::F64(f64::from(m.remaining_data_ratio))),
-                        ("rho", Field::F64(f64::from(m.energy_efficiency))),
-                        ("fairness", Field::F64(f64::from(m.fairness_index))),
-                        ("collisions", Field::U64(collisions)),
-                        ("charged", Field::F64(charged_total)),
-                    ],
-                );
+                self.emit_episode_telemetry(tel);
             }
         }
+        // The AoS vectors are authoritative in this path: rebuild the
+        // columns so a following `step_fleet` sees the same state.
+        self.fleet.load(&self.cfg, &self.workers, &self.pois, &self.stations);
         StepResult { outcomes, t: self.t, done }
     }
 }
@@ -564,7 +699,7 @@ mod tests {
         cfg.seed = 7;
         let mut env = env_with(cfg);
         // Plant the worker just west of the wall.
-        env.workers[0].pos = Point::new(3.5, 4.0);
+        env.teleport_worker(0, Point::new(3.5, 4.0));
         let r = env.step(&[WorkerAction::go(Move::East)]);
         assert!(r.outcomes[0].collided);
         assert_eq!(env.workers()[0].pos, Point::new(3.5, 4.0));
@@ -579,7 +714,7 @@ mod tests {
         // λ·δ₀ per slot.
         let poi_pos = env.pois()[0].pos;
         let delta0 = env.pois()[0].initial_data;
-        env.workers[0].pos = poi_pos;
+        env.teleport_worker(0, poi_pos);
         let r = env.step(&stay_all(&env));
         let expected = env.config().collect_rate * delta0;
         assert!((r.outcomes[0].collected - expected).abs() < 1e-6);
@@ -596,7 +731,7 @@ mod tests {
         let mut cfg = EnvConfig::tiny();
         cfg.num_pois = 1;
         let mut env = env_with(cfg);
-        env.workers[0].pos = env.pois()[0].pos;
+        env.teleport_worker(0, env.pois()[0].pos);
         let e0 = env.workers()[0].energy;
         let r = env.step(&stay_all(&env));
         let expected = env.config().alpha * r.outcomes[0].collected; // no travel
@@ -610,13 +745,15 @@ mod tests {
         let mut env = env_with(cfg.clone());
         let station = env.stations()[0].pos;
         // Out of range: no energy gained.
-        env.workers[0].pos =
-            Point::new((station.x + 3.0).min(cfg.size_x), (station.y + 3.0).min(cfg.size_y));
-        env.workers[0].energy = 10.0;
+        env.teleport_worker(
+            0,
+            Point::new((station.x + 3.0).min(cfg.size_x), (station.y + 3.0).min(cfg.size_y)),
+        );
+        env.set_worker_energy(0, 10.0);
         let r = env.step(&[WorkerAction::charge()]);
         assert_eq!(r.outcomes[0].charged, 0.0);
         // In range: gains charge_rate (capped by capacity headroom).
-        env.workers[0].pos = station;
+        env.teleport_worker(0, station);
         let r = env.step(&[WorkerAction::charge()]);
         let expected = env.config().charge_rate.min(env.workers()[0].capacity - 10.0);
         assert!((r.outcomes[0].charged - expected).abs() < 1e-5);
@@ -628,9 +765,9 @@ mod tests {
         let mut cfg = EnvConfig::tiny();
         cfg.num_pois = 0;
         let mut env = env_with(cfg);
-        env.workers[0].pos = env.stations()[0].pos;
+        env.teleport_worker(0, env.stations()[0].pos);
         // Nearly full battery: tiny top-up, and no ε₂ pulse.
-        env.workers[0].energy = env.workers()[0].capacity - 1.0;
+        env.set_worker_energy(0, env.workers()[0].capacity - 1.0);
         let r = env.step(&[WorkerAction::charge()]);
         assert!((r.outcomes[0].charged - 1.0).abs() < 1e-5);
         assert!(!r.outcomes[0].charge_pulse);
@@ -644,10 +781,10 @@ mod tests {
         cfg.num_pois = 0;
         let mut env = env_with(cfg);
         let station = env.stations()[0].pos;
-        env.workers[0].pos = station;
-        env.workers[1].pos = station;
-        env.workers[0].energy = 5.0;
-        env.workers[1].energy = 5.0;
+        env.teleport_worker(0, station);
+        env.teleport_worker(1, station);
+        env.set_worker_energy(0, 5.0);
+        env.set_worker_energy(1, 5.0);
         let r = env.step(&[WorkerAction::charge(), WorkerAction::charge()]);
         assert!(r.outcomes[0].charged > 0.0, "first worker wins the station");
         assert_eq!(r.outcomes[1].charged, 0.0, "second worker is crowded out");
@@ -658,7 +795,7 @@ mod tests {
         let mut cfg = EnvConfig::tiny();
         cfg.num_pois = 0;
         let mut env = env_with(cfg);
-        env.workers[0].energy = 0.0;
+        env.set_worker_energy(0, 0.0);
         let p0 = env.workers()[0].pos;
         let r = env.step(&[WorkerAction::go(Move::East)]);
         assert_eq!(env.workers()[0].pos, p0);
@@ -672,7 +809,7 @@ mod tests {
         cfg.num_pois = 1;
         cfg.epsilon1 = 0.05;
         let mut env = env_with(cfg);
-        env.workers[0].pos = env.pois()[0].pos;
+        env.teleport_worker(0, env.pois()[0].pos);
         // Each slot collects λ = 20% of the single PoI's data, which is 20%
         // of total data: every collecting slot crosses ε₁ = 5%.
         let r = env.step(&stay_all(&env));
@@ -700,7 +837,7 @@ mod tests {
         cfg.num_pois = 10;
         let mut env = env_with(cfg);
         let pos = env.pois()[0].pos;
-        env.workers[0].pos = pos;
+        env.teleport_worker(0, pos);
         let predicted = env.potential_collection(&pos);
         let r = env.step(&stay_all(&env));
         assert!((predicted - r.outcomes[0].collected).abs() < 1e-5);

@@ -31,6 +31,7 @@ pub mod config;
 pub mod entities;
 pub mod env;
 pub mod error;
+pub mod fleet;
 pub mod geometry;
 pub mod metrics;
 pub mod pathfind;
@@ -51,13 +52,14 @@ pub mod prelude {
     pub use crate::entities::{ChargingStation, Poi, Worker};
     pub use crate::env::{CrowdsensingEnv, StepResult, WorkerOutcome};
     pub use crate::error::EnvError;
+    pub use crate::fleet::{FleetState, FleetStepView, FLEET_PAR_MIN_WORKERS};
     pub use crate::geometry::{Point, Rect};
     pub use crate::metrics::{jain_index, Metrics};
     pub use crate::pathfind::DistanceField;
     pub use crate::recording::{Recorder, Recording};
     pub use crate::reward::{dense_reward, extrinsic_reward, sparse_reward, RewardMode};
     pub use crate::scenario_gen::{GeneratedScenario, ScenarioFamily};
-    pub use crate::state::{encode, state_len, state_shape, STATE_CHANNELS};
+    pub use crate::state::{encode, encode_into, state_len, state_shape, STATE_CHANNELS};
     pub use crate::summary::{EpisodeSummary, WorkerSummary};
     pub use crate::trajectory::{HeatMap, Trajectory};
 }

@@ -39,10 +39,20 @@ fn idx(cfg: &EnvConfig, cx: usize, cy: usize) -> usize {
 /// buffer laid out channel-major (`[C, H, W]` row-major), ready to be viewed
 /// as a conv input `[1, 3, grid, grid]`.
 pub fn encode(env: &CrowdsensingEnv) -> Vec<f32> {
+    let mut out = Vec::with_capacity(state_len(env.config()));
+    encode_into(env, &mut out);
+    out
+}
+
+/// Appends the encoded state to `out` (same layout as [`encode`]), reusing
+/// the buffer's existing capacity — the batched rollout path stacks `E`
+/// observations into one arena-leased vector without `E` temporaries.
+pub fn encode_into(env: &CrowdsensingEnv, out: &mut Vec<f32>) {
     let cfg = env.config();
     let g2 = cfg.grid * cfg.grid;
-    let mut out = vec![0.0f32; STATE_CHANNELS * g2];
-    let (ch_workers, rest) = out.split_at_mut(g2);
+    let base = out.len();
+    out.resize(base + STATE_CHANNELS * g2, 0.0);
+    let (ch_workers, rest) = out[base..].split_at_mut(g2);
     let (ch_map, ch_access) = rest.split_at_mut(g2);
 
     let w_total = env.workers().len() as f32;
@@ -83,7 +93,6 @@ pub fn encode(env: &CrowdsensingEnv) -> Vec<f32> {
         let (cx, cy) = cell_of(cfg, &p.pos);
         ch_access[idx(cfg, cx, cy)] += p.access_time as f32 / horizon;
     }
-    out
 }
 
 /// The `[C, H, W]` shape of one encoded observation.

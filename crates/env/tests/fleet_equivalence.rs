@@ -1,0 +1,137 @@
+//! Differential property suite for the struct-of-arrays stepping engine:
+//! `CrowdsensingEnv::step` (columnar `step_fleet` fast path) must be
+//! **bitwise** identical to `step_reference` (the original AoS per-entity
+//! loop, preserved as the baseline) — same outcomes, same worker columns,
+//! same PoI drain — across every scenario family, degenerate fleet shapes,
+//! and every kernel-pool thread count.
+//!
+//! `f32` equality on non-NaN values is bit equality, so `assert_eq!` over
+//! the `PartialEq` entity structs is exactly the "SoA ≡ AoS bitwise" claim.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vc_env::prelude::*;
+use vc_env::scenario_gen::generate;
+use vc_nn::ops::gemm::set_kernel_threads;
+
+/// Mixed action stream: mostly movement (all 9 moves), some charge requests
+/// so station competition is exercised.
+fn random_actions(n: usize, rng: &mut StdRng) -> Vec<WorkerAction> {
+    (0..n)
+        .map(|_| {
+            if rng.gen::<f32>() < 0.2 {
+                WorkerAction::charge()
+            } else {
+                WorkerAction::go(Move::from_index(rng.gen_range(0..NUM_MOVES)))
+            }
+        })
+        .collect()
+}
+
+/// Steps `soa` on the columnar path and `reference` on the AoS path with
+/// identical actions, asserting full bitwise state agreement after every
+/// slot.
+fn assert_paths_identical(
+    soa: &mut CrowdsensingEnv,
+    reference: &mut CrowdsensingEnv,
+    steps: usize,
+    rng: &mut StdRng,
+    label: &str,
+) {
+    for k in 0..steps {
+        if soa.done() {
+            break;
+        }
+        let actions = random_actions(soa.workers().len(), rng);
+        let ra = soa.step(&actions);
+        let rb = reference.step_reference(&actions);
+        assert_eq!(ra.outcomes, rb.outcomes, "{label}: outcomes diverged at step {k}");
+        assert_eq!(ra.t, rb.t, "{label}: time diverged at step {k}");
+        assert_eq!(ra.done, rb.done, "{label}: done flag diverged at step {k}");
+        assert_eq!(soa.workers(), reference.workers(), "{label}: workers diverged at step {k}");
+        assert_eq!(soa.pois(), reference.pois(), "{label}: PoIs diverged at step {k}");
+    }
+    let (ma, mb) = (soa.metrics(), reference.metrics());
+    assert_eq!(ma.data_collection_ratio, mb.data_collection_ratio, "{label}: κ diverged");
+    assert_eq!(ma.energy_efficiency, mb.energy_efficiency, "{label}: ρ diverged");
+}
+
+#[test]
+fn all_five_families_step_bitwise_identically() {
+    for family in ScenarioFamily::ALL {
+        for seed in [11u64, 407u64] {
+            let scn = generate(family, seed).unwrap_or_else(|e| panic!("{family:?}/{seed}: {e}"));
+            let mut soa = scn.try_env().unwrap_or_else(|e| panic!("{family:?}/{seed}: {e}"));
+            let mut reference = soa.clone();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xF1EE7);
+            let label = format!("{family:?}/{seed}");
+            assert_paths_identical(&mut soa, &mut reference, 50, &mut rng, &label);
+        }
+    }
+}
+
+#[test]
+fn degenerate_fleet_with_zero_alive_workers() {
+    let mut soa = CrowdsensingEnv::new(EnvConfig::paper_default());
+    for wi in 0..soa.workers().len() {
+        soa.set_worker_energy(wi, 0.0);
+    }
+    let mut reference = soa.clone();
+    let mut rng = StdRng::seed_from_u64(99);
+    assert_paths_identical(&mut soa, &mut reference, 20, &mut rng, "all-exhausted");
+    assert!(soa.workers().iter().all(|w| w.exhausted()), "fleet should stay dead");
+}
+
+#[test]
+fn degenerate_fleet_stacked_on_one_cell() {
+    let mut cfg = EnvConfig::paper_default();
+    cfg.num_workers = 6;
+    let mut soa = CrowdsensingEnv::new(cfg);
+    // Pile every worker onto the first station: maximal PoI/station
+    // contention, where index-order resolution matters most.
+    let spot = soa.stations()[0].pos;
+    for wi in 0..soa.workers().len() {
+        soa.teleport_worker(wi, spot);
+    }
+    let mut reference = soa.clone();
+    let mut rng = StdRng::seed_from_u64(123);
+    assert_paths_identical(&mut soa, &mut reference, 30, &mut rng, "stacked");
+}
+
+#[test]
+fn degenerate_fleet_with_more_workers_than_pois() {
+    let mut cfg = EnvConfig::tiny();
+    cfg.num_workers = 8;
+    cfg.num_pois = 3;
+    cfg.seed = 5;
+    let mut soa = CrowdsensingEnv::new(cfg);
+    let mut reference = soa.clone();
+    let mut rng = StdRng::seed_from_u64(321);
+    assert_paths_identical(&mut soa, &mut reference, 30, &mut rng, "workers>pois");
+}
+
+#[test]
+fn pooled_phase_a_matches_sequential_at_every_thread_count() {
+    // A fleet above FLEET_PAR_MIN_WORKERS so thread counts > 1 actually
+    // engage the pooled phase-A dispatch.
+    let mut cfg = EnvConfig::paper_default();
+    cfg.size_x = 64.0;
+    cfg.size_y = 64.0;
+    cfg.grid = 16;
+    cfg.num_workers = FLEET_PAR_MIN_WORKERS + 100;
+    cfg.num_pois = 800;
+    cfg.num_stations = 16;
+    cfg.obstacles.clear();
+    cfg.seed = 77;
+    for threads in [1usize, 2, 4] {
+        set_kernel_threads(threads);
+        let mut soa = CrowdsensingEnv::new(cfg.clone());
+        let mut reference = soa.clone();
+        let mut rng = StdRng::seed_from_u64(777);
+        let label = format!("threads={threads}");
+        assert_paths_identical(&mut soa, &mut reference, 4, &mut rng, &label);
+    }
+    set_kernel_threads(1);
+}

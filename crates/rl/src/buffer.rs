@@ -69,14 +69,19 @@ impl RolloutBuffer {
         &self.transitions
     }
 
-    /// The reward column.
+    /// The reward column (arena-leased, so per-episode target computation
+    /// reuses freelist capacity instead of allocating).
     pub fn rewards(&self) -> Vec<f32> {
-        self.transitions.iter().map(|t| t.reward).collect()
+        let mut out = vc_nn::arena::take_f32(self.len());
+        out.extend(self.transitions.iter().map(|t| t.reward));
+        out
     }
 
-    /// The value column.
+    /// The value column (arena-leased like [`Self::rewards`]).
     pub fn values(&self) -> Vec<f32> {
-        self.transitions.iter().map(|t| t.value).collect()
+        let mut out = vc_nn::arena::take_f32(self.len());
+        out.extend(self.transitions.iter().map(|t| t.value));
+        out
     }
 
     /// Installs the return and advantage columns (must match `len()`).

@@ -37,10 +37,13 @@ pub mod prelude {
         FaultPlan, GradPair, GradientBuffer, RolloutReport, RoundReport,
     };
     pub use crate::gae::{discounted_returns, gae_advantages, normalize_advantages};
-    pub use crate::net::{ActorCritic, NetConfig, NetOutputs, CHARGE_CHOICES, MOVES_PER_WORKER};
+    pub use crate::net::{
+        ActorCritic, FleetActorCritic, NetConfig, NetOutputs, CHARGE_CHOICES, MOVES_PER_WORKER,
+    };
     pub use crate::policy::{
-        sample_action, sample_actions_batched, state_value, state_values_batched, PolicyOptions,
-        SampleMode, SampledAction,
+        sample_action, sample_action_fleet, sample_actions_batched, sample_actions_fleet,
+        state_value, state_values_batched, state_values_fleet, PolicyOptions, SampleMode,
+        SampledAction,
     };
     pub use crate::ppo::{compute_ppo_grads, finish_rollout, PpoConfig, PpoStats};
 }

@@ -6,7 +6,7 @@
 //! than a hard mask (Eqn 18's `τ`), but masking is exposed for ablations and
 //! for safe deployment at test time.
 
-use crate::net::{ActorCritic, CHARGE_CHOICES, MOVES_PER_WORKER};
+use crate::net::{ActorCritic, FleetActorCritic, CHARGE_CHOICES, MOVES_PER_WORKER};
 use rand::Rng;
 use vc_env::prelude::*;
 use vc_nn::prelude::*;
@@ -97,6 +97,13 @@ fn forward_batched(
     envs: &[&CrowdsensingEnv],
     g: &mut Graph,
 ) -> crate::net::NetOutputs {
+    let s = stack_states(envs, net.config().num_workers, g);
+    net.forward(g, store, s)
+}
+
+/// Encodes every environment into one `[E, C, H, W]` leaf (arena-backed, no
+/// per-env temporaries thanks to `encode_into`).
+fn stack_states(envs: &[&CrowdsensingEnv], expected_workers: usize, g: &mut Graph) -> NodeId {
     let cfg = envs[0].config();
     let shape = vc_env::state::state_shape(cfg);
     let item = shape[0] * shape[1] * shape[2];
@@ -104,13 +111,12 @@ fn forward_batched(
     for env in envs {
         assert_eq!(
             env.config().num_workers,
-            net.config().num_workers,
+            expected_workers,
             "network sized for a different worker count"
         );
-        stacked.extend_from_slice(&vc_env::state::encode(env));
+        vc_env::state::encode_into(env, &mut stacked);
     }
-    let s = g.leaf(Tensor::from_vec(&[envs.len(), shape[0], shape[1], shape[2]], stacked));
-    net.forward(g, store, s)
+    g.leaf(Tensor::from_vec(&[envs.len(), shape[0], shape[1], shape[2]], stacked))
 }
 
 /// Encodes every environment, runs **one** batched forward pass and samples
@@ -132,15 +138,37 @@ pub fn sample_actions_batched(
     if envs.is_empty() {
         return Vec::new();
     }
-    let w_count = net.config().num_workers;
-    let e_count = envs.len();
-
     let mut g = Graph::new();
     let out = forward_batched(net, store, envs, &mut g);
     let values: Vec<f32> = g.value(out.value).data().to_vec();
-    let mut move_logits = g.value(out.move_logits).clone(); // [E·W, 9]
-    let mut charge_logits = g.value(out.charge_logits).clone(); // [E·W, 2]
+    let move_logits = g.value(out.move_logits).clone(); // [E·W, 9]
+    let charge_logits = g.value(out.charge_logits).clone(); // [E·W, 2]
+    sample_from_logits(
+        &values,
+        move_logits,
+        charge_logits,
+        envs,
+        net.config().num_workers,
+        opts,
+        rng,
+    )
+}
 
+/// Masks, renormalizes and samples per-worker actions from batched logit
+/// tensors — the shared back half of the joint and fleet-factored samplers.
+/// Both nets emit the same `[E·W, A]` env-major worker-minor row layout and
+/// the RNG is consumed in that order, so each front end inherits the
+/// batched-equals-sequential bitwise guarantee.
+fn sample_from_logits(
+    values: &[f32],
+    mut move_logits: Tensor,
+    mut charge_logits: Tensor,
+    envs: &[&CrowdsensingEnv],
+    w_count: usize,
+    opts: PolicyOptions,
+    rng: &mut impl Rng,
+) -> Vec<SampledAction> {
+    let e_count = envs.len();
     let mut sampled = Vec::with_capacity(e_count);
     for (ei, env) in envs.iter().enumerate() {
         let mut move_mask = vec![true; w_count * MOVES_PER_WORKER];
@@ -215,6 +243,70 @@ pub fn sample_action(
 ) -> SampledAction {
     let mut batch = sample_actions_batched(net, store, &[env], opts, rng);
     batch.swap_remove(0)
+}
+
+/// Fleet-major variant of [`sample_actions_batched`]: one batched forward
+/// through the factored [`FleetActorCritic`], whose head cost is
+/// independent of the worker count — the sampling front end for
+/// 1000-worker fleets.
+///
+/// The factored net emits the same `[E·W, A]` row layout, and masking,
+/// softmax and RNG consumption go through the shared
+/// [`sample_from_logits`] back half, so fleet-major batching is
+/// bitwise-identical to `E` sequential [`sample_action_fleet`] calls (at
+/// paper scale and above; pinned by the policy tests).
+pub fn sample_actions_fleet(
+    net: &FleetActorCritic,
+    store: &ParamStore,
+    envs: &[&CrowdsensingEnv],
+    opts: PolicyOptions,
+    rng: &mut impl Rng,
+) -> Vec<SampledAction> {
+    if envs.is_empty() {
+        return Vec::new();
+    }
+    let mut g = Graph::new();
+    let s = stack_states(envs, net.config().num_workers, &mut g);
+    let out = net.forward(&mut g, store, s);
+    let values: Vec<f32> = g.value(out.value).data().to_vec();
+    let move_logits = g.value(out.move_logits).clone(); // [E·W, 9]
+    let charge_logits = g.value(out.charge_logits).clone(); // [E·W, 2]
+    sample_from_logits(
+        &values,
+        move_logits,
+        charge_logits,
+        envs,
+        net.config().num_workers,
+        opts,
+        rng,
+    )
+}
+
+/// Batch-of-one wrapper over [`sample_actions_fleet`].
+pub fn sample_action_fleet(
+    net: &FleetActorCritic,
+    store: &ParamStore,
+    env: &CrowdsensingEnv,
+    opts: PolicyOptions,
+    rng: &mut impl Rng,
+) -> SampledAction {
+    let mut batch = sample_actions_fleet(net, store, &[env], opts, rng);
+    batch.swap_remove(0)
+}
+
+/// State values `V(s)` from the fleet net (bootstrap targets, vectorized).
+pub fn state_values_fleet(
+    net: &FleetActorCritic,
+    store: &ParamStore,
+    envs: &[&CrowdsensingEnv],
+) -> Vec<f32> {
+    if envs.is_empty() {
+        return Vec::new();
+    }
+    let mut g = Graph::new();
+    let s = stack_states(envs, net.config().num_workers, &mut g);
+    let out = net.forward(&mut g, store, s);
+    g.value(out.value).data().to_vec()
 }
 
 /// One batched forward returning only the state values `V(s)` for each
@@ -382,6 +474,112 @@ mod tests {
         assert_eq!(batched[0].charges, first.charges);
         assert_eq!(batched[1].moves, second.moves);
         assert_eq!(batched[1].charges, second.charges);
+    }
+
+    fn setup_fleet() -> (ParamStore, FleetActorCritic, CrowdsensingEnv, StdRng) {
+        let env = CrowdsensingEnv::new(EnvConfig::tiny());
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let net = FleetActorCritic::new(
+            &mut store,
+            NetConfig::for_scenario(env.config().grid, env.config().num_workers),
+            &mut rng,
+        );
+        (store, net, env, rng)
+    }
+
+    #[test]
+    fn fleet_sampled_actions_are_well_formed() {
+        let (store, net, env, mut rng) = setup_fleet();
+        let a = sample_action_fleet(&net, &store, &env, PolicyOptions::default(), &mut rng);
+        assert_eq!(a.actions.len(), env.config().num_workers);
+        assert!(a.logp <= 0.0 && a.logp.is_finite());
+        for (wi, act) in a.actions.iter().enumerate() {
+            assert_eq!(act.movement.index(), a.moves[wi]);
+            assert_eq!(act.charge, a.charges[wi] == 1);
+        }
+    }
+
+    #[test]
+    fn fleet_batched_greedy_matches_sequential_bitwise() {
+        // The fleet-major path inherits the batch-invariance of the
+        // kernels: one [3, C, H, W] forward must reproduce three
+        // batch-of-one fleet forwards bit for bit.
+        let (store, net, env, mut rng) = setup_fleet();
+        let mut env_b = CrowdsensingEnv::new(env.config().clone());
+        let mut env_c = CrowdsensingEnv::new(env.config().clone());
+        let acts: Vec<WorkerAction> = (0..env.config().num_workers)
+            .map(|_| WorkerAction { movement: Move::from_index(1), charge: false })
+            .collect();
+        let _ = env_b.step(&acts);
+        let _ = env_c.step(&acts);
+        let _ = env_c.step(&acts);
+
+        let opts = PolicyOptions { mode: SampleMode::Greedy, mask_invalid: true };
+        let batched = sample_actions_fleet(&net, &store, &[&env, &env_b, &env_c], opts, &mut rng);
+        assert_eq!(batched.len(), 3);
+        for (i, e) in [&env, &env_b, &env_c].into_iter().enumerate() {
+            let single = sample_action_fleet(&net, &store, e, opts, &mut rng);
+            assert_eq!(batched[i].moves, single.moves, "env {i} moves diverged");
+            assert_eq!(batched[i].charges, single.charges, "env {i} charges diverged");
+            assert_eq!(batched[i].move_mask, single.move_mask);
+            assert_eq!(batched[i].charge_mask, single.charge_mask);
+            assert_eq!(
+                batched[i].value.to_bits(),
+                single.value.to_bits(),
+                "env {i} value not bit-identical"
+            );
+            assert_eq!(batched[i].logp.to_bits(), single.logp.to_bits(), "env {i} logp diverged");
+        }
+    }
+
+    #[test]
+    fn fleet_batched_stochastic_consumes_rng_in_sequential_order() {
+        let (store, net, env, _) = setup_fleet();
+        let mut env_b = CrowdsensingEnv::new(env.config().clone());
+        let acts: Vec<WorkerAction> = (0..env.config().num_workers)
+            .map(|_| WorkerAction { movement: Move::from_index(2), charge: false })
+            .collect();
+        let _ = env_b.step(&acts);
+
+        let opts = PolicyOptions::default();
+        let mut rng_batched = StdRng::seed_from_u64(77);
+        let batched = sample_actions_fleet(&net, &store, &[&env, &env_b], opts, &mut rng_batched);
+
+        let mut rng_seq = StdRng::seed_from_u64(77);
+        let first = sample_action_fleet(&net, &store, &env, opts, &mut rng_seq);
+        let second = sample_action_fleet(&net, &store, &env_b, opts, &mut rng_seq);
+        assert_eq!(batched[0].moves, first.moves);
+        assert_eq!(batched[0].charges, first.charges);
+        assert_eq!(batched[1].moves, second.moves);
+        assert_eq!(batched[1].charges, second.charges);
+    }
+
+    #[test]
+    fn fleet_masking_prevents_invalid_choices() {
+        let (store, net, mut env, mut rng) = setup_fleet();
+        env.teleport_worker(0, Point::new(0.0, 0.0));
+        let opts = PolicyOptions { mode: SampleMode::Stochastic, mask_invalid: true };
+        for _ in 0..50 {
+            let a = sample_action_fleet(&net, &store, &env, opts, &mut rng);
+            let mask = env.valid_moves(0);
+            assert!(mask[a.moves[0]], "sampled a masked move {:?}", a.moves[0]);
+            if !env.can_charge(0) {
+                assert_eq!(a.charges[0], 0, "sampled charge while out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_state_values_match_sampled_values() {
+        let (store, net, env, mut rng) = setup_fleet();
+        let vs = state_values_fleet(&net, &store, &[&env]);
+        let a = sample_action_fleet(&net, &store, &env, PolicyOptions::default(), &mut rng);
+        assert_eq!(vs[0].to_bits(), a.value.to_bits());
+        assert!(
+            sample_actions_fleet(&net, &store, &[], PolicyOptions::default(), &mut rng).is_empty()
+        );
+        assert!(state_values_fleet(&net, &store, &[]).is_empty());
     }
 
     #[test]
